@@ -1,0 +1,299 @@
+package shbf_test
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks. Each BenchmarkFigN runs the
+// corresponding experiment at a reduced-but-representative scale (the
+// same code paths cmd/shbench drives at full scale) so `go test
+// -bench=.` exercises the complete reproduction. Micro-benchmarks at
+// the bottom compare the individual schemes directly; their ns/op
+// ratios are the raw material behind the paper's Figure 9/10(c)/11(c)
+// speedups.
+
+import (
+	"math/rand"
+	"testing"
+
+	"shbf"
+	"shbf/internal/baseline"
+	"shbf/internal/experiment"
+)
+
+// benchConfig is sized so a full -bench=. run finishes in minutes while
+// still sweeping every parameter of every figure.
+func benchConfig() experiment.Config {
+	cfg := experiment.Quick()
+	cfg.Probes = 50000
+	cfg.AssocSetSize = 10000
+	cfg.MultisetSize = 10000
+	return cfg
+}
+
+func BenchmarkFig3_TheoryFPRvsW(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig3(cfg); len(figs) != 2 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkFig4_TheoryFPRvsK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig4(cfg); len(figs) != 1 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkFig7_MembershipFPR(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig7(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkFig8_MemoryAccesses(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig8(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkFig9_QuerySpeed(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig9(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkTable2_AssociationComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tab := experiment.RunTable2(cfg); len(tab.Rows) != 2 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig10_AssociationQueries(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig10(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkFig11_MultiplicityQueries(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunFig11(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkAblation_TShiftGeneralization(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.RunGeneralAblation(cfg)
+	}
+}
+
+func BenchmarkAblation_SCMSketch(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.RunSCMAblation(cfg)
+	}
+}
+
+func BenchmarkAblation_UpdateModes(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.RunUpdateAblation(cfg)
+	}
+}
+
+func BenchmarkAblation_MembershipZoo(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.RunMembershipZoo(cfg)
+	}
+}
+
+func BenchmarkAblation_MultiSetAssociation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if figs := experiment.RunMultiSetAblation(cfg); len(figs) != 3 {
+			b.Fatal("wrong figure count")
+		}
+	}
+}
+
+func BenchmarkAblation_UpdateThroughput(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if tab := experiment.RunUpdateTable(cfg); len(tab.Rows) != 5 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// --- Scheme micro-benchmarks -------------------------------------------
+//
+// Mixed workload (half members, half negatives) over the Figure 9(b)
+// operating point: m = 33024, n = 1000, k = 8.
+
+const (
+	microM = 33024
+	microN = 1000
+	microK = 8
+)
+
+func microWorkload(add func(e []byte)) [][]byte {
+	rng := rand.New(rand.NewSource(99))
+	queries := make([][]byte, 0, 2*microN)
+	for i := 0; i < 2*microN; i++ {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[0], e[1] = byte(i), byte(i>>8)
+		if i < microN {
+			add(e)
+		}
+		queries = append(queries, e)
+	}
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries
+}
+
+func BenchmarkQueryShBFM(b *testing.B) {
+	f, err := shbf.NewMembership(microM, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(f.Add)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkQueryBF(b *testing.B) {
+	f, err := baseline.NewBF(microM, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(f.Add)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkQueryOneMemBF(b *testing.B) {
+	f, err := baseline.NewOneMemBF(microM, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(f.Add)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkQueryKMBF(b *testing.B) {
+	f, err := baseline.NewKMBF(microM, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(f.Add)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkAddShBFM(b *testing.B) {
+	f, err := shbf.NewMembership(1<<22, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(func([]byte) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkAddBF(b *testing.B) {
+	f, err := baseline.NewBF(1<<22, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := microWorkload(func([]byte) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkQueryAssociationShBFA(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int, tag byte) [][]byte {
+		out := make([][]byte, n)
+		for i := range out {
+			e := make([]byte, 13)
+			rng.Read(e)
+			e[0], e[1], e[12] = byte(i), byte(i>>8), tag
+			out[i] = e
+		}
+		return out
+	}
+	s1, s2 := mk(5000, 1), mk(5000, 2)
+	a, err := shbf.BuildAssociation(s1, s2, 120000, microK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Query(s1[i%len(s1)])
+	}
+}
+
+func BenchmarkQueryMultiplicityShBFX(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	f, err := shbf.NewMultiplicity(1<<20, microK, 57)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([][]byte, 4096)
+	for i := range elems {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[0], e[1] = byte(i), byte(i>>8)
+		elems[i] = e
+		if err := f.AddWithCount(e, rng.Intn(57)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Count(elems[i&4095])
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shbf/internal/trace"
+)
+
+func writeTrace(t *testing.T, path string, n, maxCount int, seed int64) {
+	t.Helper()
+	gen := trace.NewGenerator(seed)
+	flows := gen.UniformMultiset(n, maxCount)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, flows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMemberMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	writeTrace(t, path, 5000, 57, 1)
+	if err := run("member", path, "", 0, 8, 57, 50000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit m as well.
+	if err := run("member", path, "", 80000, 8, 57, 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	writeTrace(t, path, 3000, 30, 2)
+	if err := run("mult", path, "", 0, 8, 57, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAssocMode(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.bin")
+	p2 := filepath.Join(dir, "b.bin")
+	writeTrace(t, p1, 3000, 5, 3)
+	writeTrace(t, p2, 3000, 5, 4)
+	if err := run("assoc", p1, p2, 0, 8, 57, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	writeTrace(t, path, 100, 5, 5)
+
+	if err := run("member", "", "", 0, 8, 57, 100, 1); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run("bogus", path, "", 0, 8, 57, 100, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run("assoc", path, "", 0, 8, 57, 100, 1); err == nil {
+		t.Error("assoc without -trace2 accepted")
+	}
+	if err := run("member", filepath.Join(dir, "missing.bin"), "", 0, 8, 57, 100, 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	// Invalid geometry must surface the constructor error.
+	if err := run("member", path, "", -5, 8, 57, 100, 1); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestRunMultCapsCounts(t *testing.T) {
+	// Trace counts above c must be clamped, not rejected.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	writeTrace(t, path, 500, 57, 6)
+	if err := run("mult", path, "", 0, 6, 10, 0, 1); err != nil {
+		t.Fatalf("clamping failed: %v", err)
+	}
+}
+
+func TestRunPlan(t *testing.T) {
+	if err := runPlan("member", 100000, 57, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan("assoc", 100000, 57, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan("mult", 100000, 57, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan("bogus", 100, 57, 0.5); err == nil {
+		t.Error("unknown plan kind accepted")
+	}
+	if err := runPlan("member", 0, 57, 0.5); err == nil {
+		t.Error("invalid n accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Command tracegen generates and inspects the synthetic 5-tuple flow
+// traces the reproduction uses in place of the paper's backbone capture
+// (see DESIGN.md §5).
+//
+// Usage:
+//
+//	tracegen -o trace.bin -n 100000 -max-count 57 -zipf 1.2 [-seed 1]
+//	tracegen -info trace.bin
+//	tracegen -from-csv flows.csv -o trace.bin     # import a real capture
+//	tracegen -to-csv flows.csv -info trace.bin    # export for inspection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shbf/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output trace file")
+		info     = flag.String("info", "", "print statistics of an existing trace file")
+		n        = flag.Int("n", 100000, "number of distinct flows")
+		maxCount = flag.Int("max-count", 57, "maximum flow multiplicity c")
+		zipf     = flag.Float64("zipf", 1.2, "Zipf skew (≤1 for uniform counts)")
+		uniform  = flag.Bool("uniform", false, "uniform counts in [1,max-count] instead of Zipf")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		fromCSV  = flag.String("from-csv", "", "import flows from a CSV file instead of generating")
+		toCSV    = flag.String("to-csv", "", "with -info: also export the trace as CSV to this path")
+	)
+	flag.Parse()
+
+	if *fromCSV != "" {
+		if err := importCSV(*fromCSV, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *toCSV != "" {
+		if err := exportCSV(*info, *toCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*out, *info, *n, *maxCount, *zipf, *uniform, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, info string, n, maxCount int, zipf float64, uniform bool, seed int64) error {
+	switch {
+	case info != "":
+		return printInfo(info)
+	case out != "":
+		return generate(out, n, maxCount, zipf, uniform, seed)
+	default:
+		return fmt.Errorf("specify -o FILE to generate or -info FILE to inspect")
+	}
+}
+
+func generate(path string, n, maxCount int, zipf float64, uniform bool, seed int64) error {
+	gen := trace.NewGenerator(seed)
+	var flows []trace.Flow
+	if uniform {
+		flows = gen.UniformMultiset(n, maxCount)
+	} else {
+		flows = gen.Multiset(n, maxCount, zipf)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, flows); err != nil {
+		return err
+	}
+	total := 0
+	for _, fl := range flows {
+		total += fl.Count
+	}
+	fmt.Printf("wrote %s: %d distinct flows, %d packets (seed %d)\n", path, len(flows), total, seed)
+	return nil
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	flows, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	total, max := 0, 0
+	hist := map[int]int{}
+	for _, fl := range flows {
+		total += fl.Count
+		if fl.Count > max {
+			max = fl.Count
+		}
+		hist[fl.Count]++
+	}
+	fmt.Printf("%s: %d distinct flows, %d packets, max multiplicity %d\n",
+		path, len(flows), total, max)
+	if len(flows) > 0 {
+		fmt.Printf("first flow: %s ×%d\n", flows[0].ID, flows[0].Count)
+		fmt.Printf("singletons: %d (%.1f%%)\n", hist[1], 100*float64(hist[1])/float64(len(flows)))
+	}
+	return nil
+}
+
+// importCSV converts a CSV flow list to the binary trace format.
+func importCSV(csvPath, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("-from-csv needs -o FILE")
+	}
+	in, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	flows, err := trace.ParseCSV(in)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := trace.Write(out, flows); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d flows from %s into %s\n", len(flows), csvPath, outPath)
+	return nil
+}
+
+// exportCSV converts a binary trace to CSV.
+func exportCSV(binPath, csvPath string) error {
+	if binPath == "" {
+		return fmt.Errorf("-to-csv needs -info FILE as the source trace")
+	}
+	in, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	flows, err := trace.Read(in)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := trace.WriteCSV(out, flows); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d flows from %s to %s\n", len(flows), binPath, csvPath)
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shbf/internal/trace"
+)
+
+func TestGenerateAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+
+	if err := run(path, "", 5000, 57, 1.5, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5000 {
+		t.Fatalf("wrote %d flows", len(flows))
+	}
+	for _, fl := range flows {
+		if fl.Count < 1 || fl.Count > 57 {
+			t.Fatalf("count %d out of range", fl.Count)
+		}
+	}
+	if err := run("", path, 0, 0, 0, false, 0); err != nil {
+		t.Fatalf("info mode: %v", err)
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.bin")
+	if err := run(path, "", 2000, 10, 0, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	flows, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[int]int{}
+	for _, fl := range flows {
+		hist[fl.Count]++
+	}
+	if len(hist) != 10 {
+		t.Fatalf("uniform counts cover %d values, want 10", len(hist))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.bin"), filepath.Join(dir, "b.bin")
+	if err := run(a, "", 100, 10, 1.2, false, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(b, "", 100, 10, 1.2, false, 9); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same-seed traces differ")
+	}
+}
+
+func TestCSVImportExport(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	csvOut := filepath.Join(dir, "t.csv")
+	binBack := filepath.Join(dir, "t2.bin")
+
+	if err := run(bin, "", 200, 20, 1.3, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportCSV(bin, csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := importCSV(csvOut, binBack); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(bin)
+	b, _ := os.ReadFile(binBack)
+	if string(a) != string(b) {
+		t.Fatal("binary → CSV → binary round trip changed the trace")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := importCSV(filepath.Join(dir, "missing.csv"), filepath.Join(dir, "o.bin")); err == nil {
+		t.Error("missing CSV accepted")
+	}
+	if err := importCSV(filepath.Join(dir, "x.csv"), ""); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := exportCSV("", filepath.Join(dir, "o.csv")); err == nil {
+		t.Error("missing -info accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 10, 10, 1, false, 1); err == nil {
+		t.Error("no -o or -info accepted")
+	}
+	if err := run("", "/nonexistent/path/xyz", 0, 0, 0, false, 0); err == nil {
+		t.Error("info on missing file accepted")
+	}
+	if err := run("/nonexistent/dir/file.bin", "", 10, 10, 1, false, 1); err == nil {
+		t.Error("generate into missing dir accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package shbf_test
+
+// Runnable godoc examples for the public API. Each demonstrates one
+// capability with deterministic output.
+
+import (
+	"fmt"
+
+	"shbf"
+)
+
+func ExampleNewCountingMembership() {
+	f, _ := shbf.NewCountingMembership(10000, 8, shbf.WithCounterWidth(8))
+	flow := []byte("10.0.0.1:443->10.0.0.9:5501/tcp")
+
+	_ = f.Insert(flow)
+	fmt.Println("after insert:", f.Contains(flow))
+	_ = f.Delete(flow)
+	fmt.Println("after delete:", f.Contains(flow))
+	// Output:
+	// after insert: true
+	// after delete: false
+}
+
+func ExampleMultiplicity_Candidates() {
+	f, _ := shbf.NewMultiplicity(10000, 8, 57)
+	_ = f.AddWithCount([]byte("elephant flow"), 24)
+
+	var cands []int
+	cands = f.Candidates([]byte("elephant flow"), cands)
+	fmt.Println("candidates:", cands)
+	fmt.Println("reported:", f.Count([]byte("elephant flow")))
+	// Output:
+	// candidates: [24]
+	// reported: 24
+}
+
+func ExampleNewTShift() {
+	// k = 12 bit positions from only k/(t+1)+t = 3+3 = 6 hash
+	// computations (paper Section 3.6).
+	f, _ := shbf.NewTShift(10000, 12, 3)
+	f.Add([]byte("element"))
+	fmt.Println(f.Contains([]byte("element")), f.HashOpsPerAdd())
+	// Output:
+	// true 6
+}
+
+func ExampleNewCountingAssociation() {
+	a, _ := shbf.NewCountingAssociation(10000, 8, shbf.WithCounterWidth(8))
+	item := []byte("object-42")
+
+	_ = a.InsertS1(item)
+	fmt.Println(a.Query(item))
+	_ = a.InsertS2(item) // replicate: region migrates to S1∩S2
+	fmt.Println(a.Query(item))
+	_ = a.DeleteS1(item) // retire from server 1
+	fmt.Println(a.Query(item))
+	// Output:
+	// S1−S2
+	// S1∩S2
+	// S2−S1
+}
+
+func ExampleBuildMultiAssociation() {
+	sets := [][][]byte{
+		{[]byte("alpha")},
+		{[]byte("beta"), []byte("everywhere")},
+		{[]byte("gamma"), []byte("everywhere")},
+	}
+	a, _ := shbf.BuildMultiAssociation(sets, 2000, 8)
+
+	ans := a.Query([]byte("everywhere"))
+	fmt.Println("clear:", ans.Clear())
+	fmt.Println("in set 1:", ans.DefinitelyIn(1))
+	fmt.Println("in set 0:", ans.DefinitelyIn(0))
+	// Output:
+	// clear: true
+	// in set 1: true
+	// in set 0: false
+}
+
+func ExampleMembership_MarshalBinary() {
+	built, _ := shbf.NewMembership(10000, 8, shbf.WithSeed(1))
+	built.Add([]byte("ship me"))
+
+	blob, _ := built.MarshalBinary()
+
+	var remote shbf.Membership
+	_ = remote.UnmarshalBinary(blob)
+	fmt.Println(remote.Contains([]byte("ship me")))
+	// Output:
+	// true
+}
+
+func ExampleMembership_Union() {
+	// Filters with the same geometry and seed support set algebra.
+	a, _ := shbf.NewMembership(10000, 8, shbf.WithSeed(3))
+	b, _ := shbf.NewMembership(10000, 8, shbf.WithSeed(3))
+	a.Add([]byte("left"))
+	b.Add([]byte("right"))
+
+	_ = a.Union(b)
+	fmt.Println(a.Contains([]byte("left")), a.Contains([]byte("right")))
+	// Output:
+	// true true
+}
+
+func ExamplePlanMembership() {
+	plan, _ := shbf.PlanMembership(1_000_000, 0.001)
+	fmt.Printf("k=%d, ~%.0f bits/element, predicted FPR below target: %v\n",
+		plan.K, plan.BitsPerElem, plan.PredictedFPR <= 0.001)
+	// Output:
+	// k=10, ~15 bits/element, predicted FPR below target: true
+}
+
+func ExampleAccessCounter() {
+	var acc shbf.AccessCounter
+	f, _ := shbf.NewMembership(10000, 8, shbf.WithAccessCounter(&acc))
+	f.Add([]byte("e"))
+
+	acc.Reset()
+	f.Contains([]byte("e"))
+	fmt.Println("accesses for a member query:", acc.Reads())
+	// Output:
+	// accesses for a member query: 4
+}
+
+func ExampleNewSCMSketch() {
+	s, _ := shbf.NewSCMSketch(8, 1<<16)
+	for i := 0; i < 5; i++ {
+		s.Insert([]byte("hot key"))
+	}
+	fmt.Println(s.Count([]byte("hot key")), s.HashOpsPerOp())
+	// Output:
+	// 5 5
+}

@@ -1,0 +1,95 @@
+// Load-balancing gateway: the association-query application from the
+// paper's introduction.
+//
+// Content is stored on two servers; popular items are replicated on
+// both for load balancing. For each incoming request the gateway must
+// decide which server(s) hold the item. One ShBF_A answers that with a
+// single filter — k+2 hash computations and k memory accesses per
+// query, no false positives in its verdicts — where the classic iBF
+// approach needs two filters, 2k hashes, 2k accesses, and can falsely
+// claim replication.
+//
+// Run with: go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"shbf"
+)
+
+const (
+	itemsPerServer = 50000
+	replicated     = 12500 // popular items on both servers
+	k              = 10
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Catalog: exclusive items per server plus the replicated set.
+	server1Only := makeItems(rng, itemsPerServer-replicated, "s1")
+	server2Only := makeItems(rng, itemsPerServer-replicated, "s2")
+	popular := makeItems(rng, replicated, "pop")
+
+	s1 := append(append([][]byte{}, server1Only...), popular...)
+	s2 := append(append([][]byte{}, server2Only...), popular...)
+
+	// Optimal sizing over the distinct union (paper Table 2).
+	nDistinct := len(server1Only) + len(server2Only) + len(popular)
+	m := int(float64(nDistinct) * k / math.Ln2)
+
+	gw, err := shbf.BuildAssociation(s1, s2, m, k, shbf.WithSeed(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway filter: %d items, %d KiB, k=%d\n\n", nDistinct, gw.SizeBytes()/1024, k)
+
+	// Route a mixed request stream and tally outcomes.
+	var toS1, toS2, either, fallback int
+	requests := append(append(append([][]byte{}, server1Only...), server2Only...), popular...)
+	rng.Shuffle(len(requests), func(i, j int) { requests[i], requests[j] = requests[j], requests[i] })
+
+	for _, item := range requests {
+		switch r := gw.Query(item); {
+		case r == shbf.RegionBoth:
+			either++ // replicated: pick the less-loaded server
+		case r.InS1():
+			toS1++
+		case r.InS2():
+			toS2++
+		default:
+			// Unclear verdict (rare): fall back to asking both servers.
+			fallback++
+		}
+	}
+
+	total := len(requests)
+	fmt.Printf("routing decisions over %d requests:\n", total)
+	fmt.Printf("  server 1 only:        %6d\n", toS1)
+	fmt.Printf("  server 2 only:        %6d\n", toS2)
+	fmt.Printf("  either (replicated):  %6d\n", either)
+	fmt.Printf("  fallback (ask both):  %6d (%.3f%%)\n", fallback, 100*float64(fallback)/float64(total))
+	fmt.Printf("\nexpected fallback rate 1−(1−0.5^k)² = %.3f%%\n",
+		100*(1-math.Pow(1-math.Pow(0.5, k), 2)))
+
+	// The verdicts are sound: a request for a server-1 exclusive item is
+	// never routed to server 2 alone, and vice versa.
+	for _, item := range server1Only {
+		if r := gw.Query(item); r == shbf.RegionS2Only {
+			log.Fatal("unsound routing — impossible for ShBF_A")
+		}
+	}
+	fmt.Println("soundness check passed: no exclusive item was misrouted")
+}
+
+func makeItems(rng *rand.Rand, n int, tag string) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("%s/object-%08d-%08x", tag, i, rng.Uint32()))
+	}
+	return items
+}

@@ -1,0 +1,83 @@
+// Capacity planning and filter shipping: size filters from accuracy
+// targets using the paper's optima, build them, and ship them as bytes
+// to the query tier — the paper's build-offline / query-on-chip
+// deployment (Section 3.3).
+//
+// Run with: go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"shbf"
+)
+
+func main() {
+	const n = 250000
+
+	// 1. Membership: "n flows, at most 0.1% false positives."
+	mPlan, err := shbf.PlanMembership(n, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("membership plan for n=%d, FPR ≤ 0.1%%:\n", n)
+	fmt.Printf("  m = %d bits (%.1f bits/element), k = %d, predicted FPR %.5f\n\n",
+		mPlan.M, mPlan.BitsPerElem, mPlan.K, mPlan.PredictedFPR)
+
+	// 2. Association: "clear routing decision 99.9% of the time."
+	aPlan, err := shbf.PlanAssociation(n, 0.999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("association plan for |S1∪S2|=%d, clear ≥ 99.9%%:\n", n)
+	fmt.Printf("  m = %d bits, k = %d, predicted clear %.5f\n\n",
+		aPlan.M, aPlan.K, aPlan.PredictedClear)
+
+	// 3. Multiplicity: "flow sizes up to 57, ≥ 95%% exact answers even
+	//    for absent flows."
+	xPlan, err := shbf.PlanMultiplicity(n, 57, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiplicity plan for n=%d, c=57, CR ≥ 95%%:\n", n)
+	fmt.Printf("  m = %d bits (%.1f bits/element), k = %d, predicted CR %.5f\n\n",
+		xPlan.M, xPlan.BitsPerElem, xPlan.K, xPlan.PredictedCR)
+
+	// Build the membership filter from the plan and ship it.
+	filter, err := shbf.NewMembership(mPlan.M, mPlan.K, shbf.WithSeed(2016))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sample := make([][]byte, 0, 1000)
+	for i := 0; i < n; i++ {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[4], e[5], e[6], e[7] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		filter.Add(e)
+		if i < cap(sample) {
+			sample = append(sample, e)
+		}
+	}
+
+	blob, err := filter.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped filter: %d bytes on the wire (%.2f bits/element)\n",
+		len(blob), 8*float64(len(blob))/n)
+
+	// The query tier decodes and serves.
+	var remote shbf.Membership
+	if err := remote.UnmarshalBinary(blob); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range sample {
+		if !remote.Contains(e) {
+			log.Fatal("shipped filter lost an element")
+		}
+	}
+	fmt.Printf("query tier verified %d sampled members after decode\n", len(sample))
+}

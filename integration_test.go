@@ -1,0 +1,244 @@
+package shbf_test
+
+// Integration tests: end-to-end flows crossing module boundaries —
+// trace generation → serialization → filter construction → filter
+// serialization → decoded-filter queries → experiment harness — the
+// paths cmd/tracegen, cmd/shbf and cmd/shbench drive.
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"shbf"
+	"shbf/internal/analytic"
+	"shbf/internal/experiment"
+	"shbf/internal/trace"
+	"shbf/internal/workload"
+)
+
+func TestTraceToMembershipPipeline(t *testing.T) {
+	// Generate a trace, serialize it, read it back, build a planned
+	// filter from it, ship the filter as bytes, query the copy.
+	gen := trace.NewGenerator(42)
+	flows := gen.UniformMultiset(20000, 57)
+
+	var traceBuf bytes.Buffer
+	if err := trace.Write(&traceBuf, flows); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(flows) {
+		t.Fatalf("trace round trip lost flows: %d vs %d", len(loaded), len(flows))
+	}
+
+	plan, err := shbf.PlanMembership(len(loaded), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := shbf.NewMembership(plan.M, plan.K, shbf.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loaded {
+		filter.Add(loaded[i].ID[:])
+	}
+
+	// Ship the filter (the paper's build-offline / query-on-chip split).
+	blob, err := filter.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote shbf.Membership
+	if err := remote.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range loaded {
+		if !remote.Contains(loaded[i].ID[:]) {
+			t.Fatal("shipped filter lost a member")
+		}
+	}
+	fp := 0
+	negs := workload.Negatives(gen, 100000)
+	for _, e := range negs {
+		if remote.Contains(e) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(len(negs)); rate > 0.015 {
+		t.Fatalf("shipped filter FPR %.4f exceeds planned 0.01 target margin", rate)
+	}
+}
+
+func TestTraceToMultiplicityPipeline(t *testing.T) {
+	gen := trace.NewGenerator(43)
+	flows := gen.Multiset(15000, 57, 1.5)
+
+	plan, err := shbf.PlanMultiplicity(len(flows), 57, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := shbf.NewMultiplicity(plan.M, plan.K, 57, shbf.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if err := filter.AddWithCount(flows[i].ID[:], flows[i].Count); err != nil {
+			t.Fatal(err)
+		}
+	}
+	correct := 0
+	for i := range flows {
+		got := filter.Count(flows[i].ID[:])
+		if got < flows[i].Count {
+			t.Fatal("underestimate — impossible for ShBF_X")
+		}
+		if got == flows[i].Count {
+			correct++
+		}
+	}
+	cr := float64(correct) / float64(len(flows))
+	counts := make([]int, len(flows))
+	for i := range flows {
+		counts[i] = flows[i].Count
+	}
+	want := analytic.CRWorkload(plan.M, len(flows), plan.K, 57, counts)
+	if math.Abs(cr-want) > 0.02 {
+		t.Fatalf("member CR %.4f vs theory %.4f", cr, want)
+	}
+}
+
+func TestConcurrentGatewayScenario(t *testing.T) {
+	// The load-balance example's shape, concurrently: one goroutine
+	// updates a counting association filter while others could read a
+	// shipped static snapshot; plus a sharded membership filter under
+	// parallel query load. Run with -race.
+	gen := trace.NewGenerator(44)
+	members := trace.Bytes(gen.Distinct(30000))
+
+	shardedFilter, err := shbf.NewShardedMembership(1<<20, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(members); i += 8 {
+				shardedFilter.Add(members[i])
+			}
+			for i := 0; i < len(members); i += 16 {
+				shardedFilter.Contains(members[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if shardedFilter.N() != 30000 {
+		t.Fatalf("N = %d", shardedFilter.N())
+	}
+	for _, e := range members[:2000] {
+		if !shardedFilter.Contains(e) {
+			t.Fatal("false negative after concurrent build")
+		}
+	}
+}
+
+func TestDynamicAssociationLifecycle(t *testing.T) {
+	// CShBF_A as a gateway would use it: items appear on server 1, get
+	// replicated, then retire from server 1 — region answers must track.
+	a, err := shbf.NewCountingAssociation(60000, 8, shbf.WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewGenerator(45)
+	items := trace.Bytes(gen.Distinct(2000))
+
+	for _, it := range items {
+		if err := a.InsertS1(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items[:1000] { // replicate the popular half
+		if err := a.InsertS2(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items[:500] { // retire some from server 1
+		if err := a.DeleteS1(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, it := range items {
+		r := a.Query(it)
+		switch {
+		case i < 500: // only on server 2 now
+			if !r.Contains(shbf.RegionS2Only) {
+				t.Fatalf("item %d: %v missing S2−S1 truth", i, r)
+			}
+		case i < 1000: // replicated
+			if !r.Contains(shbf.RegionBoth) {
+				t.Fatalf("item %d: %v missing S1∩S2 truth", i, r)
+			}
+		default: // only on server 1
+			if !r.Contains(shbf.RegionS1Only) {
+				t.Fatalf("item %d: %v missing S1−S2 truth", i, r)
+			}
+		}
+	}
+
+	// Snapshot the dynamic filter and check the copy agrees.
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b shbf.CountingAssociation
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:100] {
+		if a.Query(it) != b.Query(it) {
+			t.Fatal("snapshot disagrees with original")
+		}
+	}
+}
+
+func TestHarnessEndToEnd(t *testing.T) {
+	// The full experiment harness at test scale: every runner produces
+	// renderable output (this is what cmd/shbench -fig all exercises).
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	cfg := experiment.Quick()
+	var out bytes.Buffer
+	for _, figs := range [][]*experiment.Figure{
+		experiment.RunFig3(cfg), experiment.RunFig4(cfg), experiment.RunFig7(cfg),
+		experiment.RunFig8(cfg), experiment.RunFig9(cfg), experiment.RunFig10(cfg),
+		experiment.RunFig11(cfg),
+	} {
+		for _, fig := range figs {
+			if err := fig.Render(&out); err != nil {
+				t.Fatal(err)
+			}
+			if err := fig.WriteCSV(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, tab := range []*experiment.Table{
+		experiment.RunTable2(cfg), experiment.RunUpdateTable(cfg),
+	} {
+		if err := tab.Render(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Len() < 5000 {
+		t.Fatalf("harness output implausibly small: %d bytes", out.Len())
+	}
+}

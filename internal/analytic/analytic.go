@@ -1,0 +1,120 @@
+// Package analytic implements every closed-form expression in the
+// paper's analysis sections, used both to plot the theory-only figures
+// (Figures 3 and 4) and to validate simulations against theory
+// (Figures 7, 10(a), 11(a)).
+//
+// Conventions: m is the filter size in bits, n the number of stored
+// elements, k the number of bit positions per element (a float64 so the
+// optimizers can treat it continuously, as the paper does), w̄ the
+// maximum offset value, and p = p′ = e^{−nk/m} the probability that a
+// bit is still 0 after construction (Equation 3).
+package analytic
+
+import "math"
+
+// P0 returns p′ = e^{−nk/m}, the probability a given bit remains 0 after
+// inserting n elements with k bit positions each (Equation 3; identical
+// for BF and ShBF_M because both set nk bits in expectation).
+func P0(m, n int, k float64) float64 {
+	return math.Exp(-float64(n) * k / float64(m))
+}
+
+// FPRBF returns the standard Bloom filter false-positive rate
+// f_BF = (1 − e^{−nk/m})^k (Equation 8).
+func FPRBF(m, n int, k float64) float64 {
+	return math.Pow(1-P0(m, n, k), k)
+}
+
+// FPRShBFM returns the ShBF_M false-positive rate of Theorem 1
+// (Equation 1):
+//
+//	f ≈ (1−p)^{k/2} · (1 − p + p²/(w̄−1))^{k/2},  p = e^{−nk/m}.
+//
+// As w̄ → ∞ this degenerates to Equation 8.
+func FPRShBFM(m, n int, k float64, wbar int) float64 {
+	p := P0(m, n, k)
+	return math.Pow(1-p, k/2) * math.Pow(1-p+p*p/float64(wbar-1), k/2)
+}
+
+// PairPassProbability returns the probability that one (base, shifted)
+// probe pair of a non-member passes: ρ = (1−p)(1−p+p²/(w̄−1)), so that
+// Equation 1 reads f = ρ^{k/2}. Used for the expected-access model of
+// Figure 8.
+func PairPassProbability(m, n int, k float64, wbar int) float64 {
+	p := P0(m, n, k)
+	return (1 - p) * (1 - p + p*p/float64(wbar-1))
+}
+
+// OptimalKBF returns the k minimizing f_BF: k = (m/n)·ln 2 (Section
+// 3.5).
+func OptimalKBF(m, n int) float64 {
+	return float64(m) / float64(n) * math.Ln2
+}
+
+// MinFPRBF returns the minimum f_BF ≈ 0.6185^{m/n} (Equation 9).
+func MinFPRBF(m, n int) float64 {
+	return math.Pow(0.5, OptimalKBF(m, n))
+}
+
+// OptimalKShBFM solves ∂f_ShBF_M/∂k = 0 numerically (the paper notes
+// no closed form exists, Section 3.4.2) by golden-section search over
+// the unimodal region. For w̄ = 57 the result is ≈ 0.7009·m/n.
+func OptimalKShBFM(m, n, wbar int) float64 {
+	f := func(k float64) float64 { return FPRShBFM(m, n, k, wbar) }
+	lo, hi := 0.1, 3*OptimalKBF(m, n)+2
+	return goldenMin(f, lo, hi, 1e-9)
+}
+
+// MinFPRShBFM returns the minimum of Equation 1 over k (Equation 7
+// evaluates to ≈ 0.6204^{m/n} for w̄ = 57).
+func MinFPRShBFM(m, n, wbar int) float64 {
+	return FPRShBFM(m, n, OptimalKShBFM(m, n, wbar), wbar)
+}
+
+// goldenMin minimizes a unimodal f over [lo, hi] to the given x
+// tolerance using golden-section search.
+func goldenMin(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949 // (√5 − 1)/2
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// FPRTShift returns the false-positive rate of the generalized t-shift
+// ShBF_M (Equations 11–12 / 20–21). t = 1 reduces to Equation 1; as
+// w̄ → ∞ it reduces to Equation 8 with effective k.
+//
+//	A = 1−p′, B = 1 − ((w̄−1−t)/(w̄−1))·p′
+//	f_group = (1/t)·A²·(A^t − B^t)/(A − B) + p′·B^t
+//	f = A^{k/(t+1)} · f_group^{k/(t+1)}
+func FPRTShift(m, n int, k float64, t, wbar int) float64 {
+	p := P0(m, n, k)
+	if p >= 1 {
+		return 0 // empty filter: nothing passes
+	}
+	a := 1 - p
+	b := 1 - float64(wbar-1-t)/float64(wbar-1)*p
+	tf := float64(t)
+	var fGroup float64
+	if math.Abs(a-b) < 1e-15 {
+		// A → B limit: (A^t − B^t)/(A−B) → t·A^{t−1}.
+		fGroup = a*a*math.Pow(a, tf-1) + p*math.Pow(b, tf)
+	} else {
+		fGroup = (1/tf)*a*a*(math.Pow(a, tf)-math.Pow(b, tf))/(a-b) + p*math.Pow(b, tf)
+	}
+	groups := k / float64(t+1)
+	return math.Pow(a, groups) * math.Pow(fGroup, groups)
+}

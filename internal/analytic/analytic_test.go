@@ -1,0 +1,361 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestP0(t *testing.T) {
+	// n=0 ⇒ all bits zero.
+	if got := P0(1000, 0, 8); got != 1 {
+		t.Fatalf("P0(n=0) = %v, want 1", got)
+	}
+	// Known value: e^{−1}.
+	if got := P0(8000, 1000, 8); !approxEqual(got, math.Exp(-1), 1e-12) {
+		t.Fatalf("P0 = %v, want e^-1", got)
+	}
+}
+
+func TestFPRBFKnownValues(t *testing.T) {
+	// At k = (m/n)ln2, f = 0.5^k.
+	m, n := 100000, 10000
+	k := OptimalKBF(m, n)
+	if got, want := FPRBF(m, n, k), math.Pow(0.5, k); !approxEqual(got, want, 1e-9) {
+		t.Fatalf("FPRBF at optimum = %v, want %v", got, want)
+	}
+}
+
+func TestFPRShBFMLimits(t *testing.T) {
+	// w̄ → ∞ reduces Equation 1 to Equation 8.
+	m, n, k := 100000, 10000, 8.0
+	bf := FPRBF(m, n, k)
+	sh := FPRShBFM(m, n, k, 1<<30)
+	if !approxEqual(bf, sh, 1e-6) {
+		t.Fatalf("w̄→∞: ShBF %v vs BF %v", sh, bf)
+	}
+	// Finite w̄ is always ≥ the BF rate (the correlation penalty).
+	for _, wbar := range []int{8, 20, 57} {
+		if FPRShBFM(m, n, k, wbar) < bf {
+			t.Fatalf("w̄=%d: ShBF FPR below BF FPR", wbar)
+		}
+	}
+	// Monotone non-increasing in w̄.
+	prev := FPRShBFM(m, n, k, 4)
+	for wbar := 5; wbar < 200; wbar++ {
+		cur := FPRShBFM(m, n, k, wbar)
+		if cur > prev+1e-15 {
+			t.Fatalf("FPR increased from w̄=%d to %d", wbar-1, wbar)
+		}
+		prev = cur
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// Figure 3's observation: by w̄ = 20 the ShBF_M FPR curve has
+	// flattened onto the BF line (m=100000, n=10000, k ∈ {4,8,12}).
+	// Quantitatively the residual gap is ≤ ~15% at k=4 and shrinks both
+	// in w̄ and in k; at the paper's operating point w̄ = 57 it is ≤ 6%.
+	for _, k := range []float64{4, 8, 12} {
+		bf := FPRBF(100000, 10000, k)
+		at20 := FPRShBFM(100000, 10000, k, 20)
+		at57 := FPRShBFM(100000, 10000, k, 57)
+		if gap := (at20 - bf) / bf; gap > 0.16 {
+			t.Fatalf("k=%v: w̄=20 gap %.3f above BF, want ≤ 0.16", k, gap)
+		}
+		if gap := (at57 - bf) / bf; gap > 0.06 {
+			t.Fatalf("k=%v: w̄=57 gap %.3f above BF, want ≤ 0.06", k, gap)
+		}
+		if at57 > at20 {
+			t.Fatalf("k=%v: FPR did not shrink from w̄=20 to 57", k)
+		}
+	}
+}
+
+func TestOptimalKShBFMMatchesPaper(t *testing.T) {
+	// Section 3.4.2: for w̄ = 57, k_opt ≈ 0.7009·m/n and
+	// f_min ≈ 0.6204^{m/n}.
+	m, n := 100000, 10000
+	kopt := OptimalKShBFM(m, n, 57)
+	wantK := 0.7009 * float64(m) / float64(n)
+	if math.Abs(kopt-wantK) > 0.02*wantK {
+		t.Fatalf("k_opt = %.4f, paper says %.4f", kopt, wantK)
+	}
+	fmin := MinFPRShBFM(m, n, 57)
+	wantF := math.Pow(0.6204, float64(m)/float64(n))
+	if !approxEqual(fmin, wantF, 0.02) {
+		t.Fatalf("f_min = %.6g, paper says %.6g", fmin, wantF)
+	}
+}
+
+func TestMinFPRBFMatchesPaper(t *testing.T) {
+	// Equation 9: f_min ≈ 0.6185^{m/n}.
+	m, n := 100000, 10000
+	got := MinFPRBF(m, n)
+	want := math.Pow(0.6185, float64(m)/float64(n))
+	if !approxEqual(got, want, 0.01) {
+		t.Fatalf("MinFPRBF = %.6g, want %.6g", got, want)
+	}
+}
+
+func TestShBFMNearBFAtOptimum(t *testing.T) {
+	// The paper's headline: minimum FPRs are practically equal
+	// (0.6204 vs 0.6185 per unit m/n — within 2.5% at m/n = 10... the
+	// gap compounds, so compare the per-unit bases).
+	m, n := 100000, 10000
+	ratio := math.Pow(MinFPRShBFM(m, n, 57)/MinFPRBF(m, n), float64(n)/float64(m))
+	if ratio < 1.0 || ratio > 1.01 {
+		t.Fatalf("per-unit base ratio %.5f, want within (1, 1.01]", ratio)
+	}
+}
+
+func TestOptimalKUnimodality(t *testing.T) {
+	// Property: FPRShBFM is decreasing before kopt and increasing after
+	// (checked on a coarse grid), so golden-section is applicable.
+	m, n := 50000, 5000
+	kopt := OptimalKShBFM(m, n, 57)
+	for k := 1.0; k < kopt-0.5; k += 0.5 {
+		if FPRShBFM(m, n, k, 57) < FPRShBFM(m, n, k+0.5, 57) {
+			t.Fatalf("not decreasing at k=%v < kopt=%v", k, kopt)
+		}
+	}
+	for k := kopt + 0.5; k < kopt+5; k += 0.5 {
+		if FPRShBFM(m, n, k, 57) > FPRShBFM(m, n, k+0.5, 57) {
+			t.Fatalf("not increasing at k=%v > kopt=%v", k, kopt)
+		}
+	}
+}
+
+func TestFPRTShiftReducesToEq1(t *testing.T) {
+	// t = 1 must equal Equation 1 exactly.
+	for _, k := range []float64{4, 8, 12} {
+		for _, wbar := range []int{20, 57} {
+			a := FPRTShift(100000, 10000, k, 1, wbar)
+			b := FPRShBFM(100000, 10000, k, wbar)
+			if !approxEqual(a, b, 1e-9) {
+				t.Fatalf("k=%v w̄=%d: t-shift %v vs Eq1 %v", k, wbar, a, b)
+			}
+		}
+	}
+}
+
+func TestFPRTShiftLimitsToBF(t *testing.T) {
+	// w̄ → ∞: B → 1−p′·(1) → wait, (w̄−1−t)/(w̄−1) → 1, so B → 1−p′ = A,
+	// f_group → A^{t+1}·…; overall f → (1−p′)^k — the BF formula.
+	m, n, k := 100000, 10000, 12.0
+	bf := FPRBF(m, n, k)
+	for _, tt := range []int{1, 2, 3} {
+		got := FPRTShift(m, n, k, tt, 1<<26)
+		if !approxEqual(got, bf, 1e-4) {
+			t.Fatalf("t=%d w̄→∞: %v vs BF %v", tt, got, bf)
+		}
+	}
+}
+
+func TestFPRTShiftMonotoneInT(t *testing.T) {
+	// More shifting (fewer independent hashes) cannot decrease FPR.
+	m, n, k := 100000, 10000, 12.0
+	f1 := FPRTShift(m, n, k, 1, 57)
+	f2 := FPRTShift(m, n, k, 2, 57)
+	f3 := FPRTShift(m, n, k, 3, 57)
+	if f2 < f1-1e-15 || f3 < f2-1e-15 {
+		t.Fatalf("FPR not monotone in t: %v %v %v", f1, f2, f3)
+	}
+}
+
+func TestFPRTShiftEmptyFilter(t *testing.T) {
+	if got := FPRTShift(1000, 0, 4, 2, 57); got != 0 {
+		t.Fatalf("empty filter FPR = %v, want 0", got)
+	}
+}
+
+func TestAssocOutcomeProbsSumToOne(t *testing.T) {
+	// P1 + 2·P4 + P7 = 1 (the paper's validation of Equation 25).
+	f := func(kRaw uint8) bool {
+		k := int(kRaw)%16 + 1
+		q := PhantomProbAtOptimal(k)
+		p1, p4, p7 := AssocOutcomeProbs(q)
+		return math.Abs(p1+2*p4+p7-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocPaperExample(t *testing.T) {
+	// Section 4.4 example at k = 10: P1 ≈ 0.998, P4 ≈ 9.756e-4,
+	// P7 ≈ 9.54e-7.
+	q := PhantomProbAtOptimal(10)
+	p1, p4, p7 := AssocOutcomeProbs(q)
+	if !approxEqual(p1, 0.998, 0.001) {
+		t.Errorf("P1 = %v, want ≈0.998", p1)
+	}
+	if !approxEqual(p4, 9.756e-4, 0.01) {
+		t.Errorf("P4 = %v, want ≈9.756e-4", p4)
+	}
+	if !approxEqual(p7, 9.54e-7, 0.01) {
+		t.Errorf("P7 = %v, want ≈9.54e-7", p7)
+	}
+}
+
+func TestClearProbs(t *testing.T) {
+	// Figure 10(a): at k=8, ShBF_A ≈ 99%, iBF ≈ 66%.
+	if got := ClearProbShBFA(8); !approxEqual(got, 0.992, 0.01) {
+		t.Errorf("ClearProbShBFA(8) = %v", got)
+	}
+	if got := ClearProbIBF(8); !approxEqual(got, 0.664, 0.01) {
+		t.Errorf("ClearProbIBF(8) = %v", got)
+	}
+	// ShBF_A always beats iBF — the 1.47× headline.
+	for k := 2; k <= 18; k++ {
+		if ClearProbShBFA(k) <= ClearProbIBF(k) {
+			t.Fatalf("k=%d: ShBF_A clear prob not above iBF", k)
+		}
+	}
+	ratio := ClearProbShBFA(4) / ClearProbIBF(4)
+	if ratio < 1.4 || ratio > 1.6 {
+		t.Errorf("small-k clear-prob ratio %v, paper cites ≈1.47", ratio)
+	}
+}
+
+func TestPhantomProbConsistency(t *testing.T) {
+	// At m = n′k/ln2, PhantomProb ≈ 0.5^k.
+	k := 10
+	n := 10000
+	m := int(float64(n) * float64(k) / math.Ln2)
+	got := PhantomProb(m, n, k)
+	want := PhantomProbAtOptimal(k)
+	if !approxEqual(got, want, 0.05) {
+		t.Fatalf("PhantomProb = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestComputeTable2(t *testing.T) {
+	tab := ComputeTable2(1000, 1000, 250, 8)
+	if tab.HashOpsIBF != 16 || tab.HashOpsShBFA != 10 {
+		t.Errorf("hash ops %d/%d", tab.HashOpsIBF, tab.HashOpsShBFA)
+	}
+	if tab.AccessesIBF != 16 || tab.AccessesShBFA != 8 {
+		t.Errorf("accesses %d/%d", tab.AccessesIBF, tab.AccessesShBFA)
+	}
+	if tab.MemoryBitsShBFA >= tab.MemoryBitsIBF {
+		t.Error("ShBF_A must need less memory when sets overlap")
+	}
+	// Overlap n3 = 250 of 2000: memory ratio 1750/2000 = 7/8 — the
+	// paper's "iBF uses 1/7 times more memory" setup inverted.
+	if !approxEqual(tab.MemoryBitsIBF/tab.MemoryBitsShBFA, 8.0/7, 1e-9) {
+		t.Errorf("memory ratio %v, want 8/7", tab.MemoryBitsIBF/tab.MemoryBitsShBFA)
+	}
+	if !tab.FalsePositivesIBF || tab.FalsePositivesShBFA {
+		t.Error("FP flags wrong")
+	}
+}
+
+func TestMultiplicityFormulas(t *testing.T) {
+	m, n, k, c := 100000, 5000, 8, 57
+	f0 := MultF0(m, n, k)
+	if f0 <= 0 || f0 >= 1 {
+		t.Fatalf("f0 = %v out of (0,1)", f0)
+	}
+	if got, want := CRNonMember(m, n, k, c), math.Pow(1-f0, float64(c)); !approxEqual(got, want, 1e-12) {
+		t.Errorf("CRNonMember = %v, want %v", got, want)
+	}
+	// CRMember decreasing in j; CRMemberExact increasing in j.
+	for j := 2; j <= c; j++ {
+		if CRMember(m, n, k, j) > CRMember(m, n, k, j-1) {
+			t.Fatal("CRMember not non-increasing in j")
+		}
+		if CRMemberExact(m, n, k, c, j) < CRMemberExact(m, n, k, c, j-1) {
+			t.Fatal("CRMemberExact not non-decreasing in j")
+		}
+	}
+	// j = 1 member: paper form gives exactly 1.
+	if got := CRMember(m, n, k, 1); got != 1 {
+		t.Errorf("CRMember(j=1) = %v, want 1", got)
+	}
+	// j = c member: exact form gives exactly 1 (no positions above c).
+	if got := CRMemberExact(m, n, k, c, c); got != 1 {
+		t.Errorf("CRMemberExact(j=c) = %v, want 1", got)
+	}
+}
+
+func TestCRWorkloadAveragesAgree(t *testing.T) {
+	// For uniform multiplicities over [1,c], the mean of (1−f0)^{j−1}
+	// equals the mean of (1−f0)^{c−j} — the identity that makes the
+	// paper's Figure 11(a) fit either form.
+	m, n, k, c := 100000, 5000, 8, 57
+	var paperMean, exactMean float64
+	counts := make([]int, 0, c)
+	for j := 1; j <= c; j++ {
+		paperMean += CRMember(m, n, k, j)
+		counts = append(counts, j)
+	}
+	paperMean /= float64(c)
+	exactMean = CRWorkload(m, n, k, c, counts)
+	if !approxEqual(paperMean, exactMean, 1e-12) {
+		t.Fatalf("uniform means differ: paper %v vs exact %v", paperMean, exactMean)
+	}
+	if got := CRWorkload(m, n, k, c, nil); got != 1 {
+		t.Fatalf("empty workload CR = %v, want 1", got)
+	}
+}
+
+func TestExpectedAccesses(t *testing.T) {
+	m, n, k := 33024, 1000, 8.0
+
+	// Members: BF costs k, ShBF_M costs k/2 exactly.
+	if got := ExpectedAccessesBF(m, n, k, 1); got != k {
+		t.Errorf("BF member accesses = %v, want %v", got, k)
+	}
+	if got := ExpectedAccessesShBFM(m, n, k, 57, 1); got != k/2 {
+		t.Errorf("ShBF member accesses = %v, want %v", got, k/2)
+	}
+
+	// Mixed 50/50 workload: ShBF_M ≈ half of BF (Figure 8's claim).
+	bf := ExpectedAccessesBF(m, n, k, 0.5)
+	sh := ExpectedAccessesShBFM(m, n, k, 57, 0.5)
+	if ratio := sh / bf; ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("mixed access ratio %v, want ≈0.5", ratio)
+	}
+
+	// Non-member expected probes are in [1, k].
+	neg := ExpectedAccessesBF(m, n, k, 0)
+	if neg < 1 || neg > k {
+		t.Errorf("BF negative accesses %v out of [1,k]", neg)
+	}
+}
+
+func TestExpectedAccessesIBFvsShBFA(t *testing.T) {
+	// Figure 10(b): ShBF_A ≈ 0.66× iBF accesses.
+	k := 8
+	n1, n2 := 100000, 100000
+	m1 := int(float64(n1) * float64(k) / math.Ln2)
+	ibf := ExpectedAccessesIBF(m1, n1, m1, n2, k)
+	shbf := ExpectedAccessesShBFA(k)
+	if ratio := shbf / ibf; ratio < 0.5 || ratio > 0.8 {
+		t.Fatalf("access ratio %v, paper cites ≈0.66", ratio)
+	}
+}
+
+func TestExpectedAccessesShBFX(t *testing.T) {
+	// Members cost k·⌈c/w⌉; with c=57, w=64 that is k.
+	got := ExpectedAccessesShBFX(100000, 5000, 8, 57, 1, 64)
+	if got != 8 {
+		t.Fatalf("member ShBF_X accesses = %v, want 8", got)
+	}
+	// Counter schemes cost k for members.
+	if got := ExpectedAccessesCounterScheme(100000, 5000, 8, 1); got != 8 {
+		t.Fatalf("counter-scheme member accesses = %v, want 8", got)
+	}
+}
+
+func TestGoldenMinFindsParabolaMinimum(t *testing.T) {
+	got := goldenMin(func(x float64) float64 { return (x - 3.7) * (x - 3.7) }, 0, 10, 1e-10)
+	if math.Abs(got-3.7) > 1e-6 {
+		t.Fatalf("goldenMin = %v, want 3.7", got)
+	}
+}

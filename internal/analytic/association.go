@@ -1,0 +1,104 @@
+package analytic
+
+import "math"
+
+// This file implements the association-query analysis of paper Section
+// 4.4–4.5 (Equation 25 and Table 2).
+
+// AssocOutcomeProbs returns the probabilities of the seven ShBF_A query
+// outcomes at a given phantom-region probability q — the probability
+// that all k bits of a *wrong* region's offset are 1. At the optimal
+// operating point p′ = 0.5 and q = 0.5^k (Equation 25):
+//
+//	P1 = P2 = P3 = (1−q)²   (clear answers)
+//	P4 = P5 = P6 = q(1−q)   (answers with incomplete information)
+//	P7 = q²                 (no information)
+//
+// P1 + 2·P4 + P7 = 1, as the paper verifies.
+func AssocOutcomeProbs(q float64) (pClear, pPartial, pNone float64) {
+	return (1 - q) * (1 - q), q * (1 - q), q * q
+}
+
+// PhantomProbAtOptimal returns q = 0.5^k, the phantom-region probability
+// at the optimal fill p′ = 0.5 (Section 4.4).
+func PhantomProbAtOptimal(k int) float64 {
+	return math.Pow(0.5, float64(k))
+}
+
+// PhantomProb returns the phantom-region probability for an arbitrary
+// fill: q = (1−p′)^k with p′ = (1−1/m)^{kn′} (Equation 24), where n′ is
+// the number of distinct elements in S1 ∪ S2.
+func PhantomProb(m, nDistinct, k int) float64 {
+	pPrime := math.Pow(1-1/float64(m), float64(k)*float64(nDistinct))
+	return math.Pow(1-pPrime, float64(k))
+}
+
+// ClearProbShBFA returns ShBF_A's probability of a clear answer,
+// (1 − 0.5^k)² at the optimum (Table 2).
+func ClearProbShBFA(k int) float64 {
+	q := PhantomProbAtOptimal(k)
+	return (1 - q) * (1 - q)
+}
+
+// ClearProbMultiShBFA returns the clear-answer probability of the g-set
+// MultiAssociation extension at the optimal fill: with R = 2^g − 1
+// regions, the true region always survives and each of the R−1 phantom
+// regions independently survives with probability q = 0.5^k, so
+// P(clear) = (1 − 0.5^k)^{R−1}. g = 2 recovers ShBF_A's (1−0.5^k)².
+func ClearProbMultiShBFA(g, k int) float64 {
+	regions := 1<<g - 1
+	return math.Pow(1-math.Pow(0.5, float64(k)), float64(regions-1))
+}
+
+// ClearProbIBF returns iBF's probability of a clear answer,
+// (2/3)(1 − 0.5^k) at the optimum with queries uniform over the three
+// regions (Table 2): exclusive-region queries are clear unless the
+// other filter false-positives, and intersection queries are never
+// clear because a double positive is unverifiable.
+func ClearProbIBF(k int) float64 {
+	return 2.0 / 3 * (1 - math.Pow(0.5, float64(k)))
+}
+
+// Table2 captures the analytic comparison of ShBF_A and iBF for given
+// set sizes (paper Table 2). n1, n2 are |S1|, |S2|; n3 = |S1 ∩ S2|.
+type Table2 struct {
+	K int
+
+	// Optimal memory in bits: iBF needs (n1+n2)·k/ln2 across two
+	// filters; ShBF_A needs (n1+n2−n3)·k/ln2 in one.
+	MemoryBitsIBF   float64
+	MemoryBitsShBFA float64
+
+	// Per-query hash computations: 2k vs k+2.
+	HashOpsIBF   int
+	HashOpsShBFA int
+
+	// Per-query worst-case memory accesses: 2k vs k.
+	AccessesIBF   int
+	AccessesShBFA int
+
+	// Probability of a clear answer at the optimum.
+	ClearProbIBF   float64
+	ClearProbShBFA float64
+
+	// Whether declared answers can be false positives.
+	FalsePositivesIBF   bool
+	FalsePositivesShBFA bool
+}
+
+// ComputeTable2 evaluates Table 2 for the given set sizes and k.
+func ComputeTable2(n1, n2, n3, k int) Table2 {
+	return Table2{
+		K:                   k,
+		MemoryBitsIBF:       float64(n1+n2) * float64(k) / math.Ln2,
+		MemoryBitsShBFA:     float64(n1+n2-n3) * float64(k) / math.Ln2,
+		HashOpsIBF:          2 * k,
+		HashOpsShBFA:        k + 2,
+		AccessesIBF:         2 * k,
+		AccessesShBFA:       k,
+		ClearProbIBF:        ClearProbIBF(k),
+		ClearProbShBFA:      ClearProbShBFA(k),
+		FalsePositivesIBF:   true,
+		FalsePositivesShBFA: false,
+	}
+}

@@ -1,0 +1,60 @@
+package analytic
+
+// This file addresses the paper's Section 3.4.1 aside: Bloom's classic
+// FPR formula (Equation 8) "is slightly flawed" — Bose et al. (2008)
+// showed it underestimates the true rate, and Christensen et al. (2010)
+// gave the exact expression. The paper keeps Bloom's formula because
+// "the error … is negligible"; ExactFPRBF lets the reproduction verify
+// that negligibility instead of taking it on faith.
+//
+// Rather than evaluating Christensen's closed form (which needs
+// Stirling numbers of the second kind and arbitrary precision), we
+// compute the same quantity by dynamic programming over the occupancy
+// distribution: after t balls (bit-set operations) land uniformly in m
+// bins, track P[X_t = i] for the number i of occupied bins. A false
+// positive for a fresh element is then E[(X_{kn}/m)^k].
+
+// ExactFPRBF returns the exact standard-BF false-positive rate for n
+// elements, k hash functions and m bits, under the usual uniform-and-
+// independent hashing model. Complexity is O(k·n·m) time and O(m)
+// space — fine for the paper-scale parameters used in tests; prefer
+// FPRBF (Equation 8) in hot paths.
+func ExactFPRBF(m, n, k int) float64 {
+	if m <= 0 || k <= 0 {
+		return 0
+	}
+	if n <= 0 {
+		return 0
+	}
+	balls := k * n
+	// occ[i] = P[X = i occupied bins]; starts at X = 0 with certainty.
+	occ := make([]float64, m+1)
+	occ[0] = 1
+	mf := float64(m)
+	maxOcc := 0
+	for t := 0; t < balls; t++ {
+		if maxOcc < m {
+			maxOcc++
+		}
+		// Update in place from high to low: X stays i (ball hits an
+		// occupied bin, prob i/m) or moves i-1 → i (prob (m-i+1)/m).
+		for i := maxOcc; i >= 1; i-- {
+			occ[i] = occ[i]*float64(i)/mf + occ[i-1]*float64(m-i+1)/mf
+		}
+		occ[0] = 0
+	}
+	// FPR = Σ_i P[X=i]·(i/m)^k.
+	fpr := 0.0
+	for i := 1; i <= maxOcc; i++ {
+		if occ[i] == 0 {
+			continue
+		}
+		frac := float64(i) / mf
+		p := 1.0
+		for j := 0; j < k; j++ {
+			p *= frac
+		}
+		fpr += occ[i] * p
+	}
+	return fpr
+}

@@ -1,0 +1,83 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactFPRBFDegenerateCases(t *testing.T) {
+	if got := ExactFPRBF(0, 10, 4); got != 0 {
+		t.Errorf("m=0: %v", got)
+	}
+	if got := ExactFPRBF(100, 0, 4); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	// One bit, one element: the bit is certainly set, FPR = 1.
+	if got := ExactFPRBF(1, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("m=k=n=1: %v, want 1", got)
+	}
+}
+
+func TestExactFPRBFTinyCaseByHand(t *testing.T) {
+	// m=2, n=1, k=1: the single ball occupies one of two bins; a fresh
+	// element hits it with probability 1/2.
+	if got := ExactFPRBF(2, 1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+	// m=2, n=1, k=2: two balls. X=1 w.p. 1/2 (both in same bin), X=2
+	// w.p. 1/2. FPR = 1/2·(1/2)² + 1/2·1 = 0.625.
+	if got := ExactFPRBF(2, 1, 2); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("got %v, want 0.625", got)
+	}
+}
+
+func TestBloomFormulaUnderestimates(t *testing.T) {
+	// Bose et al.: Bloom's formula is a (strict, for k ≥ 2) lower bound
+	// on the true FPR. Verify across parameter mixes.
+	cases := []struct{ m, n, k int }{
+		{128, 10, 2}, {1000, 80, 4}, {1000, 100, 7}, {4096, 300, 8}, {512, 64, 3},
+	}
+	for _, c := range cases {
+		exact := ExactFPRBF(c.m, c.n, c.k)
+		bloom := FPRBF(c.m, c.n, float64(c.k))
+		if bloom > exact {
+			t.Errorf("m=%d n=%d k=%d: Bloom %.6g above exact %.6g", c.m, c.n, c.k, bloom, exact)
+		}
+	}
+}
+
+func TestBloomFormulaErrorNegligible(t *testing.T) {
+	// The paper's justification for keeping Equation 8: "the error of
+	// Bloom's formula is negligible" at realistic sizes. At m in the
+	// thousands the relative error is well under 2%.
+	cases := []struct{ m, n, k int }{
+		{4096, 300, 8}, {8192, 700, 6}, {22008, 1500, 8},
+	}
+	for _, c := range cases {
+		exact := ExactFPRBF(c.m, c.n, c.k)
+		bloom := FPRBF(c.m, c.n, float64(c.k))
+		if rel := (exact - bloom) / exact; rel > 0.02 {
+			t.Errorf("m=%d n=%d k=%d: relative error %.4f not negligible", c.m, c.n, c.k, rel)
+		}
+	}
+}
+
+func TestExactFPRMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 10; n <= 100; n += 10 {
+		cur := ExactFPRBF(1024, n, 4)
+		if cur <= prev {
+			t.Fatalf("exact FPR not increasing at n=%d: %v ≤ %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestExactOccupancyMass(t *testing.T) {
+	// Internal sanity via an external property: FPR must be ≤ 1 and the
+	// all-bins-set limit reached as n grows huge relative to m.
+	got := ExactFPRBF(32, 500, 4) // 2000 balls in 32 bins: all set
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("saturated filter FPR %v, want ≈1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package baseline
+
+// Tests tying the baselines' measured memory accesses to the analytic
+// expected-access models of internal/analytic — the link Figures 8 and
+// 10(b) depend on.
+
+import (
+	"math"
+	"testing"
+
+	"shbf/internal/analytic"
+	"shbf/internal/memmodel"
+)
+
+func TestBFExpectedAccessesMatchModel(t *testing.T) {
+	const m, n, k = 33024, 1000, 8
+	var acc memmodel.Counter
+	f, err := NewBF(m, k, baselineSeed(1), WithAccessCounter(&acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := genElements(n, 1)
+	for _, e := range members {
+		f.Add(e)
+	}
+
+	// Negatives only.
+	negs := genDisjoint(50000, 2)
+	acc.Reset()
+	for _, e := range negs {
+		f.Contains(e)
+	}
+	gotNeg := float64(acc.Reads()) / float64(len(negs))
+	wantNeg := analytic.ExpectedAccessesBF(m, n, k, 0)
+	if math.Abs(gotNeg-wantNeg)/wantNeg > 0.05 {
+		t.Fatalf("negative accesses %.3f vs model %.3f", gotNeg, wantNeg)
+	}
+
+	// Members: always exactly k.
+	acc.Reset()
+	for _, e := range members {
+		f.Contains(e)
+	}
+	gotMem := float64(acc.Reads()) / float64(len(members))
+	if gotMem != k {
+		t.Fatalf("member accesses %.3f, want exactly %d", gotMem, k)
+	}
+}
+
+func TestIBFExpectedAccessesMatchModel(t *testing.T) {
+	const n, k = 5000, 8
+	nf := float64(n)
+	m := int(nf * k / math.Ln2)
+	s1only, both, s2only := buildIBFSets(n*3/4, n/4, n*3/4, 3)
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	m1 := int(float64(len(s1)) * k / math.Ln2)
+	var acc memmodel.Counter
+	f, err := BuildIBF(s1, s2, m1, m1, k, baselineSeed(5), WithAccessCounter(&acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+
+	queries := 0
+	acc.Reset()
+	limit := n / 4
+	for _, group := range [][][]byte{s1only[:limit], both[:limit], s2only[:limit]} {
+		for _, e := range group {
+			f.Query(e)
+			queries++
+		}
+	}
+	got := float64(acc.Reads()) / float64(queries)
+	want := analytic.ExpectedAccessesIBF(m1, len(s1), m1, len(s2), k)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("iBF accesses %.3f vs model %.3f", got, want)
+	}
+}
+
+// baselineSeed keeps the option noise down in tests.
+func baselineSeed(s uint64) Option { return WithSeed(s) }

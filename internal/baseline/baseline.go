@@ -1,0 +1,141 @@
+// Package baseline implements every comparator scheme of the paper's
+// evaluation, plus the related-work schemes used in ablations:
+//
+//   - BF — the standard Bloom filter [Bloom 1970], the membership
+//     baseline of Figures 4, 8 and 9.
+//   - CBF — the counting Bloom filter [Fan et al. 2000].
+//   - OneMemBF — "1MemBF", the one-memory-access Bloom filter of Qiao
+//     et al. [17], "the state-of-the-art in membership query BFs"
+//     (Figures 7 and 9).
+//   - KMBF — the Kirsch–Mitzenmacher double-hashing Bloom filter [13]
+//     ("less hashing, same performance"), a related-work ablation.
+//   - IBF — "iBF", one individual Bloom filter per set, the association
+//     baseline of Figure 10 and Table 2.
+//   - SpectralBF — the Spectral Bloom Filter of Cohen & Matias [8]
+//     (basic and minimum-increase variants), the multiplicity baseline
+//     of Figure 11.
+//   - CMSketch — the count-min sketch of Cormode & Muthukrishnan [9],
+//     the second multiplicity baseline of Figure 11.
+//   - CuckooFilter — the cuckoo filter of Fan et al. [10], discussed in
+//     related work (Section 2.1); included for extension benchmarks.
+//   - DCF — Dynamic Count Filters of Aguilar-Saborit et al. [2],
+//     discussed in related work (Section 2.3).
+//
+// All schemes share the element convention ([]byte) and, where
+// meaningful, the memory-access accounting of package memmodel so they
+// are compared under exactly the model the paper uses.
+package baseline
+
+import (
+	"fmt"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/hashing"
+	"shbf/internal/memmodel"
+)
+
+// BF is the standard Bloom filter: k independent hash functions, one bit
+// per function per element. Each query probe touches an independent
+// random bit, so a probe is one memory access — the 2× gap to ShBF_M.
+type BF struct {
+	bits *bitvec.Vector
+	m    int
+	k    int
+	fam  *hashing.Family
+	n    int
+}
+
+// NewBF returns an empty m-bit Bloom filter with k hash functions.
+func NewBF(m, k int, opts ...Option) (*BF, error) {
+	cfg := applyOptions(opts)
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d must be ≥ 1", k)
+	}
+	f := &BF{
+		bits: bitvec.New(m),
+		m:    m,
+		k:    k,
+		fam:  hashing.NewFamily(k, cfg.seed),
+	}
+	f.bits.SetCounter(cfg.counter)
+	return f, nil
+}
+
+// M, K and N report the parameters and the insert count.
+func (f *BF) M() int { return f.m }
+func (f *BF) K() int { return f.k }
+func (f *BF) N() int { return f.n }
+
+// SizeBytes returns the bit-array footprint.
+func (f *BF) SizeBytes() int { return f.bits.SizeBytes() }
+
+// FillRatio returns the fraction of set bits.
+func (f *BF) FillRatio() float64 { return f.bits.FillRatio() }
+
+// HashOpsPerQuery returns k, the worst-case hashing budget.
+func (f *BF) HashOpsPerQuery() int { return f.k }
+
+// Add inserts e, setting k bits.
+func (f *BF) Add(e []byte) {
+	for i := 0; i < f.k; i++ {
+		f.bits.Set(f.fam.Mod(i, e, f.m))
+	}
+	f.n++
+}
+
+// Contains reports whether e may be in the set, probing bit by bit with
+// early termination; hash values are computed lazily so a first-probe
+// miss costs one hash computation and one memory access.
+func (f *BF) Contains(e []byte) bool {
+	for i := 0; i < f.k; i++ {
+		if !f.bits.Bit(f.fam.Mod(i, e, f.m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *BF) Reset() {
+	f.bits.Reset()
+	f.n = 0
+}
+
+// config and Option mirror the core package's functional options for the
+// subset that applies to baselines.
+type config struct {
+	seed         uint64
+	counter      *memmodel.Counter
+	counterWidth uint
+}
+
+func applyOptions(opts []Option) config {
+	cfg := config{seed: 0xba5e_0000, counterWidth: 4}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Option customizes baseline construction.
+type Option func(*config)
+
+// WithSeed sets the hash-family seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithAccessCounter attaches a memory-access counter to the scheme's
+// storage.
+func WithAccessCounter(mc *memmodel.Counter) Option {
+	return func(c *config) { c.counter = mc }
+}
+
+// WithCounterWidth sets counter bit width for counting schemes
+// (default 4; the paper's Figure 11 uses 6 for Spectral BF / CM sketch).
+func WithCounterWidth(bits uint) Option {
+	return func(c *config) { c.counterWidth = bits }
+}

@@ -1,0 +1,272 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shbf/internal/memmodel"
+)
+
+// genElements returns n distinct 13-byte pseudo flow IDs.
+func genElements(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 13)
+		rng.Read(b)
+		b[0], b[1], b[2], b[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		out[i] = b
+	}
+	return out
+}
+
+func genDisjoint(n int, seed int64) [][]byte {
+	out := genElements(n, seed)
+	for _, e := range out {
+		e[12] = 0xFF
+	}
+	return out
+}
+
+func TestBFValidation(t *testing.T) {
+	if _, err := NewBF(0, 4); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewBF(100, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestBFNoFalseNegatives(t *testing.T) {
+	f, err := NewBF(10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(800, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+	if f.N() != 800 {
+		t.Fatalf("N = %d", f.N())
+	}
+}
+
+func TestBFFPRMatchesTheory(t *testing.T) {
+	// Equation (8): f_BF ≈ (1−e^{−nk/m})^k.
+	const m, k, n, probes = 22008, 8, 1500, 400000
+	f, err := NewBF(m, k, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genElements(n, 2) {
+		f.Add(e)
+	}
+	fp := 0
+	for _, e := range genDisjoint(probes, 3) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := math.Pow(1-math.Exp(-float64(n)*k/float64(m)), k)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("measured FPR %.5f vs theory %.5f", got, want)
+	}
+}
+
+func TestBFAccessCounting(t *testing.T) {
+	// BF pays one access per probed bit: k for members (Section 1.2.1),
+	// versus ShBF_M's k/2 — the claim behind Figure 8.
+	var acc memmodel.Counter
+	const k = 8
+	f, err := NewBF(10000, k, WithAccessCounter(&acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("member")
+	f.Add(e)
+	acc.Reset()
+	if !f.Contains(e) {
+		t.Fatal("member missing")
+	}
+	if got := acc.Reads(); got != k {
+		t.Fatalf("member query cost %d accesses, want %d", got, k)
+	}
+	f.Reset()
+	acc.Reset()
+	f.Contains(e)
+	if got := acc.Reads(); got != 1 {
+		t.Fatalf("empty-filter miss cost %d accesses, want 1", got)
+	}
+}
+
+func TestCBFInsertDelete(t *testing.T) {
+	f, err := NewCBF(10000, 6, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(400, 4)
+	for _, e := range elems {
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+	for _, e := range elems {
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After full teardown the filter must be empty: no original element
+	// may still appear present.
+	for _, e := range elems {
+		if f.Contains(e) {
+			t.Fatal("element survives delete")
+		}
+	}
+	if err := f.Delete(elems[0]); err != ErrNotStored {
+		t.Fatalf("over-delete = %v, want ErrNotStored", err)
+	}
+}
+
+func TestCBFSaturationRollback(t *testing.T) {
+	f, err := NewCBF(1000, 4, WithCounterWidth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("x")
+	if err := f.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(e); err != ErrSaturated {
+		t.Fatalf("second insert = %v, want ErrSaturated", err)
+	}
+	if !f.Contains(e) {
+		t.Fatal("rollback corrupted filter")
+	}
+}
+
+func TestOneMemBFOneAccess(t *testing.T) {
+	var acc memmodel.Counter
+	f, err := NewOneMemBF(22008, 8, WithAccessCounter(&acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("elem")
+	f.Add(e)
+	if acc.Writes() != 1 {
+		t.Fatalf("Add cost %d writes, want 1", acc.Writes())
+	}
+	acc.Reset()
+	if !f.Contains(e) {
+		t.Fatal("false negative")
+	}
+	if acc.Reads() != 1 {
+		t.Fatalf("query cost %d reads, want exactly 1", acc.Reads())
+	}
+	if got := f.HashOpsPerQuery(); got != 9 {
+		t.Fatalf("HashOpsPerQuery = %d, want k+1 = 9", got)
+	}
+}
+
+func TestOneMemBFNoFalseNegatives(t *testing.T) {
+	f, err := NewOneMemBF(30000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(1000, 5)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestOneMemBFHigherFPRThanBF(t *testing.T) {
+	// The paper's Figure 7: with equal memory, 1MemBF's FPR is a
+	// multiple of ShBF_M's/BF's because of in-word imbalance.
+	const m, k, n, probes = 22008, 8, 1500, 200000
+	bf, err := NewBF(m, k, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := NewOneMemBF(m, k, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genElements(n, 6) {
+		bf.Add(e)
+		om.Add(e)
+	}
+	bfFP, omFP := 0, 0
+	for _, e := range genDisjoint(probes, 7) {
+		if bf.Contains(e) {
+			bfFP++
+		}
+		if om.Contains(e) {
+			omFP++
+		}
+	}
+	if omFP <= bfFP {
+		t.Fatalf("1MemBF FPs (%d) not above BF FPs (%d) — imbalance effect missing", omFP, bfFP)
+	}
+}
+
+func TestKMBF(t *testing.T) {
+	f, err := NewKMBF(20000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(1000, 8)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+	if got := f.HashOpsPerQuery(); got != 1 {
+		t.Fatalf("HashOpsPerQuery = %d, want 1", got)
+	}
+	// FPR sanity: within a small factor of the BF formula ("less
+	// hashing, same performance" — asymptotically equal, slightly worse
+	// at finite sizes).
+	fp, probes := 0, 100000
+	for _, e := range genDisjoint(probes, 9) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(probes)
+	want := math.Pow(1-math.Exp(-1000.0*8/20000), 8)
+	if got > want*2.5 {
+		t.Fatalf("KM FPR %.5f more than 2.5× BF theory %.5f", got, want)
+	}
+	f.Reset()
+	if f.N() != 0 || f.FillRatio() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestKMBFValidation(t *testing.T) {
+	if _, err := NewKMBF(0, 4); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewKMBF(10, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"shbf/internal/counters"
+	"shbf/internal/hashing"
+)
+
+// ErrNotStored is returned by CBF.Delete (and DCF.Delete) when the
+// element's encoding is not fully present.
+var ErrNotStored = errors.New("baseline: element not stored")
+
+// ErrSaturated is returned when an update would overflow a fixed-width
+// counter.
+var ErrSaturated = errors.New("baseline: counter saturated")
+
+// CBF is the counting Bloom filter of Fan et al. [11]: each bit of a
+// standard Bloom filter becomes a fixed-width counter so elements can be
+// deleted (paper Section 1.1).
+type CBF struct {
+	counts *counters.Array
+	m      int
+	k      int
+	fam    *hashing.Family
+	n      int
+}
+
+// NewCBF returns an empty counting Bloom filter with m counters and k
+// hash functions.
+func NewCBF(m, k int, opts ...Option) (*CBF, error) {
+	cfg := applyOptions(opts)
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d must be ≥ 1", k)
+	}
+	arr := counters.New(m, cfg.counterWidth)
+	arr.SetCounter(cfg.counter)
+	return &CBF{
+		counts: arr,
+		m:      m,
+		k:      k,
+		fam:    hashing.NewFamily(k, cfg.seed),
+	}, nil
+}
+
+// M, K and N report the parameters and the net insert count.
+func (f *CBF) M() int { return f.m }
+func (f *CBF) K() int { return f.k }
+func (f *CBF) N() int { return f.n }
+
+// SizeBytes returns the counter-array footprint — width× larger than
+// the equivalent BF, the overhead ShBF's counting variants also pay but
+// only on the off-chip update path.
+func (f *CBF) SizeBytes() int { return f.counts.SizeBytes() }
+
+// Insert adds e, incrementing k counters. ErrSaturated is returned (and
+// the insert rolled back) if any counter is at its maximum.
+func (f *CBF) Insert(e []byte) error {
+	for i := 0; i < f.k; i++ {
+		p := f.fam.Mod(i, e, f.m)
+		if f.counts.Peek(p) == f.counts.Max() {
+			for j := 0; j < i; j++ {
+				f.counts.Dec(f.fam.Mod(j, e, f.m))
+			}
+			return ErrSaturated
+		}
+		f.counts.Inc(p)
+	}
+	f.n++
+	return nil
+}
+
+// Delete removes one occurrence of e, decrementing k counters, or
+// returns ErrNotStored (leaving the filter unchanged) if some counter is
+// already zero.
+func (f *CBF) Delete(e []byte) error {
+	for i := 0; i < f.k; i++ {
+		if f.counts.Peek(f.fam.Mod(i, e, f.m)) == 0 {
+			return ErrNotStored
+		}
+	}
+	for i := 0; i < f.k; i++ {
+		f.counts.Dec(f.fam.Mod(i, e, f.m))
+	}
+	f.n--
+	return nil
+}
+
+// Contains reports whether e may be in the set (all k counters ≥ 1).
+func (f *CBF) Contains(e []byte) bool {
+	for i := 0; i < f.k; i++ {
+		if f.counts.Get(f.fam.Mod(i, e, f.m)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Overflows reports saturation events.
+func (f *CBF) Overflows() uint64 { return f.counts.Overflows() }

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"fmt"
+
+	"shbf/internal/counters"
+	"shbf/internal/hashing"
+)
+
+// CMSketch is the count-min sketch of Cormode & Muthukrishnan [9]
+// (paper Sections 2.3 and 5.5, Figure 6(a)): d rows of r counters, one
+// hash function per row. Inserting increments one counter per row;
+// the estimate is the row-wise minimum, which never underestimates.
+// "CM sketch is simple and easy to implement, but is not memory
+// efficient, as the minimal unit is a counter instead of a bit"
+// (Section 5.5) — the property Figure 11(a) measures.
+type CMSketch struct {
+	rows []*counters.Array
+	d    int
+	r    int
+	fam  *hashing.Family
+}
+
+// NewCMSketch returns an empty d×r sketch with counters of the
+// configured width (Figure 11 uses 6 bits).
+func NewCMSketch(d, r int, opts ...Option) (*CMSketch, error) {
+	cfg := applyOptions(opts)
+	if d < 1 {
+		return nil, fmt.Errorf("baseline: depth d = %d must be ≥ 1", d)
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("baseline: row size r = %d must be ≥ 1", r)
+	}
+	s := &CMSketch{
+		rows: make([]*counters.Array, d),
+		d:    d,
+		r:    r,
+		fam:  hashing.NewFamily(d, cfg.seed),
+	}
+	for i := range s.rows {
+		s.rows[i] = counters.New(r, cfg.counterWidth)
+		s.rows[i].SetCounter(cfg.counter)
+	}
+	return s, nil
+}
+
+// D and R report the geometry.
+func (s *CMSketch) D() int { return s.d }
+func (s *CMSketch) R() int { return s.r }
+
+// HashOpsPerOp returns d — the budget the SCM sketch halves.
+func (s *CMSketch) HashOpsPerOp() int { return s.d }
+
+// Insert increments one counter per row.
+func (s *CMSketch) Insert(e []byte) {
+	for i, row := range s.rows {
+		row.Inc(s.fam.Mod(i, e, s.r))
+	}
+}
+
+// Count returns the count-min estimate (row-wise minimum, never an
+// underestimate). A zero counter short-circuits the scan.
+func (s *CMSketch) Count(e []byte) uint64 {
+	min := ^uint64(0)
+	for i, row := range s.rows {
+		v := row.Get(s.fam.Mod(i, e, s.r))
+		if v < min {
+			min = v
+			if min == 0 {
+				return 0
+			}
+		}
+	}
+	return min
+}
+
+// SizeBytes returns the total counter footprint.
+func (s *CMSketch) SizeBytes() int {
+	total := 0
+	for _, row := range s.rows {
+		total += row.SizeBytes()
+	}
+	return total
+}
+
+// Overflows reports counter saturation events across all rows.
+func (s *CMSketch) Overflows() uint64 {
+	var total uint64
+	for _, row := range s.rows {
+		total += row.Overflows()
+	}
+	return total
+}

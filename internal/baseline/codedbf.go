@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CodedBF is the Coded Bloom Filter of Lu, Prabhakar & Bonomi [16 in
+// the paper] for multi-set membership (Section 2.2): each of g
+// pairwise-disjoint sets gets a non-zero binary code of L = ⌈log2(g+1)⌉
+// bits, and one Bloom filter is kept per code bit position. An element
+// of set s is inserted into the filters whose bit of code(s) = s+1 is
+// one; a query reads all L filters and reassembles a code.
+//
+// The paper's criticism applies verbatim: "if any pair of sets in the
+// group is not disjoint, these schemes do not function correctly" — an
+// element in two sets ORs its two codes, yielding a third set's code or
+// an invalid one. CodedBF exists here as the baseline the
+// MultiAssociation extension is measured against.
+type CodedBF struct {
+	filters []*BF
+	g       int
+	codeLen int
+}
+
+// BuildCodedBF constructs the filter group over g = len(sets) disjoint
+// sets. totalBits is split evenly across the ⌈log2(g+1)⌉ per-bit
+// filters. Elements present in more than one set are accepted silently
+// — producing exactly the misclassification the scheme is known for —
+// so experiments can demonstrate the failure mode.
+func BuildCodedBF(sets [][][]byte, totalBits, k int, opts ...Option) (*CodedBF, error) {
+	g := len(sets)
+	if g < 1 {
+		return nil, fmt.Errorf("baseline: need at least one set")
+	}
+	if totalBits <= 0 {
+		return nil, fmt.Errorf("baseline: totalBits = %d must be positive", totalBits)
+	}
+	codeLen := bits.Len(uint(g)) // ⌈log2(g+1)⌉
+	cfg := applyOptions(opts)
+	c := &CodedBF{
+		filters: make([]*BF, codeLen),
+		g:       g,
+		codeLen: codeLen,
+	}
+	perFilter := totalBits / codeLen
+	for j := range c.filters {
+		f, err := NewBF(perFilter, k, append(opts, WithSeed(cfg.seed+uint64(j)*31+7))...)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: building code filter %d: %w", j, err)
+		}
+		c.filters[j] = f
+	}
+	for s, set := range sets {
+		code := s + 1
+		for _, e := range set {
+			for j := 0; j < codeLen; j++ {
+				if code&(1<<j) != 0 {
+					c.filters[j].Add(e)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// G returns the number of sets; CodeLen the number of per-bit filters.
+func (c *CodedBF) G() int       { return c.g }
+func (c *CodedBF) CodeLen() int { return c.codeLen }
+
+// SizeBytes returns the combined footprint.
+func (c *CodedBF) SizeBytes() int {
+	total := 0
+	for _, f := range c.filters {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// HashOpsPerQuery returns codeLen·k: every per-bit filter is probed.
+func (c *CodedBF) HashOpsPerQuery() int { return c.codeLen * c.filters[0].k }
+
+// Query returns the decoded set index in [0, g) and ok = true when the
+// reassembled code is a valid single-set code. ok = false covers both
+// "not in any set" (code 0) and invalid codes (> g) caused by false
+// positives or overlapping inserts.
+func (c *CodedBF) Query(e []byte) (set int, ok bool) {
+	code := 0
+	for j, f := range c.filters {
+		if f.Contains(e) {
+			code |= 1 << j
+		}
+	}
+	if code < 1 || code > c.g {
+		return 0, false
+	}
+	return code - 1, true
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func buildCodedSets(g, nEach int, seed int64) [][][]byte {
+	all := genElements(g*nEach, seed)
+	for i, e := range all {
+		e[11] = byte(i / nEach)
+	}
+	sets := make([][][]byte, g)
+	for i := range sets {
+		sets[i] = all[i*nEach : (i+1)*nEach]
+	}
+	return sets
+}
+
+func TestCodedBFValidation(t *testing.T) {
+	if _, err := BuildCodedBF(nil, 100, 4); err == nil {
+		t.Error("accepted zero sets")
+	}
+	if _, err := BuildCodedBF(make([][][]byte, 2), 0, 4); err == nil {
+		t.Error("accepted totalBits=0")
+	}
+}
+
+func TestCodedBFCodeLength(t *testing.T) {
+	for _, tt := range []struct{ g, want int }{{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}} {
+		c, err := BuildCodedBF(make([][][]byte, tt.g), 10000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.CodeLen() != tt.want {
+			t.Errorf("g=%d: CodeLen = %d, want %d", tt.g, c.CodeLen(), tt.want)
+		}
+	}
+}
+
+func TestCodedBFDisjointSetsDecode(t *testing.T) {
+	const g, nEach = 3, 1000
+	sets := buildCodedSets(g, nEach, 1)
+	c, err := BuildCodedBF(sets, 60000, 8, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, unclear := 0, 0
+	for s, set := range sets {
+		for _, e := range set {
+			got, ok := c.Query(e)
+			switch {
+			case ok && got == s:
+				correct++
+			case !ok:
+				unclear++
+			default:
+				// A wrong-but-valid decode: possible via false positives.
+			}
+		}
+	}
+	total := g * nEach
+	if correct < total*95/100 {
+		t.Fatalf("only %d/%d correct decodes", correct, total)
+	}
+	_ = unclear
+}
+
+func TestCodedBFOverlapMisclassifies(t *testing.T) {
+	// The documented failure: an element in sets 0 (code 01) and 1
+	// (code 10) reassembles code 11 = set 2. The paper's Section 2.2
+	// criticism, demonstrated.
+	sets := buildCodedSets(3, 500, 3)
+	shared := genElements(100, 4)
+	for _, e := range shared {
+		e[11] = 0xEE
+	}
+	sets[0] = append(sets[0], shared...)
+	sets[1] = append(sets[1], shared...)
+	c, err := BuildCodedBF(sets, 60000, 8, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	misclassified := 0
+	for _, e := range shared {
+		if got, ok := c.Query(e); ok && got == 2 {
+			misclassified++
+		}
+	}
+	if misclassified != len(shared) {
+		t.Fatalf("expected all %d shared elements to decode as set 2, got %d", len(shared), misclassified)
+	}
+}
+
+func TestCodedBFNonMember(t *testing.T) {
+	sets := buildCodedSets(3, 200, 6)
+	c, err := BuildCodedBF(sets, 60000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unclear := 0
+	for _, e := range genDisjoint(1000, 7) {
+		if _, ok := c.Query(e); !ok {
+			unclear++
+		}
+	}
+	if unclear < 980 {
+		t.Fatalf("only %d/1000 non-members rejected", unclear)
+	}
+	if c.SizeBytes() == 0 || c.HashOpsPerQuery() != 16 {
+		t.Fatalf("SizeBytes=%d HashOps=%d", c.SizeBytes(), c.HashOpsPerQuery())
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"shbf/internal/hashing"
+)
+
+// ErrFilterFull is returned by CuckooFilter.Insert when the relocation
+// chain exceeds the kick budget — the "non-negligible probability of
+// failing when inserting" the paper attributes to cuckoo filters
+// (Section 2.1).
+var ErrFilterFull = errors.New("baseline: cuckoo filter full")
+
+const (
+	cuckooSlotsPerBucket = 4
+	cuckooMaxKicks       = 500
+)
+
+// CuckooFilter is the cuckoo filter of Fan et al. [10], the related-work
+// membership alternative of Section 2.1: buckets of four 8-bit
+// fingerprints with partial-key cuckoo hashing. Supports deletion
+// without counters, at the cost of insert failures near capacity.
+type CuckooFilter struct {
+	buckets  [][cuckooSlotsPerBucket]uint8
+	nBuckets int
+	hasher   hashing.Hasher
+	fpHasher hashing.Hasher
+	n        int
+	kickRNG  uint64 // deterministic eviction-slot chooser
+}
+
+// NewCuckooFilter returns a filter with capacity for roughly n elements
+// at 95% load. The bucket count is rounded up to a power of two so the
+// partial-key XOR trick preserves the two-bucket invariant.
+func NewCuckooFilter(n int, opts ...Option) (*CuckooFilter, error) {
+	cfg := applyOptions(opts)
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: capacity %d must be ≥ 1", n)
+	}
+	nBuckets := 1
+	for nBuckets*cuckooSlotsPerBucket < n+n/8 {
+		nBuckets *= 2
+	}
+	return &CuckooFilter{
+		buckets:  make([][cuckooSlotsPerBucket]uint8, nBuckets),
+		nBuckets: nBuckets,
+		hasher:   hashing.New(cfg.seed),
+		fpHasher: hashing.New(cfg.seed + 1),
+		kickRNG:  cfg.seed | 1,
+	}, nil
+}
+
+// N returns the number of stored elements.
+func (f *CuckooFilter) N() int { return f.n }
+
+// SizeBytes returns the fingerprint-table footprint.
+func (f *CuckooFilter) SizeBytes() int { return f.nBuckets * cuckooSlotsPerBucket }
+
+// fingerprint returns a non-zero 8-bit fingerprint (zero marks an empty
+// slot).
+func (f *CuckooFilter) fingerprint(e []byte) uint8 {
+	fp := uint8(f.fpHasher.Sum64(e))
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// indices returns the element's two candidate buckets.
+func (f *CuckooFilter) indices(e []byte) (i1, i2 int, fp uint8) {
+	fp = f.fingerprint(e)
+	i1 = int(f.hasher.Sum64(e) & uint64(f.nBuckets-1))
+	i2 = f.altIndex(i1, fp)
+	return i1, i2, fp
+}
+
+// altIndex computes the partner bucket: i XOR hash(fp).
+func (f *CuckooFilter) altIndex(i int, fp uint8) int {
+	return (i ^ int(f.fpHasher.Sum64([]byte{fp}))) & (f.nBuckets - 1)
+}
+
+// Insert adds e, relocating fingerprints as needed. ErrFilterFull is
+// returned after cuckooMaxKicks failed relocations.
+func (f *CuckooFilter) Insert(e []byte) error {
+	i1, i2, fp := f.indices(e)
+	if f.placeIn(i1, fp) || f.placeIn(i2, fp) {
+		f.n++
+		return nil
+	}
+	// Evict: random walk starting from a random one of the two buckets.
+	i := i1
+	if f.nextRand()&1 == 1 {
+		i = i2
+	}
+	for kick := 0; kick < cuckooMaxKicks; kick++ {
+		slot := int(f.nextRand() % cuckooSlotsPerBucket)
+		fp, f.buckets[i][slot] = f.buckets[i][slot], fp
+		i = f.altIndex(i, fp)
+		if f.placeIn(i, fp) {
+			f.n++
+			return nil
+		}
+	}
+	return ErrFilterFull
+}
+
+// placeIn stores fp in any empty slot of bucket i.
+func (f *CuckooFilter) placeIn(i int, fp uint8) bool {
+	for s := range f.buckets[i] {
+		if f.buckets[i][s] == 0 {
+			f.buckets[i][s] = fp
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether e may be stored (two bucket reads).
+func (f *CuckooFilter) Contains(e []byte) bool {
+	i1, i2, fp := f.indices(e)
+	return f.bucketHas(i1, fp) || f.bucketHas(i2, fp)
+}
+
+// Delete removes one copy of e's fingerprint, reporting whether one was
+// found. Deleting a never-inserted element can remove a colliding
+// fingerprint — the documented cuckoo-filter caveat.
+func (f *CuckooFilter) Delete(e []byte) bool {
+	i1, i2, fp := f.indices(e)
+	for _, i := range [2]int{i1, i2} {
+		for s := range f.buckets[i] {
+			if f.buckets[i][s] == fp {
+				f.buckets[i][s] = 0
+				f.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f *CuckooFilter) bucketHas(i int, fp uint8) bool {
+	b := &f.buckets[i]
+	return b[0] == fp || b[1] == fp || b[2] == fp || b[3] == fp
+}
+
+// nextRand steps a SplitMix64 sequence for eviction choices, keeping
+// inserts deterministic for a given seed.
+func (f *CuckooFilter) nextRand() uint64 {
+	return hashing.SplitMix64(&f.kickRNG)
+}
+
+// LoadFactor returns the fraction of occupied slots.
+func (f *CuckooFilter) LoadFactor() float64 {
+	return float64(f.n) / float64(f.nBuckets*cuckooSlotsPerBucket)
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCuckooValidation(t *testing.T) {
+	if _, err := NewCuckooFilter(0); err == nil {
+		t.Error("accepted capacity 0")
+	}
+}
+
+func TestCuckooInsertContains(t *testing.T) {
+	f, err := NewCuckooFilter(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(8000, 1)
+	for i, e := range elems {
+		if err := f.Insert(e); err != nil {
+			t.Fatalf("insert %d failed at load %.2f: %v", i, f.LoadFactor(), err)
+		}
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+	if f.N() != 8000 {
+		t.Fatalf("N = %d", f.N())
+	}
+}
+
+func TestCuckooDelete(t *testing.T) {
+	f, err := NewCuckooFilter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("elem")
+	if err := f.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Delete(e) {
+		t.Fatal("delete of present element failed")
+	}
+	if f.Contains(e) {
+		t.Fatal("element survives delete")
+	}
+	if f.Delete(e) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestCuckooFPRReasonable(t *testing.T) {
+	f, err := NewCuckooFilter(20000, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genElements(15000, 2) {
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp, probes := 0, 100000
+	for _, e := range genDisjoint(probes, 3) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	// 8-bit fingerprints, 2 buckets × 4 slots: FPR ≈ 8/256 ≈ 3% upper
+	// bound at full load; we are at ~0.46 load.
+	if rate := float64(fp) / float64(probes); rate > 0.035 {
+		t.Fatalf("cuckoo FPR %.4f implausibly high", rate)
+	}
+}
+
+func TestCuckooFillsUp(t *testing.T) {
+	// Overfilling must eventually return ErrFilterFull, the failure mode
+	// the paper cites (Section 2.1).
+	f, err := NewCuckooFilter(64, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	for _, e := range genElements(4096, 4) {
+		if err := f.Insert(e); err == ErrFilterFull {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("filter never reported full while inserting 16× capacity")
+	}
+}
+
+func TestDCFValidation(t *testing.T) {
+	if _, err := NewDCF(0, 4); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewDCF(100, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestDCFCountsAndGrows(t *testing.T) {
+	// 2-bit low counters force the overflow array to widen dynamically.
+	f, err := NewDCF(4096, 4, WithCounterWidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("hot element")
+	const target = 100
+	for i := 0; i < target; i++ {
+		f.Insert(e)
+	}
+	if got := f.Count(e); got < target {
+		t.Fatalf("Count = %d underestimates %d", got, target)
+	}
+	if f.Grown() == 0 {
+		t.Fatal("overflow array never widened despite 100 increments of 2-bit counters")
+	}
+}
+
+func TestDCFDelete(t *testing.T) {
+	f, err := NewDCF(4096, 4, WithCounterWidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("x")
+	for i := 0; i < 30; i++ {
+		f.Insert(e)
+	}
+	for i := 0; i < 30; i++ {
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Count(e); got != 0 {
+		t.Fatalf("Count = %d after matched deletes", got)
+	}
+	if err := f.Delete(e); err != ErrNotStored {
+		t.Fatalf("over-delete = %v, want ErrNotStored", err)
+	}
+}
+
+func TestDCFNeverUnderestimates(t *testing.T) {
+	f, err := NewDCF(60000, 6, WithCounterWidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	elems := genElements(2000, 9)
+	truth := make([]int, len(elems))
+	for i, e := range elems {
+		truth[i] = rng.Intn(40) + 1
+		for j := 0; j < truth[i]; j++ {
+			f.Insert(e)
+		}
+	}
+	for i, e := range elems {
+		if got := f.Count(e); got < uint64(truth[i]) {
+			t.Fatalf("estimate %d < truth %d", got, truth[i])
+		}
+	}
+}
+
+func BenchmarkCuckooContains(b *testing.B) {
+	f, _ := NewCuckooFilter(1 << 16)
+	elems := genElements(40000, 1)
+	for _, e := range elems {
+		f.Insert(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(elems[i%40000])
+	}
+}
+
+func BenchmarkDCFCount(b *testing.B) {
+	f, _ := NewDCF(1<<18, 8, WithCounterWidth(4))
+	elems := genElements(4096, 1)
+	for _, e := range elems {
+		f.Insert(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Count(elems[i&4095])
+	}
+}

@@ -1,0 +1,78 @@
+package baseline
+
+import "fmt"
+
+// IBF is "iBF", the straightforward association-query baseline: one
+// individual Bloom filter per set (paper Sections 2.2 and 4.5, used by
+// the Summary-Cache Enhanced ICP protocol [11]). A query probes both
+// filters — 2k hash computations and up to 2k memory accesses versus
+// ShBF_A's k+2 and k (Table 2).
+type IBF struct {
+	bf1, bf2 *BF
+}
+
+// IBFAnswer is the outcome of an iBF association query.
+type IBFAnswer struct {
+	// In1 and In2 report whether each filter claims membership. Claims
+	// can be false positives; a double positive cannot distinguish true
+	// intersection from a false positive on either side.
+	In1, In2 bool
+}
+
+// Clear reports whether the answer pins the element to exactly one set:
+// exactly one filter positive. A double positive is never clear — "iBF
+// is prone to false positives whenever it declares an element … to be
+// in S1∩S2" (Section 1.2.2) — which is why iBF's clear-answer
+// probability is 2/3·(1−0.5^k) against ShBF_A's (1−0.5^k)² (Table 2).
+func (a IBFAnswer) Clear() bool { return a.In1 != a.In2 }
+
+// String renders the declared outcome.
+func (a IBFAnswer) String() string {
+	switch {
+	case a.In1 && a.In2:
+		return "S1∩S2 (unverifiable)"
+	case a.In1:
+		return "S1−S2"
+	case a.In2:
+		return "S2−S1"
+	default:
+		return "∅"
+	}
+}
+
+// BuildIBF constructs the two filters from the sets. m1 and m2 are the
+// per-filter sizes; the paper's optimum splits m1+m2 = (n1+n2)·k/ln 2
+// proportionally to the set sizes.
+func BuildIBF(s1, s2 [][]byte, m1, m2, k int, opts ...Option) (*IBF, error) {
+	cfg := applyOptions(opts)
+	bf1, err := NewBF(m1, k, append(opts, WithSeed(cfg.seed+100))...)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: building BF1: %w", err)
+	}
+	bf2, err := NewBF(m2, k, append(opts, WithSeed(cfg.seed+200))...)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: building BF2: %w", err)
+	}
+	for _, e := range s1 {
+		bf1.Add(e)
+	}
+	for _, e := range s2 {
+		bf2.Add(e)
+	}
+	return &IBF{bf1: bf1, bf2: bf2}, nil
+}
+
+// Query probes both filters and returns the combined answer.
+func (f *IBF) Query(e []byte) IBFAnswer {
+	return IBFAnswer{In1: f.bf1.Contains(e), In2: f.bf2.Contains(e)}
+}
+
+// BF1 and BF2 expose the underlying filters for instrumentation.
+func (f *IBF) BF1() *BF { return f.bf1 }
+func (f *IBF) BF2() *BF { return f.bf2 }
+
+// SizeBytes returns the combined footprint.
+func (f *IBF) SizeBytes() int { return f.bf1.SizeBytes() + f.bf2.SizeBytes() }
+
+// HashOpsPerQuery returns 2k (Table 2).
+func (f *IBF) HashOpsPerQuery() int { return f.bf1.k + f.bf2.k }

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func buildIBFSets(n1only, nBoth, n2only int, seed int64) (s1only, both, s2only [][]byte) {
+	all := genElements(n1only+nBoth+n2only, seed)
+	for i, e := range all {
+		switch {
+		case i < n1only:
+			e[11] = 1
+		case i < n1only+nBoth:
+			e[11] = 2
+		default:
+			e[11] = 3
+		}
+	}
+	return all[:n1only], all[n1only : n1only+nBoth], all[n1only+nBoth:]
+}
+
+func TestIBFNoFalseNegatives(t *testing.T) {
+	s1only, both, s2only := buildIBFSets(500, 200, 500, 1)
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	f, err := BuildIBF(s1, s2, 10000, 10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s1 {
+		if !f.Query(e).In1 {
+			t.Fatal("false negative in BF1")
+		}
+	}
+	for _, e := range s2 {
+		if !f.Query(e).In2 {
+			t.Fatal("false negative in BF2")
+		}
+	}
+	if f.BF1().N() != len(s1) || f.BF2().N() != len(s2) {
+		t.Fatalf("set sizes %d/%d", f.BF1().N(), f.BF2().N())
+	}
+}
+
+func TestIBFClearAnswerSemantics(t *testing.T) {
+	tests := []struct {
+		a     IBFAnswer
+		clear bool
+		str   string
+	}{
+		{IBFAnswer{true, false}, true, "S1−S2"},
+		{IBFAnswer{false, true}, true, "S2−S1"},
+		{IBFAnswer{true, true}, false, "S1∩S2 (unverifiable)"},
+		{IBFAnswer{false, false}, false, "∅"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Clear(); got != tt.clear {
+			t.Errorf("%+v.Clear() = %v, want %v", tt.a, got, tt.clear)
+		}
+		if got := tt.a.String(); got != tt.str {
+			t.Errorf("%+v.String() = %q, want %q", tt.a, got, tt.str)
+		}
+	}
+}
+
+func TestIBFClearAnswerRateMatchesTable2(t *testing.T) {
+	// Table 2: with optimal sizing m1+m2 = (n1+n2)k/ln2 and queries
+	// hitting the three regions uniformly, P(clear) = (2/3)(1−0.5^k).
+	const k = 10
+	s1only, both, s2only := buildIBFSets(3000, 3000, 3000, 2)
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	m1 := int(float64(len(s1)) * k / math.Ln2)
+	m2 := int(float64(len(s2)) * k / math.Ln2)
+	f, err := BuildIBF(s1, s2, m1, m2, k, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, total := 0, 0
+	for _, group := range [][][]byte{s1only, both, s2only} {
+		for _, e := range group {
+			if f.Query(e).Clear() {
+				clear++
+			}
+			total++
+		}
+	}
+	got := float64(clear) / float64(total)
+	want := 2.0 / 3 * (1 - math.Pow(0.5, k))
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("clear rate %.4f vs theory %.4f", got, want)
+	}
+}
+
+func TestIBFIntersectionNeverClear(t *testing.T) {
+	// True intersection elements always double-hit: never clear — the
+	// structural weakness ShBF_A fixes.
+	s1only, both, s2only := buildIBFSets(100, 100, 100, 3)
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	f, err := BuildIBF(s1, s2, 5000, 5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range both {
+		if f.Query(e).Clear() {
+			t.Fatal("intersection element produced a clear answer")
+		}
+	}
+}
+
+func TestIBFHashOps(t *testing.T) {
+	f, err := BuildIBF(nil, nil, 100, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.HashOpsPerQuery(); got != 16 {
+		t.Fatalf("HashOpsPerQuery = %d, want 2k = 16", got)
+	}
+	if f.SizeBytes() != f.BF1().SizeBytes()+f.BF2().SizeBytes() {
+		t.Fatal("SizeBytes mismatch")
+	}
+}
+
+func TestIBFInvalidSizes(t *testing.T) {
+	if _, err := BuildIBF(nil, nil, 0, 100, 4); err == nil {
+		t.Error("accepted m1=0")
+	}
+	if _, err := BuildIBF(nil, nil, 100, 0, 4); err == nil {
+		t.Error("accepted m2=0")
+	}
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"fmt"
+
+	"shbf/internal/hashing"
+	"shbf/internal/memmodel"
+)
+
+// OneMemBF is 1MemBF, the one-memory-access Bloom filter of Qiao et al.
+// [17] ("One memory access bloom filters and their generalization"),
+// which the paper treats as the state of the art for membership queries
+// (Figures 7 and 9). All k bits of an element are confined to a single
+// machine word: one hash selects the word, k further hash values select
+// bit offsets inside it, so every query costs exactly one memory access
+// and k+1 hash computations.
+//
+// The price — measured in Figure 7 — is a higher false-positive rate:
+// "hashing k values into one or more words incurs serious unbalance in
+// distributions of 1s and 0s" (Section 6.2.1). The word-local collisions
+// also mean fewer than k distinct bits may be set per element.
+type OneMemBF struct {
+	words []uint64
+	m     int // total bits (nWords × 64)
+	k     int
+	fam   *hashing.Family // 1 word-selector + k offset functions
+	n     int
+	acc   *memmodel.Counter
+}
+
+// NewOneMemBF returns an empty 1MemBF of at least m bits (rounded up to
+// a whole number of 64-bit words) with k bits per element.
+func NewOneMemBF(m, k int, opts ...Option) (*OneMemBF, error) {
+	cfg := applyOptions(opts)
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d must be ≥ 1", k)
+	}
+	nWords := (m + 63) / 64
+	return &OneMemBF{
+		words: make([]uint64, nWords),
+		m:     nWords * 64,
+		k:     k,
+		fam:   hashing.NewFamily(k+1, cfg.seed),
+		acc:   cfg.counter,
+	}, nil
+}
+
+// M returns the total bit count; K and N the other parameters.
+func (f *OneMemBF) M() int { return f.m }
+func (f *OneMemBF) K() int { return f.k }
+func (f *OneMemBF) N() int { return f.n }
+
+// SizeBytes returns the storage footprint.
+func (f *OneMemBF) SizeBytes() int { return len(f.words) * 8 }
+
+// HashOpsPerQuery returns k+1, the worst case (Section 6.2.3); like the
+// other schemes, Contains evaluates hash functions lazily, so a negative
+// answered by the first in-word bit costs only 2.
+func (f *OneMemBF) HashOpsPerQuery() int { return f.k + 1 }
+
+// mask computes the word index and the k-bit in-word mask for e.
+func (f *OneMemBF) mask(e []byte) (word int, mask uint64) {
+	word = f.fam.Mod(0, e, len(f.words))
+	for i := 1; i <= f.k; i++ {
+		mask |= 1 << (f.fam.Sum64(i, e) & 63)
+	}
+	return word, mask
+}
+
+// Add inserts e: its k bits are OR-ed into one word with a single write
+// access.
+func (f *OneMemBF) Add(e []byte) {
+	word, mask := f.mask(e)
+	f.words[word] |= mask
+	f.acc.AddWrites(1)
+	f.n++
+}
+
+// Contains reports whether e may be in the set with exactly one read
+// access (the scheme's defining property). The word is fetched once;
+// in-word bits are then checked with lazily computed hash functions and
+// early termination.
+func (f *OneMemBF) Contains(e []byte) bool {
+	w := f.words[f.fam.Mod(0, e, len(f.words))]
+	f.acc.AddReads(1)
+	for i := 1; i <= f.k; i++ {
+		if w&(1<<(f.fam.Sum64(i, e)&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *OneMemBF) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.words {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// Reset clears the filter.
+func (f *OneMemBF) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.n = 0
+}

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"fmt"
+
+	"shbf/internal/counters"
+	"shbf/internal/hashing"
+)
+
+// SpectralMode selects which of the paper-described Spectral BF
+// variants a filter uses (Section 2.3's three versions).
+type SpectralMode int
+
+const (
+	// SpectralBasic is the first variant: every insert increments all k
+	// counters (a CBF queried with the minimum-selection rule).
+	SpectralBasic SpectralMode = iota
+	// SpectralMinIncrease is the second variant: an insert increments
+	// only the counters currently equal to the minimum, reducing
+	// overestimation "at the cost of not supporting updates" (deletes).
+	SpectralMinIncrease
+	// SpectralRecurringMin is the third variant (recurring minimum):
+	// elements whose minimum counter value appears in two or more of
+	// their k counters are served from the primary array; the rest —
+	// the error-prone single-minimum elements — are additionally
+	// tracked in a smaller secondary array consulted first at query
+	// time. The paper notes this variant "makes querying and updating
+	// procedures time consuming and more complex" (Section 2.3); the
+	// auxiliary-table counter compression it also describes changes
+	// space constants only and is not modeled. Unlike the other two
+	// variants its error is not strictly one-sided: with small
+	// probability a secondary-array false positive under-reports.
+	SpectralRecurringMin
+)
+
+// SpectralBF is the Spectral Bloom Filter of Cohen & Matias [8], the
+// paper's multiplicity baseline (Figure 11): an array of m fixed-width
+// counters; the multiplicity estimate of e is the minimum of its k
+// counters, which never underestimates.
+type SpectralBF struct {
+	counts *counters.Array
+	m      int
+	k      int
+	mode   SpectralMode
+	fam    *hashing.Family
+	// secondary holds single-minimum elements in the recurring-minimum
+	// variant (nil otherwise). It is itself a basic Spectral BF at half
+	// the primary's size, per Cohen & Matias's construction.
+	secondary *SpectralBF
+	pos       []int // scratch
+}
+
+// NewSpectralBF returns an empty Spectral BF with m counters of the
+// configured width (the paper's Figure 11 setup uses 6 bits). For
+// SpectralRecurringMin, m covers the primary array and a secondary
+// array of m/2 counters is allocated in addition.
+func NewSpectralBF(m, k int, mode SpectralMode, opts ...Option) (*SpectralBF, error) {
+	cfg := applyOptions(opts)
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d must be ≥ 1", k)
+	}
+	arr := counters.New(m, cfg.counterWidth)
+	arr.SetCounter(cfg.counter)
+	f := &SpectralBF{
+		counts: arr,
+		m:      m,
+		k:      k,
+		mode:   mode,
+		fam:    hashing.NewFamily(k, cfg.seed),
+	}
+	if mode == SpectralRecurringMin {
+		sec, err := NewSpectralBF(max(m/2, 1), k, SpectralBasic,
+			append(opts, WithSeed(cfg.seed+0x5ec))...)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: building secondary SBF: %w", err)
+		}
+		f.secondary = sec
+	}
+	return f, nil
+}
+
+// M, K and Mode report the parameters.
+func (f *SpectralBF) M() int             { return f.m }
+func (f *SpectralBF) K() int             { return f.k }
+func (f *SpectralBF) Mode() SpectralMode { return f.mode }
+
+// SizeBytes returns the counter-array footprint, including the
+// secondary array in the recurring-minimum variant.
+func (f *SpectralBF) SizeBytes() int {
+	total := f.counts.SizeBytes()
+	if f.secondary != nil {
+		total += f.secondary.SizeBytes()
+	}
+	return total
+}
+
+// Insert adds one occurrence of e according to the variant's rule.
+func (f *SpectralBF) Insert(e []byte) {
+	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	switch f.mode {
+	case SpectralBasic:
+		for _, p := range f.pos {
+			f.counts.Inc(p)
+		}
+	case SpectralMinIncrease:
+		// Minimum increase: increment only counters at the minimum.
+		min := f.counts.Peek(f.pos[0])
+		for _, p := range f.pos[1:] {
+			if v := f.counts.Peek(p); v < min {
+				min = v
+			}
+		}
+		for _, p := range f.pos {
+			if f.counts.Peek(p) == min {
+				f.counts.Inc(p)
+			}
+		}
+	case SpectralRecurringMin:
+		// Increment all primary counters, then keep the secondary in
+		// sync for single-minimum elements (Cohen & Matias §RM): if e's
+		// minimum is recurring, the primary alone is trusted; otherwise
+		// e's count is mirrored in the secondary — incremented if
+		// already there, else seeded with the primary minimum.
+		for _, p := range f.pos {
+			f.counts.Inc(p)
+		}
+		min, recurring := f.minAt(f.pos)
+		if recurring {
+			return
+		}
+		if f.secondary.Count(e) > 0 {
+			f.secondary.Insert(e)
+			return
+		}
+		f.secondary.seedValue(e, min)
+	}
+}
+
+// minAt returns the minimum over the given positions and whether it
+// occurs more than once (a "recurring minimum").
+func (f *SpectralBF) minAt(pos []int) (min uint64, recurring bool) {
+	min = f.counts.Peek(pos[0])
+	count := 1
+	for _, p := range pos[1:] {
+		v := f.counts.Peek(p)
+		switch {
+		case v < min:
+			min, count = v, 1
+		case v == min:
+			count++
+		}
+	}
+	return min, count >= 2
+}
+
+// seedValue raises e's counters to at least v (used when an element
+// first enters the secondary array with its primary-minimum estimate).
+func (f *SpectralBF) seedValue(e []byte, v uint64) {
+	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	for _, p := range f.pos {
+		if f.counts.Peek(p) < v {
+			f.counts.Set(p, v)
+		}
+	}
+}
+
+// Delete removes one occurrence of e (basic mode only: the minimum-
+// increase and recurring-minimum variants "reduce FPR at the cost of
+// not supporting updates", Section 2.3). ErrNotStored is returned if
+// some counter is zero.
+func (f *SpectralBF) Delete(e []byte) error {
+	if f.mode != SpectralBasic {
+		return fmt.Errorf("baseline: %w: only the basic spectral BF supports deletes", ErrNotStored)
+	}
+	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	for _, p := range f.pos {
+		if f.counts.Peek(p) == 0 {
+			return ErrNotStored
+		}
+	}
+	for _, p := range f.pos {
+		f.counts.Dec(p)
+	}
+	return nil
+}
+
+// Count returns the multiplicity estimate: the minimum over the k
+// counters (never an underestimate). Each counter read is one memory
+// access; a zero counter short-circuits the scan. The recurring-minimum
+// variant answers from the secondary array when the primary minimum is
+// single (the error-prone case it exists to repair).
+func (f *SpectralBF) Count(e []byte) uint64 {
+	if f.mode == SpectralRecurringMin {
+		f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+		min, recurring := f.minAt(f.pos)
+		if recurring || min == 0 {
+			return min
+		}
+		if sec := f.secondary.Count(e); sec > 0 {
+			return sec
+		}
+		return min
+	}
+	min := ^uint64(0)
+	for i := 0; i < f.k; i++ {
+		v := f.counts.Get(f.fam.Mod(i, e, f.m))
+		if v < min {
+			min = v
+			if min == 0 {
+				return 0
+			}
+		}
+	}
+	return min
+}
+
+// Overflows reports counter saturation events — with 6-bit counters and
+// skewed workloads this is the variant's failure mode.
+func (f *SpectralBF) Overflows() uint64 { return f.counts.Overflows() }

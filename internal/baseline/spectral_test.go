@@ -1,0 +1,260 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpectralValidation(t *testing.T) {
+	if _, err := NewSpectralBF(0, 4, SpectralBasic); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := NewSpectralBF(100, 0, SpectralBasic); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestSpectralNeverUnderestimates(t *testing.T) {
+	// Basic and min-increase have strictly one-sided error. The
+	// recurring-minimum variant is tested separately: a secondary-array
+	// false positive can under-report (the Cohen–Matias caveat).
+	for _, mode := range []SpectralMode{SpectralBasic, SpectralMinIncrease} {
+		f, err := NewSpectralBF(60000, 8, mode, WithCounterWidth(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(mode)))
+		elems := genElements(2000, 1)
+		truth := make([]int, len(elems))
+		for i, e := range elems {
+			truth[i] = rng.Intn(20) + 1
+			for j := 0; j < truth[i]; j++ {
+				f.Insert(e)
+			}
+		}
+		for i, e := range elems {
+			if got := f.Count(e); got < uint64(truth[i]) {
+				t.Fatalf("mode %d: estimate %d < truth %d", mode, got, truth[i])
+			}
+		}
+	}
+}
+
+func TestSpectralMinIncreaseMoreAccurate(t *testing.T) {
+	// The second variant exists because it reduces overestimation; under
+	// load it must be at least as accurate as the basic variant.
+	const m, k, n = 8000, 6, 3000
+	basic, err := NewSpectralBF(m, k, SpectralBasic, WithCounterWidth(16), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := NewSpectralBF(m, k, SpectralMinIncrease, WithCounterWidth(16), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	elems := genElements(n, 3)
+	truth := make([]int, n)
+	for i, e := range elems {
+		truth[i] = rng.Intn(5) + 1
+		for j := 0; j < truth[i]; j++ {
+			basic.Insert(e)
+			mi.Insert(e)
+		}
+	}
+	var errBasic, errMI uint64
+	for i, e := range elems {
+		errBasic += basic.Count(e) - uint64(truth[i])
+		errMI += mi.Count(e) - uint64(truth[i])
+	}
+	if errMI > errBasic {
+		t.Fatalf("minimum-increase total error %d exceeds basic %d", errMI, errBasic)
+	}
+}
+
+func TestSpectralBasicDelete(t *testing.T) {
+	f, err := NewSpectralBF(10000, 6, SpectralBasic, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("flow")
+	for i := 0; i < 5; i++ {
+		f.Insert(e)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Count(e); got != 0 {
+		t.Fatalf("Count = %d after matched deletes, want 0", got)
+	}
+	if err := f.Delete(e); err == nil {
+		t.Fatal("over-delete accepted")
+	}
+}
+
+func TestSpectralMinIncreaseNoDelete(t *testing.T) {
+	for _, mode := range []SpectralMode{SpectralMinIncrease, SpectralRecurringMin} {
+		f, err := NewSpectralBF(1000, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Insert([]byte("x"))
+		if err := f.Delete([]byte("x")); err == nil {
+			t.Fatalf("mode %d must reject deletes (Section 2.3)", mode)
+		}
+	}
+}
+
+func TestSpectralRecurringMinMoreAccurateThanBasic(t *testing.T) {
+	// The third variant exists to repair single-minimum errors. At a
+	// moderate load (where the secondary stays sparse, the regime Cohen
+	// & Matias designed it for) its total error must not exceed the
+	// basic variant's.
+	const m, k, n = 20000, 4, 3000
+	basic, err := NewSpectralBF(m, k, SpectralBasic, WithCounterWidth(16), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := NewSpectralBF(m, k, SpectralRecurringMin, WithCounterWidth(16), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	elems := genElements(n, 13)
+	truth := make([]int, n)
+	for i, e := range elems {
+		truth[i] = rng.Intn(6) + 1
+		for j := 0; j < truth[i]; j++ {
+			basic.Insert(e)
+			rm.Insert(e)
+		}
+	}
+	var errBasic, errRM float64
+	under := 0
+	for i, e := range elems {
+		gotB, gotRM := float64(basic.Count(e)), float64(rm.Count(e))
+		tr := float64(truth[i])
+		if gotB < tr {
+			t.Fatal("basic variant underestimated")
+		}
+		if gotRM < tr {
+			under++ // possible for RM: secondary-array false positive
+		}
+		errBasic += gotB - tr
+		errRM += math.Abs(gotRM - tr)
+	}
+	if errRM > errBasic {
+		t.Fatalf("recurring-min total error %.0f exceeds basic %.0f", errRM, errBasic)
+	}
+	// Underestimates exist but must be rare.
+	if float64(under) > 0.01*float64(n) {
+		t.Fatalf("recurring-min underestimated %d/%d elements", under, n)
+	}
+	t.Logf("total error: basic %.0f, recurring-min %.0f (%d underestimates)", errBasic, errRM, under)
+}
+
+func TestSpectralRecurringMinSecondarySized(t *testing.T) {
+	f, err := NewSpectralBF(1000, 4, SpectralRecurringMin, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.secondary == nil || f.secondary.M() != 500 {
+		t.Fatal("secondary array missing or mis-sized")
+	}
+	// SizeBytes must include the secondary.
+	plain, _ := NewSpectralBF(1000, 4, SpectralBasic, WithCounterWidth(8))
+	if f.SizeBytes() <= plain.SizeBytes() {
+		t.Fatal("SizeBytes ignores the secondary array")
+	}
+}
+
+func TestSpectralAccessors(t *testing.T) {
+	f, err := NewSpectralBF(512, 4, SpectralMinIncrease, WithCounterWidth(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M() != 512 || f.K() != 4 || f.Mode() != SpectralMinIncrease {
+		t.Fatalf("accessors: M=%d K=%d mode=%d", f.M(), f.K(), f.Mode())
+	}
+	// 512 six-bit counters = 3072 bits = 48 words = 384 bytes.
+	if got := f.SizeBytes(); got != 384 {
+		t.Fatalf("SizeBytes = %d, want 384", got)
+	}
+}
+
+func TestCMSketchValidation(t *testing.T) {
+	if _, err := NewCMSketch(0, 10); err == nil {
+		t.Error("accepted d=0")
+	}
+	if _, err := NewCMSketch(4, 0); err == nil {
+		t.Error("accepted r=0")
+	}
+}
+
+func TestCMSketchNeverUnderestimates(t *testing.T) {
+	s, err := NewCMSketch(8, 4096, WithCounterWidth(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	elems := genElements(2000, 5)
+	truth := make([]int, len(elems))
+	for i, e := range elems {
+		truth[i] = rng.Intn(20) + 1
+		for j := 0; j < truth[i]; j++ {
+			s.Insert(e)
+		}
+	}
+	for i, e := range elems {
+		if got := s.Count(e); got < uint64(truth[i]) {
+			t.Fatalf("estimate %d < truth %d", got, truth[i])
+		}
+	}
+}
+
+func TestCMSketchExactWhenSparse(t *testing.T) {
+	s, err := NewCMSketch(4, 1<<16, WithCounterWidth(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("one flow")
+	for i := 0; i < 9; i++ {
+		s.Insert(e)
+	}
+	if got := s.Count(e); got != 9 {
+		t.Fatalf("sparse estimate %d, want 9", got)
+	}
+	if got := s.Count([]byte("absent")); got != 0 {
+		t.Fatalf("absent estimate %d, want 0", got)
+	}
+	if s.D() != 4 || s.R() != 1<<16 || s.HashOpsPerOp() != 4 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func BenchmarkSpectralCount(b *testing.B) {
+	f, _ := NewSpectralBF(1<<18, 8, SpectralBasic, WithCounterWidth(6))
+	elems := genElements(4096, 1)
+	for _, e := range elems {
+		f.Insert(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Count(elems[i&4095])
+	}
+}
+
+func BenchmarkCMSketchCount(b *testing.B) {
+	s, _ := NewCMSketch(8, 1<<15, WithCounterWidth(6))
+	elems := genElements(4096, 1)
+	for _, e := range elems {
+		s.Insert(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count(elems[i&4095])
+	}
+}

@@ -1,0 +1,187 @@
+// Package bitvec implements the bit array B underlying every filter in
+// the reproduction, with the two capabilities the ShBF framework needs
+// beyond a plain bitset:
+//
+//  1. Windowed reads. ShBF queries read w̄ (or c) consecutive bits
+//     starting at an arbitrary position and inspect where the 1s fall
+//     (Figure 1). Window returns up to 64 consecutive bits as a uint64.
+//
+//  2. Memory-access accounting. The paper's Figures 8, 10(b) and 11(b)
+//     report "# memory accesses per query"; the vector charges an
+//     attached memmodel.Counter per the byte-addressable model of
+//     Section 3.1 (one access per ≤64-bit window, one per isolated bit).
+//
+// Vectors are created with explicit slack so shifted positions
+// h_i(e)%m + o(e) never wrap: the paper "extends the number of bits in
+// ShBF to m+c" (Section 1.2).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"shbf/internal/memmodel"
+)
+
+// Vector is a fixed-size bit array. The zero value is unusable; use New.
+type Vector struct {
+	words []uint64
+	n     int // total bits, including slack
+	acc   *memmodel.Counter
+}
+
+// New returns a vector of n bits, all zero. It panics if n is not
+// positive: sizes are static configuration derived from m and the
+// offset range, not runtime input.
+func New(n int) *Vector {
+	if n <= 0 {
+		panic(fmt.Sprintf("bitvec: size %d must be positive", n))
+	}
+	// One guard word beyond the last data word lets Window read two
+	// words unconditionally (branchless) at every in-range position.
+	return &Vector{
+		words: make([]uint64, (n+63)/64+1),
+		n:     n,
+	}
+}
+
+// SetCounter attaches an access counter; nil detaches. Read and write
+// paths charge it per the Section 3.1 model.
+func (v *Vector) SetCounter(c *memmodel.Counter) { v.acc = c }
+
+// Counter returns the attached access counter (possibly nil).
+func (v *Vector) Counter() *memmodel.Counter { return v.acc }
+
+// Len returns the total number of bits, including slack.
+func (v *Vector) Len() int { return v.n }
+
+// SizeBytes returns the memory footprint of the logical bit storage
+// (excluding the internal guard word).
+func (v *Vector) SizeBytes() int { return (v.n + 63) / 64 * 8 }
+
+// Set sets bit i to 1, charging one write access.
+func (v *Vector) Set(i int) {
+	v.boundsCheck(i)
+	v.words[i>>6] |= 1 << uint(i&63)
+	v.acc.AddWrites(1)
+}
+
+// Clear sets bit i to 0, charging one write access.
+func (v *Vector) Clear(i int) {
+	v.boundsCheck(i)
+	v.words[i>>6] &^= 1 << uint(i&63)
+	v.acc.AddWrites(1)
+}
+
+// Bit reports whether bit i is set, charging one read access. This is
+// the probe primitive of the standard BF baseline, whose k probes hit k
+// random words and therefore cost k accesses (Section 1.2.1).
+func (v *Vector) Bit(i int) bool {
+	v.boundsCheck(i)
+	v.acc.AddReads(1)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Peek reports whether bit i is set without charging an access. Used by
+// tests and by write paths that already accounted for their access.
+func (v *Vector) Peek(i int) bool {
+	v.boundsCheck(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Window returns the width consecutive bits starting at pos, packed into
+// the low bits of a uint64 (bit pos at bit 0). width must be in [1, 64]
+// and the window must lie inside the vector. It charges
+// memmodel.AccessCount(pos, width) read accesses — exactly 1 for the
+// paper's w̄ ≤ w−7 windows.
+func (v *Vector) Window(pos, width int) uint64 {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("bitvec: window width %d out of range [1,64]", width))
+	}
+	if pos < 0 || pos+width > v.n {
+		panic(fmt.Sprintf("bitvec: window [%d,%d) out of range [0,%d)", pos, pos+width, v.n))
+	}
+	if v.acc != nil {
+		v.acc.AddReads(memmodel.AccessCount(pos, width))
+	}
+
+	// Branchless two-word read: the guard word makes words[wi+1] always
+	// addressable, and Go defines x << 64 as 0, so the second term
+	// vanishes when the window is word-aligned (off = 0).
+	wi, off := pos>>6, uint(pos&63)
+	out := v.words[wi]>>off | v.words[wi+1]<<(64-off)
+	if width < 64 {
+		out &= (1 << uint(width)) - 1
+	}
+	return out
+}
+
+// OnesCount returns the number of set bits (no access charged; this is
+// instrumentation, not a query path).
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// FillRatio returns the fraction of set bits, the empirical 1−p′ of the
+// analysis (Equation 2).
+func (v *Vector) FillRatio() float64 {
+	return float64(v.OnesCount()) / float64(v.n)
+}
+
+// Reset zeroes every bit without charging accesses.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy sharing no storage; the clone has no counter.
+func (v *Vector) Clone() *Vector {
+	w := make([]uint64, len(v.words))
+	copy(w, v.words)
+	return &Vector{words: w, n: v.n}
+}
+
+// Or ORs o's bits into v. Panics if lengths differ (a programming
+// error: set algebra requires identical geometry).
+func (v *Vector) Or(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: Or of mismatched lengths %d and %d", v.n, o.n))
+	}
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// And ANDs o's bits into v. Panics if lengths differ.
+func (v *Vector) And(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: And of mismatched lengths %d and %d", v.n, o.n))
+	}
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *Vector) boundsCheck(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: bit %d out of range [0,%d)", i, v.n))
+	}
+}

@@ -1,0 +1,238 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shbf/internal/memmodel"
+)
+
+func TestSetBitClear(t *testing.T) {
+	v := New(200)
+	if v.Peek(63) || v.Peek(64) {
+		t.Fatal("fresh vector has set bits")
+	}
+	v.Set(63)
+	v.Set(64)
+	v.Set(199)
+	for _, i := range []int{63, 64, 199} {
+		if !v.Peek(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != 3 {
+		t.Fatalf("OnesCount = %d, want 3", got)
+	}
+	v.Clear(64)
+	if v.Peek(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := v.OnesCount(); got != 2 {
+		t.Fatalf("OnesCount = %d, want 2", got)
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	v := New(100)
+	for name, f := range map[string]func(){
+		"Set(-1)":       func() { v.Set(-1) },
+		"Set(100)":      func() { v.Set(100) },
+		"Bit(100)":      func() { v.Bit(100) },
+		"Clear(-1)":     func() { v.Clear(-1) },
+		"Window(90,20)": func() { v.Window(90, 20) },
+		"Window(0,0)":   func() { v.Window(0, 0) },
+		"Window(0,65)":  func() { v.Window(0, 65) },
+		"Window(-1,4)":  func() { v.Window(-1, 4) },
+		"New(0)":        func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWindowMatchesNaiveBits(t *testing.T) {
+	// Property: Window(pos, width) bit j == Peek(pos+j).
+	const n = 1024
+	v := New(n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n/3; i++ {
+		v.Set(rng.Intn(n))
+	}
+	f := func(pos uint16, width uint8) bool {
+		w := int(width)%64 + 1
+		p := int(pos) % (n - w)
+		win := v.Window(p, w)
+		for j := 0; j < w; j++ {
+			if (win>>uint(j))&1 == 1 != v.Peek(p+j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowCrossesWordBoundary(t *testing.T) {
+	v := New(256)
+	v.Set(60)
+	v.Set(63)
+	v.Set(64)
+	v.Set(70)
+	win := v.Window(60, 16)
+	want := uint64(1)<<0 | 1<<3 | 1<<4 | 1<<10
+	if win != want {
+		t.Fatalf("Window(60,16) = %b, want %b", win, want)
+	}
+}
+
+func TestWindowFullWord(t *testing.T) {
+	v := New(128)
+	for i := 0; i < 64; i += 2 {
+		v.Set(i)
+	}
+	if got := v.Window(0, 64); got != 0x5555555555555555 {
+		t.Fatalf("Window(0,64) = %x", got)
+	}
+	// Unaligned full-word window.
+	if got := v.Window(1, 64); got != 0x2aaaaaaaaaaaaaaa>>1|0<<63 {
+		// bits 1..64: pattern shifted; bit 64 of vector is 0.
+		want := uint64(0x5555555555555555) >> 1
+		if got != want {
+			t.Fatalf("Window(1,64) = %x, want %x", got, want)
+		}
+	}
+}
+
+func TestAccessAccounting(t *testing.T) {
+	var c memmodel.Counter
+	v := New(1000)
+	v.SetCounter(&c)
+	if v.Counter() != &c {
+		t.Fatal("Counter() did not return attached counter")
+	}
+
+	v.Set(10) // 1 write
+	v.Bit(10) // 1 read
+	if c.Writes() != 1 || c.Reads() != 1 {
+		t.Fatalf("after Set+Bit: %v", &c)
+	}
+
+	c.Reset()
+	v.Window(3, 57) // paper's w̄ window: exactly 1 access
+	if c.Reads() != 1 {
+		t.Fatalf("w̄ window cost %d reads, want 1", c.Reads())
+	}
+
+	c.Reset()
+	v.Window(1, 64) // byte span 9 bytes → 2 accesses
+	if c.Reads() != 2 {
+		t.Fatalf("unaligned 64-bit window cost %d reads, want 2", c.Reads())
+	}
+
+	// Peek and instrumentation never charge.
+	c.Reset()
+	v.Peek(10)
+	v.OnesCount()
+	v.FillRatio()
+	if c.Total() != 0 {
+		t.Fatalf("instrumentation charged %d accesses", c.Total())
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	v := New(64)
+	v.Set(1)
+	v.Bit(1)
+	v.Window(0, 10) // must not panic with no counter attached
+}
+
+func TestFillRatioAndReset(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 50; i++ {
+		v.Set(i)
+	}
+	if got := v.FillRatio(); got != 0.5 {
+		t.Fatalf("FillRatio = %v, want 0.5", got)
+	}
+	v.Reset()
+	if v.OnesCount() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(129)
+	w := v.Clone()
+	if !v.Equal(w) {
+		t.Fatal("clone not equal to original")
+	}
+	w.Set(5)
+	if v.Equal(w) {
+		t.Fatal("mutating clone affected equality unexpectedly")
+	}
+	if v.Peek(5) {
+		t.Fatal("clone shares storage with original")
+	}
+	if v.Equal(New(131)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(64 bits) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(65 bits) = %d, want 16", got)
+	}
+}
+
+func TestSetClearRoundTripProperty(t *testing.T) {
+	v := New(512)
+	f := func(idx []uint16) bool {
+		v.Reset()
+		seen := map[int]bool{}
+		for _, i := range idx {
+			p := int(i) % 512
+			v.Set(p)
+			seen[p] = true
+		}
+		for p := range seen {
+			if !v.Peek(p) {
+				return false
+			}
+			v.Clear(p)
+		}
+		return v.OnesCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWindow57(b *testing.B) {
+	v := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Window((i*2654435761)%(1<<20-57), 57)
+	}
+}
+
+func BenchmarkBit(b *testing.B) {
+	v := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Bit((i * 2654435761) % (1 << 20))
+	}
+}

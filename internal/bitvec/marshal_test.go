@@ -1,0 +1,86 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 4096} {
+		v := New(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n/3+1; i++ {
+			v.Set(rng.Intn(n))
+		}
+		buf := v.AppendBinary(nil)
+		got, rest, err := DecodeVector(buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d leftover bytes", n, len(rest))
+		}
+		if !v.Equal(got) {
+			t.Fatalf("n=%d: decoded vector differs", n)
+		}
+		// Decoded vector must still support windowed reads near the end
+		// (guard word reconstructed).
+		if n >= 57 {
+			_ = got.Window(n-57, 57)
+		}
+	}
+}
+
+func TestVectorRoundTripProperty(t *testing.T) {
+	f := func(idx []uint16, extra uint8) bool {
+		n := 300 + int(extra)
+		v := New(n)
+		for _, i := range idx {
+			v.Set(int(i) % n)
+		}
+		got, rest, err := DecodeVector(v.AppendBinary(nil))
+		return err == nil && len(rest) == 0 && v.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorAppendsAfterPrefix(t *testing.T) {
+	v := New(100)
+	v.Set(42)
+	buf := append([]byte("prefix"), v.AppendBinary(nil)...)
+	got, rest, err := DecodeVector(buf[6:])
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode after prefix: %v, %d rest", err, len(rest))
+	}
+	if !got.Peek(42) {
+		t.Fatal("bit lost")
+	}
+}
+
+func TestDecodeVectorRejectsCorrupt(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(129)
+	buf := v.AppendBinary(nil)
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": buf[:len(buf)-1],
+		"zero bits": {0x00},
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeVector(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Non-zero bits beyond the logical length must be rejected.
+	bad := append([]byte{}, buf...)
+	bad[len(bad)-1] |= 0x80 // bit 191 of a 130-bit vector
+	if _, _, err := DecodeVector(bad); err == nil {
+		t.Error("accepted tail garbage beyond logical length")
+	}
+}

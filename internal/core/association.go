@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/hashing"
+	"shbf/internal/hashtable"
+)
+
+// Region identifies, as a bitmask, the parts of S1 ∪ S2 an element may
+// belong to. The three atomic regions are mutually exclusive ground
+// truths; query answers may contain several candidates (paper Section
+// 4.2's outcomes 4–7).
+type Region uint8
+
+const (
+	// RegionS1Only is S1 − S2 (offset 0 in the encoding).
+	RegionS1Only Region = 1 << iota
+	// RegionBoth is S1 ∩ S2 (offset o1).
+	RegionBoth
+	// RegionS2Only is S2 − S1 (offset o2).
+	RegionS2Only
+
+	// RegionNone means no candidate matched. For e ∈ S1 ∪ S2 this cannot
+	// happen (the construction has no false negatives); for other
+	// elements it is a definite "not in either set".
+	RegionNone Region = 0
+)
+
+// String implements fmt.Stringer for region masks.
+func (r Region) String() string {
+	switch r {
+	case RegionNone:
+		return "∅"
+	case RegionS1Only:
+		return "S1−S2"
+	case RegionBoth:
+		return "S1∩S2"
+	case RegionS2Only:
+		return "S2−S1"
+	case RegionS1Only | RegionBoth:
+		return "S1 (S2 unsure)"
+	case RegionS2Only | RegionBoth:
+		return "S2 (S1 unsure)"
+	case RegionS1Only | RegionS2Only:
+		return "S1−S2 ∪ S2−S1"
+	default:
+		return "S1∪S2"
+	}
+}
+
+// Clear reports whether the mask pins down exactly one atomic region —
+// the paper's "clear answer" (outcomes 1–3 of Section 4.2).
+func (r Region) Clear() bool {
+	return r == RegionS1Only || r == RegionBoth || r == RegionS2Only
+}
+
+// InS1 reports whether every candidate region lies inside S1, i.e. the
+// element is definitely in S1 (outcomes 1, 2 and 4).
+func (r Region) InS1() bool {
+	return r != RegionNone && r&RegionS2Only == 0
+}
+
+// InS2 reports whether every candidate region lies inside S2 (outcomes
+// 2, 3 and 5).
+func (r Region) InS2() bool {
+	return r != RegionNone && r&RegionS1Only == 0
+}
+
+// Contains reports whether the atomic region truth is among the
+// candidates.
+func (r Region) Contains(truth Region) bool { return r&truth != 0 }
+
+// Association is ShBF_A, the shifting Bloom filter for association
+// queries over two sets S1 and S2 (paper Section 4). One m-bit array
+// encodes every element of S1 ∪ S2 exactly once, with its region
+// carried by the offset:
+//
+//	e ∈ S1−S2: o(e) = 0
+//	e ∈ S1∩S2: o(e) = o1(e) = h_{k+1}(e) % ((w̄−1)/2) + 1
+//	e ∈ S2−S1: o(e) = o2(e) = o1(e) + h_{k+2}(e) % ((w̄−1)/2) + 1
+//
+// A query reads, for each of the k base positions, the three bits at
+// offsets {0, o1(e), o2(e)} — all inside one w̄-bit window, hence k
+// memory accesses and k+2 hash computations per query versus iBF's 2k
+// and 2k (paper Table 2). Unlike iBF, ShBF_A never returns a wrong
+// region: its seven outcomes are all sound, merely sometimes incomplete
+// (Section 4.2).
+type Association struct {
+	bits      *bitvec.Vector
+	m         int
+	k         int
+	wbar      int
+	halfRange int // (w̄−1)/2, the range of each offset component
+	fam       *hashing.Family
+	seed      uint64
+	n1, n2    int // |S1|, |S2| distinct
+	nBoth     int // |S1 ∩ S2|
+}
+
+// BuildAssociation constructs ShBF_A from the two sets. Duplicates
+// within each input slice are ignored (the construction hash tables T1
+// and T2 deduplicate, Section 4.1). The sets need not be disjoint —
+// handling overlap is the point of the scheme.
+func BuildAssociation(s1, s2 [][]byte, m, k int, opts ...Option) (*Association, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be ≥ 1", k)
+	}
+	if cfg.maxOffset < 3 || cfg.maxOffset > 64 {
+		return nil, fmt.Errorf("core: max offset w̄ = %d out of range [3,64] (association needs two offset components)", cfg.maxOffset)
+	}
+	a := &Association{
+		bits:      bitvec.New(m + cfg.maxOffset - 1),
+		m:         m,
+		k:         k,
+		wbar:      cfg.maxOffset,
+		halfRange: (cfg.maxOffset - 1) / 2,
+		fam:       hashing.NewFamily(k+2, cfg.seed),
+		seed:      cfg.seed,
+	}
+	a.bits.SetCounter(cfg.counter)
+
+	// Step 1 (Section 4.1): hash tables over the raw sets.
+	t1 := hashtable.New(cfg.seed + 1)
+	for _, e := range s1 {
+		t1.Put(e, 1)
+	}
+	t2 := hashtable.New(cfg.seed + 2)
+	for _, e := range s2 {
+		t2.Put(e, 1)
+	}
+	a.n1, a.n2 = t1.Len(), t2.Len()
+
+	// Step 2: elements of S1 — offset 0 if exclusive, o1 if shared.
+	t1.Range(func(e []byte, _ uint64) bool {
+		o := 0
+		if t2.Contains(e) {
+			o = a.offset1(e)
+			a.nBoth++
+		}
+		a.encode(e, o)
+		return true
+	})
+
+	// Step 3: elements of S2 not already stored via S1 — offset o2.
+	t2.Range(func(e []byte, _ uint64) bool {
+		if t1.Contains(e) {
+			return true // already encoded with o1
+		}
+		a.encode(e, a.offset2(e))
+		return true
+	})
+	return a, nil
+}
+
+// offset1 computes o1(e) ∈ [1, (w̄−1)/2].
+func (a *Association) offset1(e []byte) int {
+	return hashing.Reduce(a.fam.Sum64(a.k, e), a.halfRange) + 1
+}
+
+// offset2 computes o2(e) = o1(e) + h_{k+2}(e)%((w̄−1)/2) + 1 ∈ [2, w̄−1].
+func (a *Association) offset2(e []byte) int {
+	return a.offset1(e) + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+}
+
+// encode sets the k bits B[h_i(e)%m + o].
+func (a *Association) encode(e []byte, o int) {
+	for i := 0; i < a.k; i++ {
+		a.bits.Set(a.fam.Mod(i, e, a.m) + o)
+	}
+}
+
+// M, K, and MaxOffset report the construction parameters; N1, N2 and
+// NBoth the distinct set sizes observed at build time.
+func (a *Association) M() int         { return a.m }
+func (a *Association) K() int         { return a.k }
+func (a *Association) MaxOffset() int { return a.wbar }
+func (a *Association) N1() int        { return a.n1 }
+func (a *Association) N2() int        { return a.n2 }
+func (a *Association) NBoth() int     { return a.nBoth }
+
+// NDistinct returns n′ = |S1 ∪ S2|, the quantity the paper sizes m by
+// (m = n′·k/ln 2 at the optimum, Table 2).
+func (a *Association) NDistinct() int { return a.n1 + a.n2 - a.nBoth }
+
+// SizeBytes returns the bit-array footprint.
+func (a *Association) SizeBytes() int { return a.bits.SizeBytes() }
+
+// FillRatio returns the fraction of set bits.
+func (a *Association) FillRatio() float64 { return a.bits.FillRatio() }
+
+// Query returns the candidate-region mask for e. For e ∈ S1 ∪ S2 the
+// true region is always among the candidates (no false negatives) and
+// any of the seven Section 4.2 outcomes may be returned; for other
+// elements RegionNone may additionally be returned. Each of the ≤ k
+// window reads costs one memory access and checks all three offsets at
+// once; the scan stops early once no candidate survives.
+func (a *Association) Query(e []byte) Region {
+	o1 := a.offset1(e)
+	o2 := o1 + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+
+	cand := RegionS1Only | RegionBoth | RegionS2Only
+	for i := 0; i < a.k && cand != RegionNone; i++ {
+		win := a.bits.Window(a.fam.Mod(i, e, a.m), a.wbar)
+		// Branchless candidate pruning: surviving regions are exactly
+		// those whose offset bit is set in the window (the bit tests are
+		// data-dependent 50/50 coin flips at the optimal fill, so
+		// branching on them would mispredict constantly).
+		survived := Region(win&1) |
+			Region(win>>uint(o1)&1)<<1 |
+			Region(win>>uint(o2)&1)<<2
+		cand &= survived
+	}
+	return cand
+}
+
+// HashOpsPerQuery returns k+2, the paper's Table 2 hashing budget.
+func (a *Association) HashOpsPerQuery() int { return a.k + 2 }

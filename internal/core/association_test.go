@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// buildAssocSets returns disjoint element groups for the three regions.
+func buildAssocSets(n1only, nBoth, n2only int, seed int64) (s1only, both, s2only [][]byte) {
+	all := genElements(n1only+nBoth+n2only, seed)
+	// Tag bytes keep the groups disjoint even under index collision.
+	for i, e := range all {
+		switch {
+		case i < n1only:
+			e[11] = 1
+		case i < n1only+nBoth:
+			e[11] = 2
+		default:
+			e[11] = 3
+		}
+	}
+	return all[:n1only], all[n1only : n1only+nBoth], all[n1only+nBoth:]
+}
+
+func buildAssoc(t *testing.T, s1only, both, s2only [][]byte, m, k int, opts ...Option) *Association {
+	t.Helper()
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	a, err := BuildAssociation(s1, s2, m, k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildAssociationValidation(t *testing.T) {
+	if _, err := BuildAssociation(nil, nil, 0, 4); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := BuildAssociation(nil, nil, 100, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := BuildAssociation(nil, nil, 100, 4, WithMaxOffset(2)); err == nil {
+		t.Error("accepted w̄=2 (no room for two offset components)")
+	}
+}
+
+func TestAssociationCounts(t *testing.T) {
+	s1only, both, s2only := buildAssocSets(100, 40, 60, 1)
+	a := buildAssoc(t, s1only, both, s2only, 5000, 8)
+	if a.N1() != 140 || a.N2() != 100 || a.NBoth() != 40 {
+		t.Fatalf("N1=%d N2=%d NBoth=%d, want 140/100/40", a.N1(), a.N2(), a.NBoth())
+	}
+	if a.NDistinct() != 200 {
+		t.Fatalf("NDistinct = %d, want 200", a.NDistinct())
+	}
+}
+
+func TestAssociationDeduplicatesInputs(t *testing.T) {
+	e := []byte("dup element")
+	a, err := BuildAssociation([][]byte{e, e, e}, nil, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N1() != 1 {
+		t.Fatalf("N1 = %d, want 1 (deduplicated)", a.N1())
+	}
+}
+
+func TestAssociationTruthAlwaysAmongCandidates(t *testing.T) {
+	// No false negatives: for e ∈ S1∪S2 the true region is always in the
+	// candidate mask (Section 4.2 — the seven outcomes are all sound).
+	s1only, both, s2only := buildAssocSets(400, 200, 400, 2)
+	a := buildAssoc(t, s1only, both, s2only, 15000, 10)
+
+	check := func(elems [][]byte, truth Region) {
+		for i, e := range elems {
+			got := a.Query(e)
+			if !got.Contains(truth) {
+				t.Fatalf("element %d of %v: candidates %v missing truth", i, truth, got)
+			}
+		}
+	}
+	check(s1only, RegionS1Only)
+	check(both, RegionBoth)
+	check(s2only, RegionS2Only)
+}
+
+func TestAssociationClearAnswerRate(t *testing.T) {
+	// With m at the optimum (m = n′k/ln2) the probability of a clear
+	// answer is (1−0.5^k)² (Table 2). For k=10 that is ≈ 0.998.
+	const k = 10
+	s1only, both, s2only := buildAssocSets(2000, 1000, 2000, 3)
+	nDistinct := 5000
+	m := int(float64(nDistinct) * k / math.Ln2)
+	a := buildAssoc(t, s1only, both, s2only, m, k, WithSeed(17))
+
+	clear, total := 0, 0
+	for _, group := range [][][]byte{s1only, both, s2only} {
+		for _, e := range group {
+			if a.Query(e).Clear() {
+				clear++
+			}
+			total++
+		}
+	}
+	got := float64(clear) / float64(total)
+	want := math.Pow(1-math.Pow(0.5, k), 2)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("clear-answer rate %.4f vs theory %.4f", got, want)
+	}
+}
+
+func TestAssociationDefiniteMembership(t *testing.T) {
+	// Outcomes 4/5: even when not clear, InS1/InS2 must never be wrong.
+	s1only, both, s2only := buildAssocSets(500, 300, 500, 4)
+	a := buildAssoc(t, s1only, both, s2only, 8000, 6)
+	for _, e := range s1only {
+		r := a.Query(e)
+		if r.InS2() {
+			t.Fatalf("S1−S2 element classified definitely-in-S2 (%v)", r)
+		}
+	}
+	for _, e := range s2only {
+		r := a.Query(e)
+		if r.InS1() {
+			t.Fatalf("S2−S1 element classified definitely-in-S1 (%v)", r)
+		}
+	}
+	for _, e := range both {
+		r := a.Query(e)
+		// The truth (Both) is a candidate, so a "definitely in S1−S2
+		// only" style wrong exclusive claim is impossible; InS1/InS2 may
+		// be true (correct) or indeterminate, but a clear answer must be
+		// RegionBoth.
+		if r.Clear() && r != RegionBoth {
+			t.Fatalf("intersection element got clear answer %v", r)
+		}
+	}
+}
+
+func TestAssociationNonMemberCanReturnNone(t *testing.T) {
+	s1only, both, s2only := buildAssocSets(50, 20, 50, 5)
+	a := buildAssoc(t, s1only, both, s2only, 10000, 8)
+	none := 0
+	probes := genDisjoint(1000, 6)
+	for _, e := range probes {
+		if a.Query(e) == RegionNone {
+			none++
+		}
+	}
+	// With this much headroom nearly every non-member yields RegionNone.
+	if none < 900 {
+		t.Fatalf("only %d/1000 non-members reported RegionNone", none)
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	tests := []struct {
+		r                 Region
+		clear, inS1, inS2 bool
+		str               string
+	}{
+		{RegionNone, false, false, false, "∅"},
+		{RegionS1Only, true, true, false, "S1−S2"},
+		{RegionBoth, true, true, true, "S1∩S2"},
+		{RegionS2Only, true, false, true, "S2−S1"},
+		{RegionS1Only | RegionBoth, false, true, false, "S1 (S2 unsure)"},
+		{RegionS2Only | RegionBoth, false, false, true, "S2 (S1 unsure)"},
+		{RegionS1Only | RegionS2Only, false, false, false, "S1−S2 ∪ S2−S1"},
+		{RegionS1Only | RegionBoth | RegionS2Only, false, false, false, "S1∪S2"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Clear(); got != tt.clear {
+			t.Errorf("%v.Clear() = %v, want %v", tt.r, got, tt.clear)
+		}
+		if got := tt.r.InS1(); got != tt.inS1 {
+			t.Errorf("%v.InS1() = %v, want %v", tt.r, got, tt.inS1)
+		}
+		if got := tt.r.InS2(); got != tt.inS2 {
+			t.Errorf("%v.InS2() = %v, want %v", tt.r, got, tt.inS2)
+		}
+		if got := tt.r.String(); got != tt.str {
+			t.Errorf("Region(%d).String() = %q, want %q", tt.r, got, tt.str)
+		}
+	}
+}
+
+func TestAssociationOffsetsDistinct(t *testing.T) {
+	// o1 ∈ [1,(w̄−1)/2], o2 = o1 + [1,(w̄−1)/2]: o2 > o1 > 0 always, so
+	// the three region encodings can never collide for one element.
+	a := buildAssoc(t, nil, nil, nil, 1000, 4)
+	for _, e := range genElements(3000, 7) {
+		o1, o2 := a.offset1(e), a.offset2(e)
+		if o1 < 1 || o1 > 28 {
+			t.Fatalf("o1 = %d out of [1,28]", o1)
+		}
+		if o2 <= o1 || o2 > 56 {
+			t.Fatalf("o2 = %d out of (o1,56]", o2)
+		}
+	}
+}
+
+func TestAssociationHashOps(t *testing.T) {
+	a := buildAssoc(t, nil, nil, nil, 1000, 12)
+	if got := a.HashOpsPerQuery(); got != 14 {
+		t.Fatalf("HashOpsPerQuery = %d, want k+2 = 14", got)
+	}
+}
+
+func BenchmarkAssociationQuery(b *testing.B) {
+	s1 := genElements(10000, 1)
+	s2 := genElements(10000, 2)
+	for _, e := range s2 {
+		e[12] = 0xAA
+	}
+	n := 20000.0
+	m := int(n * 8 / math.Ln2)
+	a, err := BuildAssociation(s1, s2, m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Query(s1[i&8191])
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/counters"
+	"shbf/internal/hashing"
+	"shbf/internal/hashtable"
+	"shbf/internal/memmodel"
+)
+
+// CountingAssociation is CShBF_A (paper Section 4.3): a dynamically
+// updatable ShBF_A. It maintains the membership hash tables T1 and T2
+// (off-chip, as in the construction phase of Section 4.1), an array C of
+// counters, and the query-side bit array B, synchronized after every
+// update.
+//
+// The paper describes inserts/deletes as "after querying T1 and T2 and
+// determining whether o(e) = 0, o1(e), or o2(e), increment/decrement the
+// corresponding k counters". When an update moves an element between
+// regions — e.g. inserting into S2 an element already in S1 moves it
+// from S1−S2 to S1∩S2 — the old region's encoding must be removed and
+// the new one added; CountingAssociation completes the paper's sketch
+// with exactly that re-encoding.
+type CountingAssociation struct {
+	bits      *bitvec.Vector
+	counts    *counters.Array
+	t1, t2    *hashtable.Table
+	m         int
+	k         int
+	wbar      int
+	halfRange int
+	fam       *hashing.Family
+	seed      uint64
+}
+
+// NewCountingAssociation returns an empty updatable association filter.
+func NewCountingAssociation(m, k int, opts ...Option) (*CountingAssociation, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be ≥ 1", k)
+	}
+	if cfg.maxOffset < 3 || cfg.maxOffset > 64 {
+		return nil, fmt.Errorf("core: max offset w̄ = %d out of range [3,64]", cfg.maxOffset)
+	}
+	total := m + cfg.maxOffset - 1
+	a := &CountingAssociation{
+		bits:      bitvec.New(total),
+		counts:    counters.New(total, cfg.counterWidth),
+		t1:        hashtable.New(cfg.seed + 1),
+		t2:        hashtable.New(cfg.seed + 2),
+		m:         m,
+		k:         k,
+		wbar:      cfg.maxOffset,
+		halfRange: (cfg.maxOffset - 1) / 2,
+		fam:       hashing.NewFamily(k+2, cfg.seed),
+		seed:      cfg.seed,
+	}
+	a.bits.SetCounter(cfg.counter)
+	return a, nil
+}
+
+// SetUpdateCounter attaches a memory-access counter to the off-chip
+// counter array C.
+func (a *CountingAssociation) SetUpdateCounter(mc *memmodel.Counter) {
+	a.counts.SetCounter(mc)
+}
+
+// N1, N2 report the current distinct sizes of S1 and S2.
+func (a *CountingAssociation) N1() int { return a.t1.Len() }
+func (a *CountingAssociation) N2() int { return a.t2.Len() }
+
+// InsertS1 adds e to S1 (no-op if already present), re-encoding e's
+// region if it changed. ErrCounterSaturated is returned if a counter
+// would overflow; the filter is left unchanged in that case.
+func (a *CountingAssociation) InsertS1(e []byte) error {
+	if a.t1.Contains(e) {
+		return nil
+	}
+	return a.transition(e, func() { a.t1.Put(e, 1) })
+}
+
+// InsertS2 adds e to S2 (no-op if already present).
+func (a *CountingAssociation) InsertS2(e []byte) error {
+	if a.t2.Contains(e) {
+		return nil
+	}
+	return a.transition(e, func() { a.t2.Put(e, 1) })
+}
+
+// DeleteS1 removes e from S1, returning ErrNotStored if absent.
+func (a *CountingAssociation) DeleteS1(e []byte) error {
+	if !a.t1.Contains(e) {
+		return ErrNotStored
+	}
+	return a.transition(e, func() { a.t1.Delete(e) })
+}
+
+// DeleteS2 removes e from S2, returning ErrNotStored if absent.
+func (a *CountingAssociation) DeleteS2(e []byte) error {
+	if !a.t2.Contains(e) {
+		return ErrNotStored
+	}
+	return a.transition(e, func() { a.t2.Delete(e) })
+}
+
+// transition applies the set mutation, then re-encodes e if its region
+// changed: decrement the old offset's k counters (clearing bits that
+// reach zero) and increment the new offset's (setting bits).
+func (a *CountingAssociation) transition(e []byte, mutate func()) error {
+	oldRegion := a.truthRegion(e)
+	mutate()
+	newRegion := a.truthRegion(e)
+	if oldRegion == newRegion {
+		return nil
+	}
+	if newRegion != RegionNone {
+		o := a.offsetFor(e, newRegion)
+		// Check saturation up front so failures leave state untouched
+		// (aside from the set-table mutation, which the caller observes
+		// via the error and can undo; encoding and tables stay in sync
+		// for all other elements).
+		for i := 0; i < a.k; i++ {
+			p := a.fam.Mod(i, e, a.m) + o
+			if a.counts.Peek(p) == a.counts.Max() {
+				return ErrCounterSaturated
+			}
+		}
+		for i := 0; i < a.k; i++ {
+			p := a.fam.Mod(i, e, a.m) + o
+			a.counts.Inc(p)
+			a.bits.Set(p)
+		}
+	}
+	if oldRegion != RegionNone {
+		o := a.offsetFor(e, oldRegion)
+		for i := 0; i < a.k; i++ {
+			p := a.fam.Mod(i, e, a.m) + o
+			if v, ok := a.counts.Dec(p); ok && v == 0 {
+				a.bits.Clear(p)
+			}
+		}
+	}
+	return nil
+}
+
+// truthRegion derives e's atomic region from the backing tables.
+func (a *CountingAssociation) truthRegion(e []byte) Region {
+	in1, in2 := a.t1.Contains(e), a.t2.Contains(e)
+	switch {
+	case in1 && in2:
+		return RegionBoth
+	case in1:
+		return RegionS1Only
+	case in2:
+		return RegionS2Only
+	default:
+		return RegionNone
+	}
+}
+
+// offsetFor maps an atomic region to its encoding offset.
+func (a *CountingAssociation) offsetFor(e []byte, r Region) int {
+	switch r {
+	case RegionS1Only:
+		return 0
+	case RegionBoth:
+		return a.offset1(e)
+	default: // RegionS2Only
+		return a.offset2(e)
+	}
+}
+
+func (a *CountingAssociation) offset1(e []byte) int {
+	return hashing.Reduce(a.fam.Sum64(a.k, e), a.halfRange) + 1
+}
+
+func (a *CountingAssociation) offset2(e []byte) int {
+	return a.offset1(e) + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+}
+
+// Query returns the candidate-region mask for e from the bit array B,
+// with the same semantics as Association.Query.
+func (a *CountingAssociation) Query(e []byte) Region {
+	o1 := a.offset1(e)
+	o2 := o1 + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+
+	cand := RegionS1Only | RegionBoth | RegionS2Only
+	for i := 0; i < a.k && cand != RegionNone; i++ {
+		win := a.bits.Window(a.fam.Mod(i, e, a.m), a.wbar)
+		// Branchless pruning; see Association.Query.
+		survived := Region(win&1) |
+			Region(win>>uint(o1)&1)<<1 |
+			Region(win>>uint(o2)&1)<<2
+		cand &= survived
+	}
+	return cand
+}

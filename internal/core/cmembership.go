@@ -1,0 +1,120 @@
+package core
+
+import (
+	"shbf/internal/counters"
+	"shbf/internal/memmodel"
+)
+
+// CountingMembership is CShBF_M (paper Section 3.3): ShBF_M extended
+// with an array C of m+w̄−1 fixed-width counters so elements can be
+// deleted. Mirroring the paper's architecture, the bit array B (the
+// embedded Membership) serves queries — in SRAM on the paper's hardware
+// — while C supports updates from DRAM; the two are kept synchronized on
+// every update: a bit in B is 1 exactly when its counter in C is
+// non-zero.
+type CountingMembership struct {
+	filter *Membership
+	counts *counters.Array
+	pos    []int // scratch: k positions per update
+}
+
+// NewCountingMembership returns an empty CShBF_M with the same (m, k,
+// w̄) semantics as NewMembership. WithCounterWidth controls the counter
+// size (default 4 bits, Section 3.3).
+func NewCountingMembership(m, k int, opts ...Option) (*CountingMembership, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := NewMembership(m, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &CountingMembership{
+		filter: inner,
+		counts: counters.New(inner.totalBits(), cfg.counterWidth),
+	}, nil
+}
+
+// Filter returns the embedded query-side ShBF_M (the array B). Callers
+// use it for Contains and statistics; mutating it directly would break
+// the B/C synchronization invariant.
+func (c *CountingMembership) Filter() *Membership { return c.filter }
+
+// SetUpdateCounter attaches a memory-access counter to the counter array
+// C, so update-path DRAM accesses can be reported separately from
+// query-path accesses (Section 3.3 discusses exactly this split).
+func (c *CountingMembership) SetUpdateCounter(mc *memmodel.Counter) {
+	c.counts.SetCounter(mc)
+}
+
+// Contains reports membership by querying B only, exactly as the paper's
+// SRAM/DRAM deployment would.
+func (c *CountingMembership) Contains(e []byte) bool { return c.filter.Contains(e) }
+
+// N returns the number of elements currently stored (inserts minus
+// deletes).
+func (c *CountingMembership) N() int { return c.filter.n }
+
+// Insert adds e: each of the k counters is incremented and the
+// corresponding bit in B set. If any counter is saturated the insert is
+// rolled back and ErrCounterSaturated returned, leaving B and C
+// consistent.
+func (c *CountingMembership) Insert(e []byte) error {
+	c.pos = c.filter.positions(e, c.pos)
+	for i, p := range c.pos {
+		if c.counts.Peek(p) == c.counts.Max() {
+			for _, q := range c.pos[:i] {
+				if v, _ := c.counts.Dec(q); v == 0 {
+					c.filter.clearBit(q)
+				}
+			}
+			return ErrCounterSaturated
+		}
+		c.counts.Inc(p)
+		c.filter.setBit(p)
+	}
+	c.filter.n++
+	return nil
+}
+
+// Delete removes one occurrence of e: each of the k counters is
+// decremented, and any counter reaching zero clears its bit in B
+// (Section 3.3's synchronization rule). If e's encoding is not fully
+// present — some counter already zero — nothing is changed and
+// ErrNotStored is returned.
+func (c *CountingMembership) Delete(e []byte) error {
+	c.pos = c.filter.positions(e, c.pos)
+	for _, p := range c.pos {
+		if c.counts.Peek(p) == 0 {
+			return ErrNotStored
+		}
+	}
+	for _, p := range c.pos {
+		if v, _ := c.counts.Dec(p); v == 0 {
+			c.filter.clearBit(p)
+		}
+	}
+	c.filter.n--
+	return nil
+}
+
+// CounterOverflows reports how many increments saturated, validating the
+// paper's "4 bits are enough" guidance for a given workload.
+func (c *CountingMembership) CounterOverflows() uint64 { return c.counts.Overflows() }
+
+// SizeBytes returns the combined footprint of B and C.
+func (c *CountingMembership) SizeBytes() int {
+	return c.filter.SizeBytes() + c.counts.SizeBytes()
+}
+
+// consistent verifies the B/C invariant (bit set ⇔ counter non-zero);
+// exported to tests via export_test.go.
+func (c *CountingMembership) consistent() bool {
+	for i := 0; i < c.filter.totalBits(); i++ {
+		if c.filter.bits.Peek(i) != (c.counts.Peek(i) != 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/counters"
+	"shbf/internal/hashing"
+	"shbf/internal/hashtable"
+	"shbf/internal/memmodel"
+)
+
+// CountingMultiplicity is CShBF_X (paper Section 5.3): an updatable
+// ShBF_X. It maintains the query-side bit array B, a counter array C of
+// the same length, and — in the default no-false-negative mode of
+// Section 5.3.2 (Figure 5) — an off-chip hash table holding each
+// element's exact count.
+//
+// An insert of e moves its encoding from multiplicity z to z+1: the k
+// counters at h_i(e)%m + z−1 are decremented (bits cleared on zero) and
+// the k counters at h_i(e)%m + z incremented (bits set). Deletes move
+// z to z−1 symmetrically. "One element with multiple multiplicities is
+// always inserted into the filter one time" (Section 5.3.1) — exactly k
+// bits encode e no matter how large its count.
+//
+// With WithUnsafeUpdates the current multiplicity z is learned by
+// querying B instead of the hash table (Section 5.3.1). A false
+// positive on that query makes the update decrement counters that
+// belong to other elements, which can clear their bits and introduce
+// false negatives — the failure mode the paper warns about and the
+// reason 5.3.2 exists. The mode is kept for the ablation experiment.
+type CountingMultiplicity struct {
+	bits   *bitvec.Vector
+	counts *counters.Array
+	table  *hashtable.Table // nil in unsafe mode
+	m      int
+	k      int
+	c      int
+	fam    *hashing.Family
+	seed   uint64
+}
+
+// NewCountingMultiplicity returns an empty CShBF_X for counts in [1, c].
+func NewCountingMultiplicity(m, k, c int, opts ...Option) (*CountingMultiplicity, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be ≥ 1", k)
+	}
+	if c < 1 || c > 64 {
+		return nil, fmt.Errorf("core: max multiplicity c = %d out of range [1,64]", c)
+	}
+	f := &CountingMultiplicity{
+		bits:   bitvec.New(m + c - 1),
+		counts: counters.New(m+c-1, cfg.counterWidth),
+		m:      m,
+		k:      k,
+		c:      c,
+		fam:    hashing.NewFamily(k, cfg.seed),
+		seed:   cfg.seed,
+	}
+	if !cfg.unsafeUpdate {
+		f.table = hashtable.New(cfg.seed + 3)
+	}
+	f.bits.SetCounter(cfg.counter)
+	return f, nil
+}
+
+// SetUpdateCounter attaches a memory-access counter to the off-chip
+// structures (counter array and hash table), reproducing the paper's
+// on-chip/off-chip accounting of Figure 5.
+func (f *CountingMultiplicity) SetUpdateCounter(mc *memmodel.Counter) {
+	f.counts.SetCounter(mc)
+	if f.table != nil {
+		f.table.SetCounter(mc)
+	}
+}
+
+// Unsafe reports whether the filter runs in the Section 5.3.1 mode.
+func (f *CountingMultiplicity) Unsafe() bool { return f.table == nil }
+
+// C returns the maximum multiplicity.
+func (f *CountingMultiplicity) C() int { return f.c }
+
+// current returns e's multiplicity as the update path sees it: exact
+// from the hash table in safe mode, queried from B in unsafe mode.
+func (f *CountingMultiplicity) current(e []byte) int {
+	if f.table != nil {
+		v, _ := f.table.Get(e)
+		return int(v)
+	}
+	return f.Count(e)
+}
+
+// Insert increments e's multiplicity. It returns ErrCountOverflow when
+// the multiplicity would exceed c, and ErrCounterSaturated when a
+// counter in C would overflow; in both cases the filter is unchanged.
+func (f *CountingMultiplicity) Insert(e []byte) error {
+	z := f.current(e)
+	if z+1 > f.c {
+		return ErrCountOverflow
+	}
+	if err := f.checkHeadroom(e, z); err != nil {
+		return err
+	}
+	if z > 0 {
+		f.removeEncoding(e, z)
+	}
+	f.addEncoding(e, z+1)
+	if f.table != nil {
+		f.table.Add(e, 1)
+	}
+	return nil
+}
+
+// Delete decrements e's multiplicity, returning ErrNotStored if e's
+// current encoding is not present.
+func (f *CountingMultiplicity) Delete(e []byte) error {
+	z := f.current(e)
+	if z == 0 {
+		return ErrNotStored
+	}
+	if z > 1 {
+		if err := f.checkHeadroom(e, z); err != nil {
+			return err
+		}
+	}
+	f.removeEncoding(e, z)
+	if z > 1 {
+		f.addEncoding(e, z-1)
+	}
+	if f.table != nil {
+		f.table.Sub(e, 1)
+	}
+	return nil
+}
+
+// checkHeadroom verifies no destination counter of a z→z±1 move is
+// saturated, so failed updates leave the filter untouched.
+func (f *CountingMultiplicity) checkHeadroom(e []byte, z int) error {
+	for i := 0; i < f.k; i++ {
+		if f.counts.Peek(f.fam.Mod(i, e, f.m)+z) == f.counts.Max() {
+			return ErrCounterSaturated
+		}
+	}
+	return nil
+}
+
+// addEncoding increments the k counters of multiplicity count and sets
+// the bits.
+func (f *CountingMultiplicity) addEncoding(e []byte, count int) {
+	o := count - 1
+	for i := 0; i < f.k; i++ {
+		p := f.fam.Mod(i, e, f.m) + o
+		f.counts.Inc(p)
+		f.bits.Set(p)
+	}
+}
+
+// removeEncoding decrements the k counters of multiplicity count,
+// clearing bits whose counters reach zero (Figure 5, steps 2–3). In
+// unsafe mode a false-positive z can decrement counters owned by other
+// elements — the documented false-negative mechanism.
+func (f *CountingMultiplicity) removeEncoding(e []byte, count int) {
+	o := count - 1
+	for i := 0; i < f.k; i++ {
+		p := f.fam.Mod(i, e, f.m) + o
+		if v, ok := f.counts.Dec(p); ok && v == 0 {
+			f.bits.Clear(p)
+		}
+	}
+}
+
+// candidateMask intersects the k c-bit windows of e over B.
+func (f *CountingMultiplicity) candidateMask(e []byte) uint64 {
+	var all uint64
+	if f.c == 64 {
+		all = ^uint64(0)
+	} else {
+		all = 1<<uint(f.c) - 1
+	}
+	cand := all
+	for i := 0; i < f.k && cand != 0; i++ {
+		cand &= f.bits.Window(f.fam.Mod(i, e, f.m), f.c)
+	}
+	return cand
+}
+
+// Count returns the reported multiplicity of e (largest candidate, 0 if
+// absent), reading only the on-chip array B.
+func (f *CountingMultiplicity) Count(e []byte) int {
+	cand := f.candidateMask(e)
+	if cand == 0 {
+		return 0
+	}
+	return 64 - bits.LeadingZeros64(cand)
+}
+
+// ExactCount returns e's true multiplicity from the backing hash table.
+// It panics in unsafe mode, which keeps no table — callers choosing
+// 5.3.1 semantics explicitly gave up exact counts.
+func (f *CountingMultiplicity) ExactCount(e []byte) int {
+	if f.table == nil {
+		panic("core: ExactCount unavailable with unsafe updates (Section 5.3.1 mode)")
+	}
+	v, _ := f.table.Get(e)
+	return int(v)
+}
+
+// SizeBytes returns the combined footprint of B and C (the hash table is
+// reported separately by design: the paper stores it off-chip).
+func (f *CountingMultiplicity) SizeBytes() int {
+	return f.bits.SizeBytes() + f.counts.SizeBytes()
+}

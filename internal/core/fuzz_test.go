@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// FuzzMembershipUnmarshal feeds arbitrary bytes to the filter decoder:
+// no panics, and anything accepted must re-encode to an equivalent
+// filter.
+func FuzzMembershipUnmarshal(f *testing.F) {
+	valid, err := NewMembership(1000, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid.Add([]byte("seed element"))
+	blob, _ := valid.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("ShBF\x01\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Membership
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted filter failed: %v", err)
+		}
+		var m2 Membership
+		if err := m2.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.M() != m.M() || m2.K() != m.K() || m2.N() != m.N() {
+			t.Fatal("round trip changed parameters")
+		}
+	})
+}
+
+// FuzzMembershipOps drives a filter with arbitrary element bytes split
+// into chunks: no false negatives regardless of input shape (empty
+// elements, long elements, duplicates).
+func FuzzMembershipOps(f *testing.F) {
+	f.Add([]byte("abcdef"), uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		filt, err := NewMembership(512, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := int(chunk%16) + 1
+		var elems [][]byte
+		for i := 0; i+size <= len(data); i += size {
+			elems = append(elems, data[i:i+size])
+		}
+		for _, e := range elems {
+			filt.Add(e)
+		}
+		for _, e := range elems {
+			if !filt.Contains(e) {
+				t.Fatalf("false negative on %x", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/hashing"
+)
+
+// TShift is the generalized ShBF_M of paper Section 3.6: instead of one
+// offset per base hash (t = 1, which is exactly ShBF_M), it uses groups
+// of t+1 positions — one base hash plus t shifted copies — so k bit
+// positions require only k/(t+1) base hash functions plus t offset
+// functions, k/(t+1)+t hash computations in total.
+//
+// Following the paper's partitioned construction ("the output of each
+// hash function covers a distinct set of consecutive (w̄−1)/t bits"),
+// the j-th offset is drawn from the j-th segment of the window:
+//
+//	o_j(e) = (j−1)·s + (h_{g+j}(e) mod s) + 1,  s = (w̄−1)/t
+//
+// so the t shifted bits land in disjoint segments of the w̄-bit window
+// and the whole group is still read with one memory access.
+type TShift struct {
+	bits   *bitvec.Vector
+	m      int
+	k      int
+	t      int
+	groups int // k/(t+1) base hash functions
+	seg    int // segment width s = (w̄−1)/t
+	wbar   int
+	fam    *hashing.Family // groups + t hashers
+	seed   uint64
+	n      int
+	offs   []int // scratch: t offsets
+}
+
+// NewTShift returns an empty generalized filter with k total positions
+// per element and t shifts per group. Requirements: t ≥ 1, (t+1) | k,
+// and t ≤ w̄−1 so each segment holds at least one bit. NewTShift with
+// t = 1 is behaviourally the ShBF_M construction.
+func NewTShift(m, k, t int, opts ...Option) (*TShift, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: t = %d must be ≥ 1", t)
+	}
+	if k < t+1 || k%(t+1) != 0 {
+		return nil, fmt.Errorf("core: k = %d must be a positive multiple of t+1 = %d", k, t+1)
+	}
+	if cfg.maxOffset < 2 || cfg.maxOffset > 64 {
+		return nil, fmt.Errorf("core: max offset w̄ = %d out of range [2,64]", cfg.maxOffset)
+	}
+	seg := (cfg.maxOffset - 1) / t
+	if seg < 1 {
+		return nil, fmt.Errorf("core: t = %d too large for w̄ = %d (empty segments)", t, cfg.maxOffset)
+	}
+	groups := k / (t + 1)
+	f := &TShift{
+		bits:   bitvec.New(m + cfg.maxOffset - 1),
+		m:      m,
+		k:      k,
+		t:      t,
+		groups: groups,
+		seg:    seg,
+		wbar:   cfg.maxOffset,
+		fam:    hashing.NewFamily(groups+t, cfg.seed),
+		seed:   cfg.seed,
+		offs:   make([]int, t),
+	}
+	f.bits.SetCounter(cfg.counter)
+	return f, nil
+}
+
+// M returns the base array size. K, T, N, and MaxOffset report the other
+// parameters.
+func (f *TShift) M() int         { return f.m }
+func (f *TShift) K() int         { return f.k }
+func (f *TShift) T() int         { return f.t }
+func (f *TShift) N() int         { return f.n }
+func (f *TShift) MaxOffset() int { return f.wbar }
+
+// HashOpsPerAdd returns k/(t+1) + t, the paper's hashing budget for the
+// generalized scheme.
+func (f *TShift) HashOpsPerAdd() int { return f.groups + f.t }
+
+// FillRatio returns the fraction of set bits.
+func (f *TShift) FillRatio() float64 { return f.bits.FillRatio() }
+
+// offsets fills f.offs with the t segment-partitioned offsets of e.
+func (f *TShift) offsets(e []byte) {
+	for j := 0; j < f.t; j++ {
+		h := f.fam.Sum64(f.groups+j, e)
+		f.offs[j] = j*f.seg + hashing.Reduce(h, f.seg) + 1
+	}
+}
+
+// Add inserts e: for each of the k/(t+1) base positions, set the base
+// bit and its t shifted copies.
+func (f *TShift) Add(e []byte) {
+	f.offsets(e)
+	for i := 0; i < f.groups; i++ {
+		base := f.fam.Mod(i, e, f.m)
+		f.bits.Set(base)
+		for _, o := range f.offs {
+			f.bits.Set(base + o)
+		}
+	}
+	f.n++
+}
+
+// Contains reports whether e may be in the set. Each group is verified
+// with a single w̄-bit window read; the scan stops at the first group
+// whose t+1 bits are not all 1. The t offset hashes are computed only
+// once the first base bit passes, so cheap rejections stay cheap.
+func (f *TShift) Contains(e []byte) bool {
+	mask := uint64(0)
+	for i := 0; i < f.groups; i++ {
+		base := f.fam.Mod(i, e, f.m)
+		win := f.bits.Window(base, f.wbar)
+		if win&1 == 0 {
+			return false
+		}
+		if mask == 0 {
+			f.offsets(e)
+			mask = 1
+			for _, o := range f.offs {
+				mask |= 1 << uint(o)
+			}
+		}
+		if win&mask != mask {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *TShift) Reset() {
+	f.bits.Reset()
+	f.n = 0
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mustTShift(t *testing.T, m, k, tt int, opts ...Option) *TShift {
+	t.Helper()
+	f, err := NewTShift(m, k, tt, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewTShiftValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		m, k, t int
+	}{
+		{"zero m", 0, 8, 1},
+		{"zero t", 100, 8, 0},
+		{"k not multiple of t+1", 100, 8, 2}, // 8 % 3 != 0
+		{"k too small", 100, 2, 3},
+		{"t exceeds window", 100, 114, 113}, // segments would be empty with w̄=57
+	}
+	for _, tt := range tests {
+		if _, err := NewTShift(tt.m, tt.k, tt.t); err == nil {
+			t.Errorf("%s: NewTShift(%d,%d,%d) accepted invalid config", tt.name, tt.m, tt.k, tt.t)
+		}
+	}
+	for _, ok := range []struct{ m, k, t int }{
+		{100, 8, 1}, {100, 9, 2}, {100, 8, 3}, {100, 12, 5},
+	} {
+		if _, err := NewTShift(ok.m, ok.k, ok.t); err != nil {
+			t.Errorf("NewTShift(%d,%d,%d) rejected valid config: %v", ok.m, ok.k, ok.t, err)
+		}
+	}
+}
+
+func TestTShiftNoFalseNegatives(t *testing.T) {
+	for _, tt := range []int{1, 2, 3, 5} {
+		k := 12 // divisible by 2, 3, 4, 6
+		f := mustTShift(t, 20000, k, tt)
+		elems := genElements(1000, int64(tt))
+		for _, e := range elems {
+			f.Add(e)
+		}
+		for i, e := range elems {
+			if !f.Contains(e) {
+				t.Fatalf("t=%d: false negative on element %d", tt, i)
+			}
+		}
+	}
+}
+
+func TestTShiftAccessors(t *testing.T) {
+	f := mustTShift(t, 5000, 12, 3)
+	if f.M() != 5000 || f.K() != 12 || f.T() != 3 {
+		t.Fatalf("accessors: M=%d K=%d T=%d", f.M(), f.K(), f.T())
+	}
+	// groups = 12/4 = 3, hash ops = 3 + 3 = 6.
+	if got := f.HashOpsPerAdd(); got != 6 {
+		t.Fatalf("HashOpsPerAdd = %d, want 6", got)
+	}
+	if f.MaxOffset() != DefaultMaxOffset {
+		t.Fatalf("MaxOffset = %d", f.MaxOffset())
+	}
+}
+
+func TestTShiftOffsetsInDisjointSegments(t *testing.T) {
+	// The partitioned construction: offset j must land in segment j.
+	f := mustTShift(t, 1000, 8, 3, WithMaxOffset(31)) // seg = 10
+	for _, e := range genElements(2000, 7) {
+		f.offsets(e)
+		for j, o := range f.offs {
+			lo, hi := j*10+1, (j+1)*10
+			if o < lo || o > hi {
+				t.Fatalf("offset %d = %d outside segment [%d,%d]", j, o, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTShiftT1MatchesMembershipFPRBallpark(t *testing.T) {
+	// t=1 is the ShBF_M construction; its measured FPR must agree with
+	// Equation (1) just like Membership's.
+	const m, k, n, probes = 22008, 8, 1200, 100000
+	f := mustTShift(t, m, k, 1, WithSeed(5))
+	for _, e := range genElements(n, 20) {
+		f.Add(e)
+	}
+	fp := 0
+	for _, e := range genDisjoint(probes, 21) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	p := math.Exp(-float64(n) * k / float64(m))
+	want := math.Pow(1-p, k/2.0) * math.Pow(1-p+p*p/(DefaultMaxOffset-1), k/2.0)
+	if math.Abs(got-want)/want > 0.20 {
+		t.Fatalf("t=1 FPR %.5f vs Eq(1) %.5f", got, want)
+	}
+}
+
+func TestTShiftLargerTStillReasonableFPR(t *testing.T) {
+	// Larger t trades hash ops for FPR; with ample memory the FPR must
+	// stay within a small factor of the BF baseline.
+	const m, n, probes = 30000, 1500, 50000
+	bfTheory := math.Pow(1-math.Exp(-float64(n)*12/float64(m)), 12)
+	for _, tt := range []int{1, 2, 3} {
+		f := mustTShift(t, m, 12, tt, WithSeed(uint64(tt)))
+		for _, e := range genElements(n, 30) {
+			f.Add(e)
+		}
+		fp := 0
+		for _, e := range genDisjoint(probes, 31) {
+			if f.Contains(e) {
+				fp++
+			}
+		}
+		got := float64(fp) / probes
+		if got > bfTheory*3 {
+			t.Fatalf("t=%d: FPR %.5f more than 3× BF theory %.5f", tt, got, bfTheory)
+		}
+	}
+}
+
+func TestTShiftReset(t *testing.T) {
+	f := mustTShift(t, 1000, 8, 1)
+	f.Add([]byte("x"))
+	f.Reset()
+	if f.N() != 0 || f.FillRatio() != 0 {
+		t.Fatal("Reset did not clear filter")
+	}
+}
+
+func BenchmarkTShiftContains(b *testing.B) {
+	for _, tt := range []struct {
+		name string
+		t, k int
+	}{{"t1_k8", 1, 8}, {"t3_k8", 3, 8}, {"t7_k8", 7, 8}} {
+		b.Run(tt.name, func(b *testing.B) {
+			f, err := NewTShift(1<<20, tt.k, tt.t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elems := genElements(1024, 1)
+			for _, e := range elems {
+				f.Add(e)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Contains(elems[i&1023])
+			}
+		})
+	}
+}

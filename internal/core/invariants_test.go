@@ -1,0 +1,211 @@
+package core
+
+// Cross-scheme invariants: relationships between the framework's
+// instantiations that must hold exactly, independent of parameters.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTShiftT1IsExactlyShBFM(t *testing.T) {
+	// The t = 1 generalization is not merely "similar" to ShBF_M — with
+	// the same seed it derives the same hash family and the same offset
+	// formula, so the bit arrays must be identical after identical adds.
+	const m, k = 7000, 8
+	seed := uint64(12345)
+	mem := mustMembership(t, m, k, WithSeed(seed))
+	ts := mustTShift(t, m, k, 1, WithSeed(seed))
+
+	elems := genElements(700, 42)
+	for _, e := range elems {
+		mem.Add(e)
+		ts.Add(e)
+	}
+	if !mem.bits.Equal(ts.bits) {
+		t.Fatal("t=1 TShift bit array differs from ShBF_M")
+	}
+	// And therefore identical answers everywhere.
+	for _, e := range genDisjoint(20000, 43) {
+		if mem.Contains(e) != ts.Contains(e) {
+			t.Fatal("t=1 TShift disagrees with ShBF_M on a probe")
+		}
+	}
+}
+
+func TestCountingMembershipBitsMatchStatic(t *testing.T) {
+	// After any interleaved insert/delete history, the counting
+	// filter's B must equal a fresh ShBF_M holding exactly the distinct
+	// surviving elements.
+	const m, k = 4000, 6
+	seed := uint64(777)
+	c := mustCounting(t, m, k, WithSeed(seed), WithCounterWidth(8))
+
+	rng := rand.New(rand.NewSource(3))
+	elems := genElements(300, 44)
+	ref := map[int]int{}
+	for op := 0; op < 3000; op++ {
+		i := rng.Intn(len(elems))
+		if rng.Intn(3) > 0 {
+			if err := c.Insert(elems[i]); err != nil {
+				t.Fatal(err)
+			}
+			ref[i]++
+		} else if ref[i] > 0 {
+			if err := c.Delete(elems[i]); err != nil {
+				t.Fatal(err)
+			}
+			ref[i]--
+		}
+	}
+
+	static := mustMembership(t, m, k, WithSeed(seed))
+	for i, count := range ref {
+		if count > 0 {
+			static.Add(elems[i])
+		}
+	}
+	if !c.filter.bits.Equal(static.bits) {
+		t.Fatal("counting filter's B differs from an equivalent static build")
+	}
+}
+
+func TestMultiplicityCountOneEqualsOffsetZeroEncoding(t *testing.T) {
+	// ShBF_X with every count = 1 sets bits exactly at the base
+	// positions h_i(e)%m — the degenerate "no auxiliary information"
+	// case of the framework (offset 0).
+	const m, k = 3000, 6
+	f := mustMultiplicity(t, m, k, 20, WithSeed(9))
+	e := []byte("element")
+	if err := f.AddWithCount(e, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if !f.bits.Peek(f.fam.Mod(i, e, m)) {
+			t.Fatal("count-1 encoding missed a base position")
+		}
+	}
+	if f.bits.OnesCount() > k {
+		t.Fatalf("count-1 encoding set %d bits, want ≤ %d", f.bits.OnesCount(), k)
+	}
+}
+
+func TestAssociationSingleSetDegeneratesToMembership(t *testing.T) {
+	// With S2 empty every element is S1−S2 (offset 0); Query must give
+	// a definite S1−S2 for members with no false negatives, and the
+	// InS1/InS2 predicates must never place a member in S2 exclusively.
+	elems := genElements(500, 45)
+	a, err := BuildAssociation(elems, nil, 8000, 8, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range elems {
+		r := a.Query(e)
+		if !r.Contains(RegionS1Only) {
+			t.Fatal("member of S1-only build lost its region")
+		}
+		if r == RegionS2Only || r == RegionS2Only|RegionBoth {
+			t.Fatal("member of S1 classified as definitely-S2")
+		}
+	}
+	if a.NBoth() != 0 || a.N2() != 0 {
+		t.Fatalf("sizes: n2=%d nBoth=%d", a.N2(), a.NBoth())
+	}
+}
+
+func TestCountingAssociationMatchesStaticBits(t *testing.T) {
+	// Building the same sets dynamically and statically (same seed)
+	// must produce identical bit arrays: the counting variant's
+	// re-encoding is exactly the static construction rule.
+	s1only, both, s2only := buildAssocSets(150, 60, 150, 46)
+	seed := uint64(31337)
+
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	static, err := BuildAssociation(s1, s2, 7000, 6, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dyn := mustCountingAssoc(t, 7000, 6, WithSeed(seed), WithCounterWidth(8))
+	// Adversarial order: insert everything into S1 first, then into S2,
+	// then remove the S2-only elements from S1 — forcing region
+	// migrations through all three regions.
+	for _, e := range s1 {
+		dyn.InsertS1(e)
+	}
+	for _, e := range s2only {
+		dyn.InsertS1(e) // temporarily wrong region
+	}
+	for _, e := range s2 {
+		dyn.InsertS2(e)
+	}
+	for _, e := range s2only {
+		if err := dyn.DeleteS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !static.bits.Equal(dyn.bits) {
+		t.Fatal("dynamic bit array differs from static construction")
+	}
+}
+
+func TestMembershipPairedBitsInvariant(t *testing.T) {
+	// Property: after any adds, the number of set bits is at most k per
+	// element and at least k/2+... in fact ≥ k/2 per element is not
+	// guaranteed under collisions; the hard invariants are: ≤ k·n bits
+	// set, and every member's k positions are all set.
+	f := func(raw [][]byte) bool {
+		filt, err := NewMembership(2048, 6)
+		if err != nil {
+			return false
+		}
+		for _, e := range raw {
+			filt.Add(e)
+		}
+		if filt.bits.OnesCount() > 6*len(raw) {
+			return false
+		}
+		var pos []int
+		for _, e := range raw {
+			pos = filt.positions(e, pos)
+			for _, p := range pos {
+				if !filt.bits.Peek(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedIndependenceOfSchemes(t *testing.T) {
+	// Different filters built with the same seed must still be
+	// independent across *types* (their family derivations differ by
+	// construction): a ShBF_M and a ShBF_X of equal geometry must not
+	// share bit patterns for the same elements.
+	m := 5000
+	mem := mustMembership(t, m, 8, WithSeed(1))
+	mult := mustMultiplicity(t, m, 8, 10, WithSeed(1))
+	same := 0
+	elems := genElements(200, 47)
+	for _, e := range elems {
+		mem.Add(e)
+		mult.AddWithCount(e, 1)
+	}
+	for _, e := range genDisjoint(20000, 48) {
+		if mem.Contains(e) == (mult.Count(e) > 0) {
+			same++
+		}
+	}
+	// Mostly both say "no"; what must NOT happen is perfect agreement
+	// with substantial positives on both sides. Check they are not
+	// identical deciders by finding at least one disagreement.
+	if same == 20000 {
+		t.Log("warning: deciders agreed on all probes (possible at tiny FPR, not an error)")
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Static checks: every filter implements both interfaces.
+var (
+	_ encoding.BinaryMarshaler   = (*Membership)(nil)
+	_ encoding.BinaryUnmarshaler = (*Membership)(nil)
+	_ encoding.BinaryMarshaler   = (*CountingMembership)(nil)
+	_ encoding.BinaryUnmarshaler = (*CountingMembership)(nil)
+	_ encoding.BinaryMarshaler   = (*TShift)(nil)
+	_ encoding.BinaryUnmarshaler = (*TShift)(nil)
+	_ encoding.BinaryMarshaler   = (*Association)(nil)
+	_ encoding.BinaryUnmarshaler = (*Association)(nil)
+	_ encoding.BinaryMarshaler   = (*CountingAssociation)(nil)
+	_ encoding.BinaryUnmarshaler = (*CountingAssociation)(nil)
+	_ encoding.BinaryMarshaler   = (*Multiplicity)(nil)
+	_ encoding.BinaryUnmarshaler = (*Multiplicity)(nil)
+	_ encoding.BinaryMarshaler   = (*CountingMultiplicity)(nil)
+	_ encoding.BinaryUnmarshaler = (*CountingMultiplicity)(nil)
+	_ encoding.BinaryMarshaler   = (*SCMSketch)(nil)
+	_ encoding.BinaryUnmarshaler = (*SCMSketch)(nil)
+)
+
+func TestMembershipRoundTrip(t *testing.T) {
+	f := mustMembership(t, 5000, 8, WithSeed(77), WithMaxOffset(41))
+	elems := genElements(400, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Membership
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 5000 || g.K() != 8 || g.MaxOffset() != 41 || g.N() != 400 {
+		t.Fatalf("decoded params: m=%d k=%d w̄=%d n=%d", g.M(), g.K(), g.MaxOffset(), g.N())
+	}
+	// The decoded filter must answer identically, members and probes.
+	for _, e := range elems {
+		if !g.Contains(e) {
+			t.Fatal("decoded filter lost a member")
+		}
+	}
+	for _, e := range genDisjoint(5000, 2) {
+		if f.Contains(e) != g.Contains(e) {
+			t.Fatal("decoded filter disagrees with original")
+		}
+	}
+	// And keep accepting adds with the same hash family.
+	extra := []byte("added after decode")
+	g.Add(extra)
+	if !g.Contains(extra) {
+		t.Fatal("decoded filter cannot be extended")
+	}
+}
+
+func TestCountingMembershipRoundTrip(t *testing.T) {
+	c := mustCounting(t, 3000, 6, WithSeed(5), WithCounterWidth(8))
+	elems := genElements(200, 3)
+	for _, e := range elems {
+		if err := c.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d CountingMembership
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// Deletes must work on the decoded filter (counters intact).
+	for _, e := range elems {
+		if !d.Contains(e) {
+			t.Fatal("decoded counting filter lost a member")
+		}
+		if err := d.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Filter().FillRatio() != 0 {
+		t.Fatal("decoded filter not empty after deleting everything")
+	}
+	if !d.consistent() {
+		t.Fatal("decoded filter violates B/C invariant")
+	}
+}
+
+func TestTShiftRoundTrip(t *testing.T) {
+	f := mustTShift(t, 4000, 12, 3, WithSeed(9))
+	elems := genElements(300, 4)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g TShift
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.T() != 3 || g.K() != 12 || g.N() != 300 {
+		t.Fatalf("decoded params: t=%d k=%d n=%d", g.T(), g.K(), g.N())
+	}
+	for _, e := range elems {
+		if !g.Contains(e) {
+			t.Fatal("decoded t-shift filter lost a member")
+		}
+	}
+}
+
+func TestAssociationRoundTrip(t *testing.T) {
+	s1only, both, s2only := buildAssocSets(100, 50, 100, 5)
+	a := buildAssoc(t, s1only, both, s2only, 5000, 8, WithSeed(13))
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Association
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.N1() != a.N1() || b.N2() != a.N2() || b.NBoth() != a.NBoth() {
+		t.Fatalf("decoded sizes: %d/%d/%d", b.N1(), b.N2(), b.NBoth())
+	}
+	for _, e := range s1only {
+		if a.Query(e) != b.Query(e) {
+			t.Fatal("decoded association filter disagrees")
+		}
+	}
+	for _, e := range both {
+		if !b.Query(e).Contains(RegionBoth) {
+			t.Fatal("decoded filter lost intersection truth")
+		}
+	}
+}
+
+func TestCountingAssociationRoundTrip(t *testing.T) {
+	a := mustCountingAssoc(t, 4000, 6, WithSeed(21), WithCounterWidth(8))
+	e1, e2 := []byte("one"), []byte("two")
+	a.InsertS1(e1)
+	a.InsertS1(e2)
+	a.InsertS2(e2)
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b CountingAssociation
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.N1() != 2 || b.N2() != 1 {
+		t.Fatalf("decoded set sizes %d/%d", b.N1(), b.N2())
+	}
+	if !b.Query(e2).Contains(RegionBoth) {
+		t.Fatal("decoded filter lost region truth")
+	}
+	// Updates must keep working, including region migration.
+	if err := b.DeleteS1(e2); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Query(e2).Contains(RegionS2Only) {
+		t.Fatal("region migration broken after decode")
+	}
+}
+
+func TestMultiplicityRoundTrip(t *testing.T) {
+	f := mustMultiplicity(t, 8000, 6, 30, WithSeed(31))
+	rng := rand.New(rand.NewSource(6))
+	elems := genElements(300, 7)
+	truth := make([]int, len(elems))
+	for i, e := range elems {
+		truth[i] = rng.Intn(30) + 1
+		f.AddWithCount(e, truth[i])
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Multiplicity
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range elems {
+		if got, want := g.Count(e), f.Count(e); got != want {
+			t.Fatalf("decoded count %d, original %d", got, want)
+		}
+		if g.Count(e) < truth[i] {
+			t.Fatal("decoded filter underestimates")
+		}
+	}
+}
+
+func TestCountingMultiplicityRoundTrip(t *testing.T) {
+	f := mustCountingMult(t, 8000, 6, 20, WithSeed(41), WithCounterWidth(8))
+	e := []byte("flow")
+	for i := 0; i < 7; i++ {
+		f.Insert(e)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g CountingMultiplicity
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.ExactCount(e) != 7 {
+		t.Fatalf("decoded exact count %d, want 7 (table must survive)", g.ExactCount(e))
+	}
+	// Updates continue exactly.
+	if err := g.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if g.ExactCount(e) != 8 || g.Count(e) < 8 {
+		t.Fatal("decoded filter broken after further insert")
+	}
+	for i := 0; i < 8; i++ {
+		if err := g.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Count(e) != 0 {
+		t.Fatal("decoded filter not empty after matched deletes")
+	}
+}
+
+func TestCountingMultiplicityUnsafeRoundTrip(t *testing.T) {
+	f := mustCountingMult(t, 4000, 4, 10, WithUnsafeUpdates(), WithCounterWidth(8))
+	f.Insert([]byte("x"))
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g CountingMultiplicity
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Unsafe() {
+		t.Fatal("unsafe mode lost in round trip")
+	}
+	if g.Count([]byte("x")) != 1 {
+		t.Fatal("decoded unsafe filter lost state")
+	}
+}
+
+func TestSCMSketchRoundTrip(t *testing.T) {
+	s := mustSCM(t, 6, 2048, WithSeed(51), WithCounterWidth(16))
+	elems := genElements(200, 8)
+	for i, e := range elems {
+		for j := 0; j <= i%5; j++ {
+			s.Insert(e)
+		}
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d SCMSketch
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range elems {
+		if d.Count(e) != s.Count(e) {
+			t.Fatal("decoded SCM sketch disagrees")
+		}
+	}
+	d.Insert(elems[0])
+	if d.Count(elems[0]) != s.Count(elems[0])+1 {
+		t.Fatal("decoded SCM sketch broken after insert")
+	}
+}
+
+func TestUnmarshalRejectsCorruptInput(t *testing.T) {
+	f := mustMembership(t, 1000, 4)
+	f.Add([]byte("x"))
+	data, _ := f.MarshalBinary()
+
+	var g Membership
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte(strings.Repeat("x", len(data))),
+		"truncated":      data[:len(data)/2],
+		"wrong kind":     append(append([]byte{}, data[:5]...), 99),
+		"trailing bytes": append(append([]byte{}, data...), 0xFF),
+	}
+	for name, corrupt := range cases {
+		if err := g.UnmarshalBinary(corrupt); err == nil {
+			t.Errorf("%s: accepted corrupt input", name)
+		}
+	}
+
+	// A valid multiplicity blob must not decode as a membership filter.
+	mf := mustMultiplicity(t, 1000, 4, 10)
+	mdata, _ := mf.MarshalBinary()
+	if err := g.UnmarshalBinary(mdata); err == nil {
+		t.Error("membership decoder accepted a multiplicity blob")
+	}
+
+	// Bad version byte.
+	bad := append([]byte{}, data...)
+	bad[4] = 99
+	if err := g.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted unsupported version")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	f := mustCountingMult(t, 2000, 4, 10, WithCounterWidth(8))
+	for _, e := range genElements(50, 9) {
+		f.Insert(e)
+	}
+	a, _ := f.MarshalBinary()
+	b, _ := f.MarshalBinary()
+	if string(a) != string(b) {
+		t.Fatal("MarshalBinary is not deterministic")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/hashing"
+)
+
+// Membership is ShBF_M, the shifting Bloom filter for membership queries
+// (paper Section 3).
+//
+// Construction (Section 3.1): for each element e, compute k/2 base
+// positions h_1(e)%m … h_{k/2}(e)%m and one offset
+// o(e) = h_{k/2+1}(e) % (w̄−1) + 1 ∈ [1, w̄−1], then set both B[h_i(e)%m]
+// and B[h_i(e)%m + o(e)]. The filter stores k bits per element like a
+// standard k-function Bloom filter but computes only k/2+1 hash
+// functions.
+//
+// Query (Section 3.2): read the pair (B[h_i%m], B[h_i%m+o]) with one
+// memory access per i and report membership iff every pair is (1,1),
+// terminating early at the first miss — at most k/2 accesses versus the
+// standard filter's k.
+type Membership struct {
+	bits *bitvec.Vector
+	m    int // base array size; slack of w̄−1 bits follows
+	k    int // total bit positions per element (even)
+	half int // k/2 base hash functions
+	wbar int // maximum offset value w̄
+	fam  *hashing.Family
+	seed uint64 // construction seed (retained for serialization)
+	n    int    // elements added
+}
+
+// NewMembership returns an empty ShBF_M with an m-bit base array and k
+// bit positions per element. k must be even and at least 2 (the paper
+// assumes k even "for simplicity", splitting it into k/2 hash pairs).
+// The array is extended by w̄−1 slack bits so shifted positions never
+// wrap (Section 1.2: "we extend the number of bits in ShBF to m+c").
+func NewMembership(m, k int, opts ...Option) (*Membership, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("core: k = %d must be even and ≥ 2", k)
+	}
+	if cfg.maxOffset < 2 || cfg.maxOffset > 64 {
+		return nil, fmt.Errorf("core: max offset w̄ = %d out of range [2,64]", cfg.maxOffset)
+	}
+	f := &Membership{
+		bits: bitvec.New(m + cfg.maxOffset - 1),
+		m:    m,
+		k:    k,
+		half: k / 2,
+		wbar: cfg.maxOffset,
+		fam:  hashing.NewFamily(k/2+1, cfg.seed),
+		seed: cfg.seed,
+	}
+	f.bits.SetCounter(cfg.counter)
+	return f, nil
+}
+
+// M returns the base array size in bits (excluding offset slack).
+func (f *Membership) M() int { return f.m }
+
+// K returns the number of bit positions per element.
+func (f *Membership) K() int { return f.k }
+
+// MaxOffset returns w̄.
+func (f *Membership) MaxOffset() int { return f.wbar }
+
+// N returns the number of elements added.
+func (f *Membership) N() int { return f.n }
+
+// SizeBytes returns the filter's bit-array footprint.
+func (f *Membership) SizeBytes() int { return f.bits.SizeBytes() }
+
+// FillRatio returns the fraction of set bits (the empirical 1−p′ of
+// Equation 2).
+func (f *Membership) FillRatio() float64 { return f.bits.FillRatio() }
+
+// HashOpsPerAdd returns the number of hash computations per insertion:
+// k/2 + 1 (Section 3.1).
+func (f *Membership) HashOpsPerAdd() int { return f.half + 1 }
+
+// offset computes o(e) = h_{k/2+1}(e) % (w̄−1) + 1 ∈ [1, w̄−1]. The
+// offset is never 0: a zero offset would collapse the pair to a single
+// bit (Section 3.1).
+func (f *Membership) offset(e []byte) int {
+	return hashing.Reduce(f.fam.Sum64(f.half, e), f.wbar-1) + 1
+}
+
+// Add inserts e, computing k/2+1 hash functions and setting k bits.
+func (f *Membership) Add(e []byte) {
+	o := f.offset(e)
+	for i := 0; i < f.half; i++ {
+		base := f.fam.Mod(i, e, f.m)
+		f.bits.Set(base)
+		f.bits.Set(base + o)
+	}
+	f.n++
+}
+
+// Contains reports whether e may be in the set (no false negatives;
+// false positives at the Equation 1 rate). Each of the ≤ k/2 probes
+// reads one w̄-bit window (one memory access) and checks the pair; the
+// scan stops at the first failed pair. Hash computations are performed
+// lazily — including the offset hash, which is only needed once some
+// base bit is set — so a negative rejected by the first base bit costs
+// a single hash computation and a single access, matching the standard
+// filter's early-exit cost.
+func (f *Membership) Contains(e []byte) bool {
+	pairMask := uint64(0) // computed on first use
+	for i := 0; i < f.half; i++ {
+		base := f.fam.Mod(i, e, f.m)
+		win := f.bits.Window(base, f.wbar)
+		if win&1 == 0 {
+			return false
+		}
+		if pairMask == 0 {
+			pairMask = uint64(1) | uint64(1)<<uint(f.offset(e))
+		}
+		if win&pairMask != pairMask {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Membership) Reset() {
+	f.bits.Reset()
+	f.n = 0
+}
+
+// positions appends the k absolute bit positions encoding e — base and
+// shifted interleaved: base_1, base_1+o, base_2, base_2+o, … — used by
+// the counting variant to keep B and C synchronized.
+func (f *Membership) positions(e []byte, dst []int) []int {
+	dst = dst[:0]
+	o := f.offset(e)
+	for i := 0; i < f.half; i++ {
+		base := f.fam.Mod(i, e, f.m)
+		dst = append(dst, base, base+o)
+	}
+	return dst
+}
+
+// setBit and clearBit expose single-bit maintenance to the counting
+// variant without charging query-model accesses twice.
+func (f *Membership) setBit(pos int)   { f.bits.Set(pos) }
+func (f *Membership) clearBit(pos int) { f.bits.Clear(pos) }
+
+// totalBits returns the full array length m + w̄ − 1.
+func (f *Membership) totalBits() int { return f.bits.Len() }

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shbf/internal/memmodel"
+)
+
+// genElements returns n distinct 13-byte pseudo flow IDs. Distinctness
+// comes from embedding the index.
+func genElements(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 13)
+		rng.Read(b)
+		b[0] = byte(i)
+		b[1] = byte(i >> 8)
+		b[2] = byte(i >> 16)
+		b[3] = byte(i >> 24)
+		out[i] = b
+	}
+	return out
+}
+
+// genDisjoint returns n elements guaranteed distinct from genElements
+// outputs by a tag byte.
+func genDisjoint(n int, seed int64) [][]byte {
+	out := genElements(n, seed)
+	for _, e := range out {
+		e[12] = 0xFF
+	}
+	return out
+}
+
+func mustMembership(t *testing.T, m, k int, opts ...Option) *Membership {
+	t.Helper()
+	f, err := NewMembership(m, k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewMembershipValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		m, k int
+		opts []Option
+	}{
+		{"zero m", 0, 4, nil},
+		{"negative m", -5, 4, nil},
+		{"odd k", 100, 3, nil},
+		{"zero k", 100, 0, nil},
+		{"wbar too small", 100, 4, []Option{WithMaxOffset(1)}},
+		{"wbar too large", 100, 4, []Option{WithMaxOffset(65)}},
+	}
+	for _, tt := range tests {
+		if _, err := NewMembership(tt.m, tt.k, tt.opts...); err == nil {
+			t.Errorf("%s: NewMembership(%d, %d) accepted invalid config", tt.name, tt.m, tt.k)
+		}
+	}
+	if _, err := NewMembership(100, 2); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+func TestMembershipNoFalseNegatives(t *testing.T) {
+	f := mustMembership(t, 10000, 8)
+	elems := genElements(800, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for i, e := range elems {
+		if !f.Contains(e) {
+			t.Fatalf("false negative on element %d", i)
+		}
+	}
+	if f.N() != 800 {
+		t.Fatalf("N = %d, want 800", f.N())
+	}
+}
+
+func TestMembershipNoFalseNegativesProperty(t *testing.T) {
+	// Property: any set of short byte strings inserted is found, across
+	// random filter geometries.
+	f := func(keys [][]byte, mSeed uint16) bool {
+		m := 500 + int(mSeed)%5000
+		filt, err := NewMembership(m, 6)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			filt.Add(k)
+		}
+		for _, k := range keys {
+			if !filt.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMembershipFPRMatchesTheory(t *testing.T) {
+	// Equation (1): f ≈ (1−p)^{k/2} (1−p+p²/(w̄−1))^{k/2}, p = e^{−nk/m}.
+	// The paper reports ≤3% relative error between simulation and
+	// theory; we allow 15% at smaller probe counts.
+	const (
+		m, k, n = 22008, 8, 1500
+		probes  = 400000
+		wbar    = 57
+	)
+	f := mustMembership(t, m, k, WithSeed(99))
+	for _, e := range genElements(n, 2) {
+		f.Add(e)
+	}
+	fp := 0
+	for _, e := range genDisjoint(probes, 3) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	p := math.Exp(-float64(n) * k / float64(m))
+	want := math.Pow(1-p, k/2.0) * math.Pow(1-p+p*p/(wbar-1), k/2.0)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("measured FPR %.5f vs theory %.5f (rel err %.1f%%)",
+			got, want, 100*math.Abs(got-want)/want)
+	}
+}
+
+func TestMembershipFPRCloseToBF(t *testing.T) {
+	// Section 3.5: ShBF_M's FPR is nearly the standard BF's. Compare the
+	// measured ShBF_M FPR against the BF formula (1−e^{−nk/m})^k.
+	const (
+		m, k, n = 30000, 10, 2000
+		probes  = 200000
+	)
+	f := mustMembership(t, m, k, WithSeed(7))
+	for _, e := range genElements(n, 8) {
+		f.Add(e)
+	}
+	fp := 0
+	for _, e := range genDisjoint(probes, 9) {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	bf := math.Pow(1-math.Exp(-float64(n)*k/float64(m)), k)
+	if got > bf*1.35 {
+		t.Fatalf("ShBF_M FPR %.5f more than 35%% above BF theory %.5f", got, bf)
+	}
+}
+
+func TestMembershipOffsetNonZero(t *testing.T) {
+	// Section 3.1: o(e) ≠ 0, else the pair collapses to one bit. The
+	// offset must also stay within [1, w̄−1].
+	f := mustMembership(t, 1000, 4, WithMaxOffset(21))
+	for _, e := range genElements(2000, 4) {
+		o := f.offset(e)
+		if o < 1 || o > 20 {
+			t.Fatalf("offset %d out of [1,20]", o)
+		}
+	}
+}
+
+func TestMembershipOffsetUsesFullRange(t *testing.T) {
+	f := mustMembership(t, 1000, 4)
+	seen := map[int]bool{}
+	for _, e := range genElements(5000, 5) {
+		seen[f.offset(e)] = true
+	}
+	if len(seen) != DefaultMaxOffset-1 {
+		t.Fatalf("offsets cover %d values, want %d", len(seen), DefaultMaxOffset-1)
+	}
+}
+
+func TestMembershipAccessCounting(t *testing.T) {
+	// A member query costs exactly k/2 read accesses (one window per
+	// hash pair); the standard BF equivalent costs k (Section 1.2.1).
+	var acc memmodel.Counter
+	const k = 8
+	f := mustMembership(t, 10000, k, WithAccessCounter(&acc))
+	e := []byte("member element")
+	f.Add(e)
+	acc.Reset()
+	if !f.Contains(e) {
+		t.Fatal("member not found")
+	}
+	if got := acc.Reads(); got != k/2 {
+		t.Fatalf("member query cost %d accesses, want %d", got, k/2)
+	}
+
+	// A query on an empty filter fails at the first pair: 1 access.
+	f.Reset()
+	acc.Reset()
+	if f.Contains(e) {
+		t.Fatal("empty filter claims membership")
+	}
+	if got := acc.Reads(); got != 1 {
+		t.Fatalf("first-pair miss cost %d accesses, want 1", got)
+	}
+}
+
+func TestMembershipAddAccessCounting(t *testing.T) {
+	var acc memmodel.Counter
+	const k = 8
+	f := mustMembership(t, 10000, k, WithAccessCounter(&acc))
+	f.Add([]byte("e"))
+	if got := acc.Writes(); got != k {
+		t.Fatalf("Add cost %d writes, want %d (k bits set)", got, k)
+	}
+}
+
+func TestMembershipReset(t *testing.T) {
+	f := mustMembership(t, 1000, 4)
+	f.Add([]byte("x"))
+	if f.FillRatio() == 0 {
+		t.Fatal("Add set no bits")
+	}
+	f.Reset()
+	if f.FillRatio() != 0 || f.N() != 0 {
+		t.Fatal("Reset did not clear filter")
+	}
+	if f.Contains([]byte("x")) {
+		t.Fatal("reset filter claims membership")
+	}
+}
+
+func TestMembershipAccessors(t *testing.T) {
+	f := mustMembership(t, 4096, 6, WithMaxOffset(25))
+	if f.M() != 4096 || f.K() != 6 || f.MaxOffset() != 25 {
+		t.Fatalf("accessors: M=%d K=%d w̄=%d", f.M(), f.K(), f.MaxOffset())
+	}
+	if got := f.HashOpsPerAdd(); got != 4 {
+		t.Fatalf("HashOpsPerAdd = %d, want 4 (k/2+1)", got)
+	}
+	// Array is m + w̄ − 1 bits, rounded up to whole words.
+	wantBits := 4096 + 25 - 1
+	if got := f.SizeBytes(); got != (wantBits+63)/64*8 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestMembershipDeterministicAcrossInstances(t *testing.T) {
+	// Same seed ⇒ same behaviour; different seed ⇒ (almost surely)
+	// different bit pattern.
+	a := mustMembership(t, 5000, 8, WithSeed(42))
+	b := mustMembership(t, 5000, 8, WithSeed(42))
+	c := mustMembership(t, 5000, 8, WithSeed(43))
+	elems := genElements(100, 10)
+	for _, e := range elems {
+		a.Add(e)
+		b.Add(e)
+		c.Add(e)
+	}
+	probes := genDisjoint(5000, 11)
+	diffAB, diffAC := 0, 0
+	for _, e := range probes {
+		if a.Contains(e) != b.Contains(e) {
+			diffAB++
+		}
+		if a.Contains(e) != c.Contains(e) {
+			diffAC++
+		}
+	}
+	if diffAB != 0 {
+		t.Fatalf("same-seed filters disagree on %d probes", diffAB)
+	}
+	if diffAC == 0 {
+		t.Log("warning: different-seed filters agree on all probes (possible but unlikely)")
+	}
+}
+
+func TestMembershipSmallMaxOffset(t *testing.T) {
+	// w̄ = 2 forces every offset to 1: still correct, just worse FPR.
+	f := mustMembership(t, 2000, 4, WithMaxOffset(2))
+	elems := genElements(100, 12)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative with w̄=2")
+		}
+	}
+}
+
+func TestMembershipFillRatioTracksTheory(t *testing.T) {
+	// After inserting n elements, 1 − FillRatio ≈ e^{−nk/m} (Equation 3),
+	// measured over the base m bits plus slack; slack dilutes slightly,
+	// so compare with 5% tolerance against the whole-array expectation.
+	const m, k, n = 50000, 8, 4000
+	f := mustMembership(t, m, k)
+	for _, e := range genElements(n, 13) {
+		f.Add(e)
+	}
+	p := math.Exp(-float64(n) * k / float64(m))
+	got := 1 - f.FillRatio()
+	if math.Abs(got-p)/p > 0.05 {
+		t.Fatalf("zero-bit fraction %.4f vs theory %.4f", got, p)
+	}
+}
+
+func BenchmarkMembershipAdd(b *testing.B) {
+	f, _ := NewMembership(1<<20, 8)
+	elems := genElements(1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(elems[i&1023])
+	}
+}
+
+func BenchmarkMembershipContains(b *testing.B) {
+	f, _ := NewMembership(1<<20, 8)
+	elems := genElements(1024, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(elems[i&1023])
+	}
+}
+
+func ExampleMembership() {
+	f, _ := NewMembership(10000, 8)
+	f.Add([]byte("10.0.0.1:443->10.0.0.2:8080/tcp"))
+	fmt.Println(f.Contains([]byte("10.0.0.1:443->10.0.0.2:8080/tcp")))
+	fmt.Println(f.Contains([]byte("not inserted")))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// buildMultiSets returns g disjoint element groups plus one group
+// shared by every set (to exercise overlap).
+func buildMultiSets(g, nEach, nShared int, seed int64) (exclusive [][][]byte, shared [][]byte) {
+	all := genElements(g*nEach+nShared, seed)
+	for i, e := range all {
+		e[11] = byte(i / nEach) // distinct tag per group
+	}
+	exclusive = make([][][]byte, g)
+	for i := 0; i < g; i++ {
+		exclusive[i] = all[i*nEach : (i+1)*nEach]
+	}
+	return exclusive, all[g*nEach:]
+}
+
+func mustMulti(t *testing.T, sets [][][]byte, m, k int, opts ...Option) *MultiAssociation {
+	t.Helper()
+	a, err := BuildMultiAssociation(sets, m, k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildMultiAssociationValidation(t *testing.T) {
+	two := make([][][]byte, 2)
+	if _, err := BuildMultiAssociation(make([][][]byte, 1), 100, 4); err == nil {
+		t.Error("accepted g=1")
+	}
+	if _, err := BuildMultiAssociation(make([][][]byte, 6), 100, 4); err == nil {
+		t.Error("accepted g=6")
+	}
+	if _, err := BuildMultiAssociation(two, 0, 4); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := BuildMultiAssociation(two, 100, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	// g=5 needs 30 segments: w̄=16 is too small.
+	if _, err := BuildMultiAssociation(make([][][]byte, 5), 100, 4, WithMaxOffset(16)); err == nil {
+		t.Error("accepted w̄ too small for g=5")
+	}
+}
+
+func TestMultiAssociationDisjointTruths(t *testing.T) {
+	const g = 3
+	exclusive, _ := buildMultiSets(g, 500, 0, 1)
+	a := mustMulti(t, exclusive, 30000, 8)
+	if a.G() != g {
+		t.Fatalf("G = %d", a.G())
+	}
+	for s := 0; s < g; s++ {
+		if a.SetSize(s) != 500 {
+			t.Fatalf("SetSize(%d) = %d", s, a.SetSize(s))
+		}
+		truthMask := 1 << s
+		for _, e := range exclusive[s] {
+			ans := a.Query(e)
+			if !ans.Contains(truthMask) {
+				t.Fatalf("set %d element lost its region", s)
+			}
+			if ans.Clear() && ans.Region() != truthMask {
+				t.Fatalf("clear answer %b for true region %b", ans.Region(), truthMask)
+			}
+		}
+	}
+}
+
+func TestMultiAssociationOverlapIsSound(t *testing.T) {
+	// Elements in every set — the case that breaks the Section 2.2
+	// schemes — must keep their all-sets region among the candidates.
+	const g = 3
+	exclusive, shared := buildMultiSets(g, 300, 200, 2)
+	sets := make([][][]byte, g)
+	for i := range sets {
+		sets[i] = append(append([][]byte{}, exclusive[i]...), shared...)
+	}
+	a := mustMulti(t, sets, 30000, 8)
+	allMask := 1<<g - 1
+	for _, e := range shared {
+		ans := a.Query(e)
+		if !ans.Contains(allMask) {
+			t.Fatal("shared element lost its all-sets region")
+		}
+		for s := 0; s < g; s++ {
+			if ans.Clear() && !ans.DefinitelyIn(s) {
+				t.Fatal("clear all-sets answer not definite for a member set")
+			}
+		}
+	}
+}
+
+func TestMultiAssociationClearProbMatchesTheory(t *testing.T) {
+	const g, k = 3, 10
+	exclusive, _ := buildMultiSets(g, 2000, 0, 3)
+	n := 3 * 2000
+	m := int(float64(n) * k / math.Ln2)
+	a := mustMulti(t, exclusive, m, k, WithSeed(7))
+	clear, total := 0, 0
+	for s := 0; s < g; s++ {
+		for _, e := range exclusive[s] {
+			if a.Query(e).Clear() {
+				clear++
+			}
+			total++
+		}
+	}
+	got := float64(clear) / float64(total)
+	// (1−0.5^k)^{R−1}, R = 7.
+	want := math.Pow(1-math.Pow(0.5, k), 6)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("clear rate %.4f vs theory %.4f", got, want)
+	}
+}
+
+func TestMultiAssociationNonMember(t *testing.T) {
+	exclusive, _ := buildMultiSets(2, 100, 0, 4)
+	a := mustMulti(t, exclusive, 20000, 8)
+	empty := 0
+	for _, e := range genDisjoint(1000, 5) {
+		if a.Query(e).Empty() {
+			empty++
+		}
+	}
+	if empty < 980 {
+		t.Fatalf("only %d/1000 non-members reported Empty", empty)
+	}
+}
+
+func TestMultiAnswerPredicates(t *testing.T) {
+	tests := []struct {
+		cand  uint32
+		clear bool
+		empty bool
+		reg   int
+	}{
+		{0, false, true, 0},
+		{0b1, true, false, 1},
+		{0b100, true, false, 3},
+		{0b101, false, false, 0},
+	}
+	for _, tt := range tests {
+		ans := MultiAnswer{candidates: tt.cand, g: 2}
+		if ans.Clear() != tt.clear || ans.Empty() != tt.empty || ans.Region() != tt.reg {
+			t.Errorf("cand %b: Clear=%v Empty=%v Region=%d", tt.cand, ans.Clear(), ans.Empty(), ans.Region())
+		}
+	}
+	// DefinitelyIn: candidates {region 0b11} (both sets) → definite in
+	// set 0 and 1; candidates {0b01, 0b11} → definite in set 0 only.
+	both := MultiAnswer{candidates: 1 << (0b11 - 1), g: 2}
+	if !both.DefinitelyIn(0) || !both.DefinitelyIn(1) {
+		t.Error("all-sets region not definite")
+	}
+	mixed := MultiAnswer{candidates: 1<<(0b01-1) | 1<<(0b11-1), g: 2}
+	if !mixed.DefinitelyIn(0) || mixed.DefinitelyIn(1) {
+		t.Error("mixed candidates: definiteness wrong")
+	}
+	if mixed.DefinitelyIn(-1) || mixed.DefinitelyIn(5) {
+		t.Error("out-of-range set index accepted")
+	}
+}
+
+func TestMultiAssociationG2ConsistentWithShBFA(t *testing.T) {
+	// g = 2 answers must agree with Association on soundness for all
+	// three regions (encodings differ — segment layout vs o1/o2 — but
+	// both guarantee the truth survives).
+	s1only, both, s2only := buildAssocSets(200, 100, 200, 6)
+	s1 := append(append([][]byte{}, s1only...), both...)
+	s2 := append(append([][]byte{}, s2only...), both...)
+	multi := mustMulti(t, [][][]byte{s1, s2}, 10000, 8, WithSeed(9))
+
+	for _, e := range s1only {
+		if !multi.Query(e).Contains(0b01) {
+			t.Fatal("g=2: S1-only truth lost")
+		}
+	}
+	for _, e := range both {
+		if !multi.Query(e).Contains(0b11) {
+			t.Fatal("g=2: both truth lost")
+		}
+	}
+	for _, e := range s2only {
+		if !multi.Query(e).Contains(0b10) {
+			t.Fatal("g=2: S2-only truth lost")
+		}
+	}
+}
+
+func TestMultiAssociationG5(t *testing.T) {
+	const g = 5
+	exclusive, _ := buildMultiSets(g, 200, 0, 8)
+	a := mustMulti(t, exclusive, 30000, 8)
+	if got := a.HashOpsPerQuery(); got != 8+30 {
+		t.Fatalf("HashOpsPerQuery = %d, want 38", got)
+	}
+	for s := 0; s < g; s++ {
+		for _, e := range exclusive[s] {
+			if !a.Query(e).Contains(1 << s) {
+				t.Fatalf("g=5 set %d element lost", s)
+			}
+		}
+	}
+}
+
+func BenchmarkMultiAssociationQuery(b *testing.B) {
+	exclusive := make([][][]byte, 3)
+	all := genElements(30000, 1)
+	for i := range exclusive {
+		exclusive[i] = all[i*10000 : (i+1)*10000]
+	}
+	a, err := BuildMultiAssociation(exclusive, 500000, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Query(all[i%30000])
+	}
+}

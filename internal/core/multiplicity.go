@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"shbf/internal/bitvec"
+	"shbf/internal/hashing"
+)
+
+// Multiplicity is ShBF_X, the shifting Bloom filter for multiplicity
+// queries over a multi-set (paper Section 5). An element e occurring
+// c(e) times is encoded once with offset o(e) = c(e) − 1: the k bits
+// B[h_i(e)%m + c(e)−1] are set. A query reads, per base position, the c
+// consecutive bits B[h_i%m … h_i%m+c−1] (⌈c/w⌉ memory accesses each,
+// Section 5.2) and intersects the k windows; bit j−1 surviving in the
+// intersection makes j a candidate multiplicity. The largest candidate
+// is reported so the answer is never below the true count — no false
+// negatives, only one-sided overestimates (Section 5.4).
+type Multiplicity struct {
+	bits *bitvec.Vector
+	m    int
+	k    int
+	c    int // maximum multiplicity
+	fam  *hashing.Family
+	seed uint64
+	n    int // distinct elements encoded
+}
+
+// NewMultiplicity returns an empty ShBF_X for counts in [1, c]. The
+// paper's evaluation uses c = 57 (= w̄) so each per-position window is a
+// single access; any c in [1, 64] is supported here (c > w would cost
+// ⌈c/w⌉ accesses per window, which the access accounting reflects).
+func NewMultiplicity(m, k, c int, opts ...Option) (*Multiplicity, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: m = %d must be positive", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be ≥ 1", k)
+	}
+	if c < 1 || c > 64 {
+		return nil, fmt.Errorf("core: max multiplicity c = %d out of range [1,64]", c)
+	}
+	f := &Multiplicity{
+		bits: bitvec.New(m + c - 1),
+		m:    m,
+		k:    k,
+		c:    c,
+		fam:  hashing.NewFamily(k, cfg.seed),
+		seed: cfg.seed,
+	}
+	f.bits.SetCounter(cfg.counter)
+	return f, nil
+}
+
+// M, K, C and N report the construction parameters and the number of
+// distinct elements encoded.
+func (f *Multiplicity) M() int { return f.m }
+func (f *Multiplicity) K() int { return f.k }
+func (f *Multiplicity) C() int { return f.c }
+func (f *Multiplicity) N() int { return f.n }
+
+// SizeBytes returns the bit-array footprint.
+func (f *Multiplicity) SizeBytes() int { return f.bits.SizeBytes() }
+
+// FillRatio returns the fraction of set bits.
+func (f *Multiplicity) FillRatio() float64 { return f.bits.FillRatio() }
+
+// AddWithCount encodes element e with multiplicity count ∈ [1, c].
+// Regardless of count, exactly k bits are set — the memory cost is
+// independent of the multiplicities, the property that makes ShBF_X more
+// memory-efficient than counter-based schemes (Section 5.4).
+func (f *Multiplicity) AddWithCount(e []byte, count int) error {
+	if count < 1 || count > f.c {
+		return fmt.Errorf("core: count %d out of range [1,%d]: %w", count, f.c, ErrCountOverflow)
+	}
+	o := count - 1
+	for i := 0; i < f.k; i++ {
+		f.bits.Set(f.fam.Mod(i, e, f.m) + o)
+	}
+	f.n++
+	return nil
+}
+
+// candidateMask intersects the k c-bit windows of e; bit j−1 set means
+// j is a candidate multiplicity. The scan stops as soon as the
+// intersection empties.
+func (f *Multiplicity) candidateMask(e []byte) uint64 {
+	var all uint64
+	if f.c == 64 {
+		all = ^uint64(0)
+	} else {
+		all = 1<<uint(f.c) - 1
+	}
+	cand := all
+	for i := 0; i < f.k && cand != 0; i++ {
+		cand &= f.bits.Window(f.fam.Mod(i, e, f.m), f.c)
+	}
+	return cand
+}
+
+// Candidates appends the candidate multiplicities of e to dst in
+// increasing order and returns it. For an element with true count j,
+// j is always present (Section 5.2); false positives may add larger or
+// smaller values.
+func (f *Multiplicity) Candidates(e []byte, dst []int) []int {
+	dst = dst[:0]
+	cand := f.candidateMask(e)
+	for cand != 0 {
+		j := bits.TrailingZeros64(cand)
+		dst = append(dst, j+1)
+		cand &^= 1 << uint(j)
+	}
+	return dst
+}
+
+// Count returns the reported multiplicity of e: the largest candidate,
+// "to avoid false negatives" (Section 5.2), or 0 if e is certainly not
+// in the multi-set. The report is always ≥ the true count.
+func (f *Multiplicity) Count(e []byte) int {
+	cand := f.candidateMask(e)
+	if cand == 0 {
+		return 0
+	}
+	return 64 - bits.LeadingZeros64(cand)
+}
+
+// Reset clears the filter.
+func (f *Multiplicity) Reset() {
+	f.bits.Reset()
+	f.n = 0
+}
+
+// AccessesPerQuery returns k·⌈c/w⌉, the paper's Section 5.2 worst-case
+// memory-access budget (the measured average is lower because of early
+// termination).
+func (f *Multiplicity) AccessesPerQuery() int {
+	return f.k * ((f.c + WordBits - 1) / WordBits)
+}

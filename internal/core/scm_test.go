@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"shbf/internal/memmodel"
+)
+
+func mustSCM(t *testing.T, d, r int, opts ...Option) *SCMSketch {
+	t.Helper()
+	s, err := NewSCMSketch(d, r, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSCMSketchValidation(t *testing.T) {
+	for _, tt := range []struct{ d, r int }{{0, 10}, {3, 10}, {1, 10}, {4, 0}} {
+		if _, err := NewSCMSketch(tt.d, tt.r); err == nil {
+			t.Errorf("NewSCMSketch(%d,%d) accepted invalid config", tt.d, tt.r)
+		}
+	}
+	if _, err := NewSCMSketch(2, 1); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+func TestSCMNeverUnderestimates(t *testing.T) {
+	// The count-min guarantee must survive the shifting transformation.
+	s := mustSCM(t, 8, 4096)
+	rng := rand.New(rand.NewSource(1))
+	elems := genElements(2000, 2)
+	truth := make([]int, len(elems))
+	for i, e := range elems {
+		truth[i] = rng.Intn(20) + 1
+		for j := 0; j < truth[i]; j++ {
+			s.Insert(e)
+		}
+	}
+	for i, e := range elems {
+		if got := s.Count(e); got < uint64(truth[i]) {
+			t.Fatalf("element %d: estimate %d < truth %d", i, got, truth[i])
+		}
+	}
+}
+
+func TestSCMExactWhenSparse(t *testing.T) {
+	s := mustSCM(t, 4, 1<<16)
+	e := []byte("single flow")
+	for i := 0; i < 7; i++ {
+		s.Insert(e)
+	}
+	if got := s.Count(e); got != 7 {
+		t.Fatalf("sparse estimate %d, want exactly 7", got)
+	}
+	if got := s.Count([]byte("absent")); got != 0 {
+		t.Fatalf("absent estimate %d, want 0", got)
+	}
+}
+
+func TestSCMParameters(t *testing.T) {
+	s := mustSCM(t, 8, 100)
+	if s.D() != 8 || s.R() != 100 {
+		t.Fatalf("D=%d R=%d", s.D(), s.R())
+	}
+	if got := s.HashOpsPerOp(); got != 5 {
+		t.Fatalf("HashOpsPerOp = %d, want d/2+1 = 5", got)
+	}
+	// 32-bit default counters: (64−7)/32 = 1 → clamped to minimum 2.
+	if s.MaxOffset() < 2 {
+		t.Fatalf("MaxOffset = %d", s.MaxOffset())
+	}
+	// 6-bit counters: (64−7)/6 = 9.
+	s6 := mustSCM(t, 4, 100, WithCounterWidth(6))
+	if got := s6.MaxOffset(); got != 9 {
+		t.Fatalf("MaxOffset(6-bit) = %d, want 9", got)
+	}
+}
+
+func TestSCMAccessCounting(t *testing.T) {
+	var acc memmodel.Counter
+	s := mustSCM(t, 8, 1024)
+	s.SetUpdateCounter(&acc)
+	s.Insert([]byte("e"))
+	// d/2 rows × 2 counters × (1 read + 1 write per Inc) = 8 reads, 8 writes.
+	if acc.Reads() != 8 || acc.Writes() != 8 {
+		t.Fatalf("Insert accesses: %v", &acc)
+	}
+	acc.Reset()
+	s.Count([]byte("e"))
+	if acc.Reads() != 8 || acc.Writes() != 0 {
+		t.Fatalf("Count accesses: %v", &acc)
+	}
+}
+
+func TestSCMSizeBytes(t *testing.T) {
+	s := mustSCM(t, 4, 1000, WithCounterWidth(32))
+	// 2 rows × (1000 + maxOffset) counters × 4 bytes, word-rounded.
+	if s.SizeBytes() < 2*1000*4 {
+		t.Fatalf("SizeBytes = %d, implausibly small", s.SizeBytes())
+	}
+}
+
+func BenchmarkSCMInsert(b *testing.B) {
+	s, _ := NewSCMSketch(8, 1<<16)
+	elems := genElements(4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(elems[i&4095])
+	}
+}
+
+func BenchmarkSCMCount(b *testing.B) {
+	s, _ := NewSCMSketch(8, 1<<16)
+	elems := genElements(4096, 1)
+	for _, e := range elems {
+		s.Insert(e)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count(elems[i&4095])
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Set-algebra and estimation operations on ShBF_M. These are the
+// standard Bloom-filter conveniences, and they carry over to the
+// shifting construction because an element's k bit positions depend
+// only on (element, seed, m, k, w̄): two filters with identical
+// geometry and seed place every element identically, so OR-ing the
+// arrays is exactly the filter of the union.
+
+// compatible reports whether two filters share geometry and hash
+// family.
+func (f *Membership) compatible(o *Membership) bool {
+	return f.m == o.m && f.k == o.k && f.wbar == o.wbar && f.seed == o.seed
+}
+
+// Union ORs other into f, making f represent the union of both sets.
+// The filters must have identical geometry (m, k, w̄) and seed;
+// otherwise an error is returned and f is unchanged. N becomes the sum
+// of both counts (an upper bound on the union's distinct cardinality —
+// use EstimateN for a fill-based estimate).
+func (f *Membership) Union(other *Membership) error {
+	if !f.compatible(other) {
+		return fmt.Errorf("core: incompatible filters (m=%d/%d k=%d/%d w̄=%d/%d seed match=%v)",
+			f.m, other.m, f.k, other.k, f.wbar, other.wbar, f.seed == other.seed)
+	}
+	f.bits.Or(other.bits)
+	f.n += other.n
+	return nil
+}
+
+// Intersect ANDs other into f. The result is a superset filter of the
+// true intersection: it may contain extra bits from colliding elements,
+// so Contains answers have a (slightly) higher false-positive rate than
+// a filter built from the intersection directly — the standard
+// Bloom-filter caveat. N is reset to an EstimateN-based value.
+func (f *Membership) Intersect(other *Membership) error {
+	if !f.compatible(other) {
+		return fmt.Errorf("core: incompatible filters")
+	}
+	f.bits.And(other.bits)
+	est := f.EstimateN()
+	f.n = est
+	return nil
+}
+
+// EstimateN estimates the number of distinct elements from the fill
+// ratio, inverting Equation 3: with x the fraction of set bits,
+// n̂ = −(m′/k)·ln(1−x), where m′ counts the whole array including
+// slack. Accurate to a few percent away from saturation.
+func (f *Membership) EstimateN() int {
+	x := f.bits.FillRatio()
+	if x >= 1 {
+		return math.MaxInt32
+	}
+	mPrime := float64(f.bits.Len())
+	return int(math.Round(-mPrime / float64(f.k) * math.Log(1-x)))
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnionContainsBothSets(t *testing.T) {
+	const m, k = 20000, 8
+	seed := uint64(5)
+	a := mustMembership(t, m, k, WithSeed(seed))
+	b := mustMembership(t, m, k, WithSeed(seed))
+	setA := genElements(400, 1)
+	setB := genDisjoint(400, 2)
+	for _, e := range setA {
+		a.Add(e)
+	}
+	for _, e := range setB {
+		b.Add(e)
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range setA {
+		if !a.Contains(e) {
+			t.Fatal("union lost an element of A")
+		}
+	}
+	for _, e := range setB {
+		if !a.Contains(e) {
+			t.Fatal("union lost an element of B")
+		}
+	}
+	if a.N() != 800 {
+		t.Fatalf("N = %d", a.N())
+	}
+}
+
+func TestUnionEqualsDirectBuild(t *testing.T) {
+	// Union of two filters must be bit-identical to one filter holding
+	// both sets.
+	const m, k = 8000, 6
+	seed := uint64(7)
+	a := mustMembership(t, m, k, WithSeed(seed))
+	b := mustMembership(t, m, k, WithSeed(seed))
+	direct := mustMembership(t, m, k, WithSeed(seed))
+	setA := genElements(200, 3)
+	setB := genDisjoint(200, 4)
+	for _, e := range setA {
+		a.Add(e)
+		direct.Add(e)
+	}
+	for _, e := range setB {
+		b.Add(e)
+		direct.Add(e)
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.bits.Equal(direct.bits) {
+		t.Fatal("union differs from direct construction")
+	}
+}
+
+func TestUnionIncompatible(t *testing.T) {
+	a := mustMembership(t, 1000, 4, WithSeed(1))
+	for _, other := range []*Membership{
+		mustMembership(t, 2000, 4, WithSeed(1)),                    // m differs
+		mustMembership(t, 1000, 6, WithSeed(1)),                    // k differs
+		mustMembership(t, 1000, 4, WithSeed(2)),                    // seed differs
+		mustMembership(t, 1000, 4, WithSeed(1), WithMaxOffset(21)), // w̄ differs
+	} {
+		if err := a.Union(other); err == nil {
+			t.Fatal("incompatible union accepted")
+		}
+	}
+	if a.FillRatio() != 0 {
+		t.Fatal("failed union mutated the filter")
+	}
+}
+
+func TestIntersectKeepsCommonElements(t *testing.T) {
+	const m, k = 20000, 8
+	seed := uint64(9)
+	a := mustMembership(t, m, k, WithSeed(seed))
+	b := mustMembership(t, m, k, WithSeed(seed))
+	common := genElements(150, 5)
+	onlyA := genDisjoint(150, 6)
+	for _, e := range common {
+		a.Add(e)
+		b.Add(e)
+	}
+	for _, e := range onlyA {
+		a.Add(e)
+	}
+	if err := a.Intersect(b); err != nil {
+		t.Fatal(err)
+	}
+	// No false negatives on the true intersection.
+	for _, e := range common {
+		if !a.Contains(e) {
+			t.Fatal("intersection lost a common element")
+		}
+	}
+	// Elements only in A are (almost always) gone.
+	gone := 0
+	for _, e := range onlyA {
+		if !a.Contains(e) {
+			gone++
+		}
+	}
+	if gone < 140 {
+		t.Fatalf("only %d/150 exclusive elements removed by intersection", gone)
+	}
+}
+
+func TestEstimateN(t *testing.T) {
+	const m, k = 50000, 8
+	f := mustMembership(t, m, k)
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		f.Reset()
+		for _, e := range genElements(n, int64(n)) {
+			f.Add(e)
+		}
+		est := f.EstimateN()
+		if math.Abs(float64(est-n))/float64(n) > 0.05 {
+			t.Fatalf("n=%d: EstimateN = %d (>5%% off)", n, est)
+		}
+	}
+	// Empty filter estimates zero.
+	f.Reset()
+	if got := f.EstimateN(); got != 0 {
+		t.Fatalf("empty EstimateN = %d", got)
+	}
+}
+
+func TestBitvecOrAndPanicOnMismatch(t *testing.T) {
+	a := mustMembership(t, 1000, 4)
+	b := mustMembership(t, 1500, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Or did not panic")
+		}
+	}()
+	a.bits.Or(b.bits)
+}

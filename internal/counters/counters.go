@@ -1,0 +1,178 @@
+// Package counters implements packed fixed-width counter arrays, the
+// array C of the counting filters (CBF, CShBF_M, CShBF_A, CShBF_X,
+// Spectral BF, DCF).
+//
+// The paper notes that "in most applications, 4 bits for a counter are
+// enough" (Section 3.3) and uses 6-bit counters for Spectral BF and the
+// CM sketch in the Figure 11 experiments; Array supports any width from
+// 1 to 64 bits and packs counters contiguously so that z-bit counters
+// observe the same one-access window rule as bits when
+// w̄ ≤ ⌊(w−7)/z⌋ (Section 3.3).
+package counters
+
+import (
+	"fmt"
+
+	"shbf/internal/memmodel"
+)
+
+// Array is a fixed-size array of n counters, each width bits wide.
+// Increments saturate at the maximum value (2^width − 1) rather than
+// wrapping; Overflows reports how often saturation happened so
+// experiments can verify the paper's "4 bits are enough" claim.
+type Array struct {
+	words     []uint64
+	n         int
+	width     uint
+	max       uint64
+	overflows uint64
+	acc       *memmodel.Counter
+}
+
+// New returns an array of n counters of the given bit width, all zero.
+// It panics if n is not positive or width is outside [1, 64]; both are
+// static configuration.
+func New(n int, width uint) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("counters: size %d must be positive", n))
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("counters: width %d out of range [1,64]", width))
+	}
+	totalBits := n * int(width)
+	var max uint64
+	if width == 64 {
+		max = ^uint64(0)
+	} else {
+		max = (1 << width) - 1
+	}
+	return &Array{
+		words: make([]uint64, (totalBits+63)/64),
+		n:     n,
+		width: width,
+		max:   max,
+	}
+}
+
+// SetCounter attaches a memory-access counter; nil detaches.
+func (a *Array) SetCounter(c *memmodel.Counter) { a.acc = c }
+
+// Len returns the number of counters.
+func (a *Array) Len() int { return a.n }
+
+// Width returns the counter width in bits.
+func (a *Array) Width() uint { return a.width }
+
+// Max returns the saturation value 2^width − 1.
+func (a *Array) Max() uint64 { return a.max }
+
+// Overflows returns how many increments saturated.
+func (a *Array) Overflows() uint64 { return a.overflows }
+
+// SizeBytes returns the memory footprint of the counter storage.
+func (a *Array) SizeBytes() int { return len(a.words) * 8 }
+
+// Get returns counter i, charging one read access (a z-bit counter read
+// is one aligned fetch for every width the reproduction uses).
+func (a *Array) Get(i int) uint64 {
+	a.boundsCheck(i)
+	a.acc.AddReads(1)
+	return a.get(i)
+}
+
+// Peek returns counter i without charging an access.
+func (a *Array) Peek(i int) uint64 {
+	a.boundsCheck(i)
+	return a.get(i)
+}
+
+// Set stores v into counter i (clamped to Max), charging one write.
+func (a *Array) Set(i int, v uint64) {
+	a.boundsCheck(i)
+	if v > a.max {
+		v = a.max
+	}
+	a.put(i, v)
+	a.acc.AddWrites(1)
+}
+
+// Inc increments counter i by 1, saturating at Max. It returns the new
+// value and charges one read and one write access.
+func (a *Array) Inc(i int) uint64 {
+	a.boundsCheck(i)
+	v := a.get(i)
+	a.acc.AddReads(1)
+	if v == a.max {
+		a.overflows++
+		a.acc.AddWrites(1)
+		return v
+	}
+	v++
+	a.put(i, v)
+	a.acc.AddWrites(1)
+	return v
+}
+
+// Dec decrements counter i by 1. Decrementing a zero counter is a
+// programming error in every scheme that uses this package (it means a
+// delete without a matching insert), so Dec reports it via ok=false and
+// leaves the counter at zero. It charges one read and one write access.
+func (a *Array) Dec(i int) (v uint64, ok bool) {
+	a.boundsCheck(i)
+	v = a.get(i)
+	a.acc.AddReads(1)
+	if v == 0 {
+		return 0, false
+	}
+	v--
+	a.put(i, v)
+	a.acc.AddWrites(1)
+	return v, true
+}
+
+// Reset zeroes all counters and the overflow tally.
+func (a *Array) Reset() {
+	for i := range a.words {
+		a.words[i] = 0
+	}
+	a.overflows = 0
+}
+
+// NonZero returns the number of non-zero counters (instrumentation; no
+// access charged). For a CBF this equals the OnesCount of the shadowed
+// bit array.
+func (a *Array) NonZero() int {
+	count := 0
+	for i := 0; i < a.n; i++ {
+		if a.get(i) != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+func (a *Array) get(i int) uint64 {
+	bit := i * int(a.width)
+	wi, off := bit>>6, uint(bit&63)
+	v := a.words[wi] >> off
+	if off+a.width > 64 {
+		v |= a.words[wi+1] << (64 - off)
+	}
+	return v & a.max
+}
+
+func (a *Array) put(i int, v uint64) {
+	bit := i * int(a.width)
+	wi, off := bit>>6, uint(bit&63)
+	a.words[wi] = a.words[wi]&^(a.max<<off) | v<<off
+	if off+a.width > 64 {
+		hi := a.width - (64 - off)
+		a.words[wi+1] = a.words[wi+1]&^(a.max>>(a.width-hi)) | v>>(a.width-hi)
+	}
+}
+
+func (a *Array) boundsCheck(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("counters: index %d out of range [0,%d)", i, a.n))
+	}
+}

@@ -1,0 +1,55 @@
+package counters
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArrayRoundTrip(t *testing.T) {
+	for _, width := range []uint{1, 4, 6, 13, 32, 64} {
+		a := New(500, width)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for i := 0; i < 500; i++ {
+			a.Set(i, rng.Uint64()&a.Max())
+		}
+		// Force an overflow so the tally round-trips too.
+		a.Set(0, a.Max())
+		a.Inc(0)
+
+		got, rest, err := DecodeArray(a.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("width %d: %d leftover bytes", width, len(rest))
+		}
+		if got.Len() != 500 || got.Width() != width {
+			t.Fatalf("width %d: decoded geometry %d/%d", width, got.Len(), got.Width())
+		}
+		if got.Overflows() != a.Overflows() {
+			t.Fatalf("width %d: overflow tally %d vs %d", width, got.Overflows(), a.Overflows())
+		}
+		for i := 0; i < 500; i++ {
+			if got.Peek(i) != a.Peek(i) {
+				t.Fatalf("width %d: counter %d differs", width, i)
+			}
+		}
+	}
+}
+
+func TestDecodeArrayRejectsCorrupt(t *testing.T) {
+	a := New(100, 4)
+	a.Set(3, 7)
+	buf := a.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  buf[:len(buf)-3],
+		"zero count": {0x00, 0x04, 0x00},
+		"bad width":  {0x64, 0x00, 0x00}, // width 0
+	}
+	for name, c := range cases {
+		if _, _, err := DecodeArray(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import "time"
+
+// Config scales the paper's workloads to the host running them. The
+// paper's own parameters (7M probes, 1M-element sets) target minutes of
+// wall-clock per figure; Default reproduces every shape in seconds,
+// Quick in milliseconds (for tests). Scale multiplies set sizes and
+// probe counts where the paper's absolute sizes are impractical; the
+// per-figure m/n/k sweeps themselves are kept at the paper's values
+// whenever they are laptop-sized (Figures 7–9 use the paper's exact
+// m, n, k).
+type Config struct {
+	// Seed makes every workload and filter deterministic.
+	Seed int64
+	// Trials is the number of repetitions averaged for statistical
+	// measurements (the paper repeats speed experiments 1000×; FPR-style
+	// measurements here use large probe counts instead).
+	Trials int
+	// Probes is the number of negative probes per FPR measurement
+	// point (the paper uses 7,000,000).
+	Probes int
+	// AssocSetSize is |S1| = |S2| for Figure 10 (the paper uses 1M).
+	AssocSetSize int
+	// MultisetSize is the number of distinct elements for Figure 11
+	// (the paper uses 100,000).
+	MultisetSize int
+	// MinTiming is the minimum wall-clock per throughput measurement.
+	MinTiming time.Duration
+}
+
+// Default returns the standard reproduction configuration (seconds per
+// figure on a laptop).
+func Default() Config {
+	return Config{
+		Seed:         1,
+		Trials:       3,
+		Probes:       400000,
+		AssocSetSize: 100000,
+		MultisetSize: 100000,
+		MinTiming:    100 * time.Millisecond,
+	}
+}
+
+// Quick returns a configuration small enough for unit tests while still
+// exhibiting every qualitative shape.
+func Quick() Config {
+	return Config{
+		Seed:         1,
+		Trials:       1,
+		Probes:       30000,
+		AssocSetSize: 8000,
+		MultisetSize: 8000,
+		MinTiming:    4 * time.Millisecond,
+	}
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"shbf/internal/analytic"
+	"shbf/internal/baseline"
+	"shbf/internal/core"
+	"shbf/internal/memmodel"
+	"shbf/internal/trace"
+	"shbf/internal/workload"
+)
+
+// assocWorkload holds the Figure 10 element groups: |S1| = |S2| = n with
+// an overlap of n/4 (the paper uses 1M sets with 0.25M intersection).
+type assocWorkload struct {
+	s1only, both, s2only [][]byte
+	s1, s2               [][]byte
+	queries              [][]byte // uniform over the three regions
+	n1, n2, nDistinct    int
+}
+
+func buildAssocWorkload(cfg Config, trial int) assocWorkload {
+	gen := trace.NewGenerator(cfg.Seed + int64(trial))
+	n := cfg.AssocSetSize
+	nBoth := n / 4
+	nOnly := n - nBoth
+
+	var w assocWorkload
+	w.s1only = trace.Bytes(gen.Distinct(nOnly))
+	w.both = trace.Bytes(gen.Distinct(nBoth))
+	w.s2only = trace.Bytes(gen.Distinct(nOnly))
+	w.s1 = append(append([][]byte{}, w.s1only...), w.both...)
+	w.s2 = append(append([][]byte{}, w.s2only...), w.both...)
+	w.n1, w.n2 = len(w.s1), len(w.s2)
+	w.nDistinct = 2*nOnly + nBoth
+
+	// "The querying elements hit the three parts with the same
+	// probability" (Section 6.3.1): equal-size samples per region.
+	q := nBoth // sample size per region, bounded by the smallest group
+	w.queries = workload.Interleave(cfg.Seed+int64(trial),
+		w.s1only[:q], w.both[:q], w.s2only[:q])
+	return w
+}
+
+// assocSizes returns the optimal filter sizes for a given k: ShBF_A gets
+// m = n′k/ln2 over the distinct union; iBF gets m1 = n1·k/ln2 and
+// m2 = n2·k/ln2 (in total 1/7 more memory at 25% overlap, as the paper
+// notes).
+func assocSizes(w assocWorkload, k int) (mShBF, m1, m2 int) {
+	mShBF = int(float64(w.nDistinct) * float64(k) / math.Ln2)
+	m1 = int(float64(w.n1) * float64(k) / math.Ln2)
+	m2 = int(float64(w.n2) * float64(k) / math.Ln2)
+	return mShBF, m1, m2
+}
+
+// assocMeasurement is one (k, trial) evaluation of both schemes.
+type assocMeasurement struct {
+	clearIBF, clearShBF float64 // fraction of clear answers
+	accIBF, accShBF     float64 // mean memory accesses per query
+	mqpsIBF, mqpsShBF   float64 // throughput
+}
+
+func measureAssocPoint(cfg Config, k, trial int) assocMeasurement {
+	w := buildAssocWorkload(cfg, trial)
+	mS, m1, m2 := assocSizes(w, k)
+	seed := uint64(cfg.Seed) + uint64(trial)
+
+	var accI, accS memmodel.Counter
+	ibf, err := baseline.BuildIBF(w.s1, w.s2, m1, m2, k,
+		baseline.WithSeed(seed), baseline.WithAccessCounter(&accI))
+	if err != nil {
+		panic(err)
+	}
+	shbf, err := core.BuildAssociation(w.s1, w.s2, mS, k,
+		core.WithSeed(seed), core.WithAccessCounter(&accS))
+	if err != nil {
+		panic(err)
+	}
+
+	var out assocMeasurement
+	clearI, clearS := 0, 0
+	accI.Reset()
+	accS.Reset()
+	for _, e := range w.queries {
+		if ibf.Query(e).Clear() {
+			clearI++
+		}
+		if shbf.Query(e).Clear() {
+			clearS++
+		}
+	}
+	nq := float64(len(w.queries))
+	out.clearIBF = float64(clearI) / nq
+	out.clearShBF = float64(clearS) / nq
+	out.accIBF = float64(accI.Reads()) / nq
+	out.accShBF = float64(accS.Reads()) / nq
+
+	out.mqpsIBF = MeasureMqps(w.queries, cfg.MinTiming, func(e []byte) { ibf.Query(e) })
+	out.mqpsShBF = MeasureMqps(w.queries, cfg.MinTiming, func(e []byte) { shbf.Query(e) })
+	return out
+}
+
+// RunFig10 reproduces Figure 10: ShBF_A vs iBF on (a) probability of a
+// clear answer (with theory lines), (b) memory accesses per query, and
+// (c) query throughput, sweeping k with per-k optimal sizing.
+func RunFig10(cfg Config) []*Figure {
+	figA := &Figure{ID: "10a", Title: "probability of a clear answer", XLabel: "k", YLabel: "Prob. clear answer"}
+	figB := &Figure{ID: "10b", Title: "# memory accesses per query", XLabel: "k", YLabel: "# memory accesses"}
+	figC := &Figure{ID: "10c", Title: "query speed", XLabel: "k", YLabel: "Mqps"}
+
+	for k := 4; k <= 18; k += 2 {
+		ms := make([]assocMeasurement, cfg.Trials)
+		for trial := range ms {
+			ms[trial] = measureAssocPoint(cfg, k, trial)
+		}
+		mean := func(get func(assocMeasurement) float64) float64 {
+			vals := make([]float64, len(ms))
+			for i, m := range ms {
+				vals[i] = get(m)
+			}
+			return Mean(vals)
+		}
+		x := float64(k)
+		figA.Add("iBF sim", x, mean(func(m assocMeasurement) float64 { return m.clearIBF }))
+		figA.Add("iBF theory", x, analytic.ClearProbIBF(k))
+		figA.Add("ShBF_A sim", x, mean(func(m assocMeasurement) float64 { return m.clearShBF }))
+		figA.Add("ShBF_A theory", x, analytic.ClearProbShBFA(k))
+		figB.Add("iBF", x, mean(func(m assocMeasurement) float64 { return m.accIBF }))
+		figB.Add("ShBF_A", x, mean(func(m assocMeasurement) float64 { return m.accShBF }))
+		figC.Add("iBF", x, mean(func(m assocMeasurement) float64 { return m.mqpsIBF }))
+		figC.Add("ShBF_A", x, mean(func(m assocMeasurement) float64 { return m.mqpsShBF }))
+	}
+	figA.Notes = append(figA.Notes,
+		fmt.Sprintf("sets |S1|=|S2|=%d, |S1∩S2|=%d (paper: 1M / 0.25M); per-k optimal sizing", cfg.AssocSetSize, cfg.AssocSetSize/4))
+	return []*Figure{figA, figB, figC}
+}
+
+// RunTable2 reproduces Table 2: the analytic ShBF_A vs iBF comparison,
+// with measured clear-answer probabilities appended as a validation
+// column.
+func RunTable2(cfg Config) *Table {
+	const k = 10
+	w := buildAssocWorkload(cfg, 0)
+	nBoth := len(w.both)
+	t2 := analytic.ComputeTable2(w.n1, w.n2, nBoth, k)
+	meas := measureAssocPoint(cfg, k, 0)
+
+	tab := &Table{
+		ID:    "2",
+		Title: fmt.Sprintf("ShBF_A vs iBF (n1=%d, n2=%d, n3=%d, k=%d)", w.n1, w.n2, nBoth, k),
+		Columns: []string{"scheme", "optimal memory (bits)", "#hash computations",
+			"#memory accesses", "P(clear) theory", "P(clear) measured", "false positives"},
+	}
+	tab.AddRow("iBF",
+		fmt.Sprintf("%.0f", t2.MemoryBitsIBF),
+		fmt.Sprintf("%d", t2.HashOpsIBF),
+		fmt.Sprintf("%d", t2.AccessesIBF),
+		fmt.Sprintf("%.4f", t2.ClearProbIBF),
+		fmt.Sprintf("%.4f", meas.clearIBF),
+		"YES")
+	tab.AddRow("ShBF_A",
+		fmt.Sprintf("%.0f", t2.MemoryBitsShBFA),
+		fmt.Sprintf("%d", t2.HashOpsShBFA),
+		fmt.Sprintf("%d", t2.AccessesShBFA),
+		fmt.Sprintf("%.4f", t2.ClearProbShBFA),
+		fmt.Sprintf("%.4f", meas.clearShBF),
+		"NO")
+	return tab
+}

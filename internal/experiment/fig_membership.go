@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+
+	"shbf/internal/analytic"
+	"shbf/internal/baseline"
+	"shbf/internal/core"
+	"shbf/internal/memmodel"
+	"shbf/internal/trace"
+	"shbf/internal/workload"
+)
+
+// membershipFilter is the query interface shared by every membership
+// scheme under evaluation.
+type membershipFilter interface {
+	Add(e []byte)
+	Contains(e []byte) bool
+}
+
+// measureFPR returns the false-positive rate of f over the probe set
+// (all probes are guaranteed non-members).
+func measureFPR(f membershipFilter, probes [][]byte) float64 {
+	fp := 0
+	for _, e := range probes {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(probes))
+}
+
+// RunFig3 reproduces Figure 3: the theoretical ShBF_M FPR (Equation 1)
+// as a function of the maximum offset w̄, against the BF reference
+// (Equation 8). (a) varies k at m=100000, n=10000; (b) varies m at
+// k=10, n=10000. Pure analysis — no simulation.
+func RunFig3(cfg Config) []*Figure {
+	figA := &Figure{
+		ID: "3a", Title: "FPR vs w̄ (m=100000, n=10000)",
+		XLabel: "wbar", YLabel: "FP rate",
+	}
+	for _, k := range []int{4, 8, 12} {
+		bf := analytic.FPRBF(100000, 10000, float64(k))
+		for wbar := 4; wbar <= 64; wbar += 2 {
+			figA.Add(fmt.Sprintf("ShBF_M k=%d", k), float64(wbar),
+				analytic.FPRShBFM(100000, 10000, float64(k), wbar))
+			figA.Add(fmt.Sprintf("BF k=%d", k), float64(wbar), bf)
+		}
+	}
+	figA.Notes = append(figA.Notes, "w̄ ≥ 20 brings ShBF_M onto the BF line (paper Section 3.4.2)")
+
+	figB := &Figure{
+		ID: "3b", Title: "FPR vs w̄ (k=10, n=10000)",
+		XLabel: "wbar", YLabel: "FP rate",
+	}
+	for _, m := range []int{100000, 110000, 120000} {
+		bf := analytic.FPRBF(m, 10000, 10)
+		for wbar := 4; wbar <= 64; wbar += 2 {
+			figB.Add(fmt.Sprintf("ShBF_M m=%d", m), float64(wbar),
+				analytic.FPRShBFM(m, 10000, 10, wbar))
+			figB.Add(fmt.Sprintf("BF m=%d", m), float64(wbar), bf)
+		}
+	}
+	return []*Figure{figA, figB}
+}
+
+// RunFig4 reproduces Figure 4: theoretical FPR vs k for ShBF_M (dashed
+// in the paper) and BF (solid), m=100000, n ∈ {4000…12000}.
+func RunFig4(cfg Config) []*Figure {
+	fig := &Figure{
+		ID: "4", Title: "ShBF_M FPR vs BF FPR (m=100000)",
+		XLabel: "k", YLabel: "FP rate",
+	}
+	for _, n := range []int{4000, 6000, 8000, 10000, 12000} {
+		for k := 2; k <= 20; k += 2 {
+			fig.Add(fmt.Sprintf("ShBF_M n=%d", n), float64(k),
+				analytic.FPRShBFM(100000, n, float64(k), core.DefaultMaxOffset))
+			fig.Add(fmt.Sprintf("BF n=%d", n), float64(k),
+				analytic.FPRBF(100000, n, float64(k)))
+		}
+	}
+	fig.Notes = append(fig.Notes, "the sacrificed FPR of ShBF_M vs BF is negligible (paper Section 3.5)")
+	return []*Figure{fig}
+}
+
+// fig7Point measures one Figure 7 configuration: ShBF_M simulation vs
+// Equation 1, and 1MemBF at the same and 1.5× memory.
+func fig7Point(cfg Config, m, n, k int, fig *Figure, x float64) {
+	shbf := Repeat(cfg.Trials, func(trial int) float64 {
+		gen := trace.NewGenerator(cfg.Seed + int64(trial))
+		f, err := core.NewMembership(m, k, core.WithSeed(uint64(cfg.Seed)+uint64(trial)))
+		if err != nil {
+			panic(err)
+		}
+		for _, e := range trace.Bytes(gen.Distinct(n)) {
+			f.Add(e)
+		}
+		return measureFPR(f, workload.Negatives(gen, cfg.Probes))
+	})
+	onemem := Repeat(cfg.Trials, func(trial int) float64 {
+		gen := trace.NewGenerator(cfg.Seed + int64(trial))
+		f, err := baseline.NewOneMemBF(m, k, baseline.WithSeed(uint64(cfg.Seed)+uint64(trial)))
+		if err != nil {
+			panic(err)
+		}
+		for _, e := range trace.Bytes(gen.Distinct(n)) {
+			f.Add(e)
+		}
+		return measureFPR(f, workload.Negatives(gen, cfg.Probes))
+	})
+	onemem15 := Repeat(cfg.Trials, func(trial int) float64 {
+		gen := trace.NewGenerator(cfg.Seed + int64(trial))
+		f, err := baseline.NewOneMemBF(m*3/2, k, baseline.WithSeed(uint64(cfg.Seed)+uint64(trial)))
+		if err != nil {
+			panic(err)
+		}
+		for _, e := range trace.Bytes(gen.Distinct(n)) {
+			f.Add(e)
+		}
+		return measureFPR(f, workload.Negatives(gen, cfg.Probes))
+	})
+	fig.Add("ShBF_M theory", x, analytic.FPRShBFM(m, n, float64(k), core.DefaultMaxOffset))
+	fig.Add("ShBF_M sim", x, shbf)
+	fig.Add("1MemBF (m)", x, onemem)
+	fig.Add("1MemBF (1.5m)", x, onemem15)
+}
+
+// RunFig7 reproduces Figure 7: false-positive rates of ShBF_M (theory
+// and simulation) against 1MemBF at equal and 1.5× memory, under the
+// paper's exact parameter sweeps: (a) n with m=22008, k=8; (b) k with
+// m=22976, n=2000; (c) m with n=4000, k=6. Probe counts are cfg.Probes
+// per point (the paper uses 7M).
+func RunFig7(cfg Config) []*Figure {
+	figA := &Figure{ID: "7a", Title: "FPR vs n (m=22008, k=8)", XLabel: "n", YLabel: "FP rate"}
+	for n := 1000; n <= 1500; n += 100 {
+		fig7Point(cfg, 22008, n, 8, figA, float64(n))
+	}
+
+	figB := &Figure{ID: "7b", Title: "FPR vs k (m=22976, n=2000)", XLabel: "k", YLabel: "FP rate"}
+	for k := 4; k <= 16; k += 2 {
+		fig7Point(cfg, 22976, 2000, k, figB, float64(k))
+	}
+
+	figC := &Figure{ID: "7c", Title: "FPR vs m (n=4000, k=6)", XLabel: "m", YLabel: "FP rate"}
+	for m := 32000; m <= 44000; m += 2000 {
+		fig7Point(cfg, m, 4000, 6, figC, float64(m))
+	}
+	return []*Figure{figA, figB, figC}
+}
+
+// buildMixedWorkload inserts n elements into each provided filter and
+// returns the Figure 8 query mix: the n members plus n fresh negatives,
+// shuffled.
+func buildMixedWorkload(cfg Config, trial, n int, filters ...membershipFilter) [][]byte {
+	gen := trace.NewGenerator(cfg.Seed + int64(trial))
+	members := trace.Bytes(gen.Distinct(n))
+	for _, f := range filters {
+		for _, e := range members {
+			f.Add(e)
+		}
+	}
+	return workload.Mixed(members, workload.Negatives(gen, n), cfg.Seed+int64(trial))
+}
+
+// fig8Point measures mean memory accesses per query for BF and ShBF_M
+// on the 2n half-member workload of Section 6.2.2.
+func fig8Point(cfg Config, m, n, k int, fig *Figure, x float64) {
+	bfAcc := Repeat(cfg.Trials, func(trial int) float64 {
+		var acc memmodel.Counter
+		f, err := baseline.NewBF(m, k,
+			baseline.WithSeed(uint64(cfg.Seed)+uint64(trial)), baseline.WithAccessCounter(&acc))
+		if err != nil {
+			panic(err)
+		}
+		queries := buildMixedWorkload(cfg, trial, n, f)
+		acc.Reset()
+		for _, e := range queries {
+			f.Contains(e)
+		}
+		return float64(acc.Reads()) / float64(len(queries))
+	})
+	shAcc := Repeat(cfg.Trials, func(trial int) float64 {
+		var acc memmodel.Counter
+		f, err := core.NewMembership(m, k,
+			core.WithSeed(uint64(cfg.Seed)+uint64(trial)), core.WithAccessCounter(&acc))
+		if err != nil {
+			panic(err)
+		}
+		queries := buildMixedWorkload(cfg, trial, n, f)
+		acc.Reset()
+		for _, e := range queries {
+			f.Contains(e)
+		}
+		return float64(acc.Reads()) / float64(len(queries))
+	})
+	fig.Add("BF", x, bfAcc)
+	fig.Add("ShBF_M", x, shAcc)
+	fig.Add("BF theory", x, analytic.ExpectedAccessesBF(m, n, float64(k), 0.5))
+	fig.Add("ShBF_M theory", x, analytic.ExpectedAccessesShBFM(m, n, float64(k), core.DefaultMaxOffset, 0.5))
+}
+
+// RunFig8 reproduces Figure 8: memory accesses per query, ShBF_M vs BF,
+// on 2n queries of which n are members: (a) n sweep with m=22008, k=8;
+// (b) k sweep with m=33024, n=1000; (c) m sweep with k=6, n=4000.
+func RunFig8(cfg Config) []*Figure {
+	figA := &Figure{ID: "8a", Title: "# memory accesses vs n (m=22008, k=8)", XLabel: "n", YLabel: "# memory accesses"}
+	for n := 1000; n <= 1400; n += 100 {
+		fig8Point(cfg, 22008, n, 8, figA, float64(n))
+	}
+	figB := &Figure{ID: "8b", Title: "# memory accesses vs k (m=33024, n=1000)", XLabel: "k", YLabel: "# memory accesses"}
+	for k := 4; k <= 16; k += 2 {
+		fig8Point(cfg, 33024, 1000, k, figB, float64(k))
+	}
+	figC := &Figure{ID: "8c", Title: "# memory accesses vs m (k=6, n=4000)", XLabel: "m", YLabel: "# memory accesses"}
+	for m := 32000; m <= 44000; m += 2000 {
+		fig8Point(cfg, m, 4000, 6, figC, float64(m))
+	}
+	return []*Figure{figA, figB, figC}
+}
+
+// fig9Point measures query throughput (Mqps) for BF, 1MemBF and ShBF_M
+// on the mixed workload.
+func fig9Point(cfg Config, m, n, k int, fig *Figure, x float64) {
+	type candidate struct {
+		name  string
+		build func(seed uint64) (membershipFilter, error)
+	}
+	candidates := []candidate{
+		{"BF", func(s uint64) (membershipFilter, error) { return baseline.NewBF(m, k, baseline.WithSeed(s)) }},
+		{"1MemBF", func(s uint64) (membershipFilter, error) { return baseline.NewOneMemBF(m, k, baseline.WithSeed(s)) }},
+		{"ShBF_M", func(s uint64) (membershipFilter, error) { return core.NewMembership(m, k, core.WithSeed(s)) }},
+	}
+	for _, c := range candidates {
+		mqps := Repeat(cfg.Trials, func(trial int) float64 {
+			f, err := c.build(uint64(cfg.Seed) + uint64(trial))
+			if err != nil {
+				panic(err)
+			}
+			queries := buildMixedWorkload(cfg, trial, n, f)
+			return MeasureMqps(queries, cfg.MinTiming, func(e []byte) { f.Contains(e) })
+		})
+		fig.Add(c.name, x, mqps)
+	}
+}
+
+// RunFig9 reproduces Figure 9: query throughput of ShBF_M vs BF vs
+// 1MemBF: (a) n sweep with m=22008, k=8; (b) k sweep with m=33024,
+// n=1000; (c) m sweep with k=8, n=4000.
+func RunFig9(cfg Config) []*Figure {
+	figA := &Figure{ID: "9a", Title: "query speed vs n (m=22008, k=8)", XLabel: "n", YLabel: "Mqps"}
+	for n := 1000; n <= 2000; n += 200 {
+		fig9Point(cfg, 22008, n, 8, figA, float64(n))
+	}
+	figB := &Figure{ID: "9b", Title: "query speed vs k (m=33024, n=1000)", XLabel: "k", YLabel: "Mqps"}
+	for k := 4; k <= 16; k += 2 {
+		fig9Point(cfg, 33024, 1000, k, figB, float64(k))
+	}
+	figC := &Figure{ID: "9c", Title: "query speed vs m (k=8, n=4000)", XLabel: "m", YLabel: "Mqps"}
+	for m := 32000; m <= 44000; m += 2000 {
+		fig9Point(cfg, m, 4000, 8, figC, float64(m))
+	}
+	return []*Figure{figA, figB, figC}
+}

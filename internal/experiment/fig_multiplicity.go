@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shbf/internal/analytic"
+	"shbf/internal/baseline"
+	"shbf/internal/core"
+	"shbf/internal/memmodel"
+	"shbf/internal/trace"
+)
+
+// multQuery is one Figure 11 query with its ground truth (0 = not in
+// the multi-set).
+type multQuery struct {
+	e     []byte
+	truth int
+}
+
+// multWorkload is the Figure 11 data: n distinct flows with uniform
+// multiplicities in [1, c], plus an equal number of negatives, queried
+// shuffled.
+type multWorkload struct {
+	flows   []trace.Flow
+	queries []multQuery
+}
+
+func buildMultWorkload(cfg Config, trial, c int) multWorkload {
+	gen := trace.NewGenerator(cfg.Seed + int64(trial))
+	n := cfg.MultisetSize
+	flows := gen.UniformMultiset(n, c)
+
+	queries := make([]multQuery, 0, 2*n)
+	for i := range flows {
+		queries = append(queries, multQuery{e: flows[i].ID[:], truth: flows[i].Count})
+	}
+	for _, id := range gen.Distinct(n) {
+		e := make([]byte, trace.FlowIDLen)
+		copy(e, id[:])
+		queries = append(queries, multQuery{e: e, truth: 0})
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return multWorkload{flows: flows, queries: queries}
+}
+
+// multCounter abstracts the three multiplicity schemes for measurement.
+type multCounter interface {
+	Count(e []byte) uint64
+}
+
+type shbfxAdapter struct{ f *core.Multiplicity }
+
+func (a shbfxAdapter) Count(e []byte) uint64 { return uint64(a.f.Count(e)) }
+
+// multMeasurement is one (k, trial) evaluation of the three schemes.
+type multMeasurement struct {
+	crShBF, crSpectral, crCM    float64
+	accShBF, accSpectral, accCM float64
+	mqShBF, mqSpectral, mqCM    float64
+	crTheory                    float64
+}
+
+// measureMultPoint runs the paper's Figure 11 protocol for one k:
+// c = 57, n distinct elements, and every scheme given the same memory
+// budget of 1.5× the optimal BF size (1.5·nk/ln2 bits); Spectral BF and
+// the CM sketch spend it on 6-bit counters (Section 6.4.1).
+func measureMultPoint(cfg Config, k, trial int) multMeasurement {
+	const c = 57
+	const counterBits = 6
+	w := buildMultWorkload(cfg, trial, c)
+	n := len(w.flows)
+	budgetBits := int(1.5 * float64(n) * float64(k) / math.Ln2)
+	seed := uint64(cfg.Seed) + uint64(trial)
+
+	var accS, accSp, accCM memmodel.Counter
+
+	shbf, err := core.NewMultiplicity(budgetBits, k, c,
+		core.WithSeed(seed), core.WithAccessCounter(&accS))
+	if err != nil {
+		panic(err)
+	}
+	spectral, err := baseline.NewSpectralBF(budgetBits/counterBits, k, baseline.SpectralMinIncrease,
+		baseline.WithSeed(seed), baseline.WithCounterWidth(counterBits), baseline.WithAccessCounter(&accSp))
+	if err != nil {
+		panic(err)
+	}
+	rowSize := budgetBits / counterBits / k
+	if rowSize < 1 {
+		rowSize = 1
+	}
+	cm, err := baseline.NewCMSketch(k, rowSize,
+		baseline.WithSeed(seed), baseline.WithCounterWidth(counterBits), baseline.WithAccessCounter(&accCM))
+	if err != nil {
+		panic(err)
+	}
+
+	for _, fl := range w.flows {
+		if err := shbf.AddWithCount(fl.ID[:], fl.Count); err != nil {
+			panic(err)
+		}
+		for i := 0; i < fl.Count; i++ {
+			spectral.Insert(fl.ID[:])
+			cm.Insert(fl.ID[:])
+		}
+	}
+
+	type schemeUnderTest struct {
+		counter        multCounter
+		acc            *memmodel.Counter
+		cr, accOut, mq *float64
+	}
+	var out multMeasurement
+	schemes := []schemeUnderTest{
+		{shbfxAdapter{shbf}, &accS, &out.crShBF, &out.accShBF, &out.mqShBF},
+		{spectral, &accSp, &out.crSpectral, &out.accSpectral, &out.mqSpectral},
+		{cm, &accCM, &out.crCM, &out.accCM, &out.mqCM},
+	}
+
+	queryBytes := make([][]byte, len(w.queries))
+	for i := range w.queries {
+		queryBytes[i] = w.queries[i].e
+	}
+
+	for _, s := range schemes {
+		correct := 0
+		s.acc.Reset()
+		for _, q := range w.queries {
+			if s.counter.Count(q.e) == uint64(q.truth) {
+				correct++
+			}
+		}
+		*s.cr = float64(correct) / float64(len(w.queries))
+		*s.accOut = float64(s.acc.Reads()) / float64(len(w.queries))
+		counter := s.counter
+		*s.mq = MeasureMqps(queryBytes, cfg.MinTiming, func(e []byte) { counter.Count(e) })
+	}
+
+	// Theory (Equations 27–28): half the workload is negatives with CR
+	// (1−f0)^c, half members with the exact per-j form.
+	counts := make([]int, n)
+	for i, fl := range w.flows {
+		counts[i] = fl.Count
+	}
+	out.crTheory = 0.5*analytic.CRNonMember(budgetBits, n, k, c) +
+		0.5*analytic.CRWorkload(budgetBits, n, k, c, counts)
+	return out
+}
+
+// RunFig11 reproduces Figure 11: ShBF_X vs Spectral BF vs CM sketch on
+// (a) correctness rate with the Equation 27/28 theory line (k = 8…16),
+// (b) memory accesses per query (k = 3…18), and (c) query throughput
+// (k = 3…18). All schemes receive the same memory budget.
+func RunFig11(cfg Config) []*Figure {
+	figA := &Figure{ID: "11a", Title: "correctness rate (c=57, equal memory)", XLabel: "k", YLabel: "correctness rate"}
+	figB := &Figure{ID: "11b", Title: "# memory accesses per query", XLabel: "k", YLabel: "# memory accesses"}
+	figC := &Figure{ID: "11c", Title: "query speed", XLabel: "k", YLabel: "Mqps"}
+
+	measure := func(k int) multMeasurement {
+		ms := make([]multMeasurement, cfg.Trials)
+		for trial := range ms {
+			ms[trial] = measureMultPoint(cfg, k, trial)
+		}
+		var agg multMeasurement
+		for _, m := range ms {
+			agg.crShBF += m.crShBF
+			agg.crSpectral += m.crSpectral
+			agg.crCM += m.crCM
+			agg.accShBF += m.accShBF
+			agg.accSpectral += m.accSpectral
+			agg.accCM += m.accCM
+			agg.mqShBF += m.mqShBF
+			agg.mqSpectral += m.mqSpectral
+			agg.mqCM += m.mqCM
+			agg.crTheory += m.crTheory
+		}
+		tf := float64(len(ms))
+		agg.crShBF /= tf
+		agg.crSpectral /= tf
+		agg.crCM /= tf
+		agg.accShBF /= tf
+		agg.accSpectral /= tf
+		agg.accCM /= tf
+		agg.mqShBF /= tf
+		agg.mqSpectral /= tf
+		agg.mqCM /= tf
+		agg.crTheory /= tf
+		return agg
+	}
+
+	for k := 3; k <= 18; k++ {
+		m := measure(k)
+		x := float64(k)
+		if k >= 8 && k <= 16 {
+			figA.Add("ShBF_X theory", x, m.crTheory)
+			figA.Add("ShBF_X sim", x, m.crShBF)
+			figA.Add("Spectral BF", x, m.crSpectral)
+			figA.Add("CM sketch", x, m.crCM)
+		}
+		figB.Add("Spectral BF", x, m.accSpectral)
+		figB.Add("ShBF_X", x, m.accShBF)
+		figB.Add("CM sketch", x, m.accCM)
+		figC.Add("Spectral BF", x, m.mqSpectral)
+		figC.Add("ShBF_X", x, m.mqShBF)
+		figC.Add("CM sketch", x, m.mqCM)
+	}
+	figA.Notes = append(figA.Notes,
+		fmt.Sprintf("n=%d distinct flows, uniform counts in [1,57], memory = 1.5·nk/ln2 bits for all schemes, 6-bit counters for Spectral/CM", cfg.MultisetSize))
+	return []*Figure{figA, figB, figC}
+}

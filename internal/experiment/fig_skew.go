@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"shbf/internal/baseline"
+	"shbf/internal/core"
+	"shbf/internal/trace"
+)
+
+// RunSkewAblation probes a structural property Figure 11's uniform
+// workload does not expose: ShBF_X encodes any multiplicity in the same
+// k bits, so its accuracy is independent of the count distribution.
+// Spectral BF and the CM sketch, in contrast, accumulate every packet
+// into 6-bit counters, so their accuracy swings with the distribution:
+// heavy uniform counts (mean ≈ c/2 packets per flow) saturate counters
+// and collide counts, while mouse-dominated Zipf traffic relieves the
+// pressure. The x-axis is the Zipf skew parameter (0 = uniform counts);
+// y is the correctness rate over the members, plus a second figure
+// reporting counter-saturation events.
+func RunSkewAblation(cfg Config) []*Figure {
+	const (
+		k           = 12
+		c           = 57
+		counterBits = 6
+	)
+	n := cfg.MultisetSize / 2
+	if n < 1000 {
+		n = 1000
+	}
+	nf := float64(n)
+	budgetBits := int(1.5 * nf * k / math.Ln2)
+
+	crFig := &Figure{ID: "skew-cr", Title: fmt.Sprintf("correctness rate vs count skew (k=%d, c=%d)", k, c),
+		XLabel: "zipf s (0 = uniform)", YLabel: "correctness rate"}
+	ovFig := &Figure{ID: "skew-overflow", Title: "6-bit counter saturation events vs skew",
+		XLabel: "zipf s (0 = uniform)", YLabel: "overflows per 1000 elements"}
+
+	for _, skew := range []float64{0, 1.2, 1.5, 2.0} {
+		var crSh, crSp, crCM, ovSp, ovCM float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			gen := trace.NewGenerator(cfg.Seed + int64(trial))
+			var flows []trace.Flow
+			if skew == 0 {
+				flows = gen.UniformMultiset(n, c)
+			} else {
+				flows = gen.Multiset(n, c, skew)
+			}
+			seed := uint64(cfg.Seed) + uint64(trial)
+
+			shbf, err := core.NewMultiplicity(budgetBits, k, c, core.WithSeed(seed))
+			if err != nil {
+				panic(err)
+			}
+			spectral, err := baseline.NewSpectralBF(budgetBits/counterBits, k, baseline.SpectralMinIncrease,
+				baseline.WithSeed(seed), baseline.WithCounterWidth(counterBits))
+			if err != nil {
+				panic(err)
+			}
+			cm, err := baseline.NewCMSketch(k, budgetBits/counterBits/k,
+				baseline.WithSeed(seed), baseline.WithCounterWidth(counterBits))
+			if err != nil {
+				panic(err)
+			}
+			for _, fl := range flows {
+				if err := shbf.AddWithCount(fl.ID[:], fl.Count); err != nil {
+					panic(err)
+				}
+				for i := 0; i < fl.Count; i++ {
+					spectral.Insert(fl.ID[:])
+					cm.Insert(fl.ID[:])
+				}
+			}
+			var okSh, okSp, okCM int
+			for _, fl := range flows {
+				if shbf.Count(fl.ID[:]) == fl.Count {
+					okSh++
+				}
+				if spectral.Count(fl.ID[:]) == uint64(fl.Count) {
+					okSp++
+				}
+				if cm.Count(fl.ID[:]) == uint64(fl.Count) {
+					okCM++
+				}
+			}
+			crSh += float64(okSh) / nf
+			crSp += float64(okSp) / nf
+			crCM += float64(okCM) / nf
+			ovSp += float64(spectral.Overflows()) / nf * 1000
+			ovCM += float64(cm.Overflows()) / nf * 1000
+		}
+		tf := float64(cfg.Trials)
+		crFig.Add("ShBF_X", skew, crSh/tf)
+		crFig.Add("Spectral BF", skew, crSp/tf)
+		crFig.Add("CM sketch", skew, crCM/tf)
+		ovFig.Add("Spectral BF", skew, ovSp/tf)
+		ovFig.Add("CM sketch", skew, ovCM/tf)
+	}
+	crFig.Notes = append(crFig.Notes,
+		"ShBF_X's k-bit encoding is count-distribution-independent; the counter schemes' accuracy moves with the distribution (heavy uniform counts saturate 6-bit counters)")
+	return []*Figure{crFig, ovFig}
+}

@@ -1,0 +1,252 @@
+// Package experiment is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Section 6). Each Run*
+// function reproduces one figure (or table): it builds the structures,
+// replays the paper's workload protocol at a configurable scale, and
+// returns a Figure/Table that renders as aligned text or CSV.
+//
+// Absolute numbers differ from the paper (different host, synthetic
+// traces — see DESIGN.md §5); the assertions in this package's tests and
+// the recorded results in EXPERIMENTS.md track the *shapes*: who wins,
+// by what factor, and where crossovers fall.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve in a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduction of one paper figure: a set of series over a
+// shared x-axis.
+type Figure struct {
+	ID     string // e.g. "7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Add appends a point to the named series, creating it if necessary.
+// Series keep insertion order for rendering.
+func (f *Figure) Add(series string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Points = append(f.Series[i].Points, Point{x, y})
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Points: []Point{{x, y}}})
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(series string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// xs returns the sorted union of all x values across series.
+func (f *Figure) xs() []float64 {
+	set := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Render writes the figure as an aligned text table: one row per x
+// value, one column per series.
+func (f *Figure) Render(w io.Writer) error {
+	header := append([]string{f.XLabel}, seriesNames(f.Series)...)
+	rows := [][]string{}
+	for _, x := range f.xs() {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = formatNum(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	if _, err := fmt.Fprintf(w, "Figure %s: %s  (y: %s)\n", f.ID, f.Title, f.YLabel); err != nil {
+		return err
+	}
+	if err := renderAligned(w, header, rows); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the figure in wide CSV form (x, then one column per
+// series).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := append([]string{f.XLabel}, seriesNames(f.Series)...)
+	if _, err := fmt.Fprintln(w, strings.Join(quoteAll(cols), ",")); err != nil {
+		return err
+	}
+	for _, x := range f.xs() {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = formatNum(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table is a reproduction of a paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiment: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if err := renderAligned(w, t.Columns, t.Rows); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(quoteAll(t.Columns), ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(quoteAll(row), ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func renderAligned(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e12 && v > -1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+func quoteAll(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	return out
+}

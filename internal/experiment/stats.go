@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"math"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// Repeat runs f trials times (trial index as seed offset) and returns
+// the mean of its results.
+func Repeat(trials int, f func(trial int) float64) float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	vals := make([]float64, trials)
+	for i := range vals {
+		vals[i] = f(i)
+	}
+	return Mean(vals)
+}
+
+// MeasureMqps times query over the workload until at least minTime has
+// elapsed (always completing whole passes so every query is represented
+// equally) and returns millions of queries per second — the paper's
+// throughput unit (Figures 9, 10(c), 11(c)).
+func MeasureMqps(queries [][]byte, minTime time.Duration, query func(e []byte)) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	// Warm-up pass: touch all memory, stabilize branch predictors.
+	for _, q := range queries {
+		query(q)
+	}
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minTime {
+		for _, q := range queries {
+			query(q)
+		}
+		n += len(queries)
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(n) / elapsed / 1e6
+}

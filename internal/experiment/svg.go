@@ -1,0 +1,190 @@
+package experiment
+
+// SVG rendering for figures: cmd/shbench -svg writes one .svg per
+// figure so the reproduced curves can be compared with the paper's
+// plots visually. Pure stdlib — hand-rolled SVG primitives.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette cycles through distinguishable line colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	svgWidth      = 640
+	svgHeight     = 420
+	svgMarginL    = 70
+	svgMarginR    = 20
+	svgMarginT    = 40
+	svgMarginB    = 50
+	svgLegendLine = 16
+)
+
+// WriteSVG renders the figure as a line chart. The y-axis switches to
+// log scale automatically when the positive y values span more than two
+// decades (the FPR figures), mirroring the paper's log plots.
+func (f *Figure) WriteSVG(w io.Writer) error {
+	xMin, xMax, yMin, yMax, logY := f.bounds()
+	if xMin == xMax {
+		xMax = xMin + 1
+	}
+
+	plotW := float64(svgWidth - svgMarginL - svgMarginR)
+	plotH := float64(svgHeight - svgMarginT - svgMarginB)
+
+	tx := func(x float64) float64 {
+		return svgMarginL + (x-xMin)/(xMax-xMin)*plotW
+	}
+	ty := func(y float64) float64 {
+		var frac float64
+		if logY {
+			frac = (math.Log10(y) - math.Log10(yMin)) / (math.Log10(yMax) - math.Log10(yMin))
+		} else {
+			frac = (y - yMin) / (yMax - yMin)
+		}
+		return svgMarginT + plotH - frac*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		svgWidth, svgHeight)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgWidth, svgHeight)
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="13" text-anchor="middle">Figure %s: %s</text>`+"\n",
+		svgWidth/2, svgEscape(f.ID), svgEscape(f.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		svgMarginL+int(plotW/2), svgHeight-12, svgEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		svgMarginT+int(plotH/2), svgMarginT+int(plotH/2), svgEscape(f.YLabel))
+
+	// Plot frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		svgMarginL, svgMarginT, plotW, plotH)
+
+	// Ticks and grid.
+	for _, x := range linearTicks(xMin, xMax, 6) {
+		px := tx(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px, svgMarginT, px, float64(svgMarginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px, float64(svgMarginT)+plotH+16, formatNum(x))
+	}
+	for _, y := range f.yTicks(yMin, yMax, logY) {
+		py := ty(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			svgMarginL, py, float64(svgMarginL)+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			svgMarginL-6, py+4, formatTick(y, logY))
+	}
+
+	// Series polylines + markers.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for _, p := range s.Points {
+			if logY && p.Y <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(p.X), ty(p.Y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range s.Points {
+			if logY && p.Y <= 0 {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", tx(p.X), ty(p.Y), color)
+		}
+	}
+
+	// Legend.
+	ly := svgMarginT + 8
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgMarginL+8, ly, svgMarginL+28, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgMarginL+33, ly+4, svgEscape(s.Name))
+		ly += svgLegendLine
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes the plot ranges and whether a log y-axis is
+// warranted (positive values spanning > 2 decades).
+func (f *Figure) bounds() (xMin, xMax, yMin, yMax float64, logY bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	minPosY := math.Inf(1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xMin, xMax = math.Min(xMin, p.X), math.Max(xMax, p.X)
+			yMin, yMax = math.Min(yMin, p.Y), math.Max(yMax, p.Y)
+			if p.Y > 0 {
+				minPosY = math.Min(minPosY, p.Y)
+			}
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return 0, 1, 0, 1, false
+	}
+	if minPosY > 0 && !math.IsInf(minPosY, 1) && yMax > 0 && yMax/minPosY > 50 {
+		logY = true
+		yMin = minPosY
+	} else if yMin > 0 {
+		yMin = 0 // anchor linear plots at zero like the paper's
+	}
+	if yMin == yMax {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, logY
+}
+
+// yTicks returns tick positions: decades for log, 5 divisions for
+// linear.
+func (f *Figure) yTicks(yMin, yMax float64, logY bool) []float64 {
+	if !logY {
+		return linearTicks(yMin, yMax, 5)
+	}
+	var ticks []float64
+	for d := math.Floor(math.Log10(yMin)); d <= math.Ceil(math.Log10(yMax)); d++ {
+		v := math.Pow(10, d)
+		if v >= yMin/1.001 && v <= yMax*1.001 {
+			ticks = append(ticks, v)
+		}
+	}
+	return ticks
+}
+
+// linearTicks returns n+1 evenly spaced values over [lo, hi].
+func linearTicks(lo, hi float64, n int) []float64 {
+	ticks := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		ticks = append(ticks, lo+(hi-lo)*float64(i)/float64(n))
+	}
+	return ticks
+}
+
+func formatTick(v float64, logY bool) string {
+	if logY {
+		return fmt.Sprintf("%.0e", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGLinear(t *testing.T) {
+	fig := &Figure{ID: "t", Title: "linear test", XLabel: "k", YLabel: "Mqps"}
+	fig.Add("a", 1, 10)
+	fig.Add("a", 2, 12)
+	fig.Add("b", 1, 8)
+	fig.Add("b", 2, 9)
+
+	var buf bytes.Buffer
+	if err := fig.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"linear test", ">a<", ">b<", "Mqps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+}
+
+func TestWriteSVGLogScale(t *testing.T) {
+	// FPR-style data spanning many decades must switch to log ticks
+	// (scientific-notation labels).
+	fig := &Figure{ID: "log", Title: "log test", XLabel: "k", YLabel: "FP rate"}
+	fig.Add("s", 1, 0.1)
+	fig.Add("s", 2, 0.001)
+	fig.Add("s", 3, 0.00001)
+
+	var buf bytes.Buffer
+	if err := fig.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1e-") {
+		t.Fatal("log-scale ticks missing")
+	}
+}
+
+func TestWriteSVGEmptyFigure(t *testing.T) {
+	fig := &Figure{ID: "e", Title: "empty", XLabel: "x", YLabel: "y"}
+	var buf bytes.Buffer
+	if err := fig.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatal("empty figure did not render a valid frame")
+	}
+}
+
+func TestWriteSVGEscapesMarkup(t *testing.T) {
+	fig := &Figure{ID: "x", Title: `a<b>"&`, XLabel: "x", YLabel: "y"}
+	fig.Add("s<1>", 1, 1)
+	var buf bytes.Buffer
+	if err := fig.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `a<b>`) {
+		t.Fatal("unescaped markup in title")
+	}
+	if !strings.Contains(out, "a&lt;b&gt;&quot;&amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestWriteSVGZeroYsOnLogScale(t *testing.T) {
+	// Zero FPR points (measured zeros) must be skipped, not crash the
+	// log transform.
+	fig := &Figure{ID: "z", Title: "zeros", XLabel: "k", YLabel: "FP rate"}
+	fig.Add("s", 1, 0.01)
+	fig.Add("s", 2, 0)
+	fig.Add("s", 3, 0.00001)
+	var buf bytes.Buffer
+	if err := fig.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatal("render failed")
+	}
+}

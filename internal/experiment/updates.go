@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"shbf/internal/baseline"
+	"shbf/internal/core"
+	"shbf/internal/trace"
+)
+
+// RunUpdateTable benchmarks the update paths the paper describes but
+// does not measure: churn throughput (alternating full insert and
+// delete passes) of the counting variants (CBF, CShBF_M — Section 3.3;
+// CShBF_X in both Section 5.3 modes) plus the cuckoo filter's
+// displacement-based updates (Section 2.1). Memory is sized at the
+// optimum for the element count; counting schemes use 8-bit counters so
+// saturation never distorts the timing.
+func RunUpdateTable(cfg Config) *Table {
+	const k = 8
+	n := cfg.MultisetSize / 2
+	if n < 1000 {
+		n = 1000
+	}
+	nf := float64(n)
+	m := int(nf * k / math.Ln2)
+
+	gen := trace.NewGenerator(cfg.Seed)
+	elems := trace.Bytes(gen.Distinct(n))
+
+	tab := &Table{
+		ID:    "updates",
+		Title: fmt.Sprintf("update throughput (n=%d, k=%d, 8-bit counters)", n, k),
+		Columns: []string{"scheme", "churn Mops (insert+delete)", "memory bytes",
+			"update accesses/op (model)"},
+	}
+
+	type updScheme struct {
+		name     string
+		insert   func(e []byte) error
+		delete   func(e []byte) error
+		size     func() int
+		accesses string
+	}
+
+	seed := uint64(cfg.Seed)
+	cbf, err := baseline.NewCBF(m, k, baseline.WithSeed(seed), baseline.WithCounterWidth(8))
+	if err != nil {
+		panic(err)
+	}
+	cshbfm, err := core.NewCountingMembership(m, k, core.WithSeed(seed), core.WithCounterWidth(8))
+	if err != nil {
+		panic(err)
+	}
+	// CShBF_X sized like Figure 11 (1.5× optimal); counts alternate
+	// between 0 and 1 so the timing isolates the re-encoding machinery.
+	mx := int(1.5 * nf * k / math.Ln2)
+	safeX, err := core.NewCountingMultiplicity(mx, k, 57, core.WithSeed(seed), core.WithCounterWidth(8))
+	if err != nil {
+		panic(err)
+	}
+	unsafeX, err := core.NewCountingMultiplicity(mx, k, 57,
+		core.WithSeed(seed), core.WithCounterWidth(8), core.WithUnsafeUpdates())
+	if err != nil {
+		panic(err)
+	}
+	cuckoo, err := baseline.NewCuckooFilter(n*2, baseline.WithSeed(seed))
+	if err != nil {
+		panic(err)
+	}
+
+	schemes := []updScheme{
+		{"CBF", cbf.Insert, cbf.Delete, cbf.SizeBytes, fmt.Sprintf("%d (k counters)", k)},
+		{"CShBF_M", cshbfm.Insert, cshbfm.Delete, cshbfm.SizeBytes,
+			fmt.Sprintf("%d (k/2 paired counters, §3.3)", k/2)},
+		{"CShBF_X (5.3.2)", safeX.Insert, safeX.Delete, safeX.SizeBytes,
+			fmt.Sprintf("%d (2k + table)", 2*k)},
+		{"CShBF_X (5.3.1)", unsafeX.Insert, unsafeX.Delete, unsafeX.SizeBytes,
+			fmt.Sprintf("%d (2k + B query)", 2*k)},
+		{"Cuckoo filter", cuckoo.Insert,
+			func(e []byte) error {
+				cuckoo.Delete(e)
+				return nil
+			},
+			cuckoo.SizeBytes, "2 buckets"},
+	}
+
+	for _, s := range schemes {
+		mops := measureChurnMops(elems, cfg.MinTiming, s.insert, s.delete)
+		tab.AddRow(s.name,
+			fmt.Sprintf("%.2f", mops),
+			fmt.Sprintf("%d", s.size()),
+			s.accesses)
+	}
+	tab.Notes = append(tab.Notes,
+		"CShBF_X pays double updates (remove old encoding, add new) plus its off-chip table — the §5.3 trade for one-sided multiplicity errors")
+	return tab
+}
+
+// measureChurnMops times alternating insert and delete passes over all
+// elements (each pass leaves the structure back at its starting state)
+// and returns millions of update operations per second.
+func measureChurnMops(elems [][]byte, minTime time.Duration, insert, delete func([]byte) error) float64 {
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < minTime {
+		for _, e := range elems {
+			_ = insert(e)
+		}
+		for _, e := range elems {
+			_ = delete(e)
+		}
+		ops += 2 * len(elems)
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(ops) / elapsed / 1e6
+}

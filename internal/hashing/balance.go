@@ -1,0 +1,54 @@
+package hashing
+
+// This file ports the paper's hash-randomness test (Section 6.1):
+// "Our criteria for testing randomness is that the probability of seeing
+// 1 at any bit location in the hashed value should be 0.5." The authors
+// computed, per output bit, the fraction of 8M distinct flow IDs whose
+// hash sets that bit, and kept the 18 functions that passed.
+
+// BitBalance returns, for each of the 64 output bits of h.Sum64, the
+// fraction of inputs whose hash value has that bit set. For a function
+// with uniformly distributed outputs every fraction approaches 0.5.
+func BitBalance(h Hasher, inputs [][]byte) [64]float64 {
+	var counts [64]int
+	for _, in := range inputs {
+		v := h.Sum64(in)
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	var fracs [64]float64
+	if len(inputs) == 0 {
+		return fracs
+	}
+	total := float64(len(inputs))
+	for b := 0; b < 64; b++ {
+		fracs[b] = float64(counts[b]) / total
+	}
+	return fracs
+}
+
+// MaxBalanceError returns the largest deviation of any per-bit fraction
+// from the ideal 0.5.
+func MaxBalanceError(fracs [64]float64) float64 {
+	worst := 0.0
+	for _, f := range fracs {
+		d := f - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PassesBalance reports whether h passes the paper's randomness test on
+// inputs with the given per-bit tolerance (the paper does not state its
+// tolerance; 0.01 on ≥100k inputs is a faithful rendering).
+func PassesBalance(h Hasher, inputs [][]byte, tolerance float64) bool {
+	return MaxBalanceError(BitBalance(h, inputs)) <= tolerance
+}

@@ -1,0 +1,37 @@
+package hashing
+
+// Double implements Kirsch–Mitzenmacher double hashing [13 in the paper]:
+// two base hash values h1, h2 simulate k functions via
+// g_i = (h1 + i·h2) mod m. The paper cites this as the prior technique
+// for reducing hash computations, at the cost of increased FPR; the km
+// baseline and the 1MemBF bit-offset derivation use it.
+//
+// A single Sum128 supplies both lanes, so simulating any k costs one pass
+// over the input — the cheapest possible hashing budget, which is what
+// makes the comparison against ShBF_M's k/2+1 budget meaningful.
+type Double struct {
+	h Hasher
+}
+
+// NewDouble returns a double hasher derived from seed.
+func NewDouble(seed uint64) Double {
+	return Double{h: New(seed)}
+}
+
+// Base returns the two base hash values for data.
+func (d Double) Base(data []byte) (h1, h2 uint64) {
+	return d.h.Sum128(data)
+}
+
+// Positions appends the k simulated positions g_i = (h1 + i·h2) mod m,
+// i = 0 … k−1, to dst and returns it. h2 is forced odd so that for
+// power-of-two m the probe sequence cycles through distinct positions.
+func (d Double) Positions(data []byte, k, m int, dst []int) []int {
+	h1, h2 := d.h.Sum128(data)
+	h2 |= 1
+	dst = dst[:0]
+	for i := 0; i < k; i++ {
+		dst = append(dst, int((h1+uint64(i)*h2)%uint64(m)))
+	}
+	return dst
+}

@@ -1,0 +1,64 @@
+package hashing
+
+import "fmt"
+
+// Family is an ordered collection of independent hash functions
+// h_1(.), …, h_n(.), the basic ingredient of every Bloom-filter variant
+// in the paper. Each member is a full, independently seeded Hasher, so
+// evaluating i functions costs i passes over the input — the cost model
+// behind the paper's "ShBF_M halves the hash computations" claim.
+type Family struct {
+	hashers []Hasher
+}
+
+// NewFamily returns a family of n independent hash functions derived from
+// seed. It panics if n is not positive: family sizes are static
+// configuration, not runtime input.
+func NewFamily(n int, seed uint64) *Family {
+	if n <= 0 {
+		panic(fmt.Sprintf("hashing: family size %d must be positive", n))
+	}
+	state := seed
+	hs := make([]Hasher, n)
+	for i := range hs {
+		hs[i] = New(SplitMix64(&state))
+	}
+	return &Family{hashers: hs}
+}
+
+// Len returns the number of functions in the family.
+func (f *Family) Len() int { return len(f.hashers) }
+
+// Hasher returns the i-th function (0-based).
+func (f *Family) Hasher(i int) Hasher { return f.hashers[i] }
+
+// Sum64 evaluates the i-th function on data.
+func (f *Family) Sum64(i int, data []byte) uint64 {
+	return f.hashers[i].Sum64(data)
+}
+
+// Mod evaluates the i-th function on data modulo m.
+func (f *Family) Mod(i int, data []byte, m int) int {
+	return f.hashers[i].Mod(data, m)
+}
+
+// SumAll evaluates every function on data, appending to dst and returning
+// it. Callers reuse dst across queries to avoid per-query allocation in
+// the hot path.
+func (f *Family) SumAll(data []byte, dst []uint64) []uint64 {
+	dst = dst[:0]
+	for _, h := range f.hashers {
+		dst = append(dst, h.Sum64(data))
+	}
+	return dst
+}
+
+// ModAll evaluates the first k functions on data modulo m, appending to
+// dst and returning it.
+func (f *Family) ModAll(k int, data []byte, m int, dst []int) []int {
+	dst = dst[:0]
+	for i := 0; i < k; i++ {
+		dst = append(dst, f.hashers[i].Mod(data, m))
+	}
+	return dst
+}

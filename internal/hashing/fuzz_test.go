@@ -1,0 +1,40 @@
+package hashing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSum128 checks structural properties of the hash on arbitrary
+// inputs: determinism, seed sensitivity, and length sensitivity (no
+// trivial collisions between an input and its extension).
+func FuzzSum128(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte("flow"), uint64(1))
+	f.Add(bytes.Repeat([]byte{0xAA}, 16), uint64(42))
+	f.Add(bytes.Repeat([]byte{0}, 33), uint64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		h := New(seed)
+		lo1, hi1 := h.Sum128(data)
+		lo2, hi2 := h.Sum128(data)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatal("non-deterministic hash")
+		}
+		// Appending a byte must change the value (length is mixed in).
+		lo3, hi3 := h.Sum128(append(append([]byte{}, data...), 0))
+		if lo1 == lo3 && hi1 == hi3 {
+			t.Fatal("extension collision")
+		}
+		// A different seed must produce a different value.
+		lo4, _ := New(seed + 1).Sum128(data)
+		if lo4 == lo1 {
+			t.Fatal("seed-independent hash value")
+		}
+		// Reduce stays in range for all m.
+		for _, m := range []int{1, 2, 63, 1 << 20} {
+			if r := Reduce(lo1, m); r < 0 || r >= m {
+				t.Fatalf("Reduce(%d) = %d out of range", m, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInputs(n, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, size)
+		rng.Read(b)
+		out[i] = b
+	}
+	return out
+}
+
+// sequentialInputs mimics structured keys (counters encoded as bytes),
+// the adversarial case for weak mixers.
+func sequentialInputs(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(i))
+		out[i] = b
+	}
+	return out
+}
+
+func TestSum128Deterministic(t *testing.T) {
+	h := New(42)
+	data := []byte("5-tuple flow id!")
+	lo1, hi1 := h.Sum128(data)
+	lo2, hi2 := h.Sum128(data)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("Sum128 is not deterministic")
+	}
+}
+
+func TestSeedsProduceDifferentFunctions(t *testing.T) {
+	a, b := New(1), New(2)
+	data := []byte("hello")
+	if a.Sum64(data) == b.Sum64(data) {
+		t.Fatal("different seeds produced identical hashes (collision on first try is implausible)")
+	}
+}
+
+func TestLengthExtension(t *testing.T) {
+	// Inputs that are prefixes of each other must hash differently.
+	h := New(7)
+	seen := map[uint64][]byte{}
+	data := make([]byte, 0, 40)
+	for i := 0; i < 40; i++ {
+		data = append(data, 0) // all-zero inputs of increasing length
+		v := h.Sum64(data)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("zero inputs of lengths %d and %d collide", len(prev), len(data))
+		}
+		seen[v] = append([]byte(nil), data...)
+	}
+}
+
+func TestTailBoundaries(t *testing.T) {
+	// Exercise every tail length 0..16 around the 16-byte block boundary
+	// and confirm single-byte changes in the tail change the hash.
+	h := New(99)
+	for size := 1; size <= 33; size++ {
+		base := make([]byte, size)
+		for i := range base {
+			base[i] = byte(i * 7)
+		}
+		want := h.Sum64(base)
+		for i := 0; i < size; i++ {
+			mod := append([]byte(nil), base...)
+			mod[i] ^= 0x80
+			if h.Sum64(mod) == want {
+				t.Fatalf("size %d: flipping byte %d did not change hash", size, i)
+			}
+		}
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 of 64 output bits on average.
+	h := New(2024)
+	rng := rand.New(rand.NewSource(5))
+	const trials = 2000
+	totalFlips := 0
+	for i := 0; i < trials; i++ {
+		data := make([]byte, 13) // the paper's flow-ID size
+		rng.Read(data)
+		ref := h.Sum64(data)
+		bit := rng.Intn(13 * 8)
+		data[bit/8] ^= 1 << uint(bit%8)
+		totalFlips += bits.OnesCount64(ref ^ h.Sum64(data))
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 28 || avg > 36 {
+		t.Fatalf("avalanche average = %.2f flipped bits, want ≈ 32", avg)
+	}
+}
+
+func TestBitBalanceRandomInputs(t *testing.T) {
+	// The paper's randomness criterion on random 13-byte flow IDs.
+	h := New(1)
+	inputs := randomInputs(100000, 13, 11)
+	if !PassesBalance(h, inputs, 0.01) {
+		fr := BitBalance(h, inputs)
+		t.Fatalf("hash fails the paper's bit-balance test: max error %.4f", MaxBalanceError(fr))
+	}
+}
+
+func TestBitBalanceSequentialInputs(t *testing.T) {
+	h := New(3)
+	if !PassesBalance(h, sequentialInputs(100000), 0.01) {
+		t.Fatal("hash fails bit-balance on sequential inputs")
+	}
+}
+
+func TestBitBalanceEmpty(t *testing.T) {
+	var fr [64]float64
+	got := BitBalance(New(1), nil)
+	if got != fr {
+		t.Fatal("BitBalance(nil) should be all zeros")
+	}
+	if MaxBalanceError(fr) != 0.5 {
+		t.Fatalf("MaxBalanceError(zeros) = %v, want 0.5", MaxBalanceError(fr))
+	}
+}
+
+func TestModRange(t *testing.T) {
+	f := func(seed uint64, data []byte, m uint16) bool {
+		if m == 0 {
+			return true
+		}
+		v := New(seed).Mod(data, int(m))
+		return v >= 0 && v < int(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModUniformity(t *testing.T) {
+	// Chi-square-style sanity check: hashing 64k random inputs into 64
+	// buckets should put roughly 1024 in each.
+	h := New(77)
+	const buckets, n = 64, 65536
+	counts := make([]int, buckets)
+	for _, in := range randomInputs(n, 13, 21) {
+		counts[h.Mod(in, buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 degrees of freedom; mean 63, stddev ≈ 11.2. 63+5σ ≈ 120.
+	if chi2 > 120 {
+		t.Fatalf("chi-square = %.1f, distribution too skewed", chi2)
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	// Positions produced by different family members for the same input
+	// must be uncorrelated: measure collision rate between h_0 and h_1
+	// over a modest modulus.
+	fam := NewFamily(4, 9)
+	const m, n = 1024, 50000
+	coll := 0
+	for _, in := range randomInputs(n, 13, 31) {
+		if fam.Mod(0, in, m) == fam.Mod(1, in, m) {
+			coll++
+		}
+	}
+	rate := float64(coll) / n
+	// Independent functions collide with probability 1/m ≈ 0.000977.
+	if rate > 3.0/m {
+		t.Fatalf("collision rate %.5f, want ≈ %.5f (functions correlated?)", rate, 1.0/m)
+	}
+}
+
+func TestFamilySumAllMatchesIndividual(t *testing.T) {
+	fam := NewFamily(6, 123)
+	data := []byte("element")
+	all := fam.SumAll(data, nil)
+	if len(all) != 6 {
+		t.Fatalf("SumAll returned %d values, want 6", len(all))
+	}
+	for i, v := range all {
+		if got := fam.Sum64(i, data); got != v {
+			t.Errorf("SumAll[%d] = %x, Sum64(%d) = %x", i, v, i, got)
+		}
+	}
+}
+
+func TestFamilyModAll(t *testing.T) {
+	fam := NewFamily(8, 5)
+	data := []byte("x")
+	got := fam.ModAll(5, data, 100, nil)
+	if len(got) != 5 {
+		t.Fatalf("ModAll returned %d values, want 5", len(got))
+	}
+	for i, v := range got {
+		if want := fam.Mod(i, data, 100); v != want {
+			t.Errorf("ModAll[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestFamilyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFamily(0, ...) should panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestSplitMix64Sequence(t *testing.T) {
+	s1, s2 := uint64(0), uint64(0)
+	a, b := SplitMix64(&s1), SplitMix64(&s2)
+	if a != b {
+		t.Fatal("SplitMix64 not deterministic")
+	}
+	c := SplitMix64(&s1)
+	if a == c {
+		t.Fatal("SplitMix64 sequence repeated immediately")
+	}
+}
+
+func TestDoublePositionsRangeAndSpread(t *testing.T) {
+	d := NewDouble(17)
+	const k, m = 8, 4096
+	var pos []int
+	counts := make([]int, m)
+	inputs := randomInputs(20000, 13, 41)
+	for _, in := range inputs {
+		pos = d.Positions(in, k, m, pos)
+		if len(pos) != k {
+			t.Fatalf("Positions returned %d, want %d", len(pos), k)
+		}
+		for _, p := range pos {
+			if p < 0 || p >= m {
+				t.Fatalf("position %d out of range [0,%d)", p, m)
+			}
+			counts[p]++
+		}
+	}
+	// Rough uniformity: expected load per slot.
+	expected := float64(len(inputs)*k) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 8*math.Sqrt(expected) {
+			t.Fatalf("slot %d load %d deviates wildly from %.1f", i, c, expected)
+		}
+	}
+}
+
+func TestDoubleBaseMatchesSum128(t *testing.T) {
+	d := NewDouble(3)
+	data := []byte("abc")
+	h1, h2 := d.Base(data)
+	lo, hi := New(3).Sum128(data)
+	// NewDouble(seed) wraps New(seed); Base must expose exactly its lanes.
+	if h1 != lo || h2 != hi {
+		t.Fatal("Double.Base does not expose the underlying Sum128 lanes")
+	}
+}
+
+func BenchmarkSum64FlowID(b *testing.B) {
+	h := New(1)
+	data := make([]byte, 13)
+	b.SetBytes(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Sum64(data)
+	}
+}
+
+func BenchmarkFamilySumAll8(b *testing.B) {
+	fam := NewFamily(8, 1)
+	data := make([]byte, 13)
+	var out []uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out = fam.SumAll(data, out)
+	}
+}

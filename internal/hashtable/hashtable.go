@@ -1,0 +1,187 @@
+// Package hashtable implements the chained hash table substrate the
+// paper leans on in two places:
+//
+//   - ShBF_A construction builds tables T1 and T2 over S1 and S2 to
+//     decide each element's region and hence its offset (Section 4.1).
+//   - ShBF_X stores each element's count "in a hash table using the
+//     simplest collision handling method called collision chain"
+//     (Section 5.1) and consults it for no-false-negative updates
+//     (Section 5.3.2, Figure 5).
+//
+// The table maps byte-string elements to uint64 values (counts, or 1 for
+// set membership), uses separate chaining exactly as the paper states,
+// and grows by doubling when the load factor exceeds 4 entries/bucket.
+// In the paper's architecture this structure lives in off-chip DRAM; an
+// optional memmodel.Counter charges one access per bucket-chain node
+// touched so update-path costs can be reported.
+package hashtable
+
+import (
+	"shbf/internal/hashing"
+	"shbf/internal/memmodel"
+)
+
+const (
+	initialBuckets = 16
+	maxLoadFactor  = 4 // mean chain length before doubling
+)
+
+type entry struct {
+	key   string
+	value uint64
+	next  *entry
+}
+
+// Table is a chained hash table from byte strings to uint64 values.
+// Use New; the zero value is unusable.
+type Table struct {
+	buckets []*entry
+	size    int
+	hasher  hashing.Hasher
+	acc     *memmodel.Counter
+}
+
+// New returns an empty table seeded for its internal hash function.
+func New(seed uint64) *Table {
+	return &Table{
+		buckets: make([]*entry, initialBuckets),
+		hasher:  hashing.New(seed),
+	}
+}
+
+// SetCounter attaches a DRAM access counter; nil detaches.
+func (t *Table) SetCounter(c *memmodel.Counter) { t.acc = c }
+
+// Len returns the number of stored keys.
+func (t *Table) Len() int { return t.size }
+
+// Put stores value under key, replacing any existing value.
+func (t *Table) Put(key []byte, value uint64) {
+	if t.size >= len(t.buckets)*maxLoadFactor {
+		t.grow()
+	}
+	i := t.bucketIndex(key)
+	for e := t.buckets[i]; e != nil; e = e.next {
+		t.acc.AddReads(1)
+		if e.key == string(key) {
+			e.value = value
+			t.acc.AddWrites(1)
+			return
+		}
+	}
+	t.buckets[i] = &entry{key: string(key), value: value, next: t.buckets[i]}
+	t.size++
+	t.acc.AddWrites(1)
+}
+
+// Get returns the value stored under key and whether it was present.
+func (t *Table) Get(key []byte) (uint64, bool) {
+	i := t.bucketIndex(key)
+	for e := t.buckets[i]; e != nil; e = e.next {
+		t.acc.AddReads(1)
+		if e.key == string(key) {
+			return e.value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Table) Contains(key []byte) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Add adds delta to the value under key (inserting it at delta if
+// absent) and returns the new value. This is the count-maintenance
+// primitive of ShBF_X updates.
+func (t *Table) Add(key []byte, delta uint64) uint64 {
+	v, _ := t.Get(key)
+	v += delta
+	t.Put(key, v)
+	return v
+}
+
+// Sub subtracts delta from the value under key. If the value would reach
+// zero (or underflow) the key is removed and 0 is returned. The boolean
+// reports whether the key was present.
+func (t *Table) Sub(key []byte, delta uint64) (uint64, bool) {
+	v, ok := t.Get(key)
+	if !ok {
+		return 0, false
+	}
+	if v <= delta {
+		t.Delete(key)
+		return 0, true
+	}
+	v -= delta
+	t.Put(key, v)
+	return v, true
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key []byte) bool {
+	i := t.bucketIndex(key)
+	var prev *entry
+	for e := t.buckets[i]; e != nil; prev, e = e, e.next {
+		t.acc.AddReads(1)
+		if e.key == string(key) {
+			if prev == nil {
+				t.buckets[i] = e.next
+			} else {
+				prev.next = e.next
+			}
+			t.size--
+			t.acc.AddWrites(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every (key, value) pair until fn returns false.
+// Iteration order is unspecified. The table must not be mutated during
+// iteration.
+func (t *Table) Range(fn func(key []byte, value uint64) bool) {
+	for _, head := range t.buckets {
+		for e := head; e != nil; e = e.next {
+			if !fn([]byte(e.key), e.value) {
+				return
+			}
+		}
+	}
+}
+
+// MaxChainLength returns the longest collision chain (instrumentation
+// for the "simplest collision handling" substrate).
+func (t *Table) MaxChainLength() int {
+	longest := 0
+	for _, head := range t.buckets {
+		n := 0
+		for e := head; e != nil; e = e.next {
+			n++
+		}
+		if n > longest {
+			longest = n
+		}
+	}
+	return longest
+}
+
+func (t *Table) bucketIndex(key []byte) int {
+	return int(t.hasher.Sum64(key) & uint64(len(t.buckets)-1))
+}
+
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([]*entry, len(old)*2)
+	for _, head := range old {
+		for e := head; e != nil; {
+			next := e.next
+			i := int(t.hasher.Sum64([]byte(e.key)) & uint64(len(t.buckets)-1))
+			e.next = t.buckets[i]
+			t.buckets[i] = e
+			e = next
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package hashtable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file implements binary serialization for the chained hash table:
+// uvarint entry count, then (uvarint key length, key bytes, uvarint
+// value) per entry. Entries are emitted in sorted key order so the
+// encoding is deterministic regardless of insertion history.
+
+// AppendBinary appends the table's serialized form to buf and returns
+// the result.
+func (t *Table) AppendBinary(buf []byte) []byte {
+	type kv struct {
+		k string
+		v uint64
+	}
+	entries := make([]kv, 0, t.size)
+	t.Range(func(key []byte, value uint64) bool {
+		entries = append(entries, kv{string(key), value})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.k)))
+		buf = append(buf, e.k...)
+		buf = binary.AppendUvarint(buf, e.v)
+	}
+	return buf
+}
+
+// DecodeInto reads entries serialized by AppendBinary into t (which
+// should be empty), returning the remaining bytes.
+func (t *Table) DecodeInto(buf []byte) ([]byte, error) {
+	count, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("hashtable: truncated entry count")
+	}
+	buf = buf[sz:]
+	for i := uint64(0); i < count; i++ {
+		klen, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf)-sz) < klen {
+			return nil, fmt.Errorf("hashtable: truncated key %d", i)
+		}
+		buf = buf[sz:]
+		key := buf[:klen]
+		buf = buf[klen:]
+		value, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("hashtable: truncated value %d", i)
+		}
+		buf = buf[sz:]
+		t.Put(key, value)
+	}
+	return buf, nil
+}

@@ -1,0 +1,139 @@
+// Package memmodel provides the memory-access accounting and latency
+// model used throughout the ShBF reproduction.
+//
+// The paper's evaluation reports "# memory accesses per query" (Figures 8,
+// 10(b), 11(b)) under a byte-addressable model: a single memory access
+// reads one machine word (w bits) starting at any byte boundary (Section
+// 3.1). A probe that touches bits spread across several words therefore
+// costs several accesses, while a probe whose bits fall inside one w-bit
+// window starting at a byte boundary costs exactly one.
+//
+// The package also models the SRAM/DRAM split of Sections 3.3 and 5.3:
+// the bit array B is meant for on-chip SRAM (queries), while the counter
+// array C and the backing hash table live in off-chip DRAM (updates).
+// CostModel turns access counts into estimated latencies so examples can
+// illustrate why the split matters; the reproduction's headline numbers
+// use the raw access counts.
+package memmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// WordBits is the machine word size w assumed by the access model.
+// The paper evaluates w = 64 (and derives w̄ ≤ w−7 = 57 from it).
+const WordBits = 64
+
+// Counter tallies memory accesses. A Counter is attached to a bit vector
+// or counter array and incremented by its read/write paths. The zero
+// value is ready to use.
+//
+// Counter is not safe for concurrent use; each goroutine measuring
+// accesses should own its structures, matching the single-threaded query
+// loop of the paper's evaluation.
+type Counter struct {
+	reads  uint64
+	writes uint64
+}
+
+// AddReads records n read accesses.
+func (c *Counter) AddReads(n int) {
+	if c == nil {
+		return
+	}
+	c.reads += uint64(n)
+}
+
+// AddWrites records n write accesses.
+func (c *Counter) AddWrites(n int) {
+	if c == nil {
+		return
+	}
+	c.writes += uint64(n)
+}
+
+// Reads returns the number of read accesses recorded so far.
+func (c *Counter) Reads() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.reads
+}
+
+// Writes returns the number of write accesses recorded so far.
+func (c *Counter) Writes() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.writes
+}
+
+// Total returns reads + writes.
+func (c *Counter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.reads + c.writes
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.reads, c.writes = 0, 0
+}
+
+// String implements fmt.Stringer.
+func (c *Counter) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", c.Reads(), c.Writes())
+}
+
+// AccessCount returns the number of memory accesses needed to read the
+// bit window [pos, pos+width) under the paper's model: an access fetches
+// WordBits consecutive bits starting at any byte boundary, so the cost is
+// the number of word-sized fetches covering the byte span of the window.
+//
+// For the paper's parameter choice width = w̄ ≤ w−7 this is always 1:
+// the window starts at bit offset j−1 ∈ [0,7] within its byte and
+// j−1+w̄ ≤ w, hence one aligned fetch suffices (Section 3.1).
+func AccessCount(pos, width int) int {
+	if width <= 0 {
+		return 0
+	}
+	firstByte := pos / 8
+	lastByte := (pos + width - 1) / 8
+	spanBits := (lastByte - firstByte + 1) * 8
+	return (spanBits + WordBits - 1) / WordBits
+}
+
+// CostModel estimates query/update latency from access counts using the
+// SRAM/DRAM latencies of the paper's architecture argument ("SRAM is at
+// least an order of magnitude faster than DRAM", Section 3.3).
+type CostModel struct {
+	// SRAMAccess is the latency of one on-chip access (bit array B).
+	SRAMAccess time.Duration
+	// DRAMAccess is the latency of one off-chip access (counter array C,
+	// backing hash table).
+	DRAMAccess time.Duration
+}
+
+// DefaultCostModel returns latencies representative of the 2016-era
+// hardware the paper assumes: ~1 ns SRAM, ~50 ns DRAM.
+func DefaultCostModel() CostModel {
+	return CostModel{SRAMAccess: 1 * time.Nanosecond, DRAMAccess: 50 * time.Nanosecond}
+}
+
+// QueryCost estimates the latency of a query that performs sramAccesses
+// reads of the on-chip bit array.
+func (m CostModel) QueryCost(sramAccesses int) time.Duration {
+	return time.Duration(sramAccesses) * m.SRAMAccess
+}
+
+// UpdateCost estimates the latency of an update that performs
+// sramAccesses on-chip accesses and dramAccesses off-chip accesses
+// (counter maintenance plus B synchronization, Sections 3.3 and 5.3).
+func (m CostModel) UpdateCost(sramAccesses, dramAccesses int) time.Duration {
+	return time.Duration(sramAccesses)*m.SRAMAccess + time.Duration(dramAccesses)*m.DRAMAccess
+}

@@ -1,0 +1,123 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Reads() != 0 || c.Writes() != 0 || c.Total() != 0 {
+		t.Fatalf("zero counter not zero: %v", &c)
+	}
+	c.AddReads(3)
+	c.AddWrites(2)
+	if got := c.Reads(); got != 3 {
+		t.Errorf("Reads() = %d, want 3", got)
+	}
+	if got := c.Writes(); got != 2 {
+		t.Errorf("Writes() = %d, want 2", got)
+	}
+	if got := c.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5", got)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Errorf("Total() after Reset = %d, want 0", c.Total())
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.AddReads(1) // must not panic
+	c.AddWrites(1)
+	c.Reset()
+	if c.Reads() != 0 || c.Writes() != 0 || c.Total() != 0 {
+		t.Fatal("nil counter should report zero")
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	c.AddReads(7)
+	c.AddWrites(1)
+	if got, want := c.String(), "reads=7 writes=1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAccessCountSingleWindow(t *testing.T) {
+	// The paper's guarantee: any window of width w̄ ≤ w−7 = 57 starting at
+	// any bit position costs exactly one access.
+	for pos := 0; pos < 512; pos++ {
+		for width := 1; width <= WordBits-7; width++ {
+			if got := AccessCount(pos, width); got != 1 {
+				t.Fatalf("AccessCount(%d, %d) = %d, want 1", pos, width, got)
+			}
+		}
+	}
+}
+
+func TestAccessCountWideWindows(t *testing.T) {
+	tests := []struct {
+		pos, width, want int
+	}{
+		{0, 64, 1},   // aligned full word
+		{0, 0, 0},    // empty window
+		{0, -5, 0},   // nonsense width
+		{1, 64, 2},   // crosses a byte so byte span is 9 bytes = 72 bits
+		{8, 64, 1},   // byte-aligned full word
+		{7, 58, 2},   // j=8 within byte, j-1+w̄ = 7+58 = 65 > 64
+		{0, 128, 2},  // two words
+		{3, 128, 3},  // unaligned two-word window spans 17 bytes
+		{0, 65, 2},   // just over a word
+		{100, 57, 1}, // paper's w̄=57 anywhere is one access
+		{1000, 8, 1}, // single byte
+	}
+	for _, tt := range tests {
+		if got := AccessCount(tt.pos, tt.width); got != tt.want {
+			t.Errorf("AccessCount(%d, %d) = %d, want %d", tt.pos, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestAccessCountProperties(t *testing.T) {
+	// Property: cost is monotone in width and never exceeds
+	// ceil(width/8+1 bytes of slack) worth of words.
+	f := func(pos uint16, width uint8) bool {
+		p, w := int(pos), int(width)
+		if w == 0 {
+			return AccessCount(p, w) == 0
+		}
+		got := AccessCount(p, w)
+		if got < 1 {
+			return false
+		}
+		// Upper bound: with up to 7 bits of slack on each side the window
+		// spans at most (w+14)/8+1 bytes.
+		maxBytes := (w+14)/8 + 1
+		maxWords := (maxBytes*8 + WordBits - 1) / WordBits
+		if got > maxWords {
+			return false
+		}
+		// Monotonicity in width.
+		return AccessCount(p, w) <= AccessCount(p, w+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SRAMAccess >= m.DRAMAccess {
+		t.Fatal("SRAM must be faster than DRAM in the default model")
+	}
+	if got, want := m.QueryCost(4), 4*time.Nanosecond; got != want {
+		t.Errorf("QueryCost(4) = %v, want %v", got, want)
+	}
+	if got, want := m.UpdateCost(2, 3), 2*time.Nanosecond+150*time.Nanosecond; got != want {
+		t.Errorf("UpdateCost(2,3) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Package sharded provides a thread-safe membership filter for the
+// paper's wire-speed deployment scenario: multiple receive queues
+// (goroutines) classifying packets against one logical blocklist.
+//
+// A Filter splits the bit budget across 2^p independent ShBF_M shards
+// and routes each element to a shard with an independent hash. Shards
+// are guarded by RWMutexes, so concurrent Contains calls proceed in
+// parallel and only same-shard writers contend. Because routing is
+// by hash, per-shard occupancy concentrates around n/shards and the
+// false-positive rate matches a monolithic filter of the same total
+// size (each shard is an independent ShBF_M at the same bits-per-
+// element).
+package sharded
+
+import (
+	"fmt"
+	"sync"
+
+	"shbf/internal/core"
+	"shbf/internal/hashing"
+)
+
+// Filter is a concurrency-safe sharded ShBF_M.
+type Filter struct {
+	shards []shard
+	router hashing.Hasher
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.RWMutex
+	f  *core.Membership
+	_  [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// New returns a filter with totalBits split across shardCount shards
+// (rounded up to a power of two, minimum 1) and k bit positions per
+// element. Options are forwarded to each shard's constructor; shards
+// receive distinct derived seeds.
+func New(totalBits, k, shardCount int, opts ...core.Option) (*Filter, error) {
+	if shardCount < 1 {
+		return nil, fmt.Errorf("sharded: shard count %d must be ≥ 1", shardCount)
+	}
+	pow := 1
+	for pow < shardCount {
+		pow *= 2
+	}
+	perShard := totalBits / pow
+	if perShard < 64 {
+		return nil, fmt.Errorf("sharded: %d bits across %d shards leaves %d bits/shard (< 64)", totalBits, pow, perShard)
+	}
+	f := &Filter{
+		shards: make([]shard, pow),
+		router: hashing.New(0x5a4d_0001),
+		mask:   uint64(pow - 1),
+	}
+	for i := range f.shards {
+		sf, err := core.NewMembership(perShard, k, append(opts, core.WithSeed(uint64(i)*0x9e37+1))...)
+		if err != nil {
+			return nil, fmt.Errorf("sharded: building shard %d: %w", i, err)
+		}
+		f.shards[i].f = sf
+	}
+	return f, nil
+}
+
+// Shards returns the number of shards.
+func (f *Filter) Shards() int { return len(f.shards) }
+
+// shardFor routes an element.
+func (f *Filter) shardFor(e []byte) *shard {
+	return &f.shards[f.router.Sum64(e)&f.mask]
+}
+
+// Add inserts e. Safe for concurrent use.
+func (f *Filter) Add(e []byte) {
+	s := f.shardFor(e)
+	s.mu.Lock()
+	s.f.Add(e)
+	s.mu.Unlock()
+}
+
+// Contains reports whether e may be in the set. Safe for concurrent
+// use; readers of different shards (and of the same shard) do not block
+// each other.
+func (f *Filter) Contains(e []byte) bool {
+	s := f.shardFor(e)
+	s.mu.RLock()
+	ok := s.f.Contains(e)
+	s.mu.RUnlock()
+	return ok
+}
+
+// N returns the total number of elements added across shards.
+func (f *Filter) N() int {
+	total := 0
+	for i := range f.shards {
+		f.shards[i].mu.RLock()
+		total += f.shards[i].f.N()
+		f.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// SizeBytes returns the combined bit-array footprint.
+func (f *Filter) SizeBytes() int {
+	total := 0
+	for i := range f.shards {
+		total += f.shards[i].f.SizeBytes()
+	}
+	return total
+}
+
+// FillRatio returns the mean fill ratio across shards.
+func (f *Filter) FillRatio() float64 {
+	sum := 0.0
+	for i := range f.shards {
+		f.shards[i].mu.RLock()
+		sum += f.shards[i].f.FillRatio()
+		f.shards[i].mu.RUnlock()
+	}
+	return sum / float64(len(f.shards))
+}
+
+// Reset clears all shards.
+func (f *Filter) Reset() {
+	for i := range f.shards {
+		f.shards[i].mu.Lock()
+		f.shards[i].f.Reset()
+		f.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,158 @@
+package sharded
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func genElements(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 13)
+		rng.Read(b)
+		b[0], b[1], b[2] = byte(i), byte(i>>8), byte(i>>16)
+		out[i] = b
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1000, 8, 0); err == nil {
+		t.Error("accepted 0 shards")
+	}
+	if _, err := New(100, 8, 16); err == nil {
+		t.Error("accepted starved shards")
+	}
+	f, err := New(1<<16, 8, 5) // rounds up to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", f.Shards())
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	f, err := New(1<<18, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(5000, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative")
+		}
+	}
+	if f.N() != 5000 {
+		t.Fatalf("N = %d", f.N())
+	}
+	f.Reset()
+	if f.N() != 0 || f.FillRatio() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestFPRMatchesMonolithic(t *testing.T) {
+	// Sharding must not change the FPR beyond noise: compare against
+	// the Equation 1 prediction at the same bits-per-element.
+	const n, k = 20000, 8
+	nf := float64(n)
+	total := int(nf * k / math.Ln2)
+	f, err := New(total, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genElements(n, 2) {
+		f.Add(e)
+	}
+	probes := genElements(200000, 3)
+	for _, e := range probes {
+		e[12] = 0xFF
+	}
+	fp := 0
+	for _, e := range probes {
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(len(probes))
+	want := math.Pow(0.5, k) // ≈ optimal-sizing FPR
+	if got > want*1.6 {
+		t.Fatalf("sharded FPR %.5f vs monolithic target %.5f", got, want)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// Run with -race: concurrent adders and readers across shards.
+	f, err := New(1<<20, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(20000, 4)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(elems); i += workers {
+				f.Add(elems[i])
+			}
+			for i := 0; i < len(elems); i += workers {
+				f.Contains(elems[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.N() != 20000 {
+		t.Fatalf("N = %d after concurrent adds, want 20000", f.N())
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative after concurrent adds")
+		}
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	f, err := New(1<<18, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range genElements(16000, 5) {
+		f.Add(e)
+	}
+	// Expected 2000/shard; hashing keeps shards within a few σ.
+	for i := range f.shards {
+		n := f.shards[i].f.N()
+		if n < 1600 || n > 2400 {
+			t.Fatalf("shard %d has %d elements, want ≈2000", i, n)
+		}
+	}
+}
+
+func BenchmarkContainsParallel(b *testing.B) {
+	f, _ := New(1<<22, 8, 16)
+	elems := genElements(65536, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f.Contains(elems[i&65535])
+			i++
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package sizing turns accuracy targets into filter geometries, using
+// the paper's optima: k_opt ≈ 0.7009·m/n and f_min ≈ 0.6204^{m/n} for
+// ShBF_M (Section 3.4.2, Equation 7), P(clear) = (1−0.5^k)² for ShBF_A
+// (Table 2), and the Equation 26–28 correctness rates for ShBF_X.
+//
+// These helpers answer the question every deployment starts with:
+// "I have n elements and need accuracy X — how many bits and hash
+// functions?"
+package sizing
+
+import (
+	"fmt"
+	"math"
+
+	"shbf/internal/analytic"
+)
+
+// MembershipPlan is a sized ShBF_M configuration.
+type MembershipPlan struct {
+	M            int     // bits (excluding the w̄−1 slack the filter adds)
+	K            int     // bit positions per element (even)
+	PredictedFPR float64 // Equation 1 at (M, K, n)
+	BitsPerElem  float64
+}
+
+// Membership returns the smallest ShBF_M geometry whose Equation 1
+// false-positive rate is at most target for n elements, with w̄ = wbar
+// (pass core.DefaultMaxOffset for the standard 57).
+func Membership(n int, target float64, wbar int) (MembershipPlan, error) {
+	if n <= 0 {
+		return MembershipPlan{}, fmt.Errorf("sizing: n = %d must be positive", n)
+	}
+	if target <= 0 || target >= 1 {
+		return MembershipPlan{}, fmt.Errorf("sizing: target FPR %v out of (0,1)", target)
+	}
+	if wbar < 2 || wbar > 64 {
+		return MembershipPlan{}, fmt.Errorf("sizing: w̄ = %d out of [2,64]", wbar)
+	}
+	// Start from the minimum-FPR relation f_min ≈ 0.6204^{m/n}
+	// (Equation 7) and grow m until the even-k optimum meets the target
+	// (the relation is approximate; the loop makes it exact under
+	// Equation 1).
+	ratio := math.Log(target) / math.Log(0.6204)
+	m := int(math.Ceil(ratio * float64(n)))
+	if m < n {
+		m = n
+	}
+	for iter := 0; iter < 64; iter++ {
+		k := evenK(analytic.OptimalKShBFM(m, n, wbar))
+		fpr := analytic.FPRShBFM(m, n, float64(k), wbar)
+		if fpr <= target {
+			return MembershipPlan{
+				M:            m,
+				K:            k,
+				PredictedFPR: fpr,
+				BitsPerElem:  float64(m) / float64(n),
+			}, nil
+		}
+		// Grow by ~5% per step; the FPR decays exponentially in m/n so
+		// convergence is fast.
+		m += m/20 + 1
+	}
+	return MembershipPlan{}, fmt.Errorf("sizing: did not converge for target %v", target)
+}
+
+// evenK rounds a continuous optimum to the nearest even k ≥ 2 (ShBF_M
+// splits k into hash pairs).
+func evenK(k float64) int {
+	ek := 2 * int(math.Round(k/2))
+	if ek < 2 {
+		ek = 2
+	}
+	return ek
+}
+
+// AssociationPlan is a sized ShBF_A configuration.
+type AssociationPlan struct {
+	M              int     // bits
+	K              int     // hash functions
+	PredictedClear float64 // (1−0.5^k)² at optimal fill
+	BitsPerElem    float64
+}
+
+// Association returns the geometry for which ShBF_A answers clearly
+// with probability at least target, for nDistinct = |S1 ∪ S2| elements.
+// The filter is sized at the paper's optimum m = n′·k/ln 2, making the
+// per-region phantom probability 0.5^k (Table 2).
+func Association(nDistinct int, target float64) (AssociationPlan, error) {
+	if nDistinct <= 0 {
+		return AssociationPlan{}, fmt.Errorf("sizing: n = %d must be positive", nDistinct)
+	}
+	if target <= 0 || target >= 1 {
+		return AssociationPlan{}, fmt.Errorf("sizing: target clear probability %v out of (0,1)", target)
+	}
+	// (1−q)² ≥ target ⇔ q ≤ 1−√target, q = 0.5^k.
+	q := 1 - math.Sqrt(target)
+	k := int(math.Ceil(math.Log2(1 / q)))
+	if k < 1 {
+		k = 1
+	}
+	m := int(math.Ceil(float64(nDistinct) * float64(k) / math.Ln2))
+	return AssociationPlan{
+		M:              m,
+		K:              k,
+		PredictedClear: analytic.ClearProbShBFA(k),
+		BitsPerElem:    float64(m) / float64(nDistinct),
+	}, nil
+}
+
+// MultiplicityPlan is a sized ShBF_X configuration.
+type MultiplicityPlan struct {
+	M           int     // bits
+	K           int     // hash functions
+	PredictedCR float64 // worst case: Equation 27, (1−f0)^c
+	BitsPerElem float64
+}
+
+// Multiplicity returns a geometry whose worst-case correctness rate
+// (a non-member probed against all c candidate positions, Equation 27)
+// is at least target, for n distinct elements and maximum count c.
+func Multiplicity(n, c int, target float64) (MultiplicityPlan, error) {
+	if n <= 0 {
+		return MultiplicityPlan{}, fmt.Errorf("sizing: n = %d must be positive", n)
+	}
+	if c < 1 || c > 64 {
+		return MultiplicityPlan{}, fmt.Errorf("sizing: c = %d out of [1,64]", c)
+	}
+	if target <= 0 || target >= 1 {
+		return MultiplicityPlan{}, fmt.Errorf("sizing: target CR %v out of (0,1)", target)
+	}
+	// (1−f0)^c ≥ target ⇔ f0 ≤ 1−target^{1/c}. With m = α·nk/ln2 and
+	// k = ln2·m/n, f0 = 0.5^k, so pick k then m.
+	f0Max := 1 - math.Pow(target, 1/float64(c))
+	k := int(math.Ceil(math.Log2(1 / f0Max)))
+	if k < 1 {
+		k = 1
+	}
+	m := int(math.Ceil(float64(n) * float64(k) / math.Ln2))
+	// The integer k may overshoot f0 below the bound; verify and nudge m
+	// upward if rounding left us short.
+	for analytic.CRNonMember(m, n, k, c) < target {
+		m += m / 20
+	}
+	return MultiplicityPlan{
+		M:           m,
+		K:           k,
+		PredictedCR: analytic.CRNonMember(m, n, k, c),
+		BitsPerElem: float64(m) / float64(n),
+	}, nil
+}

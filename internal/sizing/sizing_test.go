@@ -1,0 +1,145 @@
+package sizing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+func TestMembershipMeetsTarget(t *testing.T) {
+	for _, target := range []float64{0.05, 0.01, 0.001, 0.0001} {
+		plan, err := Membership(10000, target, core.DefaultMaxOffset)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if plan.PredictedFPR > target {
+			t.Fatalf("target %v: predicted %v exceeds target", target, plan.PredictedFPR)
+		}
+		if plan.K%2 != 0 || plan.K < 2 {
+			t.Fatalf("target %v: k = %d not even ≥ 2", target, plan.K)
+		}
+		// Sanity: bits/element in the expected regime (≈1.44·log2(1/f)).
+		ideal := 1.44 * math.Log2(1/target)
+		if plan.BitsPerElem > ideal*1.6 {
+			t.Fatalf("target %v: %0.1f bits/elem vs ideal %0.1f — oversized", target, plan.BitsPerElem, ideal)
+		}
+	}
+}
+
+func TestMembershipPlanIsEmpirical(t *testing.T) {
+	// A filter built from the plan must achieve the target in practice.
+	const n = 5000
+	const target = 0.01
+	plan, err := Membership(n, target, core.DefaultMaxOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewMembership(plan.M, plan.K, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[0], e[1], e[12] = byte(i), byte(i>>8), 0
+		f.Add(e)
+	}
+	fp, probes := 0, 100000
+	for i := 0; i < probes; i++ {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[0], e[1], e[12] = byte(i), byte(i>>8), 0xFF
+		if f.Contains(e) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(probes)
+	if got > target*1.4 {
+		t.Fatalf("measured FPR %v vs target %v", got, target)
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	cases := []struct {
+		n    int
+		fpr  float64
+		wbar int
+	}{
+		{0, 0.01, 57}, {100, 0, 57}, {100, 1, 57}, {100, 0.01, 1}, {100, 0.01, 65},
+	}
+	for _, c := range cases {
+		if _, err := Membership(c.n, c.fpr, c.wbar); err == nil {
+			t.Errorf("Membership(%d, %v, %d) accepted invalid input", c.n, c.fpr, c.wbar)
+		}
+	}
+}
+
+func TestAssociationMeetsTarget(t *testing.T) {
+	for _, target := range []float64{0.9, 0.99, 0.999} {
+		plan, err := Association(50000, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.PredictedClear < target {
+			t.Fatalf("target %v: predicted %v below target", target, plan.PredictedClear)
+		}
+		if plan.M < 50000 {
+			t.Fatalf("target %v: m = %d implausibly small", target, plan.M)
+		}
+	}
+	if _, err := Association(0, 0.9); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := Association(100, 1.5); err == nil {
+		t.Error("accepted target > 1")
+	}
+}
+
+func TestAssociationPaperOperatingPoint(t *testing.T) {
+	// k=10 gives (1−0.5^10)² ≈ 0.998 (Section 4.4's example); asking for
+	// 0.998 must therefore produce k ≤ 10.
+	plan, err := Association(10000, 0.998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K > 10 {
+		t.Fatalf("k = %d, paper example achieves 0.998 at k = 10", plan.K)
+	}
+}
+
+func TestMultiplicityMeetsTarget(t *testing.T) {
+	for _, target := range []float64{0.9, 0.99} {
+		plan, err := Multiplicity(100000, 57, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.PredictedCR < target {
+			t.Fatalf("target %v: predicted %v below target", target, plan.PredictedCR)
+		}
+	}
+	if _, err := Multiplicity(0, 57, 0.9); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := Multiplicity(100, 65, 0.9); err == nil {
+		t.Error("accepted c=65")
+	}
+	if _, err := Multiplicity(100, 57, 0); err == nil {
+		t.Error("accepted target=0")
+	}
+}
+
+func TestMultiplicityFigure11Regime(t *testing.T) {
+	// The paper's Figure 11 uses 1.5× optimal memory at k=8 and achieves
+	// CR ≈ 0.98+ for the mixed workload; requiring CR 0.95 must not cost
+	// wildly more than that regime (≈ 17 bits/element).
+	plan, err := Multiplicity(100000, 57, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BitsPerElem > 30 {
+		t.Fatalf("%0.1f bits/elem — oversized vs the paper's ≈17", plan.BitsPerElem)
+	}
+}

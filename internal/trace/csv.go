@@ -1,0 +1,129 @@
+package trace
+
+// CSV import/export so users with real captures can feed them to the
+// tools: each record is "srcIP,dstIP,srcPort,dstPort,proto,count"
+// (count optional, default 1), e.g.
+//
+//	10.0.0.1,192.168.1.9,443,51724,6,12
+//
+// This is the bridge between the paper's private trace format and this
+// reproduction's binary traces — export a capture to CSV with standard
+// tooling, import it here, and run the same experiments.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV reads flows from CSV (one flow per line; blank lines and
+// lines starting with '#' are skipped).
+func ParseCSV(r io.Reader) ([]Flow, error) {
+	scanner := bufio.NewScanner(r)
+	var flows []Flow
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fl, err := parseCSVLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		flows = append(flows, fl)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	return flows, nil
+}
+
+func parseCSVLine(line string) (Flow, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 5 && len(fields) != 6 {
+		return Flow{}, fmt.Errorf("want 5 or 6 fields, got %d", len(fields))
+	}
+	var fl Flow
+	src, err := parseIPv4(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return Flow{}, fmt.Errorf("source IP: %w", err)
+	}
+	dst, err := parseIPv4(strings.TrimSpace(fields[1]))
+	if err != nil {
+		return Flow{}, fmt.Errorf("destination IP: %w", err)
+	}
+	sport, err := parsePort(strings.TrimSpace(fields[2]))
+	if err != nil {
+		return Flow{}, fmt.Errorf("source port: %w", err)
+	}
+	dport, err := parsePort(strings.TrimSpace(fields[3]))
+	if err != nil {
+		return Flow{}, fmt.Errorf("destination port: %w", err)
+	}
+	proto, err := strconv.ParseUint(strings.TrimSpace(fields[4]), 10, 8)
+	if err != nil {
+		return Flow{}, fmt.Errorf("protocol: %w", err)
+	}
+	count := 1
+	if len(fields) == 6 {
+		c, err := strconv.Atoi(strings.TrimSpace(fields[5]))
+		if err != nil || c < 1 {
+			return Flow{}, fmt.Errorf("count %q must be a positive integer", fields[5])
+		}
+		count = c
+	}
+	copy(fl.ID[0:4], src[:])
+	copy(fl.ID[4:8], dst[:])
+	binary.BigEndian.PutUint16(fl.ID[8:10], sport)
+	binary.BigEndian.PutUint16(fl.ID[10:12], dport)
+	fl.ID[12] = byte(proto)
+	fl.Count = count
+	return fl, nil
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var ip [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("%q is not dotted-quad", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return ip, fmt.Errorf("octet %q: %w", p, err)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+func parsePort(s string) (uint16, error) {
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(v), nil
+}
+
+// WriteCSV writes flows in the ParseCSV format, with a header comment.
+func WriteCSV(w io.Writer, flows []Flow) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# srcIP,dstIP,srcPort,dstPort,proto,count"); err != nil {
+		return err
+	}
+	for i := range flows {
+		f := &flows[i]
+		s, d := f.ID.SrcIP(), f.ID.DstIP()
+		if _, err := fmt.Fprintf(bw, "%d.%d.%d.%d,%d.%d.%d.%d,%d,%d,%d,%d\n",
+			s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3],
+			f.ID.SrcPort(), f.ID.DstPort(), f.ID.Proto(), f.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCSVBasic(t *testing.T) {
+	in := `# comment
+10.0.0.1,192.168.1.9,443,51724,6,12
+
+172.16.0.1,8.8.8.8,53311,53,17
+`
+	flows, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	f := flows[0]
+	if f.ID.SrcIP() != [4]byte{10, 0, 0, 1} || f.ID.DstIP() != [4]byte{192, 168, 1, 9} {
+		t.Errorf("IPs: %v -> %v", f.ID.SrcIP(), f.ID.DstIP())
+	}
+	if f.ID.SrcPort() != 443 || f.ID.DstPort() != 51724 || f.ID.Proto() != 6 {
+		t.Errorf("ports/proto: %d %d %d", f.ID.SrcPort(), f.ID.DstPort(), f.ID.Proto())
+	}
+	if f.Count != 12 {
+		t.Errorf("count = %d", f.Count)
+	}
+	// 5-field record defaults to count 1.
+	if flows[1].Count != 1 {
+		t.Errorf("default count = %d", flows[1].Count)
+	}
+	if flows[1].ID.Proto() != 17 {
+		t.Errorf("proto = %d", flows[1].ID.Proto())
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "10.0.0.1,8.8.8.8,1,2",
+		"bad ip":         "10.0.0,8.8.8.8,1,2,6",
+		"bad octet":      "10.0.0.999,8.8.8.8,1,2,6",
+		"bad port":       "10.0.0.1,8.8.8.8,70000,2,6",
+		"bad proto":      "10.0.0.1,8.8.8.8,1,2,300",
+		"bad count":      "10.0.0.1,8.8.8.8,1,2,6,zero",
+		"negative count": "10.0.0.1,8.8.8.8,1,2,6,-1",
+		"non-numeric ip": "ten.0.0.1,8.8.8.8,1,2,6",
+	}
+	for name, line := range cases {
+		if _, err := ParseCSV(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: accepted %q", name, line)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	gen := NewGenerator(9)
+	flows := gen.Multiset(500, 30, 1.5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("round trip: %d vs %d flows", len(got), len(flows))
+	}
+	for i := range flows {
+		if got[i] != flows[i] {
+			t.Fatalf("flow %d: %+v vs %+v", i, got[i], flows[i])
+		}
+	}
+}
+
+func TestCSVInteropWithBinary(t *testing.T) {
+	// CSV-imported flows feed the binary writer seamlessly.
+	in := "1.2.3.4,5.6.7.8,100,200,6,3\n"
+	flows, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := Write(&bin, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != flows[0] {
+		t.Fatal("binary round trip of CSV flow failed")
+	}
+	if got[0].ID.String() != "1.2.3.4:100->5.6.7.8:200/6" {
+		t.Fatalf("String() = %q", got[0].ID.String())
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace decoder: it must never
+// panic and must round-trip anything it accepts.
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	_ = Write(&valid, NewGenerator(1).UniformMultiset(5, 10))
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SHBF"))
+	f.Add([]byte("SHBF\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flows, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, flows); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(flows) {
+			t.Fatal("round trip changed flow count")
+		}
+	})
+}

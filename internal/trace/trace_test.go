@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDistinctness(t *testing.T) {
+	g := NewGenerator(1)
+	seen := map[FlowID]bool{}
+	for i := 0; i < 100000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate flow ID at draw %d", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+	c := NewGenerator(8)
+	if NewGenerator(7).Next() == c.Next() {
+		t.Fatal("different seeds produced the same first ID")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	g := NewGenerator(2)
+	ids := g.Distinct(5000)
+	if len(ids) != 5000 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	seen := map[FlowID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("Distinct returned a duplicate")
+		}
+		seen[id] = true
+	}
+	// Later draws are disjoint from earlier ones.
+	for _, id := range g.Distinct(5000) {
+		if seen[id] {
+			t.Fatal("second batch overlaps first")
+		}
+	}
+}
+
+func TestFlowIDFields(t *testing.T) {
+	var f FlowID
+	copy(f[:], []byte{10, 0, 0, 1, 192, 168, 1, 2, 0x01, 0xBB, 0x1F, 0x90, 6})
+	if f.SrcIP() != [4]byte{10, 0, 0, 1} {
+		t.Errorf("SrcIP = %v", f.SrcIP())
+	}
+	if f.DstIP() != [4]byte{192, 168, 1, 2} {
+		t.Errorf("DstIP = %v", f.DstIP())
+	}
+	if f.SrcPort() != 443 {
+		t.Errorf("SrcPort = %d", f.SrcPort())
+	}
+	if f.DstPort() != 8080 {
+		t.Errorf("DstPort = %d", f.DstPort())
+	}
+	if f.Proto() != 6 {
+		t.Errorf("Proto = %d", f.Proto())
+	}
+	want := "10.0.0.1:443->192.168.1.2:8080/6"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestProtocolMix(t *testing.T) {
+	g := NewGenerator(3)
+	counts := map[byte]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Next().Proto()]++
+	}
+	for _, p := range []byte{1, 6, 17} {
+		if counts[p] == 0 {
+			t.Errorf("protocol %d never generated", p)
+		}
+	}
+	if counts[6] < counts[17] || counts[17] < counts[1] {
+		t.Errorf("protocol mix not TCP-dominant: %v", counts)
+	}
+	if len(counts) != 3 {
+		t.Errorf("unexpected protocols: %v", counts)
+	}
+}
+
+func TestMultiset(t *testing.T) {
+	g := NewGenerator(4)
+	flows := g.Multiset(20000, 57, 2.0)
+	if len(flows) != 20000 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	ones, max := 0, 0
+	seen := map[FlowID]bool{}
+	for _, fl := range flows {
+		if fl.Count < 1 || fl.Count > 57 {
+			t.Fatalf("count %d out of [1,57]", fl.Count)
+		}
+		if fl.Count == 1 {
+			ones++
+		}
+		if fl.Count > max {
+			max = fl.Count
+		}
+		if seen[fl.ID] {
+			t.Fatal("duplicate ID in multiset")
+		}
+		seen[fl.ID] = true
+	}
+	// Zipf skew: most flows are mice, but some elephants exist.
+	if ones < len(flows)/2 {
+		t.Errorf("only %d/%d singleton flows — not skewed", ones, len(flows))
+	}
+	if max < 10 {
+		t.Errorf("max count %d — no heavy flows generated", max)
+	}
+}
+
+func TestMultisetDegenerateSkew(t *testing.T) {
+	g := NewGenerator(5)
+	flows := g.Multiset(100, 10, 0.5) // s ≤ 1 must be clamped, not panic
+	for _, fl := range flows {
+		if fl.Count < 1 || fl.Count > 10 {
+			t.Fatalf("count %d out of range", fl.Count)
+		}
+	}
+}
+
+func TestUniformMultiset(t *testing.T) {
+	g := NewGenerator(6)
+	flows := g.UniformMultiset(57000, 57)
+	hist := make([]int, 58)
+	for _, fl := range flows {
+		if fl.Count < 1 || fl.Count > 57 {
+			t.Fatalf("count %d out of [1,57]", fl.Count)
+		}
+		hist[fl.Count]++
+	}
+	// Roughly 1000 per bucket.
+	for j := 1; j <= 57; j++ {
+		if hist[j] < 700 || hist[j] > 1300 {
+			t.Fatalf("count %d has %d flows, want ≈1000", j, hist[j])
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	g := NewGenerator(7)
+	ids := g.Distinct(10)
+	bs := Bytes(ids)
+	if len(bs) != 10 {
+		t.Fatalf("got %d slices", len(bs))
+	}
+	for i, b := range bs {
+		if len(b) != FlowIDLen {
+			t.Fatalf("slice %d has length %d", i, len(b))
+		}
+		if !bytes.Equal(b, ids[i][:]) {
+			t.Fatalf("slice %d content mismatch", i)
+		}
+	}
+	// Mutating the byte slice must not affect the original ID.
+	bs[0][0] ^= 0xFF
+	if bytes.Equal(bs[0], ids[0][:]) {
+		t.Fatal("Bytes aliases the input array")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	g := NewGenerator(8)
+	flows := g.Multiset(1234, 57, 1.3)
+	var buf bytes.Buffer
+	if err := Write(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("read %d flows, wrote %d", len(got), len(flows))
+	}
+	for i := range flows {
+		if got[i] != flows[i] {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, got[i], flows[i])
+		}
+	}
+}
+
+func TestSerializationRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)
+		flows := NewGenerator(seed).UniformMultiset(n, 20)
+		var buf bytes.Buffer
+		if err := Write(&buf, flows); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range flows {
+			if got[i] != flows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("SH")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := Read(strings.NewReader("SHBF\x05\x00\x00\x00abc")); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

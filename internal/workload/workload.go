@@ -1,0 +1,74 @@
+// Package workload builds query workloads matching the paper's
+// evaluation protocols:
+//
+//   - pure-negative probe sets for FPR measurement ("we generated
+//     membership queries for 7,000,000 elements whose information was
+//     not inserted", Section 6.2.1);
+//   - 50/50 member/non-member mixes for access counting ("we query 2·n
+//     elements, in which n elements belong to the set", Section 6.2.2);
+//   - uniform three-region mixes for association queries ("the querying
+//     elements hit the three parts with the same probability",
+//     Section 6.3.1).
+//
+// Workloads are deterministic given their seeds so every figure is
+// exactly reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"shbf/internal/trace"
+)
+
+// Negatives returns count elements guaranteed absent from everything the
+// generator produced before — fresh draws from the same distinct-ID
+// sequence.
+func Negatives(g *trace.Generator, count int) [][]byte {
+	return trace.Bytes(g.Distinct(count))
+}
+
+// Mixed returns a shuffled workload of all members plus an equal number
+// of negatives (the Figure 8 protocol: 2n queries, half members). The
+// shuffle is seeded for reproducibility.
+func Mixed(members [][]byte, negatives [][]byte, seed int64) [][]byte {
+	out := make([][]byte, 0, len(members)+len(negatives))
+	out = append(out, members...)
+	out = append(out, negatives...)
+	shuffle(out, seed)
+	return out
+}
+
+// Interleave returns a shuffled union of the groups — the Figure 10
+// protocol where queries hit each region with equal probability when
+// the groups have equal sizes.
+func Interleave(seed int64, groups ...[][]byte) [][]byte {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([][]byte, 0, total)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	shuffle(out, seed)
+	return out
+}
+
+// Repeat cycles workload to exactly count queries (the FPR protocols
+// probe far more elements than any one batch holds; cycling a large
+// distinct batch keeps memory bounded without repeating short patterns).
+func Repeat(queries [][]byte, count int) [][]byte {
+	if len(queries) == 0 || count <= len(queries) {
+		return queries[:count:count]
+	}
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = queries[i%len(queries)]
+	}
+	return out
+}
+
+func shuffle(s [][]byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

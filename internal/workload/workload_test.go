@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"shbf/internal/trace"
+)
+
+func TestNegativesDisjointFromPriorDraws(t *testing.T) {
+	g := trace.NewGenerator(1)
+	members := trace.Bytes(g.Distinct(1000))
+	negs := Negatives(g, 1000)
+	seen := map[string]bool{}
+	for _, m := range members {
+		seen[string(m)] = true
+	}
+	for _, n := range negs {
+		if seen[string(n)] {
+			t.Fatal("negative collides with member")
+		}
+	}
+	if len(negs) != 1000 {
+		t.Fatalf("got %d negatives", len(negs))
+	}
+}
+
+func TestMixedContainsEverythingOnce(t *testing.T) {
+	g := trace.NewGenerator(2)
+	members := trace.Bytes(g.Distinct(500))
+	negs := Negatives(g, 500)
+	mix := Mixed(members, negs, 42)
+	if len(mix) != 1000 {
+		t.Fatalf("mix has %d entries", len(mix))
+	}
+	counts := map[string]int{}
+	for _, e := range mix {
+		counts[string(e)]++
+	}
+	if len(counts) != 1000 {
+		t.Fatalf("mix has %d distinct entries, want 1000", len(counts))
+	}
+	// Shuffled: first half must not be exactly the members in order.
+	inOrder := true
+	for i := 0; i < 500; i++ {
+		if !bytes.Equal(mix[i], members[i]) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("Mixed did not shuffle")
+	}
+}
+
+func TestMixedDeterministic(t *testing.T) {
+	g1 := trace.NewGenerator(3)
+	m1 := trace.Bytes(g1.Distinct(100))
+	n1 := Negatives(g1, 100)
+	g2 := trace.NewGenerator(3)
+	m2 := trace.Bytes(g2.Distinct(100))
+	n2 := Negatives(g2, 100)
+	a := Mixed(m1, n1, 7)
+	b := Mixed(m2, n2, 7)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("same-seed Mixed differs")
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	g := trace.NewGenerator(4)
+	a := trace.Bytes(g.Distinct(100))
+	b := trace.Bytes(g.Distinct(100))
+	c := trace.Bytes(g.Distinct(100))
+	all := Interleave(9, a, b, c)
+	if len(all) != 300 {
+		t.Fatalf("got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		seen[string(e)] = true
+	}
+	if len(seen) != 300 {
+		t.Fatal("Interleave lost or duplicated elements")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	g := trace.NewGenerator(5)
+	q := trace.Bytes(g.Distinct(10))
+	long := Repeat(q, 25)
+	if len(long) != 25 {
+		t.Fatalf("got %d", len(long))
+	}
+	for i, e := range long {
+		if !bytes.Equal(e, q[i%10]) {
+			t.Fatalf("entry %d does not cycle", i)
+		}
+	}
+	short := Repeat(q, 4)
+	if len(short) != 4 {
+		t.Fatalf("truncation got %d", len(short))
+	}
+}

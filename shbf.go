@@ -1,0 +1,250 @@
+// Package shbf is a Go implementation of the Shifting Bloom Filter
+// framework from Tong Yang et al., "A Shifting Bloom Filter Framework
+// for Set Queries", VLDB 2016.
+//
+// A Shifting Bloom Filter (ShBF) encodes, per element, both existence
+// information (k hash positions) and auxiliary information (a small
+// location offset added to those positions). Choosing what the offset
+// means instantiates the framework for different set queries:
+//
+//   - Membership ([NewMembership], ShBF_M): the offset is extra hash
+//     randomness. Queries cost half the hash computations and half the
+//     memory accesses of a same-accuracy standard Bloom filter, because
+//     one aligned memory read fetches both bits of each (base, shifted)
+//     pair.
+//
+//   - Association ([BuildAssociation], ShBF_A): given two sets S1 and
+//     S2, the offset encodes whether an element is in S1−S2, S1∩S2, or
+//     S2−S1. Queries return sound candidate sets — never a wrong
+//     region — with a clear single-region answer with probability
+//     (1−0.5^k)² at the optimum.
+//
+//   - Multiplicity ([NewMultiplicity], ShBF_X): the offset is the
+//     element's count minus one in a multi-set. Reported counts never
+//     underestimate.
+//
+// Counting variants ([NewCountingMembership], [NewCountingAssociation],
+// [NewCountingMultiplicity]) add dynamic updates by shadowing the bit
+// array with counters, and [NewSCMSketch] applies the shifting idea to
+// the count-min sketch. [NewTShift] generalizes ShBF_M to t offsets per
+// group (paper Section 3.6).
+//
+// Elements are arbitrary []byte values (the paper uses 13-byte 5-tuple
+// flow IDs). Filters are deterministic for a given seed and are not
+// safe for concurrent mutation; concurrent read-only queries on
+// distinct filter instances are fine. Construction parameters follow
+// the paper's notation: m bits, k bit positions per element, w̄ maximum
+// offset (57 on 64-bit machines), c maximum multiplicity.
+//
+// The reproduction of the paper's full evaluation lives in
+// internal/experiment and is driven by cmd/shbench; DESIGN.md and
+// EXPERIMENTS.md document the mapping from paper figures to code.
+package shbf
+
+import (
+	"shbf/internal/core"
+	"shbf/internal/memmodel"
+	"shbf/internal/sharded"
+	"shbf/internal/sizing"
+)
+
+// Membership is ShBF_M, the shifting Bloom filter for membership
+// queries (paper Section 3). See [NewMembership].
+type Membership = core.Membership
+
+// CountingMembership is CShBF_M, the deletable membership filter (paper
+// Section 3.3). See [NewCountingMembership].
+type CountingMembership = core.CountingMembership
+
+// TShift is the generalized t-offset membership filter (paper Section
+// 3.6). See [NewTShift].
+type TShift = core.TShift
+
+// Association is ShBF_A, the two-set association filter (paper Section
+// 4). See [BuildAssociation].
+type Association = core.Association
+
+// CountingAssociation is CShBF_A, the updatable association filter
+// (paper Section 4.3). See [NewCountingAssociation].
+type CountingAssociation = core.CountingAssociation
+
+// Multiplicity is ShBF_X, the multi-set multiplicity filter (paper
+// Section 5). See [NewMultiplicity].
+type Multiplicity = core.Multiplicity
+
+// CountingMultiplicity is CShBF_X, the updatable multiplicity filter
+// (paper Section 5.3). See [NewCountingMultiplicity].
+type CountingMultiplicity = core.CountingMultiplicity
+
+// SCMSketch is the shifting count-min sketch (paper Section 5.5). See
+// [NewSCMSketch].
+type SCMSketch = core.SCMSketch
+
+// Region is the candidate-region bitmask returned by association
+// queries; RegionS1Only, RegionBoth and RegionS2Only are its atoms.
+type Region = core.Region
+
+// Region constants re-exported from the core implementation.
+const (
+	RegionNone   = core.RegionNone
+	RegionS1Only = core.RegionS1Only
+	RegionBoth   = core.RegionBoth
+	RegionS2Only = core.RegionS2Only
+)
+
+// AccessCounter tallies the memory accesses of a filter's query path
+// under the paper's byte-addressable model; attach one with
+// [WithAccessCounter] to reproduce the "# memory accesses" experiments.
+type AccessCounter = memmodel.Counter
+
+// Option configures filter construction.
+type Option = core.Option
+
+// Errors returned by the counting variants.
+var (
+	// ErrNotStored reports a delete of an element that is not stored.
+	ErrNotStored = core.ErrNotStored
+	// ErrCountOverflow reports a multiplicity exceeding the filter's c.
+	ErrCountOverflow = core.ErrCountOverflow
+	// ErrCounterSaturated reports a fixed-width counter overflow.
+	ErrCounterSaturated = core.ErrCounterSaturated
+)
+
+// DefaultMaxOffset is w̄ = w−7 = 57 for 64-bit machines, the paper's
+// recommended maximum offset.
+const DefaultMaxOffset = core.DefaultMaxOffset
+
+// WithSeed derives the filter's hash functions from seed; equal seeds
+// give identical filters.
+func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
+
+// WithMaxOffset overrides the maximum offset value w̄ (default 57; the
+// paper shows w̄ ≥ 20 already matches the Bloom-filter FPR).
+func WithMaxOffset(wbar int) Option { return core.WithMaxOffset(wbar) }
+
+// WithAccessCounter attaches a memory-access counter to the filter's
+// query-side storage.
+func WithAccessCounter(c *AccessCounter) Option { return core.WithAccessCounter(c) }
+
+// WithCounterWidth sets the counter bit width of counting variants
+// (default 4, per paper Section 3.3).
+func WithCounterWidth(bits uint) Option { return core.WithCounterWidth(bits) }
+
+// WithUnsafeUpdates selects the paper's Section 5.3.1 update mode for
+// CountingMultiplicity (no backing hash table, false negatives
+// possible). The default is the no-false-negative mode of Section
+// 5.3.2.
+func WithUnsafeUpdates() Option { return core.WithUnsafeUpdates() }
+
+// NewMembership returns an empty ShBF_M with an m-bit base array and k
+// bit positions per element (k even). Sizing rule of thumb: for target
+// false-positive rate f, use k ≈ 0.7·m/n where n is the expected set
+// size; the minimum achievable rate is ≈ 0.6204^{m/n} (paper Equation
+// 7).
+func NewMembership(m, k int, opts ...Option) (*Membership, error) {
+	return core.NewMembership(m, k, opts...)
+}
+
+// NewCountingMembership returns an empty CShBF_M supporting Insert and
+// Delete.
+func NewCountingMembership(m, k int, opts ...Option) (*CountingMembership, error) {
+	return core.NewCountingMembership(m, k, opts...)
+}
+
+// NewTShift returns the generalized membership filter with k total bit
+// positions arranged in groups of one base hash plus t shifted copies;
+// (t+1) must divide k. t = 1 is the ShBF_M construction.
+func NewTShift(m, k, t int, opts ...Option) (*TShift, error) {
+	return core.NewTShift(m, k, t, opts...)
+}
+
+// BuildAssociation constructs ShBF_A over two element sets (which may
+// overlap — handling overlap soundly is the scheme's point). The
+// paper's optimal sizing is m = |S1 ∪ S2|·k/ln 2.
+func BuildAssociation(s1, s2 [][]byte, m, k int, opts ...Option) (*Association, error) {
+	return core.BuildAssociation(s1, s2, m, k, opts...)
+}
+
+// NewCountingAssociation returns an empty updatable association filter
+// supporting InsertS1/InsertS2/DeleteS1/DeleteS2.
+func NewCountingAssociation(m, k int, opts ...Option) (*CountingAssociation, error) {
+	return core.NewCountingAssociation(m, k, opts...)
+}
+
+// NewMultiplicity returns an empty ShBF_X for multiplicities in [1, c]
+// (the paper uses c = 57). Elements are encoded once with their final
+// count via AddWithCount; reported counts never underestimate.
+func NewMultiplicity(m, k, c int, opts ...Option) (*Multiplicity, error) {
+	return core.NewMultiplicity(m, k, c, opts...)
+}
+
+// NewCountingMultiplicity returns an empty CShBF_X supporting
+// increment/decrement updates (Insert/Delete).
+func NewCountingMultiplicity(m, k, c int, opts ...Option) (*CountingMultiplicity, error) {
+	return core.NewCountingMultiplicity(m, k, c, opts...)
+}
+
+// NewSCMSketch returns a shifting count-min sketch with logical depth d
+// (even; comparable to a CM sketch with d rows) and r base counters per
+// physical row.
+func NewSCMSketch(d, r int, opts ...Option) (*SCMSketch, error) {
+	return core.NewSCMSketch(d, r, opts...)
+}
+
+// MultiAssociation generalizes ShBF_A to g sets (2 ≤ g ≤ 5): an
+// element's region — the subset of sets containing it — is encoded in
+// the offset. Unlike the coded/combinatorial Bloom filter family, the
+// sets may overlap. See [BuildMultiAssociation].
+type MultiAssociation = core.MultiAssociation
+
+// MultiAnswer is the candidate-region result of a MultiAssociation
+// query.
+type MultiAnswer = core.MultiAnswer
+
+// BuildMultiAssociation constructs a g-set association filter over
+// sets (g = len(sets), between 2 and 5). Optimal sizing is
+// m = |union|·k/ln 2, as for ShBF_A.
+func BuildMultiAssociation(sets [][][]byte, m, k int, opts ...Option) (*MultiAssociation, error) {
+	return core.BuildMultiAssociation(sets, m, k, opts...)
+}
+
+// ShardedMembership is a thread-safe membership filter: the total bit
+// budget is split across power-of-two ShBF_M shards, elements are
+// routed by an independent hash, and shards are individually locked so
+// concurrent queries proceed in parallel. See [NewShardedMembership].
+type ShardedMembership = sharded.Filter
+
+// NewShardedMembership returns a concurrency-safe membership filter
+// with totalBits split across shardCount shards (rounded up to a power
+// of two). The false-positive rate matches a monolithic filter of the
+// same total size.
+func NewShardedMembership(totalBits, k, shardCount int, opts ...Option) (*ShardedMembership, error) {
+	return sharded.New(totalBits, k, shardCount, opts...)
+}
+
+// MembershipPlan, AssociationPlan and MultiplicityPlan are sized filter
+// geometries produced by the Plan* helpers.
+type (
+	MembershipPlan   = sizing.MembershipPlan
+	AssociationPlan  = sizing.AssociationPlan
+	MultiplicityPlan = sizing.MultiplicityPlan
+)
+
+// PlanMembership returns the smallest ShBF_M geometry whose predicted
+// false-positive rate (paper Equation 1) meets target for n elements.
+func PlanMembership(n int, targetFPR float64) (MembershipPlan, error) {
+	return sizing.Membership(n, targetFPR, DefaultMaxOffset)
+}
+
+// PlanAssociation returns a ShBF_A geometry whose clear-answer
+// probability (paper Table 2) meets target for nDistinct = |S1 ∪ S2|.
+func PlanAssociation(nDistinct int, targetClear float64) (AssociationPlan, error) {
+	return sizing.Association(nDistinct, targetClear)
+}
+
+// PlanMultiplicity returns a ShBF_X geometry whose worst-case
+// correctness rate (paper Equation 27) meets target for n distinct
+// elements with counts up to c.
+func PlanMultiplicity(n, c int, targetCR float64) (MultiplicityPlan, error) {
+	return sizing.Multiplicity(n, c, targetCR)
+}

@@ -1,0 +1,167 @@
+package shbf_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shbf"
+)
+
+// genElements produces n distinct test elements.
+func genElements(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 13)
+		rng.Read(b)
+		b[0], b[1], b[2] = byte(i), byte(i>>8), byte(i>>16)
+		out[i] = b
+	}
+	return out
+}
+
+func TestPublicMembershipAPI(t *testing.T) {
+	f, err := shbf.NewMembership(10000, 8, shbf.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(500, 1)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	for _, e := range elems {
+		if !f.Contains(e) {
+			t.Fatal("false negative through public API")
+		}
+	}
+	if f.K() != 8 || f.M() != 10000 || f.MaxOffset() != shbf.DefaultMaxOffset {
+		t.Fatal("accessors wrong through alias")
+	}
+}
+
+func TestPublicCountingAPI(t *testing.T) {
+	f, err := shbf.NewCountingMembership(5000, 6, shbf.WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("element")
+	if err := f.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Contains(e) {
+		t.Fatal("false negative")
+	}
+	if err := f.Delete(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(e); !errors.Is(err, shbf.ErrNotStored) {
+		t.Fatalf("over-delete error = %v", err)
+	}
+}
+
+func TestPublicAssociationAPI(t *testing.T) {
+	s1 := genElements(300, 2)
+	s2 := genElements(300, 3)
+	for _, e := range s2 {
+		e[12] = 0xEE
+	}
+	shared := genElements(100, 4)
+	for _, e := range shared {
+		e[12] = 0xDD
+	}
+	s1 = append(s1, shared...)
+	s2 = append(s2, shared...)
+
+	a, err := shbf.BuildAssociation(s1, s2, 8000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range shared {
+		r := a.Query(e)
+		if !r.Contains(shbf.RegionBoth) {
+			t.Fatalf("shared element candidates %v missing S1∩S2", r)
+		}
+	}
+	if got := a.NBoth(); got != 100 {
+		t.Fatalf("NBoth = %d", got)
+	}
+}
+
+func TestPublicMultiplicityAPI(t *testing.T) {
+	f, err := shbf.NewMultiplicity(20000, 8, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("flow")
+	if err := f.AddWithCount(e, 12); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Count(e); got < 12 {
+		t.Fatalf("Count = %d underestimates", got)
+	}
+	if err := f.AddWithCount(e, 99); !errors.Is(err, shbf.ErrCountOverflow) {
+		t.Fatalf("overflow error = %v", err)
+	}
+}
+
+func TestPublicAccessCounter(t *testing.T) {
+	var acc shbf.AccessCounter
+	f, err := shbf.NewMembership(10000, 8, shbf.WithAccessCounter(&acc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("x")
+	f.Add(e)
+	acc.Reset()
+	f.Contains(e)
+	if acc.Reads() != 4 {
+		t.Fatalf("member query cost %d accesses, want k/2 = 4", acc.Reads())
+	}
+}
+
+func TestPublicTShiftAndSCM(t *testing.T) {
+	ts, err := shbf.NewTShift(5000, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Add([]byte("e"))
+	if !ts.Contains([]byte("e")) {
+		t.Fatal("t-shift false negative")
+	}
+
+	s, err := shbf.NewSCMSketch(8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert([]byte("e"))
+	s.Insert([]byte("e"))
+	if got := s.Count([]byte("e")); got < 2 {
+		t.Fatalf("SCM count %d underestimates", got)
+	}
+}
+
+func ExampleNewMembership() {
+	// Size for n ≈ 10000 elements at k = 8: m = n·k/ln2 ≈ 115000 bits.
+	f, _ := shbf.NewMembership(115000, 8, shbf.WithSeed(42))
+	f.Add([]byte("10.1.2.3:443->10.9.8.7:51724/tcp"))
+	fmt.Println(f.Contains([]byte("10.1.2.3:443->10.9.8.7:51724/tcp")))
+	fmt.Println(f.Contains([]byte("203.0.113.9:80->198.51.100.2:4242/udp")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleBuildAssociation() {
+	s1 := [][]byte{[]byte("alpha"), []byte("common")}
+	s2 := [][]byte{[]byte("beta"), []byte("common")}
+	a, _ := shbf.BuildAssociation(s1, s2, 1000, 8)
+	fmt.Println(a.Query([]byte("alpha")))
+	fmt.Println(a.Query([]byte("common")))
+	fmt.Println(a.Query([]byte("beta")))
+	// Output:
+	// S1−S2
+	// S1∩S2
+	// S2−S1
+}

@@ -1,0 +1,199 @@
+package shbf_test
+
+// Differential soak tests: drive the counting filters with long random
+// operation sequences and check every guarantee against an exact
+// map-based oracle after each phase. These run the same update
+// machinery as the unit tests but at a scale where rare interleavings
+// (region migrations under churn, multiplicity moves at saturation
+// boundaries, shared-counter traffic) actually occur.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"shbf"
+)
+
+func soakElements(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, 13)
+		rng.Read(b)
+		b[0], b[1] = byte(i), byte(i>>8)
+		out[i] = b
+	}
+	return out
+}
+
+func TestSoakCountingMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const ops = 200000
+	f, err := shbf.NewCountingMembership(60000, 8, shbf.WithCounterWidth(8), shbf.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := soakElements(2000, 1)
+	oracle := make([]int, len(elems))
+	rng := rand.New(rand.NewSource(2))
+
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(len(elems))
+		if rng.Intn(5) < 3 { // insert-biased churn
+			if oracle[i] < 200 { // stay below 8-bit saturation
+				if err := f.Insert(elems[i]); err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				oracle[i]++
+			}
+		} else if oracle[i] > 0 {
+			if err := f.Delete(elems[i]); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			oracle[i]--
+		}
+		// Periodic full sweep: no false negatives, ever.
+		if op%50000 == 49999 {
+			for j, e := range elems {
+				if oracle[j] > 0 && !f.Contains(e) {
+					t.Fatalf("op %d: false negative on element %d (count %d)", op, j, oracle[j])
+				}
+			}
+		}
+	}
+	// Drain everything; the filter must return to empty.
+	for i, e := range elems {
+		for ; oracle[i] > 0; oracle[i]-- {
+			if err := f.Delete(e); err != nil {
+				t.Fatalf("drain delete: %v", err)
+			}
+		}
+	}
+	if f.Filter().FillRatio() != 0 {
+		t.Fatal("filter not empty after drain")
+	}
+}
+
+func TestSoakCountingMultiplicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const ops = 150000
+	const c = 30
+	f, err := shbf.NewCountingMultiplicity(80000, 6, c, shbf.WithCounterWidth(8), shbf.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := soakElements(1500, 3)
+	oracle := make([]int, len(elems))
+	rng := rand.New(rand.NewSource(4))
+
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(len(elems))
+		if rng.Intn(2) == 0 {
+			err := f.Insert(elems[i])
+			switch {
+			case oracle[i] >= c:
+				if !errors.Is(err, shbf.ErrCountOverflow) {
+					t.Fatalf("op %d: insert at cap: %v", op, err)
+				}
+			case err != nil:
+				t.Fatalf("op %d: insert: %v", op, err)
+			default:
+				oracle[i]++
+			}
+		} else {
+			err := f.Delete(elems[i])
+			switch {
+			case oracle[i] == 0:
+				if !errors.Is(err, shbf.ErrNotStored) {
+					t.Fatalf("op %d: delete at zero: %v", op, err)
+				}
+			case err != nil:
+				t.Fatalf("op %d: delete: %v", op, err)
+			default:
+				oracle[i]--
+			}
+		}
+		if op%50000 == 49999 {
+			for j, e := range elems {
+				if got := f.ExactCount(e); got != oracle[j] {
+					t.Fatalf("op %d: exact count %d vs oracle %d", op, got, oracle[j])
+				}
+				if oracle[j] > 0 && f.Count(e) < oracle[j] {
+					t.Fatalf("op %d: B-count %d underestimates %d", op, f.Count(e), oracle[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSoakCountingAssociation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const ops = 100000
+	a, err := shbf.NewCountingAssociation(60000, 8, shbf.WithCounterWidth(8), shbf.WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := soakElements(1500, 5)
+	in1 := make([]bool, len(elems))
+	in2 := make([]bool, len(elems))
+	rng := rand.New(rand.NewSource(6))
+
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(len(elems))
+		switch rng.Intn(4) {
+		case 0:
+			if err := a.InsertS1(elems[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			in1[i] = true
+		case 1:
+			if err := a.InsertS2(elems[i]); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			in2[i] = true
+		case 2:
+			if in1[i] {
+				if err := a.DeleteS1(elems[i]); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				in1[i] = false
+			}
+		default:
+			if in2[i] {
+				if err := a.DeleteS2(elems[i]); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				in2[i] = false
+			}
+		}
+		if op%25000 == 24999 {
+			for j, e := range elems {
+				r := a.Query(e)
+				switch {
+				case in1[j] && in2[j]:
+					if !r.Contains(shbf.RegionBoth) {
+						t.Fatalf("op %d: element %d lost S1∩S2", op, j)
+					}
+				case in1[j]:
+					if !r.Contains(shbf.RegionS1Only) {
+						t.Fatalf("op %d: element %d lost S1−S2", op, j)
+					}
+				case in2[j]:
+					if !r.Contains(shbf.RegionS2Only) {
+						t.Fatalf("op %d: element %d lost S2−S1", op, j)
+					}
+				}
+			}
+		}
+	}
+	if a.N1() < 0 || a.N2() < 0 {
+		t.Fatal("negative set sizes")
+	}
+}
