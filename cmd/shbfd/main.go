@@ -1,0 +1,138 @@
+// Command shbfd is the ShBF query-serving daemon: one process serving
+// membership (ShBF_M), association (CShBF_A), and multiplicity
+// (CShBF_X) set queries over a batch HTTP/JSON API, backed by the
+// lock-striped shards of internal/sharded.
+//
+// Usage:
+//
+//	shbfd [-addr :8137] [-shards 16] [-seed 1]
+//	      [-member-bits N] [-member-k 8]
+//	      [-assoc-bits N]  [-assoc-k 8]
+//	      [-mult-bits N]   [-mult-k 8] [-c 57]
+//	      [-snapshot state.shbf] [-snapshot-every 0]
+//
+// With -snapshot, state is reloaded from the file at startup (if it
+// exists), persisted on POST /v1/snapshot, every -snapshot-every
+// interval if set, and on graceful shutdown (SIGINT/SIGTERM) — so
+// answers survive restarts. See internal/server for the endpoint list
+// and DESIGN.md for the architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shbf/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "shbfd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, builds the server, and serves until ctx is
+// cancelled. When ready is non-nil, the bound address is sent on it
+// once the listener is up (used by tests binding port 0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("shbfd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8137", "listen address")
+		shards   = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
+		seed     = fs.Uint64("seed", 1, "hash seed (filters are deterministic per seed)")
+		memBits  = fs.Int("member-bits", 12<<20, "total membership filter bits")
+		memK     = fs.Int("member-k", 8, "membership bit positions per element (even)")
+		assBits  = fs.Int("assoc-bits", 12<<20, "total association filter bits")
+		assK     = fs.Int("assoc-k", 8, "association bit positions per element")
+		mulBits  = fs.Int("mult-bits", 18<<20, "total multiplicity filter bits")
+		mulK     = fs.Int("mult-k", 8, "multiplicity bit positions per element")
+		maxCount = fs.Int("c", 57, "maximum multiplicity")
+		snapPath = fs.String("snapshot", "", "snapshot file (loaded at startup, written on shutdown and POST /v1/snapshot)")
+		snapEvr  = fs.Duration("snapshot-every", 0, "also snapshot on this interval (0 = disabled; requires -snapshot)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapEvr > 0 && *snapPath == "" {
+		return errors.New("-snapshot-every requires -snapshot")
+	}
+
+	cfg := server.Config{
+		MembershipBits:   *memBits,
+		MembershipK:      *memK,
+		AssociationBits:  *assBits,
+		AssociationK:     *assK,
+		MultiplicityBits: *mulBits,
+		MultiplicityK:    *mulK,
+		MaxCount:         *maxCount,
+		Shards:           *shards,
+		Seed:             *seed,
+		SnapshotPath:     *snapPath,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("shbfd: serving on %s (%d shards/filter)", ln.Addr(), *shards)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *snapEvr > 0 {
+		ticker = time.NewTicker(*snapEvr)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			if n, err := srv.SaveSnapshot(*snapPath); err != nil {
+				log.Printf("shbfd: periodic snapshot: %v", err)
+			} else {
+				log.Printf("shbfd: snapshot written (%d bytes)", n)
+			}
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(shutCtx); err != nil {
+				log.Printf("shbfd: shutdown: %v", err)
+			}
+			if *snapPath != "" {
+				if n, err := srv.SaveSnapshot(*snapPath); err != nil {
+					return fmt.Errorf("final snapshot: %w", err)
+				} else {
+					log.Printf("shbfd: final snapshot written (%d bytes)", n)
+				}
+			}
+			return nil
+		}
+	}
+}

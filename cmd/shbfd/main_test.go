@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon with args plus a port-0 listener and
+// returns its base URL and a stop function that waits for graceful
+// shutdown.
+func startDaemon(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("daemon did not shut down")
+			}
+		}
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon failed to start: %v", err)
+		return "", nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon did not become ready")
+		return "", nil
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-snapshot-every", "1s"}, nil); err == nil {
+		t.Fatal("accepted -snapshot-every without -snapshot")
+	}
+	if err := run(context.Background(), []string{"-member-k", "7", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("accepted odd membership k")
+	}
+}
+
+func TestServeAndGracefulSnapshot(t *testing.T) {
+	// Small filters keep the test fast; the snapshot written on
+	// SIGTERM-equivalent shutdown must seed an identical second run.
+	snap := filepath.Join(t.TempDir(), "state.shbf")
+	size := []string{
+		"-member-bits", "65536", "-assoc-bits", "65536", "-mult-bits", "131072",
+		"-shards", "4", "-snapshot", snap,
+	}
+	url, stop := startDaemon(t, size...)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	postJSON(t, url+"/v1/membership/add", map[string]any{"keys": []string{"persisted"}}, nil)
+	postJSON(t, url+"/v1/multiplicity/add",
+		map[string]any{"items": []map[string]any{{"key": "persisted", "count": 3}}}, nil)
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Second daemon, same snapshot: answers must survive the restart.
+	url2, stop2 := startDaemon(t, size...)
+	defer stop2()
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	postJSON(t, url2+"/v1/membership/contains", map[string]any{"keys": []string{"persisted", "other"}}, &res)
+	if !res.Results[0] || res.Results[1] {
+		t.Fatalf("after restart: contains = %v, want [true false]", res.Results)
+	}
+	var cnt struct {
+		Counts []int `json:"counts"`
+	}
+	postJSON(t, url2+"/v1/multiplicity/count", map[string]any{"keys": []string{"persisted"}}, &cnt)
+	if cnt.Counts[0] != 3 {
+		t.Fatalf("after restart: count = %d, want 3", cnt.Counts[0])
+	}
+}

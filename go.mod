@@ -1,0 +1,3 @@
+module shbf
+
+go 1.24

@@ -93,6 +93,18 @@ func defaultConfig() config {
 // Option customizes filter construction.
 type Option func(*config)
 
+// ResolveSeed returns the hash seed the given options select — the
+// package default when no WithSeed option is present. Wrappers that
+// derive per-instance seeds (internal/sharded) use it to mix the
+// caller's seed into their derivation.
+func ResolveSeed(opts ...Option) uint64 {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.seed
+}
+
 // WithSeed sets the seed from which the filter derives its independent
 // hash functions. Filters built with the same parameters and seed are
 // identical; experiments vary the seed across trials.

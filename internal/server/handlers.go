@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"shbf/internal/core"
+)
+
+// maxBodyBytes bounds a request body; batches beyond this should be
+// split by the client.
+const maxBodyBytes = 32 << 20
+
+// keyBatch is the common request shape: a batch of element keys, read
+// as raw bytes ("encoding": "raw", the default) or base64
+// ("encoding": "base64") for binary IDs like the paper's 13-byte
+// 5-tuple flow IDs.
+type keyBatch struct {
+	Keys     []string `json:"keys"`
+	Encoding string   `json:"encoding,omitempty"`
+}
+
+// countedItem is one multiplicity update: count defaults to 1.
+type countedItem struct {
+	Key   string `json:"key"`
+	Count int    `json:"count,omitempty"`
+}
+
+type countedBatch struct {
+	Items    []countedItem `json:"items"`
+	Encoding string        `json:"encoding,omitempty"`
+}
+
+// setBatch targets one of the two association sets.
+type setBatch struct {
+	Set      int      `json:"set"`
+	Keys     []string `json:"keys"`
+	Encoding string   `json:"encoding,omitempty"`
+}
+
+// decodeKey maps one wire key to element bytes.
+func decodeKey(key, encoding string) ([]byte, error) {
+	switch encoding {
+	case "", "raw":
+		return []byte(key), nil
+	case "base64":
+		return base64.StdEncoding.DecodeString(key)
+	default:
+		return nil, fmt.Errorf("unknown encoding %q (want raw or base64)", encoding)
+	}
+}
+
+// decodeKeys maps the wire keys to element byte strings.
+func decodeKeys(keys []string, encoding string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		b, err := decodeKey(k, encoding)
+		if err != nil {
+			return nil, fmt.Errorf("key %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// readJSON decodes the request body into dst, rejecting oversized and
+// malformed bodies.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more useful to do than drop it.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// updateStatus maps a filter update error to an HTTP status: capacity
+// conditions are the client's to handle (409), anything else is a
+// server fault.
+func updateStatus(err error) int {
+	if errors.Is(err, core.ErrCountOverflow) ||
+		errors.Is(err, core.ErrCounterSaturated) ||
+		errors.Is(err, core.ErrNotStored) {
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// --- membership -----------------------------------------------------------
+
+func (s *Server) handleMembershipAdd(w http.ResponseWriter, r *http.Request) {
+	var req keyBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	keys, err := decodeKeys(req.Keys, req.Encoding)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, k := range keys {
+		s.mem.Add(k)
+	}
+	s.stats.membershipAdd.Add(uint64(len(keys)))
+	writeJSON(w, http.StatusOK, map[string]int{"added": len(keys)})
+}
+
+func (s *Server) handleMembershipContains(w http.ResponseWriter, r *http.Request) {
+	var req keyBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	keys, err := decodeKeys(req.Keys, req.Encoding)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := make([]bool, len(keys))
+	for i, k := range keys {
+		results[i] = s.mem.Contains(k)
+	}
+	s.stats.membershipContains.Add(uint64(len(keys)))
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// --- association ----------------------------------------------------------
+
+// regionAnswer is the JSON shape of one classify result. Candidates
+// lists the possible atomic regions ("s1-only", "both", "s2-only"); an
+// empty list is a definite non-member of both sets. Clear mirrors the
+// paper's "clear answer" (exactly one candidate).
+type regionAnswer struct {
+	Region     string   `json:"region"`
+	Candidates []string `json:"candidates"`
+	Clear      bool     `json:"clear"`
+	InS1       bool     `json:"in_s1"`
+	InS2       bool     `json:"in_s2"`
+}
+
+func regionJSON(r core.Region) regionAnswer {
+	cands := make([]string, 0, 3)
+	if r.Contains(core.RegionS1Only) {
+		cands = append(cands, "s1-only")
+	}
+	if r.Contains(core.RegionBoth) {
+		cands = append(cands, "both")
+	}
+	if r.Contains(core.RegionS2Only) {
+		cands = append(cands, "s2-only")
+	}
+	return regionAnswer{
+		Region:     r.String(),
+		Candidates: cands,
+		Clear:      r.Clear(),
+		InS1:       r.InS1(),
+		InS2:       r.InS2(),
+	}
+}
+
+// applySetBatch validates a setBatch and applies op1/op2 per key.
+func (s *Server) applySetBatch(w http.ResponseWriter, r *http.Request, op1, op2 func([]byte) error) {
+	var req setBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Set != 1 && req.Set != 2 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("set must be 1 or 2, got %d", req.Set))
+		return
+	}
+	keys, err := decodeKeys(req.Keys, req.Encoding)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	op := op1
+	if req.Set == 2 {
+		op = op2
+	}
+	for i, k := range keys {
+		if err := op(k); err != nil {
+			// Earlier keys in the batch stay applied; report the split
+			// point so the client can resume.
+			writeJSON(w, updateStatus(err), map[string]any{
+				"error":   err.Error(),
+				"applied": i,
+			})
+			return
+		}
+	}
+	s.stats.associationUpdate.Add(uint64(len(keys)))
+	writeJSON(w, http.StatusOK, map[string]int{"applied": len(keys)})
+}
+
+func (s *Server) handleAssociationAdd(w http.ResponseWriter, r *http.Request) {
+	s.applySetBatch(w, r, s.assoc.InsertS1, s.assoc.InsertS2)
+}
+
+func (s *Server) handleAssociationRemove(w http.ResponseWriter, r *http.Request) {
+	s.applySetBatch(w, r, s.assoc.DeleteS1, s.assoc.DeleteS2)
+}
+
+func (s *Server) handleAssociationClassify(w http.ResponseWriter, r *http.Request) {
+	var req keyBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	keys, err := decodeKeys(req.Keys, req.Encoding)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := make([]regionAnswer, len(keys))
+	for i, k := range keys {
+		results[i] = regionJSON(s.assoc.Query(k))
+	}
+	s.stats.associationQuery.Add(uint64(len(keys)))
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// --- multiplicity ---------------------------------------------------------
+
+// applyCountedBatch applies op count-times per item (count defaults to
+// 1).
+func (s *Server) applyCountedBatch(w http.ResponseWriter, r *http.Request, op func([]byte) error) {
+	var req countedBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	applied := 0
+	for i, item := range req.Items {
+		key, err := decodeKey(item.Key, req.Encoding)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("item %d: %w", i, err))
+			return
+		}
+		count := item.Count
+		if count == 0 {
+			count = 1
+		}
+		if count < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("item %d: negative count %d", i, count))
+			return
+		}
+		for j := 0; j < count; j++ {
+			if err := op(key); err != nil {
+				writeJSON(w, updateStatus(err), map[string]any{
+					"error":   fmt.Sprintf("item %d: %s", i, err),
+					"applied": applied,
+				})
+				return
+			}
+			applied++
+		}
+	}
+	s.stats.multiplicityUpdate.Add(uint64(applied))
+	writeJSON(w, http.StatusOK, map[string]int{"applied": applied})
+}
+
+func (s *Server) handleMultiplicityAdd(w http.ResponseWriter, r *http.Request) {
+	s.applyCountedBatch(w, r, s.mult.Insert)
+}
+
+func (s *Server) handleMultiplicityRemove(w http.ResponseWriter, r *http.Request) {
+	s.applyCountedBatch(w, r, s.mult.Delete)
+}
+
+func (s *Server) handleMultiplicityCount(w http.ResponseWriter, r *http.Request) {
+	var req keyBatch
+	if !readJSON(w, r, &req) {
+		return
+	}
+	keys, err := decodeKeys(req.Keys, req.Encoding)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	counts := make([]int, len(keys))
+	for i, k := range keys {
+		counts[i] = s.mult.Count(k)
+	}
+	s.stats.multiplicityQuery.Add(uint64(len(keys)))
+	writeJSON(w, http.StatusOK, map[string]any{"counts": counts})
+}
+
+// --- snapshot -------------------------------------------------------------
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeError(w, http.StatusConflict, errors.New("no snapshot path configured (start shbfd with -snapshot)"))
+		return
+	}
+	n, err := s.SaveSnapshot(s.cfg.SnapshotPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.stats.snapshots.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.cfg.SnapshotPath, "bytes": n})
+}

@@ -1,0 +1,160 @@
+// Package server implements the query-serving layer behind the shbfd
+// daemon: one logical Shifting Bloom Filter per query kind —
+// membership (ShBF_M), association (CShBF_A), multiplicity (CShBF_X) —
+// exposed over a batch HTTP/JSON API and backed by the lock-striped
+// shards of internal/sharded, so many concurrent clients (the paper's
+// receive queues) query in parallel.
+//
+// Endpoints (all bodies JSON; keys are strings, optionally
+// base64-encoded for binary element IDs such as the paper's 13-byte
+// 5-tuples):
+//
+//	POST /v1/membership/add       {"keys": [...]}
+//	POST /v1/membership/contains  {"keys": [...]}            → per-key booleans
+//	POST /v1/association/add      {"set": 1|2, "keys": [...]}
+//	POST /v1/association/remove   {"set": 1|2, "keys": [...]}
+//	POST /v1/association/classify {"keys": [...]}            → candidate regions
+//	POST /v1/multiplicity/add     {"items": [{"key": k, "count": c}, ...]}
+//	POST /v1/multiplicity/remove  {"items": [...]}
+//	POST /v1/multiplicity/count   {"keys": [...]}            → per-key counts
+//	POST /v1/snapshot                                        → persist all filters
+//	GET  /v1/stats                                           → occupancy, FPR, counters
+//	GET  /healthz
+//
+// Persistence is snapshot-based: SaveSnapshot serializes all three
+// sharded filters into one file (written atomically), and New reloads
+// it at startup, so answers survive restarts. See DESIGN.md for how
+// this layer composes with the core encodings.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"shbf/internal/core"
+	"shbf/internal/sharded"
+)
+
+// Config sizes the daemon's three filters. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// MembershipBits is the total ShBF_M bit budget across shards.
+	MembershipBits int
+	// MembershipK is k for the membership filter (must be even).
+	MembershipK int
+	// AssociationBits is the total CShBF_A bit budget across shards.
+	AssociationBits int
+	// AssociationK is k for the association filter.
+	AssociationK int
+	// MultiplicityBits is the total CShBF_X bit budget across shards.
+	MultiplicityBits int
+	// MultiplicityK is k for the multiplicity filter.
+	MultiplicityK int
+	// MaxCount is the maximum multiplicity c (the paper uses 57).
+	MaxCount int
+	// Shards is the shard count per filter (rounded up to a power of
+	// two).
+	Shards int
+	// Seed makes the filters deterministic across processes.
+	Seed uint64
+	// SnapshotPath, when non-empty, is the file the /v1/snapshot
+	// endpoint writes and New loads at startup if it exists.
+	SnapshotPath string
+}
+
+// DefaultConfig returns a config sized for ~1M members at k = 8
+// (m = nk/ln 2 ≈ 11.5M bits ≈ 1.4 MiB per filter kind).
+func DefaultConfig() Config {
+	return Config{
+		MembershipBits:   12 << 20,
+		MembershipK:      8,
+		AssociationBits:  12 << 20,
+		AssociationK:     8,
+		MultiplicityBits: 18 << 20,
+		MultiplicityK:    8,
+		MaxCount:         57,
+		Shards:           16,
+		Seed:             1,
+	}
+}
+
+// counters tallies served queries per endpoint group.
+type counters struct {
+	membershipAdd      atomic.Uint64
+	membershipContains atomic.Uint64
+	associationUpdate  atomic.Uint64
+	associationQuery   atomic.Uint64
+	multiplicityUpdate atomic.Uint64
+	multiplicityQuery  atomic.Uint64
+	snapshots          atomic.Uint64
+}
+
+// Server owns the three sharded filters and serves them over HTTP.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mem   *sharded.Filter
+	assoc *sharded.Association
+	mult  *sharded.Multiplicity
+	stats counters
+	start time.Time
+}
+
+// New builds the filters from cfg and, when cfg.SnapshotPath names an
+// existing file, restores their state from it.
+func New(cfg Config) (*Server, error) {
+	mem, err := sharded.New(cfg.MembershipBits, cfg.MembershipK, cfg.Shards, core.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("server: membership filter: %w", err)
+	}
+	assoc, err := sharded.NewAssociation(cfg.AssociationBits, cfg.AssociationK, cfg.Shards, core.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("server: association filter: %w", err)
+	}
+	mult, err := sharded.NewMultiplicity(cfg.MultiplicityBits, cfg.MultiplicityK, cfg.MaxCount, cfg.Shards, core.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("server: multiplicity filter: %w", err)
+	}
+	s := &Server{cfg: cfg, mem: mem, assoc: assoc, mult: mult, start: time.Now()}
+	if cfg.SnapshotPath != "" {
+		switch _, err := os.Stat(cfg.SnapshotPath); {
+		case err == nil:
+			if err := s.LoadSnapshot(cfg.SnapshotPath); err != nil {
+				return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// First start: nothing to restore.
+		default:
+			// Anything else (permissions, transient I/O) must not be
+			// mistaken for a first start — serving empty and then
+			// snapshotting over the existing file would lose state.
+			return nil, fmt.Errorf("server: checking snapshot: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/membership/add", s.handleMembershipAdd)
+	mux.HandleFunc("POST /v1/membership/contains", s.handleMembershipContains)
+	mux.HandleFunc("POST /v1/association/add", s.handleAssociationAdd)
+	mux.HandleFunc("POST /v1/association/remove", s.handleAssociationRemove)
+	mux.HandleFunc("POST /v1/association/classify", s.handleAssociationClassify)
+	mux.HandleFunc("POST /v1/multiplicity/add", s.handleMultiplicityAdd)
+	mux.HandleFunc("POST /v1/multiplicity/remove", s.handleMultiplicityRemove)
+	mux.HandleFunc("POST /v1/multiplicity/count", s.handleMultiplicityCount)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The daemon snapshot bundles the three sharded filters into one file:
+// 4-byte magic "ShBD", a version byte, then three length-prefixed
+// blobs (membership, association, multiplicity), each the filter's own
+// MarshalBinary output. Geometry and seeds travel inside the blobs, so
+// a restored daemon answers identically even if its flags changed —
+// the snapshot wins.
+
+const (
+	daemonSnapVersion = 1
+	daemonSnapMagic   = "ShBD"
+)
+
+// SaveSnapshot atomically writes the full filter state to path (via a
+// temp file and rename in the same directory) and returns the byte
+// count written. Each shard is serialized under its read lock; queries
+// keep flowing while the snapshot is cut.
+func (s *Server) SaveSnapshot(path string) (int, error) {
+	buf := append([]byte(daemonSnapMagic), daemonSnapVersion)
+	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{s.mem, s.assoc, s.mult} {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return 0, fmt.Errorf("server: snapshot: %w", err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".shbfd-snapshot-*")
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	return len(buf), nil
+}
+
+// LoadSnapshot replaces the filters' state with the snapshot at path.
+// It must not run concurrently with queries; the daemon only calls it
+// before serving.
+func (s *Server) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("server: loading snapshot: %w", err)
+	}
+	if len(data) < 5 || string(data[:4]) != daemonSnapMagic {
+		return fmt.Errorf("server: %s is not a shbfd snapshot", path)
+	}
+	if data[4] != daemonSnapVersion {
+		return fmt.Errorf("server: unsupported snapshot version %d", data[4])
+	}
+	buf := data[5:]
+	for i, u := range []interface{ UnmarshalBinary([]byte) error }{s.mem, s.assoc, s.mult} {
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf)-sz) < n {
+			return fmt.Errorf("server: snapshot section %d truncated", i)
+		}
+		buf = buf[sz:]
+		if err := u.UnmarshalBinary(buf[:n]); err != nil {
+			return fmt.Errorf("server: snapshot section %d: %w", i, err)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("server: %d trailing snapshot bytes", len(buf))
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"shbf/internal/analytic"
+)
+
+// Stats is the /v1/stats response: per-filter occupancy and estimated
+// accuracy from the paper's formulas (internal/analytic), plus served
+// query counters.
+type Stats struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Queries       map[string]uint64 `json:"queries"`
+	Membership    MembershipStats   `json:"membership"`
+	Association   AssociationStats  `json:"association"`
+	Multiplicity  MultiplicityStats `json:"multiplicity"`
+}
+
+// ShardOccupancy is one shard's load in any of the three filters.
+type ShardOccupancy struct {
+	// N is the shard's element count; for association shards it is
+	// n1 + n2 (distinct per set).
+	N int `json:"n"`
+	// FillRatio is the fraction of set bits in the shard's query array.
+	FillRatio float64 `json:"fill_ratio"`
+	// EstimatedFPR is the shard's predicted error rate: membership FPR
+	// (Equation 1), association phantom-candidate probability, or
+	// multiplicity non-member error rate (1 − CR). Omitted where not
+	// defined.
+	EstimatedFPR float64 `json:"estimated_fpr,omitempty"`
+}
+
+// MembershipStats describes the sharded ShBF_M.
+type MembershipStats struct {
+	Shards       int              `json:"shards"`
+	TotalBits    int              `json:"total_bits"`
+	K            int              `json:"k"`
+	N            int              `json:"n"`
+	FillRatio    float64          `json:"fill_ratio"`
+	EstimatedFPR float64          `json:"estimated_fpr"`
+	PerShard     []ShardOccupancy `json:"per_shard"`
+}
+
+// AssociationStats describes the sharded CShBF_A.
+type AssociationStats struct {
+	Shards    int     `json:"shards"`
+	TotalBits int     `json:"total_bits"`
+	K         int     `json:"k"`
+	N1        int     `json:"n1"`
+	N2        int     `json:"n2"`
+	FillRatio float64 `json:"fill_ratio"`
+	// ClearProb is the probability a union-member gets a single-region
+	// answer at the paper's optimal sizing, (1−0.5^k)².
+	ClearProb float64 `json:"clear_prob"`
+	// PhantomProb is the probability a candidate region is a phantom,
+	// at current occupancy.
+	PhantomProb float64          `json:"phantom_prob"`
+	PerShard    []ShardOccupancy `json:"per_shard"`
+}
+
+// MultiplicityStats describes the sharded CShBF_X.
+type MultiplicityStats struct {
+	Shards    int     `json:"shards"`
+	TotalBits int     `json:"total_bits"`
+	K         int     `json:"k"`
+	C         int     `json:"c"`
+	N         int     `json:"n"`
+	FillRatio float64 `json:"fill_ratio"`
+	// CorrectRateNonMember is the probability a non-member reports
+	// count 0 at current occupancy (Equation 26's complement).
+	CorrectRateNonMember float64          `json:"correct_rate_non_member"`
+	PerShard             []ShardOccupancy `json:"per_shard"`
+}
+
+// Snapshot gathers the current stats (exported for tests and for
+// embedding shbfd in other processes).
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries: map[string]uint64{
+			"membership_add":      s.stats.membershipAdd.Load(),
+			"membership_contains": s.stats.membershipContains.Load(),
+			"association_update":  s.stats.associationUpdate.Load(),
+			"association_query":   s.stats.associationQuery.Load(),
+			"multiplicity_update": s.stats.multiplicityUpdate.Load(),
+			"multiplicity_query":  s.stats.multiplicityQuery.Load(),
+			"snapshots":           s.stats.snapshots.Load(),
+		},
+	}
+
+	mem := s.mem.ShardStats()
+	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem))}
+	fprSum := 0.0
+	for i, sh := range mem {
+		fpr := analytic.FPRShBFM(sh.Bits, sh.N, float64(sh.K), sh.MaxOffset)
+		ms.TotalBits += sh.Bits
+		ms.K = sh.K
+		ms.N += sh.N
+		ms.FillRatio += sh.FillRatio
+		fprSum += fpr
+		ms.PerShard[i] = ShardOccupancy{N: sh.N, FillRatio: sh.FillRatio, EstimatedFPR: fpr}
+	}
+	ms.FillRatio /= float64(len(mem))
+	// A negative probe routes to one shard, so the served FPR is the
+	// mean of the per-shard rates.
+	ms.EstimatedFPR = fprSum / float64(len(mem))
+	st.Membership = ms
+
+	as := AssociationStats{}
+	ash := s.assoc.ShardStats()
+	as.Shards = len(ash)
+	as.PerShard = make([]ShardOccupancy, len(ash))
+	phantomSum := 0.0
+	for i, sh := range ash {
+		// nDistinct per shard is at most n1+n2; the phantom formula
+		// needs the union size, which the tables don't expose per
+		// overlap, so n1+n2 is a (slightly pessimistic) upper bound.
+		phantom := analytic.PhantomProb(sh.Bits, sh.N1+sh.N2, sh.K)
+		as.TotalBits += sh.Bits
+		as.K = sh.K
+		as.N1 += sh.N1
+		as.N2 += sh.N2
+		as.FillRatio += sh.FillRatio
+		phantomSum += phantom
+		as.PerShard[i] = ShardOccupancy{N: sh.N1 + sh.N2, FillRatio: sh.FillRatio, EstimatedFPR: phantom}
+	}
+	as.FillRatio /= float64(len(ash))
+	as.PhantomProb = phantomSum / float64(len(ash))
+	as.ClearProb = analytic.ClearProbShBFA(as.K)
+	st.Association = as
+
+	xs := MultiplicityStats{}
+	xsh := s.mult.ShardStats()
+	xs.Shards = len(xsh)
+	xs.PerShard = make([]ShardOccupancy, len(xsh))
+	crSum := 0.0
+	for i, sh := range xsh {
+		cr := analytic.CRNonMember(sh.Bits, max(sh.N, 0), sh.K, sh.C)
+		xs.TotalBits += sh.Bits
+		xs.K = sh.K
+		xs.C = sh.C
+		if sh.N < 0 || xs.N < 0 {
+			xs.N = -1 // unsafe-mode sentinel propagates, as in Multiplicity.N
+		} else {
+			xs.N += sh.N
+		}
+		xs.FillRatio += sh.FillRatio
+		crSum += cr
+		xs.PerShard[i] = ShardOccupancy{N: sh.N, FillRatio: sh.FillRatio, EstimatedFPR: 1 - cr}
+	}
+	xs.FillRatio /= float64(len(xsh))
+	xs.CorrectRateNonMember = crSum / float64(len(xsh))
+	st.Multiplicity = xs
+
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

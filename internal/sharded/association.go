@@ -1,0 +1,151 @@
+package sharded
+
+import (
+	"shbf/internal/core"
+)
+
+// Association is a concurrency-safe sharded CShBF_A: one logical
+// two-set association filter whose bit budget is split across routed
+// shards, each an independent updatable core.CountingAssociation.
+// Because every element lives in exactly one shard, region semantics
+// are unchanged — a query consults exactly the shard that encoded the
+// element.
+type Association struct {
+	set set[*core.CountingAssociation]
+}
+
+// AssociationShardStat reports one association shard's occupancy.
+type AssociationShardStat struct {
+	// Bits is the shard filter's base array size m.
+	Bits int
+	// K is the bit positions per element.
+	K int
+	// MaxOffset is the shard filter's w̄.
+	MaxOffset int
+	// N1, N2 are the distinct set sizes routed to this shard.
+	N1, N2 int
+	// FillRatio is the fraction of set bits.
+	FillRatio float64
+}
+
+// NewAssociation returns an updatable association filter with totalBits
+// split across shardCount shards (rounded up to a power of two).
+// Options are forwarded to each shard's constructor; shards receive
+// distinct derived seeds.
+func NewAssociation(totalBits, k, shardCount int, opts ...core.Option) (*Association, error) {
+	pow, perShard, err := roundPow2(totalBits, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	base := core.ResolveSeed(opts...)
+	s, err := newSet(pow, func(i int) (*core.CountingAssociation, error) {
+		return core.NewCountingAssociation(perShard, k, append(opts, core.WithSeed(shardSeed(base, i)))...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Association{set: s}, nil
+}
+
+// Shards returns the number of shards.
+func (a *Association) Shards() int { return a.set.size() }
+
+// update runs op on e's shard under its write lock.
+func (a *Association) update(e []byte, op func(*core.CountingAssociation, []byte) error) error {
+	s := a.set.forKey(e)
+	s.mu.Lock()
+	err := op(s.f, e)
+	s.mu.Unlock()
+	return err
+}
+
+// InsertS1 adds e to S1 (no-op if already present). Safe for concurrent
+// use.
+func (a *Association) InsertS1(e []byte) error {
+	return a.update(e, (*core.CountingAssociation).InsertS1)
+}
+
+// InsertS2 adds e to S2 (no-op if already present). Safe for concurrent
+// use.
+func (a *Association) InsertS2(e []byte) error {
+	return a.update(e, (*core.CountingAssociation).InsertS2)
+}
+
+// DeleteS1 removes e from S1; ErrNotStored if absent. Safe for
+// concurrent use.
+func (a *Association) DeleteS1(e []byte) error {
+	return a.update(e, (*core.CountingAssociation).DeleteS1)
+}
+
+// DeleteS2 removes e from S2; ErrNotStored if absent. Safe for
+// concurrent use.
+func (a *Association) DeleteS2(e []byte) error {
+	return a.update(e, (*core.CountingAssociation).DeleteS2)
+}
+
+// Query returns e's candidate-region mask. Safe for concurrent use;
+// readers do not block each other.
+func (a *Association) Query(e []byte) core.Region {
+	s := a.set.forKey(e)
+	s.mu.RLock()
+	r := s.f.Query(e)
+	s.mu.RUnlock()
+	return r
+}
+
+// N1 returns the total distinct size of S1 across shards.
+func (a *Association) N1() int {
+	return a.set.sumLocked((*core.CountingAssociation).N1)
+}
+
+// N2 returns the total distinct size of S2 across shards.
+func (a *Association) N2() int {
+	return a.set.sumLocked((*core.CountingAssociation).N2)
+}
+
+// SizeBytes returns the combined footprint of the shard bit and counter
+// arrays.
+func (a *Association) SizeBytes() int {
+	return a.set.sumLocked((*core.CountingAssociation).SizeBytes)
+}
+
+// FillRatio returns the mean query-array fill ratio across shards.
+func (a *Association) FillRatio() float64 {
+	return a.set.meanLocked((*core.CountingAssociation).FillRatio)
+}
+
+// ShardStats returns a per-shard occupancy snapshot.
+func (a *Association) ShardStats() []AssociationShardStat {
+	out := make([]AssociationShardStat, a.set.size())
+	for i := range a.set.shards {
+		s := &a.set.shards[i]
+		s.mu.RLock()
+		out[i] = AssociationShardStat{
+			Bits:      s.f.M(),
+			K:         s.f.K(),
+			MaxOffset: s.f.MaxOffset(),
+			N1:        s.f.N1(),
+			N2:        s.f.N2(),
+			FillRatio: s.f.FillRatio(),
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (see
+// Filter.MarshalBinary for consistency semantics).
+func (a *Association) MarshalBinary() ([]byte, error) {
+	return appendSnapshot(nil, shardKindAssociation, &a.set)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing a's
+// state with the decoded filter.
+func (a *Association) UnmarshalBinary(data []byte) error {
+	s, err := decodeSnapshot[core.CountingAssociation](data, shardKindAssociation)
+	if err != nil {
+		return err
+	}
+	a.set = s
+	return nil
+}

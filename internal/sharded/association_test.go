@@ -1,0 +1,213 @@
+package sharded
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+func TestAssociationRegions(t *testing.T) {
+	a, err := NewAssociation(1<<18, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(3000, 10)
+	s1only, both, s2only := elems[:1000], elems[1000:2000], elems[2000:]
+	for _, e := range s1only {
+		if err := a.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range both {
+		if err := a.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.InsertS2(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range s2only {
+		if err := a.InsertS2(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.N1() != 2000 || a.N2() != 2000 {
+		t.Fatalf("N1 = %d, N2 = %d, want 2000, 2000", a.N1(), a.N2())
+	}
+	// Soundness: the truth region must always be among the candidates.
+	for _, e := range s1only {
+		if r := a.Query(e); !r.Contains(core.RegionS1Only) {
+			t.Fatalf("S1−S2 element answered %v", r)
+		}
+	}
+	for _, e := range both {
+		if r := a.Query(e); !r.Contains(core.RegionBoth) {
+			t.Fatalf("S1∩S2 element answered %v", r)
+		}
+	}
+	for _, e := range s2only {
+		if r := a.Query(e); !r.Contains(core.RegionS2Only) {
+			t.Fatalf("S2−S1 element answered %v", r)
+		}
+	}
+}
+
+func TestAssociationDeleteAndMove(t *testing.T) {
+	a, err := NewAssociation(1<<16, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("moving-element")
+	if err := a.InsertS1(e); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Query(e); !r.Contains(core.RegionS1Only) {
+		t.Fatalf("after InsertS1: %v", r)
+	}
+	if err := a.InsertS2(e); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Query(e); !r.Contains(core.RegionBoth) {
+		t.Fatalf("after InsertS2: %v", r)
+	}
+	if err := a.DeleteS1(e); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Query(e); !r.Contains(core.RegionS2Only) {
+		t.Fatalf("after DeleteS1: %v", r)
+	}
+	if err := a.DeleteS2(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteS2(e); err != core.ErrNotStored {
+		t.Fatalf("double delete returned %v, want ErrNotStored", err)
+	}
+}
+
+func TestAssociationConcurrentUse(t *testing.T) {
+	// Run with -race: concurrent inserters into both sets plus readers.
+	a, err := NewAssociation(1<<20, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(8000, 11)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(elems); i += workers {
+				var err error
+				if i%2 == 0 {
+					err = a.InsertS1(elems[i])
+				} else {
+					err = a.InsertS2(elems[i])
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i := 0; i < len(elems); i += workers {
+				a.Query(elems[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.N1() + a.N2(); got != 8000 {
+		t.Fatalf("N1+N2 = %d after concurrent inserts, want 8000", got)
+	}
+	for i, e := range elems {
+		truth := core.RegionS1Only
+		if i%2 == 1 {
+			truth = core.RegionS2Only
+		}
+		if r := a.Query(e); !r.Contains(truth) {
+			t.Fatalf("element %d answered %v, truth %v", i, r, truth)
+		}
+	}
+}
+
+func TestAssociationSnapshotRoundTrip(t *testing.T) {
+	a, err := NewAssociation(1<<17, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(2000, 12)
+	for i, e := range elems {
+		var err error
+		switch i % 3 {
+		case 0:
+			err = a.InsertS1(e)
+		case 1:
+			err = a.InsertS2(e)
+		default:
+			if err = a.InsertS1(e); err == nil {
+				err = a.InsertS2(e)
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Association
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if b.Shards() != a.Shards() || b.N1() != a.N1() || b.N2() != a.N2() {
+		t.Fatalf("decoded geometry mismatch: %d/%d/%d vs %d/%d/%d",
+			b.Shards(), b.N1(), b.N2(), a.Shards(), a.N1(), a.N2())
+	}
+	// Identical answers, including updates applied after the restore.
+	for _, e := range elems {
+		if got, want := b.Query(e), a.Query(e); got != want {
+			t.Fatalf("decoded filter answered %v, original %v", got, want)
+		}
+	}
+	if err := b.DeleteS1(elems[0]); err != nil {
+		t.Fatalf("post-restore delete: %v", err)
+	}
+	// Reserialize and compare against a fresh marshal of the decoded
+	// state: the round trip must be stable.
+	blob2, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Association
+	if err := c.UnmarshalBinary(blob2); err != nil {
+		t.Fatal(err)
+	}
+	blob3, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob2, blob3) {
+		t.Fatal("marshal → unmarshal → marshal is not stable")
+	}
+}
+
+func TestAssociationSnapshotRejectsWrongKind(t *testing.T) {
+	f, err := New(1<<14, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Association
+	if err := a.UnmarshalBinary(blob); err == nil {
+		t.Fatal("association decoded a membership snapshot")
+	}
+}

@@ -1,0 +1,180 @@
+package sharded
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+func TestMultiplicityCounts(t *testing.T) {
+	f, err := NewMultiplicity(1<<18, 8, 57, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(3000, 20)
+	for i, e := range elems {
+		want := i%5 + 1
+		for j := 0; j < want; j++ {
+			if err := f.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.N() != 3000 {
+		t.Fatalf("N = %d, want 3000", f.N())
+	}
+	// No underestimates, ever (paper's one-sided multiplicity bound).
+	for i, e := range elems {
+		want := i%5 + 1
+		if got := f.Count(e); got < want {
+			t.Fatalf("element %d: Count = %d, want ≥ %d", i, got, want)
+		}
+	}
+}
+
+func TestMultiplicityInsertDelete(t *testing.T) {
+	f, err := NewMultiplicity(1<<16, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := []byte("counted-element")
+	for i := 0; i < 8; i++ {
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Insert(e); err != core.ErrCountOverflow {
+		t.Fatalf("insert past c returned %v, want ErrCountOverflow", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Delete(e); err != core.ErrNotStored {
+		t.Fatalf("delete of absent element returned %v, want ErrNotStored", err)
+	}
+	if got := f.Count(e); got != 0 {
+		// A false positive is possible but wildly unlikely at this load.
+		t.Fatalf("Count after full delete = %d, want 0", got)
+	}
+}
+
+func TestMultiplicityConcurrentUse(t *testing.T) {
+	// Run with -race: concurrent incrementers and counters.
+	f, err := NewMultiplicity(1<<20, 8, 57, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(4000, 21)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(elems); i += workers {
+				for j := 0; j < i%3+1; j++ {
+					if err := f.Insert(elems[i]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			for i := 0; i < len(elems); i += workers {
+				f.Count(elems[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.N() != 4000 {
+		t.Fatalf("N = %d after concurrent inserts, want 4000", f.N())
+	}
+	for i, e := range elems {
+		want := i%3 + 1
+		if got := f.Count(e); got < want {
+			t.Fatalf("element %d: Count = %d, want ≥ %d", i, got, want)
+		}
+	}
+}
+
+func TestMultiplicitySnapshotRoundTrip(t *testing.T) {
+	f, err := NewMultiplicity(1<<17, 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(2000, 22)
+	for i, e := range elems {
+		for j := 0; j < i%4+1; j++ {
+			if err := f.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Multiplicity
+	if err := g.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if g.Shards() != f.Shards() || g.N() != f.N() || g.C() != f.C() {
+		t.Fatalf("decoded geometry mismatch")
+	}
+	for _, e := range elems {
+		if got, want := g.Count(e), f.Count(e); got != want {
+			t.Fatalf("decoded filter counted %d, original %d", got, want)
+		}
+	}
+	// The restored filter must keep supporting safe updates.
+	if err := g.Insert(elems[0]); err != nil {
+		t.Fatalf("post-restore insert: %v", err)
+	}
+	if err := g.Delete(elems[1]); err != nil {
+		t.Fatalf("post-restore delete: %v", err)
+	}
+}
+
+func TestMembershipSnapshotRoundTrip(t *testing.T) {
+	f, err := New(1<<17, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := genElements(5000, 23)
+	for _, e := range elems {
+		f.Add(e)
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if g.Shards() != f.Shards() || g.N() != f.N() {
+		t.Fatalf("decoded geometry mismatch: shards %d/%d, n %d/%d",
+			g.Shards(), f.Shards(), g.N(), f.N())
+	}
+	for _, e := range elems {
+		if !g.Contains(e) {
+			t.Fatal("false negative after snapshot round trip")
+		}
+	}
+	// Probe agreement on non-members too: identical bit state means
+	// identical (possibly false-positive) answers.
+	for _, e := range genElements(5000, 24) {
+		if f.Contains(e) != g.Contains(e) {
+			t.Fatal("decoded filter disagrees with original on a probe")
+		}
+	}
+	if err := g.UnmarshalBinary(blob[:10]); err == nil {
+		t.Fatal("decoded a truncated snapshot")
+	}
+}

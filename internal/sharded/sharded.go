@@ -1,36 +1,53 @@
-// Package sharded provides a thread-safe membership filter for the
-// paper's wire-speed deployment scenario: multiple receive queues
-// (goroutines) classifying packets against one logical blocklist.
+// Package sharded provides thread-safe, lock-striped wrappers around
+// the core ShBF filters for the paper's wire-speed deployment scenario:
+// multiple receive queues (goroutines) querying one logical filter.
 //
-// A Filter splits the bit budget across 2^p independent ShBF_M shards
-// and routes each element to a shard with an independent hash. Shards
-// are guarded by RWMutexes, so concurrent Contains calls proceed in
-// parallel and only same-shard writers contend. Because routing is
-// by hash, per-shard occupancy concentrates around n/shards and the
-// false-positive rate matches a monolithic filter of the same total
-// size (each shard is an independent ShBF_M at the same bits-per-
-// element).
+// Each wrapper splits its bit budget across 2^p independent shards and
+// routes every element to a shard with a hash that is independent of
+// the shard filters' own hash families. Shards are guarded by
+// cache-line-padded RWMutexes, so concurrent queries proceed in
+// parallel and only same-shard writers contend. Because routing is by
+// hash, per-shard occupancy concentrates around n/shards and accuracy
+// matches a monolithic filter of the same total size (each shard is an
+// independent filter at the same bits-per-element).
+//
+// Three query kinds are covered, mirroring the paper's three
+// instantiations of the framework:
+//
+//   - [Filter] wraps ShBF_M for membership (Add/Contains).
+//   - [Association] wraps CShBF_A for two-set association queries
+//     (InsertS1/InsertS2/DeleteS1/DeleteS2/Query).
+//   - [Multiplicity] wraps CShBF_X for multi-set multiplicity queries
+//     (Insert/Delete/Count).
+//
+// All three serialize with MarshalBinary/UnmarshalBinary (per-shard
+// blobs under a common header), which is what the shbfd daemon's
+// snapshot persistence is built on, and report per-shard occupancy via
+// ShardStats for the daemon's /v1/stats endpoint.
 package sharded
 
 import (
-	"fmt"
-	"sync"
-
 	"shbf/internal/core"
-	"shbf/internal/hashing"
 )
 
 // Filter is a concurrency-safe sharded ShBF_M.
 type Filter struct {
-	shards []shard
-	router hashing.Hasher
-	mask   uint64
+	set set[*core.Membership]
 }
 
-type shard struct {
-	mu sync.RWMutex
-	f  *core.Membership
-	_  [40]byte // pad to a cache line so shard locks don't false-share
+// ShardStat reports one membership shard's occupancy and geometry, as
+// surfaced by the serving layer's stats endpoint.
+type ShardStat struct {
+	// Bits is the shard filter's base array size m.
+	Bits int
+	// K is the bit positions per element.
+	K int
+	// MaxOffset is the shard filter's w̄.
+	MaxOffset int
+	// N is the number of elements routed to this shard.
+	N int
+	// FillRatio is the fraction of set bits.
+	FillRatio float64
 }
 
 // New returns a filter with totalBits split across shardCount shards
@@ -38,43 +55,26 @@ type shard struct {
 // element. Options are forwarded to each shard's constructor; shards
 // receive distinct derived seeds.
 func New(totalBits, k, shardCount int, opts ...core.Option) (*Filter, error) {
-	if shardCount < 1 {
-		return nil, fmt.Errorf("sharded: shard count %d must be ≥ 1", shardCount)
+	pow, perShard, err := roundPow2(totalBits, shardCount)
+	if err != nil {
+		return nil, err
 	}
-	pow := 1
-	for pow < shardCount {
-		pow *= 2
+	base := core.ResolveSeed(opts...)
+	s, err := newSet(pow, func(i int) (*core.Membership, error) {
+		return core.NewMembership(perShard, k, append(opts, core.WithSeed(shardSeed(base, i)))...)
+	})
+	if err != nil {
+		return nil, err
 	}
-	perShard := totalBits / pow
-	if perShard < 64 {
-		return nil, fmt.Errorf("sharded: %d bits across %d shards leaves %d bits/shard (< 64)", totalBits, pow, perShard)
-	}
-	f := &Filter{
-		shards: make([]shard, pow),
-		router: hashing.New(0x5a4d_0001),
-		mask:   uint64(pow - 1),
-	}
-	for i := range f.shards {
-		sf, err := core.NewMembership(perShard, k, append(opts, core.WithSeed(uint64(i)*0x9e37+1))...)
-		if err != nil {
-			return nil, fmt.Errorf("sharded: building shard %d: %w", i, err)
-		}
-		f.shards[i].f = sf
-	}
-	return f, nil
+	return &Filter{set: s}, nil
 }
 
 // Shards returns the number of shards.
-func (f *Filter) Shards() int { return len(f.shards) }
-
-// shardFor routes an element.
-func (f *Filter) shardFor(e []byte) *shard {
-	return &f.shards[f.router.Sum64(e)&f.mask]
-}
+func (f *Filter) Shards() int { return f.set.size() }
 
 // Add inserts e. Safe for concurrent use.
 func (f *Filter) Add(e []byte) {
-	s := f.shardFor(e)
+	s := f.set.forKey(e)
 	s.mu.Lock()
 	s.f.Add(e)
 	s.mu.Unlock()
@@ -84,7 +84,7 @@ func (f *Filter) Add(e []byte) {
 // use; readers of different shards (and of the same shard) do not block
 // each other.
 func (f *Filter) Contains(e []byte) bool {
-	s := f.shardFor(e)
+	s := f.set.forKey(e)
 	s.mu.RLock()
 	ok := s.f.Contains(e)
 	s.mu.RUnlock()
@@ -93,40 +93,61 @@ func (f *Filter) Contains(e []byte) bool {
 
 // N returns the total number of elements added across shards.
 func (f *Filter) N() int {
-	total := 0
-	for i := range f.shards {
-		f.shards[i].mu.RLock()
-		total += f.shards[i].f.N()
-		f.shards[i].mu.RUnlock()
-	}
-	return total
+	return f.set.sumLocked((*core.Membership).N)
 }
 
 // SizeBytes returns the combined bit-array footprint.
 func (f *Filter) SizeBytes() int {
-	total := 0
-	for i := range f.shards {
-		total += f.shards[i].f.SizeBytes()
-	}
-	return total
+	return f.set.sumLocked((*core.Membership).SizeBytes)
 }
 
 // FillRatio returns the mean fill ratio across shards.
 func (f *Filter) FillRatio() float64 {
-	sum := 0.0
-	for i := range f.shards {
-		f.shards[i].mu.RLock()
-		sum += f.shards[i].f.FillRatio()
-		f.shards[i].mu.RUnlock()
-	}
-	return sum / float64(len(f.shards))
+	return f.set.meanLocked((*core.Membership).FillRatio)
 }
 
 // Reset clears all shards.
 func (f *Filter) Reset() {
-	for i := range f.shards {
-		f.shards[i].mu.Lock()
-		f.shards[i].f.Reset()
-		f.shards[i].mu.Unlock()
+	for i := range f.set.shards {
+		s := &f.set.shards[i]
+		s.mu.Lock()
+		s.f.Reset()
+		s.mu.Unlock()
 	}
+}
+
+// ShardStats returns a per-shard occupancy snapshot.
+func (f *Filter) ShardStats() []ShardStat {
+	out := make([]ShardStat, f.set.size())
+	for i := range f.set.shards {
+		s := &f.set.shards[i]
+		s.mu.RLock()
+		out[i] = ShardStat{
+			Bits:      s.f.M(),
+			K:         s.f.K(),
+			MaxOffset: s.f.MaxOffset(),
+			N:         s.f.N(),
+			FillRatio: s.f.FillRatio(),
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Shards are
+// serialized one at a time under their read locks, so the snapshot is
+// per-shard consistent; pause writers for a global point-in-time cut.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	return appendSnapshot(nil, shardKindMembership, &f.set)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing f's
+// state (including shard count and geometry) with the decoded filter.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	s, err := decodeSnapshot[core.Membership](data, shardKindMembership)
+	if err != nil {
+		return err
+	}
+	f.set = s
+	return nil
 }

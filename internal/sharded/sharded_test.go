@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"shbf/internal/core"
 )
 
 func genElements(n int, seed int64) [][]byte {
@@ -56,6 +58,46 @@ func TestBasicOperations(t *testing.T) {
 	f.Reset()
 	if f.N() != 0 || f.FillRatio() != 0 {
 		t.Fatal("Reset failed")
+	}
+}
+
+func TestSeedVariesFilters(t *testing.T) {
+	// The user's WithSeed must reach the shards: different seeds give
+	// different false-positive patterns, equal seeds identical ones.
+	build := func(seed uint64) *Filter {
+		f, err := New(1<<16, 8, 4, core.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range genElements(3000, 30) {
+			f.Add(e)
+		}
+		return f
+	}
+	f1, f2, f3 := build(1), build(2), build(1)
+	probes := genElements(50000, 31)
+	diff12, diff13 := 0, 0
+	for _, e := range probes {
+		if f1.Contains(e) != f2.Contains(e) {
+			diff12++
+		}
+		if f1.Contains(e) != f3.Contains(e) {
+			diff13++
+		}
+	}
+	if diff12 == 0 {
+		t.Fatal("seeds 1 and 2 produced identical answers on every probe; WithSeed is being ignored")
+	}
+	if diff13 != 0 {
+		t.Fatalf("equal seeds disagreed on %d probes; filters are not deterministic per seed", diff13)
+	}
+}
+
+func TestShardCountCapped(t *testing.T) {
+	// Huge shard counts must be rejected, not loop forever in the
+	// power-of-two rounding.
+	if _, err := New(1<<30, 8, maxShards+1); err == nil {
+		t.Fatal("accepted an absurd shard count")
 	}
 }
 
@@ -133,10 +175,9 @@ func TestShardBalance(t *testing.T) {
 		f.Add(e)
 	}
 	// Expected 2000/shard; hashing keeps shards within a few σ.
-	for i := range f.shards {
-		n := f.shards[i].f.N()
-		if n < 1600 || n > 2400 {
-			t.Fatalf("shard %d has %d elements, want ≈2000", i, n)
+	for i, st := range f.ShardStats() {
+		if st.N < 1600 || st.N > 2400 {
+			t.Fatalf("shard %d has %d elements, want ≈2000", i, st.N)
 		}
 	}
 }

@@ -1,0 +1,220 @@
+package sharded
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"shbf/internal/hashing"
+)
+
+// This file holds the scaffolding shared by every sharded filter kind:
+// the routed, lock-striped shard set and the snapshot wire format.
+//
+// A set[F] owns 2^p shards, each a core filter F behind its own
+// cache-line-padded RWMutex, and routes elements with a hash that is
+// independent of the per-shard filter hashes (so routing skew cannot
+// correlate with bit-position skew). The concrete wrappers — Filter,
+// Association, Multiplicity — embed a set and add the kind-specific
+// operations; anything that holds shard locks lives with them, the set
+// only does routing, geometry, and (de)serialization.
+
+// routerSeed seeds the shard-routing hash. It is a constant so a
+// snapshot taken by one process routes identically when loaded by
+// another.
+const routerSeed = 0x5a4d_0001
+
+// shardSeed derives the i-th shard's filter seed from the caller's
+// base seed (core.ResolveSeed of the forwarded options). Each shard
+// must hash differently or all shards would share false-positive
+// patterns, and the base must contribute or varying the user seed
+// would be a silent no-op.
+func shardSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*0x9e3779b97f4a7c15 + 1
+}
+
+// maxShards bounds construction the same way decodeSnapshot bounds
+// decoding, and keeps roundPow2's doubling loop far from overflow.
+const maxShards = 1 << 20
+
+// entry is one lock-striped shard. The padding spaces entries a cache
+// line apart so a writer bouncing one shard's lock does not invalidate
+// its neighbours' lines.
+type entry[F any] struct {
+	mu sync.RWMutex
+	f  F
+	_  [40]byte
+}
+
+// set is the routed shard collection.
+type set[F any] struct {
+	shards []entry[F]
+	router hashing.Hasher
+	mask   uint64
+}
+
+// roundPow2 rounds shardCount up to the next power of two, validating
+// the count and the resulting per-shard bit budget.
+func roundPow2(totalBits, shardCount int) (pow, perShard int, err error) {
+	if shardCount < 1 {
+		return 0, 0, fmt.Errorf("sharded: shard count %d must be ≥ 1", shardCount)
+	}
+	if shardCount > maxShards {
+		return 0, 0, fmt.Errorf("sharded: shard count %d exceeds maximum %d", shardCount, maxShards)
+	}
+	pow = 1
+	for pow < shardCount {
+		pow *= 2
+	}
+	perShard = totalBits / pow
+	if perShard < 64 {
+		return 0, 0, fmt.Errorf("sharded: %d bits across %d shards leaves %d bits/shard (< 64)", totalBits, pow, perShard)
+	}
+	return pow, perShard, nil
+}
+
+// newSet builds a set of pow shards, constructing each filter with
+// build(i).
+func newSet[F any](pow int, build func(i int) (F, error)) (set[F], error) {
+	s := set[F]{
+		shards: make([]entry[F], pow),
+		router: hashing.New(routerSeed),
+		mask:   uint64(pow - 1),
+	}
+	for i := range s.shards {
+		f, err := build(i)
+		if err != nil {
+			return set[F]{}, fmt.Errorf("sharded: building shard %d: %w", i, err)
+		}
+		s.shards[i].f = f
+	}
+	return s, nil
+}
+
+// forKey routes an element to its shard.
+func (s *set[F]) forKey(e []byte) *entry[F] {
+	return &s.shards[s.router.Sum64(e)&s.mask]
+}
+
+// size returns the number of shards.
+func (s *set[F]) size() int { return len(s.shards) }
+
+// sumLocked accumulates get across all shards, each read under its
+// shard's read lock.
+func (s *set[F]) sumLocked(get func(F) int) int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += get(sh.f)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// meanLocked averages get across all shards, each read under its
+// shard's read lock.
+func (s *set[F]) meanLocked(get func(F) float64) float64 {
+	sum := 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sum += get(sh.f)
+		sh.mu.RUnlock()
+	}
+	return sum / float64(len(s.shards))
+}
+
+// --- snapshot wire format ------------------------------------------------
+//
+// 4-byte magic "ShBS", a version byte, a kind byte, the shard count as
+// a uvarint, then one length-prefixed core-filter blob per shard (each
+// blob is the shard filter's own MarshalBinary output, which embeds its
+// full geometry and seed). The router seed is a compile-time constant,
+// so the header needs no routing state: kind + shard blobs reconstruct
+// the filter bit-for-bit.
+
+const (
+	snapVersion = 1
+
+	shardKindMembership byte = iota + 1
+	shardKindAssociation
+	shardKindMultiplicity
+)
+
+// appendSnapshot serializes the set: header, then each shard under its
+// read lock. Shards are locked one at a time, so the snapshot is
+// per-shard consistent but not a global point-in-time cut; for a
+// globally consistent image, pause writers first.
+func appendSnapshot[F encoding.BinaryMarshaler](buf []byte, kind byte, s *set[F]) ([]byte, error) {
+	buf = append(buf, 'S', 'h', 'B', 'S', snapVersion, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(s.shards)))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		blob, err := sh.f.MarshalBinary()
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("sharded: marshaling shard %d: %w", i, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// decodeSnapshot parses a snapshot produced by appendSnapshot,
+// rebuilding each shard filter with fresh (the zero-value constructor
+// whose UnmarshalBinary replaces its state).
+func decodeSnapshot[F any, PF interface {
+	*F
+	encoding.BinaryUnmarshaler
+}](data []byte, kind byte) (set[PF], error) {
+	if len(data) < 6 {
+		return set[PF]{}, fmt.Errorf("sharded: truncated snapshot header")
+	}
+	if string(data[:4]) != "ShBS" {
+		return set[PF]{}, fmt.Errorf("sharded: bad snapshot magic %q", data[:4])
+	}
+	if data[4] != snapVersion {
+		return set[PF]{}, fmt.Errorf("sharded: unsupported snapshot version %d", data[4])
+	}
+	if data[5] != kind {
+		return set[PF]{}, fmt.Errorf("sharded: wrong filter kind %d (want %d)", data[5], kind)
+	}
+	buf := data[6:]
+	count, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return set[PF]{}, fmt.Errorf("sharded: truncated shard count")
+	}
+	buf = buf[sz:]
+	if count == 0 || count > maxShards || count&(count-1) != 0 {
+		return set[PF]{}, fmt.Errorf("sharded: implausible shard count %d", count)
+	}
+	s := set[PF]{
+		shards: make([]entry[PF], count),
+		router: hashing.New(routerSeed),
+		mask:   count - 1,
+	}
+	for i := range s.shards {
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return set[PF]{}, fmt.Errorf("sharded: truncated length of shard %d", i)
+		}
+		buf = buf[sz:]
+		if uint64(len(buf)) < n {
+			return set[PF]{}, fmt.Errorf("sharded: shard %d blob truncated", i)
+		}
+		f := PF(new(F))
+		if err := f.UnmarshalBinary(buf[:n]); err != nil {
+			return set[PF]{}, fmt.Errorf("sharded: decoding shard %d: %w", i, err)
+		}
+		s.shards[i].f = f
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		return set[PF]{}, fmt.Errorf("sharded: %d trailing bytes", len(buf))
+	}
+	return s, nil
+}

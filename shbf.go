@@ -36,9 +36,18 @@
 // the paper's notation: m bits, k bit positions per element, w̄ maximum
 // offset (57 on 64-bit machines), c maximum multiplicity.
 //
+// For serving queries from many concurrent clients, the sharded
+// wrappers ([NewShardedMembership], [NewShardedAssociation],
+// [NewShardedMultiplicity]) split one logical filter across
+// lock-striped shards, and the cmd/shbfd daemon (internal/server)
+// exposes them over a batch HTTP/JSON API with snapshot persistence
+// and occupancy/FPR stats.
+//
 // The reproduction of the paper's full evaluation lives in
-// internal/experiment and is driven by cmd/shbench; DESIGN.md and
-// EXPERIMENTS.md document the mapping from paper figures to code.
+// internal/experiment and is driven by cmd/shbench. DESIGN.md
+// documents the architecture (core encodings, counting variants,
+// sharding, serving layer) and EXPERIMENTS.md the mapping from paper
+// figures to code; README.md has the quickstart.
 package shbf
 
 import (
@@ -220,6 +229,30 @@ type ShardedMembership = sharded.Filter
 // same total size.
 func NewShardedMembership(totalBits, k, shardCount int, opts ...Option) (*ShardedMembership, error) {
 	return sharded.New(totalBits, k, shardCount, opts...)
+}
+
+// ShardedAssociation is a thread-safe, updatable two-set association
+// filter sharded like [ShardedMembership]; each shard is an independent
+// CShBF_A. See [NewShardedAssociation].
+type ShardedAssociation = sharded.Association
+
+// NewShardedAssociation returns a concurrency-safe association filter
+// with totalBits split across shardCount shards (rounded up to a power
+// of two), supporting InsertS1/InsertS2/DeleteS1/DeleteS2/Query.
+func NewShardedAssociation(totalBits, k, shardCount int, opts ...Option) (*ShardedAssociation, error) {
+	return sharded.NewAssociation(totalBits, k, shardCount, opts...)
+}
+
+// ShardedMultiplicity is a thread-safe, updatable multi-set
+// multiplicity filter sharded like [ShardedMembership]; each shard is
+// an independent CShBF_X. See [NewShardedMultiplicity].
+type ShardedMultiplicity = sharded.Multiplicity
+
+// NewShardedMultiplicity returns a concurrency-safe multiplicity filter
+// for counts in [1, c], with totalBits split across shardCount shards
+// (rounded up to a power of two), supporting Insert/Delete/Count.
+func NewShardedMultiplicity(totalBits, k, c, shardCount int, opts ...Option) (*ShardedMultiplicity, error) {
+	return sharded.NewMultiplicity(totalBits, k, c, shardCount, opts...)
 }
 
 // MembershipPlan, AssociationPlan and MultiplicityPlan are sized filter
