@@ -1,0 +1,153 @@
+package shbf
+
+import (
+	"fmt"
+
+	"shbf/internal/core"
+	"shbf/internal/sharded"
+)
+
+// This file is the unified, spec-driven construction surface: a Kind
+// for every filter the framework instantiates, a Spec capturing full
+// construction geometry, one New entry point dispatching over both,
+// and the small interfaces every filter kind presents. The typed
+// constructors in shbf.go remain as thin wrappers for callers that
+// want concrete types.
+
+// Kind identifies one instantiation of the shifting Bloom filter
+// framework; see the Kind* constants.
+type Kind = core.Kind
+
+// The framework's filter kinds, accepted by [New] in [Spec].Kind.
+const (
+	KindMembership           = core.KindMembership
+	KindCountingMembership   = core.KindCountingMembership
+	KindTShift               = core.KindTShift
+	KindAssociation          = core.KindAssociation
+	KindCountingAssociation  = core.KindCountingAssociation
+	KindMultiAssociation     = core.KindMultiAssociation
+	KindMultiplicity         = core.KindMultiplicity
+	KindCountingMultiplicity = core.KindCountingMultiplicity
+	KindSCMSketch            = core.KindSCMSketch
+	KindShardedMembership    = core.KindShardedMembership
+	KindShardedAssociation   = core.KindShardedAssociation
+	KindShardedMultiplicity  = core.KindShardedMultiplicity
+)
+
+// ParseKind maps a canonical kind name (a Kind's String form, e.g.
+// "counting-multiplicity") to its Kind.
+func ParseKind(name string) (Kind, error) { return core.ParseKind(name) }
+
+// Spec is a filter's complete construction geometry: the kind plus
+// every parameter it needs, the single currency of [New], the sizing
+// planners, and every built filter's Spec method.
+type Spec = core.Spec
+
+// Stats is the uniform occupancy snapshot every filter reports.
+type Stats = core.Stats
+
+// Filter is the interface every filter kind implements: it can name
+// its kind, report the Spec that reconstructs its empty twin, snapshot
+// its occupancy, and serialize itself. [Load] and [Dump] round-trip
+// any Filter through the self-describing envelope.
+type Filter interface {
+	Kind() Kind
+	Spec() Spec
+	Stats() Stats
+	MarshalBinary() ([]byte, error)
+}
+
+// Set is the static membership surface, scalar and batch: Membership,
+// TShift and ShardedMembership implement it. (CountingMembership
+// inserts fallibly and is Updatable instead; it still has Contains,
+// ContainsAll and AddAll.)
+type Set interface {
+	Add(e []byte)
+	Contains(e []byte) bool
+	AddAll(keys [][]byte) error
+	ContainsAll(dst []bool, keys [][]byte) []bool
+}
+
+// Adder is the batch insertion surface shared by the membership kinds,
+// the counting multiplicity kinds, and the SCM sketch (where AddAll
+// increments each key once).
+type Adder interface {
+	AddAll(keys [][]byte) error
+}
+
+// Updatable is the dynamic-update surface of the counting kinds:
+// CountingMembership, CountingMultiplicity and ShardedMultiplicity
+// implement it. (The association kinds update per set via
+// InsertS1/InsertS2 and are not Updatable.)
+type Updatable interface {
+	Insert(e []byte) error
+	Delete(e []byte) error
+}
+
+// Counter is the multiplicity-query surface: Multiplicity,
+// CountingMultiplicity and ShardedMultiplicity implement it.
+type Counter interface {
+	Count(e []byte) int
+	CountAll(dst []int, keys [][]byte) []int
+}
+
+// Associator is the two-set association surface: Association,
+// CountingAssociation and ShardedAssociation implement it.
+// (MultiAssociation answers with a MultiAnswer, not a Region, and is
+// queried directly.)
+type Associator interface {
+	Query(e []byte) Region
+	QueryAll(dst []Region, keys [][]byte) []Region
+}
+
+// asFilter adapts a concrete constructor result to the Filter
+// interface without wrapping a typed nil on error.
+func asFilter[F Filter](f F, err error) (Filter, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// New constructs an empty filter of any kind from its Spec — the
+// single entry point behind which all twelve constructors sit.
+// Spec fields that do not apply to the requested kind are rejected
+// with an error rather than silently ignored, as are options that the
+// kind's constructor does not consume. The association kinds are
+// constructed empty; use the typed [BuildAssociation] and
+// [BuildMultiAssociation] to encode static sets at build time, or the
+// counting/sharded association kinds for dynamic updates.
+func New(spec Spec) (Filter, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts := spec.Options()
+	switch spec.Kind {
+	case KindMembership:
+		return asFilter(core.NewMembership(spec.M, spec.K, opts...))
+	case KindCountingMembership:
+		return asFilter(core.NewCountingMembership(spec.M, spec.K, opts...))
+	case KindTShift:
+		return asFilter(core.NewTShift(spec.M, spec.K, spec.T, opts...))
+	case KindAssociation:
+		return asFilter(core.BuildAssociation(nil, nil, spec.M, spec.K, opts...))
+	case KindCountingAssociation:
+		return asFilter(core.NewCountingAssociation(spec.M, spec.K, opts...))
+	case KindMultiAssociation:
+		return asFilter(core.BuildMultiAssociation(make([][][]byte, spec.G), spec.M, spec.K, opts...))
+	case KindMultiplicity:
+		return asFilter(core.NewMultiplicity(spec.M, spec.K, spec.C, opts...))
+	case KindCountingMultiplicity:
+		return asFilter(core.NewCountingMultiplicity(spec.M, spec.K, spec.C, opts...))
+	case KindSCMSketch:
+		// Spec maps the sketch geometry onto (M, K) = (r, d).
+		return asFilter(core.NewSCMSketch(spec.K, spec.M, opts...))
+	case KindShardedMembership:
+		return asFilter(sharded.New(spec.M, spec.K, spec.Shards, opts...))
+	case KindShardedAssociation:
+		return asFilter(sharded.NewAssociation(spec.M, spec.K, spec.Shards, opts...))
+	case KindShardedMultiplicity:
+		return asFilter(sharded.NewMultiplicity(spec.M, spec.K, spec.C, spec.Shards, opts...))
+	}
+	return nil, fmt.Errorf("shbf: unknown filter kind %s", spec.Kind)
+}

@@ -3,8 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"shbf"
 	"shbf/internal/trace"
 )
 
@@ -22,35 +24,39 @@ func writeTrace(t *testing.T, path string, n, maxCount int, seed int64) {
 	}
 }
 
-func TestRunMemberMode(t *testing.T) {
+func TestEvalMembership(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.bin")
 	writeTrace(t, path, 5000, 57, 1)
-	if err := run("member", path, "", 0, 8, 57, 50000, 1); err != nil {
+	if err := run([]string{"eval", "-kind", "membership", "-trace", path, "-probes", "50000"}); err != nil {
 		t.Fatal(err)
 	}
-	// Explicit m as well.
-	if err := run("member", path, "", 80000, 8, 57, 20000, 1); err != nil {
+	// Explicit m, legacy alias, and bare-flag (implicit eval) forms.
+	if err := run([]string{"-kind", "member", "-trace", path, "-m", "80000", "-probes", "20000"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunMultMode(t *testing.T) {
+func TestEvalMultiplicity(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.bin")
 	writeTrace(t, path, 3000, 30, 2)
-	if err := run("mult", path, "", 0, 8, 57, 0, 1); err != nil {
+	if err := run([]string{"eval", "-kind", "multiplicity", "-trace", path}); err != nil {
 		t.Fatal(err)
+	}
+	// Trace counts above c must be clamped, not rejected.
+	if err := run([]string{"eval", "-kind", "mult", "-trace", path, "-k", "6", "-c", "10"}); err != nil {
+		t.Fatalf("clamping failed: %v", err)
 	}
 }
 
-func TestRunAssocMode(t *testing.T) {
+func TestEvalAssociation(t *testing.T) {
 	dir := t.TempDir()
 	p1 := filepath.Join(dir, "a.bin")
 	p2 := filepath.Join(dir, "b.bin")
 	writeTrace(t, p1, 3000, 5, 3)
 	writeTrace(t, p2, 3000, 5, 4)
-	if err := run("assoc", p1, p2, 0, 8, 57, 0, 1); err != nil {
+	if err := run([]string{"eval", "-kind", "association", "-trace", p1, "-trace2", p2}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,48 +66,113 @@ func TestRunErrors(t *testing.T) {
 	path := filepath.Join(dir, "t.bin")
 	writeTrace(t, path, 100, 5, 5)
 
-	if err := run("member", "", "", 0, 8, 57, 100, 1); err == nil {
-		t.Error("missing -trace accepted")
+	cases := [][]string{
+		{"eval", "-kind", "membership"},                  // missing -trace
+		{"eval", "-kind", "bogus", "-trace", path},       // unknown kind
+		{"eval", "-kind", "association", "-trace", path}, // missing -trace2
+		{"eval", "-kind", "tshift", "-trace", path},      // kind outside eval
+		{"eval", "-kind", "membership", "-trace", filepath.Join(dir, "missing.bin")},
+		{"eval", "-kind", "membership", "-trace", path, "-m", "-5"},                  // constructor error surfaces
+		{"eval", "-kind", "association", "-trace", path, "-trace2", path, "-c", "5"}, // C on association
+		{"eval", "-kind", "membership", "-trace", path, "-unsafe"},                   // option outside kind
+		{"bogus-subcommand"},
+		{"dump", "-kind", "membership", "-trace", path}, // missing -out
+		{"load"},                    // missing -in
+		{"plan", "-kind", "tshift"}, // kind outside plan
 	}
-	if err := run("bogus", path, "", 0, 8, 57, 100, 1); err == nil {
-		t.Error("unknown mode accepted")
-	}
-	if err := run("assoc", path, "", 0, 8, 57, 100, 1); err == nil {
-		t.Error("assoc without -trace2 accepted")
-	}
-	if err := run("member", filepath.Join(dir, "missing.bin"), "", 0, 8, 57, 100, 1); err == nil {
-		t.Error("missing trace file accepted")
-	}
-	// Invalid geometry must surface the constructor error.
-	if err := run("member", path, "", -5, 8, 57, 100, 1); err == nil {
-		t.Error("negative m accepted")
-	}
-}
-
-func TestRunMultCapsCounts(t *testing.T) {
-	// Trace counts above c must be clamped, not rejected.
-	dir := t.TempDir()
-	path := filepath.Join(dir, "t.bin")
-	writeTrace(t, path, 500, 57, 6)
-	if err := run("mult", path, "", 0, 6, 10, 0, 1); err != nil {
-		t.Fatalf("clamping failed: %v", err)
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%q) succeeded, want error", strings.Join(args, " "))
+		}
 	}
 }
 
-func TestRunPlan(t *testing.T) {
-	if err := runPlan("member", 100000, 57, 0.001); err != nil {
-		t.Fatal(err)
+func TestPlan(t *testing.T) {
+	for _, args := range [][]string{
+		{"plan", "-kind", "membership", "-n", "100000", "-target", "0.001"},
+		{"plan", "-kind", "association", "-n", "100000", "-target", "0.99"},
+		{"plan", "-kind", "multiplicity", "-n", "100000", "-c", "57", "-target", "0.95"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%q): %v", strings.Join(args, " "), err)
+		}
 	}
-	if err := runPlan("assoc", 100000, 57, 0.99); err != nil {
-		t.Fatal(err)
-	}
-	if err := runPlan("mult", 100000, 57, 0.95); err != nil {
-		t.Fatal(err)
-	}
-	if err := runPlan("bogus", 100, 57, 0.5); err == nil {
-		t.Error("unknown plan kind accepted")
-	}
-	if err := runPlan("member", 0, 57, 0.5); err == nil {
+	if err := run([]string{"plan", "-kind", "membership", "-n", "0"}); err == nil {
 		t.Error("invalid n accepted")
+	}
+}
+
+// TestDumpLoadRoundTrip ships a filter through the envelope and reads
+// it back without naming the kind.
+func TestDumpLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.bin")
+	writeTrace(t, tr, 2000, 57, 7)
+
+	for _, kind := range []string{"membership", "counting-membership", "tshift", "multiplicity", "scm-sketch", "sharded-membership"} {
+		t.Run(kind, func(t *testing.T) {
+			out := filepath.Join(dir, kind+".shbf")
+			args := []string{"dump", "-kind", kind, "-trace", tr, "-out", out, "-m", "40000", "-k", "8"}
+			switch kind {
+			case "tshift":
+				args = append(args, "-t", "3")
+			case "scm-sketch":
+				args = append(args, "-m", "4096", "-k", "4")
+			case "sharded-membership":
+				args = append(args, "-shards", "4")
+			}
+			if err := run(args); err != nil {
+				t.Fatalf("dump: %v", err)
+			}
+			if err := run([]string{"load", "-in", out, "-trace", tr}); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+		})
+	}
+
+	if err := run([]string{"load", "-in", tr}); err == nil {
+		t.Error("loading a non-envelope file succeeded")
+	}
+}
+
+// TestDumpPreservesMultiplicityCounts: dumping a counting or sharded
+// multiplicity filter must encode each flow's trace count, not one
+// insert per flow.
+func TestDumpPreservesMultiplicityCounts(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.bin")
+	writeTrace(t, tr, 300, 9, 11)
+	flows, err := loadTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []string{"multiplicity", "counting-multiplicity", "sharded-multiplicity"} {
+		t.Run(kind, func(t *testing.T) {
+			out := filepath.Join(dir, kind+".shbf")
+			args := []string{"dump", "-kind", kind, "-trace", tr, "-out", out,
+				"-m", "100000", "-k", "4", "-c", "9"}
+			if kind == "sharded-multiplicity" {
+				args = append(args, "-shards", "2")
+			}
+			if err := run(args); err != nil {
+				t.Fatalf("dump: %v", err)
+			}
+			r, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			f, err := shbf.Load(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter := f.(shbf.Counter)
+			for _, fl := range flows {
+				if got := counter.Count(fl.ID[:]); got < fl.Count {
+					t.Fatalf("flow count %d underestimated as %d (counts dropped)", fl.Count, got)
+				}
+			}
+		})
 	}
 }

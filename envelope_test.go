@@ -1,0 +1,263 @@
+package shbf_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shbf"
+)
+
+// populatedFilters builds one filter per Kind, loaded with data, plus a
+// query function that fingerprints the filter's answers over a probe
+// set — so an envelope round-trip can be checked for identical query
+// results, not just identical geometry.
+func populatedFilters(t *testing.T) []struct {
+	f     shbf.Filter
+	query func(shbf.Filter) string
+} {
+	t.Helper()
+	keys := make([][]byte, 400)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("flow-%04d", i))
+	}
+	members := keys[:200]
+
+	fingerprint := func(f shbf.Filter) string {
+		var buf bytes.Buffer
+		switch q := f.(type) {
+		case shbf.Set:
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%v,", q.Contains(e))
+			}
+		case shbf.Counter:
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%d,", q.Count(e))
+			}
+		case shbf.Associator:
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%v,", q.Query(e))
+			}
+		case interface{ Contains(e []byte) bool }: // counting membership
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%v,", q.Contains(e))
+			}
+		case *shbf.MultiAssociation:
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%d,", q.Query(e).Region())
+			}
+		case *shbf.SCMSketch:
+			for _, e := range keys {
+				fmt.Fprintf(&buf, "%d,", q.Count(e))
+			}
+		default:
+			t.Fatalf("no fingerprint for %s", f.Kind())
+		}
+		return buf.String()
+	}
+
+	var out []struct {
+		f     shbf.Filter
+		query func(shbf.Filter) string
+	}
+	add := func(f shbf.Filter, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, struct {
+			f     shbf.Filter
+			query func(shbf.Filter) string
+		}{f, fingerprint})
+	}
+
+	m, err := shbf.NewMembership(8192, 6, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddAll(members)
+	add(m, nil)
+
+	cm, err := shbf.NewCountingMembership(8192, 6, shbf.WithSeed(5), shbf.WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.AddAll(members); err != nil {
+		t.Fatal(err)
+	}
+	add(cm, nil)
+
+	ts, err := shbf.NewTShift(8192, 6, 2, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AddAll(members)
+	add(ts, nil)
+
+	add(shbf.BuildAssociation(members, keys[150:300], 8192, 4, shbf.WithSeed(5)))
+
+	ca, err := shbf.NewCountingAssociation(8192, 4, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range members {
+		if err := ca.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range keys[150:300] {
+		if err := ca.InsertS2(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(ca, nil)
+
+	add(shbf.BuildMultiAssociation([][][]byte{keys[:150], keys[100:250], keys[200:350]},
+		8192, 4, shbf.WithSeed(5)))
+
+	x, err := shbf.NewMultiplicity(16384, 4, 57, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range members {
+		if err := x.AddWithCount(e, i%57+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(x, nil)
+
+	cx, err := shbf.NewCountingMultiplicity(16384, 4, 57, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cx.AddAll(members); err != nil {
+		t.Fatal(err)
+	}
+	if err := cx.AddAll(members[:50]); err != nil {
+		t.Fatal(err)
+	}
+	add(cx, nil)
+
+	scm, err := shbf.NewSCMSketch(4, 4096, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm.AddAll(members)
+	add(scm, nil)
+
+	sm, err := shbf.NewShardedMembership(1<<16, 6, 8, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.AddAll(members)
+	add(sm, nil)
+
+	sa, err := shbf.NewShardedAssociation(1<<16, 4, 8, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range members {
+		if err := sa.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(sa, nil)
+
+	sx, err := shbf.NewShardedMultiplicity(1<<17, 4, 57, 8, shbf.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.AddAll(members); err != nil {
+		t.Fatal(err)
+	}
+	add(sx, nil)
+
+	return out
+}
+
+// TestEnvelopeRoundTripEveryKind is the acceptance gate for the
+// self-describing envelope: Load(Dump(f)) reconstructs every Kind with
+// identical query results, with no out-of-band type knowledge.
+func TestEnvelopeRoundTripEveryKind(t *testing.T) {
+	for _, tc := range populatedFilters(t) {
+		t.Run(tc.f.Kind().String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := shbf.Dump(&buf, tc.f); err != nil {
+				t.Fatal(err)
+			}
+			got, err := shbf.Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind() != tc.f.Kind() {
+				t.Fatalf("loaded kind %s, want %s", got.Kind(), tc.f.Kind())
+			}
+			if got.Spec() != tc.f.Spec() {
+				t.Fatalf("loaded spec %+v, want %+v", got.Spec(), tc.f.Spec())
+			}
+			if want, have := tc.query(tc.f), tc.query(got); want != have {
+				t.Fatal("query results changed across Dump/Load")
+			}
+		})
+	}
+}
+
+// TestEnvelopeConcatenation: envelopes are self-delimiting, so Decode
+// walks a concatenated stream (the daemon snapshot format).
+func TestEnvelopeConcatenation(t *testing.T) {
+	fs := populatedFilters(t)
+	var buf bytes.Buffer
+	for _, tc := range fs {
+		if err := shbf.Dump(&buf, tc.f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := buf.Bytes()
+	for i, tc := range fs {
+		var (
+			f   shbf.Filter
+			err error
+		)
+		f, rest, err = shbf.Decode(rest)
+		if err != nil {
+			t.Fatalf("decoding envelope %d: %v", i, err)
+		}
+		if f.Kind() != tc.f.Kind() {
+			t.Fatalf("envelope %d decoded as %s, want %s", i, f.Kind(), tc.f.Kind())
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+// TestEnvelopeRejectsGarbage: corrupt headers fail cleanly.
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("ShB"),
+		[]byte("NOPE\x01\x01\x00"),
+		[]byte("ShBE\x63\x01\x00"), // bad version
+		[]byte("ShBE\x01\x7f\x00"), // unknown kind
+		[]byte("ShBE\x01\x01\xff\xff\xff\xff\xff\xff\x01"), // huge length
+		[]byte("ShBE\x01\x01\x10abc"),                      // truncated payload
+	}
+	for i, data := range cases {
+		if _, _, err := shbf.Decode(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	if _, err := shbf.Load(bytes.NewReader(append([]byte("ShBE"), 1, 0))); err == nil {
+		t.Error("truncated load accepted")
+	}
+	// Load validates the header and declared length before buffering
+	// the payload: an unknown kind and an implausible length are both
+	// rejected without reading further.
+	if _, err := shbf.Load(bytes.NewReader([]byte("ShBE\x01\x7f\x01x"))); err == nil {
+		t.Error("unknown kind accepted by Load")
+	}
+	huge := append([]byte("ShBE\x01\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := shbf.Load(bytes.NewReader(huge)); err == nil {
+		t.Error("implausible declared length accepted by Load")
+	}
+}

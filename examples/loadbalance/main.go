@@ -53,8 +53,11 @@ func main() {
 	requests := append(append(append([][]byte{}, server1Only...), server2Only...), popular...)
 	rng.Shuffle(len(requests), func(i, j int) { requests[i], requests[j] = requests[j], requests[i] })
 
-	for _, item := range requests {
-		switch r := gw.Query(item); {
+	// Classify the whole stream with one batch call (the gateway's
+	// request loop would hand each arriving batch to QueryAll).
+	regions := gw.QueryAll(nil, requests)
+	for _, r := range regions {
+		switch {
 		case r == shbf.RegionBoth:
 			either++ // replicated: pick the less-loaded server
 		case r.InS1():

@@ -1,12 +1,15 @@
 // Capacity planning and filter shipping: size filters from accuracy
-// targets using the paper's optima, build them, and ship them as bytes
-// to the query tier — the paper's build-offline / query-on-chip
-// deployment (Section 3.3).
+// targets using the paper's optima, build them from the resulting
+// Specs with shbf.New, and ship them as self-describing envelopes to
+// the query tier — the paper's build-offline / query-on-chip
+// deployment (Section 3.3). The query tier loads the envelope without
+// being told what kind of filter is inside.
 //
 // Run with: go run ./examples/planner
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,11 +48,14 @@ func main() {
 	fmt.Printf("  m = %d bits (%.1f bits/element), k = %d, predicted CR %.5f\n\n",
 		xPlan.M, xPlan.BitsPerElem, xPlan.K, xPlan.PredictedCR)
 
-	// Build the membership filter from the plan and ship it.
-	filter, err := shbf.NewMembership(mPlan.M, mPlan.K, shbf.WithSeed(2016))
+	// Build the membership filter straight from the plan's Spec.
+	spec := mPlan.Spec()
+	spec.Seed = 2016
+	built, err := shbf.New(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	filter := built.(*shbf.Membership)
 	rng := rand.New(rand.NewSource(1))
 	sample := make([][]byte, 0, 1000)
 	for i := 0; i < n; i++ {
@@ -62,22 +68,27 @@ func main() {
 		}
 	}
 
-	blob, err := filter.MarshalBinary()
-	if err != nil {
+	// Ship it as a self-describing envelope: kind and geometry travel
+	// in the bytes.
+	var wire bytes.Buffer
+	if err := shbf.Dump(&wire, filter); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("shipped filter: %d bytes on the wire (%.2f bits/element)\n",
-		len(blob), 8*float64(len(blob))/n)
+		wire.Len(), 8*float64(wire.Len())/n)
 
-	// The query tier decodes and serves.
-	var remote shbf.Membership
-	if err := remote.UnmarshalBinary(blob); err != nil {
+	// The query tier loads the envelope — no kind flag, the envelope
+	// says what it is — and serves batch queries.
+	loaded, err := shbf.Load(&wire)
+	if err != nil {
 		log.Fatal(err)
 	}
-	for _, e := range sample {
-		if !remote.Contains(e) {
-			log.Fatal("shipped filter lost an element")
+	remote := loaded.(shbf.Set)
+	for i, ok := range remote.ContainsAll(nil, sample) {
+		if !ok {
+			log.Fatalf("shipped filter lost element %d", i)
 		}
 	}
-	fmt.Printf("query tier verified %d sampled members after decode\n", len(sample))
+	fmt.Printf("query tier verified %d sampled members after decode (kind %s)\n",
+		len(sample), loaded.Kind())
 }

@@ -1,8 +1,10 @@
 // Quickstart: the smallest useful ShBF program.
 //
-// Builds a membership filter (ShBF_M) sized for 100k elements, inserts
-// flow identifiers, queries members and non-members, and compares the
-// measured false-positive rate with the paper's Equation 1 prediction.
+// Builds a membership filter (ShBF_M) sized for 100k elements through
+// the unified Spec API — one shbf.New call constructs any filter kind
+// from its Spec — inserts flow identifiers, queries members and
+// non-members, and compares the measured false-positive rate with the
+// paper's Equation 1 prediction.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -26,10 +28,14 @@ func main() {
 	nf := float64(n)
 	m := int(nf * k / math.Ln2)
 
-	filter, err := shbf.NewMembership(m, k, shbf.WithSeed(42))
+	// Spec-driven construction: name the kind and geometry, get back a
+	// shbf.Filter, and assert the query surface you need (shbf.Set for
+	// membership). shbf.NewMembership is the typed shorthand.
+	built, err := shbf.New(shbf.Spec{Kind: shbf.KindMembership, M: m, K: k, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
+	filter := built.(*shbf.Membership)
 
 	// Insert n synthetic 13-byte flow IDs (source/destination/ports/
 	// protocol — the element format of the paper's evaluation).

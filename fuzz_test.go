@@ -1,0 +1,71 @@
+package shbf_test
+
+import (
+	"testing"
+
+	"shbf"
+)
+
+// FuzzEnvelopeDecode feeds arbitrary bytes to the self-describing
+// envelope decoder: no panics on garbage, and anything accepted must
+// survive a Dump/Decode round trip with identical kind and spec. The
+// corpus is seeded with a real envelope of every Kind.
+func FuzzEnvelopeDecode(f *testing.F) {
+	seedSpecs := []shbf.Spec{
+		{Kind: shbf.KindMembership, M: 512, K: 4},
+		{Kind: shbf.KindCountingMembership, M: 512, K: 4},
+		{Kind: shbf.KindTShift, M: 512, K: 6, T: 2},
+		{Kind: shbf.KindAssociation, M: 512, K: 3},
+		{Kind: shbf.KindCountingAssociation, M: 512, K: 3},
+		{Kind: shbf.KindMultiAssociation, M: 512, K: 3, G: 2},
+		{Kind: shbf.KindMultiplicity, M: 512, K: 3, C: 9},
+		{Kind: shbf.KindCountingMultiplicity, M: 512, K: 3, C: 9},
+		{Kind: shbf.KindSCMSketch, M: 64, K: 4},
+		{Kind: shbf.KindShardedMembership, M: 1024, K: 4, Shards: 2},
+		{Kind: shbf.KindShardedAssociation, M: 1024, K: 3, Shards: 2},
+		{Kind: shbf.KindShardedMultiplicity, M: 1024, K: 3, C: 9, Shards: 2},
+	}
+	for _, spec := range seedSpecs {
+		filt, err := shbf.New(spec)
+		if err != nil {
+			f.Fatalf("seeding %s: %v", spec.Kind, err)
+		}
+		if a, ok := filt.(shbf.Adder); ok {
+			if err := a.AddAll([][]byte{[]byte("seed-1"), []byte("seed-2")}); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := shbf.AppendDump(nil, filt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ShBE\x01\x01\x00"))
+	f.Add([]byte("ShBE\x01\xff\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		filt, _, err := shbf.Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := shbf.AppendDump(nil, filt)
+		if err != nil {
+			t.Fatalf("re-dump of accepted filter failed: %v", err)
+		}
+		again, rest, err := shbf.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes after re-decode", len(rest))
+		}
+		if again.Kind() != filt.Kind() {
+			t.Fatalf("round trip changed kind: %s vs %s", again.Kind(), filt.Kind())
+		}
+		if again.Spec() != filt.Spec() {
+			t.Fatalf("round trip changed spec: %+v vs %+v", again.Spec(), filt.Spec())
+		}
+	})
+}

@@ -104,9 +104,9 @@ type Association struct {
 // and T2 deduplicate, Section 4.1). The sets need not be disjoint —
 // handling overlap is the point of the scheme.
 func BuildAssociation(s1, s2 [][]byte, m, k int, opts ...Option) (*Association, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindAssociation, opts)
+	if err != nil {
+		return nil, err
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)

@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// This file adds the batch-first query surface: every hot-path
+// operation also exists in a slice form so serving layers hand the
+// filter a whole request batch at once. On the monolithic core types
+// the batch forms are simple loops (kept so every kind presents the
+// same surface); the real win is in internal/sharded, whose batch
+// implementations group keys by shard and take each shard lock once
+// per batch instead of once per key.
+//
+// All ContainsAll/CountAll/QueryAll variants share the dst convention
+// of append-style APIs: the result slice is dst resized to len(keys)
+// (reallocated only when dst is too small), so steady-state serving
+// loops stay allocation-free.
+
+// resizeSlice resizes dst to n, reusing its backing array when
+// possible.
+func resizeSlice[T any](dst []T, n int) []T {
+	if cap(dst) < n {
+		return make([]T, n)
+	}
+	return dst[:n]
+}
+
+// AddAll inserts every key. The error is always nil for the static
+// membership filter; the signature matches the batch interface shared
+// with the counting kinds, whose inserts can fail.
+func (f *Membership) AddAll(keys [][]byte) error {
+	for _, e := range keys {
+		f.Add(e)
+	}
+	return nil
+}
+
+// ContainsAll queries every key, writing answers into dst (resized to
+// len(keys)) and returning it.
+func (f *Membership) ContainsAll(dst []bool, keys [][]byte) []bool {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = f.Contains(e)
+	}
+	return dst
+}
+
+// AddAll inserts every key.
+func (f *TShift) AddAll(keys [][]byte) error {
+	for _, e := range keys {
+		f.Add(e)
+	}
+	return nil
+}
+
+// ContainsAll queries every key, writing answers into dst (resized to
+// len(keys)) and returning it.
+func (f *TShift) ContainsAll(dst []bool, keys [][]byte) []bool {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = f.Contains(e)
+	}
+	return dst
+}
+
+// AddAll inserts every key, stopping at the first failed insert.
+// Earlier keys stay inserted; the error reports the failing index.
+func (c *CountingMembership) AddAll(keys [][]byte) error {
+	for i, e := range keys {
+		if err := c.Insert(e); err != nil {
+			return fmt.Errorf("key %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ContainsAll queries every key, writing answers into dst (resized to
+// len(keys)) and returning it.
+func (c *CountingMembership) ContainsAll(dst []bool, keys [][]byte) []bool {
+	return c.filter.ContainsAll(dst, keys)
+}
+
+// CountAll queries every key's multiplicity, writing answers into dst
+// (resized to len(keys)) and returning it.
+func (f *Multiplicity) CountAll(dst []int, keys [][]byte) []int {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = f.Count(e)
+	}
+	return dst
+}
+
+// AddAll increments every key's multiplicity by one, stopping at the
+// first failed insert. Earlier keys stay applied; the error reports
+// the failing index.
+func (f *CountingMultiplicity) AddAll(keys [][]byte) error {
+	for i, e := range keys {
+		if err := f.Insert(e); err != nil {
+			return fmt.Errorf("key %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CountAll queries every key's multiplicity, writing answers into dst
+// (resized to len(keys)) and returning it.
+func (f *CountingMultiplicity) CountAll(dst []int, keys [][]byte) []int {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = f.Count(e)
+	}
+	return dst
+}
+
+// QueryAll classifies every key, writing candidate-region masks into
+// dst (resized to len(keys)) and returning it.
+func (a *Association) QueryAll(dst []Region, keys [][]byte) []Region {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = a.Query(e)
+	}
+	return dst
+}
+
+// QueryAll classifies every key, writing candidate-region masks into
+// dst (resized to len(keys)) and returning it.
+func (a *CountingAssociation) QueryAll(dst []Region, keys [][]byte) []Region {
+	dst = resizeSlice(dst, len(keys))
+	for i, e := range keys {
+		dst[i] = a.Query(e)
+	}
+	return dst
+}
+
+// AddAll increments every key's count by one.
+func (s *SCMSketch) AddAll(keys [][]byte) error {
+	for _, e := range keys {
+		s.Insert(e)
+	}
+	return nil
+}

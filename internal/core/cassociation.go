@@ -37,9 +37,9 @@ type CountingAssociation struct {
 
 // NewCountingAssociation returns an empty updatable association filter.
 func NewCountingAssociation(m, k int, opts ...Option) (*CountingAssociation, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindCountingAssociation, opts)
+	if err != nil {
+		return nil, err
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)

@@ -22,11 +22,11 @@ type CountingMembership struct {
 // w̄) semantics as NewMembership. WithCounterWidth controls the counter
 // size (default 4 bits, Section 3.3).
 func NewCountingMembership(m, k int, opts ...Option) (*CountingMembership, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindCountingMembership, opts)
+	if err != nil {
+		return nil, err
 	}
-	inner, err := NewMembership(m, k, opts...)
+	inner, err := newMembership(m, k, cfg)
 	if err != nil {
 		return nil, err
 	}

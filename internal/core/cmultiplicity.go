@@ -43,9 +43,9 @@ type CountingMultiplicity struct {
 
 // NewCountingMultiplicity returns an empty CShBF_X for counts in [1, c].
 func NewCountingMultiplicity(m, k, c int, opts ...Option) (*CountingMultiplicity, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindCountingMultiplicity, opts)
+	if err != nil {
+		return nil, err
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)

@@ -41,6 +41,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"shbf/internal/memmodel"
 )
@@ -82,56 +83,156 @@ type config struct {
 	unsafeUpdate bool
 }
 
-func defaultConfig() config {
-	return config{
+func defaultConfig(kind Kind) config {
+	cfg := config{
 		seed:         0x5b8f_0000,
 		maxOffset:    DefaultMaxOffset,
 		counterWidth: 4, // "in most applications, 4 bits for a counter are enough" (§3.3)
 	}
+	if kind == KindSCMSketch {
+		cfg.counterWidth = 32 // CM-sketch counters hold full counts (§5.5)
+	}
+	return cfg
 }
 
-// Option customizes filter construction.
-type Option func(*config)
+// optID names an option for the per-kind applicability check.
+type optID uint8
+
+const (
+	optSeed optID = iota
+	optMaxOffset
+	optAccessCounter
+	optCounterWidth
+	optUnsafeUpdates
+)
+
+func (id optID) String() string {
+	switch id {
+	case optSeed:
+		return "WithSeed"
+	case optMaxOffset:
+		return "WithMaxOffset"
+	case optAccessCounter:
+		return "WithAccessCounter"
+	case optCounterWidth:
+		return "WithCounterWidth"
+	case optUnsafeUpdates:
+		return "WithUnsafeUpdates"
+	}
+	return "unknown option"
+}
+
+// allowed reports whether the option applies to the given kind — i.e.
+// whether the kind's constructor actually consumes the config field the
+// option sets. Options outside the allowlist are construction errors,
+// never silent no-ops: WithUnsafeUpdates on a membership filter or
+// WithCounterWidth on a plain (non-counting) kind would otherwise give
+// the caller a false sense of having configured something.
+func (id optID) allowed(kind Kind) bool {
+	switch id {
+	case optSeed, optAccessCounter:
+		return true
+	case optMaxOffset:
+		// The multiplicity kinds derive their window from c, and the
+		// SCM sketch from the counter width; w̄ is not theirs to set.
+		switch kind {
+		case KindMultiplicity, KindCountingMultiplicity, KindShardedMultiplicity, KindSCMSketch:
+			return false
+		}
+		return true
+	case optCounterWidth:
+		switch kind {
+		case KindCountingMembership, KindCountingAssociation, KindCountingMultiplicity,
+			KindSCMSketch, KindShardedAssociation, KindShardedMultiplicity:
+			return true
+		}
+		return false
+	case optUnsafeUpdates:
+		return kind == KindCountingMultiplicity || kind == KindShardedMultiplicity
+	}
+	return false
+}
+
+// Option customizes filter construction. Each option applies only to
+// the kinds whose constructor consumes it; misapplied options are
+// rejected with an error naming the option and the kind.
+type Option struct {
+	id    optID
+	apply func(*config)
+}
+
+// CheckOptions validates opts against kind's allowlist without
+// building a config. The sharded wrappers call it with their own kind
+// before forwarding options to the per-shard constructors, so a
+// misapplied option is reported against the kind the caller actually
+// asked for, not the inner shard kind.
+func CheckOptions(kind Kind, opts ...Option) error {
+	for _, o := range opts {
+		if !o.id.allowed(kind) {
+			return fmt.Errorf("core: option %s does not apply to %s filters", o.id, kind)
+		}
+	}
+	return nil
+}
+
+// buildConfig resolves opts against kind's defaults, rejecting options
+// that do not apply to kind.
+func buildConfig(kind Kind, opts []Option) (config, error) {
+	cfg := defaultConfig(kind)
+	if err := CheckOptions(kind, opts...); err != nil {
+		return cfg, err
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg, nil
+}
 
 // ResolveSeed returns the hash seed the given options select — the
 // package default when no WithSeed option is present. Wrappers that
 // derive per-instance seeds (internal/sharded) use it to mix the
 // caller's seed into their derivation.
 func ResolveSeed(opts ...Option) uint64 {
-	cfg := defaultConfig()
+	seed := defaultConfig(KindMembership).seed
 	for _, o := range opts {
-		o(&cfg)
+		if o.id == optSeed {
+			var cfg config
+			o.apply(&cfg)
+			seed = cfg.seed
+		}
 	}
-	return cfg.seed
+	return seed
 }
 
 // WithSeed sets the seed from which the filter derives its independent
 // hash functions. Filters built with the same parameters and seed are
 // identical; experiments vary the seed across trials.
 func WithSeed(seed uint64) Option {
-	return func(c *config) { c.seed = seed }
+	return Option{id: optSeed, apply: func(c *config) { c.seed = seed }}
 }
 
 // WithMaxOffset overrides the maximum offset value w̄. The paper uses
 // w̄ = 25 on 32-bit and w̄ = 57 on 64-bit architectures and shows w̄ ≥ 20
 // already matches the Bloom-filter FPR (Figure 3). Values are clamped by
 // validation in each constructor; the window read stays a single memory
-// access only for w̄ ≤ w−7.
+// access only for w̄ ≤ w−7. Applies to the offset-windowed kinds only
+// (not multiplicity, whose window is c, nor the SCM sketch).
 func WithMaxOffset(wbar int) Option {
-	return func(c *config) { c.maxOffset = wbar }
+	return Option{id: optMaxOffset, apply: func(c *config) { c.maxOffset = wbar }}
 }
 
 // WithAccessCounter attaches a memory-access counter charged by the
 // filter's bit array per the Section 3.1 model. Used to reproduce the
 // "# memory accesses per query" figures.
 func WithAccessCounter(mc *memmodel.Counter) Option {
-	return func(c *config) { c.counter = mc }
+	return Option{id: optAccessCounter, apply: func(c *config) { c.counter = mc }}
 }
 
 // WithCounterWidth sets the bit width of the counters in counting
-// variants (default 4, per Section 3.3).
+// variants (default 4, per Section 3.3) and the SCM sketch (default
+// 32). It does not apply to kinds without counters.
 func WithCounterWidth(bits uint) Option {
-	return func(c *config) { c.counterWidth = bits }
+	return Option{id: optCounterWidth, apply: func(c *config) { c.counterWidth = bits }}
 }
 
 // WithUnsafeUpdates selects the Section 5.3.1 update mode for
@@ -139,7 +240,7 @@ func WithCounterWidth(bits uint) Option {
 // the bit array B instead of a backing hash table. This saves the
 // off-chip table at the cost of possible false negatives, exactly as the
 // paper describes; the default is the no-false-negative mode of Section
-// 5.3.2.
+// 5.3.2. It applies only to the counting multiplicity kinds.
 func WithUnsafeUpdates() Option {
-	return func(c *config) { c.unsafeUpdate = true }
+	return Option{id: optUnsafeUpdates, apply: func(c *config) { c.unsafeUpdate = true }}
 }

@@ -15,6 +15,15 @@ func FuzzMembershipUnmarshal(f *testing.F) {
 	f.Add(blob)
 	f.Add([]byte{})
 	f.Add([]byte("ShBF\x01\x01"))
+	// Other kinds' serializations seed the wrong-kind rejection path.
+	if ts, err := NewTShift(1000, 6, 2); err == nil {
+		b, _ := ts.MarshalBinary()
+		f.Add(b)
+	}
+	if x, err := NewMultiplicity(1000, 4, 57); err == nil {
+		b, _ := x.MarshalBinary()
+		f.Add(b)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Membership
 		if err := m.UnmarshalBinary(data); err != nil {
@@ -29,6 +38,42 @@ func FuzzMembershipUnmarshal(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if m2.M() != m.M() || m2.K() != m.K() || m2.N() != m.N() {
+			t.Fatal("round trip changed parameters")
+		}
+	})
+}
+
+// FuzzMultiAssociationUnmarshal feeds arbitrary bytes to the newest
+// decoder: no panics, and anything accepted must re-encode to an
+// equivalent filter.
+func FuzzMultiAssociationUnmarshal(f *testing.F) {
+	sets := [][][]byte{
+		{[]byte("a"), []byte("b")},
+		{[]byte("b"), []byte("c")},
+		{[]byte("d")},
+	}
+	valid, err := BuildMultiAssociation(sets, 1000, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, _ := valid.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("ShBF\x01\x09"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a MultiAssociation
+		if err := a.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted filter failed: %v", err)
+		}
+		var a2 MultiAssociation
+		if err := a2.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if a2.M() != a.M() || a2.K() != a.K() || a2.G() != a.G() {
 			t.Fatal("round trip changed parameters")
 		}
 	})

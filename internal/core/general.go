@@ -40,9 +40,9 @@ type TShift struct {
 // and t ≤ w̄−1 so each segment holds at least one bit. NewTShift with
 // t = 1 is behaviourally the ShBF_M construction.
 func NewTShift(m, k, t int, opts ...Option) (*TShift, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindTShift, opts)
+	if err != nil {
+		return nil, err
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)

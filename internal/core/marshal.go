@@ -54,6 +54,7 @@ const (
 	kindMultiplicity
 	kindCountingMultiplicity
 	kindSCM
+	kindMultiAssociation
 )
 
 // header appends the common preamble.
@@ -438,6 +439,68 @@ func (f *CountingMultiplicity) UnmarshalBinary(data []byte) error {
 	}
 	fresh.bits, fresh.counts = bits, counts
 	*f = *fresh
+	return nil
+}
+
+// --- MultiAssociation -----------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *MultiAssociation) MarshalBinary() ([]byte, error) {
+	buf := header(nil, kindMultiAssociation)
+	buf = uvarints(buf, uint64(a.m), uint64(a.k), uint64(a.g), uint64(a.wbar), a.seed)
+	for _, sz := range a.sizes {
+		buf = uvarints(buf, uint64(sz))
+	}
+	return a.bits.AppendBinary(buf), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *MultiAssociation) UnmarshalBinary(data []byte) error {
+	buf, err := checkHeader(data, kindMultiAssociation)
+	if err != nil {
+		return err
+	}
+	var m, k, g, wbar, seed uint64
+	if buf, err = readUvarints(buf, &m, &k, &g, &wbar, &seed); err != nil {
+		return err
+	}
+	if err := checkGeometry(m, k, 0); err != nil {
+		return err
+	}
+	if g < 2 || g > MaxMultiAssociationSets {
+		return fmt.Errorf("core: implausible set count g = %d", g)
+	}
+	sizes := make([]uint64, g)
+	for i := range sizes {
+		if buf, err = readUvarints(buf, &sizes[i]); err != nil {
+			return err
+		}
+		// Each size is bounded individually; summing first could wrap
+		// uint64 and sneak implausible sizes past the cap.
+		if err := checkGeometry(m, k, sizes[i]); err != nil {
+			return err
+		}
+	}
+	fresh, err := BuildMultiAssociation(make([][][]byte, g), int(m), int(k),
+		WithMaxOffset(int(wbar)), WithSeed(seed))
+	if err != nil {
+		return fmt.Errorf("core: decoding multi-association filter: %w", err)
+	}
+	bits, rest, err := bitvec.DecodeVector(buf)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %d trailing bytes", len(rest))
+	}
+	if bits.Len() != fresh.bits.Len() {
+		return fmt.Errorf("core: bit array length mismatch")
+	}
+	fresh.bits = bits
+	for i, sz := range sizes {
+		fresh.sizes[i] = int(sz)
+	}
+	*a = *fresh
 	return nil
 }
 

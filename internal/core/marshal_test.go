@@ -316,6 +316,28 @@ func TestUnmarshalRejectsCorruptInput(t *testing.T) {
 	}
 }
 
+// TestMultiAssociationRejectsOverflowingSizes: per-set sizes whose sum
+// wraps uint64 must not sneak past the plausibility cap (each size is
+// bounded individually).
+func TestMultiAssociationRejectsOverflowingSizes(t *testing.T) {
+	// Header + geometry for g = 2, then two sizes of 1<<63 whose sum
+	// wraps to 0.
+	buf := header(nil, kindMultiAssociation)
+	buf = uvarints(buf, 1000, 4, 2, uint64(DefaultMaxOffset), 0x5b8f_0000)
+	buf = uvarints(buf, 1<<63, 1<<63)
+	var a MultiAssociation
+	if err := a.UnmarshalBinary(buf); err == nil {
+		t.Fatal("accepted sizes that wrap uint64")
+	}
+	// A single huge size is likewise rejected.
+	buf = header(nil, kindMultiAssociation)
+	buf = uvarints(buf, 1000, 4, 2, uint64(DefaultMaxOffset), 0x5b8f_0000)
+	buf = uvarints(buf, maxDecodeN+1, 0)
+	if err := a.UnmarshalBinary(buf); err == nil {
+		t.Fatal("accepted implausible per-set size")
+	}
+}
+
 func TestMarshalDeterministic(t *testing.T) {
 	f := mustCountingMult(t, 2000, 4, 10, WithCounterWidth(8))
 	for _, e := range genElements(50, 9) {

@@ -38,10 +38,16 @@ type Membership struct {
 // The array is extended by w̄−1 slack bits so shifted positions never
 // wrap (Section 1.2: "we extend the number of bits in ShBF to m+c").
 func NewMembership(m, k int, opts ...Option) (*Membership, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindMembership, opts)
+	if err != nil {
+		return nil, err
 	}
+	return newMembership(m, k, cfg)
+}
+
+// newMembership builds from a resolved config (shared with the
+// counting wrapper, which validates options against its own kind).
+func newMembership(m, k int, cfg config) (*Membership, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)
 	}

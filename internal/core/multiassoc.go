@@ -46,9 +46,9 @@ const MaxMultiAssociationSets = 5
 // BuildMultiAssociation constructs the filter over g = len(sets) sets.
 // Duplicates within a set are ignored; sets may overlap.
 func BuildMultiAssociation(sets [][][]byte, m, k int, opts ...Option) (*MultiAssociation, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindMultiAssociation, opts)
+	if err != nil {
+		return nil, err
 	}
 	g := len(sets)
 	if g < 2 || g > MaxMultiAssociationSets {

@@ -32,9 +32,9 @@ type Multiplicity struct {
 // single access; any c in [1, 64] is supported here (c > w would cost
 // ⌈c/w⌉ accesses per window, which the access accounting reflects).
 func NewMultiplicity(m, k, c int, opts ...Option) (*Multiplicity, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindMultiplicity, opts)
+	if err != nil {
+		return nil, err
 	}
 	if m <= 0 {
 		return nil, fmt.Errorf("core: m = %d must be positive", m)

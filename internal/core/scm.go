@@ -34,10 +34,9 @@ type SCMSketch struct {
 // WithCounterWidth); the offset bound is derived as max(2, (w−7)/width)
 // so a row's counter pair is one memory access, per Section 5.5.
 func NewSCMSketch(d, r int, opts ...Option) (*SCMSketch, error) {
-	cfg := defaultConfig()
-	cfg.counterWidth = 32
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := buildConfig(KindSCMSketch, opts)
+	if err != nil {
+		return nil, err
 	}
 	if d < 2 || d%2 != 0 {
 		return nil, fmt.Errorf("core: depth d = %d must be even and ≥ 2", d)

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the spec-driven construction surface shared by the
+// whole module: the Kind enumeration naming every filter the framework
+// instantiates, the Spec struct capturing a filter's full construction
+// geometry, and the Stats snapshot every filter can report. The root
+// shbf package aliases all three and dispatches shbf.New(Spec) onto the
+// per-kind constructors; internal/sharded implements the same
+// Kind/Spec/Stats methods for its lock-striped wrappers.
+
+// Kind identifies one instantiation of the shifting Bloom filter
+// framework. The zero value is invalid.
+type Kind uint8
+
+// The framework's filter kinds. The first nine are the single-threaded
+// core encodings; the Sharded kinds are their lock-striped wrappers
+// from internal/sharded.
+const (
+	KindInvalid Kind = iota
+	KindMembership
+	KindCountingMembership
+	KindTShift
+	KindAssociation
+	KindCountingAssociation
+	KindMultiAssociation
+	KindMultiplicity
+	KindCountingMultiplicity
+	KindSCMSketch
+	KindShardedMembership
+	KindShardedAssociation
+	KindShardedMultiplicity
+
+	kindMax // one past the last valid kind
+)
+
+var kindNames = [...]string{
+	KindInvalid:              "invalid",
+	KindMembership:           "membership",
+	KindCountingMembership:   "counting-membership",
+	KindTShift:               "tshift",
+	KindAssociation:          "association",
+	KindCountingAssociation:  "counting-association",
+	KindMultiAssociation:     "multi-association",
+	KindMultiplicity:         "multiplicity",
+	KindCountingMultiplicity: "counting-multiplicity",
+	KindSCMSketch:            "scm-sketch",
+	KindShardedMembership:    "sharded-membership",
+	KindShardedAssociation:   "sharded-association",
+	KindShardedMultiplicity:  "sharded-multiplicity",
+}
+
+// String returns the kind's canonical name, the form ParseKind accepts.
+func (k Kind) String() string {
+	if k == 0 || k >= kindMax {
+		return fmt.Sprintf("invalid-kind-%d", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// Valid reports whether k names a constructible filter kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindMax }
+
+// Sharded reports whether k is one of the lock-striped wrapper kinds.
+func (k Kind) Sharded() bool {
+	return k == KindShardedMembership || k == KindShardedAssociation || k == KindShardedMultiplicity
+}
+
+// Multiplicity reports whether k is one of the multiplicity kinds —
+// the kinds whose Spec carries the maximum count C.
+func (k Kind) Multiplicity() bool {
+	return k == KindMultiplicity || k == KindCountingMultiplicity || k == KindShardedMultiplicity
+}
+
+// ParseKind maps a canonical kind name (the String form, e.g.
+// "counting-multiplicity") to its Kind.
+func ParseKind(name string) (Kind, error) {
+	for k := KindMembership; k < kindMax; k++ {
+		if kindNames[k] == name {
+			return k, nil
+		}
+	}
+	return KindInvalid, fmt.Errorf("core: unknown filter kind %q (want one of %s)",
+		name, strings.Join(kindNames[KindMembership:], ", "))
+}
+
+// Spec is a filter's complete construction geometry: one value that
+// names the kind and every parameter it needs, so a single constructor
+// — shbf.New — can build any filter of the framework, and any built
+// filter can report the Spec that reconstructs its empty twin.
+//
+// Field applicability follows the paper's notation. Fields that do not
+// apply to a Spec's Kind must be zero; misapplied fields are rejected
+// with an error rather than silently ignored.
+type Spec struct {
+	// Kind selects the filter instantiation.
+	Kind Kind
+
+	// M is the base array size in bits. For sharded kinds it is the
+	// total bit budget across all shards; for the SCM sketch it is r,
+	// the base counters per physical row.
+	M int
+
+	// K is the number of bit positions examined per element (even for
+	// the membership kinds). For the SCM sketch it is d, the logical
+	// depth (even; comparable to a CM sketch with d rows).
+	K int
+
+	// C is the maximum multiplicity (multiplicity kinds only; the
+	// paper uses 57).
+	C int
+
+	// T is the number of shifted offsets per hash group (tshift only;
+	// t = 1 is the ShBF_M construction).
+	T int
+
+	// G is the number of sets (multi-association only; 2 ≤ g ≤ 5).
+	G int
+
+	// Shards is the shard count for sharded kinds (rounded up to a
+	// power of two by construction).
+	Shards int
+
+	// Seed derives the filter's hash functions; equal specs build
+	// identical filters. Every value — including zero — is a valid
+	// seed and is honored exactly, so New(f.Spec()) always rebuilds
+	// f's hash functions. (The typed constructors fall back to a
+	// package default only when no WithSeed option is given.)
+	Seed uint64
+
+	// CounterWidth is the counter bit width of the counting kinds and
+	// the SCM sketch. Zero selects the default (4 bits; 32 for the
+	// SCM sketch).
+	CounterWidth uint
+
+	// MaxOffset overrides the maximum offset value w̄ for the
+	// offset-windowed kinds. Zero selects DefaultMaxOffset.
+	MaxOffset int
+
+	// UnsafeUpdates selects the paper's Section 5.3.1 update mode
+	// (counting-multiplicity kinds only).
+	UnsafeUpdates bool
+}
+
+// Options converts the Spec's option-shaped fields (seed, counter
+// width, max offset, unsafe updates) to the Option list the per-kind
+// constructors take. The seed is always emitted — zero is a valid
+// seed, not "unset" — while the other zero-valued fields contribute
+// no option, so the per-kind allowlist sees exactly what the Spec
+// set.
+func (s Spec) Options() []Option {
+	opts := []Option{WithSeed(s.Seed)}
+	if s.MaxOffset != 0 {
+		opts = append(opts, WithMaxOffset(s.MaxOffset))
+	}
+	if s.CounterWidth != 0 {
+		opts = append(opts, WithCounterWidth(s.CounterWidth))
+	}
+	if s.UnsafeUpdates {
+		opts = append(opts, WithUnsafeUpdates())
+	}
+	return opts
+}
+
+// Validate checks kind-specific structural fields (the geometry that is
+// passed positionally, not via options): C only on multiplicity kinds,
+// T only on tshift, G only on multi-association, Shards only on sharded
+// kinds. Constructors check the values themselves; Validate rejects
+// fields that would otherwise be silently ignored.
+func (s Spec) Validate() error {
+	if !s.Kind.Valid() {
+		return fmt.Errorf("core: spec has invalid kind %s", s.Kind)
+	}
+	if s.C != 0 && !s.Kind.Multiplicity() {
+		return fmt.Errorf("core: spec field C does not apply to %s filters", s.Kind)
+	}
+	if s.T != 0 && s.Kind != KindTShift {
+		return fmt.Errorf("core: spec field T does not apply to %s filters", s.Kind)
+	}
+	if s.G != 0 && s.Kind != KindMultiAssociation {
+		return fmt.Errorf("core: spec field G does not apply to %s filters", s.Kind)
+	}
+	if s.Shards != 0 && !s.Kind.Sharded() {
+		return fmt.Errorf("core: spec field Shards does not apply to %s filters", s.Kind)
+	}
+	if s.Kind.Sharded() && s.Shards < 1 {
+		return fmt.Errorf("core: %s spec needs Shards ≥ 1", s.Kind)
+	}
+	return nil
+}
+
+// Stats is the uniform occupancy snapshot every filter kind reports.
+type Stats struct {
+	// Kind is the reporting filter's kind.
+	Kind Kind
+	// N is the number of stored elements: distinct elements for the
+	// membership and multiplicity kinds, summed set cardinalities for
+	// the association kinds, and -1 when the filter tracks no exact
+	// set (the SCM sketch, unsafe counting multiplicity).
+	N int
+	// SizeBytes is the total footprint of the filter's arrays.
+	SizeBytes int
+	// FillRatio is the fraction of set bits in the query-side array
+	// (0 for the SCM sketch, which has no bit array).
+	FillRatio float64
+	// Shards is the shard count (0 for the monolithic core kinds).
+	Shards int
+}
+
+// --- per-kind Kind/Spec/Stats ---------------------------------------------
+
+// Kind returns KindMembership.
+func (f *Membership) Kind() Kind { return KindMembership }
+
+// Spec returns the construction geometry; New(f.Spec()) builds an
+// empty filter identical to f before any Add.
+func (f *Membership) Spec() Spec {
+	return Spec{Kind: KindMembership, M: f.m, K: f.k, MaxOffset: f.wbar, Seed: f.seed}
+}
+
+// Stats returns the occupancy snapshot.
+func (f *Membership) Stats() Stats {
+	return Stats{Kind: KindMembership, N: f.n, SizeBytes: f.SizeBytes(), FillRatio: f.FillRatio()}
+}
+
+// Kind returns KindCountingMembership.
+func (c *CountingMembership) Kind() Kind { return KindCountingMembership }
+
+// Spec returns the construction geometry.
+func (c *CountingMembership) Spec() Spec {
+	s := c.filter.Spec()
+	s.Kind = KindCountingMembership
+	s.CounterWidth = c.counts.Width()
+	return s
+}
+
+// Stats returns the occupancy snapshot.
+func (c *CountingMembership) Stats() Stats {
+	return Stats{Kind: KindCountingMembership, N: c.N(), SizeBytes: c.SizeBytes(),
+		FillRatio: c.filter.FillRatio()}
+}
+
+// Kind returns KindTShift.
+func (f *TShift) Kind() Kind { return KindTShift }
+
+// Spec returns the construction geometry.
+func (f *TShift) Spec() Spec {
+	return Spec{Kind: KindTShift, M: f.m, K: f.k, T: f.t, MaxOffset: f.wbar, Seed: f.seed}
+}
+
+// Stats returns the occupancy snapshot.
+func (f *TShift) Stats() Stats {
+	return Stats{Kind: KindTShift, N: f.n, SizeBytes: f.bits.SizeBytes(), FillRatio: f.FillRatio()}
+}
+
+// SizeBytes returns the filter's bit-array footprint.
+func (f *TShift) SizeBytes() int { return f.bits.SizeBytes() }
+
+// Kind returns KindAssociation.
+func (a *Association) Kind() Kind { return KindAssociation }
+
+// Spec returns the construction geometry (the sets themselves are not
+// part of the Spec; New builds the empty filter).
+func (a *Association) Spec() Spec {
+	return Spec{Kind: KindAssociation, M: a.m, K: a.k, MaxOffset: a.wbar, Seed: a.seed}
+}
+
+// Stats returns the occupancy snapshot; N sums the two set sizes.
+func (a *Association) Stats() Stats {
+	return Stats{Kind: KindAssociation, N: a.n1 + a.n2, SizeBytes: a.SizeBytes(),
+		FillRatio: a.FillRatio()}
+}
+
+// Kind returns KindCountingAssociation.
+func (a *CountingAssociation) Kind() Kind { return KindCountingAssociation }
+
+// Spec returns the construction geometry.
+func (a *CountingAssociation) Spec() Spec {
+	return Spec{Kind: KindCountingAssociation, M: a.m, K: a.k, MaxOffset: a.wbar,
+		Seed: a.seed, CounterWidth: a.counts.Width()}
+}
+
+// Stats returns the occupancy snapshot; N sums the two set sizes.
+func (a *CountingAssociation) Stats() Stats {
+	return Stats{Kind: KindCountingAssociation, N: a.N1() + a.N2(), SizeBytes: a.SizeBytes(),
+		FillRatio: a.FillRatio()}
+}
+
+// Kind returns KindMultiAssociation.
+func (a *MultiAssociation) Kind() Kind { return KindMultiAssociation }
+
+// Spec returns the construction geometry.
+func (a *MultiAssociation) Spec() Spec {
+	return Spec{Kind: KindMultiAssociation, M: a.m, K: a.k, G: a.g, MaxOffset: a.wbar, Seed: a.seed}
+}
+
+// Stats returns the occupancy snapshot; N sums the g set sizes.
+func (a *MultiAssociation) Stats() Stats {
+	n := 0
+	for _, sz := range a.sizes {
+		n += sz
+	}
+	return Stats{Kind: KindMultiAssociation, N: n, SizeBytes: a.SizeBytes(),
+		FillRatio: a.bits.FillRatio()}
+}
+
+// FillRatio returns the fraction of set bits.
+func (a *MultiAssociation) FillRatio() float64 { return a.bits.FillRatio() }
+
+// Kind returns KindMultiplicity.
+func (f *Multiplicity) Kind() Kind { return KindMultiplicity }
+
+// Spec returns the construction geometry.
+func (f *Multiplicity) Spec() Spec {
+	return Spec{Kind: KindMultiplicity, M: f.m, K: f.k, C: f.c, Seed: f.seed}
+}
+
+// Stats returns the occupancy snapshot.
+func (f *Multiplicity) Stats() Stats {
+	return Stats{Kind: KindMultiplicity, N: f.n, SizeBytes: f.SizeBytes(), FillRatio: f.FillRatio()}
+}
+
+// Kind returns KindCountingMultiplicity.
+func (f *CountingMultiplicity) Kind() Kind { return KindCountingMultiplicity }
+
+// Spec returns the construction geometry.
+func (f *CountingMultiplicity) Spec() Spec {
+	return Spec{Kind: KindCountingMultiplicity, M: f.m, K: f.k, C: f.c, Seed: f.seed,
+		CounterWidth: f.counts.Width(), UnsafeUpdates: f.table == nil}
+}
+
+// Stats returns the occupancy snapshot (N is -1 in the unsafe mode).
+func (f *CountingMultiplicity) Stats() Stats {
+	return Stats{Kind: KindCountingMultiplicity, N: f.N(), SizeBytes: f.SizeBytes(),
+		FillRatio: f.FillRatio()}
+}
+
+// Kind returns KindSCMSketch.
+func (s *SCMSketch) Kind() Kind { return KindSCMSketch }
+
+// Spec returns the construction geometry (M is the row width r, K the
+// logical depth d).
+func (s *SCMSketch) Spec() Spec {
+	return Spec{Kind: KindSCMSketch, M: s.r, K: s.d, Seed: s.seed,
+		CounterWidth: s.rows[0].Width()}
+}
+
+// Stats returns the occupancy snapshot. The sketch tracks no exact
+// element set (N = -1) and has no bit array (FillRatio = 0).
+func (s *SCMSketch) Stats() Stats {
+	return Stats{Kind: KindSCMSketch, N: -1, SizeBytes: s.SizeBytes()}
+}

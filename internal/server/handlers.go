@@ -120,8 +120,11 @@ func (s *Server) handleMembershipAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	for _, k := range keys {
-		s.mem.Add(k)
+	// The batch path takes each shard lock once for the whole request
+	// instead of once per key.
+	if err := s.mem.AddAll(keys); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
 	s.stats.membershipAdd.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]int{"added": len(keys)})
@@ -137,10 +140,7 @@ func (s *Server) handleMembershipContains(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := make([]bool, len(keys))
-	for i, k := range keys {
-		results[i] = s.mem.Contains(k)
-	}
+	results := s.mem.ContainsAll(make([]bool, 0, len(keys)), keys)
 	s.stats.membershipContains.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
@@ -231,9 +231,10 @@ func (s *Server) handleAssociationClassify(w http.ResponseWriter, r *http.Reques
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	regions := s.assoc.QueryAll(make([]core.Region, 0, len(keys)), keys)
 	results := make([]regionAnswer, len(keys))
-	for i, k := range keys {
-		results[i] = regionJSON(s.assoc.Query(k))
+	for i, r := range regions {
+		results[i] = regionJSON(r)
 	}
 	s.stats.associationQuery.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
@@ -296,10 +297,7 @@ func (s *Server) handleMultiplicityCount(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	counts := make([]int, len(keys))
-	for i, k := range keys {
-		counts[i] = s.mult.Count(k)
-	}
+	counts := s.mult.CountAll(make([]int, 0, len(keys)), keys)
 	s.stats.multiplicityQuery.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"counts": counts})
 }

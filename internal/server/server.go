@@ -36,7 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"shbf/internal/core"
+	"shbf"
 	"shbf/internal/sharded"
 )
 
@@ -105,22 +105,41 @@ type Server struct {
 	start time.Time
 }
 
+// Specs returns the three filter specs the config describes, the form
+// the daemon's filters are actually constructed from (via shbf.New).
+func (cfg Config) Specs() (mem, assoc, mult shbf.Spec) {
+	mem = shbf.Spec{Kind: shbf.KindShardedMembership, M: cfg.MembershipBits,
+		K: cfg.MembershipK, Shards: cfg.Shards, Seed: cfg.Seed}
+	assoc = shbf.Spec{Kind: shbf.KindShardedAssociation, M: cfg.AssociationBits,
+		K: cfg.AssociationK, Shards: cfg.Shards, Seed: cfg.Seed}
+	mult = shbf.Spec{Kind: shbf.KindShardedMultiplicity, M: cfg.MultiplicityBits,
+		K: cfg.MultiplicityK, C: cfg.MaxCount, Shards: cfg.Shards, Seed: cfg.Seed}
+	return mem, assoc, mult
+}
+
 // New builds the filters from cfg and, when cfg.SnapshotPath names an
 // existing file, restores their state from it.
 func New(cfg Config) (*Server, error) {
-	mem, err := sharded.New(cfg.MembershipBits, cfg.MembershipK, cfg.Shards, core.WithSeed(cfg.Seed))
+	memSpec, assocSpec, multSpec := cfg.Specs()
+	memF, err := shbf.New(memSpec)
 	if err != nil {
 		return nil, fmt.Errorf("server: membership filter: %w", err)
 	}
-	assoc, err := sharded.NewAssociation(cfg.AssociationBits, cfg.AssociationK, cfg.Shards, core.WithSeed(cfg.Seed))
+	assocF, err := shbf.New(assocSpec)
 	if err != nil {
 		return nil, fmt.Errorf("server: association filter: %w", err)
 	}
-	mult, err := sharded.NewMultiplicity(cfg.MultiplicityBits, cfg.MultiplicityK, cfg.MaxCount, cfg.Shards, core.WithSeed(cfg.Seed))
+	multF, err := shbf.New(multSpec)
 	if err != nil {
 		return nil, fmt.Errorf("server: multiplicity filter: %w", err)
 	}
-	s := &Server{cfg: cfg, mem: mem, assoc: assoc, mult: mult, start: time.Now()}
+	s := &Server{
+		cfg:   cfg,
+		mem:   memF.(*sharded.Filter),
+		assoc: assocF.(*sharded.Association),
+		mult:  multF.(*sharded.Multiplicity),
+		start: time.Now(),
+	}
 	if cfg.SnapshotPath != "" {
 		switch _, err := os.Stat(cfg.SnapshotPath); {
 		case err == nil:

@@ -3,13 +3,17 @@ package server
 import (
 	"bytes"
 	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"shbf"
 )
 
 // testConfig is small enough for fast tests but large enough that
@@ -304,6 +308,74 @@ func TestSnapshotSurvivesRestart(t *testing.T) {
 	post(t, ts2.URL+"/v1/multiplicity/count", map[string]any{"keys": []string{"x"}}, 200, &cnt)
 	if cnt.Counts[0] != 6 {
 		t.Fatalf("count after restored update = %d, want 6", cnt.Counts[0])
+	}
+}
+
+// TestSnapshotV1Compat: snapshots written by the pre-envelope format
+// (version 1: three bare length-prefixed blobs in fixed order) must
+// still restore.
+func TestSnapshotV1Compat(t *testing.T) {
+	cfg := testConfig()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.mem.Add([]byte("v1-member"))
+	if err := srv.mult.Insert([]byte("v1-flow")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-write the v1 container around the filters' own blobs.
+	buf := append([]byte(daemonSnapMagic), daemonSnapVersionV1)
+	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{srv.mem, srv.assoc, srv.mult} {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	path := filepath.Join(t.TempDir(), "v1.shbf")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(path); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if !restored.mem.Contains([]byte("v1-member")) {
+		t.Fatal("v1 restore lost the member")
+	}
+	if c := restored.mult.Count([]byte("v1-flow")); c != 1 {
+		t.Fatalf("v1 restore count = %d, want 1", c)
+	}
+}
+
+// TestSnapshotRejectsDuplicateKinds: a v2 snapshot must hold exactly
+// one filter of each kind; a duplicate would leave another slot
+// silently empty.
+func TestSnapshotRejectsDuplicateKinds(t *testing.T) {
+	cfg := testConfig()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(daemonSnapMagic), daemonSnapVersion)
+	for _, f := range []shbf.Filter{srv.mem, srv.mem, srv.assoc} {
+		if buf, err = shbf.AppendDump(buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "dup.shbf")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadSnapshot(path); err == nil {
+		t.Fatal("snapshot with duplicate kinds accepted")
 	}
 }
 

@@ -5,18 +5,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"shbf"
+	"shbf/internal/sharded"
 )
 
-// The daemon snapshot bundles the three sharded filters into one file:
-// 4-byte magic "ShBD", a version byte, then three length-prefixed
-// blobs (membership, association, multiplicity), each the filter's own
-// MarshalBinary output. Geometry and seeds travel inside the blobs, so
-// a restored daemon answers identically even if its flags changed —
-// the snapshot wins.
+// The daemon snapshot is a thin container over the root package's
+// self-describing envelopes: 4-byte magic "ShBD", a version byte, then
+// the three filters as concatenated shbf.Dump envelopes. Each envelope
+// carries its own kind tag and length, so the restore loop is fully
+// generic — shbf.Decode reconstructs each filter and a type switch
+// slots it into place, in any order. Geometry and seeds travel inside
+// the envelopes, so a restored daemon answers identically even if its
+// flags changed — the snapshot wins.
+//
+// Version 1 (pre-envelope) snapshots — three bare length-prefixed
+// MarshalBinary blobs in fixed order — are still restored.
 
 const (
-	daemonSnapVersion = 1
-	daemonSnapMagic   = "ShBD"
+	daemonSnapVersion   = 2
+	daemonSnapVersionV1 = 1
+	daemonSnapMagic     = "ShBD"
 )
 
 // SaveSnapshot atomically writes the full filter state to path (via a
@@ -25,13 +34,11 @@ const (
 // keep flowing while the snapshot is cut.
 func (s *Server) SaveSnapshot(path string) (int, error) {
 	buf := append([]byte(daemonSnapMagic), daemonSnapVersion)
-	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{s.mem, s.assoc, s.mult} {
-		blob, err := m.MarshalBinary()
-		if err != nil {
+	for _, f := range []shbf.Filter{s.mem, s.assoc, s.mult} {
+		var err error
+		if buf, err = shbf.AppendDump(buf, f); err != nil {
 			return 0, fmt.Errorf("server: snapshot: %w", err)
 		}
-		buf = binary.AppendUvarint(buf, uint64(len(blob)))
-		buf = append(buf, blob...)
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".shbfd-snapshot-*")
@@ -67,10 +74,64 @@ func (s *Server) LoadSnapshot(path string) error {
 	if len(data) < 5 || string(data[:4]) != daemonSnapMagic {
 		return fmt.Errorf("server: %s is not a shbfd snapshot", path)
 	}
-	if data[4] != daemonSnapVersion {
+	switch data[4] {
+	case daemonSnapVersion:
+		return s.restoreEnvelopes(data[5:])
+	case daemonSnapVersionV1:
+		return s.restoreV1(data[5:])
+	default:
 		return fmt.Errorf("server: unsupported snapshot version %d", data[4])
 	}
-	buf := data[5:]
+}
+
+// restoreEnvelopes walks the concatenated envelopes, slotting each
+// decoded filter by its concrete type. Exactly one filter of each kind
+// must arrive — a duplicate would silently leave another slot empty.
+func (s *Server) restoreEnvelopes(buf []byte) error {
+	var mem *sharded.Filter
+	var assoc *sharded.Association
+	var mult *sharded.Multiplicity
+	seen := 0
+	for len(buf) > 0 {
+		var (
+			f   shbf.Filter
+			err error
+		)
+		f, buf, err = shbf.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("server: snapshot envelope %d: %w", seen, err)
+		}
+		switch f := f.(type) {
+		case *sharded.Filter:
+			if mem != nil {
+				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+			}
+			mem = f
+		case *sharded.Association:
+			if assoc != nil {
+				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+			}
+			assoc = f
+		case *sharded.Multiplicity:
+			if mult != nil {
+				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+			}
+			mult = f
+		default:
+			return fmt.Errorf("server: snapshot holds unexpected %s filter", f.Kind())
+		}
+		seen++
+	}
+	if mem == nil || assoc == nil || mult == nil {
+		return fmt.Errorf("server: snapshot holds %d filters, want one of each kind", seen)
+	}
+	s.mem, s.assoc, s.mult = mem, assoc, mult
+	return nil
+}
+
+// restoreV1 reads the pre-envelope format: three bare length-prefixed
+// blobs in membership, association, multiplicity order.
+func (s *Server) restoreV1(buf []byte) error {
 	for i, u := range []interface{ UnmarshalBinary([]byte) error }{s.mem, s.assoc, s.mult} {
 		n, sz := binary.Uvarint(buf)
 		if sz <= 0 || uint64(len(buf)-sz) < n {

@@ -33,6 +33,9 @@ type AssociationShardStat struct {
 // Options are forwarded to each shard's constructor; shards receive
 // distinct derived seeds.
 func NewAssociation(totalBits, k, shardCount int, opts ...core.Option) (*Association, error) {
+	if err := core.CheckOptions(core.KindShardedAssociation, opts...); err != nil {
+		return nil, err
+	}
 	pow, perShard, err := roundPow2(totalBits, shardCount)
 	if err != nil {
 		return nil, err
@@ -91,6 +94,44 @@ func (a *Association) Query(e []byte) core.Region {
 	r := s.f.Query(e)
 	s.mu.RUnlock()
 	return r
+}
+
+// QueryAll classifies a whole batch, grouping keys by shard so each
+// shard's read lock is taken once per batch instead of once per key.
+// Region masks are written into dst (resized to len(keys)) at the
+// keys' original positions. Safe for concurrent use.
+func (a *Association) QueryAll(dst []core.Region, keys [][]byte) []core.Region {
+	return batchRead(&a.set, dst, keys, (*core.CountingAssociation).Query)
+}
+
+// Kind returns core.KindShardedAssociation.
+func (a *Association) Kind() core.Kind { return core.KindShardedAssociation }
+
+// Spec returns the construction geometry (see Filter.Spec for the base
+// seed recovery).
+func (a *Association) Spec() core.Spec {
+	inner := a.set.shards[0].f.Spec()
+	return core.Spec{
+		Kind:         core.KindShardedAssociation,
+		M:            inner.M * a.set.size(),
+		K:            inner.K,
+		MaxOffset:    inner.MaxOffset,
+		CounterWidth: inner.CounterWidth,
+		Shards:       a.set.size(),
+		Seed:         inner.Seed - 1,
+	}
+}
+
+// Stats returns the aggregate occupancy snapshot; N sums the two set
+// sizes.
+func (a *Association) Stats() core.Stats {
+	return core.Stats{
+		Kind:      core.KindShardedAssociation,
+		N:         a.N1() + a.N2(),
+		SizeBytes: a.SizeBytes(),
+		FillRatio: a.FillRatio(),
+		Shards:    a.set.size(),
+	}
 }
 
 // N1 returns the total distinct size of S1 across shards.

@@ -1,0 +1,167 @@
+package sharded
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+// The Batch* benchmarks demonstrate the point of the batch-first
+// paths: grouping a request batch by shard takes each shard lock once
+// per batch instead of once per key. Run the pairs side by side:
+//
+//	go test -bench=Batch -benchtime=2s ./internal/sharded/
+//
+// The *Loop variants are the per-key baselines the serving layer used
+// before the batch API existed.
+
+const (
+	benchBatch  = 1024
+	benchShards = 16
+)
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 13)
+		binary.LittleEndian.PutUint64(k, uint64(i)*0x9e3779b97f4a7c15)
+		keys[i] = k
+	}
+	return keys
+}
+
+func benchFilter(b *testing.B) (*Filter, [][]byte) {
+	b.Helper()
+	f, err := New(1<<22, 8, benchShards, core.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(benchBatch)
+	if err := f.AddAll(keys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return f, keys
+}
+
+func BenchmarkBatchContainsAll(b *testing.B) {
+	f, keys := benchFilter(b)
+	dst := make([]bool, len(keys))
+	for i := 0; i < b.N; i++ {
+		dst = f.ContainsAll(dst, keys)
+	}
+}
+
+func BenchmarkBatchContainsLoop(b *testing.B) {
+	f, keys := benchFilter(b)
+	dst := make([]bool, len(keys))
+	for i := 0; i < b.N; i++ {
+		for j, e := range keys {
+			dst[j] = f.Contains(e)
+		}
+	}
+}
+
+// The parallel variants model the daemon: many goroutines each serving
+// whole request batches against one logical filter. Lock amortization
+// matters most here, where per-key locking also buys cross-core
+// contention per key.
+func BenchmarkBatchContainsAllParallel(b *testing.B) {
+	f, keys := benchFilter(b)
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]bool, len(keys))
+		for pb.Next() {
+			dst = f.ContainsAll(dst, keys)
+		}
+	})
+}
+
+func BenchmarkBatchContainsLoopParallel(b *testing.B) {
+	f, keys := benchFilter(b)
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]bool, len(keys))
+		for pb.Next() {
+			for j, e := range keys {
+				dst[j] = f.Contains(e)
+			}
+		}
+	})
+}
+
+func BenchmarkBatchAddAll(b *testing.B) {
+	f, keys := benchFilter(b)
+	for i := 0; i < b.N; i++ {
+		if err := f.AddAll(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchAddLoop(b *testing.B) {
+	f, keys := benchFilter(b)
+	for i := 0; i < b.N; i++ {
+		for _, e := range keys {
+			f.Add(e)
+		}
+	}
+}
+
+func BenchmarkBatchCountAll(b *testing.B) {
+	f, err := NewMultiplicity(1<<22, 4, 57, benchShards, core.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(benchBatch)
+	if err := f.AddAll(keys); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = f.CountAll(dst, keys)
+	}
+}
+
+func BenchmarkBatchCountLoop(b *testing.B) {
+	f, err := NewMultiplicity(1<<22, 4, 57, benchShards, core.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(benchBatch)
+	if err := f.AddAll(keys); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, e := range keys {
+			dst[j] = f.Count(e)
+		}
+	}
+}
+
+// Sanity anchor for the benchmark pair: the two paths answer
+// identically on the benchmark workload.
+func TestBenchPathsAgree(t *testing.T) {
+	f, err := New(1<<20, 8, benchShards, core.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := benchKeys(benchBatch)
+	if err := f.AddAll(keys[:512]); err != nil {
+		t.Fatal(err)
+	}
+	batch := f.ContainsAll(nil, keys)
+	for i, e := range keys {
+		if batch[i] != f.Contains(e) {
+			t.Fatalf("mismatch at key %d", i)
+		}
+	}
+	if n := f.N(); n != 512 {
+		t.Fatalf("N = %d after batch add, want 512", n)
+	}
+}

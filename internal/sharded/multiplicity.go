@@ -33,6 +33,9 @@ type MultiplicityShardStat struct {
 // to a power of two). Options are forwarded to each shard's
 // constructor; shards receive distinct derived seeds.
 func NewMultiplicity(totalBits, k, c, shardCount int, opts ...core.Option) (*Multiplicity, error) {
+	if err := core.CheckOptions(core.KindShardedMultiplicity, opts...); err != nil {
+		return nil, err
+	}
 	pow, perShard, err := roundPow2(totalBits, shardCount)
 	if err != nil {
 		return nil, err
@@ -84,6 +87,53 @@ func (f *Multiplicity) Count(e []byte) int {
 	c := s.f.Count(e)
 	s.mu.RUnlock()
 	return c
+}
+
+// AddAll increments every key's multiplicity by one, grouping keys by
+// shard so each shard's write lock is taken once per batch. On the
+// first failed insert the batch stops: keys already applied stay
+// applied, and the error reports the failing key's batch index. Safe
+// for concurrent use.
+func (f *Multiplicity) AddAll(keys [][]byte) error {
+	return batchWrite(&f.set, keys, (*core.CountingMultiplicity).Insert)
+}
+
+// CountAll queries a whole batch, grouping keys by shard so each
+// shard's read lock is taken once per batch instead of once per key.
+// Counts are written into dst (resized to len(keys)) at the keys'
+// original positions. Safe for concurrent use.
+func (f *Multiplicity) CountAll(dst []int, keys [][]byte) []int {
+	return batchRead(&f.set, dst, keys, (*core.CountingMultiplicity).Count)
+}
+
+// Kind returns core.KindShardedMultiplicity.
+func (f *Multiplicity) Kind() core.Kind { return core.KindShardedMultiplicity }
+
+// Spec returns the construction geometry (see Filter.Spec for the base
+// seed recovery).
+func (f *Multiplicity) Spec() core.Spec {
+	inner := f.set.shards[0].f.Spec()
+	return core.Spec{
+		Kind:          core.KindShardedMultiplicity,
+		M:             inner.M * f.set.size(),
+		K:             inner.K,
+		C:             inner.C,
+		CounterWidth:  inner.CounterWidth,
+		UnsafeUpdates: inner.UnsafeUpdates,
+		Shards:        f.set.size(),
+		Seed:          inner.Seed - 1,
+	}
+}
+
+// Stats returns the aggregate occupancy snapshot.
+func (f *Multiplicity) Stats() core.Stats {
+	return core.Stats{
+		Kind:      core.KindShardedMultiplicity,
+		N:         f.N(),
+		SizeBytes: f.SizeBytes(),
+		FillRatio: f.FillRatio(),
+		Shards:    f.set.size(),
+	}
 }
 
 // N returns the total number of distinct stored elements across shards,

@@ -55,6 +55,9 @@ type ShardStat struct {
 // element. Options are forwarded to each shard's constructor; shards
 // receive distinct derived seeds.
 func New(totalBits, k, shardCount int, opts ...core.Option) (*Filter, error) {
+	if err := core.CheckOptions(core.KindShardedMembership, opts...); err != nil {
+		return nil, err
+	}
 	pow, perShard, err := roundPow2(totalBits, shardCount)
 	if err != nil {
 		return nil, err
@@ -89,6 +92,25 @@ func (f *Filter) Contains(e []byte) bool {
 	ok := s.f.Contains(e)
 	s.mu.RUnlock()
 	return ok
+}
+
+// AddAll inserts a whole batch, grouping keys by shard so each shard's
+// write lock is taken once per batch instead of once per key. Safe for
+// concurrent use. The error is always nil (the signature matches the
+// shared batch interface).
+func (f *Filter) AddAll(keys [][]byte) error {
+	return batchWrite(&f.set, keys, func(m *core.Membership, e []byte) error {
+		m.Add(e)
+		return nil
+	})
+}
+
+// ContainsAll queries a whole batch, grouping keys by shard so each
+// shard's read lock is taken once per batch instead of once per key.
+// Answers are written into dst (resized to len(keys)) at the keys'
+// original positions. Safe for concurrent use.
+func (f *Filter) ContainsAll(dst []bool, keys [][]byte) []bool {
+	return batchRead(&f.set, dst, keys, (*core.Membership).Contains)
 }
 
 // N returns the total number of elements added across shards.
@@ -132,6 +154,35 @@ func (f *Filter) ShardStats() []ShardStat {
 		s.mu.RUnlock()
 	}
 	return out
+}
+
+// Kind returns core.KindShardedMembership.
+func (f *Filter) Kind() core.Kind { return core.KindShardedMembership }
+
+// Spec returns the construction geometry: total bits across shards,
+// the per-shard k and w̄, and the caller's base seed (recovered from
+// shard 0's derived seed, whose derivation adds exactly 1 for i = 0).
+func (f *Filter) Spec() core.Spec {
+	inner := f.set.shards[0].f.Spec()
+	return core.Spec{
+		Kind:      core.KindShardedMembership,
+		M:         inner.M * f.set.size(),
+		K:         inner.K,
+		MaxOffset: inner.MaxOffset,
+		Shards:    f.set.size(),
+		Seed:      inner.Seed - 1,
+	}
+}
+
+// Stats returns the aggregate occupancy snapshot.
+func (f *Filter) Stats() core.Stats {
+	return core.Stats{
+		Kind:      core.KindShardedMembership,
+		N:         f.N(),
+		SizeBytes: f.SizeBytes(),
+		FillRatio: f.FillRatio(),
+		Shards:    f.set.size(),
+	}
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler. Shards are

@@ -100,6 +100,117 @@ func (s *set[F]) forKey(e []byte) *entry[F] {
 // size returns the number of shards.
 func (s *set[F]) size() int { return len(s.shards) }
 
+// batchPlan is a batch of keys grouped by destination shard: the key
+// indices routed to shard i are order[starts[i]:starts[i+1]]. Batch
+// operations walk the plan shard by shard, taking each shard lock once
+// per batch instead of once per key — the routing hash is computed
+// exactly once per key either way, so grouping costs two O(batch)
+// passes and saves (batch − occupied shards) lock round-trips. Plans
+// are pooled so the steady-state batch path does not allocate.
+type batchPlan struct {
+	shardOf []uint32
+	starts  []int
+	next    []int
+	order   []int32
+}
+
+var planPool = sync.Pool{New: func() any { return new(batchPlan) }}
+
+// keysFor returns the indices of the batch's keys routed to shard i.
+func (p *batchPlan) keysFor(i int) []int32 {
+	return p.order[p.starts[i]:p.starts[i+1]]
+}
+
+// release returns the plan's buffers to the pool; callers must not
+// touch the plan afterwards.
+func (p *batchPlan) release() { planPool.Put(p) }
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// batchRead runs query for every key, visiting each occupied shard
+// once under its read lock and writing answers into dst (resized to
+// len(keys)) at the keys' original positions.
+func batchRead[F, R any](s *set[F], dst []R, keys [][]byte, query func(F, []byte) R) []R {
+	if cap(dst) < len(keys) {
+		dst = make([]R, len(keys))
+	}
+	dst = dst[:len(keys)]
+	p := s.group(keys)
+	defer p.release()
+	for i := range s.shards {
+		idxs := p.keysFor(i)
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, j := range idxs {
+			dst[j] = query(sh.f, keys[j])
+		}
+		sh.mu.RUnlock()
+	}
+	return dst
+}
+
+// batchWrite runs apply for every key, visiting each occupied shard
+// once under its write lock. The first failure stops the batch — keys
+// already applied stay applied — and the error reports the failing
+// key's batch index.
+func batchWrite[F any](s *set[F], keys [][]byte, apply func(F, []byte) error) error {
+	p := s.group(keys)
+	defer p.release()
+	for i := range s.shards {
+		idxs := p.keysFor(i)
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, j := range idxs {
+			if err := apply(sh.f, keys[j]); err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("sharded: key %d: %w", j, err)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// group builds the shard-grouped plan for keys with a counting sort
+// over shard indices (stable, so each shard sees its keys in batch
+// order). Release the plan when done.
+func (s *set[F]) group(keys [][]byte) *batchPlan {
+	p := planPool.Get().(*batchPlan)
+	if cap(p.shardOf) < len(keys) {
+		p.shardOf = make([]uint32, len(keys))
+		p.order = make([]int32, len(keys))
+	}
+	p.shardOf, p.order = p.shardOf[:len(keys)], p.order[:len(keys)]
+	p.starts = growInts(p.starts, len(s.shards)+1)
+	p.next = growInts(p.next, len(s.shards))
+	clear(p.starts)
+	for i, e := range keys {
+		sh := uint32(s.router.Sum64(e) & s.mask)
+		p.shardOf[i] = sh
+		p.starts[sh+1]++
+	}
+	for i := 1; i < len(p.starts); i++ {
+		p.starts[i] += p.starts[i-1]
+	}
+	copy(p.next, p.starts)
+	for i, sh := range p.shardOf {
+		p.order[p.next[sh]] = int32(i)
+		p.next[sh]++
+	}
+	return p
+}
+
 // sumLocked accumulates get across all shards, each read under its
 // shard's read lock.
 func (s *set[F]) sumLocked(get func(F) int) int {

@@ -13,14 +13,24 @@ import (
 	"math"
 
 	"shbf/internal/analytic"
+	"shbf/internal/core"
 )
 
 // MembershipPlan is a sized ShBF_M configuration.
 type MembershipPlan struct {
 	M            int     // bits (excluding the w̄−1 slack the filter adds)
 	K            int     // bit positions per element (even)
+	MaxOffset    int     // w̄ the plan was sized for
 	PredictedFPR float64 // Equation 1 at (M, K, n)
 	BitsPerElem  float64
+}
+
+// Spec returns the construction spec the plan sizes, ready to feed
+// shbf.New. The kind is KindMembership; callers wanting the counting
+// or sharded variant of the same geometry change Kind (and set Shards)
+// before building.
+func (p MembershipPlan) Spec() core.Spec {
+	return core.Spec{Kind: core.KindMembership, M: p.M, K: p.K, MaxOffset: p.MaxOffset}
 }
 
 // Membership returns the smallest ShBF_M geometry whose Equation 1
@@ -52,6 +62,7 @@ func Membership(n int, target float64, wbar int) (MembershipPlan, error) {
 			return MembershipPlan{
 				M:            m,
 				K:            k,
+				MaxOffset:    wbar,
 				PredictedFPR: fpr,
 				BitsPerElem:  float64(m) / float64(n),
 			}, nil
@@ -79,6 +90,14 @@ type AssociationPlan struct {
 	K              int     // hash functions
 	PredictedClear float64 // (1−0.5^k)² at optimal fill
 	BitsPerElem    float64
+}
+
+// Spec returns the construction spec the plan sizes, ready to feed
+// shbf.New (or BuildAssociation via its M and K). The kind is
+// KindAssociation; change it to the counting or sharded variant for
+// dynamic sets of the same geometry.
+func (p AssociationPlan) Spec() core.Spec {
+	return core.Spec{Kind: core.KindAssociation, M: p.M, K: p.K}
 }
 
 // Association returns the geometry for which ShBF_A answers clearly
@@ -111,8 +130,16 @@ func Association(nDistinct int, target float64) (AssociationPlan, error) {
 type MultiplicityPlan struct {
 	M           int     // bits
 	K           int     // hash functions
+	C           int     // maximum multiplicity the plan was sized for
 	PredictedCR float64 // worst case: Equation 27, (1−f0)^c
 	BitsPerElem float64
+}
+
+// Spec returns the construction spec the plan sizes, ready to feed
+// shbf.New. The kind is KindMultiplicity; change it to the counting or
+// sharded variant for dynamic counts of the same geometry.
+func (p MultiplicityPlan) Spec() core.Spec {
+	return core.Spec{Kind: core.KindMultiplicity, M: p.M, K: p.K, C: p.C}
 }
 
 // Multiplicity returns a geometry whose worst-case correctness rate
@@ -144,6 +171,7 @@ func Multiplicity(n, c int, target float64) (MultiplicityPlan, error) {
 	return MultiplicityPlan{
 		M:           m,
 		K:           k,
+		C:           c,
 		PredictedCR: analytic.CRNonMember(m, n, k, c),
 		BitsPerElem: float64(m) / float64(n),
 	}, nil

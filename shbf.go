@@ -29,6 +29,27 @@
 // the count-min sketch. [NewTShift] generalizes ShBF_M to t offsets per
 // group (paper Section 3.6).
 //
+// # Unified construction and interfaces
+//
+// Every filter kind is named by a [Kind] and constructed from a [Spec]
+// — its complete geometry in one value — through the single entry
+// point [New]:
+//
+//	f, err := shbf.New(shbf.Spec{Kind: shbf.KindMembership, M: m, K: k})
+//	set := f.(shbf.Set) // Add/Contains + AddAll/ContainsAll
+//
+// All filters implement [Filter] (Kind/Spec/Stats/MarshalBinary); the
+// query surfaces are the small interfaces [Set], [Updatable],
+// [Counter] and [Associator], each with batch-first methods
+// (AddAll/ContainsAll/CountAll/QueryAll) that the sharded kinds
+// implement by taking each shard lock once per batch. [Dump] and
+// [Load] round-trip any filter through a self-describing envelope: the
+// kind travels in the bytes, so the loader needs no prior knowledge of
+// what was dumped. The sizing planners ([PlanMembership],
+// [PlanAssociation], [PlanMultiplicity]) return plans whose Spec
+// method feeds New directly. The typed constructors below remain as
+// thin wrappers over the same machinery.
+//
 // Elements are arbitrary []byte values (the paper uses 13-byte 5-tuple
 // flow IDs). Filters are deterministic for a given seed and are not
 // safe for concurrent mutation; concurrent read-only queries on
@@ -106,7 +127,11 @@ const (
 // [WithAccessCounter] to reproduce the "# memory accesses" experiments.
 type AccessCounter = memmodel.Counter
 
-// Option configures filter construction.
+// Option configures filter construction. Each option applies only to
+// the kinds whose constructor consumes it; a misapplied option (e.g.
+// [WithUnsafeUpdates] on a membership filter, or [WithCounterWidth] on
+// a non-counting kind) is a construction error naming the option, not
+// a silent no-op.
 type Option = core.Option
 
 // Errors returned by the counting variants.
