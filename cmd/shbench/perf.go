@@ -1,0 +1,357 @@
+package main
+
+// perf.go implements the -perf mode: a machine-readable hot-path
+// benchmark suite over 13-byte 5-tuple flow IDs, covering
+// Add/Contains/AddAll/ContainsAll for k ∈ {4, 8, 16} in three modes:
+// the scalar ShBF_M and the sharded wrapper at serving scale (64k
+// members), and the paper's Figure 9(b) micro point (see perfPaper).
+// Results go to a JSON file (BENCH_PR3.json by default) so successive
+// PRs have a trajectory to beat; an optional baseline file is embedded
+// verbatim under "baseline" for before/after comparison.
+//
+// The mode doubles as a regression gate: query-side hot paths
+// (Contains/ContainsAll) must report zero allocations per op, or the
+// run exits nonzero — this is what CI's benchmark job enforces.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"shbf"
+	"shbf/internal/flowkeys"
+)
+
+// perfKeyBytes is the element size of the perf workload: the paper's
+// 13-byte 5-tuple flow ID.
+const perfKeyBytes = flowkeys.KeyBytes
+
+// perfN is the member-set size; perfBatch the request-batch size the
+// batch ops are measured at (matching the serving layer's typical
+// request shape).
+const (
+	perfN      = 1 << 16
+	perfBatch  = 1024
+	perfShards = 16
+)
+
+// perfResult is one benchmark case. Batch ops report both the raw
+// per-call numbers and the per-key breakdown (KeysPerOp > 1).
+type perfResult struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"` // scalar | sharded | paper (Fig 9(b) point)
+	Op          string  `json:"op"`   // Add | Contains | AddAll | ContainsAll
+	K           int     `json:"k"`
+	KeysPerOp   int     `json:"keys_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerKey    float64 `json:"ns_per_key"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+	// Speedup is baseline ns_per_key / this ns_per_key for the same
+	// case, filled only when a baseline section is embedded.
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// perfReport is the BENCH_PR3.json document.
+type perfReport struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	KeyBytes    int          `json:"key_bytes"`
+	Note        string       `json:"note"`
+	Results     []perfResult `json:"results"`
+	Baseline    []perfResult `json:"baseline,omitempty"`
+}
+
+// perfRuns is how many times each case is measured; the fastest run is
+// reported. Minimum-of-N is the standard noise filter for wall-clock
+// microbenchmarks on shared machines: scheduler preemption and
+// frequency excursions only ever add time, so the minimum is the best
+// estimate of the code's cost.
+const perfRuns = 3
+
+// perfCase measures one benchmark body perfRuns times and packages the
+// fastest run.
+func perfCase(mode, op string, k, keysPerOp int, body func(b *testing.B)) perfResult {
+	r := testing.Benchmark(body)
+	for run := 1; run < perfRuns; run++ {
+		if next := testing.Benchmark(body); next.NsPerOp() < r.NsPerOp() {
+			r = next
+		}
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return perfResult{
+		Name:        fmt.Sprintf("%s/%s/k=%d", mode, op, k),
+		Mode:        mode,
+		Op:          op,
+		K:           k,
+		KeysPerOp:   keysPerOp,
+		NsPerOp:     ns,
+		NsPerKey:    ns / float64(keysPerOp),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// perfScalar measures the monolithic ShBF_M at k.
+func perfScalar(k int, flat []byte, keys [][]byte) ([]perfResult, error) {
+	m := 2 * perfN * k // comfortably under-filled, like the paper's sweeps
+	add, err := shbf.NewMembership(m, k, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	full, err := shbf.NewMembership(m, k, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := full.AddAll(keys); err != nil {
+		return nil, err
+	}
+	batch := keys[:perfBatch]
+	dst := make([]bool, perfBatch)
+	return []perfResult{
+		perfCase("scalar", "Add", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				off := (i & (perfN - 1)) * perfKeyBytes
+				add.Add(flat[off : off+perfKeyBytes])
+			}
+		}),
+		perfCase("scalar", "Contains", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				off := (i & (perfN - 1)) * perfKeyBytes
+				full.Contains(flat[off : off+perfKeyBytes])
+			}
+		}),
+		perfCase("scalar", "AddAll", k, perfBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := add.AddAll(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		perfCase("scalar", "ContainsAll", k, perfBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = full.ContainsAll(dst, batch)
+			}
+		}),
+	}, nil
+}
+
+// perfSharded measures the lock-striped wrapper at k.
+func perfSharded(k int, flat []byte, keys [][]byte) ([]perfResult, error) {
+	m := 2 * perfN * k
+	add, err := shbf.NewShardedMembership(m, k, perfShards, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	full, err := shbf.NewShardedMembership(m, k, perfShards, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := full.AddAll(keys); err != nil {
+		return nil, err
+	}
+	batch := keys[:perfBatch]
+	dst := make([]bool, perfBatch)
+	return []perfResult{
+		perfCase("sharded", "Add", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				off := (i & (perfN - 1)) * perfKeyBytes
+				add.Add(flat[off : off+perfKeyBytes])
+			}
+		}),
+		perfCase("sharded", "Contains", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				off := (i & (perfN - 1)) * perfKeyBytes
+				full.Contains(flat[off : off+perfKeyBytes])
+			}
+		}),
+		perfCase("sharded", "AddAll", k, perfBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := add.AddAll(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		perfCase("sharded", "ContainsAll", k, perfBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = full.ContainsAll(dst, batch)
+			}
+		}),
+	}, nil
+}
+
+// perfPaperN is the member-set size of the paper-point cases: the
+// paper's Figure 9(b) micro-benchmark geometry (n = 1000,
+// m = 4128·k — 33024 bits at k = 8), an L1-resident array. In this
+// regime the memory floor is negligible and hashing dominates, which
+// is exactly the regime the paper's k/2+1 hash-halving targets — and
+// where the digest pipeline's win shows undiluted. The serving-scale
+// "scalar"/"sharded" cases above share a memory floor between any two
+// hashing schemes, so their speedups are lower bounds.
+const perfPaperN = 1000
+
+// perfPaper measures the monolithic ShBF_M at the paper's Figure 9(b)
+// operating point.
+func perfPaper(k int, keys [][]byte) ([]perfResult, error) {
+	m := 4128 * k
+	pkeys := keys[:perfPaperN]
+	add, err := shbf.NewMembership(m, k, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	full, err := shbf.NewMembership(m, k, shbf.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := full.AddAll(pkeys); err != nil {
+		return nil, err
+	}
+	// 1000 is not a power of two; cycle with a modulus instead of a
+	// mask (the divide is hoisted out of the measured chain by the
+	// sequential i).
+	dst := make([]bool, len(pkeys))
+	return []perfResult{
+		perfCase("paper", "Add", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				add.Add(pkeys[i%perfPaperN])
+			}
+		}),
+		perfCase("paper", "Contains", k, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				full.Contains(pkeys[i%perfPaperN])
+			}
+		}),
+		perfCase("paper", "AddAll", k, perfPaperN, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := add.AddAll(pkeys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		perfCase("paper", "ContainsAll", k, perfPaperN, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = full.ContainsAll(dst, pkeys)
+			}
+		}),
+	}, nil
+}
+
+// checkHotPathAllocs enforces the zero-allocation contract on the
+// query hot paths. Returning an error (rather than just printing)
+// makes `shbench -perf` a CI gate.
+func checkHotPathAllocs(results []perfResult) error {
+	var bad []string
+	for _, r := range results {
+		if (r.Op == "Contains" || r.Op == "ContainsAll" || r.Op == "Add" || r.Op == "AddAll") && r.AllocsPerOp != 0 {
+			bad = append(bad, fmt.Sprintf("%s (%d allocs/op)", r.Name, r.AllocsPerOp))
+		}
+	}
+	if len(bad) != 0 {
+		return fmt.Errorf("hot paths allocate: %v", bad)
+	}
+	return nil
+}
+
+// runPerf executes the suite and writes the report. baselinePath, if
+// non-empty and readable, supplies the "baseline" section (its own
+// "results" array is lifted out, so a previous BENCH_*.json works
+// directly).
+func runPerf(outPath, baselinePath, note string) error {
+	// Validate the baseline before the multi-minute measurement run, so
+	// a bad -perf-baseline path fails in milliseconds, not after.
+	var baseline []perfResult
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("perf baseline: %w", err)
+		}
+		var prev perfReport
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("perf baseline %s: %w", baselinePath, err)
+		}
+		baseline = prev.Results
+	}
+
+	flat, keys := flowkeys.Keys(perfN)
+	report := perfReport{
+		Schema:      "shbf-perf/1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		KeyBytes:    perfKeyBytes,
+		Note:        note,
+	}
+	for _, k := range []int{4, 8, 16} {
+		fmt.Fprintf(os.Stderr, "perf: scalar k=%d...\n", k)
+		rs, err := perfScalar(k, flat, keys)
+		if err != nil {
+			return fmt.Errorf("perf scalar k=%d: %w", k, err)
+		}
+		report.Results = append(report.Results, rs...)
+		fmt.Fprintf(os.Stderr, "perf: sharded k=%d...\n", k)
+		rs, err = perfSharded(k, flat, keys)
+		if err != nil {
+			return fmt.Errorf("perf sharded k=%d: %w", k, err)
+		}
+		report.Results = append(report.Results, rs...)
+		fmt.Fprintf(os.Stderr, "perf: paper-point k=%d...\n", k)
+		rs, err = perfPaper(k, keys)
+		if err != nil {
+			return fmt.Errorf("perf paper k=%d: %w", k, err)
+		}
+		report.Results = append(report.Results, rs...)
+	}
+	if baseline != nil {
+		report.Baseline = baseline
+		byName := make(map[string]perfResult, len(baseline))
+		for _, b := range baseline {
+			byName[b.Name] = b
+		}
+		for i, r := range report.Results {
+			if b, ok := byName[r.Name]; ok && r.NsPerKey > 0 {
+				report.Results[i].Speedup = b.NsPerKey / r.NsPerKey
+			}
+		}
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		speedup := ""
+		if r.Speedup != 0 {
+			speedup = fmt.Sprintf("  %.2fx vs baseline", r.Speedup)
+		}
+		fmt.Printf("%-26s %10.1f ns/op %8.1f ns/key %4d allocs/op%s\n",
+			r.Name, r.NsPerOp, r.NsPerKey, r.AllocsPerOp, speedup)
+	}
+	fmt.Printf("perf: wrote %s (%d cases)\n", outPath, len(report.Results))
+	return checkHotPathAllocs(report.Results)
+}

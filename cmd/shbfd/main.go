@@ -10,12 +10,20 @@
 //	      [-assoc-bits N]  [-assoc-k 8]
 //	      [-mult-bits N]   [-mult-k 8] [-c 57]
 //	      [-snapshot state.shbf] [-snapshot-every 0]
+//	      [-pprof-addr localhost:6060]
 //
 // With -snapshot, state is reloaded from the file at startup (if it
 // exists), persisted on POST /v1/snapshot, every -snapshot-every
 // interval if set, and on graceful shutdown (SIGINT/SIGTERM) — so
-// answers survive restarts. See internal/server for the endpoint list
-// and DESIGN.md for the architecture.
+// answers survive restarts. With -pprof-addr, the net/http/pprof
+// endpoints are served on a second, separate listener (keep it on
+// localhost or behind a firewall: profiles expose internals), so the
+// daemon's hot paths can be profiled in place:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// See internal/server for the endpoint list and DESIGN.md for the
+// architecture.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,18 +58,19 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("shbfd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8137", "listen address")
-		shards   = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
-		seed     = fs.Uint64("seed", 1, "hash seed (filters are deterministic per seed)")
-		memBits  = fs.Int("member-bits", 12<<20, "total membership filter bits")
-		memK     = fs.Int("member-k", 8, "membership bit positions per element (even)")
-		assBits  = fs.Int("assoc-bits", 12<<20, "total association filter bits")
-		assK     = fs.Int("assoc-k", 8, "association bit positions per element")
-		mulBits  = fs.Int("mult-bits", 18<<20, "total multiplicity filter bits")
-		mulK     = fs.Int("mult-k", 8, "multiplicity bit positions per element")
-		maxCount = fs.Int("c", 57, "maximum multiplicity")
-		snapPath = fs.String("snapshot", "", "snapshot file (loaded at startup, written on shutdown and POST /v1/snapshot)")
-		snapEvr  = fs.Duration("snapshot-every", 0, "also snapshot on this interval (0 = disabled; requires -snapshot)")
+		addr      = fs.String("addr", ":8137", "listen address")
+		shards    = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
+		seed      = fs.Uint64("seed", 1, "hash seed (filters are deterministic per seed)")
+		memBits   = fs.Int("member-bits", 12<<20, "total membership filter bits")
+		memK      = fs.Int("member-k", 8, "membership bit positions per element (even)")
+		assBits   = fs.Int("assoc-bits", 12<<20, "total association filter bits")
+		assK      = fs.Int("assoc-k", 8, "association bit positions per element")
+		mulBits   = fs.Int("mult-bits", 18<<20, "total multiplicity filter bits")
+		mulK      = fs.Int("mult-k", 8, "multiplicity bit positions per element")
+		maxCount  = fs.Int("c", 57, "maximum multiplicity")
+		snapPath  = fs.String("snapshot", "", "snapshot file (loaded at startup, written on shutdown and POST /v1/snapshot)")
+		snapEvr   = fs.Duration("snapshot-every", 0, "also snapshot on this interval (0 = disabled; requires -snapshot)")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +94,32 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	// The profiling listener is separate from the serving listener so
+	// the pprof endpoints are never reachable through the query port —
+	// operators expose -addr and keep -pprof-addr on localhost. A
+	// dedicated mux (rather than http.DefaultServeMux, which the pprof
+	// package registers on as a side effect) keeps the surface explicit.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		log.Printf("shbfd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("shbfd: pprof server: %v", err)
+			}
+		}()
+		defer psrv.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"path/filepath"
 	"testing"
@@ -71,6 +72,42 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-member-k", "7", "-addr", "127.0.0.1:0"}, nil); err == nil {
 		t.Fatal("accepted odd membership k")
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	// Reserve a port for the profiling listener (closed again before
+	// the daemon starts; the small reuse race is acceptable in a test),
+	// then check the pprof index is served there and NOT on the query
+	// port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := ln.Addr().String()
+	ln.Close()
+
+	url, stop := startDaemon(t,
+		"-member-bits", "65536", "-assoc-bits", "65536", "-mult-bits", "131072",
+		"-shards", "4", "-pprof-addr", pprofAddr)
+	defer stop()
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("pprof endpoints must not be reachable on the query port")
 	}
 }
 

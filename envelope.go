@@ -21,6 +21,15 @@ import (
 // envelopes concatenate: [Decode] consumes one envelope from a byte
 // slice and returns the rest, which is how the daemon snapshot bundles
 // its three filters in one file.
+//
+// Envelopes store bit arrays and seeds, never keys, so they load
+// across releases — but the positions those bits encode are a
+// function of the release's hash pipeline. Cross-version bit-pattern
+// determinism reset at the version that introduced the one-pass
+// digest pipeline (DESIGN.md §1.5): an envelope written by an earlier
+// release still decodes, yet its bits describe positions the current
+// pipeline will never probe, so such filters must be rebuilt from
+// source data rather than loaded.
 
 const (
 	envelopeMagic   = "ShBE"

@@ -78,20 +78,24 @@ func (f *BF) FillRatio() float64 { return f.bits.FillRatio() }
 // HashOpsPerQuery returns k, the worst-case hashing budget.
 func (f *BF) HashOpsPerQuery() int { return f.k }
 
-// Add inserts e, setting k bits.
+// Add inserts e, setting k bits (one digest pass, k mixes).
 func (f *BF) Add(e []byte) {
+	d := f.fam.Digest(e)
 	for i := 0; i < f.k; i++ {
-		f.bits.Set(f.fam.Mod(i, e, f.m))
+		f.bits.Set(f.fam.ModFromDigest(i, d, f.m))
 	}
 	f.n++
 }
 
 // Contains reports whether e may be in the set, probing bit by bit with
-// early termination; hash values are computed lazily so a first-probe
-// miss costs one hash computation and one memory access.
+// early termination. The key is digested once; per probe only an
+// integer mix and one memory access remain, so the paper's hashing
+// budgets (k here vs ShBF_M's k/2+1) compare as mix counts over the
+// same single pass.
 func (f *BF) Contains(e []byte) bool {
+	d := f.fam.Digest(e)
 	for i := 0; i < f.k; i++ {
-		if !f.bits.Bit(f.fam.Mod(i, e, f.m)) {
+		if !f.bits.Bit(f.fam.ModFromDigest(i, d, f.m)) {
 			return false
 		}
 	}

@@ -60,11 +60,12 @@ func (f *CBF) SizeBytes() int { return f.counts.SizeBytes() }
 // Insert adds e, incrementing k counters. ErrSaturated is returned (and
 // the insert rolled back) if any counter is at its maximum.
 func (f *CBF) Insert(e []byte) error {
+	d := f.fam.Digest(e)
 	for i := 0; i < f.k; i++ {
-		p := f.fam.Mod(i, e, f.m)
+		p := f.fam.ModFromDigest(i, d, f.m)
 		if f.counts.Peek(p) == f.counts.Max() {
 			for j := 0; j < i; j++ {
-				f.counts.Dec(f.fam.Mod(j, e, f.m))
+				f.counts.Dec(f.fam.ModFromDigest(j, d, f.m))
 			}
 			return ErrSaturated
 		}
@@ -78,13 +79,14 @@ func (f *CBF) Insert(e []byte) error {
 // returns ErrNotStored (leaving the filter unchanged) if some counter is
 // already zero.
 func (f *CBF) Delete(e []byte) error {
+	d := f.fam.Digest(e)
 	for i := 0; i < f.k; i++ {
-		if f.counts.Peek(f.fam.Mod(i, e, f.m)) == 0 {
+		if f.counts.Peek(f.fam.ModFromDigest(i, d, f.m)) == 0 {
 			return ErrNotStored
 		}
 	}
 	for i := 0; i < f.k; i++ {
-		f.counts.Dec(f.fam.Mod(i, e, f.m))
+		f.counts.Dec(f.fam.ModFromDigest(i, d, f.m))
 	}
 	f.n--
 	return nil
@@ -92,8 +94,9 @@ func (f *CBF) Delete(e []byte) error {
 
 // Contains reports whether e may be in the set (all k counters ≥ 1).
 func (f *CBF) Contains(e []byte) bool {
+	d := f.fam.Digest(e)
 	for i := 0; i < f.k; i++ {
-		if f.counts.Get(f.fam.Mod(i, e, f.m)) == 0 {
+		if f.counts.Get(f.fam.ModFromDigest(i, d, f.m)) == 0 {
 			return false
 		}
 	}

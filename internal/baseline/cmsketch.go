@@ -51,19 +51,21 @@ func (s *CMSketch) R() int { return s.r }
 // HashOpsPerOp returns d — the budget the SCM sketch halves.
 func (s *CMSketch) HashOpsPerOp() int { return s.d }
 
-// Insert increments one counter per row.
+// Insert increments one counter per row (one digest pass, d mixes).
 func (s *CMSketch) Insert(e []byte) {
+	d := s.fam.Digest(e)
 	for i, row := range s.rows {
-		row.Inc(s.fam.Mod(i, e, s.r))
+		row.Inc(s.fam.ModFromDigest(i, d, s.r))
 	}
 }
 
 // Count returns the count-min estimate (row-wise minimum, never an
 // underestimate). A zero counter short-circuits the scan.
 func (s *CMSketch) Count(e []byte) uint64 {
+	d := s.fam.Digest(e)
 	min := ^uint64(0)
 	for i, row := range s.rows {
-		v := row.Get(s.fam.Mod(i, e, s.r))
+		v := row.Get(s.fam.ModFromDigest(i, d, s.r))
 		if v < min {
 			min = v
 			if min == 0 {

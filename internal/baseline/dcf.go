@@ -87,7 +87,7 @@ func (f *DCF) widen() {
 // Insert adds one occurrence of e, incrementing the combined counter at
 // each of the k positions.
 func (f *DCF) Insert(e []byte) {
-	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 	for _, p := range f.pos {
 		f.setValue(p, f.value(p)+1)
 	}
@@ -96,7 +96,7 @@ func (f *DCF) Insert(e []byte) {
 // Delete removes one occurrence of e, or returns ErrNotStored (leaving
 // the filter unchanged) if some position is already zero.
 func (f *DCF) Delete(e []byte) error {
-	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 	for _, p := range f.pos {
 		if f.value(p) == 0 {
 			return ErrNotStored
@@ -111,9 +111,10 @@ func (f *DCF) Delete(e []byte) error {
 // Count returns the multiplicity estimate (minimum over the k combined
 // counters; never an underestimate).
 func (f *DCF) Count(e []byte) uint64 {
+	d := f.fam.Digest(e)
 	min := ^uint64(0)
 	for i := 0; i < f.k; i++ {
-		v := f.value(f.fam.Mod(i, e, f.m))
+		v := f.value(f.fam.ModFromDigest(i, d, f.m))
 		if v < min {
 			min = v
 			if min == 0 {

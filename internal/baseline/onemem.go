@@ -61,11 +61,13 @@ func (f *OneMemBF) SizeBytes() int { return len(f.words) * 8 }
 // answered by the first in-word bit costs only 2.
 func (f *OneMemBF) HashOpsPerQuery() int { return f.k + 1 }
 
-// mask computes the word index and the k-bit in-word mask for e.
+// mask computes the word index and the k-bit in-word mask for e from
+// one digest pass.
 func (f *OneMemBF) mask(e []byte) (word int, mask uint64) {
-	word = f.fam.Mod(0, e, len(f.words))
+	d := f.fam.Digest(e)
+	word = f.fam.ModFromDigest(0, d, len(f.words))
 	for i := 1; i <= f.k; i++ {
-		mask |= 1 << (f.fam.Sum64(i, e) & 63)
+		mask |= 1 << (f.fam.FromDigest(i, d) & 63)
 	}
 	return word, mask
 }
@@ -81,13 +83,14 @@ func (f *OneMemBF) Add(e []byte) {
 
 // Contains reports whether e may be in the set with exactly one read
 // access (the scheme's defining property). The word is fetched once;
-// in-word bits are then checked with lazily computed hash functions and
+// in-word bits are then checked with lazily mixed hash values and
 // early termination.
 func (f *OneMemBF) Contains(e []byte) bool {
-	w := f.words[f.fam.Mod(0, e, len(f.words))]
+	d := f.fam.Digest(e)
+	w := f.words[f.fam.ModFromDigest(0, d, len(f.words))]
 	f.acc.AddReads(1)
 	for i := 1; i <= f.k; i++ {
-		if w&(1<<(f.fam.Sum64(i, e)&63)) == 0 {
+		if w&(1<<(f.fam.FromDigest(i, d)&63)) == 0 {
 			return false
 		}
 	}

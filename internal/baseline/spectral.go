@@ -99,7 +99,7 @@ func (f *SpectralBF) SizeBytes() int {
 
 // Insert adds one occurrence of e according to the variant's rule.
 func (f *SpectralBF) Insert(e []byte) {
-	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 	switch f.mode {
 	case SpectralBasic:
 		for _, p := range f.pos {
@@ -159,7 +159,7 @@ func (f *SpectralBF) minAt(pos []int) (min uint64, recurring bool) {
 // seedValue raises e's counters to at least v (used when an element
 // first enters the secondary array with its primary-minimum estimate).
 func (f *SpectralBF) seedValue(e []byte, v uint64) {
-	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 	for _, p := range f.pos {
 		if f.counts.Peek(p) < v {
 			f.counts.Set(p, v)
@@ -175,7 +175,7 @@ func (f *SpectralBF) Delete(e []byte) error {
 	if f.mode != SpectralBasic {
 		return fmt.Errorf("baseline: %w: only the basic spectral BF supports deletes", ErrNotStored)
 	}
-	f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+	f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 	for _, p := range f.pos {
 		if f.counts.Peek(p) == 0 {
 			return ErrNotStored
@@ -194,7 +194,7 @@ func (f *SpectralBF) Delete(e []byte) error {
 // single (the error-prone case it exists to repair).
 func (f *SpectralBF) Count(e []byte) uint64 {
 	if f.mode == SpectralRecurringMin {
-		f.pos = f.fam.ModAll(f.k, e, f.m, f.pos)
+		f.pos = f.fam.PositionsFromDigest(f.fam.Digest(e), f.k, f.m, f.pos)
 		min, recurring := f.minAt(f.pos)
 		if recurring || min == 0 {
 			return min
@@ -204,9 +204,10 @@ func (f *SpectralBF) Count(e []byte) uint64 {
 		}
 		return min
 	}
+	d := f.fam.Digest(e)
 	min := ^uint64(0)
 	for i := 0; i < f.k; i++ {
-		v := f.counts.Get(f.fam.Mod(i, e, f.m))
+		v := f.counts.Get(f.fam.ModFromDigest(i, d, f.m))
 		if v < min {
 			min = v
 			if min == 0 {

@@ -116,6 +116,21 @@ func (v *Vector) Window(pos, width int) uint64 {
 	return out
 }
 
+// WindowUncounted is the hot-path form of Window: the same two-word
+// read, but small enough to inline — no access accounting and no
+// explicit range validation. mask is the precomputed width mask
+// (1<<width − 1; ^0 for width 64). Callers must (a) hold positions
+// that are in range by construction — every filter derives them as
+// Reduce(·, m) + offset ≤ Len — and (b) use Window instead whenever an
+// access counter may be attached, or the paper's access figures go
+// silently uncounted. Memory safety is independent of (a): a wild
+// position faults the slice bounds check rather than reading foreign
+// memory.
+func (v *Vector) WindowUncounted(pos int, mask uint64) uint64 {
+	wi, off := pos>>6, uint(pos&63)
+	return (v.words[wi]>>off | v.words[wi+1]<<(64-off)) & mask
+}
+
 // OnesCount returns the number of set bits (no access charged; this is
 // instrumentation, not a query path).
 func (v *Vector) OnesCount() int {

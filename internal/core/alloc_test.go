@@ -1,0 +1,196 @@
+//go:build !race
+
+// (The race detector makes sync.Pool drop items on purpose and adds
+// allocation of shadow state, so allocs/op is meaningless under -race.)
+
+package core
+
+// Zero-allocation guards for the hot paths. The one-pass digest
+// pipeline keeps every per-query quantity (Digest, mixed values,
+// positions) in registers or filter-owned scratch, so scalar
+// Add/Contains/Count/Query and the batch forms must not allocate in
+// steady state. testing.AllocsPerRun discards its first (warm-up)
+// invocation, which is when lazily grown scratch (CountingMembership's
+// position buffer, Membership's batch digest buffer) reaches its
+// steady size.
+//
+// Update paths that store keys in a backing hash table (counting
+// association/multiplicity inserts of NEW keys) allocate by design —
+// the table keeps a copy of the key — so they are exercised here only
+// on already-stored keys, where they too must be allocation-free.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// requireZeroAllocs runs fn and fails if any run allocated.
+func requireZeroAllocs(t *testing.T, name string, runs int, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+func allocKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("flow-%08d!", i))
+	}
+	return keys
+}
+
+func TestMembershipHotPathsAllocFree(t *testing.T) {
+	f, err := NewMembership(1<<18, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	for _, e := range keys {
+		f.Add(e)
+	}
+	dst := make([]bool, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Membership.Add", 100, func() { f.Add(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Membership.Contains", 100, func() { f.Contains(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Membership.AddAll", 20, func() {
+		if err := f.AddAll(keys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Membership.ContainsAll", 20, func() { dst = f.ContainsAll(dst, keys) })
+}
+
+func TestTShiftHotPathsAllocFree(t *testing.T) {
+	f, err := NewTShift(1<<18, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	for _, e := range keys {
+		f.Add(e)
+	}
+	i := 0
+	requireZeroAllocs(t, "TShift.Add", 100, func() { f.Add(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "TShift.Contains", 100, func() { f.Contains(keys[i%len(keys)]); i++ })
+}
+
+func TestCountingMembershipHotPathsAllocFree(t *testing.T) {
+	c, err := NewCountingMembership(1<<18, 8, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(64)
+	for _, e := range keys {
+		if err := c.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	requireZeroAllocs(t, "CountingMembership.Contains", 100, func() { c.Contains(keys[i%len(keys)]); i++ })
+	// Insert+Delete pairs keep counters bounded across the runs.
+	requireZeroAllocs(t, "CountingMembership.Insert/Delete", 100, func() {
+		e := keys[i%len(keys)]
+		i++
+		if err := c.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAssociationHotPathsAllocFree(t *testing.T) {
+	keys := allocKeys(512)
+	a, err := BuildAssociation(keys[:256], keys[128:384], 1<<16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Region, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Association.Query", 100, func() { a.Query(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Association.QueryAll", 20, func() { dst = a.QueryAll(dst, keys) })
+
+	ca, err := NewCountingAssociation(1<<16, 8, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range keys[:256] {
+		if err := ca.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireZeroAllocs(t, "CountingAssociation.Query", 100, func() { ca.Query(keys[i%len(keys)]); i++ })
+}
+
+func TestMultiAssociationQueryAllocFree(t *testing.T) {
+	keys := allocKeys(300)
+	a, err := BuildMultiAssociation([][][]byte{keys[:100], keys[80:200], keys[180:300]}, 1<<16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	requireZeroAllocs(t, "MultiAssociation.Query", 100, func() { a.Query(keys[i%len(keys)]); i++ })
+}
+
+func TestMultiplicityHotPathsAllocFree(t *testing.T) {
+	f, err := NewMultiplicity(1<<18, 8, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	for j, e := range keys {
+		if err := f.AddWithCount(e, j%57+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]int, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Multiplicity.AddWithCount", 100, func() {
+		if err := f.AddWithCount(keys[i%len(keys)], 3); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	requireZeroAllocs(t, "Multiplicity.Count", 100, func() { f.Count(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Multiplicity.CountAll", 20, func() { dst = f.CountAll(dst, keys) })
+}
+
+func TestCountingMultiplicityHotPathsAllocFree(t *testing.T) {
+	f, err := NewCountingMultiplicity(1<<18, 8, 57, WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(128)
+	for _, e := range keys {
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	requireZeroAllocs(t, "CountingMultiplicity.Count", 100, func() { f.Count(keys[i%len(keys)]); i++ })
+	// Insert/Delete on already-stored keys: the backing table updates in
+	// place, so steady-state churn is allocation-free too.
+	requireZeroAllocs(t, "CountingMultiplicity.Insert/Delete", 100, func() {
+		e := keys[i%len(keys)]
+		i++
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSCMSketchHotPathsAllocFree(t *testing.T) {
+	s, err := NewSCMSketch(8, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	i := 0
+	requireZeroAllocs(t, "SCMSketch.Insert", 100, func() { s.Insert(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "SCMSketch.Count", 100, func() { s.Count(keys[i%len(keys)]); i++ })
+}

@@ -140,13 +140,16 @@ func BuildAssociation(s1, s2 [][]byte, m, k int, opts ...Option) (*Association, 
 	a.n1, a.n2 = t1.Len(), t2.Len()
 
 	// Step 2: elements of S1 — offset 0 if exclusive, o1 if shared.
+	// Each element is digested once; region offset and the k positions
+	// all derive from that digest.
 	t1.Range(func(e []byte, _ uint64) bool {
+		d := a.fam.Digest(e)
 		o := 0
 		if t2.Contains(e) {
-			o = a.offset1(e)
+			o = a.offset1(d)
 			a.nBoth++
 		}
-		a.encode(e, o)
+		a.encode(d, o)
 		return true
 	})
 
@@ -155,26 +158,27 @@ func BuildAssociation(s1, s2 [][]byte, m, k int, opts ...Option) (*Association, 
 		if t1.Contains(e) {
 			return true // already encoded with o1
 		}
-		a.encode(e, a.offset2(e))
+		d := a.fam.Digest(e)
+		a.encode(d, a.offset2(d))
 		return true
 	})
 	return a, nil
 }
 
-// offset1 computes o1(e) ∈ [1, (w̄−1)/2].
-func (a *Association) offset1(e []byte) int {
-	return hashing.Reduce(a.fam.Sum64(a.k, e), a.halfRange) + 1
+// offset1 computes o1(e) ∈ [1, (w̄−1)/2] from e's digest.
+func (a *Association) offset1(d hashing.Digest) int {
+	return hashing.Reduce(a.fam.FromDigest(a.k, d), a.halfRange) + 1
 }
 
 // offset2 computes o2(e) = o1(e) + h_{k+2}(e)%((w̄−1)/2) + 1 ∈ [2, w̄−1].
-func (a *Association) offset2(e []byte) int {
-	return a.offset1(e) + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+func (a *Association) offset2(d hashing.Digest) int {
+	return a.offset1(d) + hashing.Reduce(a.fam.FromDigest(a.k+1, d), a.halfRange) + 1
 }
 
-// encode sets the k bits B[h_i(e)%m + o].
-func (a *Association) encode(e []byte, o int) {
+// encode sets the k bits B[h_i(e)%m + o] for the element digested as d.
+func (a *Association) encode(d hashing.Digest, o int) {
 	for i := 0; i < a.k; i++ {
-		a.bits.Set(a.fam.Mod(i, e, a.m) + o)
+		a.bits.Set(a.fam.ModFromDigest(i, d, a.m) + o)
 	}
 }
 
@@ -200,16 +204,21 @@ func (a *Association) FillRatio() float64 { return a.bits.FillRatio() }
 // Query returns the candidate-region mask for e. For e ∈ S1 ∪ S2 the
 // true region is always among the candidates (no false negatives) and
 // any of the seven Section 4.2 outcomes may be returned; for other
-// elements RegionNone may additionally be returned. Each of the ≤ k
-// window reads costs one memory access and checks all three offsets at
-// once; the scan stops early once no candidate survives.
+// elements RegionNone may additionally be returned. One digest pass,
+// then each of the ≤ k window reads costs one mix and one memory
+// access and checks all three offsets at once; the scan stops early
+// once no candidate survives.
 func (a *Association) Query(e []byte) Region {
-	o1 := a.offset1(e)
-	o2 := o1 + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+	return a.queryDigest(a.fam.Digest(e))
+}
+
+func (a *Association) queryDigest(d hashing.Digest) Region {
+	o1 := a.offset1(d)
+	o2 := o1 + hashing.Reduce(a.fam.FromDigest(a.k+1, d), a.halfRange) + 1
 
 	cand := RegionS1Only | RegionBoth | RegionS2Only
 	for i := 0; i < a.k && cand != RegionNone; i++ {
-		win := a.bits.Window(a.fam.Mod(i, e, a.m), a.wbar)
+		win := a.bits.Window(a.fam.ModFromDigest(i, d, a.m), a.wbar)
 		// Branchless candidate pruning: surviving regions are exactly
 		// those whose offset bit is set in the window (the bit tests are
 		// data-dependent 50/50 coin flips at the optimal fill, so

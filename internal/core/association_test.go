@@ -191,7 +191,8 @@ func TestAssociationOffsetsDistinct(t *testing.T) {
 	// the three region encodings can never collide for one element.
 	a := buildAssoc(t, nil, nil, nil, 1000, 4)
 	for _, e := range genElements(3000, 7) {
-		o1, o2 := a.offset1(e), a.offset2(e)
+		d := a.fam.Digest(e)
+		o1, o2 := a.offset1(d), a.offset2(d)
 		if o1 < 1 || o1 > 28 {
 			t.Fatalf("o1 = %d out of [1,28]", o1)
 		}

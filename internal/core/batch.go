@@ -1,13 +1,19 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"shbf/internal/hashing"
+)
 
 // This file adds the batch-first query surface: every hot-path
 // operation also exists in a slice form so serving layers hand the
-// filter a whole request batch at once. On the monolithic core types
-// the batch forms are simple loops (kept so every kind presents the
-// same surface); the real win is in internal/sharded, whose batch
-// implementations group keys by shard and take each shard lock once
+// filter a whole request batch at once. The flagship Membership batch
+// paths run in two phases — digest every key, then probe with the
+// cached digests — so the keys' independent digest chains pipeline
+// across loop iterations; the other core kinds keep simple loops
+// (each already one digest pass per key). internal/sharded adds the
+// second batch win: grouping keys by shard takes each shard lock once
 // per batch instead of once per key.
 //
 // All ContainsAll/CountAll/QueryAll variants share the dst convention
@@ -27,21 +33,41 @@ func resizeSlice[T any](dst []T, n int) []T {
 // AddAll inserts every key. The error is always nil for the static
 // membership filter; the signature matches the batch interface shared
 // with the counting kinds, whose inserts can fail.
+//
+// Like ContainsAll, the batch runs in two phases over the filter's
+// digest scratch: digesting back to back lets consecutive keys'
+// independent hash chains overlap in the pipeline, which the
+// interleaved digest-then-probe order of a scalar loop cannot.
 func (f *Membership) AddAll(keys [][]byte) error {
-	for _, e := range keys {
-		f.Add(e)
+	ds := f.digestAll(keys)
+	for _, d := range ds {
+		f.AddDigest(d)
 	}
 	return nil
 }
 
 // ContainsAll queries every key, writing answers into dst (resized to
-// len(keys)) and returning it.
+// len(keys)) and returning it. Phase one digests every key (one pass
+// each, pipelined across keys); phase two probes with the cached
+// digests.
 func (f *Membership) ContainsAll(dst []bool, keys [][]byte) []bool {
 	dst = resizeSlice(dst, len(keys))
-	for i, e := range keys {
-		dst[i] = f.Contains(e)
+	ds := f.digestAll(keys)
+	for i, d := range ds {
+		dst[i] = f.ContainsDigest(d)
 	}
 	return dst
+}
+
+// digestAll fills the filter's digest scratch with the keys' digests.
+// The scratch lives on the filter (which is single-goroutine by
+// contract), so steady-state batches do not allocate.
+func (f *Membership) digestAll(keys [][]byte) []hashing.Digest {
+	f.dscratch = resizeSlice(f.dscratch, len(keys))
+	for i, e := range keys {
+		f.dscratch[i] = f.fam.Digest(e)
+	}
+	return f.dscratch
 }
 
 // AddAll inserts every key.

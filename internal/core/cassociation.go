@@ -81,40 +81,64 @@ func (a *CountingAssociation) N2() int { return a.t2.Len() }
 // region if it changed. ErrCounterSaturated is returned if a counter
 // would overflow; the filter is left unchanged in that case.
 func (a *CountingAssociation) InsertS1(e []byte) error {
+	return a.InsertS1Digest(e, a.fam.Digest(e))
+}
+
+// InsertS1Digest is InsertS1 for a caller that already digested e
+// (the sharded layer, which routed on the digest). d must be e's
+// hashing.KeyDigest; the raw key is still needed for the membership
+// tables.
+func (a *CountingAssociation) InsertS1Digest(e []byte, d hashing.Digest) error {
 	if a.t1.Contains(e) {
 		return nil
 	}
-	return a.transition(e, func() { a.t1.Put(e, 1) })
+	return a.transition(e, d, func() { a.t1.Put(e, 1) })
 }
 
 // InsertS2 adds e to S2 (no-op if already present).
 func (a *CountingAssociation) InsertS2(e []byte) error {
+	return a.InsertS2Digest(e, a.fam.Digest(e))
+}
+
+// InsertS2Digest is InsertS2 for an already digested key.
+func (a *CountingAssociation) InsertS2Digest(e []byte, d hashing.Digest) error {
 	if a.t2.Contains(e) {
 		return nil
 	}
-	return a.transition(e, func() { a.t2.Put(e, 1) })
+	return a.transition(e, d, func() { a.t2.Put(e, 1) })
 }
 
 // DeleteS1 removes e from S1, returning ErrNotStored if absent.
 func (a *CountingAssociation) DeleteS1(e []byte) error {
+	return a.DeleteS1Digest(e, a.fam.Digest(e))
+}
+
+// DeleteS1Digest is DeleteS1 for an already digested key.
+func (a *CountingAssociation) DeleteS1Digest(e []byte, d hashing.Digest) error {
 	if !a.t1.Contains(e) {
 		return ErrNotStored
 	}
-	return a.transition(e, func() { a.t1.Delete(e) })
+	return a.transition(e, d, func() { a.t1.Delete(e) })
 }
 
 // DeleteS2 removes e from S2, returning ErrNotStored if absent.
 func (a *CountingAssociation) DeleteS2(e []byte) error {
+	return a.DeleteS2Digest(e, a.fam.Digest(e))
+}
+
+// DeleteS2Digest is DeleteS2 for an already digested key.
+func (a *CountingAssociation) DeleteS2Digest(e []byte, d hashing.Digest) error {
 	if !a.t2.Contains(e) {
 		return ErrNotStored
 	}
-	return a.transition(e, func() { a.t2.Delete(e) })
+	return a.transition(e, d, func() { a.t2.Delete(e) })
 }
 
 // transition applies the set mutation, then re-encodes e if its region
 // changed: decrement the old offset's k counters (clearing bits that
-// reach zero) and increment the new offset's (setting bits).
-func (a *CountingAssociation) transition(e []byte, mutate func()) error {
+// reach zero) and increment the new offset's (setting bits). All
+// positions derive from the single digest d.
+func (a *CountingAssociation) transition(e []byte, d hashing.Digest, mutate func()) error {
 	oldRegion := a.truthRegion(e)
 	mutate()
 	newRegion := a.truthRegion(e)
@@ -122,27 +146,27 @@ func (a *CountingAssociation) transition(e []byte, mutate func()) error {
 		return nil
 	}
 	if newRegion != RegionNone {
-		o := a.offsetFor(e, newRegion)
+		o := a.offsetFor(d, newRegion)
 		// Check saturation up front so failures leave state untouched
 		// (aside from the set-table mutation, which the caller observes
 		// via the error and can undo; encoding and tables stay in sync
 		// for all other elements).
 		for i := 0; i < a.k; i++ {
-			p := a.fam.Mod(i, e, a.m) + o
+			p := a.fam.ModFromDigest(i, d, a.m) + o
 			if a.counts.Peek(p) == a.counts.Max() {
 				return ErrCounterSaturated
 			}
 		}
 		for i := 0; i < a.k; i++ {
-			p := a.fam.Mod(i, e, a.m) + o
+			p := a.fam.ModFromDigest(i, d, a.m) + o
 			a.counts.Inc(p)
 			a.bits.Set(p)
 		}
 	}
 	if oldRegion != RegionNone {
-		o := a.offsetFor(e, oldRegion)
+		o := a.offsetFor(d, oldRegion)
 		for i := 0; i < a.k; i++ {
-			p := a.fam.Mod(i, e, a.m) + o
+			p := a.fam.ModFromDigest(i, d, a.m) + o
 			if v, ok := a.counts.Dec(p); ok && v == 0 {
 				a.bits.Clear(p)
 			}
@@ -166,35 +190,41 @@ func (a *CountingAssociation) truthRegion(e []byte) Region {
 	}
 }
 
-// offsetFor maps an atomic region to its encoding offset.
-func (a *CountingAssociation) offsetFor(e []byte, r Region) int {
+// offsetFor maps an atomic region to its encoding offset for the
+// element digested as d.
+func (a *CountingAssociation) offsetFor(d hashing.Digest, r Region) int {
 	switch r {
 	case RegionS1Only:
 		return 0
 	case RegionBoth:
-		return a.offset1(e)
+		return a.offset1(d)
 	default: // RegionS2Only
-		return a.offset2(e)
+		return a.offset2(d)
 	}
 }
 
-func (a *CountingAssociation) offset1(e []byte) int {
-	return hashing.Reduce(a.fam.Sum64(a.k, e), a.halfRange) + 1
+func (a *CountingAssociation) offset1(d hashing.Digest) int {
+	return hashing.Reduce(a.fam.FromDigest(a.k, d), a.halfRange) + 1
 }
 
-func (a *CountingAssociation) offset2(e []byte) int {
-	return a.offset1(e) + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+func (a *CountingAssociation) offset2(d hashing.Digest) int {
+	return a.offset1(d) + hashing.Reduce(a.fam.FromDigest(a.k+1, d), a.halfRange) + 1
 }
 
 // Query returns the candidate-region mask for e from the bit array B,
 // with the same semantics as Association.Query.
 func (a *CountingAssociation) Query(e []byte) Region {
-	o1 := a.offset1(e)
-	o2 := o1 + hashing.Reduce(a.fam.Sum64(a.k+1, e), a.halfRange) + 1
+	return a.QueryDigest(a.fam.Digest(e))
+}
+
+// QueryDigest answers Query for the element whose digest is d.
+func (a *CountingAssociation) QueryDigest(d hashing.Digest) Region {
+	o1 := a.offset1(d)
+	o2 := o1 + hashing.Reduce(a.fam.FromDigest(a.k+1, d), a.halfRange) + 1
 
 	cand := RegionS1Only | RegionBoth | RegionS2Only
 	for i := 0; i < a.k && cand != RegionNone; i++ {
-		win := a.bits.Window(a.fam.Mod(i, e, a.m), a.wbar)
+		win := a.bits.Window(a.fam.ModFromDigest(i, d, a.m), a.wbar)
 		// Branchless pruning; see Association.Query.
 		survived := Region(win&1) |
 			Region(win>>uint(o1)&1)<<1 |

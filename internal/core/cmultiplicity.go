@@ -89,30 +89,38 @@ func (f *CountingMultiplicity) Unsafe() bool { return f.table == nil }
 func (f *CountingMultiplicity) C() int { return f.c }
 
 // current returns e's multiplicity as the update path sees it: exact
-// from the hash table in safe mode, queried from B in unsafe mode.
-func (f *CountingMultiplicity) current(e []byte) int {
+// from the hash table in safe mode, queried from B (via d) in unsafe
+// mode.
+func (f *CountingMultiplicity) current(e []byte, d hashing.Digest) int {
 	if f.table != nil {
 		v, _ := f.table.Get(e)
 		return int(v)
 	}
-	return f.Count(e)
+	return f.CountDigest(d)
 }
 
 // Insert increments e's multiplicity. It returns ErrCountOverflow when
 // the multiplicity would exceed c, and ErrCounterSaturated when a
 // counter in C would overflow; in both cases the filter is unchanged.
 func (f *CountingMultiplicity) Insert(e []byte) error {
-	z := f.current(e)
+	return f.InsertDigest(e, f.fam.Digest(e))
+}
+
+// InsertDigest is Insert for a caller that already digested e (the
+// sharded layer). d must be e's hashing.KeyDigest; the raw key is
+// still needed for the backing hash table.
+func (f *CountingMultiplicity) InsertDigest(e []byte, d hashing.Digest) error {
+	z := f.current(e, d)
 	if z+1 > f.c {
 		return ErrCountOverflow
 	}
-	if err := f.checkHeadroom(e, z); err != nil {
+	if err := f.checkHeadroom(d, z); err != nil {
 		return err
 	}
 	if z > 0 {
-		f.removeEncoding(e, z)
+		f.removeEncoding(d, z)
 	}
-	f.addEncoding(e, z+1)
+	f.addEncoding(d, z+1)
 	if f.table != nil {
 		f.table.Add(e, 1)
 	}
@@ -122,18 +130,23 @@ func (f *CountingMultiplicity) Insert(e []byte) error {
 // Delete decrements e's multiplicity, returning ErrNotStored if e's
 // current encoding is not present.
 func (f *CountingMultiplicity) Delete(e []byte) error {
-	z := f.current(e)
+	return f.DeleteDigest(e, f.fam.Digest(e))
+}
+
+// DeleteDigest is Delete for an already digested key.
+func (f *CountingMultiplicity) DeleteDigest(e []byte, d hashing.Digest) error {
+	z := f.current(e, d)
 	if z == 0 {
 		return ErrNotStored
 	}
 	if z > 1 {
-		if err := f.checkHeadroom(e, z); err != nil {
+		if err := f.checkHeadroom(d, z); err != nil {
 			return err
 		}
 	}
-	f.removeEncoding(e, z)
+	f.removeEncoding(d, z)
 	if z > 1 {
-		f.addEncoding(e, z-1)
+		f.addEncoding(d, z-1)
 	}
 	if f.table != nil {
 		f.table.Sub(e, 1)
@@ -143,9 +156,9 @@ func (f *CountingMultiplicity) Delete(e []byte) error {
 
 // checkHeadroom verifies no destination counter of a z→z±1 move is
 // saturated, so failed updates leave the filter untouched.
-func (f *CountingMultiplicity) checkHeadroom(e []byte, z int) error {
+func (f *CountingMultiplicity) checkHeadroom(d hashing.Digest, z int) error {
 	for i := 0; i < f.k; i++ {
-		if f.counts.Peek(f.fam.Mod(i, e, f.m)+z) == f.counts.Max() {
+		if f.counts.Peek(f.fam.ModFromDigest(i, d, f.m)+z) == f.counts.Max() {
 			return ErrCounterSaturated
 		}
 	}
@@ -154,10 +167,10 @@ func (f *CountingMultiplicity) checkHeadroom(e []byte, z int) error {
 
 // addEncoding increments the k counters of multiplicity count and sets
 // the bits.
-func (f *CountingMultiplicity) addEncoding(e []byte, count int) {
+func (f *CountingMultiplicity) addEncoding(d hashing.Digest, count int) {
 	o := count - 1
 	for i := 0; i < f.k; i++ {
-		p := f.fam.Mod(i, e, f.m) + o
+		p := f.fam.ModFromDigest(i, d, f.m) + o
 		f.counts.Inc(p)
 		f.bits.Set(p)
 	}
@@ -167,18 +180,19 @@ func (f *CountingMultiplicity) addEncoding(e []byte, count int) {
 // clearing bits whose counters reach zero (Figure 5, steps 2–3). In
 // unsafe mode a false-positive z can decrement counters owned by other
 // elements — the documented false-negative mechanism.
-func (f *CountingMultiplicity) removeEncoding(e []byte, count int) {
+func (f *CountingMultiplicity) removeEncoding(d hashing.Digest, count int) {
 	o := count - 1
 	for i := 0; i < f.k; i++ {
-		p := f.fam.Mod(i, e, f.m) + o
+		p := f.fam.ModFromDigest(i, d, f.m) + o
 		if v, ok := f.counts.Dec(p); ok && v == 0 {
 			f.bits.Clear(p)
 		}
 	}
 }
 
-// candidateMask intersects the k c-bit windows of e over B.
-func (f *CountingMultiplicity) candidateMask(e []byte) uint64 {
+// candidateMask intersects the k c-bit windows over B for the element
+// digested as d.
+func (f *CountingMultiplicity) candidateMask(d hashing.Digest) uint64 {
 	var all uint64
 	if f.c == 64 {
 		all = ^uint64(0)
@@ -187,7 +201,7 @@ func (f *CountingMultiplicity) candidateMask(e []byte) uint64 {
 	}
 	cand := all
 	for i := 0; i < f.k && cand != 0; i++ {
-		cand &= f.bits.Window(f.fam.Mod(i, e, f.m), f.c)
+		cand &= f.bits.Window(f.fam.ModFromDigest(i, d, f.m), f.c)
 	}
 	return cand
 }
@@ -195,7 +209,12 @@ func (f *CountingMultiplicity) candidateMask(e []byte) uint64 {
 // Count returns the reported multiplicity of e (largest candidate, 0 if
 // absent), reading only the on-chip array B.
 func (f *CountingMultiplicity) Count(e []byte) int {
-	cand := f.candidateMask(e)
+	return f.CountDigest(f.fam.Digest(e))
+}
+
+// CountDigest answers Count for the element whose digest is d.
+func (f *CountingMultiplicity) CountDigest(d hashing.Digest) int {
+	cand := f.candidateMask(d)
 	if cand == 0 {
 		return 0
 	}

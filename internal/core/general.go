@@ -92,20 +92,25 @@ func (f *TShift) HashOpsPerAdd() int { return f.groups + f.t }
 // FillRatio returns the fraction of set bits.
 func (f *TShift) FillRatio() float64 { return f.bits.FillRatio() }
 
-// offsets fills f.offs with the t segment-partitioned offsets of e.
-func (f *TShift) offsets(e []byte) {
+// offsets fills f.offs with the t segment-partitioned offsets of the
+// element whose digest is d.
+func (f *TShift) offsets(d hashing.Digest) {
 	for j := 0; j < f.t; j++ {
-		h := f.fam.Sum64(f.groups+j, e)
+		h := f.fam.FromDigest(f.groups+j, d)
 		f.offs[j] = j*f.seg + hashing.Reduce(h, f.seg) + 1
 	}
 }
 
 // Add inserts e: for each of the k/(t+1) base positions, set the base
-// bit and its t shifted copies.
+// bit and its t shifted copies. One digest pass, k/(t+1)+t mixes.
 func (f *TShift) Add(e []byte) {
-	f.offsets(e)
+	f.addDigest(f.fam.Digest(e))
+}
+
+func (f *TShift) addDigest(d hashing.Digest) {
+	f.offsets(d)
 	for i := 0; i < f.groups; i++ {
-		base := f.fam.Mod(i, e, f.m)
+		base := f.fam.ModFromDigest(i, d, f.m)
 		f.bits.Set(base)
 		for _, o := range f.offs {
 			f.bits.Set(base + o)
@@ -116,18 +121,22 @@ func (f *TShift) Add(e []byte) {
 
 // Contains reports whether e may be in the set. Each group is verified
 // with a single w̄-bit window read; the scan stops at the first group
-// whose t+1 bits are not all 1. The t offset hashes are computed only
+// whose t+1 bits are not all 1. The t offset mixes are computed only
 // once the first base bit passes, so cheap rejections stay cheap.
 func (f *TShift) Contains(e []byte) bool {
+	return f.containsDigest(f.fam.Digest(e))
+}
+
+func (f *TShift) containsDigest(d hashing.Digest) bool {
 	mask := uint64(0)
 	for i := 0; i < f.groups; i++ {
-		base := f.fam.Mod(i, e, f.m)
+		base := f.fam.ModFromDigest(i, d, f.m)
 		win := f.bits.Window(base, f.wbar)
 		if win&1 == 0 {
 			return false
 		}
 		if mask == 0 {
-			f.offsets(e)
+			f.offsets(d)
 			mask = 1
 			for _, o := range f.offs {
 				mask |= 1 << uint(o)

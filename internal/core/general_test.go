@@ -73,7 +73,7 @@ func TestTShiftOffsetsInDisjointSegments(t *testing.T) {
 	// The partitioned construction: offset j must land in segment j.
 	f := mustTShift(t, 1000, 8, 3, WithMaxOffset(31)) // seg = 10
 	for _, e := range genElements(2000, 7) {
-		f.offsets(e)
+		f.offsets(f.fam.Digest(e))
 		for j, o := range f.offs {
 			lo, hi := j*10+1, (j+1)*10
 			if o < lo || o > hi {
@@ -85,8 +85,10 @@ func TestTShiftOffsetsInDisjointSegments(t *testing.T) {
 
 func TestTShiftT1MatchesMembershipFPRBallpark(t *testing.T) {
 	// t=1 is the ShBF_M construction; its measured FPR must agree with
-	// Equation (1) just like Membership's.
-	const m, k, n, probes = 22008, 8, 1200, 100000
+	// Equation (1) just like Membership's. The probe count keeps the
+	// expected false-positive count large enough (≈130) that the 25%
+	// tolerance sits near 3σ of the Poisson noise.
+	const m, k, n, probes = 22008, 8, 1200, 500000
 	f := mustTShift(t, m, k, 1, WithSeed(5))
 	for _, e := range genElements(n, 20) {
 		f.Add(e)
@@ -100,7 +102,7 @@ func TestTShiftT1MatchesMembershipFPRBallpark(t *testing.T) {
 	got := float64(fp) / probes
 	p := math.Exp(-float64(n) * k / float64(m))
 	want := math.Pow(1-p, k/2.0) * math.Pow(1-p+p*p/(DefaultMaxOffset-1), k/2.0)
-	if math.Abs(got-want)/want > 0.20 {
+	if math.Abs(got-want)/want > 0.25 {
 		t.Fatalf("t=1 FPR %.5f vs Eq(1) %.5f", got, want)
 	}
 }

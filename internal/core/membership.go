@@ -22,14 +22,20 @@ import (
 // terminating early at the first miss — at most k/2 accesses versus the
 // standard filter's k.
 type Membership struct {
-	bits *bitvec.Vector
-	m    int // base array size; slack of w̄−1 bits follows
-	k    int // total bit positions per element (even)
-	half int // k/2 base hash functions
-	wbar int // maximum offset value w̄
-	fam  *hashing.Family
-	seed uint64 // construction seed (retained for serialization)
-	n    int    // elements added
+	bits    *bitvec.Vector
+	m       int    // base array size; slack of w̄−1 bits follows
+	k       int    // total bit positions per element (even)
+	half    int    // k/2 base hash functions
+	wbar    int    // maximum offset value w̄
+	winMask uint64 // precomputed w̄-bit window mask for the uncounted read
+	fam     *hashing.Family
+	seed    uint64 // construction seed (retained for serialization)
+	n       int    // elements added
+
+	// dscratch is the batch paths' digest buffer (see batch.go); kept
+	// on the filter — which is single-goroutine by contract — so
+	// steady-state batches are allocation-free.
+	dscratch []hashing.Digest
 }
 
 // NewMembership returns an empty ShBF_M with an m-bit base array and k
@@ -58,13 +64,14 @@ func newMembership(m, k int, cfg config) (*Membership, error) {
 		return nil, fmt.Errorf("core: max offset w̄ = %d out of range [2,64]", cfg.maxOffset)
 	}
 	f := &Membership{
-		bits: bitvec.New(m + cfg.maxOffset - 1),
-		m:    m,
-		k:    k,
-		half: k / 2,
-		wbar: cfg.maxOffset,
-		fam:  hashing.NewFamily(k/2+1, cfg.seed),
-		seed: cfg.seed,
+		bits:    bitvec.New(m + cfg.maxOffset - 1),
+		m:       m,
+		k:       k,
+		half:    k / 2,
+		wbar:    cfg.maxOffset,
+		winMask: ^uint64(0) >> (64 - uint(cfg.maxOffset)),
+		fam:     hashing.NewFamily(k/2+1, cfg.seed),
+		seed:    cfg.seed,
 	}
 	f.bits.SetCounter(cfg.counter)
 	return f, nil
@@ -93,18 +100,25 @@ func (f *Membership) FillRatio() float64 { return f.bits.FillRatio() }
 // k/2 + 1 (Section 3.1).
 func (f *Membership) HashOpsPerAdd() int { return f.half + 1 }
 
-// offset computes o(e) = h_{k/2+1}(e) % (w̄−1) + 1 ∈ [1, w̄−1]. The
-// offset is never 0: a zero offset would collapse the pair to a single
-// bit (Section 3.1).
-func (f *Membership) offset(e []byte) int {
-	return hashing.Reduce(f.fam.Sum64(f.half, e), f.wbar-1) + 1
+// offsetDigest computes o(e) = h_{k/2+1}(e) % (w̄−1) + 1 ∈ [1, w̄−1]
+// from e's digest. The offset is never 0: a zero offset would collapse
+// the pair to a single bit (Section 3.1).
+func (f *Membership) offsetDigest(d hashing.Digest) int {
+	return hashing.Reduce(f.fam.FromDigest(f.half, d), f.wbar-1) + 1
 }
 
-// Add inserts e, computing k/2+1 hash functions and setting k bits.
+// Add inserts e: one digest pass, then k/2+1 mixes setting k bits.
 func (f *Membership) Add(e []byte) {
-	o := f.offset(e)
+	f.AddDigest(f.fam.Digest(e))
+}
+
+// AddDigest inserts the element whose digest is d. Batch and sharded
+// paths that already digested the key call this to avoid re-scanning
+// it; d must be the element's hashing.KeyDigest.
+func (f *Membership) AddDigest(d hashing.Digest) {
+	o := f.offsetDigest(d)
 	for i := 0; i < f.half; i++ {
-		base := f.fam.Mod(i, e, f.m)
+		base := f.fam.ModFromDigest(i, d, f.m)
 		f.bits.Set(base)
 		f.bits.Set(base + o)
 	}
@@ -112,25 +126,61 @@ func (f *Membership) Add(e []byte) {
 }
 
 // Contains reports whether e may be in the set (no false negatives;
-// false positives at the Equation 1 rate). Each of the ≤ k/2 probes
-// reads one w̄-bit window (one memory access) and checks the pair; the
-// scan stops at the first failed pair. Hash computations are performed
-// lazily — including the offset hash, which is only needed once some
-// base bit is set — so a negative rejected by the first base bit costs
-// a single hash computation and a single access, matching the standard
-// filter's early-exit cost.
+// false positives at the Equation 1 rate). One digest pass over the
+// key, then per probe one integer mix and one w̄-bit window read (one
+// memory access); the scan stops at the first failed pair, so a
+// negative rejected by its first window costs one access, matching
+// the standard filter's early-exit cost. (Under multi-pass hashing
+// the offset hash was computed lazily to keep rejections cheap; as a
+// single integer mix it is now cheaper than the branch that deferred
+// it, so the pair mask is built up front.)
 func (f *Membership) Contains(e []byte) bool {
-	pairMask := uint64(0) // computed on first use
-	for i := 0; i < f.half; i++ {
-		base := f.fam.Mod(i, e, f.m)
-		win := f.bits.Window(base, f.wbar)
-		if win&1 == 0 {
+	// Fused form of ContainsDigest(f.fam.Digest(e)): digest and probe
+	// loop share one frame, sparing the scalar hot path a call and a
+	// digest round-trip through the ABI. Keep in lockstep with
+	// ContainsDigest below.
+	d := hashing.KeyDigest(e)
+	pairMask := uint64(1) | uint64(1)<<uint(f.offsetDigest(d))
+	if f.bits.Counter() != nil {
+		return f.containsDigestCounted(d, pairMask)
+	}
+	fam, bits, m, winMask := f.fam, f.bits, f.m, f.winMask
+	for i, half := 0, f.half; i < half; i++ {
+		base := fam.ModFromDigest(i, d, m)
+		if bits.WindowUncounted(base, winMask)&pairMask != pairMask {
 			return false
 		}
-		if pairMask == 0 {
-			pairMask = uint64(1) | uint64(1)<<uint(f.offset(e))
+	}
+	return true
+}
+
+// ContainsDigest answers Contains for the element whose digest is d.
+// Two loops, one semantics: the common counters-off case probes with
+// the inlinable uncounted window read; when an access counter is
+// attached (the experiments reproducing the paper's access figures)
+// the counted Window keeps the Section 3.1 accounting exact. Keep the
+// loop bodies in lockstep when changing either.
+func (f *Membership) ContainsDigest(d hashing.Digest) bool {
+	pairMask := uint64(1) | uint64(1)<<uint(f.offsetDigest(d))
+	if f.bits.Counter() != nil {
+		return f.containsDigestCounted(d, pairMask)
+	}
+	// Hoisted locals keep the probe loop's operands in registers; the
+	// body is then one mix, one reduction, one two-word read per probe.
+	fam, bits, m, winMask := f.fam, f.bits, f.m, f.winMask
+	for i, half := 0, f.half; i < half; i++ {
+		base := fam.ModFromDigest(i, d, m)
+		if bits.WindowUncounted(base, winMask)&pairMask != pairMask {
+			return false
 		}
-		if win&pairMask != pairMask {
+	}
+	return true
+}
+
+func (f *Membership) containsDigestCounted(d hashing.Digest, pairMask uint64) bool {
+	for i := 0; i < f.half; i++ {
+		base := f.fam.ModFromDigest(i, d, f.m)
+		if f.bits.Window(base, f.wbar)&pairMask != pairMask {
 			return false
 		}
 	}
@@ -147,10 +197,15 @@ func (f *Membership) Reset() {
 // shifted interleaved: base_1, base_1+o, base_2, base_2+o, … — used by
 // the counting variant to keep B and C synchronized.
 func (f *Membership) positions(e []byte, dst []int) []int {
+	return f.positionsDigest(f.fam.Digest(e), dst)
+}
+
+// positionsDigest is positions for an already digested element.
+func (f *Membership) positionsDigest(d hashing.Digest, dst []int) []int {
 	dst = dst[:0]
-	o := f.offset(e)
+	o := f.offsetDigest(d)
 	for i := 0; i < f.half; i++ {
-		base := f.fam.Mod(i, e, f.m)
+		base := f.fam.ModFromDigest(i, d, f.m)
 		dst = append(dst, base, base+o)
 	}
 	return dst

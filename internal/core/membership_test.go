@@ -166,7 +166,7 @@ func TestMembershipOffsetNonZero(t *testing.T) {
 	// offset must also stay within [1, w̄−1].
 	f := mustMembership(t, 1000, 4, WithMaxOffset(21))
 	for _, e := range genElements(2000, 4) {
-		o := f.offset(e)
+		o := f.offsetDigest(f.fam.Digest(e))
 		if o < 1 || o > 20 {
 			t.Fatalf("offset %d out of [1,20]", o)
 		}
@@ -177,7 +177,7 @@ func TestMembershipOffsetUsesFullRange(t *testing.T) {
 	f := mustMembership(t, 1000, 4)
 	seen := map[int]bool{}
 	for _, e := range genElements(5000, 5) {
-		seen[f.offset(e)] = true
+		seen[f.offsetDigest(f.fam.Digest(e))] = true
 	}
 	if len(seen) != DefaultMaxOffset-1 {
 		t.Fatalf("offsets cover %d values, want %d", len(seen), DefaultMaxOffset-1)

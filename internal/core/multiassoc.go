@@ -102,28 +102,29 @@ func BuildMultiAssociation(sets [][][]byte, m, k int, opts ...Option) (*MultiAss
 					region |= 1 << j
 				}
 			}
-			a.encode(e, a.offsetFor(e, region))
+			d := a.fam.Digest(e)
+			a.encode(d, a.offsetFor(d, region))
 			return true
 		})
 	}
 	return a, nil
 }
 
-// offsetFor returns region r's per-element offset; region 1 ({set 0})
-// anchors at 0.
-func (a *MultiAssociation) offsetFor(e []byte, region int) int {
+// offsetFor returns region r's per-element offset for the element
+// digested as d; region 1 ({set 0}) anchors at 0.
+func (a *MultiAssociation) offsetFor(d hashing.Digest, region int) int {
 	if region == 1 {
 		return 0
 	}
-	// Regions 2..R map to segments 0..R−2 and offset hashers k..k+R−2.
+	// Regions 2..R map to segments 0..R−2 and offset mixers k..k+R−2.
 	idx := region - 2
-	h := a.fam.Sum64(a.k+idx, e)
+	h := a.fam.FromDigest(a.k+idx, d)
 	return idx*a.seg + hashing.Reduce(h, a.seg) + 1
 }
 
-func (a *MultiAssociation) encode(e []byte, o int) {
+func (a *MultiAssociation) encode(d hashing.Digest, o int) {
 	for i := 0; i < a.k; i++ {
-		a.bits.Set(a.fam.Mod(i, e, a.m) + o)
+		a.bits.Set(a.fam.ModFromDigest(i, d, a.m) + o)
 	}
 }
 
@@ -192,16 +193,19 @@ func (ans MultiAnswer) DefinitelyIn(i int) bool {
 
 // Query returns the candidate regions for e. For elements of the union
 // the true region always survives; overlapping sets are first-class.
+// One digest pass serves the R−1 region offsets and the k base
+// positions.
 func (a *MultiAssociation) Query(e []byte) MultiAnswer {
+	d := a.fam.Digest(e)
 	// Offsets for every region (region 1 ↦ 0 handled in the loop).
 	var offs [31]int
 	for r := 2; r <= a.regions; r++ {
-		offs[r-1] = a.offsetFor(e, r)
+		offs[r-1] = a.offsetFor(d, r)
 	}
 
 	cand := uint32(1)<<a.regions - 1
 	for i := 0; i < a.k && cand != 0; i++ {
-		win := a.bits.Window(a.fam.Mod(i, e, a.m), a.wbar)
+		win := a.bits.Window(a.fam.ModFromDigest(i, d, a.m), a.wbar)
 		survived := uint32(win & 1) // region 1 at offset 0
 		for r := 2; r <= a.regions; r++ {
 			survived |= uint32(win>>uint(offs[r-1])&1) << (r - 1)

@@ -73,23 +73,25 @@ func (f *Multiplicity) FillRatio() float64 { return f.bits.FillRatio() }
 // AddWithCount encodes element e with multiplicity count ∈ [1, c].
 // Regardless of count, exactly k bits are set — the memory cost is
 // independent of the multiplicities, the property that makes ShBF_X more
-// memory-efficient than counter-based schemes (Section 5.4).
+// memory-efficient than counter-based schemes (Section 5.4). One digest
+// pass, k mixes.
 func (f *Multiplicity) AddWithCount(e []byte, count int) error {
 	if count < 1 || count > f.c {
 		return fmt.Errorf("core: count %d out of range [1,%d]: %w", count, f.c, ErrCountOverflow)
 	}
+	d := f.fam.Digest(e)
 	o := count - 1
 	for i := 0; i < f.k; i++ {
-		f.bits.Set(f.fam.Mod(i, e, f.m) + o)
+		f.bits.Set(f.fam.ModFromDigest(i, d, f.m) + o)
 	}
 	f.n++
 	return nil
 }
 
-// candidateMask intersects the k c-bit windows of e; bit j−1 set means
-// j is a candidate multiplicity. The scan stops as soon as the
-// intersection empties.
-func (f *Multiplicity) candidateMask(e []byte) uint64 {
+// candidateMask intersects the k c-bit windows of the element digested
+// as d; bit j−1 set means j is a candidate multiplicity. The scan
+// stops as soon as the intersection empties.
+func (f *Multiplicity) candidateMask(d hashing.Digest) uint64 {
 	var all uint64
 	if f.c == 64 {
 		all = ^uint64(0)
@@ -98,7 +100,7 @@ func (f *Multiplicity) candidateMask(e []byte) uint64 {
 	}
 	cand := all
 	for i := 0; i < f.k && cand != 0; i++ {
-		cand &= f.bits.Window(f.fam.Mod(i, e, f.m), f.c)
+		cand &= f.bits.Window(f.fam.ModFromDigest(i, d, f.m), f.c)
 	}
 	return cand
 }
@@ -109,7 +111,7 @@ func (f *Multiplicity) candidateMask(e []byte) uint64 {
 // smaller values.
 func (f *Multiplicity) Candidates(e []byte, dst []int) []int {
 	dst = dst[:0]
-	cand := f.candidateMask(e)
+	cand := f.candidateMask(f.fam.Digest(e))
 	for cand != 0 {
 		j := bits.TrailingZeros64(cand)
 		dst = append(dst, j+1)
@@ -122,7 +124,7 @@ func (f *Multiplicity) Candidates(e []byte, dst []int) []int {
 // "to avoid false negatives" (Section 5.2), or 0 if e is certainly not
 // in the multi-set. The report is always ≥ the true count.
 func (f *Multiplicity) Count(e []byte) int {
-	cand := f.candidateMask(e)
+	cand := f.candidateMask(f.fam.Digest(e))
 	if cand == 0 {
 		return 0
 	}

@@ -83,16 +83,19 @@ func (s *SCMSketch) SetUpdateCounter(mc *memmodel.Counter) {
 	}
 }
 
-// offset computes o(e) = h_{d/2+1}(e) % (maxOffset−1) + 1.
-func (s *SCMSketch) offset(e []byte) int {
-	return hashing.Reduce(s.fam.Sum64(s.d/2, e), s.maxOffset-1) + 1
+// offset computes o(e) = h_{d/2+1}(e) % (maxOffset−1) + 1 from e's
+// digest.
+func (s *SCMSketch) offset(d hashing.Digest) int {
+	return hashing.Reduce(s.fam.FromDigest(s.d/2, d), s.maxOffset-1) + 1
 }
 
-// Insert increments e's d counters (two per physical row).
+// Insert increments e's d counters (two per physical row): one digest
+// pass, d/2+1 mixes.
 func (s *SCMSketch) Insert(e []byte) {
-	o := s.offset(e)
+	d := s.fam.Digest(e)
+	o := s.offset(d)
 	for i, row := range s.rows {
-		base := s.fam.Mod(i, e, s.r)
+		base := s.fam.ModFromDigest(i, d, s.r)
 		row.Inc(base)
 		row.Inc(base + o)
 	}
@@ -101,10 +104,11 @@ func (s *SCMSketch) Insert(e []byte) {
 // Count returns the count-min estimate for e: the minimum over the d
 // counters. Like the CM sketch, the estimate never underestimates.
 func (s *SCMSketch) Count(e []byte) uint64 {
-	o := s.offset(e)
+	d := s.fam.Digest(e)
+	o := s.offset(d)
 	min := ^uint64(0)
 	for i, row := range s.rows {
-		base := s.fam.Mod(i, e, s.r)
+		base := s.fam.ModFromDigest(i, d, s.r)
 		if v := row.Get(base); v < min {
 			min = v
 		}

@@ -10,9 +10,18 @@ package hashing
 // fraction of inputs whose hash value has that bit set. For a function
 // with uniformly distributed outputs every fraction approaches 0.5.
 func BitBalance(h Hasher, inputs [][]byte) [64]float64 {
+	return BitBalanceOf(h.Sum64, inputs)
+}
+
+// BitBalanceOf applies the same criterion to an arbitrary 64-bit hash
+// function — in particular to a Family member's digest-mixed output
+// (func(e []byte) uint64 { return fam.Sum64(i, e) }), so the one-pass
+// pipeline is held to the paper's randomness bar exactly as full
+// per-function hashing was.
+func BitBalanceOf(fn func([]byte) uint64, inputs [][]byte) [64]float64 {
 	var counts [64]int
 	for _, in := range inputs {
-		v := h.Sum64(in)
+		v := fn(in)
 		for b := 0; b < 64; b++ {
 			if v&(1<<uint(b)) != 0 {
 				counts[b]++

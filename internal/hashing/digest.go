@@ -1,0 +1,100 @@
+package hashing
+
+// This file is the one-pass digest pipeline, the hashing idiom used by
+// every filter in the tree since PR 3:
+//
+//	digest → lane mixing → positions
+//
+// A key is scanned exactly once — one seeded Sum128 pass producing a
+// 128-bit Digest — and every hash value any layer needs (the k/2+1
+// family functions of a filter, the shard-routing index of the sharded
+// wrappers, a baseline's k positions) is derived from that digest by a
+// single SplitMix64-style integer finalizer per value. This turns the
+// paper's "ShBF_M computes k/2+1 hash functions" cost model into
+// "one pass over the key plus k/2+1 integer mixes", and lets the
+// sharded layer reuse the same digest for routing (one lane) and
+// in-shard probing (both lanes, through the mixers) so routing costs
+// no extra pass.
+//
+// Statistical independence of the derived values rests on the same
+// argument as Kirsch–Mitzenmacher double hashing [13 in the paper],
+// strengthened by a full avalanche finalizer per value: distinct mix
+// seeds give distinct permutations of the digest, and the BitBalance
+// criterion (balance.go, the paper's Section 6.1 randomness test) is
+// applied to the mixed outputs in this package's tests exactly as the
+// paper applied it to its hash functions.
+
+// DigestSeed is the tree-wide seed under which keys are digested.
+// It is a single constant — not per-filter — so that one digest per
+// key serves every consumer in a process (all filter families, the
+// shard router, the baselines); per-filter and per-function diversity
+// lives entirely in the mix seeds derived from each filter's seed.
+// Changing it invalidates the bit patterns of previously serialized
+// filters (see the golden tests).
+const DigestSeed = 0x5b8f_d163
+
+// Digest is the one-pass 128-bit fingerprint of a key: the two lanes
+// of a single Sum128 evaluation. It is a value type; hot paths pass it
+// in registers and never allocate.
+type Digest struct {
+	Lo, Hi uint64
+}
+
+// keySeed1/keySeed2 are the two internal lanes of New(DigestSeed),
+// folded to compile-time constants so KeyDigest starts hashing without
+// a global load. TestKeyDigestSeedsMatchNew pins them to the
+// derivation.
+const (
+	keySeed1 = 0x7c72_2b5e_34b1_1bf6
+	keySeed2 = 0xfccc_1675_444c_6fa2
+)
+
+// KeyDigest returns the canonical digest of key — the one hash pass
+// the whole pipeline runs per key. Equivalent to
+// DigestOf(DigestSeed, key).
+func KeyDigest(key []byte) Digest {
+	lo, hi := Hasher{seed1: keySeed1, seed2: keySeed2}.Sum128(key)
+	return Digest{Lo: lo, Hi: hi}
+}
+
+// DigestOf digests key under an explicit seed. Filters all use the
+// canonical KeyDigest; the seeded form exists for tests and for
+// callers that need an independent fingerprint domain.
+func DigestOf(seed uint64, key []byte) Digest {
+	lo, hi := New(seed).Sum128(key)
+	return Digest{Lo: lo, Hi: hi}
+}
+
+// MixDigest derives one 64-bit hash value from a digest and a mix
+// seed: the SplitMix64 finalizer over the low lane with the high lane
+// injected mid-stream, so every derived value depends on all 128
+// digest bits and on the seed. One multiply-xorshift round cheaper
+// than re-hashing the key, by orders of magnitude for any real key
+// length.
+func MixDigest(d Digest, seed uint64) uint64 {
+	z := mixCore(d, seed)
+	return z ^ (z >> 31)
+}
+
+// mixCore is MixDigest without the trailing xor-shift. That shift
+// exists to repair low-bit diffusion after the final multiply; the
+// multiply-shift range reduction (Reduce) is driven by the HIGH bits
+// of the mixed value, which the final multiply already diffuses fully,
+// so position derivation skips the repair and saves two dependent ops
+// per probe. Consumers of low bits (FromDigest's full 64-bit contract,
+// e.g. the 1MemBF baseline masking &63) go through MixDigest instead.
+func mixCore(d Digest, seed uint64) uint64 {
+	z := d.Lo + seed
+	z = (z ^ (z >> 30)) * splitMixMulA
+	z ^= d.Hi
+	z = (z ^ (z >> 27)) * splitMixMulB
+	return z
+}
+
+// Shard maps the digest onto one of shards (a power of two) by its
+// high lane. The sharded layer routes on this while the filter
+// families mix both lanes, so routing consumes the digest's spare
+// entropy instead of a second hash pass.
+func (d Digest) Shard(mask uint64) uint64 {
+	return d.Hi & mask
+}

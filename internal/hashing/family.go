@@ -4,61 +4,75 @@ import "fmt"
 
 // Family is an ordered collection of independent hash functions
 // h_1(.), …, h_n(.), the basic ingredient of every Bloom-filter variant
-// in the paper. Each member is a full, independently seeded Hasher, so
-// evaluating i functions costs i passes over the input — the cost model
-// behind the paper's "ShBF_M halves the hash computations" claim.
+// in the paper. Since PR 3 a family is digest-based: all n functions
+// are derived from the key's single one-pass [Digest] by one integer
+// mix per function (digest.go), so evaluating i functions costs one
+// pass over the input plus i mixes — not i passes. The paper's hashing
+// budgets (ShBF_M's k/2+1 versus the standard filter's k) survive as
+// mix counts; what the pipeline removes is the per-function re-scan of
+// the key.
 type Family struct {
-	hashers []Hasher
+	mix []uint64 // per-function mix seeds, SplitMix64-derived from the family seed
 }
 
-// NewFamily returns a family of n independent hash functions derived from
-// seed. It panics if n is not positive: family sizes are static
+// NewFamily returns a family of n independent hash functions derived
+// from seed. Distinct seeds give families with unrelated outputs (the
+// mix seeds differ), while every family digests keys identically
+// (KeyDigest), which is what lets one digest per key serve any number
+// of filters. It panics if n is not positive: family sizes are static
 // configuration, not runtime input.
 func NewFamily(n int, seed uint64) *Family {
 	if n <= 0 {
 		panic(fmt.Sprintf("hashing: family size %d must be positive", n))
 	}
 	state := seed
-	hs := make([]Hasher, n)
-	for i := range hs {
-		hs[i] = New(SplitMix64(&state))
+	mix := make([]uint64, n)
+	for i := range mix {
+		mix[i] = SplitMix64(&state)
 	}
-	return &Family{hashers: hs}
+	return &Family{mix: mix}
 }
 
 // Len returns the number of functions in the family.
-func (f *Family) Len() int { return len(f.hashers) }
+func (f *Family) Len() int { return len(f.mix) }
 
-// Hasher returns the i-th function (0-based).
-func (f *Family) Hasher(i int) Hasher { return f.hashers[i] }
+// Digest returns the key's canonical one-pass digest, from which every
+// member function's value is derived. Callers evaluating more than one
+// function — or passing the key through more than one layer — compute
+// it once and use the *FromDigest forms.
+func (f *Family) Digest(key []byte) Digest { return KeyDigest(key) }
 
-// Sum64 evaluates the i-th function on data.
+// FromDigest evaluates the i-th function on the key whose digest is d.
+func (f *Family) FromDigest(i int, d Digest) uint64 {
+	return MixDigest(d, f.mix[i])
+}
+
+// ModFromDigest evaluates the i-th function modulo m on the key whose
+// digest is d — multiply-shift reduction (Reduce) over the mix core,
+// whose high bits the reduction consumes (see mixCore).
+func (f *Family) ModFromDigest(i int, d Digest, m int) int {
+	return Reduce(mixCore(d, f.mix[i]), m)
+}
+
+// PositionsFromDigest appends the first k function values modulo m for
+// the key whose digest is d, reusing dst. This is the whole pipeline —
+// digest → lane mixing → positions — in one call: k mixes, zero
+// additional passes over the key.
+func (f *Family) PositionsFromDigest(d Digest, k, m int, dst []int) []int {
+	dst = dst[:0]
+	for i := 0; i < k; i++ {
+		dst = append(dst, Reduce(mixCore(d, f.mix[i]), m))
+	}
+	return dst
+}
+
+// Sum64 evaluates the i-th function on data. Scalar convenience:
+// digests then mixes, so a lone call still costs one pass.
 func (f *Family) Sum64(i int, data []byte) uint64 {
-	return f.hashers[i].Sum64(data)
+	return f.FromDigest(i, KeyDigest(data))
 }
 
 // Mod evaluates the i-th function on data modulo m.
 func (f *Family) Mod(i int, data []byte, m int) int {
-	return f.hashers[i].Mod(data, m)
-}
-
-// SumAll evaluates every function on data, appending to dst and returning
-// it. Callers reuse dst across queries to avoid per-query allocation in
-// the hot path.
-func (f *Family) SumAll(data []byte, dst []uint64) []uint64 {
-	dst = dst[:0]
-	for _, h := range f.hashers {
-		dst = append(dst, h.Sum64(data))
-	}
-	return dst
-}
-
-// ModAll evaluates the first k functions on data modulo m, appending to
-// dst and returning it.
-func (f *Family) ModAll(k int, data []byte, m int, dst []int) []int {
-	dst = dst[:0]
-	for i := 0; i < k; i++ {
-		dst = append(dst, f.hashers[i].Mod(data, m))
-	}
-	return dst
+	return f.ModFromDigest(i, KeyDigest(data), m)
 }

@@ -1,9 +1,10 @@
 // Package hashing provides the hash-function substrate of the ShBF
 // reproduction: a seeded 128-bit mixing function implemented from
-// scratch, families of k independent hash functions (the paper's
-// h_1 … h_k assumption), Kirsch–Mitzenmacher double hashing (the 1MemBF
-// and "less hashing" baselines), and the paper's bit-balance randomness
-// test (Section 6.1).
+// scratch, the one-pass digest pipeline (digest.go) from which families
+// of k independent hash functions (the paper's h_1 … h_k assumption)
+// derive all their values with one key scan, Kirsch–Mitzenmacher double
+// hashing (the 1MemBF and "less hashing" baselines), and the paper's
+// bit-balance randomness test (Section 6.1).
 //
 // The paper selected 18 hash functions from Bob Jenkins' collection by
 // testing that every output bit is 1 with empirical probability ≈ 0.5
@@ -133,13 +134,25 @@ func (h Hasher) Sum128(data []byte) (lo, hi uint64) {
 }
 
 // loadPartial loads 1–7 bytes little-endian into the low bits of a
-// uint64.
+// uint64. The overlapping-load construction assembles the value in at
+// most two fixed-width reads instead of a per-byte loop (bit-identical
+// to that loop; the golden vectors pin it), which matters because every
+// 13-byte flow-ID digest ends in a 5-byte partial load.
 func loadPartial(b []byte) uint64 {
-	var v uint64
-	for i := len(b) - 1; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
+	if len(b) >= 4 {
+		lo := uint64(binary.LittleEndian.Uint32(b))
+		hi := uint64(binary.LittleEndian.Uint32(b[len(b)-4:]))
+		return lo | hi<<(8*(uint(len(b))-4))
 	}
-	return v
+	if len(b) >= 2 {
+		lo := uint64(binary.LittleEndian.Uint16(b))
+		hi := uint64(binary.LittleEndian.Uint16(b[len(b)-2:]))
+		return lo | hi<<(8*(uint(len(b))-2))
+	}
+	if len(b) == 1 {
+		return uint64(b[0])
+	}
+	return 0
 }
 
 // Sum64 hashes data to 64 bits (the low lane of Sum128).

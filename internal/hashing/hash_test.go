@@ -186,31 +186,114 @@ func TestFamilyIndependence(t *testing.T) {
 	}
 }
 
-func TestFamilySumAllMatchesIndividual(t *testing.T) {
+func TestFamilyFromDigestMatchesScalar(t *testing.T) {
+	// The digest-then-mix forms must agree exactly with the scalar
+	// conveniences: one idiom, two spellings.
 	fam := NewFamily(6, 123)
 	data := []byte("element")
-	all := fam.SumAll(data, nil)
-	if len(all) != 6 {
-		t.Fatalf("SumAll returned %d values, want 6", len(all))
+	d := fam.Digest(data)
+	if d != KeyDigest(data) {
+		t.Fatal("Family.Digest disagrees with KeyDigest")
 	}
-	for i, v := range all {
-		if got := fam.Sum64(i, data); got != v {
-			t.Errorf("SumAll[%d] = %x, Sum64(%d) = %x", i, v, i, got)
+	for i := 0; i < fam.Len(); i++ {
+		if got, want := fam.FromDigest(i, d), fam.Sum64(i, data); got != want {
+			t.Errorf("FromDigest(%d) = %x, Sum64 = %x", i, got, want)
+		}
+		if got, want := fam.ModFromDigest(i, d, 100), fam.Mod(i, data, 100); got != want {
+			t.Errorf("ModFromDigest(%d) = %d, Mod = %d", i, got, want)
 		}
 	}
 }
 
-func TestFamilyModAll(t *testing.T) {
+func TestFamilyPositionsFromDigest(t *testing.T) {
 	fam := NewFamily(8, 5)
 	data := []byte("x")
-	got := fam.ModAll(5, data, 100, nil)
+	d := fam.Digest(data)
+	got := fam.PositionsFromDigest(d, 5, 100, nil)
 	if len(got) != 5 {
-		t.Fatalf("ModAll returned %d values, want 5", len(got))
+		t.Fatalf("PositionsFromDigest returned %d values, want 5", len(got))
 	}
 	for i, v := range got {
 		if want := fam.Mod(i, data, 100); v != want {
-			t.Errorf("ModAll[%d] = %d, want %d", i, v, want)
+			t.Errorf("PositionsFromDigest[%d] = %d, want %d", i, v, want)
 		}
+	}
+}
+
+func TestKeyDigestSeedsMatchNew(t *testing.T) {
+	// The folded keySeed1/keySeed2 constants must stay exactly the two
+	// SplitMix64 lanes New derives from DigestSeed.
+	if want := New(DigestSeed); (Hasher{seed1: keySeed1, seed2: keySeed2}) != want {
+		t.Fatalf("folded key seeds (%#x, %#x) do not match New(DigestSeed) (%#x, %#x)",
+			uint64(keySeed1), uint64(keySeed2), want.seed1, want.seed2)
+	}
+}
+
+func TestDigestOfMatchesSum128(t *testing.T) {
+	data := []byte("flow-id-13by!")
+	lo, hi := New(9).Sum128(data)
+	if d := DigestOf(9, data); d.Lo != lo || d.Hi != hi {
+		t.Fatal("DigestOf does not expose the Sum128 lanes")
+	}
+	if KeyDigest(data) != DigestOf(DigestSeed, data) {
+		t.Fatal("KeyDigest is not DigestOf(DigestSeed, ·)")
+	}
+}
+
+func TestMixDigestSeedSensitivity(t *testing.T) {
+	// Different mix seeds must decorrelate: over many keys, two mixed
+	// outputs collide on a small modulus at ≈ 1/m, and both lanes must
+	// influence the result.
+	const m, n = 1024, 50000
+	coll := 0
+	for _, in := range randomInputs(n, 13, 51) {
+		d := KeyDigest(in)
+		if Reduce(MixDigest(d, 1), m) == Reduce(MixDigest(d, 2), m) {
+			coll++
+		}
+		if MixDigest(d, 7) == MixDigest(Digest{Lo: d.Lo, Hi: d.Hi ^ 1}, 7) {
+			t.Fatal("high lane does not affect MixDigest output")
+		}
+		if MixDigest(d, 7) == MixDigest(Digest{Lo: d.Lo ^ 1, Hi: d.Hi}, 7) {
+			t.Fatal("low lane does not affect MixDigest output")
+		}
+	}
+	if rate := float64(coll) / n; rate > 3.0/m {
+		t.Fatalf("mixed-output collision rate %.5f, want ≈ %.5f", rate, 1.0/m)
+	}
+}
+
+func TestFamilyMembersPassBitBalance(t *testing.T) {
+	// The paper's Section 6.1 randomness criterion, applied to the
+	// digest-mixed member functions (not just the raw digest): every
+	// output bit of every family member is 1 with probability ≈ 0.5.
+	fam := NewFamily(3, 42)
+	inputs := randomInputs(100000, 13, 61)
+	for i := 0; i < fam.Len(); i++ {
+		fr := BitBalanceOf(func(e []byte) uint64 { return fam.Sum64(i, e) }, inputs)
+		if err := MaxBalanceError(fr); err > 0.01 {
+			t.Fatalf("family member %d fails bit balance: max error %.4f", i, err)
+		}
+	}
+}
+
+func TestDigestShardBalance(t *testing.T) {
+	// The routing lane must spread keys evenly over power-of-two shard
+	// counts (the sharded layer routes on Digest.Shard).
+	const shards, n = 16, 64000
+	counts := make([]int, shards)
+	for _, in := range randomInputs(n, 13, 71) {
+		counts[KeyDigest(in).Shard(shards-1)]++
+	}
+	expected := float64(n) / shards
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; mean 15, stddev ≈ 5.5. 15+5σ ≈ 43.
+	if chi2 > 43 {
+		t.Fatalf("shard chi-square = %.1f, routing too skewed", chi2)
 	}
 }
 
@@ -283,12 +366,26 @@ func BenchmarkSum64FlowID(b *testing.B) {
 	}
 }
 
-func BenchmarkFamilySumAll8(b *testing.B) {
+func BenchmarkFamilyPositions8(b *testing.B) {
+	// The full pipeline for one key at k = 8: one digest pass plus
+	// eight mixes. Compare with BenchmarkSum64FlowID (one pass, one
+	// value) to see what the eight derived positions cost on top.
 	fam := NewFamily(8, 1)
 	data := make([]byte, 13)
-	var out []uint64
+	var out []int
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out = fam.SumAll(data, out)
+		d := fam.Digest(data)
+		out = fam.PositionsFromDigest(d, 8, 1<<20, out)
 	}
+}
+
+func BenchmarkMixDigest(b *testing.B) {
+	d := KeyDigest(make([]byte, 13))
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= MixDigest(d, uint64(i))
+	}
+	_ = sink
 }

@@ -1,0 +1,106 @@
+//go:build !race
+
+// (The race detector makes sync.Pool drop items on purpose and adds
+// allocation of shadow state, so allocs/op is meaningless under -race.)
+
+package sharded
+
+// Zero-allocation guards for the sharded hot paths: scalar ops digest
+// into registers and the batch paths reuse pooled plans (including
+// their digest buffers), so steady state must not allocate. The first
+// AllocsPerRun invocation is discarded, which is when the plan pool
+// and dst buffers reach steady size.
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+func requireZeroAllocs(t *testing.T, name string, runs int, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+func allocKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("flow-%08d!", i))
+	}
+	return keys
+}
+
+func TestFilterHotPathsAllocFree(t *testing.T) {
+	f, err := New(1<<20, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(512)
+	if err := f.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]bool, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Filter.Add", 100, func() { f.Add(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Filter.Contains", 100, func() { f.Contains(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Filter.AddAll", 20, func() {
+		if err := f.AddAll(keys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "Filter.ContainsAll", 20, func() { dst = f.ContainsAll(dst, keys) })
+}
+
+func TestAssociationHotPathsAllocFree(t *testing.T) {
+	a, err := NewAssociation(1<<20, 8, 8, core.WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(512)
+	for _, e := range keys[:256] {
+		if err := a.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]core.Region, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Association.Query", 100, func() { a.Query(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Association.QueryAll", 20, func() { dst = a.QueryAll(dst, keys) })
+}
+
+func TestMultiplicityHotPathsAllocFree(t *testing.T) {
+	f, err := NewMultiplicity(1<<20, 8, 57, 8, core.WithCounterWidth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(512)
+	if err := f.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, len(keys))
+	i := 0
+	requireZeroAllocs(t, "Multiplicity.Count", 100, func() { f.Count(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "Multiplicity.CountAll", 20, func() { dst = f.CountAll(dst, keys) })
+	// Insert/Delete churn on stored keys updates the backing tables in
+	// place — allocation-free once every key is present.
+	requireZeroAllocs(t, "Multiplicity.Insert/Delete", 100, func() {
+		e := keys[i%len(keys)]
+		i++
+		if err := f.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// AddAll on already-stored keys: c = 57 leaves headroom for the
+	// 20+1 batch increments below.
+	requireZeroAllocs(t, "Multiplicity.AddAll", 20, func() {
+		if err := f.AddAll(keys); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

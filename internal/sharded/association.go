@@ -2,6 +2,7 @@ package sharded
 
 import (
 	"shbf/internal/core"
+	"shbf/internal/hashing"
 )
 
 // Association is a concurrency-safe sharded CShBF_A: one logical
@@ -53,11 +54,13 @@ func NewAssociation(totalBits, k, shardCount int, opts ...core.Option) (*Associa
 // Shards returns the number of shards.
 func (a *Association) Shards() int { return a.set.size() }
 
-// update runs op on e's shard under its write lock.
-func (a *Association) update(e []byte, op func(*core.CountingAssociation, []byte) error) error {
-	s := a.set.forKey(e)
+// update digests e once, routes on the digest, and runs op on e's
+// shard under its write lock with the same digest.
+func (a *Association) update(e []byte, op func(*core.CountingAssociation, []byte, hashing.Digest) error) error {
+	d := hashing.KeyDigest(e)
+	s := a.set.forDigest(d)
 	s.mu.Lock()
-	err := op(s.f, e)
+	err := op(s.f, e, d)
 	s.mu.Unlock()
 	return err
 }
@@ -65,43 +68,48 @@ func (a *Association) update(e []byte, op func(*core.CountingAssociation, []byte
 // InsertS1 adds e to S1 (no-op if already present). Safe for concurrent
 // use.
 func (a *Association) InsertS1(e []byte) error {
-	return a.update(e, (*core.CountingAssociation).InsertS1)
+	return a.update(e, (*core.CountingAssociation).InsertS1Digest)
 }
 
 // InsertS2 adds e to S2 (no-op if already present). Safe for concurrent
 // use.
 func (a *Association) InsertS2(e []byte) error {
-	return a.update(e, (*core.CountingAssociation).InsertS2)
+	return a.update(e, (*core.CountingAssociation).InsertS2Digest)
 }
 
 // DeleteS1 removes e from S1; ErrNotStored if absent. Safe for
 // concurrent use.
 func (a *Association) DeleteS1(e []byte) error {
-	return a.update(e, (*core.CountingAssociation).DeleteS1)
+	return a.update(e, (*core.CountingAssociation).DeleteS1Digest)
 }
 
 // DeleteS2 removes e from S2; ErrNotStored if absent. Safe for
 // concurrent use.
 func (a *Association) DeleteS2(e []byte) error {
-	return a.update(e, (*core.CountingAssociation).DeleteS2)
+	return a.update(e, (*core.CountingAssociation).DeleteS2Digest)
 }
 
-// Query returns e's candidate-region mask. Safe for concurrent use;
-// readers do not block each other.
+// Query returns e's candidate-region mask with a single hash pass
+// (digest → route → probe). Safe for concurrent use; readers do not
+// block each other.
 func (a *Association) Query(e []byte) core.Region {
-	s := a.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := a.set.forDigest(d)
 	s.mu.RLock()
-	r := s.f.Query(e)
+	r := s.f.QueryDigest(d)
 	s.mu.RUnlock()
 	return r
 }
 
 // QueryAll classifies a whole batch, grouping keys by shard so each
-// shard's read lock is taken once per batch instead of once per key.
-// Region masks are written into dst (resized to len(keys)) at the
-// keys' original positions. Safe for concurrent use.
+// shard's read lock is taken once per batch instead of once per key;
+// each key is digested once for both routing and probing. Region masks
+// are written into dst (resized to len(keys)) at the keys' original
+// positions. Safe for concurrent use.
 func (a *Association) QueryAll(dst []core.Region, keys [][]byte) []core.Region {
-	return batchRead(&a.set, dst, keys, (*core.CountingAssociation).Query)
+	return batchRead(&a.set, dst, keys, func(f *core.CountingAssociation, _ []byte, d hashing.Digest) core.Region {
+		return f.QueryDigest(d)
+	})
 }
 
 // Kind returns core.KindShardedAssociation.

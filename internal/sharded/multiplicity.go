@@ -2,6 +2,7 @@ package sharded
 
 import (
 	"shbf/internal/core"
+	"shbf/internal/hashing"
 )
 
 // Multiplicity is a concurrency-safe sharded CShBF_X: one logical
@@ -56,14 +57,16 @@ func (f *Multiplicity) Shards() int { return f.set.size() }
 // C returns the maximum multiplicity.
 func (f *Multiplicity) C() int { return f.set.shards[0].f.C() }
 
-// Insert increments e's multiplicity. It returns ErrCountOverflow when
-// the multiplicity would exceed c and ErrCounterSaturated when a
-// counter would overflow; in both cases the filter is unchanged. Safe
-// for concurrent use.
+// Insert increments e's multiplicity, digesting the key once for
+// routing and encoding. It returns ErrCountOverflow when the
+// multiplicity would exceed c and ErrCounterSaturated when a counter
+// would overflow; in both cases the filter is unchanged. Safe for
+// concurrent use.
 func (f *Multiplicity) Insert(e []byte) error {
-	s := f.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := f.set.forDigest(d)
 	s.mu.Lock()
-	err := s.f.Insert(e)
+	err := s.f.InsertDigest(e, d)
 	s.mu.Unlock()
 	return err
 }
@@ -71,39 +74,45 @@ func (f *Multiplicity) Insert(e []byte) error {
 // Delete decrements e's multiplicity; ErrNotStored if e is not stored.
 // Safe for concurrent use.
 func (f *Multiplicity) Delete(e []byte) error {
-	s := f.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := f.set.forDigest(d)
 	s.mu.Lock()
-	err := s.f.Delete(e)
+	err := s.f.DeleteDigest(e, d)
 	s.mu.Unlock()
 	return err
 }
 
 // Count returns e's queried multiplicity (0 for definite non-members;
-// never an underestimate in the default mode). Safe for concurrent use;
-// readers do not block each other.
+// never an underestimate in the default mode) with a single hash pass.
+// Safe for concurrent use; readers do not block each other.
 func (f *Multiplicity) Count(e []byte) int {
-	s := f.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := f.set.forDigest(d)
 	s.mu.RLock()
-	c := s.f.Count(e)
+	c := s.f.CountDigest(d)
 	s.mu.RUnlock()
 	return c
 }
 
 // AddAll increments every key's multiplicity by one, grouping keys by
-// shard so each shard's write lock is taken once per batch. On the
-// first failed insert the batch stops: keys already applied stay
-// applied, and the error reports the failing key's batch index. Safe
-// for concurrent use.
+// shard so each shard's write lock is taken once per batch; each key
+// is digested once for both routing and encoding. On the first failed
+// insert the batch stops: keys already applied stay applied, and the
+// error reports the failing key's batch index. Safe for concurrent
+// use.
 func (f *Multiplicity) AddAll(keys [][]byte) error {
-	return batchWrite(&f.set, keys, (*core.CountingMultiplicity).Insert)
+	return batchWrite(&f.set, keys, (*core.CountingMultiplicity).InsertDigest)
 }
 
 // CountAll queries a whole batch, grouping keys by shard so each
-// shard's read lock is taken once per batch instead of once per key.
-// Counts are written into dst (resized to len(keys)) at the keys'
-// original positions. Safe for concurrent use.
+// shard's read lock is taken once per batch instead of once per key;
+// each key is digested once for both routing and probing. Counts are
+// written into dst (resized to len(keys)) at the keys' original
+// positions. Safe for concurrent use.
 func (f *Multiplicity) CountAll(dst []int, keys [][]byte) []int {
-	return batchRead(&f.set, dst, keys, (*core.CountingMultiplicity).Count)
+	return batchRead(&f.set, dst, keys, func(c *core.CountingMultiplicity, _ []byte, d hashing.Digest) int {
+		return c.CountDigest(d)
+	})
 }
 
 // Kind returns core.KindShardedMultiplicity.

@@ -3,8 +3,11 @@
 // multiple receive queues (goroutines) querying one logical filter.
 //
 // Each wrapper splits its bit budget across 2^p independent shards and
-// routes every element to a shard with a hash that is independent of
-// the shard filters' own hash families. Shards are guarded by
+// routes every element by its one-pass digest (hashing.KeyDigest):
+// the routing index is a few bits of the digest's high lane, while the
+// shard filters derive their probe positions from the same digest
+// through per-shard avalanche mixers — one hash pass per key covers
+// routing and probing together. Shards are guarded by
 // cache-line-padded RWMutexes, so concurrent queries proceed in
 // parallel and only same-shard writers contend. Because routing is by
 // hash, per-shard occupancy concentrates around n/shards and accuracy
@@ -28,6 +31,7 @@ package sharded
 
 import (
 	"shbf/internal/core"
+	"shbf/internal/hashing"
 )
 
 // Filter is a concurrency-safe sharded ShBF_M.
@@ -75,42 +79,49 @@ func New(totalBits, k, shardCount int, opts ...core.Option) (*Filter, error) {
 // Shards returns the number of shards.
 func (f *Filter) Shards() int { return f.set.size() }
 
-// Add inserts e. Safe for concurrent use.
+// Add inserts e: the key is digested once, routed on one lane of the
+// digest, and encoded from the same digest. Safe for concurrent use.
 func (f *Filter) Add(e []byte) {
-	s := f.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := f.set.forDigest(d)
 	s.mu.Lock()
-	s.f.Add(e)
+	s.f.AddDigest(d)
 	s.mu.Unlock()
 }
 
-// Contains reports whether e may be in the set. Safe for concurrent
-// use; readers of different shards (and of the same shard) do not block
-// each other.
+// Contains reports whether e may be in the set with a single hash pass
+// (digest → route → probe). Safe for concurrent use; readers of
+// different shards (and of the same shard) do not block each other.
 func (f *Filter) Contains(e []byte) bool {
-	s := f.set.forKey(e)
+	d := hashing.KeyDigest(e)
+	s := f.set.forDigest(d)
 	s.mu.RLock()
-	ok := s.f.Contains(e)
+	ok := s.f.ContainsDigest(d)
 	s.mu.RUnlock()
 	return ok
 }
 
 // AddAll inserts a whole batch, grouping keys by shard so each shard's
-// write lock is taken once per batch instead of once per key. Safe for
-// concurrent use. The error is always nil (the signature matches the
-// shared batch interface).
+// write lock is taken once per batch instead of once per key; each key
+// is digested once for both routing and encoding. Safe for concurrent
+// use. The error is always nil (the signature matches the shared batch
+// interface).
 func (f *Filter) AddAll(keys [][]byte) error {
-	return batchWrite(&f.set, keys, func(m *core.Membership, e []byte) error {
-		m.Add(e)
+	return batchWrite(&f.set, keys, func(m *core.Membership, _ []byte, d hashing.Digest) error {
+		m.AddDigest(d)
 		return nil
 	})
 }
 
 // ContainsAll queries a whole batch, grouping keys by shard so each
-// shard's read lock is taken once per batch instead of once per key.
-// Answers are written into dst (resized to len(keys)) at the keys'
-// original positions. Safe for concurrent use.
+// shard's read lock is taken once per batch instead of once per key;
+// each key is digested once for both routing and probing. Answers are
+// written into dst (resized to len(keys)) at the keys' original
+// positions. Safe for concurrent use.
 func (f *Filter) ContainsAll(dst []bool, keys [][]byte) []bool {
-	return batchRead(&f.set, dst, keys, (*core.Membership).Contains)
+	return batchRead(&f.set, dst, keys, func(m *core.Membership, _ []byte, d hashing.Digest) bool {
+		return m.ContainsDigest(d)
+	})
 }
 
 // N returns the total number of elements added across shards.

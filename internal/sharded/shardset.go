@@ -13,17 +13,20 @@ import (
 // the routed, lock-striped shard set and the snapshot wire format.
 //
 // A set[F] owns 2^p shards, each a core filter F behind its own
-// cache-line-padded RWMutex, and routes elements with a hash that is
-// independent of the per-shard filter hashes (so routing skew cannot
-// correlate with bit-position skew). The concrete wrappers — Filter,
-// Association, Multiplicity — embed a set and add the kind-specific
-// operations; anything that holds shard locks lives with them, the set
-// only does routing, geometry, and (de)serialization.
-
-// routerSeed seeds the shard-routing hash. It is a constant so a
-// snapshot taken by one process routes identically when loaded by
-// another.
-const routerSeed = 0x5a4d_0001
+// cache-line-padded RWMutex. Routing rides the one-pass digest
+// pipeline: every operation computes the key's hashing.KeyDigest once,
+// routes on the digest's high lane (Digest.Shard), and hands the same
+// digest to the shard filter's *Digest methods for probing — so the
+// shard layer adds zero hash passes on top of the filter's single one.
+// Routing cannot skew against bit positions: the shard index is a few
+// raw lane bits while every probe position goes through a full
+// per-function avalanche mix of both lanes. The digest seed is the
+// tree-wide hashing.DigestSeed constant, so a snapshot taken by one
+// process routes identically when loaded by another. The concrete
+// wrappers — Filter, Association, Multiplicity — embed a set and add
+// the kind-specific operations; anything that holds shard locks lives
+// with them, the set only does routing, geometry, and
+// (de)serialization.
 
 // shardSeed derives the i-th shard's filter seed from the caller's
 // base seed (core.ResolveSeed of the forwarded options). Each shard
@@ -50,7 +53,6 @@ type entry[F any] struct {
 // set is the routed shard collection.
 type set[F any] struct {
 	shards []entry[F]
-	router hashing.Hasher
 	mask   uint64
 }
 
@@ -79,7 +81,6 @@ func roundPow2(totalBits, shardCount int) (pow, perShard int, err error) {
 func newSet[F any](pow int, build func(i int) (F, error)) (set[F], error) {
 	s := set[F]{
 		shards: make([]entry[F], pow),
-		router: hashing.New(routerSeed),
 		mask:   uint64(pow - 1),
 	}
 	for i := range s.shards {
@@ -92,9 +93,9 @@ func newSet[F any](pow int, build func(i int) (F, error)) (set[F], error) {
 	return s, nil
 }
 
-// forKey routes an element to its shard.
-func (s *set[F]) forKey(e []byte) *entry[F] {
-	return &s.shards[s.router.Sum64(e)&s.mask]
+// forDigest routes an already-digested element to its shard.
+func (s *set[F]) forDigest(d hashing.Digest) *entry[F] {
+	return &s.shards[d.Shard(s.mask)]
 }
 
 // size returns the number of shards.
@@ -103,12 +104,14 @@ func (s *set[F]) size() int { return len(s.shards) }
 // batchPlan is a batch of keys grouped by destination shard: the key
 // indices routed to shard i are order[starts[i]:starts[i+1]]. Batch
 // operations walk the plan shard by shard, taking each shard lock once
-// per batch instead of once per key — the routing hash is computed
-// exactly once per key either way, so grouping costs two O(batch)
-// passes and saves (batch − occupied shards) lock round-trips. Plans
-// are pooled so the steady-state batch path does not allocate.
+// per batch instead of once per key. Each key is digested exactly once
+// while grouping; the plan retains the digests so the per-shard loops
+// probe with them instead of re-hashing — one pass per key for the
+// whole batch operation, routing included. Plans are pooled so the
+// steady-state batch path does not allocate.
 type batchPlan struct {
 	shardOf []uint32
+	digests []hashing.Digest
 	starts  []int
 	next    []int
 	order   []int32
@@ -134,8 +137,9 @@ func growInts(s []int, n int) []int {
 
 // batchRead runs query for every key, visiting each occupied shard
 // once under its read lock and writing answers into dst (resized to
-// len(keys)) at the keys' original positions.
-func batchRead[F, R any](s *set[F], dst []R, keys [][]byte, query func(F, []byte) R) []R {
+// len(keys)) at the keys' original positions. query receives the key
+// and its plan-cached digest; digest-only filters ignore the key.
+func batchRead[F, R any](s *set[F], dst []R, keys [][]byte, query func(F, []byte, hashing.Digest) R) []R {
 	if cap(dst) < len(keys) {
 		dst = make([]R, len(keys))
 	}
@@ -150,7 +154,7 @@ func batchRead[F, R any](s *set[F], dst []R, keys [][]byte, query func(F, []byte
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for _, j := range idxs {
-			dst[j] = query(sh.f, keys[j])
+			dst[j] = query(sh.f, keys[j], p.digests[j])
 		}
 		sh.mu.RUnlock()
 	}
@@ -161,7 +165,7 @@ func batchRead[F, R any](s *set[F], dst []R, keys [][]byte, query func(F, []byte
 // once under its write lock. The first failure stops the batch — keys
 // already applied stay applied — and the error reports the failing
 // key's batch index.
-func batchWrite[F any](s *set[F], keys [][]byte, apply func(F, []byte) error) error {
+func batchWrite[F any](s *set[F], keys [][]byte, apply func(F, []byte, hashing.Digest) error) error {
 	p := s.group(keys)
 	defer p.release()
 	for i := range s.shards {
@@ -172,7 +176,7 @@ func batchWrite[F any](s *set[F], keys [][]byte, apply func(F, []byte) error) er
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, j := range idxs {
-			if err := apply(sh.f, keys[j]); err != nil {
+			if err := apply(sh.f, keys[j], p.digests[j]); err != nil {
 				sh.mu.Unlock()
 				return fmt.Errorf("sharded: key %d: %w", j, err)
 			}
@@ -184,20 +188,24 @@ func batchWrite[F any](s *set[F], keys [][]byte, apply func(F, []byte) error) er
 
 // group builds the shard-grouped plan for keys with a counting sort
 // over shard indices (stable, so each shard sees its keys in batch
-// order). Release the plan when done.
+// order), digesting each key exactly once along the way. Release the
+// plan when done.
 func (s *set[F]) group(keys [][]byte) *batchPlan {
 	p := planPool.Get().(*batchPlan)
 	if cap(p.shardOf) < len(keys) {
 		p.shardOf = make([]uint32, len(keys))
+		p.digests = make([]hashing.Digest, len(keys))
 		p.order = make([]int32, len(keys))
 	}
-	p.shardOf, p.order = p.shardOf[:len(keys)], p.order[:len(keys)]
+	p.shardOf, p.digests, p.order = p.shardOf[:len(keys)], p.digests[:len(keys)], p.order[:len(keys)]
 	p.starts = growInts(p.starts, len(s.shards)+1)
 	p.next = growInts(p.next, len(s.shards))
 	clear(p.starts)
 	for i, e := range keys {
-		sh := uint32(s.router.Sum64(e) & s.mask)
+		d := hashing.KeyDigest(e)
+		sh := uint32(d.Shard(s.mask))
 		p.shardOf[i] = sh
+		p.digests[i] = d
 		p.starts[sh+1]++
 	}
 	for i := 1; i < len(p.starts); i++ {
@@ -242,9 +250,9 @@ func (s *set[F]) meanLocked(get func(F) float64) float64 {
 // 4-byte magic "ShBS", a version byte, a kind byte, the shard count as
 // a uvarint, then one length-prefixed core-filter blob per shard (each
 // blob is the shard filter's own MarshalBinary output, which embeds its
-// full geometry and seed). The router seed is a compile-time constant,
-// so the header needs no routing state: kind + shard blobs reconstruct
-// the filter bit-for-bit.
+// full geometry and seed). Routing is derived from the compile-time
+// hashing.DigestSeed, so the header needs no routing state: kind +
+// shard blobs reconstruct the filter bit-for-bit.
 
 const (
 	snapVersion = 1
@@ -305,7 +313,6 @@ func decodeSnapshot[F any, PF interface {
 	}
 	s := set[PF]{
 		shards: make([]entry[PF], count),
-		router: hashing.New(routerSeed),
 		mask:   count - 1,
 	}
 	for i := range s.shards {

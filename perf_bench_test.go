@@ -1,0 +1,122 @@
+package shbf_test
+
+// perf_bench_test.go is the go-test face of the hot-path perf suite
+// (`cmd/shbench -perf` is the JSON-emitting face; both measure the
+// same operating point). CI runs these with -benchtime=1x as a
+// compile-and-run smoke check; locally, run
+//
+//	go test -bench 'Perf' -benchmem .
+//
+// to eyeball ns/op and allocs/op for Add/Contains/AddAll/ContainsAll,
+// scalar vs sharded, k ∈ {4, 8, 16} on 13-byte flow-ID keys.
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf"
+	"shbf/internal/flowkeys"
+)
+
+const (
+	perfN      = 1 << 16
+	perfBatch  = 1024
+	perfShards = 16
+)
+
+// perfSet is the common Set surface of the scalar and sharded filters.
+type perfSet interface {
+	Add(e []byte)
+	Contains(e []byte) bool
+	AddAll(keys [][]byte) error
+	ContainsAll(dst []bool, keys [][]byte) []bool
+}
+
+func perfFilter(b *testing.B, mode string, k int, fill bool) (perfSet, [][]byte) {
+	b.Helper()
+	m := 2 * perfN * k
+	var (
+		f   perfSet
+		err error
+	)
+	if mode == "sharded" {
+		f, err = shbf.NewShardedMembership(m, k, perfShards, shbf.WithSeed(1))
+	} else {
+		f, err = shbf.NewMembership(m, k, shbf.WithSeed(1))
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, keys := flowkeys.Keys(perfN)
+	if fill {
+		if err := f.AddAll(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f, keys
+}
+
+func BenchmarkPerfAdd(b *testing.B) {
+	for _, mode := range []string{"scalar", "sharded"} {
+		for _, k := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+				f, keys := perfFilter(b, mode, k, false)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Add(keys[i&(perfN-1)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPerfContains(b *testing.B) {
+	for _, mode := range []string{"scalar", "sharded"} {
+		for _, k := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+				f, keys := perfFilter(b, mode, k, true)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Contains(keys[i&(perfN-1)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPerfAddAll(b *testing.B) {
+	for _, mode := range []string{"scalar", "sharded"} {
+		for _, k := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+				f, keys := perfFilter(b, mode, k, false)
+				batch := keys[:perfBatch]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := f.AddAll(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPerfContainsAll(b *testing.B) {
+	for _, mode := range []string{"scalar", "sharded"} {
+		for _, k := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+				f, keys := perfFilter(b, mode, k, true)
+				batch := keys[:perfBatch]
+				dst := make([]bool, perfBatch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = f.ContainsAll(dst, batch)
+				}
+			})
+		}
+	}
+}
