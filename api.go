@@ -2,9 +2,11 @@ package shbf
 
 import (
 	"fmt"
+	"time"
 
 	"shbf/internal/core"
 	"shbf/internal/sharded"
+	"shbf/internal/window"
 )
 
 // This file is the unified, spec-driven construction surface: a Kind
@@ -18,20 +20,29 @@ import (
 // framework; see the Kind* constants.
 type Kind = core.Kind
 
-// The framework's filter kinds, accepted by [New] in [Spec].Kind.
+// The framework's filter kinds, accepted by [New] in [Spec].Kind. The
+// KindWindow* kinds are the sliding-window generation rings; they are
+// most conveniently built through [NewWindow], which derives the
+// window kind from the base kind being windowed.
 const (
-	KindMembership           = core.KindMembership
-	KindCountingMembership   = core.KindCountingMembership
-	KindTShift               = core.KindTShift
-	KindAssociation          = core.KindAssociation
-	KindCountingAssociation  = core.KindCountingAssociation
-	KindMultiAssociation     = core.KindMultiAssociation
-	KindMultiplicity         = core.KindMultiplicity
-	KindCountingMultiplicity = core.KindCountingMultiplicity
-	KindSCMSketch            = core.KindSCMSketch
-	KindShardedMembership    = core.KindShardedMembership
-	KindShardedAssociation   = core.KindShardedAssociation
-	KindShardedMultiplicity  = core.KindShardedMultiplicity
+	KindMembership                = core.KindMembership
+	KindCountingMembership        = core.KindCountingMembership
+	KindTShift                    = core.KindTShift
+	KindAssociation               = core.KindAssociation
+	KindCountingAssociation       = core.KindCountingAssociation
+	KindMultiAssociation          = core.KindMultiAssociation
+	KindMultiplicity              = core.KindMultiplicity
+	KindCountingMultiplicity      = core.KindCountingMultiplicity
+	KindSCMSketch                 = core.KindSCMSketch
+	KindShardedMembership         = core.KindShardedMembership
+	KindShardedAssociation        = core.KindShardedAssociation
+	KindShardedMultiplicity       = core.KindShardedMultiplicity
+	KindWindowMembership          = core.KindWindowMembership
+	KindWindowAssociation         = core.KindWindowAssociation
+	KindWindowMultiplicity        = core.KindWindowMultiplicity
+	KindWindowShardedMembership   = core.KindWindowShardedMembership
+	KindWindowShardedAssociation  = core.KindWindowShardedAssociation
+	KindWindowShardedMultiplicity = core.KindWindowShardedMultiplicity
 )
 
 // ParseKind maps a canonical kind name (a Kind's String form, e.g.
@@ -92,12 +103,49 @@ type Counter interface {
 }
 
 // Associator is the two-set association surface: Association,
-// CountingAssociation and ShardedAssociation implement it.
-// (MultiAssociation answers with a MultiAnswer, not a Region, and is
-// queried directly.)
+// CountingAssociation, ShardedAssociation and the association windows
+// implement it. (MultiAssociation answers with a MultiAnswer, not a
+// Region, and is queried directly.)
 type Associator interface {
 	Query(e []byte) Region
 	QueryAll(dst []Region, keys [][]byte) []Region
+}
+
+// Windowed is the rotation surface of the sliding-window kinds (every
+// KindWindow* filter implements it): Rotate retires the oldest
+// generation now, RotateIfDue applies the Spec's Tick policy against a
+// caller-supplied clock, and Window snapshots the ring. Query and
+// write methods never rotate implicitly — a serving loop owns the
+// cadence (cmd/shbfd's -tick, or the caller's own ticker).
+type Windowed interface {
+	Rotate() error
+	RotateIfDue(now time.Time) (bool, error)
+	Window() WindowInfo
+}
+
+// WindowInfo is a sliding-window filter's rotation snapshot: ring
+// length, completed rotations, configured tick, and per-generation
+// occupancy newest to oldest.
+type WindowInfo = window.Info
+
+// WindowGenInfo is one generation's occupancy inside a WindowInfo.
+type WindowGenInfo = window.GenInfo
+
+// WindowOpts configures [NewWindow]: the ring length and the rotation
+// period.
+type WindowOpts struct {
+	// Generations is the ring length G (≥ 2). Writes go to the head
+	// generation; a key expires G−1..G rotations after its last write.
+	// Memory is G × the base Spec's footprint, and the window false-
+	// positive rate is bounded by 1 − (1−f)^G for a per-generation
+	// rate f.
+	Generations int
+
+	// Tick is the wall-clock rotation period honored by
+	// [Windowed.RotateIfDue] and shbfd's -tick loop; zero leaves
+	// rotation fully explicit via [Windowed.Rotate]. The effective
+	// sliding window spans (Generations−1..Generations) × Tick.
+	Tick time.Duration
 }
 
 // asFilter adapts a concrete constructor result to the Filter
@@ -148,6 +196,50 @@ func New(spec Spec) (Filter, error) {
 		return asFilter(sharded.NewAssociation(spec.M, spec.K, spec.Shards, opts...))
 	case KindShardedMultiplicity:
 		return asFilter(sharded.NewMultiplicity(spec.M, spec.K, spec.C, spec.Shards, opts...))
+	case KindWindowMembership:
+		return asFilter(window.NewMembership(spec))
+	case KindWindowAssociation:
+		return asFilter(window.NewAssociation(spec))
+	case KindWindowMultiplicity:
+		return asFilter(window.NewMultiplicity(spec))
+	case KindWindowShardedMembership:
+		return asFilter(sharded.NewWindow(spec))
+	case KindWindowShardedAssociation:
+		return asFilter(sharded.NewWindowAssociation(spec))
+	case KindWindowShardedMultiplicity:
+		return asFilter(sharded.NewWindowMultiplicity(spec))
 	}
 	return nil, fmt.Errorf("shbf: unknown filter kind %s", spec.Kind)
+}
+
+// NewWindow wraps a base filter Spec in a sliding-window generation
+// ring: base describes one generation (its kind, geometry and seed —
+// exactly the Spec the non-windowed filter would be built from), opts
+// the ring length and rotation period. The result is the windowed
+// filter as a [Filter]; it conforms to the base kind's query surface
+// ([Set], [Counter] or [Associator], batch paths included) plus
+// [Windowed] for rotation.
+//
+//	f, _ := shbf.NewWindow(shbf.Spec{Kind: shbf.KindMembership, M: m, K: k},
+//		shbf.WindowOpts{Generations: 4, Tick: time.Minute})
+//	set, win := f.(shbf.Set), f.(shbf.Windowed)
+//
+// Windowable base kinds: membership, association and multiplicity, in
+// their monolithic and sharded forms. The association and multiplicity
+// windows ring the counting variants (a streaming head generation
+// needs incremental inserts), so KindAssociation and KindMultiplicity
+// are accepted as aliases for their counting forms. Kinds with no
+// streaming rotation semantics (t-shift, multi-association, the SCM
+// sketch, counting membership — whose Delete a rotation would
+// invalidate) are rejected.
+func NewWindow(base Spec, opts WindowOpts) (Filter, error) {
+	kind, err := core.WindowKind(base.Kind)
+	if err != nil {
+		return nil, err
+	}
+	spec := base
+	spec.Kind = kind
+	spec.Generations = opts.Generations
+	spec.Tick = opts.Tick
+	return New(spec)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"shbf"
 )
@@ -23,6 +24,13 @@ func specs() []shbf.Spec {
 		{Kind: shbf.KindShardedMembership, M: 1 << 16, K: 6, Shards: 4, Seed: 7},
 		{Kind: shbf.KindShardedAssociation, M: 1 << 16, K: 4, Shards: 4, Seed: 7},
 		{Kind: shbf.KindShardedMultiplicity, M: 1 << 17, K: 4, C: 57, Shards: 4, Seed: 7},
+		{Kind: shbf.KindWindowMembership, M: 4096, K: 6, Generations: 3, Seed: 7},
+		{Kind: shbf.KindWindowAssociation, M: 4096, K: 4, Generations: 3, Seed: 7},
+		{Kind: shbf.KindWindowMultiplicity, M: 4096, K: 4, C: 57, Generations: 3, Seed: 7},
+		{Kind: shbf.KindWindowShardedMembership, M: 1 << 16, K: 6, Shards: 4, Generations: 3,
+			Tick: time.Minute, Seed: 7},
+		{Kind: shbf.KindWindowShardedAssociation, M: 1 << 16, K: 4, Shards: 4, Generations: 3, Seed: 7},
+		{Kind: shbf.KindWindowShardedMultiplicity, M: 1 << 17, K: 4, C: 57, Shards: 4, Generations: 3, Seed: 7},
 	}
 }
 
@@ -90,6 +98,15 @@ func TestInterfaceConformance(t *testing.T) {
 		shbf.KindShardedMembership:    "set",
 		shbf.KindShardedAssociation:   "associator",
 		shbf.KindShardedMultiplicity:  "counter,updatable,adder",
+
+		// The window kinds present their base kind's surface plus the
+		// rotation interface (checked separately below).
+		shbf.KindWindowMembership:          "set,windowed",
+		shbf.KindWindowAssociation:         "associator,windowed",
+		shbf.KindWindowMultiplicity:        "counter,updatable,adder,windowed",
+		shbf.KindWindowShardedMembership:   "set,windowed",
+		shbf.KindWindowShardedAssociation:  "associator,windowed",
+		shbf.KindWindowShardedMultiplicity: "counter,updatable,adder,windowed",
 	}
 	for _, spec := range specs() {
 		t.Run(spec.Kind.String(), func(t *testing.T) {
@@ -108,10 +125,12 @@ func TestInterfaceConformance(t *testing.T) {
 			_, isCnt := f.(shbf.Counter)
 			_, isAssoc := f.(shbf.Associator)
 			_, isAdder := f.(shbf.Adder)
+			_, isWin := f.(shbf.Windowed)
 			check("set", isSet)
 			check("updatable", isUpd)
 			check("counter", isCnt)
 			check("associator", isAssoc)
+			check("windowed", isWin)
 			// Set implies Adder; only check the standalone tag.
 			if !isSet {
 				check("adder", isAdder)
@@ -124,12 +143,18 @@ func TestInterfaceConformance(t *testing.T) {
 // vocabulary are construction errors, not silent no-ops.
 func TestSpecRejectsMisappliedFields(t *testing.T) {
 	bad := []shbf.Spec{
-		{Kind: shbf.KindMembership, M: 4096, K: 6, C: 57},        // C on membership
-		{Kind: shbf.KindMembership, M: 4096, K: 6, T: 2},         // T outside tshift
-		{Kind: shbf.KindMultiplicity, M: 4096, K: 4, C: 8, G: 3}, // G outside multi-association
-		{Kind: shbf.KindMembership, M: 4096, K: 6, Shards: 4},    // Shards on monolithic kind
-		{Kind: shbf.KindShardedMembership, M: 1 << 16, K: 6},     // sharded kind without Shards
-		{Kind: 0, M: 4096, K: 6},                                 // invalid kind
+		{Kind: shbf.KindMembership, M: 4096, K: 6, C: 57},                          // C on membership
+		{Kind: shbf.KindMembership, M: 4096, K: 6, T: 2},                           // T outside tshift
+		{Kind: shbf.KindMultiplicity, M: 4096, K: 4, C: 8, G: 3},                   // G outside multi-association
+		{Kind: shbf.KindMembership, M: 4096, K: 6, Shards: 4},                      // Shards on monolithic kind
+		{Kind: shbf.KindShardedMembership, M: 1 << 16, K: 6},                       // sharded kind without Shards
+		{Kind: 0, M: 4096, K: 6},                                                   // invalid kind
+		{Kind: shbf.KindMembership, M: 4096, K: 6, Generations: 3},                 // Generations on non-window kind
+		{Kind: shbf.KindMembership, M: 4096, K: 6, Tick: time.Second},              // Tick on non-window kind
+		{Kind: shbf.KindWindowMembership, M: 4096, K: 6},                           // window kind without Generations
+		{Kind: shbf.KindWindowMembership, M: 4096, K: 6, Generations: 1},           // ring too short
+		{Kind: shbf.KindWindowMembership, M: 4096, K: 6, Generations: 3, T: 2},     // T outside tshift
+		{Kind: shbf.KindWindowShardedMembership, M: 1 << 16, K: 6, Generations: 3}, // sharded window without Shards
 	}
 	for _, spec := range bad {
 		if _, err := shbf.New(spec); err == nil {

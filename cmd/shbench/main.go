@@ -117,6 +117,7 @@ var runners = []runner{
 	{id: "multiset", desc: "g-set association extension vs CodedBF", figs: experiment.RunMultiSetAblation},
 	{id: "skew", desc: "multiplicity correctness under count skew", figs: experiment.RunSkewAblation},
 	{id: "zoo", desc: "membership scheme zoo", figs: experiment.RunMembershipZoo},
+	{id: "window", desc: "sliding-window accuracy (generation ring)", figs: experiment.RunWindowAblation},
 }
 
 func run(figFlag, outDir string, cfg experiment.Config) error {

@@ -9,21 +9,31 @@
 //	      [-member-bits N] [-member-k 8]
 //	      [-assoc-bits N]  [-assoc-k 8]
 //	      [-mult-bits N]   [-mult-k 8] [-c 57]
+//	      [-window 0] [-tick 0]
 //	      [-snapshot state.shbf] [-snapshot-every 0]
 //	      [-pprof-addr localhost:6060]
+//
+// With -window G (G ≥ 2), every filter runs as a sliding window of G
+// generations: writes go to the head generation, and each rotation —
+// driven every -tick interval, or on demand via POST /v1/rotate —
+// retires the oldest, so the daemon answers "seen in the last G−1..G
+// ticks" and its memory and false-positive rate stay bounded on
+// endless streams (the streaming deployments the paper targets).
+// Memory in window mode is G × the configured per-filter bits.
 //
 // With -snapshot, state is reloaded from the file at startup (if it
 // exists), persisted on POST /v1/snapshot, every -snapshot-every
 // interval if set, and on graceful shutdown (SIGINT/SIGTERM) — so
-// answers survive restarts. With -pprof-addr, the net/http/pprof
+// answers survive restarts; window rings restore with their head
+// positions and rotation epochs. With -pprof-addr, the net/http/pprof
 // endpoints are served on a second, separate listener (keep it on
 // localhost or behind a firewall: profiles expose internals), so the
 // daemon's hot paths can be profiled in place:
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
-// See internal/server for the endpoint list and DESIGN.md for the
-// architecture.
+// See internal/server for the endpoint list, OPERATIONS.md for running
+// the daemon in production, and DESIGN.md for the architecture.
 package main
 
 import (
@@ -68,6 +78,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		mulBits   = fs.Int("mult-bits", 18<<20, "total multiplicity filter bits")
 		mulK      = fs.Int("mult-k", 8, "multiplicity bit positions per element")
 		maxCount  = fs.Int("c", 57, "maximum multiplicity")
+		windowGen = fs.Int("window", 0, "sliding-window generations per filter (0 = unbounded filters; ≥ 2 enables rotation)")
+		tick      = fs.Duration("tick", 0, "rotate the windows on this interval (0 = only via POST /v1/rotate; requires -window)")
 		snapPath  = fs.String("snapshot", "", "snapshot file (loaded at startup, written on shutdown and POST /v1/snapshot)")
 		snapEvr   = fs.Duration("snapshot-every", 0, "also snapshot on this interval (0 = disabled; requires -snapshot)")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
@@ -78,18 +90,23 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if *snapEvr > 0 && *snapPath == "" {
 		return errors.New("-snapshot-every requires -snapshot")
 	}
+	if *tick > 0 && *windowGen < 2 {
+		return errors.New("-tick requires -window ≥ 2")
+	}
 
 	cfg := server.Config{
-		MembershipBits:   *memBits,
-		MembershipK:      *memK,
-		AssociationBits:  *assBits,
-		AssociationK:     *assK,
-		MultiplicityBits: *mulBits,
-		MultiplicityK:    *mulK,
-		MaxCount:         *maxCount,
-		Shards:           *shards,
-		Seed:             *seed,
-		SnapshotPath:     *snapPath,
+		MembershipBits:    *memBits,
+		MembershipK:       *memK,
+		AssociationBits:   *assBits,
+		AssociationK:      *assK,
+		MultiplicityBits:  *mulBits,
+		MultiplicityK:     *mulK,
+		MaxCount:          *maxCount,
+		Shards:            *shards,
+		Seed:              *seed,
+		SnapshotPath:      *snapPath,
+		WindowGenerations: *windowGen,
+		WindowTick:        *tick,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -138,20 +155,44 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
-	var ticker *time.Ticker
-	var tick <-chan time.Time
+	var snapTicker *time.Ticker
+	var snapC <-chan time.Time
 	if *snapEvr > 0 {
-		ticker = time.NewTicker(*snapEvr)
-		tick = ticker.C
-		defer ticker.Stop()
+		snapTicker = time.NewTicker(*snapEvr)
+		snapC = snapTicker.C
+		defer snapTicker.Stop()
+	}
+	var rotTicker *time.Ticker
+	var rotC <-chan time.Time
+	if *tick > 0 {
+		rotTicker = time.NewTicker(*tick)
+		rotC = rotTicker.C
+		defer rotTicker.Stop()
+		log.Printf("shbfd: window mode: %d generations, rotating every %s (window ≈ %s)",
+			*windowGen, *tick, time.Duration(*windowGen)**tick)
+	} else if *windowGen >= 2 {
+		log.Printf("shbfd: window mode: %d generations, rotation via POST /v1/rotate", *windowGen)
 	}
 	for {
 		select {
-		case <-tick:
+		case <-snapC:
 			if n, err := srv.SaveSnapshot(*snapPath); err != nil {
 				log.Printf("shbfd: periodic snapshot: %v", err)
 			} else {
 				log.Printf("shbfd: snapshot written (%d bytes)", n)
+			}
+		case <-rotC:
+			if rotated, err := srv.Rotate(); errors.Is(err, server.ErrNotWindowed) {
+				// A classic (pre-window) snapshot overrode -window at
+				// restore; ticking forever would just log this error
+				// every -tick. Say it once and stop the ticker.
+				log.Printf("shbfd: rotation disabled: %v", err)
+				rotTicker.Stop()
+				rotC = nil
+			} else if err != nil {
+				log.Printf("shbfd: rotation: %v", err)
+			} else {
+				log.Printf("shbfd: rotated %v", rotated)
 			}
 		case err := <-errc:
 			return err

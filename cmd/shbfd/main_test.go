@@ -154,3 +154,64 @@ func TestServeAndGracefulSnapshot(t *testing.T) {
 		t.Fatalf("after restart: count = %d, want 3", cnt.Counts[0])
 	}
 }
+
+// TestWindowFlags: -tick requires -window, and a windowed daemon
+// rotates on its ticker so fresh keys expire without any /v1/rotate
+// call.
+func TestWindowFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-tick", "1s"}, nil); err == nil {
+		t.Fatal("accepted -tick without -window")
+	}
+	if err := run(context.Background(), []string{"-window", "1", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("accepted a one-generation window")
+	}
+
+	url, stop := startDaemon(t,
+		"-member-bits", "65536", "-assoc-bits", "65536", "-mult-bits", "131072",
+		"-shards", "4", "-window", "2", "-tick", "150ms")
+	defer stop()
+
+	postJSON(t, url+"/v1/membership/add", map[string]any{"keys": []string{"ticker-key"}}, nil)
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	postJSON(t, url+"/v1/membership/contains", map[string]any{"keys": []string{"ticker-key"}}, &res)
+	if !res.Results[0] {
+		t.Fatal("fresh key invisible")
+	}
+	// After ≥ 2 ticks (two rotations of a G = 2 ring) the key must be
+	// gone. Poll rather than sleep a fixed worst case.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		postJSON(t, url+"/v1/membership/contains", map[string]any{"keys": []string{"ticker-key"}}, &res)
+		if !res.Results[0] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never expired the key")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var st struct {
+		Membership struct {
+			Window *struct {
+				Generations int    `json:"generations"`
+				Epoch       uint64 `json:"epoch"`
+			} `json:"window"`
+		} `json:"membership"`
+	}
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Membership.Window == nil || st.Membership.Window.Generations != 2 {
+		t.Fatalf("stats window metadata missing: %+v", st.Membership.Window)
+	}
+	if st.Membership.Window.Epoch < 2 {
+		t.Fatalf("ticker produced only %d rotations", st.Membership.Window.Epoch)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"shbf/internal/core"
 	"shbf/internal/sharded"
+	"shbf/internal/window"
 )
 
 // The self-describing envelope wraps any filter's MarshalBinary output
@@ -68,6 +69,18 @@ func emptyFor(kind Kind) (Filter, error) {
 		return new(sharded.Association), nil
 	case KindShardedMultiplicity:
 		return new(sharded.Multiplicity), nil
+	case KindWindowMembership:
+		return new(window.Membership), nil
+	case KindWindowAssociation:
+		return new(window.Association), nil
+	case KindWindowMultiplicity:
+		return new(window.Multiplicity), nil
+	case KindWindowShardedMembership:
+		return new(sharded.Window), nil
+	case KindWindowShardedAssociation:
+		return new(sharded.WindowAssociation), nil
+	case KindWindowShardedMultiplicity:
+		return new(sharded.WindowMultiplicity), nil
 	}
 	return nil, fmt.Errorf("shbf: envelope has unknown filter kind %d", uint8(kind))
 }

@@ -172,6 +172,59 @@ func populatedFilters(t *testing.T) []struct {
 	}
 	add(sx, nil)
 
+	// The six window kinds, populated across a rotation so the ShBW
+	// container's head/epoch state is exercised, not just its ring.
+	wopts := shbf.WindowOpts{Generations: 3}
+	addWindow := func(base shbf.Spec, fill func(shbf.Filter, [][]byte)) {
+		t.Helper()
+		f, err := shbf.NewWindow(base, wopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(f, members[:120])
+		if err := f.(shbf.Windowed).Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		fill(f, keys[150:300])
+		add(f, nil)
+	}
+	fillSet := func(f shbf.Filter, batch [][]byte) {
+		t.Helper()
+		if err := f.(shbf.Set).AddAll(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fillCount := func(f shbf.Filter, batch [][]byte) {
+		t.Helper()
+		if err := f.(shbf.Adder).AddAll(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fillAssoc := func(f shbf.Filter, batch [][]byte) {
+		t.Helper()
+		a := f.(interface {
+			InsertS1(e []byte) error
+			InsertS2(e []byte) error
+		})
+		for i, e := range batch {
+			var err error
+			if i%2 == 0 {
+				err = a.InsertS1(e)
+			} else {
+				err = a.InsertS2(e)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addWindow(shbf.Spec{Kind: shbf.KindMembership, M: 8192, K: 6, Seed: 5}, fillSet)
+	addWindow(shbf.Spec{Kind: shbf.KindCountingAssociation, M: 8192, K: 4, Seed: 5}, fillAssoc)
+	addWindow(shbf.Spec{Kind: shbf.KindCountingMultiplicity, M: 16384, K: 4, C: 57, Seed: 5}, fillCount)
+	addWindow(shbf.Spec{Kind: shbf.KindShardedMembership, M: 1 << 16, K: 6, Shards: 8, Seed: 5}, fillSet)
+	addWindow(shbf.Spec{Kind: shbf.KindShardedAssociation, M: 1 << 16, K: 4, Shards: 8, Seed: 5}, fillAssoc)
+	addWindow(shbf.Spec{Kind: shbf.KindShardedMultiplicity, M: 1 << 17, K: 4, C: 57, Shards: 8, Seed: 5}, fillCount)
+
 	return out
 }
 

@@ -22,6 +22,35 @@ func ExampleNewCountingMembership() {
 	// after delete: false
 }
 
+func ExampleNewWindow() {
+	// A sliding-window membership filter: 3 generations of ShBF_M.
+	// Writes go to the head generation; each Rotate retires the
+	// oldest, so a key expires 2..3 rotations after its last Add and
+	// memory stays at 3 × one filter forever.
+	f, _ := shbf.NewWindow(
+		shbf.Spec{Kind: shbf.KindMembership, M: 65536, K: 8, Seed: 1},
+		shbf.WindowOpts{Generations: 3},
+	)
+	set := f.(shbf.Set)      // the base kind's query surface
+	win := f.(shbf.Windowed) // the rotation surface
+
+	flow := []byte("10.0.0.1:443->10.0.0.9:5501/tcp")
+	set.Add(flow)
+	fmt.Println("fresh:", set.Contains(flow))
+	for i := 0; i < 2; i++ {
+		_ = win.Rotate()
+	}
+	fmt.Println("after 2 rotations:", set.Contains(flow))
+	_ = win.Rotate()
+	fmt.Println("after 3 rotations:", set.Contains(flow), "— expired")
+	fmt.Println("epoch:", win.Window().Epoch)
+	// Output:
+	// fresh: true
+	// after 2 rotations: true
+	// after 3 rotations: false — expired
+	// epoch: 3
+}
+
 func ExampleMultiplicity_Candidates() {
 	f, _ := shbf.NewMultiplicity(10000, 8, 57)
 	_ = f.AddWithCount([]byte("elephant flow"), 24)

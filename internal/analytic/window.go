@@ -1,0 +1,43 @@
+package analytic
+
+import "math"
+
+// Sliding-window (generation-ring) accuracy. A window filter queries G
+// independent generations and answers positively when any generation
+// does, so for a key outside every generation the window false-positive
+// events are independent across the ring:
+//
+//	f_window = 1 − (1 − f_gen)^G
+//
+// where f_gen is one generation's false-positive rate at its own load
+// (for ShBF_M generations, Equation 1 at the per-tick element count).
+// For small f_gen this is ≈ G·f_gen — the window pays a factor-of-G
+// error tax for its bounded memory and forgetting, and because each
+// generation holds only one tick's worth of keys, f_gen is evaluated
+// at n/G-ish load rather than the stream's lifetime total. Both
+// f_window and the memory G × m are constants of the configuration:
+// unlike an unbounded append-only filter, neither drifts as the stream
+// runs, which is the contract the soak tests and EXPERIMENTS.md's
+// sliding-window section pin.
+
+// FPRWindow returns the G-generation window false-positive rate
+// 1 − (1 − fGen)^G for a per-generation rate fGen, computed as
+// −expm1(G·log1p(−fGen)) so that rates below the float64 epsilon
+// (lightly loaded shards report f_gen ~ 1e-19) degrade to the G·fGen
+// linearization instead of underflowing to zero.
+func FPRWindow(fGen float64, g int) float64 {
+	if fGen <= 0 {
+		return 0
+	}
+	if fGen >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(g) * math.Log1p(-fGen))
+}
+
+// FPRShBFMWindow returns the window false-positive rate of a
+// G-generation ring of ShBF_M filters, each of m bits holding nPerGen
+// elements: FPRWindow over Equation 1.
+func FPRShBFMWindow(m, nPerGen int, k float64, wbar, g int) float64 {
+	return FPRWindow(FPRShBFM(m, nPerGen, k, wbar), g)
+}

@@ -1,0 +1,65 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFPRWindowBasics pins the bound's shape: identity at G = 1,
+// monotone in G, ≈ G·f for small f, and clamped at the edges.
+func TestFPRWindowBasics(t *testing.T) {
+	if got := FPRWindow(0.01, 1); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("G=1 must be the per-generation rate, got %g", got)
+	}
+	prev := 0.0
+	for g := 1; g <= 16; g *= 2 {
+		f := FPRWindow(0.01, g)
+		if f <= prev {
+			t.Fatalf("window FPR not increasing in G: f(%d) = %g ≤ %g", g, f, prev)
+		}
+		prev = f
+	}
+	// Small-f linearization: 1−(1−f)^G ≤ G·f with equality as f → 0.
+	f, g := 1e-6, 8
+	got := FPRWindow(f, g)
+	if got > float64(g)*f || got < 0.99*float64(g)*f {
+		t.Fatalf("small-f window FPR %g outside (0.99·G·f, G·f] = (%g, %g]",
+			got, 0.99*float64(g)*f, float64(g)*f)
+	}
+	if FPRWindow(0, 4) != 0 || FPRWindow(-1, 4) != 0 {
+		t.Fatal("non-positive per-generation rate must clamp to 0")
+	}
+	if FPRWindow(1, 4) != 1 || FPRWindow(2, 4) != 1 {
+		t.Fatal("per-generation rate ≥ 1 must clamp to 1")
+	}
+}
+
+// TestFPRShBFMWindowComposition: the composed helper equals the
+// two-step computation and degrades gracefully to Equation 1 at G = 1.
+func TestFPRShBFMWindowComposition(t *testing.T) {
+	m, n, k, wbar := 1<<20, 50_000, 8.0, 57
+	fGen := FPRShBFM(m, n, k, wbar)
+	for _, g := range []int{1, 2, 4, 8} {
+		want := FPRWindow(fGen, g)
+		if got := FPRShBFMWindow(m, n, k, wbar, g); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("G=%d: composed %g, two-step %g", g, got, want)
+		}
+	}
+	if got, want := FPRShBFMWindow(m, n, k, wbar, 1), fGen; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("G=1 window rate %g, Equation 1 gives %g", got, want)
+	}
+}
+
+// TestFPRWindowTinyRates: per-generation rates below the float64
+// epsilon must linearize to G·f, not underflow to zero (regression:
+// lightly loaded shards report f_gen ~ 1e-19 and /v1/stats showed 0).
+func TestFPRWindowTinyRates(t *testing.T) {
+	f := 1.1e-19
+	got := FPRWindow(f, 3)
+	if got <= 0 {
+		t.Fatalf("window FPR underflowed to %g for f_gen %g", got, f)
+	}
+	if want := 3 * f; math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("tiny-rate window FPR %g, want ≈ G·f = %g", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // This file defines the spec-driven construction surface shared by the
@@ -19,7 +20,10 @@ type Kind uint8
 
 // The framework's filter kinds. The first nine are the single-threaded
 // core encodings; the Sharded kinds are their lock-striped wrappers
-// from internal/sharded.
+// from internal/sharded; the Window kinds are the sliding-window
+// generation rings of internal/window (and their sharded compositions),
+// whose inner generations are the corresponding base kind. New kinds
+// append — the numeric values travel in serialized envelopes.
 const (
 	KindInvalid Kind = iota
 	KindMembership
@@ -34,24 +38,36 @@ const (
 	KindShardedMembership
 	KindShardedAssociation
 	KindShardedMultiplicity
+	KindWindowMembership
+	KindWindowAssociation
+	KindWindowMultiplicity
+	KindWindowShardedMembership
+	KindWindowShardedAssociation
+	KindWindowShardedMultiplicity
 
 	kindMax // one past the last valid kind
 )
 
 var kindNames = [...]string{
-	KindInvalid:              "invalid",
-	KindMembership:           "membership",
-	KindCountingMembership:   "counting-membership",
-	KindTShift:               "tshift",
-	KindAssociation:          "association",
-	KindCountingAssociation:  "counting-association",
-	KindMultiAssociation:     "multi-association",
-	KindMultiplicity:         "multiplicity",
-	KindCountingMultiplicity: "counting-multiplicity",
-	KindSCMSketch:            "scm-sketch",
-	KindShardedMembership:    "sharded-membership",
-	KindShardedAssociation:   "sharded-association",
-	KindShardedMultiplicity:  "sharded-multiplicity",
+	KindInvalid:                   "invalid",
+	KindMembership:                "membership",
+	KindCountingMembership:        "counting-membership",
+	KindTShift:                    "tshift",
+	KindAssociation:               "association",
+	KindCountingAssociation:       "counting-association",
+	KindMultiAssociation:          "multi-association",
+	KindMultiplicity:              "multiplicity",
+	KindCountingMultiplicity:      "counting-multiplicity",
+	KindSCMSketch:                 "scm-sketch",
+	KindShardedMembership:         "sharded-membership",
+	KindShardedAssociation:        "sharded-association",
+	KindShardedMultiplicity:       "sharded-multiplicity",
+	KindWindowMembership:          "window-membership",
+	KindWindowAssociation:         "window-association",
+	KindWindowMultiplicity:        "window-multiplicity",
+	KindWindowShardedMembership:   "window-sharded-membership",
+	KindWindowShardedAssociation:  "window-sharded-association",
+	KindWindowShardedMultiplicity: "window-sharded-multiplicity",
 }
 
 // String returns the kind's canonical name, the form ParseKind accepts.
@@ -65,15 +81,83 @@ func (k Kind) String() string {
 // Valid reports whether k names a constructible filter kind.
 func (k Kind) Valid() bool { return k > KindInvalid && k < kindMax }
 
-// Sharded reports whether k is one of the lock-striped wrapper kinds.
+// Sharded reports whether k is one of the lock-striped wrapper kinds,
+// windowed or not — the kinds whose Spec carries a shard count.
 func (k Kind) Sharded() bool {
-	return k == KindShardedMembership || k == KindShardedAssociation || k == KindShardedMultiplicity
+	switch k {
+	case KindShardedMembership, KindShardedAssociation, KindShardedMultiplicity,
+		KindWindowShardedMembership, KindWindowShardedAssociation, KindWindowShardedMultiplicity:
+		return true
+	}
+	return false
 }
 
 // Multiplicity reports whether k is one of the multiplicity kinds —
 // the kinds whose Spec carries the maximum count C.
 func (k Kind) Multiplicity() bool {
-	return k == KindMultiplicity || k == KindCountingMultiplicity || k == KindShardedMultiplicity
+	switch k {
+	case KindMultiplicity, KindCountingMultiplicity, KindShardedMultiplicity,
+		KindWindowMultiplicity, KindWindowShardedMultiplicity:
+		return true
+	}
+	return false
+}
+
+// Windowed reports whether k is one of the sliding-window kinds — the
+// kinds whose Spec carries Generations and Tick.
+func (k Kind) Windowed() bool {
+	switch k {
+	case KindWindowMembership, KindWindowAssociation, KindWindowMultiplicity,
+		KindWindowShardedMembership, KindWindowShardedAssociation, KindWindowShardedMultiplicity:
+		return true
+	}
+	return false
+}
+
+// Inner returns the kind a window kind's generations are built from
+// (KindInvalid for non-window kinds). The updatable counting variants
+// back the association and multiplicity windows, because a streaming
+// head generation needs incremental inserts.
+func (k Kind) Inner() Kind {
+	switch k {
+	case KindWindowMembership:
+		return KindMembership
+	case KindWindowAssociation:
+		return KindCountingAssociation
+	case KindWindowMultiplicity:
+		return KindCountingMultiplicity
+	case KindWindowShardedMembership:
+		return KindWindowMembership
+	case KindWindowShardedAssociation:
+		return KindWindowAssociation
+	case KindWindowShardedMultiplicity:
+		return KindWindowMultiplicity
+	}
+	return KindInvalid
+}
+
+// WindowKind maps a base kind to the window kind whose generations it
+// would back: membership kinds to their membership window, the
+// association and multiplicity kinds to the windows over their counting
+// variants, and the sharded kinds to the sharded window compositions.
+// Kinds with no streaming rotation semantics (the static build-time
+// association forms, the SCM sketch, t-shift) return an error.
+func WindowKind(inner Kind) (Kind, error) {
+	switch inner {
+	case KindMembership:
+		return KindWindowMembership, nil
+	case KindAssociation, KindCountingAssociation:
+		return KindWindowAssociation, nil
+	case KindMultiplicity, KindCountingMultiplicity:
+		return KindWindowMultiplicity, nil
+	case KindShardedMembership:
+		return KindWindowShardedMembership, nil
+	case KindShardedAssociation:
+		return KindWindowShardedAssociation, nil
+	case KindShardedMultiplicity:
+		return KindWindowShardedMultiplicity, nil
+	}
+	return KindInvalid, fmt.Errorf("core: no sliding-window form of %s filters", inner)
 }
 
 // ParseKind maps a canonical kind name (the String form, e.g.
@@ -124,6 +208,18 @@ type Spec struct {
 	// Shards is the shard count for sharded kinds (rounded up to a
 	// power of two by construction).
 	Shards int
+
+	// Generations is the ring length G of the window kinds: writes go
+	// to the head generation and a rotation retires the oldest, so the
+	// filter answers over a sliding window of the last G−1..G ticks.
+	// Window kinds require G ≥ 2; the field must be zero elsewhere.
+	Generations int
+
+	// Tick is the window kinds' wall-clock rotation period, honored by
+	// RotateIfDue and the shbfd -tick loop. Zero means rotation is
+	// driven explicitly via Rotate. The field must be zero on
+	// non-window kinds.
+	Tick time.Duration
 
 	// Seed derives the filter's hash functions; equal specs build
 	// identical filters. Every value — including zero — is a valid
@@ -189,6 +285,20 @@ func (s Spec) Validate() error {
 	}
 	if s.Kind.Sharded() && s.Shards < 1 {
 		return fmt.Errorf("core: %s spec needs Shards ≥ 1", s.Kind)
+	}
+	if s.Generations != 0 && !s.Kind.Windowed() {
+		return fmt.Errorf("core: spec field Generations does not apply to %s filters", s.Kind)
+	}
+	if s.Tick != 0 && !s.Kind.Windowed() {
+		return fmt.Errorf("core: spec field Tick does not apply to %s filters", s.Kind)
+	}
+	if s.Kind.Windowed() {
+		if s.Generations < 2 {
+			return fmt.Errorf("core: %s spec needs Generations ≥ 2, got %d", s.Kind, s.Generations)
+		}
+		if s.Tick < 0 {
+			return fmt.Errorf("core: %s spec has negative Tick %s", s.Kind, s.Tick)
+		}
 	}
 	return nil
 }

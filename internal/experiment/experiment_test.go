@@ -465,3 +465,39 @@ func TestMeasureMqps(t *testing.T) {
 		t.Fatalf("Mqps = %v, want positive", got)
 	}
 }
+
+func TestRunWindowAblation(t *testing.T) {
+	figs := RunWindowAblation(quickCfg)
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	soak := figs[0]
+	win := seriesYs(t, soak, "window G=4")
+	unb := seriesYs(t, soak, "unbounded same-size filter")
+	bound := seriesYs(t, soak, "window bound 1-(1-f)^G")
+	// Shape 1: the unbounded filter's FPR keeps growing; by the final
+	// tick it is far above the window's.
+	if unb[len(unb)-1] < 5*win[len(win)-1] {
+		t.Fatalf("unbounded FPR %.4g not clearly above window FPR %.4g at the final tick",
+			unb[len(unb)-1], win[len(win)-1])
+	}
+	// Shape 2: once steady state is reached (tick ≥ G), the window FPR
+	// stays at or below the analytic bound with measurement slack.
+	for i := 4; i < len(win); i++ {
+		if win[i] > 2*bound[i]+0.01 {
+			t.Fatalf("tick %d: window FPR %.4g above 2× bound %.4g", i+1, win[i], bound[i])
+		}
+	}
+	// Shape 3: steady-state FPR grows with G and tracks the bound.
+	byG := figs[1]
+	meas := seriesYs(t, byG, "measured")
+	bnds := seriesYs(t, byG, "bound 1-(1-f)^G")
+	for i := range meas {
+		if meas[i] > 2*bnds[i]+0.01 {
+			t.Fatalf("G point %d: measured %.4g above 2× bound %.4g", i, meas[i], bnds[i])
+		}
+	}
+	if bnds[len(bnds)-1] <= bnds[0] {
+		t.Fatal("bound not increasing in G")
+	}
+}

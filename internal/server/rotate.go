@@ -1,0 +1,76 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"shbf"
+)
+
+// Rotation of the daemon's sliding windows. With Config.WindowGenerations
+// set, all three filters are window kinds and implement shbf.Windowed;
+// Rotate walks them, retiring each one's oldest generation under its
+// striped shard locks, so queries keep flowing on every shard a
+// rotation is not currently touching. Two drivers share this method:
+// the POST /v1/rotate endpoint (operators, external schedulers, tests)
+// and shbfd's -tick loop.
+
+// ErrNotWindowed reports a rotation request against a daemon whose
+// filters are classic unbounded ones (no -window).
+var ErrNotWindowed = errors.New("server: filters are not windowed (start shbfd with -window)")
+
+// Rotate retires the oldest generation of every windowed filter and
+// returns the names of the filters rotated. A daemon without window
+// mode returns ErrNotWindowed. Safe for concurrent use.
+func (s *Server) Rotate() ([]string, error) {
+	var rotated []string
+	for _, f := range []struct {
+		name   string
+		filter shbf.Filter
+	}{
+		{"membership", s.mem},
+		{"association", s.assoc},
+		{"multiplicity", s.mult},
+	} {
+		w, ok := f.filter.(shbf.Windowed)
+		if !ok {
+			continue
+		}
+		if err := w.Rotate(); err != nil {
+			return rotated, err
+		}
+		rotated = append(rotated, f.name)
+	}
+	if len(rotated) == 0 {
+		return nil, ErrNotWindowed
+	}
+	s.stats.rotations.Add(1)
+	return rotated, nil
+}
+
+// Windowed reports whether the daemon's filters rotate (i.e. were
+// built with Config.WindowGenerations ≥ 2 or restored from a windowed
+// snapshot).
+func (s *Server) Windowed() bool {
+	_, ok := s.mem.(shbf.Windowed)
+	return ok
+}
+
+// handleRotate serves POST /v1/rotate: one whole-daemon rotation,
+// answering with the rotated filters and their new epoch.
+func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
+	rotated, err := s.Rotate()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotWindowed) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	epoch := uint64(0)
+	if win, ok := s.mem.(shbf.Windowed); ok {
+		epoch = win.Window().Epoch
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rotated": rotated, "epoch": epoch})
+}

@@ -18,25 +18,38 @@
 //	POST /v1/multiplicity/remove  {"items": [...]}
 //	POST /v1/multiplicity/count   {"keys": [...]}            → per-key counts
 //	POST /v1/snapshot                                        → persist all filters
-//	GET  /v1/stats                                           → occupancy, FPR, counters
+//	POST /v1/rotate                                          → retire the oldest window generation
+//	GET  /v1/stats                                           → occupancy, FPR, window, counters
 //	GET  /healthz
+//
+// With Config.WindowGenerations set the three filters run as sliding
+// windows (sharded generation rings, internal/window): writes go to
+// each filter's head generation and POST /v1/rotate — or shbfd's -tick
+// loop — retires the oldest, so answers cover the last G−1..G ticks
+// and memory and error rates stay bounded on endless streams. /v1/stats
+// then carries per-filter window metadata (ring length, epoch,
+// per-generation occupancy).
 //
 // Persistence is snapshot-based: SaveSnapshot serializes all three
 // sharded filters into one file (written atomically), and New reloads
-// it at startup, so answers survive restarts. See DESIGN.md for how
-// this layer composes with the core encodings.
+// it at startup, so answers survive restarts; window rings restore
+// with their head positions and epochs, and the stats endpoint always
+// reads the live (post-restore) filters. See DESIGN.md and
+// OPERATIONS.md for how this layer composes with the core encodings.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
 
 	"shbf"
+	"shbf/internal/core"
 	"shbf/internal/sharded"
 )
 
@@ -65,6 +78,18 @@ type Config struct {
 	// SnapshotPath, when non-empty, is the file the /v1/snapshot
 	// endpoint writes and New loads at startup if it exists.
 	SnapshotPath string
+	// WindowGenerations, when ≥ 2, runs every filter as a sliding
+	// window of that many generations: writes go to the head
+	// generation and POST /v1/rotate (or the shbfd -tick loop) retires
+	// the oldest, so the daemon answers "seen in the last
+	// WindowGenerations−1..WindowGenerations ticks" and its memory and
+	// false-positive rate stay bounded no matter how long the stream
+	// runs. Zero keeps the classic unbounded filters.
+	WindowGenerations int
+	// WindowTick is the rotation period recorded in the window specs
+	// and driven by shbfd's -tick loop (zero = rotate only on
+	// /v1/rotate). Requires WindowGenerations ≥ 2.
+	WindowTick time.Duration
 }
 
 // DefaultConfig returns a config sized for ~1M members at k = 8
@@ -92,21 +117,60 @@ type counters struct {
 	multiplicityUpdate atomic.Uint64
 	multiplicityQuery  atomic.Uint64
 	snapshots          atomic.Uint64
+	rotations          atomic.Uint64
+}
+
+// membershipFilter is the serving surface the daemon needs from its
+// membership slot; both the classic sharded.Filter and the windowed
+// sharded.Window satisfy it (the latter also satisfies shbf.Windowed).
+type membershipFilter interface {
+	shbf.Filter
+	Add(e []byte)
+	Contains(e []byte) bool
+	AddAll(keys [][]byte) error
+	ContainsAll(dst []bool, keys [][]byte) []bool
+	ShardStats() []sharded.ShardStat
+}
+
+// associationFilter is the association slot's surface
+// (sharded.Association or sharded.WindowAssociation).
+type associationFilter interface {
+	shbf.Filter
+	InsertS1(e []byte) error
+	InsertS2(e []byte) error
+	DeleteS1(e []byte) error
+	DeleteS2(e []byte) error
+	QueryAll(dst []core.Region, keys [][]byte) []core.Region
+	ShardStats() []sharded.AssociationShardStat
+}
+
+// multiplicityFilter is the multiplicity slot's surface
+// (sharded.Multiplicity or sharded.WindowMultiplicity).
+type multiplicityFilter interface {
+	shbf.Filter
+	Insert(e []byte) error
+	Delete(e []byte) error
+	Count(e []byte) int
+	CountAll(dst []int, keys [][]byte) []int
+	ShardStats() []sharded.MultiplicityShardStat
 }
 
 // Server owns the three sharded filters and serves them over HTTP.
 // All methods are safe for concurrent use.
 type Server struct {
 	cfg   Config
-	mem   *sharded.Filter
-	assoc *sharded.Association
-	mult  *sharded.Multiplicity
+	mem   membershipFilter
+	assoc associationFilter
+	mult  multiplicityFilter
 	stats counters
 	start time.Time
 }
 
 // Specs returns the three filter specs the config describes, the form
 // the daemon's filters are actually constructed from (via shbf.New).
+// With WindowGenerations set they are the sliding-window kinds; the
+// window geometry (ring length, tick) travels in the specs and
+// therefore in every snapshot envelope.
 func (cfg Config) Specs() (mem, assoc, mult shbf.Spec) {
 	mem = shbf.Spec{Kind: shbf.KindShardedMembership, M: cfg.MembershipBits,
 		K: cfg.MembershipK, Shards: cfg.Shards, Seed: cfg.Seed}
@@ -114,12 +178,29 @@ func (cfg Config) Specs() (mem, assoc, mult shbf.Spec) {
 		K: cfg.AssociationK, Shards: cfg.Shards, Seed: cfg.Seed}
 	mult = shbf.Spec{Kind: shbf.KindShardedMultiplicity, M: cfg.MultiplicityBits,
 		K: cfg.MultiplicityK, C: cfg.MaxCount, Shards: cfg.Shards, Seed: cfg.Seed}
+	if cfg.WindowGenerations > 0 {
+		for _, s := range []*shbf.Spec{&mem, &assoc, &mult} {
+			kind, err := core.WindowKind(s.Kind)
+			if err != nil {
+				panic(err) // unreachable: the three sharded kinds all window
+			}
+			s.Kind = kind
+			s.Generations = cfg.WindowGenerations
+			s.Tick = cfg.WindowTick
+		}
+	}
 	return mem, assoc, mult
 }
 
 // New builds the filters from cfg and, when cfg.SnapshotPath names an
 // existing file, restores their state from it.
 func New(cfg Config) (*Server, error) {
+	if cfg.WindowGenerations < 0 {
+		return nil, fmt.Errorf("server: negative WindowGenerations %d", cfg.WindowGenerations)
+	}
+	if cfg.WindowTick != 0 && cfg.WindowGenerations < 2 {
+		return nil, fmt.Errorf("server: WindowTick requires WindowGenerations ≥ 2")
+	}
 	memSpec, assocSpec, multSpec := cfg.Specs()
 	memF, err := shbf.New(memSpec)
 	if err != nil {
@@ -135,9 +216,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:   cfg,
-		mem:   memF.(*sharded.Filter),
-		assoc: assocF.(*sharded.Association),
-		mult:  multF.(*sharded.Multiplicity),
+		mem:   memF.(membershipFilter),
+		assoc: assocF.(associationFilter),
+		mult:  multF.(multiplicityFilter),
 		start: time.Now(),
 	}
 	if cfg.SnapshotPath != "" {
@@ -145,6 +226,14 @@ func New(cfg Config) (*Server, error) {
 		case err == nil:
 			if err := s.LoadSnapshot(cfg.SnapshotPath); err != nil {
 				return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+			}
+			// The snapshot wins over the flags (its envelopes carry
+			// their own geometry and window state), so a window-mode
+			// mismatch is legal — but it means the operator's flags are
+			// not describing what will be served, so say so loudly.
+			if wantWin, haveWin := cfg.WindowGenerations >= 2, s.Windowed(); wantWin != haveWin {
+				log.Printf("server: snapshot %s overrides window mode: flags say windowed=%v, restored filters are windowed=%v (start from an empty snapshot path to apply the flags)",
+					cfg.SnapshotPath, wantWin, haveWin)
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// First start: nothing to restore.
@@ -170,6 +259,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/multiplicity/remove", s.handleMultiplicityRemove)
 	mux.HandleFunc("POST /v1/multiplicity/count", s.handleMultiplicityCount)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/rotate", s.handleRotate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

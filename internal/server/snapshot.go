@@ -85,12 +85,13 @@ func (s *Server) LoadSnapshot(path string) error {
 }
 
 // restoreEnvelopes walks the concatenated envelopes, slotting each
-// decoded filter by its concrete type. Exactly one filter of each kind
-// must arrive — a duplicate would silently leave another slot empty.
+// decoded filter by its concrete type — windowed or classic; the
+// snapshot decides, not the flags. Exactly one filter per slot must
+// arrive — a duplicate would silently leave another slot empty.
 func (s *Server) restoreEnvelopes(buf []byte) error {
-	var mem *sharded.Filter
-	var assoc *sharded.Association
-	var mult *sharded.Multiplicity
+	var mem membershipFilter
+	var assoc associationFilter
+	var mult multiplicityFilter
 	seen := 0
 	for len(buf) > 0 {
 		var (
@@ -104,17 +105,32 @@ func (s *Server) restoreEnvelopes(buf []byte) error {
 		switch f := f.(type) {
 		case *sharded.Filter:
 			if mem != nil {
-				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+				return fmt.Errorf("server: snapshot holds two membership filters")
+			}
+			mem = f
+		case *sharded.Window:
+			if mem != nil {
+				return fmt.Errorf("server: snapshot holds two membership filters")
 			}
 			mem = f
 		case *sharded.Association:
 			if assoc != nil {
-				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+				return fmt.Errorf("server: snapshot holds two association filters")
+			}
+			assoc = f
+		case *sharded.WindowAssociation:
+			if assoc != nil {
+				return fmt.Errorf("server: snapshot holds two association filters")
 			}
 			assoc = f
 		case *sharded.Multiplicity:
 			if mult != nil {
-				return fmt.Errorf("server: snapshot holds two %s filters", f.Kind())
+				return fmt.Errorf("server: snapshot holds two multiplicity filters")
+			}
+			mult = f
+		case *sharded.WindowMultiplicity:
+			if mult != nil {
+				return fmt.Errorf("server: snapshot holds two multiplicity filters")
 			}
 			mult = f
 		default:
@@ -123,16 +139,18 @@ func (s *Server) restoreEnvelopes(buf []byte) error {
 		seen++
 	}
 	if mem == nil || assoc == nil || mult == nil {
-		return fmt.Errorf("server: snapshot holds %d filters, want one of each kind", seen)
+		return fmt.Errorf("server: snapshot holds %d filters, want one per query kind", seen)
 	}
 	s.mem, s.assoc, s.mult = mem, assoc, mult
 	return nil
 }
 
 // restoreV1 reads the pre-envelope format: three bare length-prefixed
-// blobs in membership, association, multiplicity order.
+// blobs in membership, association, multiplicity order. V1 snapshots
+// predate the window kinds, so the slots restore as classic filters.
 func (s *Server) restoreV1(buf []byte) error {
-	for i, u := range []interface{ UnmarshalBinary([]byte) error }{s.mem, s.assoc, s.mult} {
+	mem, assoc, mult := new(sharded.Filter), new(sharded.Association), new(sharded.Multiplicity)
+	for i, u := range []interface{ UnmarshalBinary([]byte) error }{mem, assoc, mult} {
 		n, sz := binary.Uvarint(buf)
 		if sz <= 0 || uint64(len(buf)-sz) < n {
 			return fmt.Errorf("server: snapshot section %d truncated", i)
@@ -146,5 +164,6 @@ func (s *Server) restoreV1(buf []byte) error {
 	if len(buf) != 0 {
 		return fmt.Errorf("server: %d trailing snapshot bytes", len(buf))
 	}
+	s.mem, s.assoc, s.mult = mem, assoc, mult
 	return nil
 }

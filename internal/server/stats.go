@@ -1,9 +1,11 @@
 package server
 
 import (
+	"math"
 	"net/http"
 	"time"
 
+	"shbf"
 	"shbf/internal/analytic"
 )
 
@@ -16,6 +18,53 @@ type Stats struct {
 	Membership    MembershipStats   `json:"membership"`
 	Association   AssociationStats  `json:"association"`
 	Multiplicity  MultiplicityStats `json:"multiplicity"`
+}
+
+// WindowStats is the rotation metadata attached to a filter's stats
+// when the daemon runs in window mode. Everything here is read from
+// the live filter at request time — a restored snapshot's ring state
+// (epoch, per-generation occupancy) shows up immediately.
+type WindowStats struct {
+	// Generations is the ring length G.
+	Generations int `json:"generations"`
+	// Epoch is the number of completed rotations (restored snapshots
+	// resume their epoch).
+	Epoch uint64 `json:"epoch"`
+	// TickSeconds is the configured rotation period (0 = rotation only
+	// via POST /v1/rotate).
+	TickSeconds float64 `json:"tick_seconds,omitempty"`
+	// PerGeneration lists generation occupancy newest (the write head)
+	// to oldest (next to be retired), summed across shards.
+	PerGeneration []GenOccupancy `json:"per_generation"`
+}
+
+// GenOccupancy is one generation's aggregate load.
+type GenOccupancy struct {
+	// N is the generation's element count summed across shards (−1
+	// when no exact set is tracked).
+	N int `json:"n"`
+	// FillRatio is the generation's mean fill ratio across shards.
+	FillRatio float64 `json:"fill_ratio"`
+}
+
+// windowStatsOf extracts rotation metadata when f is windowed (nil
+// otherwise — the JSON omits the section for classic filters).
+func windowStatsOf(f shbf.Filter) *WindowStats {
+	w, ok := f.(shbf.Windowed)
+	if !ok {
+		return nil
+	}
+	in := w.Window()
+	ws := &WindowStats{
+		Generations:   in.Generations,
+		Epoch:         in.Epoch,
+		TickSeconds:   in.Tick.Seconds(),
+		PerGeneration: make([]GenOccupancy, len(in.PerGeneration)),
+	}
+	for i, g := range in.PerGeneration {
+		ws.PerGeneration[i] = GenOccupancy{N: g.N, FillRatio: g.FillRatio}
+	}
+	return ws
 }
 
 // ShardOccupancy is one shard's load in any of the three filters.
@@ -32,7 +81,10 @@ type ShardOccupancy struct {
 	EstimatedFPR float64 `json:"estimated_fpr,omitempty"`
 }
 
-// MembershipStats describes the sharded ShBF_M.
+// MembershipStats describes the sharded ShBF_M (or its sliding-window
+// ring in window mode, where EstimatedFPR applies the 1−(1−f)^G window
+// bound and TotalBits counts one generation — multiply by
+// Window.Generations for the full footprint).
 type MembershipStats struct {
 	Shards       int              `json:"shards"`
 	TotalBits    int              `json:"total_bits"`
@@ -41,6 +93,7 @@ type MembershipStats struct {
 	FillRatio    float64          `json:"fill_ratio"`
 	EstimatedFPR float64          `json:"estimated_fpr"`
 	PerShard     []ShardOccupancy `json:"per_shard"`
+	Window       *WindowStats     `json:"window,omitempty"`
 }
 
 // AssociationStats describes the sharded CShBF_A.
@@ -58,6 +111,7 @@ type AssociationStats struct {
 	// at current occupancy.
 	PhantomProb float64          `json:"phantom_prob"`
 	PerShard    []ShardOccupancy `json:"per_shard"`
+	Window      *WindowStats     `json:"window,omitempty"`
 }
 
 // MultiplicityStats describes the sharded CShBF_X.
@@ -72,6 +126,7 @@ type MultiplicityStats struct {
 	// count 0 at current occupancy (Equation 26's complement).
 	CorrectRateNonMember float64          `json:"correct_rate_non_member"`
 	PerShard             []ShardOccupancy `json:"per_shard"`
+	Window               *WindowStats     `json:"window,omitempty"`
 }
 
 // Snapshot gathers the current stats (exported for tests and for
@@ -87,14 +142,23 @@ func (s *Server) Snapshot() Stats {
 			"multiplicity_update": s.stats.multiplicityUpdate.Load(),
 			"multiplicity_query":  s.stats.multiplicityQuery.Load(),
 			"snapshots":           s.stats.snapshots.Load(),
+			"rotations":           s.stats.rotations.Load(),
 		},
 	}
 
 	mem := s.mem.ShardStats()
-	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem))}
+	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem)),
+		Window: windowStatsOf(s.mem)}
+	// In window mode a shard's N spans its whole ring; one generation
+	// carries ≈ N/G of it, and a negative probe passes if any of the G
+	// generations false-positives: 1 − (1−f_gen)^G (analytic.FPRWindow).
+	gens := 1
+	if ms.Window != nil {
+		gens = ms.Window.Generations
+	}
 	fprSum := 0.0
 	for i, sh := range mem {
-		fpr := analytic.FPRShBFM(sh.Bits, sh.N, float64(sh.K), sh.MaxOffset)
+		fpr := analytic.FPRShBFMWindow(sh.Bits, (sh.N+gens-1)/gens, float64(sh.K), sh.MaxOffset, gens)
 		ms.TotalBits += sh.Bits
 		ms.K = sh.K
 		ms.N += sh.N
@@ -108,16 +172,25 @@ func (s *Server) Snapshot() Stats {
 	ms.EstimatedFPR = fprSum / float64(len(mem))
 	st.Membership = ms
 
-	as := AssociationStats{}
+	as := AssociationStats{Window: windowStatsOf(s.assoc)}
 	ash := s.assoc.ShardStats()
 	as.Shards = len(ash)
 	as.PerShard = make([]ShardOccupancy, len(ash))
+	// In window mode a shard's N1+N2 spans the whole ring and a query
+	// unions G generation answers, so — like the membership section —
+	// evaluate the per-generation formula at N/G and union with
+	// 1 − (1−p)^G. aGens = 1 degrades to the classic computation.
+	aGens := 1
+	if as.Window != nil {
+		aGens = as.Window.Generations
+	}
 	phantomSum := 0.0
 	for i, sh := range ash {
 		// nDistinct per shard is at most n1+n2; the phantom formula
 		// needs the union size, which the tables don't expose per
 		// overlap, so n1+n2 is a (slightly pessimistic) upper bound.
-		phantom := analytic.PhantomProb(sh.Bits, sh.N1+sh.N2, sh.K)
+		nGen := (sh.N1 + sh.N2 + aGens - 1) / aGens
+		phantom := analytic.FPRWindow(analytic.PhantomProb(sh.Bits, nGen, sh.K), aGens)
 		as.TotalBits += sh.Bits
 		as.K = sh.K
 		as.N1 += sh.N1
@@ -131,13 +204,21 @@ func (s *Server) Snapshot() Stats {
 	as.ClearProb = analytic.ClearProbShBFA(as.K)
 	st.Association = as
 
-	xs := MultiplicityStats{}
+	xs := MultiplicityStats{Window: windowStatsOf(s.mult)}
 	xsh := s.mult.ShardStats()
 	xs.Shards = len(xsh)
 	xs.PerShard = make([]ShardOccupancy, len(xsh))
+	// Window counts sum the ring, so a non-member reports 0 only when
+	// every generation reports 0: CR_window = CR_gen^G at the
+	// per-generation load. xGens = 1 degrades to the classic form.
+	xGens := 1
+	if xs.Window != nil {
+		xGens = xs.Window.Generations
+	}
 	crSum := 0.0
 	for i, sh := range xsh {
-		cr := analytic.CRNonMember(sh.Bits, max(sh.N, 0), sh.K, sh.C)
+		nGen := (max(sh.N, 0) + xGens - 1) / xGens
+		cr := math.Pow(analytic.CRNonMember(sh.Bits, nGen, sh.K, sh.C), float64(xGens))
 		xs.TotalBits += sh.Bits
 		xs.K = sh.K
 		xs.C = sh.C

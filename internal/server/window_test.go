@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// windowConfig is testConfig in window mode.
+func windowConfig(g int) Config {
+	cfg := testConfig()
+	cfg.WindowGenerations = g
+	return cfg
+}
+
+// TestWindowModeEndToEnd drives the daemon's sliding window over HTTP:
+// keys answer true for G−1 rotations after their tick and expire on
+// the Gth; counts drain tick by tick.
+func TestWindowModeEndToEnd(t *testing.T) {
+	const g = 3
+	ts := newTestServer(t, windowConfig(g))
+
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"flow-a"}}, 200, nil)
+	post(t, ts.URL+"/v1/multiplicity/add", map[string]any{"items": []map[string]any{
+		{"key": "pkt", "count": 4},
+	}}, 200, nil)
+
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	var rot struct {
+		Rotated []string `json:"rotated"`
+		Epoch   uint64   `json:"epoch"`
+	}
+	for r := 0; r < g-1; r++ {
+		post(t, ts.URL+"/v1/membership/contains", map[string]any{"keys": []string{"flow-a"}}, 200, &res)
+		if !res.Results[0] {
+			t.Fatalf("key expired after %d rotations, want %d", r, g)
+		}
+		post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, &rot)
+		if len(rot.Rotated) != 3 {
+			t.Fatalf("rotated %v, want all three filters", rot.Rotated)
+		}
+		if rot.Epoch != uint64(r+1) {
+			t.Fatalf("epoch %d after %d rotations", rot.Epoch, r+1)
+		}
+	}
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, &rot)
+	post(t, ts.URL+"/v1/membership/contains", map[string]any{"keys": []string{"flow-a"}}, 200, &res)
+	if res.Results[0] {
+		t.Fatalf("key still answers true after %d rotations", g)
+	}
+	var cnt struct {
+		Counts []int `json:"counts"`
+	}
+	post(t, ts.URL+"/v1/multiplicity/count", map[string]any{"keys": []string{"pkt"}}, 200, &cnt)
+	if cnt.Counts[0] != 0 {
+		t.Fatalf("count %d after full expiry", cnt.Counts[0])
+	}
+}
+
+// TestRotateWithoutWindowIsConflict: /v1/rotate against classic
+// unbounded filters is a client error, not a silent no-op.
+func TestRotateWithoutWindowIsConflict(t *testing.T) {
+	ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 409, nil)
+}
+
+// TestWindowStatsMetadata: /v1/stats carries the ring metadata for all
+// three filters, with per-generation occupancy newest-first, and omits
+// it for classic configs.
+func TestWindowStatsMetadata(t *testing.T) {
+	cfg := windowConfig(4)
+	cfg.WindowTick = 90 * time.Second
+	ts := newTestServer(t, cfg)
+
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"k1", "k2"}}, 200, nil)
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"k3"}}, 200, nil)
+
+	var st Stats
+	get(t, ts.URL+"/v1/stats", &st)
+	for name, w := range map[string]*WindowStats{
+		"membership":   st.Membership.Window,
+		"association":  st.Association.Window,
+		"multiplicity": st.Multiplicity.Window,
+	} {
+		if w == nil {
+			t.Fatalf("%s stats lack window metadata", name)
+		}
+		if w.Generations != 4 || w.Epoch != 1 {
+			t.Fatalf("%s window %+v, want 4 generations at epoch 1", name, w)
+		}
+		if w.TickSeconds != 90 {
+			t.Fatalf("%s tick %gs, want 90", name, w.TickSeconds)
+		}
+		if len(w.PerGeneration) != 4 {
+			t.Fatalf("%s has %d generation entries", name, len(w.PerGeneration))
+		}
+	}
+	if n := st.Membership.Window.PerGeneration[0].N; n != 1 {
+		t.Fatalf("head generation N = %d, want 1 (newest first)", n)
+	}
+	if n := st.Membership.Window.PerGeneration[1].N; n != 2 {
+		t.Fatalf("previous generation N = %d, want 2", n)
+	}
+	if st.Queries["rotations"] != 1 {
+		t.Fatalf("rotations counter = %d", st.Queries["rotations"])
+	}
+
+	classic := newTestServer(t, testConfig())
+	var st2 Stats
+	get(t, classic.URL+"/v1/stats", &st2)
+	if st2.Membership.Window != nil {
+		t.Fatal("classic config reports window metadata")
+	}
+}
+
+// TestStatsReflectRestoredSnapshot is the stats-after-snapshot-load
+// regression test: occupancy, estimated FPR inputs, and window epoch
+// in /v1/stats must come from the live (restored) filters, never from
+// the filters built at startup — including when the snapshot's
+// geometry diverges from the flags.
+func TestStatsReflectRestoredSnapshot(t *testing.T) {
+	cfg := windowConfig(3)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "state.shbf")
+	ts := newTestServer(t, cfg)
+
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": keys}, 200, nil)
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts.URL+"/v1/snapshot", map[string]any{}, 200, nil)
+
+	// Restart with DIVERGENT flags: different bit budget and no window
+	// mode. The snapshot must win, and stats must describe it.
+	cfg2 := testConfig()
+	cfg2.MembershipBits = 1 << 16
+	cfg2.SnapshotPath = cfg.SnapshotPath
+	ts2 := newTestServer(t, cfg2)
+
+	var st Stats
+	get(t, ts2.URL+"/v1/stats", &st)
+	if st.Membership.N != 500 {
+		t.Fatalf("restored stats N = %d, want 500 (stats read startup filters, not restored ones?)",
+			st.Membership.N)
+	}
+	if st.Membership.TotalBits != 1<<18 {
+		t.Fatalf("restored stats report %d bits, want the snapshot's %d", st.Membership.TotalBits, 1<<18)
+	}
+	if st.Membership.Window == nil {
+		t.Fatal("restored windowed filter lost its window metadata in stats")
+	}
+	if st.Membership.Window.Epoch != 2 {
+		t.Fatalf("restored epoch %d, want 2 from the snapshot", st.Membership.Window.Epoch)
+	}
+	if st.Membership.FillRatio <= 0 {
+		t.Fatal("restored fill ratio is zero — stats not reading live filters")
+	}
+
+	// The restored ring must also keep rotating: one more rotation
+	// expires the 500 keys (inserted 2 rotations before the snapshot).
+	post(t, ts2.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	post(t, ts2.URL+"/v1/membership/contains", map[string]any{"keys": keys[:10]}, 200, &res)
+	for i, hit := range res.Results {
+		if hit {
+			t.Fatalf("key %d survived %d rotations in the restored ring", i, 3)
+		}
+	}
+	get(t, ts2.URL+"/v1/stats", &st)
+	if st.Membership.Window.Epoch != 3 {
+		t.Fatalf("epoch %d after restored rotation, want 3", st.Membership.Window.Epoch)
+	}
+}
+
+// TestStatsReflectRestoredClassicSnapshot covers the inverse
+// direction: a classic (non-window) snapshot restored into a daemon
+// started with -window must surface the classic filters' stats (no
+// window section) — the snapshot wins.
+func TestStatsReflectRestoredClassicSnapshot(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "state.shbf")
+	ts := newTestServer(t, cfg)
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"a", "b"}}, 200, nil)
+	post(t, ts.URL+"/v1/snapshot", map[string]any{}, 200, nil)
+
+	cfg2 := windowConfig(4)
+	cfg2.SnapshotPath = cfg.SnapshotPath
+	ts2 := newTestServer(t, cfg2)
+	var st Stats
+	get(t, ts2.URL+"/v1/stats", &st)
+	if st.Membership.N != 2 {
+		t.Fatalf("restored stats N = %d, want 2", st.Membership.N)
+	}
+	if st.Membership.Window != nil {
+		t.Fatal("classic snapshot restored but stats claim window mode")
+	}
+	post(t, ts2.URL+"/v1/rotate", map[string]any{}, 409, nil)
+}
+
+// TestWindowSnapshotRoundTripsEpochOnRestart: a windowed daemon's
+// normal restart path (same config) resumes the ring mid-rotation.
+func TestWindowSnapshotRoundTripsEpochOnRestart(t *testing.T) {
+	cfg := windowConfig(3)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "state.shbf")
+	ts := newTestServer(t, cfg)
+
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"old"}}, 200, nil)
+	post(t, ts.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": []string{"new"}}, 200, nil)
+	post(t, ts.URL+"/v1/snapshot", map[string]any{}, 200, nil)
+
+	ts2 := newTestServer(t, cfg)
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	post(t, ts2.URL+"/v1/membership/contains", map[string]any{"keys": []string{"old", "new"}}, 200, &res)
+	if !res.Results[0] || !res.Results[1] {
+		t.Fatalf("restart lost window contents: %v", res.Results)
+	}
+	// Two more rotations: "old" (1 rotation deep at snapshot) expires,
+	// "new" (head at snapshot) survives exactly until the third.
+	post(t, ts2.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts2.URL+"/v1/rotate", map[string]any{}, 200, nil)
+	post(t, ts2.URL+"/v1/membership/contains", map[string]any{"keys": []string{"old", "new"}}, 200, &res)
+	if res.Results[0] {
+		t.Fatal("old key survived 3 rotations after restart")
+	}
+	if !res.Results[1] {
+		t.Fatal("new key expired one rotation early after restart")
+	}
+}
+
+// TestConfigRejectsNegativeGenerations: a negative window setting must
+// fail construction, not silently fall back to unbounded filters.
+func TestConfigRejectsNegativeGenerations(t *testing.T) {
+	cfg := testConfig()
+	cfg.WindowGenerations = -3
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted WindowGenerations = -3")
+	}
+}

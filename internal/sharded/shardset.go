@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"shbf/internal/core"
 	"shbf/internal/hashing"
 )
 
@@ -260,6 +261,9 @@ const (
 	shardKindMembership byte = iota + 1
 	shardKindAssociation
 	shardKindMultiplicity
+	shardKindWindowMembership
+	shardKindWindowAssociation
+	shardKindWindowMultiplicity
 )
 
 // appendSnapshot serializes the set: header, then each shard under its
@@ -283,12 +287,34 @@ func appendSnapshot[F encoding.BinaryMarshaler](buf []byte, kind byte, s *set[F]
 	return buf, nil
 }
 
+// checkShardSpecs verifies a decoded shard set's filters agree: every
+// shard must report shard 0's spec up to the shard-seed derivation
+// (seed_i = shardSeed(base, i) for the base recovered from shard 0).
+// decodeSnapshot validates each shard blob independently, so without
+// this cross-shard check a corrupt or spliced snapshot could assemble
+// shards of divergent geometry — wrong routing for the classic kinds,
+// and out-of-range ring aggregation for the window kinds.
+func checkShardSpecs[F interface{ Spec() core.Spec }](s *set[F]) error {
+	spec0 := s.shards[0].f.Spec()
+	base := spec0.Seed - 1 // shardSeed(base, 0) = base + 1
+	for i := range s.shards {
+		want := spec0
+		want.Seed = shardSeed(base, i)
+		if spec := s.shards[i].f.Spec(); spec != want {
+			return fmt.Errorf("sharded: shard %d spec %+v diverges from shard 0's %+v", i, spec, want)
+		}
+	}
+	return nil
+}
+
 // decodeSnapshot parses a snapshot produced by appendSnapshot,
 // rebuilding each shard filter with fresh (the zero-value constructor
-// whose UnmarshalBinary replaces its state).
+// whose UnmarshalBinary replaces its state) and then cross-checking
+// the shards against each other (checkShardSpecs).
 func decodeSnapshot[F any, PF interface {
 	*F
 	encoding.BinaryUnmarshaler
+	Spec() core.Spec
 }](data []byte, kind byte) (set[PF], error) {
 	if len(data) < 6 {
 		return set[PF]{}, fmt.Errorf("sharded: truncated snapshot header")
@@ -333,6 +359,9 @@ func decodeSnapshot[F any, PF interface {
 	}
 	if len(buf) != 0 {
 		return set[PF]{}, fmt.Errorf("sharded: %d trailing bytes", len(buf))
+	}
+	if err := checkShardSpecs(&s); err != nil {
+		return set[PF]{}, err
 	}
 	return s, nil
 }

@@ -1,0 +1,77 @@
+package sharded
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+// Sharded window benchmarks: the batch paths take each shard lock once
+// per batch and fan each key's cached digest across that shard's ring,
+// so the per-key cost tracks the monolithic window's plus the lock
+// amortization. CI runs these at -benchtime=1x as a smoke test.
+
+func benchWindow(b *testing.B, g int) *Window {
+	b.Helper()
+	w, err := NewWindow(core.Spec{Kind: core.KindWindowShardedMembership, M: 1 << 22, K: 8,
+		Shards: 16, Generations: g, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchWindowKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%08d", i)[:13])
+	}
+	return keys
+}
+
+// BenchmarkWindowShardedContainsAll measures the sharded batch query
+// per key at steady state, negatives (full-ring probes).
+func BenchmarkWindowShardedContainsAll(b *testing.B) {
+	members := benchWindowKeys(1024)
+	negatives := make([][]byte, 1024)
+	for i := range negatives {
+		negatives[i] = []byte(fmt.Sprintf("absent-no-%06d", i)[:13])
+	}
+	for _, g := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("G=%d", g), func(b *testing.B) {
+			w := benchWindow(b, g)
+			for tick := 0; tick < g; tick++ {
+				if err := w.AddAll(members); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Rotate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dst := make([]bool, len(negatives))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = w.ContainsAll(dst, negatives)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(negatives)), "ns/key")
+		})
+	}
+}
+
+// BenchmarkWindowShardedRotate measures a whole-window rotation (16
+// shards × one in-place generation clear).
+func BenchmarkWindowShardedRotate(b *testing.B) {
+	w := benchWindow(b, 4)
+	if err := w.AddAll(benchWindowKeys(4096)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Rotate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+//go:build !race
+
+// (The race detector makes sync.Pool drop items on purpose and adds
+// allocation of shadow state, so allocs/op is meaningless under -race.)
+
+package window
+
+// Zero-allocation guards for the window hot paths: the ring fan-out is
+// a bounded loop over pre-built generations, the batch paths digest
+// into window-owned scratch, and the membership ring recycles retired
+// generations in place — so query/write steady state must not
+// allocate, and neither must a membership rotation. (The counting
+// rings rebuild one generation per rotation by design — rotation is
+// cold-path — and their inserts of NEW keys allocate in the backing
+// table, so like internal/core's guards they are exercised on
+// already-stored keys.)
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+func requireZeroAllocs(t *testing.T, name string, runs int, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+func allocKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("flow-%08d!", i))
+	}
+	return keys
+}
+
+func TestMembershipWindowHotPathsAllocFree(t *testing.T) {
+	w, err := NewMembership(core.Spec{Kind: core.KindWindowMembership, M: 1 << 18, K: 8,
+		Generations: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	if err := w.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil { // answers span two generations
+		t.Fatal(err)
+	}
+	if err := w.AddAll(keys[:128]); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]bool, len(keys))
+	i := 0
+	requireZeroAllocs(t, "window.Membership.Add", 100, func() { w.Add(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "window.Membership.Contains", 100, func() { w.Contains(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "window.Membership.AddAll", 20, func() {
+		if err := w.AddAll(keys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	requireZeroAllocs(t, "window.Membership.ContainsAll", 20, func() { dst = w.ContainsAll(dst, keys) })
+	// The membership ring clears retired generations in place, so even
+	// rotation is allocation-free.
+	requireZeroAllocs(t, "window.Membership.Rotate", 20, func() {
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMultiplicityWindowQueryPathsAllocFree(t *testing.T) {
+	w, err := NewMultiplicity(core.Spec{Kind: core.KindWindowMultiplicity, M: 1 << 19, K: 8,
+		C: 57, Generations: 4, Seed: 1, CounterWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(128)
+	if err := w.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, len(keys))
+	i := 0
+	requireZeroAllocs(t, "window.Multiplicity.Count", 100, func() { w.Count(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "window.Multiplicity.CountAll", 20, func() { dst = w.CountAll(dst, keys) })
+	// Insert/Delete pairs on already-stored keys keep head counts
+	// bounded across runs; the backing table holds the key already.
+	requireZeroAllocs(t, "window.Multiplicity.Insert/Delete", 100, func() {
+		e := keys[i%len(keys)]
+		i++
+		if err := w.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAssociationWindowQueryPathsAllocFree(t *testing.T) {
+	w, err := NewAssociation(core.Spec{Kind: core.KindWindowAssociation, M: 1 << 18, K: 8,
+		Generations: 4, Seed: 1, CounterWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := allocKeys(256)
+	for _, e := range keys[:128] {
+		if err := w.InsertS1(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range keys[64:192] {
+		if err := w.InsertS2(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]core.Region, len(keys))
+	i := 0
+	requireZeroAllocs(t, "window.Association.Query", 100, func() { w.Query(keys[i%len(keys)]); i++ })
+	requireZeroAllocs(t, "window.Association.QueryAll", 20, func() { dst = w.QueryAll(dst, keys) })
+}

@@ -1,0 +1,199 @@
+package window
+
+import (
+	"time"
+
+	"shbf/internal/core"
+	"shbf/internal/hashing"
+)
+
+// Association is the sliding-window two-set association filter: a
+// generation ring of CShBF_A filters. InsertS1/InsertS2 write the head
+// generation; Query unions the candidate-region masks of every
+// generation, so an element keeps its sound candidate set — never a
+// wrong region — for as long as any generation remembers it, and a key
+// seen in S1 during one tick and S2 during a later one reports both
+// candidates, which is exactly the in-window truth. Not safe for
+// concurrent use — see sharded.WindowAssociation.
+type Association struct {
+	rot      *Rotator[*core.CountingAssociation]
+	dscratch []hashing.Digest
+}
+
+// NewAssociation builds the window from its Spec (Kind
+// KindWindowAssociation; M, K, MaxOffset, CounterWidth and Seed
+// describe each CShBF_A generation, Generations the ring length, Tick
+// the rotation period).
+func NewAssociation(spec core.Spec) (*Association, error) {
+	if err := checkSpec(spec, core.KindWindowAssociation); err != nil {
+		return nil, err
+	}
+	fresh := func() (*core.CountingAssociation, error) {
+		return core.NewCountingAssociation(spec.M, spec.K, spec.Options()...)
+	}
+	// CShBF_A (bits + counters + two backing tables) has no in-place
+	// Reset; a retired generation is rebuilt from spec.
+	recycle := func(*core.CountingAssociation) (*core.CountingAssociation, error) {
+		return fresh()
+	}
+	rot, err := NewRotator(spec.Generations, spec.Tick, fresh, recycle)
+	if err != nil {
+		return nil, err
+	}
+	return &Association{rot: rot}, nil
+}
+
+// InsertS1 records e ∈ S1 in the head generation.
+func (w *Association) InsertS1(e []byte) error { return w.rot.Head().InsertS1(e) }
+
+// InsertS2 records e ∈ S2 in the head generation.
+func (w *Association) InsertS2(e []byte) error { return w.rot.Head().InsertS2(e) }
+
+// InsertS1Digest is InsertS1 for an already-digested key.
+func (w *Association) InsertS1Digest(e []byte, d hashing.Digest) error {
+	return w.rot.Head().InsertS1Digest(e, d)
+}
+
+// InsertS2Digest is InsertS2 for an already-digested key.
+func (w *Association) InsertS2Digest(e []byte, d hashing.Digest) error {
+	return w.rot.Head().InsertS2Digest(e, d)
+}
+
+// DeleteS1 removes e from S1 in the head generation — it undoes an
+// in-tick insert; memberships that have rotated into older generations
+// are immutable and expire with their generation. ErrNotStored if the
+// head does not hold e in S1.
+func (w *Association) DeleteS1(e []byte) error { return w.rot.Head().DeleteS1(e) }
+
+// DeleteS2 removes e from S2 in the head generation; see DeleteS1.
+func (w *Association) DeleteS2(e []byte) error { return w.rot.Head().DeleteS2(e) }
+
+// DeleteS1Digest is DeleteS1 for an already-digested key.
+func (w *Association) DeleteS1Digest(e []byte, d hashing.Digest) error {
+	return w.rot.Head().DeleteS1Digest(e, d)
+}
+
+// DeleteS2Digest is DeleteS2 for an already-digested key.
+func (w *Association) DeleteS2Digest(e []byte, d hashing.Digest) error {
+	return w.rot.Head().DeleteS2Digest(e, d)
+}
+
+// Query returns the union of every generation's candidate-region mask
+// for e: one digest pass, then the cached digest probes each
+// generation. RegionNone means no generation holds e — a definite
+// in-window non-member of both sets.
+func (w *Association) Query(e []byte) core.Region {
+	return w.QueryDigest(hashing.KeyDigest(e))
+}
+
+// QueryDigest answers Query for the element whose digest is d.
+func (w *Association) QueryDigest(d hashing.Digest) core.Region {
+	var r core.Region
+	for _, g := range w.rot.gens {
+		r |= g.QueryDigest(d)
+	}
+	return r
+}
+
+// QueryAll classifies a whole batch: keys are digested once into the
+// window's scratch, then each cached digest unions across the ring.
+// Masks land in dst (resized to len(keys)); steady-state batches do
+// not allocate.
+func (w *Association) QueryAll(dst []core.Region, keys [][]byte) []core.Region {
+	dst = resizeSlice(dst, len(keys))
+	ds := digestAll(&w.dscratch, keys)
+	for i, d := range ds {
+		dst[i] = w.QueryDigest(d)
+	}
+	return dst
+}
+
+// Rotate retires the oldest generation's memberships and installs a
+// fresh head generation.
+func (w *Association) Rotate() error { return w.rot.Rotate() }
+
+// RotateIfDue rotates once when the spec's Tick has elapsed since the
+// last due rotation, reporting whether it did. See Rotator.RotateIfDue.
+func (w *Association) RotateIfDue(now time.Time) (bool, error) { return w.rot.RotateIfDue(now) }
+
+// Window returns the rotation snapshot: ring length, epoch, tick, and
+// per-generation occupancy newest to oldest (N is n1 + n2).
+func (w *Association) Window() Info {
+	return w.rot.info(func(f *core.CountingAssociation) GenInfo {
+		return GenInfo{N: f.N1() + f.N2(), FillRatio: f.FillRatio()}
+	})
+}
+
+// M returns the per-generation base array size in bits.
+func (w *Association) M() int { return w.rot.Head().M() }
+
+// K returns the bit positions per element.
+func (w *Association) K() int { return w.rot.Head().K() }
+
+// MaxOffset returns the per-generation w̄.
+func (w *Association) MaxOffset() int { return w.rot.Head().MaxOffset() }
+
+// Generations returns the ring length G.
+func (w *Association) Generations() int { return w.rot.Generations() }
+
+// Epoch returns the number of completed rotations.
+func (w *Association) Epoch() uint64 { return w.rot.Epoch() }
+
+// N1 returns the total S1 cardinality across generations (a key
+// spanning rotations counts once per generation holding it).
+func (w *Association) N1() int {
+	n := 0
+	for _, g := range w.rot.gens {
+		n += g.N1()
+	}
+	return n
+}
+
+// N2 returns the total S2 cardinality across generations.
+func (w *Association) N2() int {
+	n := 0
+	for _, g := range w.rot.gens {
+		n += g.N2()
+	}
+	return n
+}
+
+// SizeBytes returns the combined footprint of all generations.
+func (w *Association) SizeBytes() int {
+	b := 0
+	for _, g := range w.rot.gens {
+		b += g.SizeBytes()
+	}
+	return b
+}
+
+// FillRatio returns the mean query-array fill ratio across
+// generations.
+func (w *Association) FillRatio() float64 {
+	s := 0.0
+	for _, g := range w.rot.gens {
+		s += g.FillRatio()
+	}
+	return s / float64(len(w.rot.gens))
+}
+
+// Kind returns core.KindWindowAssociation.
+func (w *Association) Kind() core.Kind { return core.KindWindowAssociation }
+
+// Spec returns the construction geometry; New(w.Spec()) builds an
+// empty ring identical to w before any insert.
+func (w *Association) Spec() core.Spec {
+	return windowSpec(w.rot.Head().Spec(), core.KindWindowAssociation,
+		w.rot.Generations(), w.rot.Tick())
+}
+
+// Stats returns the aggregate occupancy snapshot (N sums both sets
+// across generations, FillRatio is the generations' mean).
+func (w *Association) Stats() core.Stats {
+	return core.Stats{
+		Kind:      core.KindWindowAssociation,
+		N:         w.N1() + w.N2(),
+		SizeBytes: w.SizeBytes(),
+		FillRatio: w.FillRatio(),
+	}
+}

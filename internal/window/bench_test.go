@@ -1,0 +1,124 @@
+package window
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf/internal/core"
+)
+
+// Window benchmarks: query cost as a function of the ring length G.
+// A window Contains probes up to G generations (early-exit on the
+// first hit), so negative probes — the common case for streaming
+// membership — cost ≈ G × one generation's rejection cost, while
+// positives resident in the head cost one generation. CI runs these
+// at -benchtime=1x as a smoke test; EXPERIMENTS.md documents the
+// measured scaling.
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%08d", i)[:13]) // the paper's 13-byte flow IDs
+	}
+	return keys
+}
+
+func newBenchWindow(b *testing.B, g int) *Membership {
+	b.Helper()
+	w, err := NewMembership(core.Spec{Kind: core.KindWindowMembership, M: 1 << 20, K: 8,
+		Generations: g, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkWindowContainsNegative measures the worst case: a key in no
+// generation probes the full ring.
+func BenchmarkWindowContainsNegative(b *testing.B) {
+	members := benchKeys(4096)
+	negatives := make([][]byte, 4096)
+	for i := range negatives {
+		negatives[i] = []byte(fmt.Sprintf("absent-no-%06d", i)[:13])
+	}
+	for _, g := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("G=%d", g), func(b *testing.B) {
+			w := newBenchWindow(b, g)
+			for tick := 0; tick < g; tick++ { // steady state: every generation loaded
+				if err := w.AddAll(members); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Rotate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Contains(negatives[i%len(negatives)])
+			}
+		})
+	}
+}
+
+// BenchmarkWindowContainsHead measures the common streaming positive: a
+// key living in the head generation answers after one generation's
+// probes regardless of G.
+func BenchmarkWindowContainsHead(b *testing.B) {
+	members := benchKeys(4096)
+	for _, g := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("G=%d", g), func(b *testing.B) {
+			w := newBenchWindow(b, g)
+			if err := w.AddAll(members); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Contains(members[i%len(members)])
+			}
+		})
+	}
+}
+
+// BenchmarkWindowContainsAll measures the batch path's per-key cost:
+// one digest pass per key, G generation probes from the cached digest.
+func BenchmarkWindowContainsAll(b *testing.B) {
+	members := benchKeys(1024)
+	for _, g := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("G=%d", g), func(b *testing.B) {
+			w := newBenchWindow(b, g)
+			for tick := 0; tick < g; tick++ {
+				if err := w.AddAll(members); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Rotate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dst := make([]bool, len(members))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = w.ContainsAll(dst, members)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(members)), "ns/key")
+		})
+	}
+}
+
+// BenchmarkWindowRotate measures the rotation itself (membership rings
+// clear the retired generation in place — cost is one bit-array clear).
+func BenchmarkWindowRotate(b *testing.B) {
+	w := newBenchWindow(b, 4)
+	if err := w.AddAll(benchKeys(4096)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Rotate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

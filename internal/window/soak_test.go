@@ -1,0 +1,84 @@
+package window
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf/internal/analytic"
+	"shbf/internal/core"
+)
+
+// TestSoakWindowFPRBounded is the acceptance soak for the sliding
+// window: a stream of fresh keys runs for well over 3G ticks, and at
+// every steady-state tick the measured false-positive rate must stay
+// at the analytic 1 − (1−f_gen)^G level instead of drifting upward the
+// way an append-only filter would. This is the property the window
+// subsystem exists for — long-running shbfd deployments keep their
+// Equation-1-derived accuracy contract.
+func TestSoakWindowFPRBounded(t *testing.T) {
+	const (
+		g        = 4
+		k        = 8
+		nPerTick = 3000
+		ticks    = 3*g + 6 // > 3G rotations
+		probes   = 20000
+	)
+	// 1.25 bytes/element-ish per generation: a realistic, non-padded
+	// sizing where f_gen is small but measurable.
+	m := 10 * nPerTick
+	w, err := NewMembership(core.Spec{Kind: core.KindWindowMembership, M: m, K: k,
+		Generations: g, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := analytic.FPRShBFMWindow(m, nPerTick, k, core.DefaultMaxOffset, g)
+	if bound <= 0 || bound >= 0.5 {
+		t.Fatalf("degenerate test sizing: bound %g", bound)
+	}
+
+	serial := 0
+	freshKeys := func(n int, prefix string) [][]byte {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("%s-%09d", prefix, serial))
+			serial++
+		}
+		return keys
+	}
+
+	worst := 0.0
+	for tick := 1; tick <= ticks; tick++ {
+		if err := w.AddAll(freshKeys(nPerTick, "stream")); err != nil {
+			t.Fatal(err)
+		}
+		neg := freshKeys(probes, "probe")
+		fp := 0
+		for _, e := range neg {
+			if w.Contains(e) {
+				fp++
+			}
+		}
+		fpr := float64(fp) / float64(len(neg))
+		if fpr > worst {
+			worst = fpr
+		}
+		// 1.75× slack covers binomial measurement noise at 20k probes;
+		// drift would blow through it within a few ticks (the unbounded
+		// filter crosses 10× the bound before tick 3G in the
+		// experiment figure).
+		if tick >= g && fpr > 1.75*bound {
+			t.Fatalf("tick %d: FPR %.5f exceeds 1.75× the window bound %.5f — drift", tick, fpr, bound)
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("soak: %d ticks, worst FPR %.5f vs bound %.5f (ratio %.2f)",
+		ticks, worst, bound, worst/bound)
+
+	// Cross-check the resource bound: the ring's footprint never grew.
+	wantBytes := g * ((m + core.DefaultMaxOffset - 1 + 63) / 64 * 8)
+	if got := w.SizeBytes(); got != wantBytes {
+		t.Fatalf("footprint %d bytes after soak, want the constant %d", got, wantBytes)
+	}
+}

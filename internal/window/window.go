@@ -1,0 +1,261 @@
+// Package window gives sliding-window semantics to the core ShBF
+// kinds: a generation ring of G identically-specified filters in which
+// writes go to the head generation, queries combine all G generations
+// (membership ORs, multiplicity sums, association unions candidate
+// regions), and a rotation retires the oldest generation and recycles
+// it as a cleared head. After G rotations nothing written before the
+// first rotation is still answerable — the filter "forgets", which is
+// what streaming deployments of the paper's use cases (per-flow
+// measurement, membership over network traffic) need: "was this key
+// seen in the last N minutes", not "ever".
+//
+// With a rotation every tick T, a key inserted at some instant stays
+// queryable for between (G−1)·T and G·T — the usual generation-ring
+// slack of one tick. Steady-state resources are bounded by the ring:
+// memory is G × the per-generation Spec, and the query-side false
+// positive rate is bounded by 1 − (1−f)^G where f is one generation's
+// rate at its tick-worth of load (analytic.FPRWindow). Unlike an
+// unbounded append-only filter, neither grows with stream length.
+//
+// Three windows cover the framework's query kinds:
+//
+//   - [Membership] rings ShBF_M (core.Membership): Add/Contains with
+//     OR-of-generations queries.
+//   - [Multiplicity] rings CShBF_X (core.CountingMultiplicity):
+//     Insert/Count with sum-of-generations counts, which never
+//     underestimate a key's in-window multiplicity.
+//   - [Association] rings CShBF_A (core.CountingAssociation):
+//     InsertS1/InsertS2/Query with union-of-candidate-region answers.
+//
+// All three ride the one-pass digest pipeline: batch paths digest each
+// key once and fan the cached digest out across the ring, so a window
+// query costs one key scan plus G probe sets — no per-generation
+// re-hashing — and the hot paths do not allocate in steady state.
+// Rotation policy is explicit: Rotate retires the tail now, RotateIfDue
+// rotates when the configured tick has elapsed. The query and write
+// paths never read the clock, so windows stay deterministic and
+// benchmarkable; a serving loop (cmd/shbfd's -tick) owns the cadence.
+//
+// Like the core kinds they ring, windows are not safe for concurrent
+// mutation. internal/sharded composes per-shard windows into
+// lock-striped concurrent ones that rotate shard by shard without
+// blocking queries on other shards.
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"shbf/internal/core"
+	"shbf/internal/hashing"
+)
+
+// maxGenerations bounds ring construction and decoding; a window deep
+// enough to want more generations should widen its tick instead.
+const maxGenerations = 1 << 12
+
+// TickPolicy is the wall-clock rotation policy shared by the
+// monolithic rings (Rotator) and the sharded compositions: a
+// configured period and the time of the last due rotation. The zero
+// period disables the clock entirely.
+type TickPolicy struct {
+	// Tick is the rotation period; zero means rotation is explicit.
+	Tick time.Duration
+	last time.Time
+}
+
+// Due reports whether a rotation is due at now: the first call arms
+// the clock, later calls answer true once per elapsed Tick and reset
+// it. The clock advances even if the caller's subsequent rotation
+// fails (it retries on the next tick, not immediately).
+func (p *TickPolicy) Due(now time.Time) bool {
+	if p.Tick == 0 {
+		return false
+	}
+	if p.last.IsZero() {
+		p.last = now
+		return false
+	}
+	if now.Sub(p.last) < p.Tick {
+		return false
+	}
+	p.last = now
+	return true
+}
+
+// Rotator is the generic generation ring under every window kind: G
+// filters of identical Spec, a head index naming the write generation,
+// and the rotation bookkeeping (epoch, tick policy). The typed windows
+// own one Rotator each and add the kind-specific query fan-out.
+type Rotator[F any] struct {
+	gens  []F
+	head  int
+	epoch uint64
+	clock TickPolicy
+
+	// recycle clears or rebuilds a retired tail generation so it can
+	// serve as the new head. Kinds with an in-place Reset recycle with
+	// zero garbage; the counting kinds rebuild from spec.
+	recycle func(F) (F, error)
+}
+
+// NewRotator builds a ring of g generations, each constructed by
+// fresh; recycle turns a retired generation into an empty one at
+// rotation (clearing in place where the kind supports it, rebuilding
+// otherwise). tick is the wall-clock rotation period honored by
+// RotateIfDue; zero leaves rotation fully explicit.
+func NewRotator[F any](g int, tick time.Duration, fresh func() (F, error), recycle func(F) (F, error)) (*Rotator[F], error) {
+	if g < 2 || g > maxGenerations {
+		return nil, fmt.Errorf("window: generation count %d out of range [2, %d]", g, maxGenerations)
+	}
+	if tick < 0 {
+		return nil, fmt.Errorf("window: negative tick %s", tick)
+	}
+	r := &Rotator[F]{gens: make([]F, g), clock: TickPolicy{Tick: tick}, recycle: recycle}
+	for i := range r.gens {
+		f, err := fresh()
+		if err != nil {
+			return nil, fmt.Errorf("window: building generation %d: %w", i, err)
+		}
+		r.gens[i] = f
+	}
+	return r, nil
+}
+
+// Generations returns the ring length G.
+func (r *Rotator[F]) Generations() int { return len(r.gens) }
+
+// Epoch returns the number of completed rotations.
+func (r *Rotator[F]) Epoch() uint64 { return r.epoch }
+
+// Tick returns the configured wall-clock rotation period (zero when
+// rotation is explicit-only).
+func (r *Rotator[F]) Tick() time.Duration { return r.clock.Tick }
+
+// Head returns the write generation.
+func (r *Rotator[F]) Head() F { return r.gens[r.head] }
+
+// At returns the generation age rotations old: At(0) is the head,
+// At(Generations()−1) the next to be retired.
+func (r *Rotator[F]) At(age int) F { return r.gens[r.index(age)] }
+
+// index maps an age (0 = head) to a ring position.
+func (r *Rotator[F]) index(age int) int {
+	g := len(r.gens)
+	return ((r.head-age)%g + g) % g
+}
+
+// Rotate retires the oldest generation, recycles it as the cleared new
+// head, and advances the epoch. Keys whose only copy lived in the
+// retired generation stop being answerable — that is the point.
+func (r *Rotator[F]) Rotate() error {
+	tail := (r.head + 1) % len(r.gens) // the ring position after head is the oldest
+	fresh, err := r.recycle(r.gens[tail])
+	if err != nil {
+		return fmt.Errorf("window: recycling retired generation: %w", err)
+	}
+	r.gens[tail] = fresh
+	r.head = tail
+	r.epoch++
+	return nil
+}
+
+// RotateIfDue rotates once when at least one tick has elapsed since
+// the last due rotation (or since the first call, which arms the
+// clock), reporting whether it rotated. Callers own the cadence — the
+// query paths never read the clock — so pass time.Now() from a serving
+// loop, or synthetic times from tests.
+func (r *Rotator[F]) RotateIfDue(now time.Time) (bool, error) {
+	if !r.clock.Due(now) {
+		return false, nil
+	}
+	if err := r.Rotate(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Info is a window's rotation snapshot, surfaced by the daemon's
+// /v1/stats and the root package's Windowed interface.
+type Info struct {
+	// Generations is the ring length G.
+	Generations int
+	// Epoch is the number of completed rotations.
+	Epoch uint64
+	// Tick is the configured rotation period (0 = explicit rotation).
+	Tick time.Duration
+	// PerGeneration lists each generation's occupancy, newest (the
+	// write head) to oldest (next to be retired).
+	PerGeneration []GenInfo
+}
+
+// GenInfo is one generation's occupancy.
+type GenInfo struct {
+	// N is the generation's stored-element count (per-kind semantics
+	// as core.Stats.N; −1 where no exact set is tracked).
+	N int
+	// FillRatio is the fraction of set bits in the generation's
+	// query-side array.
+	FillRatio float64
+}
+
+// info assembles the ring-level Info; the typed windows fill
+// PerGeneration from their generation accessors.
+func (r *Rotator[F]) info(gen func(F) GenInfo) Info {
+	in := Info{
+		Generations:   len(r.gens),
+		Epoch:         r.epoch,
+		Tick:          r.clock.Tick,
+		PerGeneration: make([]GenInfo, len(r.gens)),
+	}
+	for age := range r.gens {
+		in.PerGeneration[age] = gen(r.gens[r.index(age)])
+	}
+	return in
+}
+
+// digestAll fills scratch with the keys' one-pass digests,
+// reallocating only on growth — the shared phase-one of every window
+// batch path: digest once, fan out across the ring with the cached
+// digests.
+func digestAll(scratch *[]hashing.Digest, keys [][]byte) []hashing.Digest {
+	ds := *scratch
+	if cap(ds) < len(keys) {
+		ds = make([]hashing.Digest, len(keys))
+	}
+	ds = ds[:len(keys)]
+	for i, e := range keys {
+		ds[i] = hashing.KeyDigest(e)
+	}
+	*scratch = ds
+	return ds
+}
+
+// resizeSlice resizes dst to n, reusing its backing array when
+// possible (the dst convention shared with internal/core's batch
+// paths).
+func resizeSlice[T any](dst []T, n int) []T {
+	if cap(dst) < n {
+		return make([]T, n)
+	}
+	return dst[:n]
+}
+
+// windowSpec lifts one generation's Spec to the enclosing window's:
+// same geometry and seed, window kind, ring length and tick attached.
+func windowSpec(inner core.Spec, kind core.Kind, g int, tick time.Duration) core.Spec {
+	s := inner
+	s.Kind = kind
+	s.Generations = g
+	s.Tick = tick
+	return s
+}
+
+// checkSpec validates the window-level fields common to every typed
+// constructor.
+func checkSpec(spec core.Spec, want core.Kind) error {
+	if spec.Kind != want {
+		return fmt.Errorf("window: spec kind %s, want %s", spec.Kind, want)
+	}
+	return spec.Validate()
+}

@@ -50,6 +50,20 @@
 // method feeds New directly. The typed constructors below remain as
 // thin wrappers over the same machinery.
 //
+// # Sliding windows
+//
+// Streaming deployments need "was this key seen in the last N ticks",
+// not "ever". [NewWindow] wraps any membership, association or
+// multiplicity Spec in a generation ring ([WindowMembership],
+// [WindowAssociation], [WindowMultiplicity], and their sharded
+// compositions): writes go to the head generation, queries combine the
+// whole ring (membership ORs, counts sum, association unions candidate
+// regions), and each rotation ([Windowed].Rotate, or the Tick policy)
+// retires the oldest generation — so memory stays at Generations × one
+// filter and the false-positive rate is bounded by 1 − (1−f)^G no
+// matter how long the stream runs. The cmd/shbfd daemon exposes this
+// as -window/-tick with a POST /v1/rotate endpoint.
+//
 // Elements are arbitrary []byte values (the paper uses 13-byte 5-tuple
 // flow IDs). Filters are deterministic for a given seed and are not
 // safe for concurrent mutation; concurrent read-only queries on
@@ -76,6 +90,7 @@ import (
 	"shbf/internal/memmodel"
 	"shbf/internal/sharded"
 	"shbf/internal/sizing"
+	"shbf/internal/window"
 )
 
 // Membership is ShBF_M, the shifting Bloom filter for membership
@@ -279,6 +294,40 @@ type ShardedMultiplicity = sharded.Multiplicity
 func NewShardedMultiplicity(totalBits, k, c, shardCount int, opts ...Option) (*ShardedMultiplicity, error) {
 	return sharded.NewMultiplicity(totalBits, k, c, shardCount, opts...)
 }
+
+// WindowMembership is the sliding-window membership filter: a
+// generation ring of ShBF_M filters in which Add writes the head
+// generation, Contains ORs across the ring, and Rotate retires the
+// oldest generation — "was this key seen in the last N ticks" instead
+// of "ever". Build with [NewWindow] over a KindMembership Spec.
+type WindowMembership = window.Membership
+
+// WindowAssociation is the sliding-window two-set association filter
+// (a ring of CShBF_A generations; queries union candidate regions
+// across the ring). Build with [NewWindow] over a KindAssociation or
+// KindCountingAssociation Spec.
+type WindowAssociation = window.Association
+
+// WindowMultiplicity is the sliding-window multiplicity filter (a ring
+// of CShBF_X generations; counts sum across the ring and never
+// underestimate the in-window multiplicity). Build with [NewWindow]
+// over a KindMultiplicity or KindCountingMultiplicity Spec.
+type WindowMultiplicity = window.Multiplicity
+
+// ShardedWindowMembership composes [WindowMembership] with the
+// lock-striped shard layout: each shard owns a generation ring and
+// Rotate walks the shards one lock at a time, so rotation never blocks
+// queries on other shards. Build with [NewWindow] over a
+// KindShardedMembership Spec.
+type ShardedWindowMembership = sharded.Window
+
+// ShardedWindowAssociation is the lock-striped composition of
+// [WindowAssociation]; see [ShardedWindowMembership].
+type ShardedWindowAssociation = sharded.WindowAssociation
+
+// ShardedWindowMultiplicity is the lock-striped composition of
+// [WindowMultiplicity]; see [ShardedWindowMembership].
+type ShardedWindowMultiplicity = sharded.WindowMultiplicity
 
 // MembershipPlan, AssociationPlan and MultiplicityPlan are sized filter
 // geometries produced by the Plan* helpers.
