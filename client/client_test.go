@@ -1,0 +1,498 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"shbf"
+	"shbf/client"
+	"shbf/internal/server"
+)
+
+// testDaemon is an in-process daemon serving both transports.
+type testDaemon struct {
+	srv  *server.Server
+	http *httptest.Server
+	shbp net.Listener
+}
+
+func startDaemon(t *testing.T, cfg server.Config) *testDaemon {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.ServeShBP(ctx, ln); err != nil {
+			t.Errorf("ServeShBP: %v", err)
+		}
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return &testDaemon{srv: srv, http: hs, shbp: ln}
+}
+
+// clients returns one client per transport, labeled.
+func (d *testDaemon) clients(t *testing.T) map[string]*client.Client {
+	t.Helper()
+	bin, err := client.Dial("shbp://" + d.shbp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bin.Close() })
+	httpc, err := client.Dial(d.http.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { httpc.Close() })
+	return map[string]*client.Client{"shbp": bin, "http": httpc}
+}
+
+func testConfig() server.Config {
+	return server.Config{
+		MembershipBits:   1 << 18,
+		MembershipK:      8,
+		AssociationBits:  1 << 18,
+		AssociationK:     8,
+		MultiplicityBits: 1 << 19,
+		MultiplicityK:    8,
+		MaxCount:         16,
+		Shards:           4,
+		Seed:             7,
+	}
+}
+
+// flowKey builds a fixed-width 13-byte key (the packed wire fast
+// path).
+func flowKey(i int) []byte {
+	k := make([]byte, 13)
+	for j := range k {
+		k[j] = byte(i >> (j % 4 * 8))
+	}
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	return k
+}
+
+// intP and f64P build the pointer-valued NamespaceConfig overrides.
+func intP(v int) *int         { return &v }
+func f64P(v float64) *float64 { return &v }
+
+// TestRoundTripEveryOp drives every op over both transports against
+// classic monolithic-ish (1 shard), sharded, and windowed namespaces.
+func TestRoundTripEveryOp(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	// Namespace shapes, created once over the binary transport (the
+	// registry is shared; both transports must see all of them).
+	setup, err := client.Dial("shbp://" + d.shbp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	for _, nc := range []client.NamespaceConfig{
+		{Name: "classic", Shards: 1},
+		{Name: "wide", Shards: 8},
+		{Name: "windowed", WindowGenerations: intP(3)},
+	} {
+		if err := setup.CreateNamespace(nc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for transport, c := range d.clients(t) {
+		for _, nsName := range []string{"default", "classic", "wide", "windowed"} {
+			t.Run(transport+"/"+nsName, func(t *testing.T) {
+				ns := c.Namespace(nsName)
+				prefix := transport + "-" + nsName + "-"
+				key := func(i int) []byte { return []byte(fmt.Sprintf("%s%04d", prefix, i)) }
+
+				// Membership: batch add, batch + scalar queries.
+				set := ns.Set()
+				keys := make([][]byte, 64)
+				for i := range keys {
+					keys[i] = key(i)
+				}
+				if err := set.AddAll(keys); err != nil {
+					t.Fatalf("AddAll: %v", err)
+				}
+				probe := append(append([][]byte{}, keys[:8]...), []byte(prefix+"absent"))
+				got := set.ContainsAll(nil, probe)
+				for i := 0; i < 8; i++ {
+					if !got[i] {
+						t.Fatalf("ContainsAll lost key %d", i)
+					}
+				}
+				if got[8] {
+					t.Fatal("ContainsAll invented a member")
+				}
+				if !set.Contains(keys[0]) || set.Contains([]byte(prefix+"scalar-absent")) {
+					t.Fatal("scalar Contains mismatch")
+				}
+				set.Add([]byte(prefix + "scalar"))
+				if !set.Contains([]byte(prefix + "scalar")) {
+					t.Fatal("scalar Add lost the key")
+				}
+				if err := set.Err(); err != nil {
+					t.Fatalf("sticky error: %v", err)
+				}
+
+				// Fixed-width keys exercise the packed wire encoding.
+				fixed := make([][]byte, 32)
+				for i := range fixed {
+					fixed[i] = flowKey(i + 1000)
+				}
+				if err := set.AddAll(fixed); err != nil {
+					t.Fatalf("AddAll fixed-width: %v", err)
+				}
+				if res, err := set.Check(fixed); err != nil {
+					t.Fatal(err)
+				} else {
+					for i, ok := range res {
+						if !ok {
+							t.Fatalf("fixed-width key %d lost", i)
+						}
+					}
+				}
+
+				// Multiplicity: counts, conflict with applied prefix.
+				cnt := ns.Counter()
+				if err := cnt.InsertCount(key(0), 3); err != nil {
+					t.Fatal(err)
+				}
+				if err := cnt.Insert(key(1)); err != nil {
+					t.Fatal(err)
+				}
+				counts := cnt.CountAll(nil, [][]byte{key(0), key(1), []byte(prefix + "zero")})
+				if counts[0] != 3 || counts[1] != 1 || counts[2] != 0 {
+					t.Fatalf("counts = %v, want [3 1 0]", counts)
+				}
+				if err := cnt.Delete(key(0)); err != nil {
+					t.Fatal(err)
+				}
+				if n := cnt.Count(key(0)); n != 2 {
+					t.Fatalf("count after delete = %d, want 2", n)
+				}
+				if err := cnt.Delete([]byte(prefix + "never")); !client.IsConflict(err) {
+					t.Fatalf("delete of absent key: %v", err)
+				}
+				err := cnt.InsertCount([]byte(prefix+"big"), 20)
+				if !client.IsConflict(err) {
+					t.Fatalf("overflow: %v", err)
+				}
+				var apiErr *client.Error
+				if !asError(err, &apiErr) || apiErr.Applied != 16 {
+					t.Fatalf("overflow applied = %+v, want 16", apiErr)
+				}
+				if err := cnt.Err(); err != nil {
+					t.Fatalf("sticky error: %v", err)
+				}
+
+				// Association: inserts, classification soundness,
+				// removal, conflicts.
+				assoc := ns.Associator()
+				s1 := [][]byte{[]byte(prefix + "only1"), []byte(prefix + "both")}
+				s2 := [][]byte{[]byte(prefix + "only2"), []byte(prefix + "both")}
+				if err := assoc.InsertAll(1, s1); err != nil {
+					t.Fatal(err)
+				}
+				if err := assoc.InsertAll(2, s2); err != nil {
+					t.Fatal(err)
+				}
+				regions := assoc.QueryAll(nil, [][]byte{
+					[]byte(prefix + "only1"), []byte(prefix + "both"),
+					[]byte(prefix + "only2"), []byte(prefix + "neither"),
+				})
+				if !regions[0].Contains(shbf.RegionS1Only) || !regions[1].Contains(shbf.RegionBoth) ||
+					!regions[2].Contains(shbf.RegionS2Only) {
+					t.Fatalf("classification unsound: %v", regions)
+				}
+				if regions[3] != shbf.RegionNone {
+					t.Fatalf("non-member classified: %v", regions[3])
+				}
+				if err := assoc.DeleteS1([]byte(prefix + "both")); err != nil {
+					t.Fatal(err)
+				}
+				if r := assoc.Query([]byte(prefix + "both")); !r.Contains(shbf.RegionS2Only) {
+					t.Fatalf("after DeleteS1: %v", r)
+				}
+				if err := assoc.DeleteAll(2, [][]byte{[]byte(prefix + "ghost")}); !client.IsConflict(err) {
+					t.Fatalf("delete of absent association: %v", err)
+				}
+				if err := assoc.InsertAll(3, s1); err == nil {
+					t.Fatal("accepted set 3")
+				}
+				if err := assoc.Err(); err != nil {
+					t.Fatalf("sticky error: %v", err)
+				}
+
+				// Stats reflect this namespace's writes, not another's.
+				st, err := ns.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Membership.N == 0 || st.Queries["membership_add"] == 0 {
+					t.Fatalf("stats empty: n=%d queries=%v", st.Membership.N, st.Queries)
+				}
+
+				// Rotation: windowed namespaces rotate (and expire);
+				// classic ones conflict.
+				win := ns.Window()
+				if nsName == "windowed" {
+					in, err := win.Info()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if in.Generations != 3 {
+						t.Fatalf("generations = %d, want 3", in.Generations)
+					}
+					startEpoch := in.Epoch
+					for i := 0; i < 3; i++ {
+						rotated, epoch, err := ns.Rotate()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(rotated) != 3 || epoch != startEpoch+uint64(i)+1 {
+							t.Fatalf("rotate %d: %v at epoch %d", i, rotated, epoch)
+						}
+					}
+					if set.Contains(keys[0]) {
+						t.Fatal("key survived a full ring of rotations")
+					}
+				} else {
+					if _, _, err := ns.Rotate(); !client.IsConflict(err) {
+						t.Fatalf("rotate on classic namespace: %v", err)
+					}
+				}
+				_ = win
+			})
+		}
+	}
+}
+
+// asError is errors.As without the import clutter in assertions.
+func asError(err error, target **client.Error) bool {
+	for err != nil {
+		if e, ok := err.(*client.Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestNamespaceCRUD: create/list/delete over both transports, with
+// conflicts for duplicates and the undeletable default.
+func TestNamespaceCRUD(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	for transport, c := range d.clients(t) {
+		t.Run(transport, func(t *testing.T) {
+			name := "crud-" + transport
+			if err := c.CreateNamespace(client.NamespaceConfig{Name: name, Shards: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CreateNamespace(client.NamespaceConfig{Name: name}); !client.IsConflict(err) {
+				t.Fatalf("duplicate create: %v", err)
+			}
+			if err := c.CreateNamespace(client.NamespaceConfig{Name: "bad name!"}); err == nil {
+				t.Fatal("accepted an invalid name")
+			}
+			infos, err := c.Namespaces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, in := range infos {
+				if in.Name == name {
+					found = true
+					if in.Windowed {
+						t.Fatal("classic namespace reported windowed")
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("created namespace missing from list %v", infos)
+			}
+			// Writes to the tenant do not leak into default.
+			if err := c.Namespace(name).Set().AddAll([][]byte{[]byte("tenant-key")}); err != nil {
+				t.Fatal(err)
+			}
+			if c.Namespace("").Set().Contains([]byte("tenant-key")) {
+				t.Fatal("tenant write visible in default namespace")
+			}
+			if err := c.DeleteNamespace(name); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Namespace(name).Set().AddAll([][]byte{[]byte("x")}); !client.IsNotFound(err) {
+				t.Fatalf("write to deleted namespace: %v", err)
+			}
+			if err := c.DeleteNamespace("default"); !client.IsConflict(err) {
+				t.Fatalf("deleting default: %v", err)
+			}
+		})
+	}
+}
+
+// TestWindowedHandle: the shbf.Windowed surface against a windowed
+// tenant — Window() snapshot, RotateIfDue with the tenant's tick.
+func TestWindowedHandle(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	c := d.clients(t)["shbp"]
+	if err := c.CreateNamespace(client.NamespaceConfig{
+		Name: "win", WindowGenerations: intP(2), WindowTickSeconds: f64P(60),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var w shbf.Windowed = c.Namespace("win").Window()
+	in := w.Window()
+	if in.Generations != 2 || in.Tick != time.Minute {
+		t.Fatalf("window info: %+v", in)
+	}
+	base := time.Now()
+	if due, err := w.RotateIfDue(base); err != nil || due {
+		t.Fatalf("first call must arm, not rotate: %v %v", due, err)
+	}
+	if due, err := w.RotateIfDue(base.Add(30 * time.Second)); err != nil || due {
+		t.Fatalf("rotated before the tick: %v %v", due, err)
+	}
+	due, err := w.RotateIfDue(base.Add(61 * time.Second))
+	if err != nil || !due {
+		t.Fatalf("tick elapsed: due=%v err=%v", due, err)
+	}
+	if got := w.Window().Epoch; got != in.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", got, in.Epoch+1)
+	}
+	// A classic namespace's Window() records an error.
+	cw := c.Namespace("").Window()
+	if _, err := cw.Info(); err == nil {
+		t.Fatal("Info on classic namespace succeeded")
+	}
+}
+
+// TestConcurrentClients hammers both transports from many goroutines
+// (the -race CI job's serving check for the v2 stack).
+func TestConcurrentClients(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	cs := d.clients(t)
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	for transport, c := range cs {
+		for w := 0; w < workers/2; w++ {
+			wg.Add(1)
+			go func(transport string, c *client.Client, w int) {
+				defer wg.Done()
+				ns := c.Namespace("")
+				set, cnt, assoc := ns.Set(), ns.Counter(), ns.Associator()
+				for i := 0; i < iters; i++ {
+					key := []byte(fmt.Sprintf("conc-%s-%d-%d", transport, w, i))
+					if err := set.AddAll([][]byte{key}); err != nil {
+						t.Error(err)
+						return
+					}
+					if !set.Contains(key) {
+						t.Errorf("lost %s", key)
+						return
+					}
+					if err := cnt.Insert(key); err != nil {
+						t.Error(err)
+						return
+					}
+					if cnt.Count(key) < 1 {
+						t.Errorf("count lost %s", key)
+						return
+					}
+					if err := assoc.InsertAll(w%2+1, [][]byte{key}); err != nil {
+						t.Error(err)
+						return
+					}
+					assoc.Query(key)
+				}
+				for _, err := range []error{set.Err(), cnt.Err(), assoc.Err()} {
+					if err != nil {
+						t.Error(err)
+					}
+				}
+			}(transport, c, w)
+		}
+	}
+	wg.Wait()
+	st, err := cs["shbp"].Namespace("").Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2 * (workers / 2) * iters); st.Queries["membership_add"] != want {
+		t.Fatalf("membership_add = %d, want %d", st.Queries["membership_add"], want)
+	}
+}
+
+// TestRemoteMatchesLocal: a remote namespace and a local filter built
+// from the same Spec answer identically (the "swap local and remote
+// without code changes" contract).
+func TestRemoteMatchesLocal(t *testing.T) {
+	cfg := testConfig()
+	d := startDaemon(t, cfg)
+	memSpec, _, _ := cfg.Specs()
+	local, err := shbf.New(memSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSet := local.(shbf.Set)
+
+	c := d.clients(t)["shbp"]
+	remoteSet := c.Namespace("").Set()
+
+	keys := make([][]byte, 500)
+	for i := range keys {
+		keys[i] = flowKey(i)
+	}
+	if err := remoteSet.AddAll(keys[:250]); err != nil {
+		t.Fatal(err)
+	}
+	if err := localSet.AddAll(keys[:250]); err != nil {
+		t.Fatal(err)
+	}
+	want := localSet.ContainsAll(nil, keys)
+	got := remoteSet.ContainsAll(nil, keys)
+	for i := range keys {
+		if want[i] != got[i] {
+			t.Fatalf("key %d: local %v, remote %v", i, want[i], got[i])
+		}
+	}
+	if err := remoteSet.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedWidthKeys forces the variable-width wire encoding.
+func TestMixedWidthKeys(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	set := d.clients(t)["shbp"].Namespace("").Set()
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), {}}
+	if err := set.AddAll(keys[:3]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := set.Check(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0] || !res[1] || !res[2] {
+		t.Fatalf("mixed-width keys lost: %v", res)
+	}
+}

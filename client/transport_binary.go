@@ -1,0 +1,103 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"shbf/internal/wire"
+)
+
+// binaryTransport speaks ShBP over one TCP connection. Round trips are
+// serialized on the connection (the protocol answers in order); a
+// broken connection is closed and redialed on the next call, never
+// retried in place — a lost response may have applied its updates.
+type binaryTransport struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	wbuf []byte // encoded request frame, reused
+	rbuf []byte // response frame, reused
+}
+
+// dialTimeout bounds connection establishment; round trips themselves
+// are not deadline-bounded (batch sizes are capped by the protocol, so
+// a healthy daemon answers promptly — put an LB health check in front
+// for the unhealthy case).
+const dialTimeout = 5 * time.Second
+
+// dialBinary eagerly connects so a down daemon fails at Dial.
+func dialBinary(addr string) (*Client, error) {
+	t := &binaryTransport{addr: addr}
+	t.mu.Lock()
+	err := t.connectLocked()
+	t.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{t: t}, nil
+}
+
+// connectLocked (re)establishes the connection; t.mu must be held.
+func (t *binaryTransport) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", t.addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: dialing %s: %w", t.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // one frame per round trip; don't batch for Nagle
+	}
+	t.conn = conn
+	t.br = bufio.NewReaderSize(conn, 64<<10)
+	return nil
+}
+
+func (t *binaryTransport) roundTrip(req *wire.Request, resp *wire.Response) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var err error
+	t.wbuf, err = wire.AppendRequest(t.wbuf[:0], req)
+	if err != nil {
+		return err // encoding error; the connection is untouched
+	}
+	if t.conn == nil {
+		if err := t.connectLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err = t.conn.Write(t.wbuf); err == nil {
+		t.rbuf, err = wire.ReadFrame(t.br, t.rbuf)
+		if err == nil {
+			err = wire.DecodeResponse(resp, t.rbuf)
+		}
+	}
+	if err != nil {
+		// The stream position is unknown; drop the connection so the
+		// next call starts clean.
+		t.conn.Close()
+		t.conn, t.br = nil, nil
+		return fmt.Errorf("client: %s round trip: %w", wire.OpName(req.Op), err)
+	}
+	// Blob aliases rbuf, which the next round trip overwrites; detach
+	// it before the lock is released. (DecodeResponse copies the other
+	// body fields into resp-owned storage.)
+	if resp.Blob != nil {
+		resp.Blob = append([]byte(nil), resp.Blob...)
+	}
+	return nil
+}
+
+func (t *binaryTransport) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn, t.br = nil, nil
+	return err
+}

@@ -50,11 +50,22 @@ func main() {
 		perfOut   = flag.String("perf-out", "BENCH_PR3.json", "with -perf: output file")
 		perfBase  = flag.String("perf-baseline", "", "with -perf: previous BENCH_*.json to embed as the baseline section")
 		perfNote  = flag.String("perf-note", "", "with -perf: free-form note recorded in the report")
+		serve     = flag.Bool("serve", false, "run the serving-layer ShBP-vs-JSON benchmark (interleaved min-of-N) and write machine-readable JSON")
+		serveOut  = flag.String("serve-out", "BENCH_PR5.json", "with -serve: output file")
+		serveNote = flag.String("serve-note", "", "with -serve: free-form note recorded in the report")
+		serveGate = flag.Float64("serve-min-speedup", 0, "with -serve: exit nonzero unless ShBP ContainsAll@256 ≥ this × the JSON keys/sec (0 = no gate)")
 	)
 	flag.Parse()
 
 	if *perf {
 		if err := runPerf(*perfOut, *perfBase, *perfNote); err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serve {
+		if err := runServe(*serveOut, *serveNote, *serveGate); err != nil {
 			fmt.Fprintln(os.Stderr, "shbench:", err)
 			os.Exit(1)
 		}

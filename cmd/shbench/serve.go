@@ -1,0 +1,255 @@
+package main
+
+// serve.go implements the -serve mode: a serving-layer benchmark that
+// measures end-to-end batch throughput against an in-process shbfd
+// core over both transports — ShBP (the binary batch protocol) and the
+// v2 HTTP/JSON API — at 16/256/4096-key batches of 13-byte 5-tuple
+// flow IDs, using the shipped shbf/client for both. Results go to a
+// machine-readable JSON file (BENCH_PR5.json by default).
+//
+// Methodology: every (op, batch, transport) case is measured with
+// testing.Benchmark and the suite is run serveRuns times with the
+// cases interleaved — transport A and B alternate within each run, and
+// the minimum per case across runs is reported. Interleaved min-of-N
+// is the noise rule for wall-clock comparisons on shared machines
+// (scheduler preemption and frequency excursions only ever add time,
+// and interleaving keeps slow drift from loading one side of the
+// comparison).
+//
+// With -serve-min-speedup > 0, the run exits nonzero unless ShBP
+// Contains at 256 keys achieves at least that multiple of the JSON
+// path's keys/sec — CI's regression gate for the binary protocol's
+// reason to exist.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"shbf/client"
+	"shbf/internal/flowkeys"
+	"shbf/internal/server"
+)
+
+// serveRuns is the interleaved repetition count (min per case wins).
+const serveRuns = 3
+
+// serveBatches are the request batch sizes measured.
+var serveBatches = []int{16, 256, 4096}
+
+// serveResult is one (op, batch, transport) measurement.
+type serveResult struct {
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport"` // shbp | json
+	Op          string  `json:"op"`        // ContainsAll | AddAll
+	Batch       int     `json:"batch"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerKey    float64 `json:"ns_per_key"`
+	KeysPerSec  float64 `json:"keys_per_sec"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// serveComparison is the per-(op, batch) ShBP-vs-JSON rollup.
+type serveComparison struct {
+	Op      string  `json:"op"`
+	Batch   int     `json:"batch"`
+	Speedup float64 `json:"shbp_vs_json_keys_per_sec"`
+}
+
+// serveReport is the BENCH_PR5.json document.
+type serveReport struct {
+	Schema      string            `json:"schema"`
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPUs        int               `json:"cpus"`
+	KeyBytes    int               `json:"key_bytes"`
+	Runs        int               `json:"runs"`
+	Note        string            `json:"note"`
+	Results     []serveResult     `json:"results"`
+	Comparisons []serveComparison `json:"comparisons"`
+}
+
+// runServe measures the suite and writes the report; minSpeedup > 0
+// additionally gates ShBP Contains @256 keys.
+func runServe(outPath, note string, minSpeedup float64) error {
+	cfg := server.DefaultConfig()
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	// Both transports on loopback TCP, so the measurement includes the
+	// real network stack both ways.
+	shbpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.ServeShBP(ctx, shbpLn)
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(httpLn)
+	defer httpSrv.Close()
+
+	shbpC, err := client.Dial("shbp://" + shbpLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer shbpC.Close()
+	jsonC, err := client.Dial("http://" + httpLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer jsonC.Close()
+
+	// Workload: 64k member flow IDs preloaded through ShBP; queries
+	// probe a 50/50 member/non-member mix. One deterministic pool
+	// provides disjoint member, probe and add-load slices.
+	const nMembers = 1 << 16
+	_, pool := flowkeys.Keys(3 * nMembers)
+	members := pool[:nMembers]
+	if err := shbpC.Namespace("").Set().AddAll(members); err != nil {
+		return err
+	}
+	probes := append([][]byte{}, pool[nMembers:2*nMembers]...)
+	for i := 0; i < len(probes); i += 2 {
+		probes[i] = members[i]
+	}
+	addPool := pool[2*nMembers:]
+
+	type benchCase struct {
+		transport string
+		op        string
+		batch     int
+		body      func(b *testing.B)
+	}
+	// Cases are ordered so a (op, batch) pair's two transports run
+	// back to back — the interleaving that keeps slow thermal or
+	// frequency drift from loading one side of the comparison.
+	transports := []struct {
+		name string
+		set  *client.Set
+	}{
+		{"shbp", shbpC.Namespace("").Set()},
+		{"json", jsonC.Namespace("").Set()},
+	}
+	var cases []benchCase
+	for _, batch := range serveBatches {
+		batch := batch
+		query := probes[:batch]
+		add := addPool[:batch] // re-adding the same batch is idempotent load
+		for _, tr := range transports {
+			set := tr.set
+			cases = append(cases, benchCase{tr.name, "ContainsAll", batch, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := set.Check(query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}})
+		}
+		for _, tr := range transports {
+			set := tr.set
+			cases = append(cases, benchCase{tr.name, "AddAll", batch, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := set.AddAll(add); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}})
+		}
+	}
+
+	// Interleaved min-of-N: whole-suite passes, each case's transport
+	// pair adjacent within a pass; keep each case's fastest run.
+	best := make([]testing.BenchmarkResult, len(cases))
+	for run := 0; run < serveRuns; run++ {
+		for i, c := range cases {
+			r := testing.Benchmark(c.body)
+			if run == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+
+	report := serveReport{
+		Schema:      "shbf-serve-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		KeyBytes:    flowkeys.KeyBytes,
+		Runs:        serveRuns,
+		Note:        note,
+	}
+	keysPerSec := map[string]float64{}
+	for i, c := range cases {
+		r := best[i]
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := serveResult{
+			Name:        fmt.Sprintf("%s/%s/%d", c.transport, c.op, c.batch),
+			Transport:   c.transport,
+			Op:          c.op,
+			Batch:       c.batch,
+			NsPerOp:     ns,
+			NsPerKey:    ns / float64(c.batch),
+			KeysPerSec:  float64(c.batch) / (ns / 1e9),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		report.Results = append(report.Results, res)
+		keysPerSec[res.Name] = res.KeysPerSec
+	}
+	for _, op := range []string{"ContainsAll", "AddAll"} {
+		for _, batch := range serveBatches {
+			jk := keysPerSec[fmt.Sprintf("json/%s/%d", op, batch)]
+			sk := keysPerSec[fmt.Sprintf("shbp/%s/%d", op, batch)]
+			if jk > 0 {
+				report.Comparisons = append(report.Comparisons,
+					serveComparison{Op: op, Batch: batch, Speedup: sk / jk})
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench → %s\n", outPath)
+	for _, res := range report.Results {
+		fmt.Printf("  %-26s %10.0f keys/s  %7.1f ns/key  %5d B/op %4d allocs/op\n",
+			res.Name, res.KeysPerSec, res.NsPerKey, res.BytesPerOp, res.AllocsPerOp)
+	}
+	for _, cmp := range report.Comparisons {
+		fmt.Printf("  shbp vs json %-12s @%-5d %.2f×\n", cmp.Op, cmp.Batch, cmp.Speedup)
+	}
+
+	if minSpeedup > 0 {
+		gate := keysPerSec["shbp/ContainsAll/256"] / keysPerSec["json/ContainsAll/256"]
+		if gate < minSpeedup {
+			return fmt.Errorf("ShBP Contains@256 is %.2f× JSON, below the %.1f× gate", gate, minSpeedup)
+		}
+		fmt.Printf("gate: ShBP Contains@256 = %.2f× JSON (≥ %.1f×) ok\n", gate, minSpeedup)
+	}
+	return nil
+}

@@ -303,9 +303,10 @@ func runPlan(args []string) error {
 	fs := flag.NewFlagSet("shbf plan", flag.ContinueOnError)
 	var (
 		kind   = fs.String("kind", "membership", "filter kind to size")
-		n      = fs.Int("n", 100000, "expected elements")
+		n      = fs.Int("n", 100000, "expected elements (per tick with -window)")
 		c      = fs.Int("c", 57, "maximum multiplicity (multiplicity)")
 		target = fs.Float64("target", 0.01, "target FPR (membership) / clear probability (association) / correctness rate (multiplicity)")
+		window = fs.Int("window", 0, "size a sliding-window membership ring of this many generations (-n becomes keys per tick; target is the whole-window FPR)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -314,8 +315,27 @@ func runPlan(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *window > 0 && kd != shbf.KindMembership {
+		return fmt.Errorf("-window sizing supports membership only (got %s)", kd)
+	}
 	switch kd {
 	case shbf.KindMembership:
+		if *window > 0 {
+			plan, err := sizing.Window(*n, *window, *target, shbf.DefaultMaxOffset)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Sliding-window ShBF_M plan for %d keys/tick, G=%d, window FPR ≤ %g:\n",
+				*n, plan.Generations, *target)
+			fmt.Printf("  per generation: m=%d bits (%.1f KiB), k=%d, FPR budget %.6g\n",
+				plan.Generation.M, float64(plan.Generation.M)/8192,
+				plan.Generation.K, plan.Generation.PredictedFPR)
+			fmt.Printf("  window: total %d bits (%.1f KiB), predicted FPR %.6g\n",
+				plan.TotalBits, float64(plan.TotalBits)/8192, plan.PredictedWindowFPR)
+			fmt.Printf("  base spec: %s (wrap with shbf.NewWindow, Generations=%d)\n",
+				specString(plan.Spec()), plan.Generations)
+			return nil
+		}
 		plan, err := sizing.Membership(*n, *target, shbf.DefaultMaxOffset)
 		if err != nil {
 			return err

@@ -1,11 +1,15 @@
 // Command shbfd is the ShBF query-serving daemon: one process serving
 // membership (ShBF_M), association (CShBF_A), and multiplicity
-// (CShBF_X) set queries over a batch HTTP/JSON API, backed by the
-// lock-striped shards of internal/sharded.
+// (CShBF_X) set queries for many tenant namespaces, backed by the
+// lock-striped shards of internal/sharded, over two transports: the
+// namespace-scoped /v2 HTTP/JSON API (plus the /v1 shims over the
+// "default" namespace) and ShBP, a length-prefixed binary batch
+// protocol on its own listener for small-batch-heavy serving where
+// JSON decode would dominate (see internal/wire and shbf/client).
 //
 // Usage:
 //
-//	shbfd [-addr :8137] [-shards 16] [-seed 1]
+//	shbfd [-addr :8137] [-shbp-addr :8138] [-shards 16] [-seed 1]
 //	      [-member-bits N] [-member-k 8]
 //	      [-assoc-bits N]  [-assoc-k 8]
 //	      [-mult-bits N]   [-mult-k 8] [-c 57]
@@ -13,13 +17,19 @@
 //	      [-snapshot state.shbf] [-snapshot-every 0]
 //	      [-pprof-addr localhost:6060]
 //
-// With -window G (G ≥ 2), every filter runs as a sliding window of G
-// generations: writes go to the head generation, and each rotation —
-// driven every -tick interval, or on demand via POST /v1/rotate —
-// retires the oldest, so the daemon answers "seen in the last G−1..G
-// ticks" and its memory and false-positive rate stay bounded on
-// endless streams (the streaming deployments the paper targets).
-// Memory in window mode is G × the configured per-filter bits.
+// The flags size the default namespace; further namespaces — each with
+// its own geometry and window policy — are created at runtime via
+// POST /v2/namespaces (or the equivalent ShBP op) and persist through
+// snapshots.
+//
+// With -window G (G ≥ 2), the default namespace's filters run as a
+// sliding window of G generations: writes go to the head generation,
+// and each rotation — driven every -tick interval, or on demand via
+// POST /v1/rotate — retires the oldest, so the daemon answers "seen in
+// the last G−1..G ticks" and its memory and false-positive rate stay
+// bounded on endless streams (the streaming deployments the paper
+// targets). Memory in window mode is G × the configured per-filter
+// bits. The -tick loop rotates every windowed namespace.
 //
 // With -snapshot, state is reloaded from the file at startup (if it
 // exists), persisted on POST /v1/snapshot, every -snapshot-every
@@ -68,7 +78,8 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("shbfd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8137", "listen address")
+		addr      = fs.String("addr", ":8137", "HTTP listen address")
+		shbpAddr  = fs.String("shbp-addr", ":8138", "ShBP binary-protocol listen address (empty = disabled)")
 		shards    = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
 		seed      = fs.Uint64("seed", 1, "hash seed (filters are deterministic per seed)")
 		memBits   = fs.Int("member-bits", 12<<20, "total membership filter bits")
@@ -139,6 +150,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		defer psrv.Close()
 	}
 
+	// The ShBP binary listener serves the same namespaces as HTTP on a
+	// dedicated port: length-prefixed batch frames that feed the batch
+	// library paths without JSON decode (see internal/wire).
+	if *shbpAddr != "" {
+		shbpLn, err := net.Listen("tcp", *shbpAddr)
+		if err != nil {
+			return fmt.Errorf("shbp listener: %w", err)
+		}
+		log.Printf("shbfd: shbp (binary protocol) on %s", shbpLn.Addr())
+		go func() {
+			if err := srv.ServeShBP(ctx, shbpLn); err != nil {
+				log.Printf("shbfd: shbp server: %v", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -182,7 +209,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 				log.Printf("shbfd: snapshot written (%d bytes)", n)
 			}
 		case <-rotC:
-			if rotated, err := srv.Rotate(); errors.Is(err, server.ErrNotWindowed) {
+			// Rotate every windowed namespace; tenants created without
+			// windows are skipped.
+			if rotated, err := srv.RotateAll(); errors.Is(err, server.ErrNotWindowed) {
 				// A classic (pre-window) snapshot overrode -window at
 				// restore; ticking forever would just log this error
 				// every -tick. Say it once and stop the ticker.
@@ -192,7 +221,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			} else if err != nil {
 				log.Printf("shbfd: rotation: %v", err)
 			} else {
-				log.Printf("shbfd: rotated %v", rotated)
+				log.Printf("shbfd: rotated namespaces %v", rotated)
 			}
 		case err := <-errc:
 			return err

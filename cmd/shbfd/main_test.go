@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"shbf/client"
 )
 
 // startDaemon runs the daemon with args plus a port-0 listener and
@@ -21,7 +23,9 @@ func startDaemon(t *testing.T, args ...string) (string, func() error) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), ready)
+		// Port-0 defaults for both listeners; later args override (the
+		// last occurrence of a flag wins).
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-shbp-addr", "127.0.0.1:0"}, args...), ready)
 	}()
 	select {
 	case addr := <-ready:
@@ -153,6 +157,73 @@ func TestServeAndGracefulSnapshot(t *testing.T) {
 	if cnt.Counts[0] != 3 {
 		t.Fatalf("after restart: count = %d, want 3", cnt.Counts[0])
 	}
+}
+
+// TestShBPListener: the binary-protocol listener serves alongside
+// HTTP — a ShBP write is visible to an HTTP read and vice versa, and
+// namespaces created over ShBP persist through the graceful-shutdown
+// snapshot.
+func TestShBPListener(t *testing.T) {
+	// Reserve a port for the binary listener (freed before the daemon
+	// starts; the reuse race is acceptable in a test, as with pprof).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shbpAddr := ln.Addr().String()
+	ln.Close()
+
+	snap := filepath.Join(t.TempDir(), "state.shbf")
+	size := []string{
+		"-member-bits", "65536", "-assoc-bits", "65536", "-mult-bits", "131072",
+		"-shards", "4", "-snapshot", snap, "-shbp-addr", shbpAddr,
+	}
+	url, stop := startDaemon(t, size...)
+
+	c, err := client.Dial("shbp://" + shbpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateNamespace(client.NamespaceConfig{Name: "tenant"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Namespace("").Set().AddAll([][]byte{[]byte("via-shbp")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Namespace("tenant").Set().AddAll([][]byte{[]byte("tenant-key")}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	postJSON(t, url+"/v1/membership/contains", map[string]any{"keys": []string{"via-shbp"}}, &res)
+	if !res.Results[0] {
+		t.Fatal("ShBP write invisible over HTTP")
+	}
+	c.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Restart on the same snapshot: both namespaces and their keys
+	// must survive.
+	url2, stop2 := startDaemon(t, size...)
+	defer stop2()
+	c2, err := client.Dial("shbp://" + shbpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Namespace("").Set().Contains([]byte("via-shbp")) {
+		t.Fatal("default namespace state lost across restart")
+	}
+	if !c2.Namespace("tenant").Set().Contains([]byte("tenant-key")) {
+		t.Fatal("tenant namespace lost across restart")
+	}
+	_ = url2
 }
 
 // TestWindowFlags: -tick requires -window, and a windowed daemon

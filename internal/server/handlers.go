@@ -1,14 +1,25 @@
 package server
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"shbf/internal/core"
 )
+
+// Request handlers. Every data-plane handler is namespace-
+// parameterized: the v1 routes bind it to the default namespace (and
+// stay byte-compatible with the pre-namespace daemon — guarded by
+// TestV1CompatByteIdentical), the v2 routes to the tenant named in the
+// URL. The ShBP binary listener (binary.go) dispatches onto the same
+// namespace methods.
 
 // maxBodyBytes bounds a request body; batches beyond this should be
 // split by the client.
@@ -96,13 +107,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// isCapacityErr reports the filter update errors that are the
+// client's to handle — the one predicate behind both the HTTP 409 and
+// the wire StatusConflict mappings (add new capacity-class errors
+// here, never in one transport only).
+func isCapacityErr(err error) bool {
+	return errors.Is(err, core.ErrCountOverflow) ||
+		errors.Is(err, core.ErrCounterSaturated) ||
+		errors.Is(err, core.ErrNotStored)
+}
+
 // updateStatus maps a filter update error to an HTTP status: capacity
 // conditions are the client's to handle (409), anything else is a
 // server fault.
 func updateStatus(err error) int {
-	if errors.Is(err, core.ErrCountOverflow) ||
-		errors.Is(err, core.ErrCounterSaturated) ||
-		errors.Is(err, core.ErrNotStored) {
+	if isCapacityErr(err) {
 		return http.StatusConflict
 	}
 	return http.StatusInternalServerError
@@ -110,7 +129,7 @@ func updateStatus(err error) int {
 
 // --- membership -----------------------------------------------------------
 
-func (s *Server) handleMembershipAdd(w http.ResponseWriter, r *http.Request) {
+func (s *Server) nsMembershipAdd(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	var req keyBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -122,15 +141,15 @@ func (s *Server) handleMembershipAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	// The batch path takes each shard lock once for the whole request
 	// instead of once per key.
-	if err := s.mem.AddAll(keys); err != nil {
+	if err := ns.mem.AddAll(keys); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.stats.membershipAdd.Add(uint64(len(keys)))
+	ns.stats.membershipAdd.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]int{"added": len(keys)})
 }
 
-func (s *Server) handleMembershipContains(w http.ResponseWriter, r *http.Request) {
+func (s *Server) nsMembershipContains(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	var req keyBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -140,8 +159,8 @@ func (s *Server) handleMembershipContains(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	results := s.mem.ContainsAll(make([]bool, 0, len(keys)), keys)
-	s.stats.membershipContains.Add(uint64(len(keys)))
+	results := ns.mem.ContainsAll(make([]bool, 0, len(keys)), keys)
+	ns.stats.membershipContains.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
@@ -150,16 +169,19 @@ func (s *Server) handleMembershipContains(w http.ResponseWriter, r *http.Request
 // regionAnswer is the JSON shape of one classify result. Candidates
 // lists the possible atomic regions ("s1-only", "both", "s2-only"); an
 // empty list is a definite non-member of both sets. Clear mirrors the
-// paper's "clear answer" (exactly one candidate).
+// paper's "clear answer" (exactly one candidate). Mask is the raw
+// candidate-region bitmask (core.Region), the form the native client
+// round-trips; the v1 shim omits it for byte-compatibility.
 type regionAnswer struct {
 	Region     string   `json:"region"`
 	Candidates []string `json:"candidates"`
 	Clear      bool     `json:"clear"`
 	InS1       bool     `json:"in_s1"`
 	InS2       bool     `json:"in_s2"`
+	Mask       *uint8   `json:"mask,omitempty"`
 }
 
-func regionJSON(r core.Region) regionAnswer {
+func regionJSON(r core.Region, withMask bool) regionAnswer {
 	cands := make([]string, 0, 3)
 	if r.Contains(core.RegionS1Only) {
 		cands = append(cands, "s1-only")
@@ -170,17 +192,22 @@ func regionJSON(r core.Region) regionAnswer {
 	if r.Contains(core.RegionS2Only) {
 		cands = append(cands, "s2-only")
 	}
-	return regionAnswer{
+	ans := regionAnswer{
 		Region:     r.String(),
 		Candidates: cands,
 		Clear:      r.Clear(),
 		InS1:       r.InS1(),
 		InS2:       r.InS2(),
 	}
+	if withMask {
+		mask := uint8(r)
+		ans.Mask = &mask
+	}
+	return ans
 }
 
 // applySetBatch validates a setBatch and applies op1/op2 per key.
-func (s *Server) applySetBatch(w http.ResponseWriter, r *http.Request, op1, op2 func([]byte) error) {
+func (s *Server) applySetBatch(ns *namespace, w http.ResponseWriter, r *http.Request, op1, op2 func([]byte) error) {
 	var req setBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -209,19 +236,19 @@ func (s *Server) applySetBatch(w http.ResponseWriter, r *http.Request, op1, op2 
 			return
 		}
 	}
-	s.stats.associationUpdate.Add(uint64(len(keys)))
+	ns.stats.associationUpdate.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]int{"applied": len(keys)})
 }
 
-func (s *Server) handleAssociationAdd(w http.ResponseWriter, r *http.Request) {
-	s.applySetBatch(w, r, s.assoc.InsertS1, s.assoc.InsertS2)
+func (s *Server) nsAssociationAdd(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	s.applySetBatch(ns, w, r, ns.assoc.InsertS1, ns.assoc.InsertS2)
 }
 
-func (s *Server) handleAssociationRemove(w http.ResponseWriter, r *http.Request) {
-	s.applySetBatch(w, r, s.assoc.DeleteS1, s.assoc.DeleteS2)
+func (s *Server) nsAssociationRemove(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	s.applySetBatch(ns, w, r, ns.assoc.DeleteS1, ns.assoc.DeleteS2)
 }
 
-func (s *Server) handleAssociationClassify(w http.ResponseWriter, r *http.Request) {
+func (s *Server) nsAssociationClassify(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	var req keyBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -231,12 +258,15 @@ func (s *Server) handleAssociationClassify(w http.ResponseWriter, r *http.Reques
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	regions := s.assoc.QueryAll(make([]core.Region, 0, len(keys)), keys)
+	// Only the v2 route carries the raw mask; the v1 response shape is
+	// frozen.
+	withMask := r.PathValue("ns") != ""
+	regions := ns.assoc.QueryAll(make([]core.Region, 0, len(keys)), keys)
 	results := make([]regionAnswer, len(keys))
 	for i, r := range regions {
-		results[i] = regionJSON(r)
+		results[i] = regionJSON(r, withMask)
 	}
-	s.stats.associationQuery.Add(uint64(len(keys)))
+	ns.stats.associationQuery.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
@@ -244,7 +274,7 @@ func (s *Server) handleAssociationClassify(w http.ResponseWriter, r *http.Reques
 
 // applyCountedBatch applies op count-times per item (count defaults to
 // 1).
-func (s *Server) applyCountedBatch(w http.ResponseWriter, r *http.Request, op func([]byte) error) {
+func (s *Server) applyCountedBatch(ns *namespace, w http.ResponseWriter, r *http.Request, op func([]byte) error) {
 	var req countedBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -275,19 +305,19 @@ func (s *Server) applyCountedBatch(w http.ResponseWriter, r *http.Request, op fu
 			applied++
 		}
 	}
-	s.stats.multiplicityUpdate.Add(uint64(applied))
+	ns.stats.multiplicityUpdate.Add(uint64(applied))
 	writeJSON(w, http.StatusOK, map[string]int{"applied": applied})
 }
 
-func (s *Server) handleMultiplicityAdd(w http.ResponseWriter, r *http.Request) {
-	s.applyCountedBatch(w, r, s.mult.Insert)
+func (s *Server) nsMultiplicityAdd(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	s.applyCountedBatch(ns, w, r, ns.mult.Insert)
 }
 
-func (s *Server) handleMultiplicityRemove(w http.ResponseWriter, r *http.Request) {
-	s.applyCountedBatch(w, r, s.mult.Delete)
+func (s *Server) nsMultiplicityRemove(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	s.applyCountedBatch(ns, w, r, ns.mult.Delete)
 }
 
-func (s *Server) handleMultiplicityCount(w http.ResponseWriter, r *http.Request) {
+func (s *Server) nsMultiplicityCount(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	var req keyBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -297,23 +327,110 @@ func (s *Server) handleMultiplicityCount(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	counts := s.mult.CountAll(make([]int, 0, len(keys)), keys)
-	s.stats.multiplicityQuery.Add(uint64(len(keys)))
+	counts := ns.mult.CountAll(make([]int, 0, len(keys)), keys)
+	ns.stats.multiplicityQuery.Add(uint64(len(keys)))
 	writeJSON(w, http.StatusOK, map[string]any{"counts": counts})
 }
 
 // --- snapshot -------------------------------------------------------------
 
+// snapshotRequest is the optional body of POST /v1|v2/snapshot.
+type snapshotRequest struct {
+	// RotationConsistent serializes the snapshot against rotations, so
+	// every shard of every window ring is captured at one epoch (the
+	// default interleaves them: per-shard consistent, possibly
+	// adjacent-epoch).
+	RotationConsistent bool `json:"rotation_consistent,omitempty"`
+}
+
+// handleSnapshot serves POST /v1/snapshot and POST /v2/snapshot: both
+// persist the entire namespace set (the container format is shared)
+// and both honor the rotation_consistent option. The body is optional.
+// The v1 route stays lenient — the pre-namespace daemon ignored the
+// body entirely, so a malformed one is treated as "no options" rather
+// than rejected; v2 validates strictly.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.SnapshotPath == "" {
 		writeError(w, http.StatusConflict, errors.New("no snapshot path configured (start shbfd with -snapshot)"))
 		return
 	}
-	n, err := s.SaveSnapshot(s.cfg.SnapshotPath)
+	var req snapshotRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			if strings.HasPrefix(r.URL.Path, "/v2/") {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+				return
+			}
+			req = snapshotRequest{} // v1 compatibility: bodies were never read
+		}
+	}
+	n, err := s.SaveSnapshotOpts(s.cfg.SnapshotPath, req.RotationConsistent)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.stats.snapshots.Add(1)
+	s.snapshots.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"path": s.cfg.SnapshotPath, "bytes": n})
+}
+
+// --- namespaces (v2) ------------------------------------------------------
+
+func (s *Server) handleNamespaceCreate(w http.ResponseWriter, r *http.Request) {
+	var nc NamespaceConfig
+	if !readJSON(w, r, &nc) {
+		return
+	}
+	if err := s.CreateNamespace(nc); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errNamespaceExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"created": nc.Name})
+}
+
+func (s *Server) handleNamespaceDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	if err := s.DeleteNamespace(name); err != nil {
+		status := http.StatusNotFound
+		if name == DefaultNamespace {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleNamespaceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.namespaceList())
+}
+
+// namespaceList assembles the GET /v2/namespaces (and OpNamespaceList)
+// body.
+func (s *Server) namespaceList() map[string]any {
+	list := s.snapshotList()
+	infos := make([]NamespaceInfo, len(list))
+	for i, ns := range list {
+		infos[i] = ns.info()
+	}
+	return map[string]any{"namespaces": infos}
+}
+
+// handleDaemonStats serves GET /v2/stats: uptime plus every tenant's
+// summary (per-tenant detail lives at /v2/namespaces/{ns}/stats).
+func (s *Server) handleDaemonStats(w http.ResponseWriter, r *http.Request) {
+	body := s.namespaceList()
+	body["uptime_seconds"] = time.Since(s.start).Seconds()
+	body["snapshots"] = s.snapshots.Load()
+	writeJSON(w, http.StatusOK, body)
 }

@@ -7,31 +7,28 @@ import (
 	"shbf"
 )
 
-// Rotation of the daemon's sliding windows. With Config.WindowGenerations
-// set, all three filters are window kinds and implement shbf.Windowed;
-// Rotate walks them, retiring each one's oldest generation under its
-// striped shard locks, so queries keep flowing on every shard a
-// rotation is not currently touching. Two drivers share this method:
-// the POST /v1/rotate endpoint (operators, external schedulers, tests)
-// and shbfd's -tick loop.
+// Rotation of the daemon's sliding windows. A windowed namespace's
+// three filters implement shbf.Windowed; rotating the namespace walks
+// them, retiring each one's oldest generation under its striped shard
+// locks, so queries keep flowing on every shard a rotation is not
+// currently touching. Three drivers share this path: the per-tenant
+// POST /v2/namespaces/{ns}/rotate, the v1 shim POST /v1/rotate
+// (default namespace), and shbfd's -tick loop (RotateAll). All of them
+// serialize on Server.rotMu so a rotation-consistent snapshot can
+// exclude rotations entirely and capture every ring at one epoch.
 
-// ErrNotWindowed reports a rotation request against a daemon whose
-// filters are classic unbounded ones (no -window).
+// ErrNotWindowed reports a rotation request against a namespace whose
+// filters are classic unbounded ones (no -window / window_generations).
 var ErrNotWindowed = errors.New("server: filters are not windowed (start shbfd with -window)")
 
-// Rotate retires the oldest generation of every windowed filter and
-// returns the names of the filters rotated. A daemon without window
-// mode returns ErrNotWindowed. Safe for concurrent use.
-func (s *Server) Rotate() ([]string, error) {
+// rotate retires the oldest generation of each of the namespace's
+// windowed filters and returns the names of the filters rotated. A
+// classic namespace returns ErrNotWindowed.
+func (s *Server) rotate(ns *namespace) ([]string, error) {
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
 	var rotated []string
-	for _, f := range []struct {
-		name   string
-		filter shbf.Filter
-	}{
-		{"membership", s.mem},
-		{"association", s.assoc},
-		{"multiplicity", s.mult},
-	} {
+	for _, f := range ns.filters() {
 		w, ok := f.filter.(shbf.Windowed)
 		if !ok {
 			continue
@@ -44,22 +41,58 @@ func (s *Server) Rotate() ([]string, error) {
 	if len(rotated) == 0 {
 		return nil, ErrNotWindowed
 	}
-	s.stats.rotations.Add(1)
+	ns.stats.rotations.Add(1)
 	return rotated, nil
 }
 
-// Windowed reports whether the daemon's filters rotate (i.e. were
-// built with Config.WindowGenerations ≥ 2 or restored from a windowed
-// snapshot).
-func (s *Server) Windowed() bool {
-	_, ok := s.mem.(shbf.Windowed)
-	return ok
+// Rotate retires the oldest generation of the default namespace's
+// windowed filters — the v1 behavior. Safe for concurrent use.
+func (s *Server) Rotate() ([]string, error) {
+	return s.rotate(s.defaultNS())
 }
 
-// handleRotate serves POST /v1/rotate: one whole-daemon rotation,
+// RotateNamespace rotates one tenant's window.
+func (s *Server) RotateNamespace(name string) ([]string, error) {
+	ns, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.rotate(ns)
+}
+
+// RotateAll rotates every windowed namespace (the shbfd -tick driver)
+// and returns the names of the tenants rotated. With no windowed
+// tenant at all it returns ErrNotWindowed, so the tick loop can shut
+// its ticker down.
+func (s *Server) RotateAll() ([]string, error) {
+	var rotated []string
+	for _, ns := range s.snapshotList() {
+		if !ns.windowed() {
+			continue
+		}
+		if _, err := s.rotate(ns); err != nil {
+			return rotated, err
+		}
+		rotated = append(rotated, ns.name)
+	}
+	if len(rotated) == 0 {
+		return nil, ErrNotWindowed
+	}
+	return rotated, nil
+}
+
+// Windowed reports whether the default namespace's filters rotate
+// (i.e. were built with Config.WindowGenerations ≥ 2 or restored from
+// a windowed snapshot).
+func (s *Server) Windowed() bool {
+	return s.defaultNS().windowed()
+}
+
+// nsRotate serves POST /v1/rotate (default namespace) and
+// POST /v2/namespaces/{ns}/rotate: one whole-namespace rotation,
 // answering with the rotated filters and their new epoch.
-func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
-	rotated, err := s.Rotate()
+func (s *Server) nsRotate(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	rotated, err := s.rotate(ns)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrNotWindowed) {
@@ -69,7 +102,7 @@ func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := uint64(0)
-	if win, ok := s.mem.(shbf.Windowed); ok {
+	if win, ok := ns.mem.(shbf.Windowed); ok {
 		epoch = win.Window().Epoch
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rotated": rotated, "epoch": epoch})

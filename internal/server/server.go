@@ -1,41 +1,56 @@
 // Package server implements the query-serving layer behind the shbfd
-// daemon: one logical Shifting Bloom Filter per query kind —
-// membership (ShBF_M), association (CShBF_A), multiplicity (CShBF_X) —
-// exposed over a batch HTTP/JSON API and backed by the lock-striped
-// shards of internal/sharded, so many concurrent clients (the paper's
-// receive queues) query in parallel.
+// daemon. The serving unit is a namespace: one logical Shifting Bloom
+// Filter trio — membership (ShBF_M), association (CShBF_A),
+// multiplicity (CShBF_X) — backed by the lock-striped shards of
+// internal/sharded, so many concurrent clients (the paper's receive
+// queues) query in parallel. One daemon serves many namespaces
+// (multi-tenant), each with its own geometry and window policy, over
+// two transports:
 //
-// Endpoints (all bodies JSON; keys are strings, optionally
-// base64-encoded for binary element IDs such as the paper's 13-byte
-// 5-tuples):
+//   - the v2 HTTP/JSON API, namespace-scoped under /v2/namespaces, plus
+//     the v1 endpoints kept as deprecated shims over the "default"
+//     namespace;
+//   - ShBP, a length-prefixed binary batch protocol (internal/wire) on
+//     a dedicated listener, whose decode feeds the library's batch
+//     paths directly — the transport for small-batch-heavy serving
+//     where JSON decode dominates.
 //
-//	POST /v1/membership/add       {"keys": [...]}
-//	POST /v1/membership/contains  {"keys": [...]}            → per-key booleans
-//	POST /v1/association/add      {"set": 1|2, "keys": [...]}
-//	POST /v1/association/remove   {"set": 1|2, "keys": [...]}
-//	POST /v1/association/classify {"keys": [...]}            → candidate regions
-//	POST /v1/multiplicity/add     {"items": [{"key": k, "count": c}, ...]}
-//	POST /v1/multiplicity/remove  {"items": [...]}
-//	POST /v1/multiplicity/count   {"keys": [...]}            → per-key counts
-//	POST /v1/snapshot                                        → persist all filters
-//	POST /v1/rotate                                          → retire the oldest window generation
-//	GET  /v1/stats                                           → occupancy, FPR, window, counters
-//	GET  /healthz
+// HTTP endpoints (all bodies JSON; {ns} is a namespace name; keys are
+// strings, optionally base64-encoded for binary element IDs such as
+// the paper's 13-byte 5-tuples):
 //
-// With Config.WindowGenerations set the three filters run as sliding
+//	POST   /v2/namespaces                             {"name": ..., overrides...} → create a tenant
+//	GET    /v2/namespaces                             → tenant summaries
+//	DELETE /v2/namespaces/{ns}                        → delete a tenant
+//	POST   /v2/namespaces/{ns}/membership/add         {"keys": [...]}
+//	POST   /v2/namespaces/{ns}/membership/contains    {"keys": [...]}            → per-key booleans
+//	POST   /v2/namespaces/{ns}/association/add        {"set": 1|2, "keys": [...]}
+//	POST   /v2/namespaces/{ns}/association/remove     {"set": 1|2, "keys": [...]}
+//	POST   /v2/namespaces/{ns}/association/classify   {"keys": [...]}            → candidate regions
+//	POST   /v2/namespaces/{ns}/multiplicity/add       {"items": [{"key": k, "count": c}, ...]}
+//	POST   /v2/namespaces/{ns}/multiplicity/remove    {"items": [...]}
+//	POST   /v2/namespaces/{ns}/multiplicity/count     {"keys": [...]}            → per-key counts
+//	POST   /v2/namespaces/{ns}/rotate                                            → retire the tenant's oldest generation
+//	GET    /v2/namespaces/{ns}/stats                                             → occupancy, FPR, window, counters
+//	POST   /v2/snapshot                               {"rotation_consistent": bool} → persist all tenants
+//	GET    /v2/stats                                                             → daemon-wide tenant summaries
+//	GET    /healthz
+//
+// The v1 endpoints (POST /v1/membership/add, ... — see OPERATIONS.md)
+// remain byte-compatible shims over the default namespace.
+//
+// With a namespace's WindowGenerations set its filters run as sliding
 // windows (sharded generation rings, internal/window): writes go to
-// each filter's head generation and POST /v1/rotate — or shbfd's -tick
-// loop — retires the oldest, so answers cover the last G−1..G ticks
-// and memory and error rates stay bounded on endless streams. /v1/stats
-// then carries per-filter window metadata (ring length, epoch,
-// per-generation occupancy).
+// each filter's head generation and a rotation — per-tenant POST
+// .../rotate, or shbfd's -tick loop — retires the oldest, so answers
+// cover the last G−1..G ticks and memory and error rates stay bounded
+// on endless streams.
 //
-// Persistence is snapshot-based: SaveSnapshot serializes all three
-// sharded filters into one file (written atomically), and New reloads
-// it at startup, so answers survive restarts; window rings restore
-// with their head positions and epochs, and the stats endpoint always
-// reads the live (post-restore) filters. See DESIGN.md and
-// OPERATIONS.md for how this layer composes with the core encodings.
+// Persistence is snapshot-based: SaveSnapshot serializes every
+// namespace into one file (written atomically; optionally serialized
+// against rotations for a single-epoch cut), and New reloads it at
+// startup. Pre-namespace snapshots restore into the default namespace.
+// See DESIGN.md §5 and OPERATIONS.md.
 package server
 
 import (
@@ -45,6 +60,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,8 +69,9 @@ import (
 	"shbf/internal/sharded"
 )
 
-// Config sizes the daemon's three filters. The zero value is not
-// usable; start from DefaultConfig.
+// Config sizes the default namespace's filters (and is the base every
+// created namespace inherits from). The zero value is not usable;
+// start from DefaultConfig.
 type Config struct {
 	// MembershipBits is the total ShBF_M bit budget across shards.
 	MembershipBits int
@@ -75,20 +92,20 @@ type Config struct {
 	Shards int
 	// Seed makes the filters deterministic across processes.
 	Seed uint64
-	// SnapshotPath, when non-empty, is the file the /v1/snapshot
-	// endpoint writes and New loads at startup if it exists.
+	// SnapshotPath, when non-empty, is the file the snapshot endpoints
+	// write and New loads at startup if it exists.
 	SnapshotPath string
-	// WindowGenerations, when ≥ 2, runs every filter as a sliding
-	// window of that many generations: writes go to the head
-	// generation and POST /v1/rotate (or the shbfd -tick loop) retires
-	// the oldest, so the daemon answers "seen in the last
-	// WindowGenerations−1..WindowGenerations ticks" and its memory and
-	// false-positive rate stay bounded no matter how long the stream
-	// runs. Zero keeps the classic unbounded filters.
+	// WindowGenerations, when ≥ 2, runs the default namespace's
+	// filters as a sliding window of that many generations: writes go
+	// to the head generation and a rotation retires the oldest, so the
+	// daemon answers "seen in the last WindowGenerations−1..
+	// WindowGenerations ticks" and its memory and false-positive rate
+	// stay bounded no matter how long the stream runs. Zero keeps the
+	// classic unbounded filters.
 	WindowGenerations int
 	// WindowTick is the rotation period recorded in the window specs
 	// and driven by shbfd's -tick loop (zero = rotate only on
-	// /v1/rotate). Requires WindowGenerations ≥ 2.
+	// the rotate endpoints). Requires WindowGenerations ≥ 2.
 	WindowTick time.Duration
 }
 
@@ -108,7 +125,7 @@ func DefaultConfig() Config {
 	}
 }
 
-// counters tallies served queries per endpoint group.
+// counters tallies one namespace's served queries per endpoint group.
 type counters struct {
 	membershipAdd      atomic.Uint64
 	membershipContains atomic.Uint64
@@ -116,11 +133,10 @@ type counters struct {
 	associationQuery   atomic.Uint64
 	multiplicityUpdate atomic.Uint64
 	multiplicityQuery  atomic.Uint64
-	snapshots          atomic.Uint64
 	rotations          atomic.Uint64
 }
 
-// membershipFilter is the serving surface the daemon needs from its
+// membershipFilter is the serving surface a namespace needs from its
 // membership slot; both the classic sharded.Filter and the windowed
 // sharded.Window satisfy it (the latter also satisfies shbf.Windowed).
 type membershipFilter interface {
@@ -155,19 +171,29 @@ type multiplicityFilter interface {
 	ShardStats() []sharded.MultiplicityShardStat
 }
 
-// Server owns the three sharded filters and serves them over HTTP.
-// All methods are safe for concurrent use.
+// Server owns the namespace registry and serves it over HTTP (Handler)
+// and ShBP (ServeShBP). All methods are safe for concurrent use.
 type Server struct {
-	cfg   Config
-	mem   membershipFilter
-	assoc associationFilter
-	mult  multiplicityFilter
-	stats counters
+	cfg Config
+
+	// mu guards the namespaces map; the namespaces themselves are
+	// internally synchronized.
+	mu         sync.RWMutex
+	namespaces map[string]*namespace
+
+	// rotMu serializes rotations against rotation-consistent
+	// snapshots, so such a snapshot captures every shard of every ring
+	// at one epoch.
+	rotMu sync.Mutex
+
+	// snapshots counts persisted snapshots (daemon-wide).
+	snapshots atomic.Uint64
+
 	start time.Time
 }
 
 // Specs returns the three filter specs the config describes, the form
-// the daemon's filters are actually constructed from (via shbf.New).
+// a namespace's filters are actually constructed from (via shbf.New).
 // With WindowGenerations set they are the sliding-window kinds; the
 // window geometry (ring length, tick) travels in the specs and
 // therefore in every snapshot envelope.
@@ -192,34 +218,17 @@ func (cfg Config) Specs() (mem, assoc, mult shbf.Spec) {
 	return mem, assoc, mult
 }
 
-// New builds the filters from cfg and, when cfg.SnapshotPath names an
-// existing file, restores their state from it.
+// New builds the default namespace from cfg and, when cfg.SnapshotPath
+// names an existing file, restores the namespace set from it.
 func New(cfg Config) (*Server, error) {
-	if cfg.WindowGenerations < 0 {
-		return nil, fmt.Errorf("server: negative WindowGenerations %d", cfg.WindowGenerations)
-	}
-	if cfg.WindowTick != 0 && cfg.WindowGenerations < 2 {
-		return nil, fmt.Errorf("server: WindowTick requires WindowGenerations ≥ 2")
-	}
-	memSpec, assocSpec, multSpec := cfg.Specs()
-	memF, err := shbf.New(memSpec)
+	def, err := newNamespace(DefaultNamespace, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("server: membership filter: %w", err)
-	}
-	assocF, err := shbf.New(assocSpec)
-	if err != nil {
-		return nil, fmt.Errorf("server: association filter: %w", err)
-	}
-	multF, err := shbf.New(multSpec)
-	if err != nil {
-		return nil, fmt.Errorf("server: multiplicity filter: %w", err)
+		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		mem:   memF.(membershipFilter),
-		assoc: assocF.(associationFilter),
-		mult:  multF.(multiplicityFilter),
-		start: time.Now(),
+		cfg:        cfg,
+		namespaces: map[string]*namespace{DefaultNamespace: def},
+		start:      time.Now(),
 	}
 	if cfg.SnapshotPath != "" {
 		switch _, err := os.Stat(cfg.SnapshotPath); {
@@ -247,20 +256,55 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP routing table.
+// Handler returns the daemon's HTTP routing table: the namespace-
+// scoped v2 API and the v1 shims over the default namespace.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/membership/add", s.handleMembershipAdd)
-	mux.HandleFunc("POST /v1/membership/contains", s.handleMembershipContains)
-	mux.HandleFunc("POST /v1/association/add", s.handleAssociationAdd)
-	mux.HandleFunc("POST /v1/association/remove", s.handleAssociationRemove)
-	mux.HandleFunc("POST /v1/association/classify", s.handleAssociationClassify)
-	mux.HandleFunc("POST /v1/multiplicity/add", s.handleMultiplicityAdd)
-	mux.HandleFunc("POST /v1/multiplicity/remove", s.handleMultiplicityRemove)
-	mux.HandleFunc("POST /v1/multiplicity/count", s.handleMultiplicityCount)
+
+	// v1: deprecated shims over the default namespace, byte-compatible
+	// with the pre-namespace daemon.
+	def := func(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) { h(s.defaultNS(), w, r) }
+	}
+	mux.HandleFunc("POST /v1/membership/add", def(s.nsMembershipAdd))
+	mux.HandleFunc("POST /v1/membership/contains", def(s.nsMembershipContains))
+	mux.HandleFunc("POST /v1/association/add", def(s.nsAssociationAdd))
+	mux.HandleFunc("POST /v1/association/remove", def(s.nsAssociationRemove))
+	mux.HandleFunc("POST /v1/association/classify", def(s.nsAssociationClassify))
+	mux.HandleFunc("POST /v1/multiplicity/add", def(s.nsMultiplicityAdd))
+	mux.HandleFunc("POST /v1/multiplicity/remove", def(s.nsMultiplicityRemove))
+	mux.HandleFunc("POST /v1/multiplicity/count", def(s.nsMultiplicityCount))
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /v1/rotate", s.handleRotate)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/rotate", def(s.nsRotate))
+	mux.HandleFunc("GET /v1/stats", def(s.nsStats))
+
+	// v2: namespace-scoped.
+	scoped := func(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ns, err := s.lookup(r.PathValue("ns"))
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			h(ns, w, r)
+		}
+	}
+	mux.HandleFunc("POST /v2/namespaces", s.handleNamespaceCreate)
+	mux.HandleFunc("GET /v2/namespaces", s.handleNamespaceList)
+	mux.HandleFunc("DELETE /v2/namespaces/{ns}", s.handleNamespaceDelete)
+	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/add", scoped(s.nsMembershipAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/contains", scoped(s.nsMembershipContains))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/add", scoped(s.nsAssociationAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/remove", scoped(s.nsAssociationRemove))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/classify", scoped(s.nsAssociationClassify))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/add", scoped(s.nsMultiplicityAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/remove", scoped(s.nsMultiplicityRemove))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/count", scoped(s.nsMultiplicityCount))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/rotate", scoped(s.nsRotate))
+	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped(s.nsStats))
+	mux.HandleFunc("POST /v2/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v2/stats", s.handleDaemonStats)
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)

@@ -320,14 +320,15 @@ func TestSnapshotV1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.mem.Add([]byte("v1-member"))
-	if err := srv.mult.Insert([]byte("v1-flow")); err != nil {
+	def := srv.defaultNS()
+	def.mem.Add([]byte("v1-member"))
+	if err := def.mult.Insert([]byte("v1-flow")); err != nil {
 		t.Fatal(err)
 	}
 
 	// Hand-write the v1 container around the filters' own blobs.
 	buf := append([]byte(daemonSnapMagic), daemonSnapVersionV1)
-	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{srv.mem, srv.assoc, srv.mult} {
+	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{def.mem, def.assoc, def.mult} {
 		blob, err := m.MarshalBinary()
 		if err != nil {
 			t.Fatal(err)
@@ -347,35 +348,47 @@ func TestSnapshotV1Compat(t *testing.T) {
 	if err := restored.LoadSnapshot(path); err != nil {
 		t.Fatalf("v1 snapshot rejected: %v", err)
 	}
-	if !restored.mem.Contains([]byte("v1-member")) {
+	if !restored.defaultNS().mem.Contains([]byte("v1-member")) {
 		t.Fatal("v1 restore lost the member")
 	}
-	if c := restored.mult.Count([]byte("v1-flow")); c != 1 {
+	if c := restored.defaultNS().mult.Count([]byte("v1-flow")); c != 1 {
 		t.Fatalf("v1 restore count = %d, want 1", c)
 	}
 }
 
-// TestSnapshotRejectsDuplicateKinds: a v2 snapshot must hold exactly
-// one filter of each kind; a duplicate would leave another slot
-// silently empty.
+// TestSnapshotRejectsDuplicateKinds: a namespace's snapshot section
+// must hold exactly one filter of each kind; a duplicate would leave
+// another slot silently empty. Exercised in both the pre-namespace v2
+// container and a v3 namespace section.
 func TestSnapshotRejectsDuplicateKinds(t *testing.T) {
 	cfg := testConfig()
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := append([]byte(daemonSnapMagic), daemonSnapVersion)
-	for _, f := range []shbf.Filter{srv.mem, srv.mem, srv.assoc} {
-		if buf, err = shbf.AppendDump(buf, f); err != nil {
+	def := srv.defaultNS()
+	dupes := func(buf []byte) []byte {
+		t.Helper()
+		for _, f := range []shbf.Filter{def.mem, def.mem, def.assoc} {
+			if buf, err = shbf.AppendDump(buf, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf
+	}
+	v2 := dupes(append([]byte(daemonSnapMagic), daemonSnapVersionV2))
+	v3 := append([]byte(daemonSnapMagic), daemonSnapVersion)
+	v3 = binary.AppendUvarint(v3, 1)
+	v3 = binary.AppendUvarint(v3, uint64(len(DefaultNamespace)))
+	v3 = dupes(append(v3, DefaultNamespace...))
+	for name, snap := range map[string][]byte{"v2": v2, "v3": v3} {
+		path := filepath.Join(t.TempDir(), "dup.shbf")
+		if err := os.WriteFile(path, snap, 0o644); err != nil {
 			t.Fatal(err)
 		}
-	}
-	path := filepath.Join(t.TempDir(), "dup.shbf")
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := srv.LoadSnapshot(path); err == nil {
-		t.Fatal("snapshot with duplicate kinds accepted")
+		if err := srv.LoadSnapshot(path); err == nil {
+			t.Fatalf("%s snapshot with duplicate kinds accepted", name)
+		}
 	}
 }
 

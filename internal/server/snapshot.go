@@ -11,33 +11,58 @@ import (
 )
 
 // The daemon snapshot is a thin container over the root package's
-// self-describing envelopes: 4-byte magic "ShBD", a version byte, then
-// the three filters as concatenated shbf.Dump envelopes. Each envelope
-// carries its own kind tag and length, so the restore loop is fully
-// generic — shbf.Decode reconstructs each filter and a type switch
-// slots it into place, in any order. Geometry and seeds travel inside
-// the envelopes, so a restored daemon answers identically even if its
-// flags changed — the snapshot wins.
+// self-describing envelopes. Version 3 (current) is multi-tenant:
+// 4-byte magic "ShBD", a version byte, a uvarint namespace count, then
+// per namespace (sorted by name) a uvarint-length-prefixed name
+// followed by the tenant's three filters as concatenated shbf.Dump
+// envelopes. Each envelope carries its own kind tag and length, so the
+// restore loop is fully generic — shbf.Decode reconstructs each filter
+// and a type switch slots it into place, in any order. Geometry and
+// seeds travel inside the envelopes, so a restored daemon answers
+// identically even if its flags changed — the snapshot wins.
 //
-// Version 1 (pre-envelope) snapshots — three bare length-prefixed
-// MarshalBinary blobs in fixed order — are still restored.
+// Older containers still restore, into the default namespace:
+// version 2 (pre-namespace) is three bare concatenated envelopes;
+// version 1 (pre-envelope) is three bare length-prefixed MarshalBinary
+// blobs in fixed order.
 
 const (
-	daemonSnapVersion   = 2
+	daemonSnapVersion   = 3
+	daemonSnapVersionV2 = 2
 	daemonSnapVersionV1 = 1
 	daemonSnapMagic     = "ShBD"
 )
 
-// SaveSnapshot atomically writes the full filter state to path (via a
-// temp file and rename in the same directory) and returns the byte
-// count written. Each shard is serialized under its read lock; queries
-// keep flowing while the snapshot is cut.
+// SaveSnapshot atomically writes every namespace's filter state to
+// path (via a temp file and rename in the same directory) and returns
+// the byte count written. Each shard is serialized under its read
+// lock; queries keep flowing while the snapshot is cut, and window
+// shards may be captured at adjacent epochs if a rotation interleaves
+// (use SaveSnapshotOpts for a single-epoch cut).
 func (s *Server) SaveSnapshot(path string) (int, error) {
+	return s.SaveSnapshotOpts(path, false)
+}
+
+// SaveSnapshotOpts is SaveSnapshot with options: rotationConsistent
+// excludes rotations for the duration of the cut, so every shard of
+// every window ring is captured at one epoch (rotations queue behind
+// the serialization; queries and writes are never blocked).
+func (s *Server) SaveSnapshotOpts(path string, rotationConsistent bool) (int, error) {
+	if rotationConsistent {
+		s.rotMu.Lock()
+		defer s.rotMu.Unlock()
+	}
+	list := s.snapshotList()
 	buf := append([]byte(daemonSnapMagic), daemonSnapVersion)
-	for _, f := range []shbf.Filter{s.mem, s.assoc, s.mult} {
-		var err error
-		if buf, err = shbf.AppendDump(buf, f); err != nil {
-			return 0, fmt.Errorf("server: snapshot: %w", err)
+	buf = binary.AppendUvarint(buf, uint64(len(list)))
+	for _, ns := range list {
+		buf = binary.AppendUvarint(buf, uint64(len(ns.name)))
+		buf = append(buf, ns.name...)
+		for _, f := range ns.filters() {
+			var err error
+			if buf, err = shbf.AppendDump(buf, f.filter); err != nil {
+				return 0, fmt.Errorf("server: snapshot: namespace %q: %w", ns.name, err)
+			}
 		}
 	}
 	dir := filepath.Dir(path)
@@ -63,7 +88,7 @@ func (s *Server) SaveSnapshot(path string) (int, error) {
 	return len(buf), nil
 }
 
-// LoadSnapshot replaces the filters' state with the snapshot at path.
+// LoadSnapshot replaces the namespace set with the snapshot at path.
 // It must not run concurrently with queries; the daemon only calls it
 // before serving.
 func (s *Server) LoadSnapshot(path string) error {
@@ -76,7 +101,15 @@ func (s *Server) LoadSnapshot(path string) error {
 	}
 	switch data[4] {
 	case daemonSnapVersion:
-		return s.restoreEnvelopes(data[5:])
+		return s.restoreV3(data[5:])
+	case daemonSnapVersionV2:
+		// Pre-namespace: three bare envelopes → the default namespace.
+		ns, err := restoreTrio(DefaultNamespace, data[5:])
+		if err != nil {
+			return err
+		}
+		s.installNamespaces(map[string]*namespace{DefaultNamespace: ns})
+		return nil
 	case daemonSnapVersionV1:
 		return s.restoreV1(data[5:])
 	default:
@@ -84,70 +117,122 @@ func (s *Server) LoadSnapshot(path string) error {
 	}
 }
 
-// restoreEnvelopes walks the concatenated envelopes, slotting each
-// decoded filter by its concrete type — windowed or classic; the
-// snapshot decides, not the flags. Exactly one filter per slot must
-// arrive — a duplicate would silently leave another slot empty.
-func (s *Server) restoreEnvelopes(buf []byte) error {
-	var mem membershipFilter
-	var assoc associationFilter
-	var mult multiplicityFilter
-	seen := 0
-	for len(buf) > 0 {
+// restoreV3 reads the multi-tenant container: per namespace, a name
+// and exactly three envelopes.
+func (s *Server) restoreV3(buf []byte) error {
+	count, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return fmt.Errorf("server: snapshot namespace count truncated")
+	}
+	if count == 0 || count > maxNamespaces {
+		return fmt.Errorf("server: snapshot holds %d namespaces, want 1–%d", count, maxNamespaces)
+	}
+	buf = buf[sz:]
+	set := make(map[string]*namespace, count)
+	for i := uint64(0); i < count; i++ {
+		n, nsz := binary.Uvarint(buf)
+		if nsz <= 0 || n > uint64(len(buf)-nsz) {
+			return fmt.Errorf("server: snapshot namespace %d name truncated", i)
+		}
+		name := string(buf[nsz : nsz+int(n)])
+		buf = buf[nsz+int(n):]
+		if err := validNamespaceName(name); err != nil {
+			return fmt.Errorf("server: snapshot namespace %d: %w", i, err)
+		}
+		if set[name] != nil {
+			return fmt.Errorf("server: snapshot holds namespace %q twice", name)
+		}
+		ns, rest, err := restoreTrioPrefix(name, buf)
+		if err != nil {
+			return err
+		}
+		set[name] = ns
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("server: %d trailing snapshot bytes", len(buf))
+	}
+	if set[DefaultNamespace] == nil {
+		return fmt.Errorf("server: snapshot holds no %q namespace", DefaultNamespace)
+	}
+	s.installNamespaces(set)
+	return nil
+}
+
+// restoreTrio decodes exactly three envelopes spanning all of buf into
+// one namespace.
+func restoreTrio(name string, buf []byte) (*namespace, error) {
+	ns, rest, err := restoreTrioPrefix(name, buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: namespace %q: %d trailing snapshot bytes", name, len(rest))
+	}
+	return ns, nil
+}
+
+// restoreTrioPrefix decodes three envelopes from the front of buf,
+// slotting each decoded filter by its concrete type — windowed or
+// classic; the snapshot decides, not the flags. Exactly one filter per
+// slot must arrive — a duplicate would silently leave another slot
+// empty.
+func restoreTrioPrefix(name string, buf []byte) (*namespace, []byte, error) {
+	ns := &namespace{name: name}
+	for i := 0; i < 3; i++ {
 		var (
 			f   shbf.Filter
 			err error
 		)
 		f, buf, err = shbf.Decode(buf)
 		if err != nil {
-			return fmt.Errorf("server: snapshot envelope %d: %w", seen, err)
+			return nil, nil, fmt.Errorf("server: namespace %q envelope %d: %w", name, i, err)
 		}
 		switch f := f.(type) {
 		case *sharded.Filter:
-			if mem != nil {
-				return fmt.Errorf("server: snapshot holds two membership filters")
+			if ns.mem != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two membership filters", name)
 			}
-			mem = f
+			ns.mem = f
 		case *sharded.Window:
-			if mem != nil {
-				return fmt.Errorf("server: snapshot holds two membership filters")
+			if ns.mem != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two membership filters", name)
 			}
-			mem = f
+			ns.mem = f
 		case *sharded.Association:
-			if assoc != nil {
-				return fmt.Errorf("server: snapshot holds two association filters")
+			if ns.assoc != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two association filters", name)
 			}
-			assoc = f
+			ns.assoc = f
 		case *sharded.WindowAssociation:
-			if assoc != nil {
-				return fmt.Errorf("server: snapshot holds two association filters")
+			if ns.assoc != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two association filters", name)
 			}
-			assoc = f
+			ns.assoc = f
 		case *sharded.Multiplicity:
-			if mult != nil {
-				return fmt.Errorf("server: snapshot holds two multiplicity filters")
+			if ns.mult != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two multiplicity filters", name)
 			}
-			mult = f
+			ns.mult = f
 		case *sharded.WindowMultiplicity:
-			if mult != nil {
-				return fmt.Errorf("server: snapshot holds two multiplicity filters")
+			if ns.mult != nil {
+				return nil, nil, fmt.Errorf("server: namespace %q holds two multiplicity filters", name)
 			}
-			mult = f
+			ns.mult = f
 		default:
-			return fmt.Errorf("server: snapshot holds unexpected %s filter", f.Kind())
+			return nil, nil, fmt.Errorf("server: namespace %q holds unexpected %s filter", name, f.Kind())
 		}
-		seen++
 	}
-	if mem == nil || assoc == nil || mult == nil {
-		return fmt.Errorf("server: snapshot holds %d filters, want one per query kind", seen)
+	if ns.mem == nil || ns.assoc == nil || ns.mult == nil {
+		return nil, nil, fmt.Errorf("server: namespace %q is missing a query kind", name)
 	}
-	s.mem, s.assoc, s.mult = mem, assoc, mult
-	return nil
+	return ns, buf, nil
 }
 
 // restoreV1 reads the pre-envelope format: three bare length-prefixed
 // blobs in membership, association, multiplicity order. V1 snapshots
-// predate the window kinds, so the slots restore as classic filters.
+// predate the window kinds and namespaces, so they restore as the
+// classic filters of the default namespace.
 func (s *Server) restoreV1(buf []byte) error {
 	mem, assoc, mult := new(sharded.Filter), new(sharded.Association), new(sharded.Multiplicity)
 	for i, u := range []interface{ UnmarshalBinary([]byte) error }{mem, assoc, mult} {
@@ -164,6 +249,15 @@ func (s *Server) restoreV1(buf []byte) error {
 	if len(buf) != 0 {
 		return fmt.Errorf("server: %d trailing snapshot bytes", len(buf))
 	}
-	s.mem, s.assoc, s.mult = mem, assoc, mult
+	s.installNamespaces(map[string]*namespace{DefaultNamespace: {
+		name: DefaultNamespace, mem: mem, assoc: assoc, mult: mult,
+	}})
 	return nil
+}
+
+// installNamespaces replaces the registry with a restored set.
+func (s *Server) installNamespaces(set map[string]*namespace) {
+	s.mu.Lock()
+	s.namespaces = set
+	s.mu.Unlock()
 }

@@ -129,26 +129,32 @@ type MultiplicityStats struct {
 	Window               *WindowStats     `json:"window,omitempty"`
 }
 
-// Snapshot gathers the current stats (exported for tests and for
-// embedding shbfd in other processes).
-func (s *Server) Snapshot() Stats {
+// Snapshot gathers the default namespace's current stats (exported
+// for tests and for embedding shbfd in other processes); statsFor is
+// the per-tenant form behind /v1/stats and /v2/namespaces/{ns}/stats.
+func (s *Server) Snapshot() Stats { return s.statsFor(s.defaultNS()) }
+
+// statsFor assembles one namespace's stats. The "snapshots" counter is
+// daemon-wide (persistence covers every tenant); the rest are the
+// namespace's own.
+func (s *Server) statsFor(ns *namespace) Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries: map[string]uint64{
-			"membership_add":      s.stats.membershipAdd.Load(),
-			"membership_contains": s.stats.membershipContains.Load(),
-			"association_update":  s.stats.associationUpdate.Load(),
-			"association_query":   s.stats.associationQuery.Load(),
-			"multiplicity_update": s.stats.multiplicityUpdate.Load(),
-			"multiplicity_query":  s.stats.multiplicityQuery.Load(),
-			"snapshots":           s.stats.snapshots.Load(),
-			"rotations":           s.stats.rotations.Load(),
+			"membership_add":      ns.stats.membershipAdd.Load(),
+			"membership_contains": ns.stats.membershipContains.Load(),
+			"association_update":  ns.stats.associationUpdate.Load(),
+			"association_query":   ns.stats.associationQuery.Load(),
+			"multiplicity_update": ns.stats.multiplicityUpdate.Load(),
+			"multiplicity_query":  ns.stats.multiplicityQuery.Load(),
+			"snapshots":           s.snapshots.Load(),
+			"rotations":           ns.stats.rotations.Load(),
 		},
 	}
 
-	mem := s.mem.ShardStats()
+	mem := ns.mem.ShardStats()
 	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem)),
-		Window: windowStatsOf(s.mem)}
+		Window: windowStatsOf(ns.mem)}
 	// In window mode a shard's N spans its whole ring; one generation
 	// carries ≈ N/G of it, and a negative probe passes if any of the G
 	// generations false-positives: 1 − (1−f_gen)^G (analytic.FPRWindow).
@@ -172,8 +178,8 @@ func (s *Server) Snapshot() Stats {
 	ms.EstimatedFPR = fprSum / float64(len(mem))
 	st.Membership = ms
 
-	as := AssociationStats{Window: windowStatsOf(s.assoc)}
-	ash := s.assoc.ShardStats()
+	as := AssociationStats{Window: windowStatsOf(ns.assoc)}
+	ash := ns.assoc.ShardStats()
 	as.Shards = len(ash)
 	as.PerShard = make([]ShardOccupancy, len(ash))
 	// In window mode a shard's N1+N2 spans the whole ring and a query
@@ -204,8 +210,8 @@ func (s *Server) Snapshot() Stats {
 	as.ClearProb = analytic.ClearProbShBFA(as.K)
 	st.Association = as
 
-	xs := MultiplicityStats{Window: windowStatsOf(s.mult)}
-	xsh := s.mult.ShardStats()
+	xs := MultiplicityStats{Window: windowStatsOf(ns.mult)}
+	xsh := ns.mult.ShardStats()
 	xs.Shards = len(xsh)
 	xs.PerShard = make([]ShardOccupancy, len(xsh))
 	// Window counts sum the ring, so a non-member reports 0 only when
@@ -238,6 +244,8 @@ func (s *Server) Snapshot() Stats {
 	return st
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+// nsStats serves GET /v1/stats (default namespace) and
+// GET /v2/namespaces/{ns}/stats.
+func (s *Server) nsStats(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsFor(ns))
 }

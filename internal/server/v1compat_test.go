@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shbf"
+)
+
+// The v1 endpoints are deprecated shims over the v2 namespace core.
+// This file freezes their wire behavior: the responses for the
+// fixtures exercised by server_test.go must stay byte-identical to the
+// pre-namespace daemon's, so existing clients never notice the
+// redesign underneath.
+
+// rawPost returns the exact response bytes and status for a v1 call.
+func rawPost(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestV1CompatByteIdentical pins the v1 response bytes (shape, field
+// order, trailing newline) for the op endpoints, against literals
+// captured from the pre-namespace implementation.
+func TestV1CompatByteIdentical(t *testing.T) {
+	ts := newTestServer(t, testConfig())
+	cases := []struct {
+		name       string
+		path, body string
+		wantStatus int
+		want       string
+	}{
+		{"membership add", "/v1/membership/add",
+			`{"keys":["alpha","beta","gamma"]}`, 200,
+			`{"added":3}` + "\n"},
+		{"membership contains", "/v1/membership/contains",
+			`{"keys":["alpha","beta","gamma","delta"]}`, 200,
+			`{"results":[true,true,true,false]}` + "\n"},
+		{"association add s1", "/v1/association/add",
+			`{"set":1,"keys":["only1","shared"]}`, 200,
+			`{"applied":2}` + "\n"},
+		{"association add s2", "/v1/association/add",
+			`{"set":2,"keys":["only2","shared"]}`, 200,
+			`{"applied":2}` + "\n"},
+		{"association classify", "/v1/association/classify",
+			`{"keys":["only1","neither"]}`, 200,
+			`{"results":[{"region":"S1−S2","candidates":["s1-only"],"clear":true,"in_s1":true,"in_s2":false},` +
+				`{"region":"∅","candidates":[],"clear":false,"in_s1":false,"in_s2":false}]}` + "\n"},
+		{"association bad set", "/v1/association/add",
+			`{"set":3,"keys":["x"]}`, 400,
+			`{"error":"set must be 1 or 2, got 3"}` + "\n"},
+		{"association remove absent", "/v1/association/remove",
+			`{"set":1,"keys":["absent"]}`, 409,
+			`{"applied":0,"error":"core: element not stored"}` + "\n"},
+		{"multiplicity add", "/v1/multiplicity/add",
+			`{"items":[{"key":"once"},{"key":"thrice","count":3}]}`, 200,
+			`{"applied":4}` + "\n"},
+		{"multiplicity count", "/v1/multiplicity/count",
+			`{"keys":["once","thrice","never"]}`, 200,
+			`{"counts":[1,3,0]}` + "\n"},
+		{"multiplicity overflow", "/v1/multiplicity/add",
+			`{"items":[{"key":"big","count":20}]}`, 409,
+			`{"applied":16,"error":"item 0: core: multiplicity exceeds configured maximum c"}` + "\n"},
+		{"rotate without window", "/v1/rotate", `{}`, 409,
+			`{"error":"server: filters are not windowed (start shbfd with -window)"}` + "\n"},
+		{"unknown fields rejected", "/v1/membership/add",
+			`{"keyz":["a"]}`, 400,
+			`{"error":"decoding request: json: unknown field \"keyz\""}` + "\n"},
+	}
+	for _, tc := range cases {
+		status, got := rawPost(t, ts.URL+tc.path, tc.body)
+		if status != tc.wantStatus {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, status, tc.wantStatus, got)
+		}
+		if string(got) != tc.want {
+			t.Fatalf("%s: response drifted from the v1 contract:\n got: %q\nwant: %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestV1StatsShapeFrozen: the /v1/stats document keeps exactly the
+// pre-namespace key set (no additions, no removals — additions belong
+// to /v2).
+func TestV1StatsShapeFrozen(t *testing.T) {
+	ts := newTestServer(t, testConfig())
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_seconds", "queries", "membership", "association", "multiplicity"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("stats lost key %q", key)
+		}
+		delete(doc, key)
+	}
+	for key := range doc {
+		t.Fatalf("stats grew key %q (v1 is frozen; add to /v2)", key)
+	}
+	var queries map[string]uint64
+	get(t, ts.URL+"/v1/stats", &struct {
+		Queries *map[string]uint64 `json:"queries"`
+	}{&queries})
+	for _, key := range []string{"membership_add", "membership_contains", "association_update",
+		"association_query", "multiplicity_update", "multiplicity_query", "snapshots", "rotations"} {
+		if _, ok := queries[key]; !ok {
+			t.Fatalf("queries lost counter %q", key)
+		}
+		delete(queries, key)
+	}
+	for key := range queries {
+		t.Fatalf("queries grew counter %q", key)
+	}
+}
+
+// TestPreNamespaceSnapshotStatsIdentical is the acceptance check: a
+// pre-namespace (ShBD v2) snapshot restores into the default namespace
+// and /v1/stats answers identically to the daemon that wrote the
+// state, modulo uptime.
+func TestPreNamespaceSnapshotStatsIdentical(t *testing.T) {
+	cfg := testConfig()
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := orig.defaultNS()
+	for i := 0; i < 200; i++ {
+		def.mem.Add([]byte{byte(i), byte(i >> 8), 0xaa})
+	}
+	if err := def.assoc.InsertS1([]byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := def.mult.Insert([]byte("flow")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-write the pre-namespace container: magic, version 2, three
+	// bare envelopes.
+	buf := append([]byte(daemonSnapMagic), daemonSnapVersionV2)
+	for _, f := range []shbf.Filter{def.mem, def.assoc, def.mult} {
+		if buf, err = shbf.AppendDump(buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "v2.shbf")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(path); err != nil {
+		t.Fatalf("pre-namespace snapshot rejected: %v", err)
+	}
+
+	statsBytes := func(s *Server) []byte {
+		t.Helper()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		st.UptimeSeconds = 0 // the only field allowed to differ
+		out, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want, got := statsBytes(orig), statsBytes(restored)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("/v1/stats diverged after pre-namespace restore:\n want: %s\n got: %s", want, got)
+	}
+	if !restored.defaultNS().mem.Contains([]byte{0, 0, 0xaa}) {
+		t.Fatal("restored member lost")
+	}
+}

@@ -11,6 +11,7 @@ package sizing
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"shbf/internal/analytic"
 	"shbf/internal/core"
@@ -123,6 +124,72 @@ func Association(nDistinct int, target float64) (AssociationPlan, error) {
 		K:              k,
 		PredictedClear: analytic.ClearProbShBFA(k),
 		BitsPerElem:    float64(m) / float64(nDistinct),
+	}, nil
+}
+
+// WindowPlan is a sized sliding-window membership configuration: the
+// per-generation ShBF_M geometry plus the ring length, produced by
+// [Window]. It replaces the manual recipe of dividing the window
+// target by G by hand (OPERATIONS.md §5): a window query passes if any
+// of the G generations false-positives, so the per-generation budget
+// is 1−(1−target)^(1/G) ≈ target/G, evaluated at one tick's worth of
+// keys — the load a generation accumulates while it is the write head.
+type WindowPlan struct {
+	// Generation is the per-generation geometry, sized at nPerTick
+	// keys and the derived per-generation FPR budget.
+	Generation MembershipPlan
+	// Generations is the ring length G.
+	Generations int
+	// PredictedWindowFPR is the window bound 1−(1−f_gen)^G at the
+	// generation plan's predicted rate (analytic.FPRWindow).
+	PredictedWindowFPR float64
+	// TotalBits is the steady-state footprint, G × Generation.M.
+	TotalBits int
+}
+
+// Spec returns the per-generation construction spec (KindMembership) —
+// the base Spec to pass to shbf.NewWindow together with WindowOpts
+// {Generations: p.Generations, Tick: ...}. Change Kind (and set
+// Shards) for the sharded composition of the same geometry.
+func (p WindowPlan) Spec() core.Spec { return p.Generation.Spec() }
+
+// WindowSpec returns the complete sliding-window spec
+// (KindWindowMembership with the ring length and tick attached), ready
+// to feed shbf.New directly.
+func (p WindowPlan) WindowSpec(tick time.Duration) core.Spec {
+	s := p.Generation.Spec()
+	s.Kind = core.KindWindowMembership
+	s.Generations = p.Generations
+	s.Tick = tick
+	return s
+}
+
+// Window sizes a sliding-window membership filter: nPerTick is the
+// expected insert rate per rotation period (the keys one generation
+// accumulates as the write head), g the ring length, target the
+// whole-window false-positive bound, wbar the maximum offset (pass
+// core.DefaultMaxOffset for the standard 57). The returned plan's
+// per-generation FPR budget is 1−(1−target)^(1/g), so the union over
+// the ring stays at or below target.
+func Window(nPerTick, g int, target float64, wbar int) (WindowPlan, error) {
+	if g < 2 {
+		return WindowPlan{}, fmt.Errorf("sizing: window needs g ≥ 2 generations, got %d", g)
+	}
+	if target <= 0 || target >= 1 {
+		return WindowPlan{}, fmt.Errorf("sizing: target window FPR %v out of (0,1)", target)
+	}
+	// Per-generation budget via expm1/log1p: for sub-epsilon targets
+	// the naive 1−(1−t)^(1/g) underflows to 0.
+	perGen := -math.Expm1(math.Log1p(-target) / float64(g))
+	gen, err := Membership(nPerTick, perGen, wbar)
+	if err != nil {
+		return WindowPlan{}, err
+	}
+	return WindowPlan{
+		Generation:         gen,
+		Generations:        g,
+		PredictedWindowFPR: analytic.FPRWindow(gen.PredictedFPR, g),
+		TotalBits:          g * gen.M,
 	}, nil
 }
 

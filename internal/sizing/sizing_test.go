@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"shbf/internal/core"
+	"shbf/internal/window"
 )
 
 func TestMembershipMeetsTarget(t *testing.T) {
@@ -141,5 +142,90 @@ func TestMultiplicityFigure11Regime(t *testing.T) {
 	}
 	if plan.BitsPerElem > 30 {
 		t.Fatalf("%0.1f bits/elem — oversized vs the paper's ≈17", plan.BitsPerElem)
+	}
+}
+
+func TestWindowPlanMeetsTarget(t *testing.T) {
+	for _, target := range []float64{0.05, 0.001, 1e-6} {
+		for _, g := range []int{2, 4, 8} {
+			plan, err := Window(10000, g, target, core.DefaultMaxOffset)
+			if err != nil {
+				t.Fatalf("g=%d target=%v: %v", g, target, err)
+			}
+			if plan.PredictedWindowFPR > target {
+				t.Fatalf("g=%d target=%v: predicted window FPR %v exceeds target",
+					g, target, plan.PredictedWindowFPR)
+			}
+			if plan.TotalBits != g*plan.Generation.M {
+				t.Fatalf("g=%d: total bits %d ≠ %d×%d", g, plan.TotalBits, g, plan.Generation.M)
+			}
+			// The per-generation budget must be the split target, not the
+			// whole target (the manual mistake the planner replaces), and
+			// not absurdly tighter than target/g.
+			if plan.Generation.PredictedFPR > target {
+				t.Fatalf("g=%d: per-generation FPR %v above the window target", g, plan.Generation.PredictedFPR)
+			}
+			if lo := target / float64(g) / 4; plan.Generation.PredictedFPR < lo {
+				t.Fatalf("g=%d target=%v: per-generation FPR %v oversized (budget ≈ %v)",
+					g, target, plan.Generation.PredictedFPR, target/float64(g))
+			}
+			ws := plan.WindowSpec(0)
+			if ws.Kind != core.KindWindowMembership || ws.Generations != g || ws.M != plan.Generation.M {
+				t.Fatalf("g=%d: window spec %+v inconsistent with plan", g, ws)
+			}
+			if err := ws.Validate(); err != nil {
+				t.Fatalf("g=%d: window spec invalid: %v", g, err)
+			}
+		}
+	}
+	if _, err := Window(1000, 1, 0.01, core.DefaultMaxOffset); err == nil {
+		t.Error("accepted a one-generation window")
+	}
+	if _, err := Window(1000, 4, 0, core.DefaultMaxOffset); err == nil {
+		t.Error("accepted target=0")
+	}
+}
+
+func TestWindowPlanIsEmpirical(t *testing.T) {
+	// A ring built from the plan, driven at nPerTick keys per rotation,
+	// must meet the window target in steady state.
+	const nPerTick, g = 5000, 3
+	const target = 0.01
+	plan, err := Window(nPerTick, g, target, core.DefaultMaxOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := plan.WindowSpec(0)
+	spec.Seed = 1
+	w, err := window.NewMembership(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	key := func(tag byte, i int) []byte {
+		e := make([]byte, 13)
+		rng.Read(e)
+		e[0], e[1], e[12] = byte(i), byte(i>>8), tag
+		return e
+	}
+	// 2G ticks reach steady state: every generation carries one tick's
+	// load.
+	for tick := 0; tick < 2*g; tick++ {
+		for i := 0; i < nPerTick; i++ {
+			w.Add(key(0, i))
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp, probes := 0, 100000
+	for i := 0; i < probes; i++ {
+		if w.Contains(key(0xFF, i)) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(probes)
+	if got > target*1.5 {
+		t.Fatalf("measured window FPR %v vs target %v", got, target)
 	}
 }

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShBPDecode feeds arbitrary bytes to both frame decoders: no
+// input may panic, and any input a decoder accepts must re-encode into
+// a frame the decoder accepts again (decode/encode/decode agreement on
+// the visible fields). Truncated and garbage frames must error, which
+// the seed corpus exercises directly.
+func FuzzShBPDecode(f *testing.F) {
+	// Valid frames (length prefix stripped) seed the mutator near the
+	// interesting surface.
+	seeds := []*Request{
+		{Op: OpPing},
+		{Op: OpMembershipAdd, Namespace: "default", KeyWidth: 13,
+			Keys: [][]byte{bytes.Repeat([]byte{7}, 13)}},
+		{Op: OpMembershipContains, Keys: [][]byte{[]byte("k1"), []byte("k2")}},
+		{Op: OpAssociationAdd, Set: 1, Keys: [][]byte{[]byte("x")}},
+		{Op: OpMultiplicityAdd, Keys: [][]byte{[]byte("x")}, Counts: []int{3}},
+		{Op: OpNamespaceCreate, Namespace: "t", Blob: []byte(`{"shards":2}`)},
+	}
+	for _, req := range seeds {
+		buf, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[4:])
+	}
+	// Truncations and bit flips of a valid frame.
+	whole := mustRequest(&Request{Op: OpMultiplicityAdd, Namespace: "ns",
+		Keys: [][]byte{[]byte("abc"), []byte("defg")}, Counts: []int{1, 2}})[4:]
+	for cut := 0; cut < len(whole); cut += 3 {
+		f.Add(whole[:cut])
+	}
+	responses := []*Response{
+		{Status: StatusOK, Op: OpMembershipContains, Bools: []bool{true, false, true}},
+		{Status: StatusOK, Op: OpRotate, Epoch: 3, Rotated: []string{"membership"}},
+		{Status: StatusConflict, Op: OpMultiplicityAdd, Msg: "overflow"},
+	}
+	for _, resp := range responses {
+		buf, err := AppendResponse(nil, resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[4:])
+	}
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var req Request
+		if err := DecodeRequest(&req, frame); err == nil {
+			// Accepted frames must re-encode and decode identically.
+			buf, err := AppendRequest(nil, &req)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			var again Request
+			if err := DecodeRequest(&again, buf[4:]); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if again.Op != req.Op || again.Set != req.Set || again.Namespace != req.Namespace ||
+				len(again.Keys) != len(req.Keys) || len(again.Counts) != len(req.Counts) {
+				t.Fatalf("round trip changed the request: %+v != %+v", again, req)
+			}
+			for i := range req.Keys {
+				if !bytes.Equal(again.Keys[i], req.Keys[i]) {
+					t.Fatalf("round trip changed key %d", i)
+				}
+			}
+		}
+		var resp Response
+		_ = DecodeResponse(&resp, frame) // must not panic
+	})
+}

@@ -329,12 +329,13 @@ type ShardedWindowAssociation = sharded.WindowAssociation
 // [WindowMultiplicity]; see [ShardedWindowMembership].
 type ShardedWindowMultiplicity = sharded.WindowMultiplicity
 
-// MembershipPlan, AssociationPlan and MultiplicityPlan are sized filter
-// geometries produced by the Plan* helpers.
+// MembershipPlan, AssociationPlan, MultiplicityPlan and WindowPlan are
+// sized filter geometries produced by the Plan* helpers.
 type (
 	MembershipPlan   = sizing.MembershipPlan
 	AssociationPlan  = sizing.AssociationPlan
 	MultiplicityPlan = sizing.MultiplicityPlan
+	WindowPlan       = sizing.WindowPlan
 )
 
 // PlanMembership returns the smallest ShBF_M geometry whose predicted
@@ -354,4 +355,21 @@ func PlanAssociation(nDistinct int, targetClear float64) (AssociationPlan, error
 // elements with counts up to c.
 func PlanMultiplicity(n, c int, targetCR float64) (MultiplicityPlan, error) {
 	return sizing.Multiplicity(n, c, targetCR)
+}
+
+// PlanWindow sizes a sliding-window membership filter for nPerTick
+// inserts per rotation period, a ring of generations, and a whole-
+// window false-positive bound: the per-generation budget is
+// 1−(1−targetFPR)^(1/generations) evaluated at nPerTick keys, so the
+// union over the ring meets the target. The plan's Spec method is the
+// per-generation base Spec for [NewWindow]:
+//
+//	plan, _ := shbf.PlanWindow(100_000, 4, 0.001)
+//	f, _ := shbf.NewWindow(plan.Spec(),
+//		shbf.WindowOpts{Generations: plan.Generations, Tick: time.Minute})
+//
+// or use plan.WindowSpec(tick) with [New] directly. Steady-state
+// memory is plan.TotalBits = generations × plan.Generation.M.
+func PlanWindow(nPerTick, generations int, targetFPR float64) (WindowPlan, error) {
+	return sizing.Window(nPerTick, generations, targetFPR, DefaultMaxOffset)
 }
