@@ -1,0 +1,436 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shbf"
+	"shbf/internal/cluster"
+	"shbf/internal/hashing"
+	"shbf/internal/wire"
+)
+
+// Cluster-mode client: one logical handle over N shbfd nodes. The
+// cluster map (internal/cluster) partitions the 64-bit digest ring
+// across nodes; every batch is split by owner — each key's one-pass
+// digest high lane looked up against the map's ranges, the same lane
+// whose low bits route to lock-striped shards inside a node — fanned
+// out to the owner nodes' per-node [Client]s in parallel, and the
+// per-node answers reassembled in the batch's original key order.
+// Reads route to each range's primary (first owner); writes go to all
+// R owners, which is what keeps replicas convergent enough for the
+// envelope-merge anti-entropy to close the gaps (see
+// [Namespace.Merge]).
+
+// ClusterMap is the cluster document: nodes plus hash-range ownership
+// (see shbf/internal/cluster for the format and invariants).
+type ClusterMap = cluster.Map
+
+// ClusterNode is one node entry in a ClusterMap.
+type ClusterNode = cluster.Node
+
+// ClusterRange is one hash-range entry in a ClusterMap.
+type ClusterRange = cluster.Range
+
+// ClusterMap fetches the daemon's cluster map (GET /v2/cluster / the
+// cluster-map op). A daemon started without -cluster-file reports
+// not-found (IsNotFound).
+func (c *Client) ClusterMap() (*ClusterMap, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpClusterMap})
+	if err != nil {
+		return nil, err
+	}
+	m, err := cluster.Decode(resp.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding cluster map: %w", err)
+	}
+	return m, nil
+}
+
+// NodeError is one node's failure inside a fanned-out cluster call.
+type NodeError struct {
+	// Node is the failing node's ID in the cluster map.
+	Node string
+	// Indices are the original batch positions of the keys routed to
+	// this node, in the order they were sent — the node's sub-batch is
+	// keys[Indices[0]], keys[Indices[1]], ... of the caller's batch.
+	Indices []int
+	// Applied is the node-reported mid-batch split point within the
+	// node's own sub-batch (daemon-reported failures only): sub-batch
+	// updates before it stay applied, so the caller resumes this node
+	// from keys[Indices[Applied:]]. Other nodes' sub-batches are
+	// reported independently — a fan-out has no global split point.
+	Applied uint64
+	// Err is the underlying failure (*Error for daemon-reported ones).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("node %s (%d keys, %d applied): %v", e.Node, len(e.Indices), e.Applied, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// ClusterError aggregates the per-node failures of one fanned-out
+// call. Nodes absent from Errs completed their sub-batches. It unwraps
+// into every node's error, so IsConflict and IsNotFound see through it
+// to the daemon-reported statuses.
+type ClusterError struct {
+	// Errs holds one entry per failed node, ordered by node ID.
+	Errs []*NodeError
+}
+
+// Error implements the error interface.
+func (e *ClusterError) Error() string {
+	msgs := make([]string, len(e.Errs))
+	for i, ne := range e.Errs {
+		msgs[i] = ne.Error()
+	}
+	return fmt.Sprintf("client: %d cluster node(s) failed: %s",
+		len(e.Errs), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes every node's failure to errors.Is/As.
+func (e *ClusterError) Unwrap() []error {
+	errs := make([]error, len(e.Errs))
+	for i, ne := range e.Errs {
+		errs[i] = ne
+	}
+	return errs
+}
+
+// Cluster is a routing client over every node of one cluster map. Safe
+// for concurrent use (each per-node Client serializes its own
+// connection; run several Clusters for more connection parallelism).
+type Cluster struct {
+	m     *cluster.Map
+	nodes map[string]*Client
+}
+
+// DialCluster bootstraps from one seed node: it dials the seed with
+// [Dial], fetches the cluster map any node serves, then sets up a
+// per-node client for every node in the map (ShBP via the node's addr;
+// http_addr-only nodes over HTTP). Only the seed must be reachable:
+// per-node connections are established lazily on first use, so a node
+// that is down at dial time degrades to a NodeError on the batches it
+// owns rather than failing the whole fleet dial.
+func DialCluster(seed string) (*Cluster, error) {
+	c, err := Dial(seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.ClusterMap()
+	c.Close()
+	if err != nil {
+		return nil, err
+	}
+	return DialClusterMap(m)
+}
+
+// DialClusterMap builds the router over a known map (e.g. loaded from
+// the operator's -cluster-file with cluster.LoadFile). No connections
+// are made here — each node is dialed on its first round trip.
+func DialClusterMap(m *ClusterMap) (*Cluster, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := make(map[string]*Client, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.Addr != "" {
+			nodes[n.ID] = dialBinaryLazy(strings.TrimPrefix(n.Addr, "shbp://"))
+		} else {
+			nodes[n.ID] = &Client{t: newHTTPTransport("http://"+n.HTTPAddr, nil)}
+		}
+	}
+	return &Cluster{m: m, nodes: nodes}, nil
+}
+
+// Map returns the cluster map the router was built from.
+func (cl *Cluster) Map() *ClusterMap { return cl.m }
+
+// Client returns the per-node client for one node ID (nil for unknown
+// IDs) — the direct line tests and anti-entropy tooling use to talk to
+// one replica.
+func (cl *Cluster) Client(nodeID string) *Client { return cl.nodes[nodeID] }
+
+// Close closes every per-node client.
+func (cl *Cluster) Close() error {
+	var first error
+	for _, c := range cl.nodes {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CreateNamespace creates a tenant on every node (cluster batches
+// address one namespace, so it must exist everywhere). Partial failure
+// is a ClusterError; already-exists conflicts on some nodes are
+// reported, letting the caller treat "exists everywhere" as success.
+func (cl *Cluster) CreateNamespace(cfg NamespaceConfig) error {
+	return cl.fan(cl.allNodes(), func(c *Client, _ *nodeBatch) error {
+		return c.CreateNamespace(cfg)
+	})
+}
+
+// DeleteNamespace deletes a tenant on every node.
+func (cl *Cluster) DeleteNamespace(name string) error {
+	return cl.fan(cl.allNodes(), func(c *Client, _ *nodeBatch) error {
+		return c.DeleteNamespace(name)
+	})
+}
+
+// Namespace returns the routing handle on one tenant ("" = default).
+func (cl *Cluster) Namespace(name string) *ClusterNamespace {
+	if name == "" {
+		name = "default"
+	}
+	return &ClusterNamespace{cl: cl, name: name}
+}
+
+// nodeBatch is one node's share of a split batch.
+type nodeBatch struct {
+	node   string
+	idx    []int // original positions of this node's keys
+	keys   [][]byte
+	counts []int // aligned per-key counts (multiplicity adds)
+}
+
+// split groups a batch by owner node: each key's digest high lane
+// selects its range, and the key joins the sub-batch of the primary
+// owner (replicate=false: reads) or of every owner (replicate=true:
+// writes, so all R replicas take the update). Sub-batches preserve the
+// batch's relative key order; idx maps each sub-batch position back to
+// the original.
+func (cl *Cluster) split(keys [][]byte, counts []int, replicate bool) []*nodeBatch {
+	byNode := make(map[string]*nodeBatch)
+	var order []string
+	for i, k := range keys {
+		owners := cl.m.RangeFor(hashing.KeyDigest(k).Hi).Owners
+		if !replicate {
+			owners = owners[:1]
+		}
+		for _, id := range owners {
+			b := byNode[id]
+			if b == nil {
+				b = &nodeBatch{node: id}
+				byNode[id] = b
+				order = append(order, id)
+			}
+			b.idx = append(b.idx, i)
+			b.keys = append(b.keys, k)
+			if counts != nil {
+				b.counts = append(b.counts, counts[i])
+			}
+		}
+	}
+	out := make([]*nodeBatch, len(order))
+	for i, id := range order {
+		out[i] = byNode[id]
+	}
+	return out
+}
+
+// allNodes builds one empty batch per node, for control-plane fan-outs.
+func (cl *Cluster) allNodes() []*nodeBatch {
+	out := make([]*nodeBatch, 0, len(cl.m.Nodes))
+	for _, n := range cl.m.Nodes {
+		out = append(out, &nodeBatch{node: n.ID})
+	}
+	return out
+}
+
+// fan runs one call per sub-batch concurrently and aggregates the
+// failures into a ClusterError (nil when every node succeeded). Calls
+// for different nodes touch disjoint result indices, so result
+// reassembly inside the callbacks needs no locking.
+func (cl *Cluster) fan(batches []*nodeBatch, call func(*Client, *nodeBatch) error) error {
+	errs := make([]*NodeError, len(batches))
+	var wg sync.WaitGroup
+	for i, b := range batches {
+		wg.Add(1)
+		go func(i int, b *nodeBatch) {
+			defer wg.Done()
+			if err := call(cl.nodes[b.node], b); err != nil {
+				ne := &NodeError{Node: b.node, Indices: b.idx, Err: err}
+				var de *Error
+				if errors.As(err, &de) {
+					ne.Applied = de.Applied
+				}
+				errs[i] = ne
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	var failed []*NodeError
+	for _, ne := range errs {
+		if ne != nil {
+			failed = append(failed, ne)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Node < failed[j].Node })
+	return &ClusterError{Errs: failed}
+}
+
+// ClusterNamespace routes one tenant's batches across the cluster. The
+// membership surface satisfies shbf.Set, so query code written against
+// the library (or against a single-daemon [Set]) runs unchanged over N
+// nodes.
+type ClusterNamespace struct {
+	cl   *Cluster
+	name string
+	err  errBox
+}
+
+var _ shbf.Set = (*ClusterNamespace)(nil)
+
+// Name returns the namespace this handle addresses.
+func (ns *ClusterNamespace) Name() string { return ns.name }
+
+// AddAll inserts a batch: keys split by owner range and each sub-batch
+// written to all R owner nodes in parallel. On partial failure the
+// ClusterError reports, per failed node, which original key positions
+// were routed there and the node's applied split point.
+func (ns *ClusterNamespace) AddAll(keys [][]byte) error {
+	return ns.cl.fan(ns.cl.split(keys, nil, true), func(c *Client, b *nodeBatch) error {
+		return c.Namespace(ns.name).Set().AddAll(b.keys)
+	})
+}
+
+// Check answers membership for a batch: keys split by owner range,
+// each sub-batch queried on its primary node in parallel, answers
+// reassembled in original key order.
+func (ns *ClusterNamespace) Check(keys [][]byte) ([]bool, error) {
+	out := make([]bool, len(keys))
+	err := ns.cl.fan(ns.cl.split(keys, nil, false), func(c *Client, b *nodeBatch) error {
+		res, err := c.Namespace(ns.name).Set().Check(b.keys)
+		if err != nil {
+			return err
+		}
+		for j, i := range b.idx {
+			out[i] = res[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContainsAll is [ClusterNamespace.Check] in the library's dst shape
+// (false per key on failure, recorded in [ClusterNamespace.Err]).
+func (ns *ClusterNamespace) ContainsAll(dst []bool, keys [][]byte) []bool {
+	res, err := ns.Check(keys)
+	if err != nil {
+		ns.err.record(err)
+		res = make([]bool, len(keys))
+	}
+	return append(dst, res...)
+}
+
+// Add inserts one key on all its owner nodes, recording any error
+// ([ClusterNamespace.Err]).
+func (ns *ClusterNamespace) Add(e []byte) { ns.err.record(ns.AddAll([][]byte{e})) }
+
+// Contains answers one key from its primary node (false on failure,
+// recorded in [ClusterNamespace.Err]).
+func (ns *ClusterNamespace) Contains(e []byte) bool {
+	res, err := ns.Check([][]byte{e})
+	if err != nil {
+		ns.err.record(err)
+		return false
+	}
+	return res[0]
+}
+
+// CounterAdd increments multiplicities across the cluster: counts[i]
+// increments for keys[i] (nil counts = one each), written to all R
+// owner nodes. Per-node conflicts (count overflow) surface with the
+// node's applied split point in the ClusterError.
+func (ns *ClusterNamespace) CounterAdd(keys [][]byte, counts []int) error {
+	if counts != nil && len(counts) != len(keys) {
+		return fmt.Errorf("client: %d counts for %d keys", len(counts), len(keys))
+	}
+	return ns.cl.fan(ns.cl.split(keys, counts, true), func(c *Client, b *nodeBatch) error {
+		_, err := c.Namespace(ns.name).do(&wire.Request{
+			Op: wire.OpMultiplicityAdd, KeyWidth: keyWidth(b.keys), Keys: b.keys, Counts: b.counts})
+		return err
+	})
+}
+
+// Counts answers multiplicities for a batch from each key's primary
+// node, reassembled in original key order.
+func (ns *ClusterNamespace) Counts(keys [][]byte) ([]int, error) {
+	out := make([]int, len(keys))
+	err := ns.cl.fan(ns.cl.split(keys, nil, false), func(c *Client, b *nodeBatch) error {
+		res, err := c.Namespace(ns.name).Counter().Counts(b.keys)
+		if err != nil {
+			return err
+		}
+		for j, i := range b.idx {
+			out[i] = res[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountAll is [ClusterNamespace.Counts] in the library's dst shape
+// (0 per key on failure, recorded in [ClusterNamespace.Err]).
+func (ns *ClusterNamespace) CountAll(dst []int, keys [][]byte) []int {
+	res, err := ns.Counts(keys)
+	if err != nil {
+		ns.err.record(err)
+		res = make([]int, len(keys))
+	}
+	return append(dst, res...)
+}
+
+// Classify answers association regions for a batch from each key's
+// primary node, reassembled in original key order.
+func (ns *ClusterNamespace) Classify(keys [][]byte) ([]shbf.Region, error) {
+	out := make([]shbf.Region, len(keys))
+	err := ns.cl.fan(ns.cl.split(keys, nil, false), func(c *Client, b *nodeBatch) error {
+		res, err := c.Namespace(ns.name).Associator().Classify(b.keys)
+		if err != nil {
+			return err
+		}
+		for j, i := range b.idx {
+			out[i] = res[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryAll is [ClusterNamespace.Classify] in the library's dst shape
+// (the empty region per key on failure, recorded in
+// [ClusterNamespace.Err]).
+func (ns *ClusterNamespace) QueryAll(dst []shbf.Region, keys [][]byte) []shbf.Region {
+	res, err := ns.Classify(keys)
+	if err != nil {
+		ns.err.record(err)
+		res = make([]shbf.Region, len(keys))
+	}
+	return append(dst, res...)
+}
+
+// Err returns the first error recorded by the error-less interface
+// methods (nil if none).
+func (ns *ClusterNamespace) Err() error { return ns.err.get() }

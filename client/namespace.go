@@ -47,6 +47,30 @@ func (ns *Namespace) Rotate() ([]string, uint64, error) {
 	return append([]string(nil), resp.Rotated...), resp.Epoch, nil
 }
 
+// MembershipEnvelope exports the namespace's membership filter as a
+// raw ShBE envelope — the anti-entropy payload to [Namespace.Merge]
+// into a replica (GET /v2/namespaces/{ns}/membership/envelope).
+func (ns *Namespace) MembershipEnvelope() ([]byte, error) {
+	resp, err := ns.do(&wire.Request{Op: wire.OpMembershipDump})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// Merge unions an uploaded ShBE membership envelope (as exported by
+// [Namespace.MembershipEnvelope] on a replica of the same Spec + seed)
+// into the namespace's live filter, returning the source filter's
+// element count. Mismatched geometry or seed is a conflict
+// (IsConflict), as is a windowed namespace.
+func (ns *Namespace) Merge(envelope []byte) (uint64, error) {
+	resp, err := ns.do(&wire.Request{Op: wire.OpMembershipMerge, Blob: envelope})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}
+
 // do stamps the namespace onto a request and runs it.
 func (ns *Namespace) do(req *wire.Request) (*wire.Response, error) {
 	req.Namespace = ns.name

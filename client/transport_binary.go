@@ -42,6 +42,13 @@ func dialBinary(addr string) (*Client, error) {
 	return &Client{t: t}, nil
 }
 
+// dialBinaryLazy defers the connection to the first round trip. The
+// cluster router uses it so one down node degrades to per-node errors
+// on use instead of failing the whole fleet dial.
+func dialBinaryLazy(addr string) *Client {
+	return &Client{t: &binaryTransport{addr: addr}}
+}
+
 // connectLocked (re)establishes the connection; t.mu must be held.
 func (t *binaryTransport) connectLocked() error {
 	conn, err := net.DialTimeout("tcp", t.addr, dialTimeout)

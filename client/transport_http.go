@@ -187,6 +187,38 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 		}
 		resp.Counts = body.Counts
 		return nil
+
+	case wire.OpClusterMap:
+		var raw json.RawMessage
+		if err := t.get(req, resp, t.base+"/v2/cluster", &raw); err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		resp.Blob = raw
+		return nil
+
+	case wire.OpMembershipDump:
+		// The envelope endpoint serves raw ShBE bytes, not JSON.
+		data, err := t.doRaw(req, resp, http.MethodGet, t.nsPath(req.Namespace, "/membership/envelope"), "", nil)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		resp.Blob = data
+		return nil
+
+	case wire.OpMembershipMerge:
+		// The merge body is a raw ShBE envelope; the reply is JSON.
+		data, err := t.doRaw(req, resp, http.MethodPost, t.nsPath(req.Namespace, "/merge"), "application/octet-stream", req.Blob)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		var body struct {
+			MergedN uint64 `json:"merged_n"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			return fmt.Errorf("client: decoding merge response: %w", err)
+		}
+		resp.Applied = body.MergedN
+		return nil
 	}
 	return fmt.Errorf("client: op %s has no HTTP mapping", wire.OpName(req.Op))
 }
@@ -199,32 +231,53 @@ func (t *httpTransport) post(req *wire.Request, resp *wire.Response, url string,
 	return t.doJSON(req, resp, http.MethodPost, url, payload, out)
 }
 
-// doJSON runs one HTTP exchange, mapping HTTP failure statuses onto
-// the wire status codes so both transports report identically.
+// doJSON runs one JSON HTTP exchange over doRaw, decoding the success
+// body into out.
 func (t *httpTransport) doJSON(req *wire.Request, resp *wire.Response, method, url string, payload, out any) error {
-	var body io.Reader
+	var body []byte
+	contentType := ""
 	if payload != nil {
 		b, err := json.Marshal(payload)
 		if err != nil {
 			return fmt.Errorf("client: encoding %s request: %w", wire.OpName(req.Op), err)
 		}
-		body = bytes.NewReader(b)
+		body, contentType = b, "application/json"
 	}
-	hreq, err := http.NewRequest(method, url, body)
-	if err != nil {
+	data, err := t.doRaw(req, resp, method, url, contentType, body)
+	if err != nil || resp.Status != wire.StatusOK {
 		return err
 	}
-	if payload != nil {
-		hreq.Header.Set("Content-Type", "application/json")
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decoding %s response: %w", wire.OpName(req.Op), err)
+		}
+	}
+	return nil
+}
+
+// doRaw runs one HTTP exchange with an arbitrary request body and
+// returns the raw response body, mapping HTTP failure statuses onto
+// the wire status codes so both transports report identically.
+func (t *httpTransport) doRaw(req *wire.Request, resp *wire.Response, method, url, contentType string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		hreq.Header.Set("Content-Type", contentType)
 	}
 	hresp, err := t.hc.Do(hreq)
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", wire.OpName(req.Op), err)
+		return nil, fmt.Errorf("client: %s: %w", wire.OpName(req.Op), err)
 	}
 	defer hresp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(hresp.Body, wire.MaxFrame))
 	if err != nil {
-		return fmt.Errorf("client: reading %s response: %w", wire.OpName(req.Op), err)
+		return nil, fmt.Errorf("client: reading %s response: %w", wire.OpName(req.Op), err)
 	}
 	if hresp.StatusCode >= 400 {
 		var e struct {
@@ -237,14 +290,9 @@ func (t *httpTransport) doJSON(req *wire.Request, resp *wire.Response, method, u
 		resp.Status = httpStatusToWire(hresp.StatusCode)
 		resp.Msg = e.Error
 		resp.Applied = e.Applied
-		return nil
+		return nil, nil
 	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("client: decoding %s response: %w", wire.OpName(req.Op), err)
-		}
-	}
-	return nil
+	return data, nil
 }
 
 // httpStatusToWire maps an HTTP failure status onto the wire codes.

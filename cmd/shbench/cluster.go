@@ -1,0 +1,301 @@
+package main
+
+// cluster.go implements the -serve-cluster mode: the scale-out
+// benchmark for cluster mode. It boots a real 3-node shbfd cluster and
+// a single-node baseline in-process (internal/clustertest — real
+// loopback TCP both ways), preloads the same member set into each, and
+// measures three things:
+//
+//   - single: batch ContainsAll/AddAll against one daemon holding the
+//     whole member set — the baseline a scale-out must beat.
+//   - fanout3: the same batches through the routing client
+//     (client.DialCluster: split by owner range, parallel fan-out,
+//     reassembly). This is a wall-clock number and only shows parallel
+//     speedup when the bench host has at least as many cores as nodes;
+//     the report records CPUs so the number can be read accordingly.
+//   - pernode/aggregate: each node serving 4096-key batches of its own
+//     key share over a direct client, summed across nodes. Cluster
+//     nodes deploy on separate machines, so the sum is the cluster's
+//     offered capacity independent of how many cores this bench host
+//     happens to have — the machine-independent scale-out measure.
+//
+// Methodology matches -serve: every case is measured with
+// testing.Benchmark, the suite runs clusterRuns times with related
+// cases adjacent within each pass, and the minimum per case across
+// runs is reported (interleaved min-of-N).
+//
+// With -serve-cluster-min-speedup > 0, the run exits nonzero unless
+// the cluster's aggregate ContainsAll capacity at 4096-key batches is
+// at least that multiple of the single-node keys/sec.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"shbf/client"
+	"shbf/internal/clustertest"
+	"shbf/internal/flowkeys"
+	"shbf/internal/hashing"
+	"shbf/internal/server"
+)
+
+// clusterRuns is the interleaved repetition count (min per case wins).
+const clusterRuns = 3
+
+// clusterBatches are the request batch sizes measured. Fan-out pays a
+// fixed coordination cost per batch, so the small end shows the
+// break-even and the large end the scale-out win.
+var clusterBatches = []int{256, 4096}
+
+// clusterNodes is the scale-out width under test.
+const clusterNodes = 3
+
+// clusterResult is one (topology, op, batch) measurement.
+type clusterResult struct {
+	Name       string  `json:"name"`
+	Topology   string  `json:"topology"` // single | fanout3 | pernode/<id>
+	Op         string  `json:"op"`       // ContainsAll | AddAll
+	Batch      int     `json:"batch"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	NsPerKey   float64 `json:"ns_per_key"`
+	KeysPerSec float64 `json:"keys_per_sec"`
+	Iterations int     `json:"iterations"`
+}
+
+// clusterComparison is one rollup ratio.
+type clusterComparison struct {
+	Name    string  `json:"name"`
+	Op      string  `json:"op"`
+	Batch   int     `json:"batch"`
+	Speedup float64 `json:"speedup_vs_single"`
+}
+
+// clusterReport is the BENCH_PR6.json document.
+type clusterReport struct {
+	Schema      string              `json:"schema"`
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	CPUs        int                 `json:"cpus"`
+	KeyBytes    int                 `json:"key_bytes"`
+	Nodes       int                 `json:"nodes"`
+	Replication int                 `json:"replication"`
+	Runs        int                 `json:"runs"`
+	Note        string              `json:"note"`
+	Results     []clusterResult     `json:"results"`
+	Comparisons []clusterComparison `json:"comparisons"`
+}
+
+// runClusterBench measures the suite and writes the report;
+// minSpeedup > 0 additionally gates the aggregate ContainsAll @4096.
+func runClusterBench(outPath, note string, minSpeedup float64) error {
+	cfg := server.DefaultConfig()
+
+	c3, err := clustertest.StartNodes(clustertest.Options{
+		Nodes: clusterNodes, Replication: 1, Config: cfg})
+	if err != nil {
+		return err
+	}
+	defer c3.Stop()
+	c1, err := clustertest.StartNodes(clustertest.Options{
+		Nodes: 1, Replication: 1, Config: cfg})
+	if err != nil {
+		return err
+	}
+	defer c1.Stop()
+
+	clusterCl, err := client.DialCluster(c3.SeedAddr())
+	if err != nil {
+		return err
+	}
+	defer clusterCl.Close()
+	singleCl, err := client.Dial(c1.Nodes[0].ShBPAddr)
+	if err != nil {
+		return err
+	}
+	defer singleCl.Close()
+
+	// Workload: the serving benchmark's member set and 50/50 probe mix,
+	// loaded identically into both topologies (the cluster load itself
+	// runs through the router, splitting by owner range).
+	const nMembers = 1 << 16
+	_, pool := flowkeys.Keys(3 * nMembers)
+	members := pool[:nMembers]
+	clusterNS := clusterCl.Namespace("default")
+	singleSet := singleCl.Namespace("").Set()
+	if err := clusterNS.AddAll(members); err != nil {
+		return err
+	}
+	if err := singleSet.AddAll(members); err != nil {
+		return err
+	}
+	probes := append([][]byte{}, pool[nMembers:2*nMembers]...)
+	for i := 0; i < len(probes); i += 2 {
+		probes[i] = members[i]
+	}
+	addPool := pool[2*nMembers:]
+
+	// Per-node probe shares, routed the way the cluster routes: digest
+	// high lane against the map's ranges.
+	shares := map[string][][]byte{}
+	for _, k := range probes {
+		id := c3.Map.RangeFor(hashing.KeyDigest(k).Hi).Owners[0]
+		shares[id] = append(shares[id], k)
+	}
+
+	type benchCase struct {
+		topology string
+		op       string
+		batch    int
+		body     func(b *testing.B)
+	}
+	// Cases ordered so one (op, batch)'s topologies run back to back
+	// within each pass.
+	var cases []benchCase
+	for _, batch := range clusterBatches {
+		batch := batch
+		query := probes[:batch]
+		add := addPool[:batch]
+		cases = append(cases,
+			benchCase{"single", "ContainsAll", batch, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := singleSet.Check(query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			benchCase{"fanout3", "ContainsAll", batch, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := clusterNS.Check(query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+		for _, n := range c3.Nodes {
+			share := shares[n.ID]
+			if len(share) < batch {
+				return fmt.Errorf("node %s share %d < batch %d", n.ID, len(share), batch)
+			}
+			nodeQuery := share[:batch]
+			nodeSet := clusterCl.Client(n.ID).Namespace("default").Set()
+			cases = append(cases, benchCase{"pernode/" + n.ID, "ContainsAll", batch, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := nodeSet.Check(nodeQuery); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}})
+		}
+		cases = append(cases,
+			benchCase{"single", "AddAll", batch, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := singleSet.AddAll(add); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			benchCase{"fanout3", "AddAll", batch, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := clusterNS.AddAll(add); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+
+	best := make([]testing.BenchmarkResult, len(cases))
+	for run := 0; run < clusterRuns; run++ {
+		for i, c := range cases {
+			r := testing.Benchmark(c.body)
+			if run == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+
+	report := clusterReport{
+		Schema:      "shbf-cluster-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		KeyBytes:    flowkeys.KeyBytes,
+		Nodes:       clusterNodes,
+		Replication: 1,
+		Runs:        clusterRuns,
+		Note:        note,
+	}
+	keysPerSec := map[string]float64{}
+	for i, c := range cases {
+		r := best[i]
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := clusterResult{
+			Name:       fmt.Sprintf("%s/%s/%d", c.topology, c.op, c.batch),
+			Topology:   c.topology,
+			Op:         c.op,
+			Batch:      c.batch,
+			NsPerOp:    ns,
+			NsPerKey:   ns / float64(c.batch),
+			KeysPerSec: float64(c.batch) / (ns / 1e9),
+			Iterations: r.N,
+		}
+		report.Results = append(report.Results, res)
+		keysPerSec[res.Name] = res.KeysPerSec
+	}
+	for _, batch := range clusterBatches {
+		single := keysPerSec[fmt.Sprintf("single/ContainsAll/%d", batch)]
+		if single <= 0 {
+			continue
+		}
+		var aggregate float64
+		for _, n := range c3.Nodes {
+			aggregate += keysPerSec[fmt.Sprintf("pernode/%s/ContainsAll/%d", n.ID, batch)]
+		}
+		report.Comparisons = append(report.Comparisons,
+			clusterComparison{Name: "aggregate-capacity", Op: "ContainsAll", Batch: batch,
+				Speedup: aggregate / single},
+			clusterComparison{Name: "fanout-wall-clock", Op: "ContainsAll", Batch: batch,
+				Speedup: keysPerSec[fmt.Sprintf("fanout3/ContainsAll/%d", batch)] / single})
+		if sa := keysPerSec[fmt.Sprintf("single/AddAll/%d", batch)]; sa > 0 {
+			report.Comparisons = append(report.Comparisons,
+				clusterComparison{Name: "fanout-wall-clock", Op: "AddAll", Batch: batch,
+					Speedup: keysPerSec[fmt.Sprintf("fanout3/AddAll/%d", batch)] / sa})
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench → %s (%d CPUs)\n", outPath, report.CPUs)
+	for _, res := range report.Results {
+		fmt.Printf("  %-32s %10.0f keys/s  %7.1f ns/key\n", res.Name, res.KeysPerSec, res.NsPerKey)
+	}
+	for _, cmp := range report.Comparisons {
+		fmt.Printf("  %-20s %-12s @%-5d %.2f× single-node\n", cmp.Name, cmp.Op, cmp.Batch, cmp.Speedup)
+	}
+
+	if minSpeedup > 0 {
+		var aggregate float64
+		for _, n := range c3.Nodes {
+			aggregate += keysPerSec[fmt.Sprintf("pernode/%s/ContainsAll/4096", n.ID)]
+		}
+		gate := aggregate / keysPerSec["single/ContainsAll/4096"]
+		if gate < minSpeedup {
+			return fmt.Errorf("cluster aggregate ContainsAll@4096 is %.2f× single-node, below the %.1f× gate", gate, minSpeedup)
+		}
+		fmt.Printf("gate: cluster aggregate ContainsAll@4096 = %.2f× single-node (≥ %.1f×) ok\n", gate, minSpeedup)
+	}
+	return nil
+}

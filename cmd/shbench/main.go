@@ -11,6 +11,9 @@
 //	        [-assoc-size N] [-mult-size N]
 //	shbench -perf [-perf-out BENCH_PR3.json] [-perf-baseline old.json]
 //	        [-perf-note text]
+//	shbench -serve [-serve-out BENCH_PR5.json] [-serve-min-speedup X]
+//	shbench -serve-cluster [-serve-cluster-out BENCH_PR6.json]
+//	        [-serve-cluster-min-speedup X]
 //
 // Examples:
 //
@@ -37,23 +40,27 @@ import (
 
 func main() {
 	var (
-		figFlag   = flag.String("fig", "all", "figure to run: all, or a comma list of experiment ids (see usage)")
-		outDir    = flag.String("out", "", "directory for .txt/.csv outputs (created if missing)")
-		quick     = flag.Bool("quick", false, "use the small test-scale configuration")
-		seed      = flag.Int64("seed", 0, "override workload seed (0 = config default)")
-		trials    = flag.Int("trials", 0, "override trial count (0 = config default)")
-		probes    = flag.Int("probes", 0, "override negative probes per FPR point (0 = default)")
-		assocSize = flag.Int("assoc-size", 0, "override |S1|=|S2| for Figure 10 (0 = default)")
-		multSize  = flag.Int("mult-size", 0, "override distinct elements for Figure 11 (0 = default)")
-		svg       = flag.Bool("svg", false, "with -out: also write one .svg chart per figure")
-		perf      = flag.Bool("perf", false, "run the hot-path perf suite instead of the figures and write machine-readable JSON")
-		perfOut   = flag.String("perf-out", "BENCH_PR3.json", "with -perf: output file")
-		perfBase  = flag.String("perf-baseline", "", "with -perf: previous BENCH_*.json to embed as the baseline section")
-		perfNote  = flag.String("perf-note", "", "with -perf: free-form note recorded in the report")
-		serve     = flag.Bool("serve", false, "run the serving-layer ShBP-vs-JSON benchmark (interleaved min-of-N) and write machine-readable JSON")
-		serveOut  = flag.String("serve-out", "BENCH_PR5.json", "with -serve: output file")
-		serveNote = flag.String("serve-note", "", "with -serve: free-form note recorded in the report")
-		serveGate = flag.Float64("serve-min-speedup", 0, "with -serve: exit nonzero unless ShBP ContainsAll@256 ≥ this × the JSON keys/sec (0 = no gate)")
+		figFlag     = flag.String("fig", "all", "figure to run: all, or a comma list of experiment ids (see usage)")
+		outDir      = flag.String("out", "", "directory for .txt/.csv outputs (created if missing)")
+		quick       = flag.Bool("quick", false, "use the small test-scale configuration")
+		seed        = flag.Int64("seed", 0, "override workload seed (0 = config default)")
+		trials      = flag.Int("trials", 0, "override trial count (0 = config default)")
+		probes      = flag.Int("probes", 0, "override negative probes per FPR point (0 = default)")
+		assocSize   = flag.Int("assoc-size", 0, "override |S1|=|S2| for Figure 10 (0 = default)")
+		multSize    = flag.Int("mult-size", 0, "override distinct elements for Figure 11 (0 = default)")
+		svg         = flag.Bool("svg", false, "with -out: also write one .svg chart per figure")
+		perf        = flag.Bool("perf", false, "run the hot-path perf suite instead of the figures and write machine-readable JSON")
+		perfOut     = flag.String("perf-out", "BENCH_PR3.json", "with -perf: output file")
+		perfBase    = flag.String("perf-baseline", "", "with -perf: previous BENCH_*.json to embed as the baseline section")
+		perfNote    = flag.String("perf-note", "", "with -perf: free-form note recorded in the report")
+		serve       = flag.Bool("serve", false, "run the serving-layer ShBP-vs-JSON benchmark (interleaved min-of-N) and write machine-readable JSON")
+		serveOut    = flag.String("serve-out", "BENCH_PR5.json", "with -serve: output file")
+		serveNote   = flag.String("serve-note", "", "with -serve: free-form note recorded in the report")
+		serveGate   = flag.Float64("serve-min-speedup", 0, "with -serve: exit nonzero unless ShBP ContainsAll@256 ≥ this × the JSON keys/sec (0 = no gate)")
+		cluster     = flag.Bool("serve-cluster", false, "run the 3-node cluster fan-out benchmark (interleaved min-of-N) and write machine-readable JSON")
+		clusterOut  = flag.String("serve-cluster-out", "BENCH_PR6.json", "with -serve-cluster: output file")
+		clusterNote = flag.String("serve-cluster-note", "", "with -serve-cluster: free-form note recorded in the report")
+		clusterGate = flag.Float64("serve-cluster-min-speedup", 0, "with -serve-cluster: exit nonzero unless cluster ContainsAll@4096 ≥ this × the single-node keys/sec (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,13 @@ func main() {
 	}
 	if *serve {
 		if err := runServe(*serveOut, *serveNote, *serveGate); err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cluster {
+		if err := runClusterBench(*clusterOut, *clusterNote, *clusterGate); err != nil {
 			fmt.Fprintln(os.Stderr, "shbench:", err)
 			os.Exit(1)
 		}

@@ -16,6 +16,7 @@
 //	      [-window 0] [-tick 0]
 //	      [-snapshot state.shbf] [-snapshot-every 0]
 //	      [-pprof-addr localhost:6060]
+//	      [-cluster-file cluster.json -node-id n1]
 //
 // The flags size the default namespace; further namespaces — each with
 // its own geometry and window policy — are created at runtime via
@@ -42,6 +43,12 @@
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
+// With -cluster-file and -node-id, the daemon joins a static cluster:
+// it validates the map, checks its own id is in it, and serves the map
+// over GET /v2/cluster and the ShBP cluster-map op so any node is a
+// seed address for client.Cluster, which routes batches by digest
+// range. See internal/cluster and OPERATIONS.md §"Cluster mode".
+//
 // See internal/server for the endpoint list, OPERATIONS.md for running
 // the daemon in production, and DESIGN.md for the architecture.
 package main
@@ -60,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"shbf/internal/cluster"
 	"shbf/internal/server"
 )
 
@@ -94,6 +102,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		snapPath  = fs.String("snapshot", "", "snapshot file (loaded at startup, written on shutdown and POST /v1/snapshot)")
 		snapEvr   = fs.Duration("snapshot-every", 0, "also snapshot on this interval (0 = disabled; requires -snapshot)")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
+		clusterF  = fs.String("cluster-file", "", "cluster map JSON file (enables cluster mode; requires -node-id)")
+		nodeID    = fs.String("node-id", "", "this daemon's node id in the cluster map (requires -cluster-file)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +113,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if *tick > 0 && *windowGen < 2 {
 		return errors.New("-tick requires -window ≥ 2")
+	}
+	if (*clusterF == "") != (*nodeID == "") {
+		return errors.New("-cluster-file and -node-id must be set together")
 	}
 
 	cfg := server.Config{
@@ -122,6 +135,21 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	// Cluster mode: load the static map and make this daemon one of its
+	// nodes. The daemon only has to *serve* the map (any node is a seed
+	// address for client.Cluster); batch routing happens client-side.
+	if *clusterF != "" {
+		m, err := cluster.LoadFile(*clusterF)
+		if err != nil {
+			return err
+		}
+		if err := srv.SetClusterMap(m, *nodeID); err != nil {
+			return err
+		}
+		log.Printf("shbfd: cluster mode: node %q in a %d-node map (version %d, replication %d)",
+			*nodeID, len(m.Nodes), m.Version, m.Replication)
 	}
 
 	// The profiling listener is separate from the serving listener so

@@ -1,0 +1,231 @@
+// Package cluster defines the shbfd cluster map: the versioned
+// document that partitions the 64-bit digest ring across N daemon
+// nodes, the way internal/sharded's digest routing partitions keys
+// across in-process shards — lifted one level up, from "which lock
+// stripe" to "which machine".
+//
+// A Map is a node list plus an ordered list of hash ranges. Every key's
+// one-pass digest (hashing.KeyDigest) has a 64-bit high lane; range i
+// owns the keys whose high lane falls in [Ranges[i].Start,
+// Ranges[i+1].Start) (the last range runs to the top of the ring). Each
+// range names R owner nodes: the first is the primary (reads route
+// there), and all R accept writes, so replicas stay convergent under
+// the union-merge anti-entropy the serving layer exposes (replicas
+// share Spec + seed, so ShBF bit arrays merge by OR — see
+// core.Membership.Union and the /v2/namespaces/{ns}/merge endpoint).
+//
+// Shard routing inside one node consumes the low bits of the same lane
+// (Digest.Shard masks with shards−1 ≤ 2^20), node routing compares the
+// full lane against range starts that in practice differ in the high
+// bits — the two routing levels read disjoint parts of the lane and
+// cannot correlate.
+//
+// The map travels as JSON: on disk as shbfd's -cluster-file, over the
+// wire from GET /v2/cluster and the ShBP cluster-map op (any node
+// serves the map it was started with, so a client needs only one seed
+// address). This PR ships the static form — rebalancing, map push, and
+// epoch-fenced handoff are follow-ons; Version exists so those can be
+// built without a wire change.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// MaxNodes bounds a map's node count, keeping hostile documents from
+// driving large allocations (a serving cluster of this size would be
+// re-architected long before the bound matters).
+const MaxNodes = 4096
+
+// ErrInvalid tags every validation failure, so callers can distinguish
+// a malformed map from I/O errors with errors.Is.
+var ErrInvalid = errors.New("cluster: invalid map")
+
+// Node is one shbfd process: an operator-chosen identifier plus its
+// two listener addresses.
+type Node struct {
+	// ID names the node in range ownership lists and in shbfd's
+	// -node-id flag (same charset rules as namespace names).
+	ID string `json:"id"`
+	// Addr is the node's ShBP (binary protocol) listener, host:port.
+	Addr string `json:"addr"`
+	// HTTPAddr is the node's HTTP listener, host:port (optional when a
+	// deployment is ShBP-only).
+	HTTPAddr string `json:"http_addr,omitempty"`
+}
+
+// Range is one contiguous slice of the digest ring. It covers
+// [Start, next range's Start), with the map's last range covering
+// through the top of the 64-bit space.
+type Range struct {
+	// Start is the inclusive lower bound on the digest high lane.
+	// Ranges are sorted strictly ascending and the first Start must be
+	// 0, so the ranges tile the whole ring with no gaps or overlaps.
+	Start uint64 `json:"start"`
+	// Owners are node IDs, primary first. All owners accept writes
+	// (replication); reads route to the primary.
+	Owners []string `json:"owners"`
+}
+
+// Map is the cluster document: who the nodes are and which one owns
+// each slice of the digest ring.
+type Map struct {
+	// Version orders map revisions; operators bump it on every edit.
+	Version uint64 `json:"version"`
+	// Replication is the owner count per range (R). Every range must
+	// name exactly this many owners.
+	Replication int `json:"replication"`
+	// Nodes lists the cluster's daemons.
+	Nodes []Node `json:"nodes"`
+	// Ranges tiles the digest ring, sorted ascending by Start.
+	Ranges []Range `json:"ranges"`
+}
+
+// Validate checks the structural invariants routing depends on: at
+// least one node, unique node IDs and addresses present, ranges sorted
+// strictly ascending from 0 (no gaps, overlaps or duplicates by
+// construction), and every range naming exactly Replication distinct,
+// known owners. All failures wrap ErrInvalid.
+func (m *Map) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrInvalid)
+	}
+	if len(m.Nodes) > MaxNodes {
+		return fmt.Errorf("%w: %d nodes exceeds the %d-node bound", ErrInvalid, len(m.Nodes), MaxNodes)
+	}
+	ids := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("%w: node %d has no id", ErrInvalid, i)
+		}
+		if ids[n.ID] {
+			return fmt.Errorf("%w: duplicate node id %q", ErrInvalid, n.ID)
+		}
+		ids[n.ID] = true
+		if n.Addr == "" && n.HTTPAddr == "" {
+			return fmt.Errorf("%w: node %q has no address", ErrInvalid, n.ID)
+		}
+	}
+	if m.Replication < 1 || m.Replication > len(m.Nodes) {
+		return fmt.Errorf("%w: replication %d out of [1, %d nodes]", ErrInvalid, m.Replication, len(m.Nodes))
+	}
+	if len(m.Ranges) == 0 {
+		return fmt.Errorf("%w: no ranges", ErrInvalid)
+	}
+	if m.Ranges[0].Start != 0 {
+		return fmt.Errorf("%w: first range starts at %d, leaving [0, %d) unowned", ErrInvalid, m.Ranges[0].Start, m.Ranges[0].Start)
+	}
+	for i, r := range m.Ranges {
+		if i > 0 && r.Start <= m.Ranges[i-1].Start {
+			return fmt.Errorf("%w: range %d start %d does not ascend past %d (overlapping or duplicate ranges)",
+				ErrInvalid, i, r.Start, m.Ranges[i-1].Start)
+		}
+		if len(r.Owners) != m.Replication {
+			return fmt.Errorf("%w: range %d has %d owners, want replication factor %d", ErrInvalid, i, len(r.Owners), m.Replication)
+		}
+		seen := make(map[string]bool, len(r.Owners))
+		for _, o := range r.Owners {
+			if !ids[o] {
+				return fmt.Errorf("%w: range %d owner %q is not a node", ErrInvalid, i, o)
+			}
+			if seen[o] {
+				return fmt.Errorf("%w: range %d names owner %q twice", ErrInvalid, i, o)
+			}
+			seen[o] = true
+		}
+	}
+	return nil
+}
+
+// RangeFor returns the range owning digest high lane v. The map must
+// have passed Validate (ranges tile the ring, so every v has exactly
+// one owner range).
+func (m *Map) RangeFor(v uint64) *Range {
+	// Binary search for the last range with Start ≤ v; sort.Search
+	// finds the first with Start > v.
+	i := sort.Search(len(m.Ranges), func(i int) bool { return m.Ranges[i].Start > v })
+	return &m.Ranges[i-1]
+}
+
+// NodeByID resolves a node id (nil when absent).
+func (m *Map) NodeByID(id string) *Node {
+	for i := range m.Nodes {
+		if m.Nodes[i].ID == id {
+			return &m.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Decode parses and validates a JSON cluster map. Unknown fields are
+// rejected — a typoed field in an operator's cluster file must not
+// silently vanish.
+func Decode(data []byte) (*Map, error) {
+	var m Map
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after map document", ErrInvalid)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Encode serializes the map as indented JSON (the -cluster-file and
+// GET /v2/cluster form).
+func (m *Map) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// LoadFile reads and validates a cluster map file (shbfd -cluster-file).
+func LoadFile(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading map: %w", err)
+	}
+	m, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Uniform builds a map that splits the ring into one equal range per
+// node, range i owned by nodes[i] as primary with the next
+// replication−1 nodes (ring order) as replicas — the static layout the
+// in-process test harness and small deployments start from.
+func Uniform(version uint64, nodes []Node, replication int) (*Map, error) {
+	m := &Map{Version: version, Replication: replication, Nodes: nodes}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrInvalid)
+	}
+	step := ^uint64(0)/uint64(len(nodes)) + 1 // 2^64 / n, rounded so n·step wraps past the top
+	for i := range nodes {
+		owners := make([]string, 0, replication)
+		for j := 0; j < replication && j < len(nodes); j++ {
+			owners = append(owners, nodes[(i+j)%len(nodes)].ID)
+		}
+		m.Ranges = append(m.Ranges, Range{Start: uint64(i) * step, Owners: owners})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// threeNodes is a hand-built valid map: three nodes, three ranges,
+// replication 2, node i primary for range i with the next node as
+// replica.
+func threeNodes() *Map {
+	return &Map{
+		Version:     1,
+		Replication: 2,
+		Nodes: []Node{
+			{ID: "n1", Addr: "127.0.0.1:9001", HTTPAddr: "127.0.0.1:8001"},
+			{ID: "n2", Addr: "127.0.0.1:9002"},
+			{ID: "n3", HTTPAddr: "127.0.0.1:8003"},
+		},
+		Ranges: []Range{
+			{Start: 0, Owners: []string{"n1", "n2"}},
+			{Start: 1 << 62, Owners: []string{"n2", "n3"}},
+			{Start: 3 << 62, Owners: []string{"n3", "n1"}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := threeNodes().Validate(); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Map)
+		want string
+	}{
+		{"no nodes", func(m *Map) { m.Nodes = nil }, "no nodes"},
+		{"empty node id", func(m *Map) { m.Nodes[0].ID = "" }, "no id"},
+		{"duplicate node id", func(m *Map) { m.Nodes[1].ID = "n1" }, "duplicate node id"},
+		{"no address", func(m *Map) { m.Nodes[1].Addr = "" }, "no address"},
+		{"replication zero", func(m *Map) { m.Replication = 0 }, "replication"},
+		{"replication above nodes", func(m *Map) { m.Replication = 4 }, "replication"},
+		{"no ranges", func(m *Map) { m.Ranges = nil }, "no ranges"},
+		{"gap at zero", func(m *Map) { m.Ranges[0].Start = 10 }, "first range"},
+		{"overlapping ranges", func(m *Map) { m.Ranges[2].Start = m.Ranges[1].Start }, "ascend"},
+		{"descending ranges", func(m *Map) { m.Ranges[2].Start = 1 }, "ascend"},
+		{"owner count mismatch", func(m *Map) { m.Ranges[1].Owners = []string{"n2"} }, "owners"},
+		{"unknown owner", func(m *Map) { m.Ranges[0].Owners[1] = "n9" }, "not a node"},
+		{"duplicate owner", func(m *Map) { m.Ranges[0].Owners[1] = "n1" }, "twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := threeNodes()
+			tc.mut(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("mutation accepted")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error does not wrap ErrInvalid: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRangeFor(t *testing.T) {
+	m := threeNodes()
+	cases := []struct {
+		v    uint64
+		want string // primary owner
+	}{
+		{0, "n1"},
+		{1<<62 - 1, "n1"},
+		{1 << 62, "n2"},
+		{3<<62 - 1, "n2"},
+		{3 << 62, "n3"},
+		{math.MaxUint64, "n3"},
+	}
+	for _, tc := range cases {
+		if got := m.RangeFor(tc.v).Owners[0]; got != tc.want {
+			t.Errorf("RangeFor(%#x) primary = %s, want %s", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestNodeByID(t *testing.T) {
+	m := threeNodes()
+	if n := m.NodeByID("n2"); n == nil || n.Addr != "127.0.0.1:9002" {
+		t.Errorf("NodeByID(n2) = %+v", n)
+	}
+	if n := m.NodeByID("n9"); n != nil {
+		t.Errorf("NodeByID(n9) = %+v, want nil", n)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := threeNodes()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Version != m.Version || got.Replication != m.Replication ||
+		len(got.Nodes) != len(m.Nodes) || len(got.Ranges) != len(m.Ranges) {
+		t.Fatalf("round trip changed the map: %+v", got)
+	}
+	for i := range m.Ranges {
+		if got.Ranges[i].Start != m.Ranges[i].Start {
+			t.Errorf("range %d start %d, want %d", i, got.Ranges[i].Start, m.Ranges[i].Start)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid, _ := threeNodes().Encode()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", valid[:len(valid)/2]},
+		{"trailing data", append(append([]byte{}, valid...), "{}"...)},
+		{"unknown field", []byte(`{"version":1,"replication":1,"nodes":[{"id":"a","addr":"x"}],"ranges":[{"start":0,"owners":["a"]}],"bogus":true}`)},
+		{"invalid map", []byte(`{"version":1,"replication":1,"nodes":[],"ranges":[]}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.data); err == nil {
+				t.Fatal("accepted")
+			} else if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error does not wrap ErrInvalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	data, err := threeNodes().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(m.Nodes) != 3 {
+		t.Errorf("loaded %d nodes, want 3", len(m.Nodes))
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 16} {
+		for r := 1; r <= nodes && r <= 3; r++ {
+			entries := make([]Node, nodes)
+			for i := range entries {
+				entries[i] = Node{ID: string(rune('a' + i)), Addr: "x"}
+			}
+			m, err := Uniform(7, entries, r)
+			if err != nil {
+				t.Fatalf("Uniform(%d nodes, r=%d): %v", nodes, r, err)
+			}
+			if m.Version != 7 || len(m.Ranges) != nodes || m.Replication != r {
+				t.Fatalf("Uniform(%d, r=%d) = version %d, %d ranges, r=%d",
+					nodes, r, m.Version, len(m.Ranges), m.Replication)
+			}
+			// Every range's primary is its own node; replicas follow in
+			// ring order.
+			for i, rg := range m.Ranges {
+				if rg.Owners[0] != entries[i].ID {
+					t.Errorf("range %d primary %s, want %s", i, rg.Owners[0], entries[i].ID)
+				}
+			}
+			// The ranges tile the ring about evenly: every point maps to
+			// exactly one range (Validate checked structure; spot-check
+			// lookup at boundaries).
+			for i, rg := range m.Ranges {
+				if got := m.RangeFor(rg.Start); got != &m.Ranges[i] {
+					t.Errorf("RangeFor(start of range %d) resolved range %v", i, got)
+				}
+			}
+		}
+	}
+	if _, err := Uniform(1, nil, 1); err == nil {
+		t.Error("Uniform with no nodes accepted")
+	}
+	if _, err := Uniform(1, []Node{{ID: "a", Addr: "x"}}, 2); err == nil {
+		t.Error("Uniform with replication above node count accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzClusterMapDecode drives Decode with hostile map documents. The
+// invariant under fuzz: Decode either rejects, or returns a map whose
+// invariants hold well enough that routing cannot panic — RangeFor
+// resolves every probe point and the resolved range's primary owner is
+// a known node. Seeds cover the operator mistakes the validator exists
+// for: truncation, overlapping and descending ranges, duplicate node
+// IDs, a gap at the bottom of the ring, and replication wider than the
+// node set.
+func FuzzClusterMapDecode(f *testing.F) {
+	valid, err := (&Map{
+		Version:     1,
+		Replication: 2,
+		Nodes: []Node{
+			{ID: "n1", Addr: "a:1"},
+			{ID: "n2", Addr: "a:2"},
+			{ID: "n3", Addr: "a:3"},
+		},
+		Ranges: []Range{
+			{Start: 0, Owners: []string{"n1", "n2"}},
+			{Start: 1 << 63, Owners: []string{"n2", "n3"}},
+		},
+	}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3]) // truncated mid-document
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"replication":1,"nodes":[{"id":"a","addr":"x"},{"id":"a","addr":"y"}],"ranges":[{"start":0,"owners":["a"]}]}`))                                              // duplicate node id
+	f.Add([]byte(`{"version":1,"replication":1,"nodes":[{"id":"a","addr":"x"}],"ranges":[{"start":0,"owners":["a"]},{"start":0,"owners":["a"]}]}`))                                         // overlapping ranges
+	f.Add([]byte(`{"version":1,"replication":1,"nodes":[{"id":"a","addr":"x"}],"ranges":[{"start":5,"owners":["a"]},{"start":2,"owners":["a"]}]}`))                                         // descending + gap at 0
+	f.Add([]byte(`{"version":1,"replication":3,"nodes":[{"id":"a","addr":"x"}],"ranges":[{"start":0,"owners":["a","a","a"]}]}`))                                                            // replication > nodes, owner repeated
+	f.Add([]byte(`{"version":18446744073709551615,"replication":1,"nodes":[{"id":"a","addr":"x"}],"ranges":[{"start":18446744073709551615,"owners":["a"]}]}`))                              // extreme values
+	f.Add([]byte(`{"version":1,"replication":1,"nodes":[{"id":"a","addr":"x"},{"id":"b","addr":"y"}],"ranges":[{"start":0,"owners":["a"]},{"start":9223372036854775808,"owners":["b"]}]}`)) // valid 2-node split
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted maps must be re-encodable and must route every probe
+		// point to a known node without panicking.
+		out, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted map does not re-encode: %v", err)
+		}
+		var echo Map
+		if err := json.Unmarshal(out, &echo); err != nil {
+			t.Fatalf("re-encoded map is not JSON: %v", err)
+		}
+		for _, v := range []uint64{0, 1, 1 << 31, 1 << 62, 1<<64 - 1} {
+			r := m.RangeFor(v)
+			if r == nil || len(r.Owners) == 0 {
+				t.Fatalf("RangeFor(%#x) = %+v on accepted map", v, r)
+			}
+			if m.NodeByID(r.Owners[0]) == nil {
+				t.Fatalf("RangeFor(%#x) primary %q is not a node", v, r.Owners[0])
+			}
+		}
+	})
+}

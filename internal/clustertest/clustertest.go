@@ -1,0 +1,256 @@
+// Package clustertest boots a whole shbfd cluster inside one test
+// process: N server instances, each with its own HTTP and ShBP
+// listener on loopback and its own temp snapshot path, wired together
+// by a uniform cluster map (internal/cluster) — one call up, one call
+// down. The multi-node tests of this repo (fault injection,
+// anti-entropy, remote≡local equivalence) and the shbench cluster
+// fan-out case all run on it, and future cluster PRs (rebalancing,
+// map push) get their N-node fixture for free.
+//
+// Nodes are real servers behind real TCP listeners — the client's
+// routing, fan-out, reassembly and error paths are exercised over the
+// actual transports, not fakes — but in-process, so a test can also
+// reach into a node's *server.Server directly, and [Node.Kill] can
+// drop a node abruptly for fault injection.
+package clustertest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shbf/internal/cluster"
+	"shbf/internal/server"
+)
+
+// Options configures a test cluster. The zero value means 3 nodes,
+// replication 1, a small default geometry, and a fresh temp snapshot
+// dir.
+type Options struct {
+	// Nodes is the node count (default 3).
+	Nodes int
+	// Replication is the owner count per range, R (default 1). Set it
+	// to Nodes for full replication — the layout where every node can
+	// answer every key and cluster answers are byte-equivalent to one
+	// local filter of the same Spec.
+	Replication int
+	// Config is the per-node base config; the zero value gets a small
+	// deterministic test geometry (every node MUST share geometry and
+	// seed — that is what makes replicas union-mergeable). SnapshotPath
+	// is overridden per node.
+	Config server.Config
+	// Dir is the parent for per-node snapshot paths ("" = a fresh temp
+	// dir, removed by Stop).
+	Dir string
+}
+
+// DefaultConfig is the per-node geometry tests get from the zero
+// Options: small enough to boot N nodes in milliseconds, deterministic
+// seed so remote filters are byte-comparable to local ones.
+func DefaultConfig() server.Config {
+	return server.Config{
+		MembershipBits:   1 << 18,
+		MembershipK:      8,
+		AssociationBits:  1 << 18,
+		AssociationK:     8,
+		MultiplicityBits: 1 << 19,
+		MultiplicityK:    8,
+		MaxCount:         16,
+		Shards:           4,
+		Seed:             7,
+	}
+}
+
+// Node is one running daemon of the test cluster.
+type Node struct {
+	// ID is the node's id in the cluster map ("n1", "n2", ...).
+	ID string
+	// Srv is the node's in-process server, for direct (non-transport)
+	// assertions.
+	Srv *server.Server
+	// HTTPAddr and ShBPAddr are the node's loopback listener addresses.
+	HTTPAddr string
+	ShBPAddr string
+	// SnapshotPath is the node's private snapshot file.
+	SnapshotPath string
+
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	shbpLn   net.Listener
+	cancel   context.CancelFunc
+	shbpDone chan struct{}
+	killed   bool
+}
+
+// Kill drops the node abruptly: both listeners close and every open
+// ShBP connection is cut, mid-frame if one is in flight — the fault
+// the cluster client must answer with per-node errors rather than
+// corrupt reassembly. Idempotent.
+func (n *Node) Kill() {
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.cancel()        // closes the ShBP listener and its connections
+	n.httpSrv.Close() // closes the HTTP listener and its connections
+	<-n.shbpDone
+}
+
+// Cluster is the running node set plus the map that ties it together.
+type Cluster struct {
+	// Map is the cluster map every node serves (uniform ranges, node i
+	// primary for range i).
+	Map *cluster.Map
+	// Nodes holds the running nodes, index i = map node "n<i+1>".
+	Nodes []*Node
+
+	dir    string
+	ownDir bool
+}
+
+// Start boots a cluster for a test and registers teardown with
+// t.Cleanup. See [StartNodes] for the non-testing form.
+func Start(t testing.TB, opts Options) *Cluster {
+	t.Helper()
+	c, err := StartNodes(opts)
+	if err != nil {
+		t.Fatalf("clustertest: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// StartNodes boots a cluster and returns it, for callers without a
+// testing.TB (shbench's cluster fan-out case). Call Stop when done.
+func StartNodes(opts Options) (*Cluster, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 3
+	}
+	if opts.Replication == 0 {
+		opts.Replication = 1
+	}
+	if opts.Config == (server.Config{}) {
+		opts.Config = DefaultConfig()
+	}
+	c := &Cluster{dir: opts.Dir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "clustertest-*")
+		if err != nil {
+			return nil, err
+		}
+		c.dir, c.ownDir = dir, true
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		n, err := startNode(fmt.Sprintf("n%d", i+1), opts.Config, c.dir)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	entries := make([]cluster.Node, len(c.Nodes))
+	for i, n := range c.Nodes {
+		entries[i] = cluster.Node{ID: n.ID, Addr: n.ShBPAddr, HTTPAddr: n.HTTPAddr}
+	}
+	m, err := cluster.Uniform(1, entries, opts.Replication)
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.Map = m
+	for _, n := range c.Nodes {
+		if err := n.Srv.SetClusterMap(m, n.ID); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startNode builds one server and brings up its two listeners.
+func startNode(id string, cfg server.Config, dir string) (*Node, error) {
+	cfg.SnapshotPath = filepath.Join(dir, id+".shbf")
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("node %s: http listener: %w", id, err)
+	}
+	shbpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		httpLn.Close()
+		return nil, fmt.Errorf("node %s: shbp listener: %w", id, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		ID:           id,
+		Srv:          srv,
+		HTTPAddr:     httpLn.Addr().String(),
+		ShBPAddr:     shbpLn.Addr().String(),
+		SnapshotPath: cfg.SnapshotPath,
+		httpSrv:      &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second},
+		httpLn:       httpLn,
+		shbpLn:       shbpLn,
+		cancel:       cancel,
+		shbpDone:     make(chan struct{}),
+	}
+	go func() {
+		defer close(n.shbpDone)
+		if err := srv.ServeShBP(ctx, shbpLn); err != nil && ctx.Err() == nil {
+			// Listener failures after Kill are expected; anything else
+			// would fail the test through its own assertions.
+			_ = err
+		}
+	}()
+	go func() {
+		if err := n.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err
+		}
+	}()
+	return n, nil
+}
+
+// CreateNamespace creates a tenant on every live node, as a cluster
+// deployment would before routing batches at it.
+func (c *Cluster) CreateNamespace(cfg server.NamespaceConfig) error {
+	for _, n := range c.Nodes {
+		if n.killed {
+			continue
+		}
+		if err := n.Srv.CreateNamespace(cfg); err != nil {
+			return fmt.Errorf("node %s: %w", n.ID, err)
+		}
+	}
+	return nil
+}
+
+// SeedAddr returns a live node's ShBP address — the one-address
+// bootstrap a client.DialCluster starts from.
+func (c *Cluster) SeedAddr() string {
+	for _, n := range c.Nodes {
+		if !n.killed {
+			return n.ShBPAddr
+		}
+	}
+	return ""
+}
+
+// Stop kills every node and removes the temp dir (when Stop created
+// it). Idempotent; registered via t.Cleanup by Start.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Kill()
+	}
+	if c.ownDir && c.dir != "" {
+		os.RemoveAll(c.dir)
+		c.dir = ""
+	}
+}

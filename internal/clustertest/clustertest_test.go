@@ -1,0 +1,103 @@
+package clustertest
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"shbf/client"
+	"shbf/internal/cluster"
+	"shbf/internal/server"
+)
+
+// TestStartServesBothTransports boots the default 3-node cluster and
+// checks every node answers over ShBP and HTTP and serves the shared
+// cluster map.
+func TestStartServesBothTransports(t *testing.T) {
+	c := Start(t, Options{})
+	if len(c.Nodes) != 3 || c.Map == nil {
+		t.Fatalf("cluster = %d nodes, map %v", len(c.Nodes), c.Map)
+	}
+	if err := c.Map.Validate(); err != nil {
+		t.Fatalf("served map invalid: %v", err)
+	}
+	for _, n := range c.Nodes {
+		cl, err := client.Dial(n.ShBPAddr)
+		if err != nil {
+			t.Fatalf("%s: dial shbp: %v", n.ID, err)
+		}
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("%s: ping over shbp: %v", n.ID, err)
+		}
+		m, err := cl.ClusterMap()
+		cl.Close()
+		if err != nil {
+			t.Fatalf("%s: cluster map over shbp: %v", n.ID, err)
+		}
+		if m.Version != c.Map.Version || len(m.Nodes) != len(c.Map.Nodes) {
+			t.Fatalf("%s: served map %+v != built map %+v", n.ID, m, c.Map)
+		}
+
+		resp, err := http.Get("http://" + n.HTTPAddr + "/v2/cluster")
+		if err != nil {
+			t.Fatalf("%s: GET /v2/cluster: %v", n.ID, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: GET /v2/cluster = %d: %s", n.ID, resp.StatusCode, body)
+		}
+		if _, err := cluster.Decode(body); err != nil {
+			t.Fatalf("%s: /v2/cluster body does not decode: %v", n.ID, err)
+		}
+	}
+}
+
+// TestKillDropsNode kills one node and checks it stops answering while
+// the others keep serving; double-Kill and Stop-after-Kill must not
+// hang or panic.
+func TestKillDropsNode(t *testing.T) {
+	c := Start(t, Options{Nodes: 3})
+	victim := c.Nodes[0]
+	victim.Kill()
+	victim.Kill() // idempotent
+
+	if cl, err := client.Dial(victim.ShBPAddr); err == nil {
+		if err := cl.Ping(); err == nil {
+			t.Fatal("killed node still answers pings")
+		}
+		cl.Close()
+	}
+	if c.SeedAddr() == victim.ShBPAddr {
+		t.Fatal("SeedAddr returned the killed node")
+	}
+	for _, n := range c.Nodes[1:] {
+		cl, err := client.Dial(n.ShBPAddr)
+		if err != nil {
+			t.Fatalf("%s: dial after sibling kill: %v", n.ID, err)
+		}
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("%s: ping after sibling kill: %v", n.ID, err)
+		}
+		cl.Close()
+	}
+}
+
+// TestCreateNamespaceReachesEveryNode provisions a tenant and checks
+// each node owns an independent copy.
+func TestCreateNamespaceReachesEveryNode(t *testing.T) {
+	c := Start(t, Options{Nodes: 2})
+	if err := c.CreateNamespace(server.NamespaceConfig{Name: "t1"}); err != nil {
+		t.Fatalf("CreateNamespace: %v", err)
+	}
+	for _, n := range c.Nodes {
+		cl, err := client.Dial(n.ShBPAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Namespace("t1").Stats(); err != nil {
+			t.Fatalf("%s: tenant missing: %v", n.ID, err)
+		}
+		cl.Close()
+	}
+}

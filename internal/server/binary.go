@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"sync"
 
 	"shbf"
@@ -185,6 +186,14 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		}
 		resp.Blob = blob
 		return
+	case wire.OpClusterMap:
+		cs := s.cluster.Load()
+		if cs == nil {
+			resp.Status, resp.Msg = wire.StatusNotFound, errNotClustered.Error()
+			return
+		}
+		resp.Blob = cs.encoded
+		return
 	}
 
 	ns, err := s.lookup(req.Namespace)
@@ -227,6 +236,22 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		sc.bools = ns.mem.ContainsAll(sc.bools[:0], req.Keys)
 		ns.stats.membershipContains.Add(uint64(len(req.Keys)))
 		resp.Bools = sc.bools
+
+	case wire.OpMembershipMerge:
+		n, err := ns.mergeEnvelope(req.Blob)
+		if err != nil {
+			resp.Status, resp.Msg = mergeStatusWire(err), err.Error()
+			return
+		}
+		resp.Applied = uint64(n)
+
+	case wire.OpMembershipDump:
+		env, err := ns.membershipEnvelope()
+		if err != nil {
+			resp.Status, resp.Msg = wire.StatusInternal, err.Error()
+			return
+		}
+		resp.Blob = env
 
 	case wire.OpAssociationAdd, wire.OpAssociationRemove:
 		op, err := associationOp(ns, req.Op, req.Set)
@@ -304,6 +329,19 @@ func associationOp(ns *namespace, op, set byte) (func([]byte) error, error) {
 		return ns.assoc.DeleteS1, nil
 	}
 	return ns.assoc.DeleteS2, nil
+}
+
+// mergeStatusWire maps a mergeEnvelope error to a wire status,
+// mirroring mergeStatusHTTP case for case so the two transports can
+// never disagree.
+func mergeStatusWire(err error) byte {
+	switch mergeStatusHTTP(err) {
+	case http.StatusBadRequest:
+		return wire.StatusBadRequest
+	case http.StatusConflict:
+		return wire.StatusConflict
+	}
+	return wire.StatusInternal
 }
 
 // wireUpdateStatus maps a filter update error to a wire status; it

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"shbf"
+	"shbf/internal/cluster"
+	"shbf/internal/sharded"
+)
+
+// Cluster mode. A daemon started with -cluster-file knows the cluster
+// map (internal/cluster) and its own node ID, and serves the map to
+// clients over GET /v2/cluster and the ShBP cluster-map op — any node
+// is a seed address. The daemon itself stays unaware of routing:
+// clients split batches by owner range (client.Cluster) and every node
+// answers whatever keys arrive. Replication converges through
+// anti-entropy: GET .../membership/envelope exports a namespace's
+// membership filter as a ShBE envelope, POST .../merge unions an
+// uploaded envelope into the live filter (same Spec + seed ⇒ OR of bit
+// arrays is the filter of the union; see sharded.Filter.Union).
+
+// errNotClustered reports cluster endpoints on a daemon started
+// without -cluster-file (mapped to 404/StatusNotFound).
+var errNotClustered = errors.New("server: no cluster map configured (start shbfd with -cluster-file)")
+
+// errMergeWindowed reports a merge into a windowed namespace, refused
+// until merges are epoch-aligned (mapped to 409/StatusConflict).
+var errMergeWindowed = errors.New("server: cannot merge into a windowed namespace (generation epochs are not aligned across nodes)")
+
+// errMergeBadEnvelope tags merge-body decode failures (mapped to
+// 400/StatusBadRequest).
+var errMergeBadEnvelope = errors.New("server: merge body is not a membership envelope")
+
+// clusterState is the immutable cluster identity a daemon is started
+// with.
+type clusterState struct {
+	m      *cluster.Map
+	nodeID string
+	// encoded is the map's JSON, rendered once at set time — the
+	// GET /v2/cluster and OpClusterMap body.
+	encoded []byte
+}
+
+// SetClusterMap puts the server in cluster mode: m is the map it will
+// serve to clients, nodeID this daemon's own entry in it. Call before
+// serving; the map is static for the process lifetime (rebalancing is
+// a follow-on).
+func (s *Server) SetClusterMap(m *cluster.Map, nodeID string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.NodeByID(nodeID) == nil {
+		return fmt.Errorf("server: node id %q is not in the cluster map", nodeID)
+	}
+	encoded, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	s.cluster.Store(&clusterState{m: m, nodeID: nodeID, encoded: encoded})
+	return nil
+}
+
+// ClusterMap returns the map set by SetClusterMap and this node's ID
+// in it (nil, "" outside cluster mode).
+func (s *Server) ClusterMap() (*cluster.Map, string) {
+	cs := s.cluster.Load()
+	if cs == nil {
+		return nil, ""
+	}
+	return cs.m, cs.nodeID
+}
+
+// handleClusterMap serves GET /v2/cluster: the cluster map document,
+// from any node.
+func (s *Server) handleClusterMap(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster.Load()
+	if cs == nil {
+		writeError(w, http.StatusNotFound, errNotClustered)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(cs.encoded)
+}
+
+// membershipEnvelope exports the namespace's membership filter as one
+// ShBE envelope — the anti-entropy payload a replica ships to its
+// peers.
+func (ns *namespace) membershipEnvelope() ([]byte, error) {
+	return shbf.AppendDump(nil, ns.mem)
+}
+
+// mergeEnvelope unions one uploaded ShBE membership envelope into the
+// namespace's live filter and returns the source filter's element
+// count. Failures classify for the transports via errMergeBadEnvelope
+// (bad request), errMergeWindowed and sharded.ErrIncompatible (both
+// conflict: the filter is intact, the operator shipped the wrong
+// envelope).
+func (ns *namespace) mergeEnvelope(data []byte) (int, error) {
+	src, rest, err := shbf.Decode(data)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errMergeBadEnvelope, err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after envelope", errMergeBadEnvelope, len(rest))
+	}
+	srcF, ok := src.(*sharded.Filter)
+	if !ok {
+		return 0, fmt.Errorf("%w: envelope holds a %s filter, want %s",
+			errMergeBadEnvelope, src.Kind(), shbf.KindShardedMembership)
+	}
+	dstF, ok := ns.mem.(*sharded.Filter)
+	if !ok {
+		return 0, errMergeWindowed
+	}
+	if err := dstF.Union(srcF); err != nil {
+		return 0, err
+	}
+	return srcF.N(), nil
+}
+
+// mergeStatusHTTP maps a mergeEnvelope error to an HTTP status.
+func mergeStatusHTTP(err error) int {
+	switch {
+	case errors.Is(err, errMergeBadEnvelope):
+		return http.StatusBadRequest
+	case errors.Is(err, errMergeWindowed), errors.Is(err, sharded.ErrIncompatible):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// nsMembershipEnvelope serves GET /v2/namespaces/{ns}/membership/
+// envelope: the namespace's membership filter as a raw ShBE envelope.
+func (s *Server) nsMembershipEnvelope(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	env, err := ns.membershipEnvelope()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(env)
+}
+
+// nsMembershipMerge serves POST /v2/namespaces/{ns}/merge: the body is
+// a raw ShBE envelope (as exported by the envelope endpoint) unioned
+// into the live membership filter.
+func (s *Server) nsMembershipMerge(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	n, err := ns.mergeEnvelope(body)
+	if err != nil {
+		writeError(w, mergeStatusHTTP(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"merged_n":     n,
+		"membership_n": ns.mem.Stats().N,
+	})
+}

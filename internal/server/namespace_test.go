@@ -292,4 +292,3 @@ func TestClassifyMaskOnlyInV2(t *testing.T) {
 		t.Fatalf("mask %v missing s1-only candidate", mask)
 	}
 }
-

@@ -32,8 +32,11 @@
 //	POST   /v2/namespaces/{ns}/multiplicity/count     {"keys": [...]}            → per-key counts
 //	POST   /v2/namespaces/{ns}/rotate                                            → retire the tenant's oldest generation
 //	GET    /v2/namespaces/{ns}/stats                                             → occupancy, FPR, window, counters
+//	GET    /v2/namespaces/{ns}/membership/envelope                               → membership filter as a raw ShBE envelope
+//	POST   /v2/namespaces/{ns}/merge                  raw ShBE envelope body     → union into the live membership filter
 //	POST   /v2/snapshot                               {"rotation_consistent": bool} → persist all tenants
 //	GET    /v2/stats                                                             → daemon-wide tenant summaries
+//	GET    /v2/cluster                                                           → the cluster map (cluster mode; see internal/cluster)
 //	GET    /healthz
 //
 // The v1 endpoints (POST /v1/membership/add, ... — see OPERATIONS.md)
@@ -189,6 +192,11 @@ type Server struct {
 	// snapshots counts persisted snapshots (daemon-wide).
 	snapshots atomic.Uint64
 
+	// cluster is the cluster-mode identity (nil outside cluster mode);
+	// handlers read it lock-free on every request, so it is stored
+	// whole and never mutated (see SetClusterMap).
+	cluster atomic.Pointer[clusterState]
+
 	start time.Time
 }
 
@@ -302,8 +310,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/count", scoped(s.nsMultiplicityCount))
 	mux.HandleFunc("POST /v2/namespaces/{ns}/rotate", scoped(s.nsRotate))
 	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped(s.nsStats))
+	mux.HandleFunc("GET /v2/namespaces/{ns}/membership/envelope", scoped(s.nsMembershipEnvelope))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/merge", scoped(s.nsMembershipMerge))
 	mux.HandleFunc("POST /v2/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v2/stats", s.handleDaemonStats)
+	mux.HandleFunc("GET /v2/cluster", s.handleClusterMap)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -30,8 +30,9 @@
 //	              5-tuple flow IDs pack with zero per-key overhead);
 //	              otherwise N × (uvarint length + bytes)
 //	...           op tail: OpMultiplicityAdd/OpMultiplicityRemove carry
-//	              N uvarint per-key counts; OpNamespaceCreate carries a
-//	              uvarint-length-prefixed JSON config blob
+//	              N uvarint per-key counts; OpNamespaceCreate and
+//	              OpMembershipMerge carry a uvarint-length-prefixed blob
+//	              (a JSON config and a ShBE envelope respectively)
 //
 // Response payload layout:
 //
@@ -75,8 +76,11 @@ const (
 	OpNamespaceCreate    = 0x04 // create a namespace from a JSON config blob
 	OpNamespaceDelete    = 0x05 // delete a namespace
 	OpNamespaceList      = 0x06 // list namespaces → JSON blob
+	OpClusterMap         = 0x07 // fetch the node's cluster map → JSON blob
 	OpMembershipAdd      = 0x10 // keys → membership AddAll
 	OpMembershipContains = 0x11 // keys → membership ContainsAll (bitset reply)
+	OpMembershipMerge    = 0x12 // ShBE envelope blob → union into the live filter
+	OpMembershipDump     = 0x13 // export the membership filter → ShBE envelope blob
 	OpAssociationAdd     = 0x20 // keys + set arg → InsertS1/InsertS2
 	OpAssociationRemove  = 0x21 // keys + set arg → DeleteS1/DeleteS2
 	OpAssociationQuery   = 0x22 // keys → QueryAll (region byte reply)
@@ -93,8 +97,11 @@ var opNames = map[byte]string{
 	OpNamespaceCreate:    "namespace-create",
 	OpNamespaceDelete:    "namespace-delete",
 	OpNamespaceList:      "namespace-list",
+	OpClusterMap:         "cluster-map",
 	OpMembershipAdd:      "membership-add",
 	OpMembershipContains: "membership-contains",
+	OpMembershipMerge:    "membership-merge",
+	OpMembershipDump:     "membership-dump",
 	OpAssociationAdd:     "association-add",
 	OpAssociationRemove:  "association-remove",
 	OpAssociationQuery:   "association-query",
@@ -187,7 +194,7 @@ type Request struct {
 	// Counts encodes as all-ones).
 	Counts []int
 	// Blob is the op-specific trailing blob (OpNamespaceCreate's JSON
-	// config).
+	// config, OpMembershipMerge's ShBE envelope).
 	Blob []byte
 }
 
@@ -238,7 +245,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 			}
 			dst = binary.AppendUvarint(dst, uint64(c))
 		}
-	case OpNamespaceCreate:
+	case OpNamespaceCreate, OpMembershipMerge:
 		dst = binary.AppendUvarint(dst, uint64(len(req.Blob)))
 		dst = append(dst, req.Blob...)
 	}
@@ -320,10 +327,10 @@ func DecodeRequest(req *Request, frame []byte) error {
 			req.Counts[i] = int(n)
 			rest = rest[sz:]
 		}
-	case OpNamespaceCreate:
+	case OpNamespaceCreate, OpMembershipMerge:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
-			return fmt.Errorf("%w: config blob", ErrTruncated)
+			return fmt.Errorf("%w: trailing blob", ErrTruncated)
 		}
 		req.Blob = rest[sz : sz+int(n)]
 		rest = rest[sz+int(n):]
@@ -359,7 +366,8 @@ type Response struct {
 	Epoch uint64
 	// Rotated lists the filters rotated, for OpRotate.
 	Rotated []string
-	// Blob is the JSON body of OpStats and OpNamespaceList.
+	// Blob is the body of OpStats, OpNamespaceList and OpClusterMap
+	// (JSON) and OpMembershipDump (a raw ShBE envelope).
 	Blob []byte
 }
 
@@ -377,7 +385,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		switch resp.Op {
 		case OpPing, OpNamespaceCreate, OpNamespaceDelete:
 			// Empty body.
-		case OpMembershipAdd, OpAssociationAdd, OpAssociationRemove,
+		case OpMembershipAdd, OpMembershipMerge, OpAssociationAdd, OpAssociationRemove,
 			OpMultiplicityAdd, OpMultiplicityRemove:
 			dst = binary.AppendUvarint(dst, resp.Applied)
 		case OpMembershipContains:
@@ -398,7 +406,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 				dst = binary.AppendUvarint(dst, uint64(len(name)))
 				dst = append(dst, name...)
 			}
-		case OpStats, OpNamespaceList:
+		case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump:
 			dst = binary.AppendUvarint(dst, uint64(len(resp.Blob)))
 			dst = append(dst, resp.Blob...)
 		default:
@@ -451,7 +459,7 @@ func DecodeResponse(resp *Response, frame []byte) error {
 	switch resp.Op {
 	case OpPing, OpNamespaceCreate, OpNamespaceDelete:
 		// Empty body.
-	case OpMembershipAdd, OpAssociationAdd, OpAssociationRemove,
+	case OpMembershipAdd, OpMembershipMerge, OpAssociationAdd, OpAssociationRemove,
 		OpMultiplicityAdd, OpMultiplicityRemove:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 {
@@ -517,10 +525,10 @@ func DecodeResponse(resp *Response, frame []byte) error {
 			resp.Rotated[i] = string(rest[lsz : lsz+int(l)])
 			rest = rest[lsz+int(l):]
 		}
-	case OpStats, OpNamespaceList:
+	case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
-			return fmt.Errorf("%w: JSON blob", ErrTruncated)
+			return fmt.Errorf("%w: blob body", ErrTruncated)
 		}
 		resp.Blob = rest[sz : sz+int(n)]
 		rest = rest[sz+int(n):]

@@ -76,6 +76,29 @@ func TestRequestRoundTripAssociationSetAndBlob(t *testing.T) {
 	}
 }
 
+func TestRequestRoundTripClusterOps(t *testing.T) {
+	// cluster-map is header-only.
+	got := roundTripRequest(t, &Request{Op: OpClusterMap})
+	if got.Op != OpClusterMap || got.Blob != nil || len(got.Keys) != 0 {
+		t.Fatalf("cluster-map request: %+v", got)
+	}
+	// membership-dump carries only the namespace.
+	got = roundTripRequest(t, &Request{Op: OpMembershipDump, Namespace: "t"})
+	if got.Op != OpMembershipDump || got.Namespace != "t" || got.Blob != nil {
+		t.Fatalf("membership-dump request: %+v", got)
+	}
+	// membership-merge carries an opaque envelope in the blob tail,
+	// like namespace-create carries its config.
+	envelope := []byte("ShBE\x01...fake envelope bytes\x00\xff")
+	got = roundTripRequest(t, &Request{Op: OpMembershipMerge, Namespace: "t", Blob: envelope})
+	if got.Op != OpMembershipMerge || got.Namespace != "t" {
+		t.Fatalf("membership-merge header: %+v", got)
+	}
+	if !bytes.Equal(got.Blob, envelope) {
+		t.Fatalf("membership-merge blob = %q, want %q", got.Blob, envelope)
+	}
+}
+
 func TestRequestEncodingRejectsMismatchedWidth(t *testing.T) {
 	_, err := AppendRequest(nil, &Request{
 		Op: OpMembershipAdd, KeyWidth: 4, Keys: [][]byte{[]byte("abc")},
@@ -94,6 +117,10 @@ func TestResponseRoundTrips(t *testing.T) {
 		{Status: StatusOK, Op: OpAssociationQuery, Regions: []byte{0, 1, 3, 7}},
 		{Status: StatusOK, Op: OpRotate, Epoch: 9, Rotated: []string{"membership", "association", "multiplicity"}},
 		{Status: StatusOK, Op: OpStats, Blob: []byte(`{"n":1}`)},
+		{Status: StatusOK, Op: OpClusterMap, Blob: []byte(`{"version":1,"nodes":[]}`)},
+		{Status: StatusOK, Op: OpMembershipDump, Blob: []byte("ShBE\x01binary envelope\x00")},
+		{Status: StatusOK, Op: OpMembershipMerge, Applied: 700},
+		{Status: StatusConflict, Op: OpMembershipMerge, Msg: "spec mismatch"},
 		{Status: StatusConflict, Op: OpMultiplicityAdd, Msg: "count overflow"},
 	}
 	for _, want := range cases {
@@ -138,14 +165,14 @@ func TestResponseRoundTrips(t *testing.T) {
 
 func TestDecodeRequestRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
-		"empty":           {},
-		"short header":    []byte("ShB"),
-		"bad magic":       []byte("NOPE\x01\x10\x00\x00\x00\x00\x00\x00\x00\x00"),
-		"bad version":     []byte("ShBP\x07\x10\x00\x00\x00\x00\x00\x00\x00\x00"),
-		"unknown op":      []byte("ShBP\x01\xee\x00\x00\x00\x00\x00\x00\x00\x00"),
-		"ns overrun":      []byte("ShBP\x01\x10\x00\x09ab"),
-		"count overrun":   append([]byte("ShBP\x01\x10\x00\x00\x0d\x00"), 0xff, 0xff, 0xff, 0xff),
-		"trailing":        append(mustRequest(&Request{Op: OpPing})[4:], 0x00),
+		"empty":         {},
+		"short header":  []byte("ShB"),
+		"bad magic":     []byte("NOPE\x01\x10\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version":   []byte("ShBP\x07\x10\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"unknown op":    []byte("ShBP\x01\xee\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"ns overrun":    []byte("ShBP\x01\x10\x00\x09ab"),
+		"count overrun": append([]byte("ShBP\x01\x10\x00\x00\x0d\x00"), 0xff, 0xff, 0xff, 0xff),
+		"trailing":      append(mustRequest(&Request{Op: OpPing})[4:], 0x00),
 		"truncated varkey": append([]byte("ShBP\x01\x10\x00\x00\x00\x00"),
 			0x02, 0x00, 0x00, 0x00, // 2 keys
 			0x05, 'a'), // first key claims 5 bytes, has 1
