@@ -1,0 +1,77 @@
+package client_test
+
+import (
+	"bytes"
+	"testing"
+
+	"shbf"
+	"shbf/client"
+)
+
+// TestFreezeBothTransports: Namespace.Freeze returns a ShBZ container
+// that opens locally with shbf.OpenFrozen and answers like the daemon,
+// and the frozen namespace conflicts on writes — identically over ShBP
+// and HTTP.
+func TestFreezeBothTransports(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	for label, c := range d.clients(t) {
+		t.Run(label, func(t *testing.T) {
+			nsName := "cold-" + label
+			if err := c.CreateNamespace(client.NamespaceConfig{Name: nsName}); err != nil {
+				t.Fatal(err)
+			}
+			ns := c.Namespace(nsName)
+			keys := make([][]byte, 256)
+			for i := range keys {
+				keys[i] = flowKey(i)
+			}
+			set := ns.Set()
+			if err := set.AddAll(keys); err != nil {
+				t.Fatal(err)
+			}
+
+			blob, err := ns.Freeze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fz, err := shbf.OpenFrozen(blob)
+			if err != nil {
+				t.Fatalf("opening frozen container: %v", err)
+			}
+			if fz.N() != len(keys) {
+				t.Fatalf("frozen N = %d, want %d", fz.N(), len(keys))
+			}
+			// The local zero-copy container and the daemon agree on every
+			// key — members and a non-member probe.
+			probes := append(keys[:len(keys):len(keys)], []byte("never-added"))
+			local := fz.ContainsAll(nil, probes)
+			remote, err := set.Check(probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range probes {
+				if local[i] != remote[i] {
+					t.Fatalf("probe %d: frozen=%v daemon=%v", i, local[i], remote[i])
+				}
+			}
+
+			// Writes conflict on this transport from now on.
+			err = set.AddAll([][]byte{[]byte("late")})
+			if !client.IsConflict(err) {
+				t.Fatalf("write to frozen namespace: err = %v, want conflict", err)
+			}
+			if err := ns.Counter().Insert([]byte("late")); !client.IsConflict(err) {
+				t.Fatalf("multiplicity write to frozen namespace: err = %v, want conflict", err)
+			}
+
+			// Reads keep serving, and a repeat freeze is byte-identical.
+			if got, err := set.Check(keys[:1]); err != nil || !got[0] {
+				t.Fatalf("read after freeze: %v %v", got, err)
+			}
+			blob2, err := ns.Freeze()
+			if err != nil || !bytes.Equal(blob, blob2) {
+				t.Fatalf("repeat freeze: err=%v byte-identical=%v", err, bytes.Equal(blob, blob2))
+			}
+		})
+	}
+}

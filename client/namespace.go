@@ -71,6 +71,21 @@ func (ns *Namespace) Merge(envelope []byte) (uint64, error) {
 	return resp.Applied, nil
 }
 
+// Freeze compacts the namespace's membership filter into a read-only
+// ShBZ frozen container (POST /v2/namespaces/{ns}/freeze) and returns
+// the container bytes — open them locally with shbf.OpenFrozen for
+// zero-copy queries, or persist them for a stack file. From the first
+// freeze on the namespace is read-only: every write answers a conflict
+// (IsConflict) until the namespace is deleted and recreated. Repeating
+// the freeze is idempotent and returns the same bytes.
+func (ns *Namespace) Freeze() ([]byte, error) {
+	resp, err := ns.do(&wire.Request{Op: wire.OpFreeze})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
 // do stamps the namespace onto a request and runs it.
 func (ns *Namespace) do(req *wire.Request) (*wire.Response, error) {
 	req.Namespace = ns.name

@@ -205,6 +205,15 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 		resp.Blob = data
 		return nil
 
+	case wire.OpFreeze:
+		// The freeze endpoint serves raw ShBZ bytes, not JSON.
+		data, err := t.doRaw(req, resp, http.MethodPost, t.nsPath(req.Namespace, "/freeze"), "", nil)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		resp.Blob = data
+		return nil
+
 	case wire.OpMembershipMerge:
 		// The merge body is a raw ShBE envelope; the reply is JSON.
 		data, err := t.doRaw(req, resp, http.MethodPost, t.nsPath(req.Namespace, "/merge"), "application/octet-stream", req.Blob)

@@ -1,0 +1,287 @@
+package main
+
+// frozen.go implements the -frozen mode: the frozen-filter benchmark
+// behind BENCH_PR7.json. It measures the three numbers that justify
+// the ShBZ container's existence:
+//
+//   - probe throughput: ContainsAll over the frozen container vs the
+//     live sharded filter it was frozen from (the zero-copy path must
+//     not tax the paper's ~one-cache-miss probe);
+//   - cold open: OpenFrozen on container bytes vs decoding the same
+//     filter from its ShBE envelope (the envelope materializes every
+//     word; the container is a 64-byte header parse);
+//   - stack amortization: opening a 10k-filter ShBK stack and every
+//     member filter in it, per-filter (the LSM shape: thousands of
+//     SSTable filters behind one mapped file).
+//
+// Methodology matches the other modes: every case is measured with
+// testing.Benchmark, the suite runs frozenRuns times with live and
+// frozen interleaved, and the minimum per case is reported
+// (interleaved min-of-N — noise only ever adds time).
+//
+// Gates (each 0 = off): -frozen-min-ratio fails the run when frozen
+// ContainsAll throughput falls below that fraction of live;
+// -frozen-max-open-us bounds the amortized per-filter stack open;
+// -frozen-min-open-speedup requires OpenFrozen to beat the envelope
+// decode by that factor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"shbf"
+	"shbf/internal/flowkeys"
+)
+
+// frozenRuns is the interleaved repetition count (min per case wins).
+const frozenRuns = 3
+
+// frozenBatch is the ContainsAll batch size measured.
+const frozenBatch = 4096
+
+// frozenStackFilters is the stack cold-open population.
+const frozenStackFilters = 10_000
+
+// frozenResult is one measurement.
+type frozenResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerKey    float64 `json:"ns_per_key,omitempty"`
+	KeysPerSec  float64 `json:"keys_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// frozenReport is the BENCH_PR7.json document.
+type frozenReport struct {
+	Schema      string         `json:"schema"`
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	CPUs        int            `json:"cpus"`
+	KeyBytes    int            `json:"key_bytes"`
+	Runs        int            `json:"runs"`
+	Note        string         `json:"note"`
+	Results     []frozenResult `json:"results"`
+	// FrozenVsLiveRatio is frozen ÷ live ContainsAll keys/sec (≥ 1
+	// means the zero-copy path is at least as fast).
+	FrozenVsLiveRatio float64 `json:"frozen_vs_live_keys_per_sec_ratio"`
+	// OpenSpeedup is envelope-decode ns ÷ OpenFrozen ns for the same
+	// filter (the cold-open advantage).
+	OpenSpeedup float64 `json:"open_vs_envelope_decode_speedup"`
+	// StackOpenUsPerFilter is the amortized per-filter cost of opening
+	// a frozenStackFilters-entry stack and every filter in it.
+	StackOpenUsPerFilter float64 `json:"stack_open_us_per_filter"`
+}
+
+// runFrozen measures the suite, writes the report, and applies the
+// gates.
+func runFrozen(outPath, note string, minRatio, maxOpenUs, minOpenSpeedup float64) error {
+	// Workload: the serving shape — a 16-shard membership filter at 64k
+	// members of 13-byte flow IDs, probed with a 50/50 member mix.
+	const nMembers = 1 << 16
+	spec := shbf.Spec{Kind: shbf.KindShardedMembership,
+		M: 12 << 20, K: 8, Shards: 16, Seed: 1}
+	built, err := shbf.New(spec)
+	if err != nil {
+		return err
+	}
+	live := built.(interface {
+		shbf.Filter
+		AddAll(keys [][]byte) error
+		ContainsAll(dst []bool, keys [][]byte) []bool
+	})
+	_, pool := flowkeys.Keys(2 * nMembers)
+	members := pool[:nMembers]
+	if err := live.AddAll(members); err != nil {
+		return err
+	}
+	probes := append([][]byte{}, pool[nMembers:]...)
+	for i := 0; i < len(probes); i += 2 {
+		probes[i] = members[i]
+	}
+	query := probes[:frozenBatch]
+
+	blob, err := shbf.Freeze(live)
+	if err != nil {
+		return err
+	}
+	fz, err := shbf.OpenFrozen(blob)
+	if err != nil {
+		return err
+	}
+	// Frozen must answer exactly like its live source before any number
+	// is worth reporting.
+	liveAns := live.ContainsAll(nil, probes)
+	frozenAns := fz.ContainsAll(nil, probes)
+	for i := range probes {
+		if liveAns[i] != frozenAns[i] {
+			return fmt.Errorf("frozen container diverges from live filter on probe %d", i)
+		}
+	}
+	env, err := shbf.AppendDump(nil, live)
+	if err != nil {
+		return err
+	}
+
+	// A 10k-filter stack of small per-SSTable-sized filters (64 keys
+	// each), the amortized cold-open population.
+	var sb shbf.FrozenStackBuilder
+	smallSpec := shbf.Spec{Kind: shbf.KindMembership, M: 1 << 12, K: 8, Seed: 2}
+	for i := 0; i < frozenStackFilters; i++ {
+		sf, err := shbf.New(smallSpec)
+		if err != nil {
+			return err
+		}
+		adder := sf.(shbf.Adder)
+		if err := adder.AddAll(members[(i*64)%(nMembers-64) : (i*64)%(nMembers-64)+64]); err != nil {
+			return err
+		}
+		if err := sb.Add(sf); err != nil {
+			return err
+		}
+	}
+	stackFile := sb.Finish()
+
+	type benchCase struct {
+		name  string
+		batch int // 0 = not a per-key case
+		body  func(b *testing.B)
+	}
+	cases := []benchCase{
+		{"live/ContainsAll/4096", frozenBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			dst := make([]bool, 0, frozenBatch)
+			for i := 0; i < b.N; i++ {
+				dst = live.ContainsAll(dst[:0], query)
+			}
+		}},
+		{"frozen/ContainsAll/4096", frozenBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			dst := make([]bool, 0, frozenBatch)
+			for i := 0; i < b.N; i++ {
+				dst = fz.ContainsAll(dst[:0], query)
+			}
+		}},
+		{"open/frozen", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := shbf.OpenFrozen(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"open/envelope-decode", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := shbf.Decode(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stack/open-10k", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := shbf.OpenFrozenStack(stackFile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < st.Len(); j++ {
+					if _, err := st.At(j); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+
+	// Interleaved min-of-N: whole-suite passes, live and frozen
+	// adjacent within each pass.
+	best := make([]testing.BenchmarkResult, len(cases))
+	for run := 0; run < frozenRuns; run++ {
+		for i, c := range cases {
+			r := testing.Benchmark(c.body)
+			if run == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+
+	report := frozenReport{
+		Schema:      "shbf-frozen-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		KeyBytes:    flowkeys.KeyBytes,
+		Runs:        frozenRuns,
+		Note:        note,
+	}
+	nsPerOp := map[string]float64{}
+	for i, c := range cases {
+		r := best[i]
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := frozenResult{
+			Name:        c.name,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if c.batch > 0 {
+			res.NsPerKey = ns / float64(c.batch)
+			res.KeysPerSec = float64(c.batch) / (ns / 1e9)
+		}
+		report.Results = append(report.Results, res)
+		nsPerOp[c.name] = ns
+	}
+	report.FrozenVsLiveRatio = nsPerOp["live/ContainsAll/4096"] / nsPerOp["frozen/ContainsAll/4096"]
+	report.OpenSpeedup = nsPerOp["open/envelope-decode"] / nsPerOp["open/frozen"]
+	report.StackOpenUsPerFilter = nsPerOp["stack/open-10k"] / float64(frozenStackFilters) / 1e3
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("frozen bench → %s\n", outPath)
+	for _, res := range report.Results {
+		if res.KeysPerSec > 0 {
+			fmt.Printf("  %-26s %10.0f keys/s  %7.2f ns/key  %5d B/op %4d allocs/op\n",
+				res.Name, res.KeysPerSec, res.NsPerKey, res.BytesPerOp, res.AllocsPerOp)
+		} else {
+			fmt.Printf("  %-26s %12.0f ns/op  %5d B/op %4d allocs/op\n",
+				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+	fmt.Printf("  frozen vs live throughput:  %.2f×\n", report.FrozenVsLiveRatio)
+	fmt.Printf("  open vs envelope decode:    %.0f×\n", report.OpenSpeedup)
+	fmt.Printf("  stack open amortized:       %.3f µs/filter (%d filters)\n",
+		report.StackOpenUsPerFilter, frozenStackFilters)
+
+	if minRatio > 0 && report.FrozenVsLiveRatio < minRatio {
+		return fmt.Errorf("frozen ContainsAll is %.2f× live throughput, below the %.2f× gate",
+			report.FrozenVsLiveRatio, minRatio)
+	}
+	if maxOpenUs > 0 && report.StackOpenUsPerFilter > maxOpenUs {
+		return fmt.Errorf("stack open amortizes to %.2f µs/filter, above the %.1f µs gate",
+			report.StackOpenUsPerFilter, maxOpenUs)
+	}
+	if minOpenSpeedup > 0 && report.OpenSpeedup < minOpenSpeedup {
+		return fmt.Errorf("OpenFrozen is %.0f× the envelope decode, below the %.0f× gate",
+			report.OpenSpeedup, minOpenSpeedup)
+	}
+	if minRatio > 0 || maxOpenUs > 0 || minOpenSpeedup > 0 {
+		fmt.Println("gates: ok")
+	}
+	return nil
+}

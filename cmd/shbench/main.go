@@ -14,6 +14,8 @@
 //	shbench -serve [-serve-out BENCH_PR5.json] [-serve-min-speedup X]
 //	shbench -serve-cluster [-serve-cluster-out BENCH_PR6.json]
 //	        [-serve-cluster-min-speedup X]
+//	shbench -frozen [-frozen-out BENCH_PR7.json] [-frozen-min-ratio X]
+//	        [-frozen-max-open-us X] [-frozen-min-open-speedup X]
 //
 // Examples:
 //
@@ -61,6 +63,12 @@ func main() {
 		clusterOut  = flag.String("serve-cluster-out", "BENCH_PR6.json", "with -serve-cluster: output file")
 		clusterNote = flag.String("serve-cluster-note", "", "with -serve-cluster: free-form note recorded in the report")
 		clusterGate = flag.Float64("serve-cluster-min-speedup", 0, "with -serve-cluster: exit nonzero unless cluster ContainsAll@4096 ≥ this × the single-node keys/sec (0 = no gate)")
+		frozen      = flag.Bool("frozen", false, "run the frozen-filter benchmark (live vs ShBZ probe throughput, cold open, stack amortization) and write machine-readable JSON")
+		frozenOut   = flag.String("frozen-out", "BENCH_PR7.json", "with -frozen: output file")
+		frozenNote  = flag.String("frozen-note", "", "with -frozen: free-form note recorded in the report")
+		frozenRatio = flag.Float64("frozen-min-ratio", 0, "with -frozen: exit nonzero unless frozen ContainsAll ≥ this fraction of live keys/sec (0 = no gate)")
+		frozenOpen  = flag.Float64("frozen-max-open-us", 0, "with -frozen: exit nonzero if the 10k-filter stack open amortizes above this many µs/filter (0 = no gate)")
+		frozenSpeed = flag.Float64("frozen-min-open-speedup", 0, "with -frozen: exit nonzero unless OpenFrozen beats the envelope decode by this factor (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -80,6 +88,13 @@ func main() {
 	}
 	if *cluster {
 		if err := runClusterBench(*clusterOut, *clusterNote, *clusterGate); err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *frozen {
+		if err := runFrozen(*frozenOut, *frozenNote, *frozenRatio, *frozenOpen, *frozenSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, "shbench:", err)
 			os.Exit(1)
 		}

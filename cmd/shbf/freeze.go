@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shbf"
+)
+
+// freeze / stack: the LSM-shipping subcommands. freeze compacts a live
+// filter envelope (shbf dump) into a read-only ShBZ container that
+// shbf.OpenFrozen serves zero-copy from a file or mmap region; stack
+// packs many containers into one ShBK stack file (or lists one), the
+// shape a storage engine wants for thousands of SSTable-style filters
+// behind a single open.
+
+// runFreeze loads a ShBE envelope, freezes it, and writes the ShBZ
+// container.
+func runFreeze(args []string) error {
+	fs := flag.NewFlagSet("shbf freeze", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "filter envelope to freeze (see shbf dump)")
+		out = fs.String("out", "", "output file for the ShBZ frozen container")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("freeze needs -in and -out")
+	}
+	blob, err := freezeEnvelopeFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	// Re-open what was written, so the report reflects the container
+	// itself, not the intent.
+	fz, err := shbf.OpenFrozen(blob)
+	if err != nil {
+		return fmt.Errorf("re-opening written container: %w", err)
+	}
+	fmt.Printf("froze %s filter: n=%d, %d shards, %d bytes → %s\n",
+		fz.SourceKind(), fz.N(), fz.Shards(), fz.SizeBytes(), *out)
+	return nil
+}
+
+// freezeEnvelopeFile loads one ShBE envelope and returns its frozen
+// container bytes.
+func freezeEnvelopeFile(path string) ([]byte, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := shbf.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	blob, err := shbf.Freeze(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return blob, nil
+}
+
+// runStack builds a ShBK stack file from containers/envelopes, or
+// lists an existing one with -in.
+func runStack(args []string) error {
+	fs := flag.NewFlagSet("shbf stack", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "stack file to list (mutually exclusive with building)")
+		out = fs.String("out", "", "output stack file (positional args: .shbz containers and .shbf envelopes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*out == "") {
+		return fmt.Errorf("stack needs exactly one of -in (list) or -out (build)")
+	}
+	if *in != "" {
+		return listStack(*in)
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("stack -out needs at least one container or envelope argument")
+	}
+	var b shbf.FrozenStackBuilder
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// A ShBZ container stacks as-is; anything else must be a ShBE
+		// envelope, frozen on the way in.
+		if err := b.AddFrozen(data); err != nil {
+			blob, ferr := freezeEnvelopeFile(path)
+			if ferr != nil {
+				return fmt.Errorf("%s is neither a frozen container (%v) nor a freezable envelope (%v)", path, err, ferr)
+			}
+			if err := b.AddFrozen(blob); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	file := b.Finish()
+	if err := os.WriteFile(*out, file, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stacked %d filters, %d bytes → %s\n", b.Len(), len(file), *out)
+	return nil
+}
+
+// listStack opens a stack file and prints one line per entry.
+func listStack(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := shbf.OpenFrozenStack(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: %d filters, %d bytes\n", path, st.Len(), st.SizeBytes())
+	for i := 0; i < st.Len(); i++ {
+		fz, err := st.At(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  [%d] %s: n=%d, shards=%d, k=%d, m=%d, w̄=%d, %d bytes\n",
+			i, fz.SourceKind(), fz.N(), fz.Shards(), fz.K(), fz.M(), fz.MaxOffset(), fz.SizeBytes())
+	}
+	return nil
+}

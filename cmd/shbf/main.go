@@ -12,6 +12,9 @@
 //	shbf plan -kind membership -n 1000000 -target 0.001
 //	shbf dump -kind membership -trace t.bin -out f.shbf [-m 0] [-k 8]
 //	shbf load -in f.shbf [-trace t.bin]
+//	shbf freeze -in f.shbf -out f.shbz
+//	shbf stack -out filters.shbk a.shbz b.shbf ...
+//	shbf stack -in filters.shbk
 //
 // eval builds a filter from a trace and reports quality (fill ratio,
 // memory, measured vs theoretical error). plan sizes a geometry from
@@ -19,6 +22,10 @@
 // writes the filter as a self-describing envelope; load reads any
 // envelope back — no kind flag needed, the envelope says what it is —
 // and reports its spec and stats, optionally probing it with a trace.
+// freeze compacts an envelope into a read-only ShBZ container
+// (shbf.OpenFrozen serves it zero-copy from a file or mmap region);
+// stack packs containers and envelopes into one ShBK stack file, or
+// lists one with -in.
 // With -m 0 the filter is sized optimally from the trace (m = nk/ln2
 // for membership/association, 1.5× that for multiplicity, following
 // the paper's experimental setups). Legacy kind aliases member, assoc
@@ -62,8 +69,12 @@ func run(args []string) error {
 		return runDump(args)
 	case "load":
 		return runLoad(args)
+	case "freeze":
+		return runFreeze(args)
+	case "stack":
+		return runStack(args)
 	default:
-		return fmt.Errorf("unknown subcommand %q (eval, plan, dump, load)", sub)
+		return fmt.Errorf("unknown subcommand %q (eval, plan, dump, load, freeze, stack)", sub)
 	}
 }
 

@@ -1,0 +1,153 @@
+// LSM read-path gating: the frozen-filter embedding the ShBZ container
+// exists for.
+//
+// An LSM-style store keeps one mutable memtable plus a stack of
+// immutable on-disk levels. Every level carries a Bloom-style filter so
+// a point lookup can skip levels that cannot contain the key. The
+// frozen container is exactly that shape: each flushed level's filter
+// is compacted with shbf.Freeze into read-only ShBZ bytes, all levels
+// are packed into a single ShBK stack file (one open, O(1) At per
+// level), and the memtable keeps a live filter for in-flight writes.
+//
+// The program builds the store, then asserts the invariants a storage
+// engine relies on — it exits nonzero if any fails:
+//
+//  1. no false negatives: every written key is admitted by the filter
+//     of the level that holds it;
+//  2. frozen ≡ live: each frozen level answers exactly like the live
+//     filter it was frozen from, on every probe;
+//  3. gating works: lookups for absent keys are rejected by the large
+//     majority of levels (the FPR of the configuration), so a lookup
+//     touches ~1 level instead of all of them.
+//
+// Run with: go run ./examples/lsmgate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"shbf"
+)
+
+const (
+	levels       = 8     // flushed immutable levels
+	keysPerLevel = 4096  // keys per flush
+	k            = 8     // probes per key
+	bitsPerKey   = 12    // filter budget, ~0.3% FPR at k=8
+	probeMisses  = 20000 // absent-key lookups for the gating measurement
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Write keysPerLevel keys into a live memtable filter, flush it:
+	// freeze into a ShBZ container and start a fresh memtable. The live
+	// filters are kept only to assert frozen ≡ live below.
+	var (
+		stack    shbf.FrozenStackBuilder
+		lives    []shbf.Set
+		perLevel [][][]byte
+	)
+	spec := shbf.Spec{Kind: shbf.KindMembership, M: keysPerLevel * bitsPerKey, K: k}
+	for level := 0; level < levels; level++ {
+		spec.Seed = uint64(level + 1)
+		f, err := shbf.New(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mem := f.(shbf.Set)
+		keys := make([][]byte, keysPerLevel)
+		for i := range keys {
+			keys[i] = key(rng, level, i)
+		}
+		if err := mem.AddAll(keys); err != nil {
+			log.Fatal(err)
+		}
+		if err := stack.Add(f); err != nil {
+			log.Fatal(err)
+		}
+		lives = append(lives, mem)
+		perLevel = append(perLevel, keys)
+	}
+	stackFile := stack.Finish()
+
+	// The read path opens the stack file once — in production this is
+	// an mmap'd region; the container is served zero-copy either way.
+	st, err := shbf.OpenFrozenStack(stackFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozen := make([]*shbf.Frozen, st.Len())
+	for i := range frozen {
+		if frozen[i], err = st.At(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stacked %d levels × %d keys: %d bytes (%d bytes/level)\n",
+		levels, keysPerLevel, st.SizeBytes(), st.SizeBytes()/levels)
+
+	// Invariant 1 — no false negatives: every key is admitted by its
+	// own level's frozen filter.
+	for level, keys := range perLevel {
+		hits := frozen[level].ContainsAll(nil, keys)
+		for i, ok := range hits {
+			if !ok {
+				log.Fatalf("FALSE NEGATIVE: level %d key %d rejected by its own filter", level, i)
+			}
+		}
+	}
+	fmt.Printf("no false negatives across %d written keys\n", levels*keysPerLevel)
+
+	// Invariant 2 — frozen ≡ live: on a mixed probe set (present and
+	// absent keys), each frozen level answers bit-for-bit like the live
+	// filter it was frozen from.
+	probes := make([][]byte, 0, 2*keysPerLevel)
+	probes = append(probes, perLevel[0]...)
+	for i := 0; i < keysPerLevel; i++ {
+		probes = append(probes, key(rng, 999, i))
+	}
+	for level := range frozen {
+		fa := frozen[level].ContainsAll(nil, probes)
+		la := lives[level].ContainsAll(nil, probes)
+		for i := range probes {
+			if fa[i] != la[i] {
+				log.Fatalf("DIVERGENCE: level %d probe %d frozen=%v live=%v", level, i, fa[i], la[i])
+			}
+		}
+	}
+	fmt.Printf("frozen ≡ live on %d probes × %d levels\n", len(probes), levels)
+
+	// Invariant 3 — gating: an absent key should be rejected by almost
+	// every level, so a negative lookup touches ~0 levels and a
+	// positive one ~1. Measure levels touched per absent-key lookup.
+	touched := 0
+	for i := 0; i < probeMisses; i++ {
+		miss := key(rng, 1000+i%7, i)
+		for _, fz := range frozen {
+			if fz.Contains(miss) {
+				touched++
+			}
+		}
+	}
+	perLookup := float64(touched) / probeMisses
+	fmt.Printf("absent-key lookups touch %.4f of %d levels on average\n", perLookup, levels)
+	// With bitsPerKey=12, k=8 the per-level FPR is well under 1%; even
+	// 10× slack keeps this far below one level per lookup.
+	if perLookup > 0.5 {
+		log.Fatalf("GATING BROKEN: %.4f levels touched per absent lookup (want < 0.5)", perLookup)
+	}
+
+	fmt.Println("ok: all invariants hold")
+}
+
+// key derives a 16-byte key unique to (level, i) plus rng noise so
+// levels do not share keys.
+func key(rng *rand.Rand, level, i int) []byte {
+	b := make([]byte, 16)
+	rng.Read(b)
+	b[0], b[1] = byte(level), byte(level>>8)
+	b[2], b[3] = byte(i), byte(i>>8)
+	return b
+}

@@ -131,6 +131,12 @@ func (v *Vector) WindowUncounted(pos int, mask uint64) uint64 {
 	return (v.words[wi]>>off | v.words[wi+1]<<(64-off)) & mask
 }
 
+// Words returns the vector's backing words — data words in
+// least-significant-bit-first order followed by the trailing guard
+// word. The slice aliases live storage; callers (the frozen encoder)
+// must treat it as read-only.
+func (v *Vector) Words() []uint64 { return v.words }
+
 // OnesCount returns the number of set bits (no access charged; this is
 // instrumentation, not a query path).
 func (v *Vector) OnesCount() int {

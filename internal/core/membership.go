@@ -211,6 +211,12 @@ func (f *Membership) positionsDigest(d hashing.Digest, dst []int) []int {
 	return dst
 }
 
+// BitWords returns the filter's backing bit-array words (data words
+// plus the trailing guard word) for read-only consumers — the frozen
+// encoder serializes them verbatim. The slice aliases live storage;
+// mutating it breaks the filter.
+func (f *Membership) BitWords() []uint64 { return f.bits.Words() }
+
 // setBit and clearBit expose single-bit maintenance to the counting
 // variant without charging query-model accesses twice.
 func (f *Membership) setBit(pos int)   { f.bits.Set(pos) }

@@ -1,0 +1,399 @@
+// Package frozen implements the read-only ShBZ container: any
+// membership-family filter compacted into one immutable byte block
+// whose query path runs directly over the bytes — zero deserialization
+// at open, zero allocation per probe. The same bytes work from an mmap
+// region, a slice of a larger file (SSTable-style embedding), or an
+// in-memory snapshot, which is where production Bloom filters live:
+// built once per immutable storage unit, probed billions of times,
+// never written.
+//
+// # ShBZ container layout
+//
+// A container is a 64-byte little-endian header followed by one
+// 64-byte-aligned bit section per shard:
+//
+//	offset size field
+//	 0      4   magic "ShBZ"
+//	 4      1   version (1)
+//	 5      1   source kind (core.Kind of the frozen filter)
+//	 6      2   reserved, zero
+//	 8      4   shards S (power of two, ≥ 1)
+//	12      4   k (even, ≥ 2; probes use k/2 hash pairs)
+//	16      8   m — per-shard base array bits
+//	24      4   w̄ — maximum offset
+//	28      4   reserved, zero
+//	32      8   seed (S = 1: the filter seed; S > 1: the base seed,
+//	            shard i hashing with sharded.ShardSeed(seed, i))
+//	40      8   n — total elements at freeze time
+//	48      8   sectionWords — 64-bit words per shard section
+//	56      8   total container bytes = 64 + S·sectionWords·8
+//
+// Each section holds the shard's bit array exactly as the live filter
+// lays it out — (m+w̄−1+63)/64 data words plus one guard word, LSB
+// first within each little-endian word — padded with zero words to a
+// multiple of 8 words, so every section starts 64-byte (cache-line)
+// aligned. The guard word keeps the probe's two-word window read
+// branchless; the padding keeps stacked containers aligned for free.
+//
+// Windowed rings freeze by union: generations share one Spec and seed,
+// so ORing their bit arrays yields a filter answering "seen in any
+// live generation" — no false negatives, answers a superset of the
+// ring's (the per-pair AND distributes over the union of generations).
+//
+// The format is pinned by a golden-bytes test; see DESIGN.md §Frozen.
+package frozen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shbf/internal/core"
+	"shbf/internal/hashing"
+	"shbf/internal/sharded"
+	"shbf/internal/window"
+)
+
+const (
+	// headerSize is the fixed ShBZ header length.
+	headerSize = 64
+	// version is the current ShBZ format version.
+	version = 1
+	// maxShards mirrors the sharded package's construction bound.
+	maxShards = 1 << 20
+	// maxK bounds k against implausible headers (live filters use
+	// k ≤ ~32; the family allocation is k/2+1 words).
+	maxK = 1 << 16
+	// maxSectionWords bounds one shard's section at 2^31 words (16 GiB)
+	// so size arithmetic stays far from int overflow even on inputs
+	// that lie about their geometry.
+	maxSectionWords = 1 << 31
+)
+
+// magic identifies a ShBZ container.
+var magic = [4]byte{'S', 'h', 'B', 'Z'}
+
+// Filter is an open frozen filter: a view over ShBZ bytes plus the
+// rebuilt hash families — the only open-time allocation. The query
+// path reads the bit sections in place and allocates nothing, so one
+// Filter may serve any number of concurrent readers.
+type Filter struct {
+	data []byte // the whole container (aliases the caller's bytes)
+	secs []byte // section area, data[headerSize:]
+
+	srcKind      core.Kind
+	shards       int
+	mask         uint64 // shards−1, the digest routing mask
+	k, half      int
+	m            int
+	wbar         int
+	seed         uint64
+	n            int
+	sectionBytes int
+	fams         []*hashing.Family // one per shard
+}
+
+// sectionWords returns the per-shard section size in 64-bit words:
+// the live bit array's words — (m+w̄−1+63)/64 data words plus one
+// guard word — rounded up to a multiple of 8 for 64-byte alignment.
+func sectionWords(m, wbar int) int {
+	dataWords := (m+wbar-1+63)/64 + 1
+	return (dataWords + 7) &^ 7
+}
+
+// Append encodes f as a ShBZ container appended to dst. Supported
+// sources are the membership family: *core.Membership,
+// *core.CountingMembership (its query-side bit array),
+// *sharded.Filter, *window.Membership and *sharded.Window (rings
+// collapse by union — see the package comment). Sharded sources are
+// read one shard lock at a time, so the container is per-shard
+// consistent; pause writers for a global point-in-time cut.
+func Append(dst []byte, f any) ([]byte, error) {
+	switch v := f.(type) {
+	case *core.Membership:
+		spec := v.Spec()
+		return appendContainer(dst, core.KindMembership, 1, spec.M, spec.K, spec.MaxOffset,
+			spec.Seed, v.N(), func(i int, acc []uint64) {
+				copy(acc, v.BitWords())
+			})
+
+	case *core.CountingMembership:
+		inner := v.Filter()
+		spec := inner.Spec()
+		return appendContainer(dst, core.KindCountingMembership, 1, spec.M, spec.K, spec.MaxOffset,
+			spec.Seed, v.N(), func(i int, acc []uint64) {
+				copy(acc, inner.BitWords())
+			})
+
+	case *sharded.Filter:
+		spec := v.Spec() // M is the total; Seed the recovered base
+		perShard := spec.M / spec.Shards
+		// One walk snapshots every shard under its lock; the container
+		// is then laid out from the copies.
+		snaps := make([][]uint64, spec.Shards)
+		n := 0
+		v.ForEachShard(func(i int, m *core.Membership) {
+			snaps[i] = append([]uint64(nil), m.BitWords()...)
+			n += m.N()
+		})
+		return appendContainer(dst, core.KindShardedMembership, spec.Shards, perShard, spec.K,
+			spec.MaxOffset, spec.Seed, n, func(i int, acc []uint64) {
+				copy(acc, snaps[i])
+			})
+
+	case *window.Membership:
+		spec := v.Spec()
+		return appendContainer(dst, core.KindWindowMembership, 1, spec.M, spec.K, spec.MaxOffset,
+			spec.Seed, v.N(), func(i int, acc []uint64) {
+				v.ForEachGeneration(func(g *core.Membership) {
+					orWords(acc, g.BitWords())
+				})
+			})
+
+	case *sharded.Window:
+		spec := v.Spec()
+		perShard := spec.M / spec.Shards
+		// Snapshot each shard's ring as the union of its generations,
+		// one shard lock per shard.
+		snaps := make([][]uint64, spec.Shards)
+		n := 0
+		v.ForEachShard(func(i int, w *window.Membership) {
+			w.ForEachGeneration(func(g *core.Membership) {
+				if snaps[i] == nil {
+					snaps[i] = make([]uint64, len(g.BitWords()))
+				}
+				orWords(snaps[i], g.BitWords())
+				n += g.N()
+			})
+		})
+		return appendContainer(dst, core.KindWindowShardedMembership, spec.Shards, perShard, spec.K,
+			spec.MaxOffset, spec.Seed, n, func(i int, acc []uint64) {
+				copy(acc, snaps[i])
+			})
+	}
+	if k, ok := f.(interface{ Kind() core.Kind }); ok {
+		return nil, fmt.Errorf("frozen: cannot freeze %s filters (membership family only)", k.Kind())
+	}
+	return nil, fmt.Errorf("frozen: cannot freeze %T (membership family only)", f)
+}
+
+// orWords ORs src into acc (src never exceeds the section's data
+// words by construction).
+func orWords(acc, src []uint64) {
+	for i, w := range src {
+		acc[i] |= w
+	}
+}
+
+// appendContainer lays out the header and sections, calling fill once
+// per shard with the zeroed section to populate (as words; the data
+// words of shard i's live bit array, guard included).
+func appendContainer(dst []byte, kind core.Kind, shards, m, k, wbar int, seed uint64, n int,
+	fill func(i int, acc []uint64)) ([]byte, error) {
+	if shards < 1 || shards > maxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("frozen: shard count %d is not a power of two in [1,%d]", shards, maxShards)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("frozen: m = %d must be positive", m)
+	}
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("frozen: k = %d must be even and ≥ 2", k)
+	}
+	if wbar < 2 || wbar > 64 {
+		return nil, fmt.Errorf("frozen: max offset w̄ = %d out of range [2,64]", wbar)
+	}
+	secWords := sectionWords(m, wbar)
+	total := headerSize + shards*secWords*8
+
+	var h [headerSize]byte
+	copy(h[0:4], magic[:])
+	h[4] = version
+	h[5] = byte(kind)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(shards))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(k))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(m))
+	binary.LittleEndian.PutUint32(h[24:28], uint32(wbar))
+	binary.LittleEndian.PutUint64(h[32:40], seed)
+	binary.LittleEndian.PutUint64(h[40:48], uint64(n))
+	binary.LittleEndian.PutUint64(h[48:56], uint64(secWords))
+	binary.LittleEndian.PutUint64(h[56:64], uint64(total))
+	dst = append(dst, h[:]...)
+
+	acc := make([]uint64, secWords)
+	var sec [8]byte
+	for i := 0; i < shards; i++ {
+		clear(acc)
+		fill(i, acc)
+		for _, w := range acc {
+			binary.LittleEndian.PutUint64(sec[:], w)
+			dst = append(dst, sec[:]...)
+		}
+	}
+	return dst, nil
+}
+
+// Open parses a ShBZ container at the start of data and returns a
+// read-only filter over it. The bit sections are not copied — the
+// returned filter aliases data, which must stay immutable and mapped
+// for the filter's lifetime. Trailing bytes beyond the container's
+// recorded size are ignored, so a container can be opened at an offset
+// into a larger mapped file. The only allocations are the handle and
+// one small hash family per shard; cost is independent of the bit
+// array's size.
+func Open(data []byte) (*Filter, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("frozen: %d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if [4]byte(data[0:4]) != magic {
+		return nil, fmt.Errorf("frozen: bad magic %q", data[0:4])
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("frozen: unsupported version %d", data[4])
+	}
+	srcKind := core.Kind(data[5])
+	if data[6] != 0 || data[7] != 0 ||
+		binary.LittleEndian.Uint32(data[28:32]) != 0 {
+		return nil, fmt.Errorf("frozen: reserved header bytes are not zero")
+	}
+	shards := binary.LittleEndian.Uint32(data[8:12])
+	k := binary.LittleEndian.Uint32(data[12:16])
+	m := binary.LittleEndian.Uint64(data[16:24])
+	wbar := binary.LittleEndian.Uint32(data[24:28])
+	seed := binary.LittleEndian.Uint64(data[32:40])
+	n := binary.LittleEndian.Uint64(data[40:48])
+	secWords := binary.LittleEndian.Uint64(data[48:56])
+	total := binary.LittleEndian.Uint64(data[56:64])
+
+	if shards < 1 || shards > maxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("frozen: shard count %d is not a power of two in [1,%d]", shards, maxShards)
+	}
+	if k < 2 || k%2 != 0 || k > maxK {
+		return nil, fmt.Errorf("frozen: k = %d must be even in [2,%d]", k, maxK)
+	}
+	if wbar < 2 || wbar > 64 {
+		return nil, fmt.Errorf("frozen: max offset w̄ = %d out of range [2,64]", wbar)
+	}
+	if secWords > maxSectionWords {
+		return nil, fmt.Errorf("frozen: section of %d words exceeds the %d-word bound", secWords, maxSectionWords)
+	}
+	// m must fit the section: the live array is (m+w̄−1+63)/64 data
+	// words plus a guard, and the section is that rounded up to 8.
+	if m == 0 || m > uint64(secWords)*64 {
+		return nil, fmt.Errorf("frozen: m = %d inconsistent with %d-word sections", m, secWords)
+	}
+	if want := uint64(sectionWords(int(m), int(wbar))); secWords != want {
+		return nil, fmt.Errorf("frozen: section is %d words, want %d for m=%d w̄=%d", secWords, want, m, wbar)
+	}
+	wantTotal := uint64(headerSize) + uint64(shards)*secWords*8
+	if total != wantTotal {
+		return nil, fmt.Errorf("frozen: header claims %d total bytes, geometry implies %d", total, wantTotal)
+	}
+	if uint64(len(data)) < total {
+		return nil, fmt.Errorf("frozen: container truncated: %d bytes of %d", len(data), total)
+	}
+	if n > uint64(shards)*m {
+		return nil, fmt.Errorf("frozen: element count %d exceeds capacity bound", n)
+	}
+	data = data[:total]
+
+	f := &Filter{
+		data:         data,
+		secs:         data[headerSize:],
+		srcKind:      srcKind,
+		shards:       int(shards),
+		mask:         uint64(shards) - 1,
+		k:            int(k),
+		half:         int(k) / 2,
+		m:            int(m),
+		wbar:         int(wbar),
+		seed:         seed,
+		n:            int(n),
+		sectionBytes: int(secWords) * 8,
+		fams:         make([]*hashing.Family, shards),
+	}
+	for i := range f.fams {
+		fseed := seed
+		if f.shards > 1 {
+			fseed = sharded.ShardSeed(seed, i)
+		}
+		f.fams[i] = hashing.NewFamily(f.half+1, fseed)
+	}
+	return f, nil
+}
+
+// Contains reports whether e may be in the frozen set — the live
+// filter's probe (digest → route → k/2 pair windows, early exit)
+// reading the container bytes in place. Zero allocations; safe for
+// unlimited concurrent use.
+func (f *Filter) Contains(e []byte) bool {
+	return f.ContainsDigest(hashing.KeyDigest(e))
+}
+
+// ContainsDigest answers Contains for the element whose one-pass
+// digest is d. Kept in lockstep with core.Membership.ContainsDigest:
+// same digest, same routing lane, same per-probe mix and two-word
+// window read, so a frozen filter answers bit-identically to its live
+// source (windowed sources answer the union of their generations).
+func (f *Filter) ContainsDigest(d hashing.Digest) bool {
+	si := int(d.Shard(f.mask))
+	fam := f.fams[si]
+	sec := f.secs[si*f.sectionBytes:]
+	// o(e) ∈ [1, w̄−1]; both pair bits land inside the w̄-bit window,
+	// so masking with pairMask alone replicates the live probe.
+	pairMask := uint64(1) | uint64(1)<<uint(hashing.Reduce(fam.FromDigest(f.half, d), f.wbar-1)+1)
+	m := f.m
+	for i, half := 0, f.half; i < half; i++ {
+		base := fam.ModFromDigest(i, d, m)
+		wi := (base >> 6) << 3
+		off := uint(base & 63)
+		win := binary.LittleEndian.Uint64(sec[wi:])>>off |
+			binary.LittleEndian.Uint64(sec[wi+8:])<<(64-off)
+		if win&pairMask != pairMask {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll answers membership for a whole batch, each key digested
+// once. Answers land in dst (resized to len(keys)) at the keys'
+// positions — the library's batch convention; steady-state batches
+// with a reused dst do not allocate.
+func (f *Filter) ContainsAll(dst []bool, keys [][]byte) []bool {
+	if cap(dst) < len(keys) {
+		dst = make([]bool, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, e := range keys {
+		dst[i] = f.ContainsDigest(hashing.KeyDigest(e))
+	}
+	return dst
+}
+
+// Bytes returns the container's bytes (aliasing, not a copy) — what
+// Open was given, trimmed to the container's recorded size.
+func (f *Filter) Bytes() []byte { return f.data }
+
+// SizeBytes returns the container's total size.
+func (f *Filter) SizeBytes() int { return len(f.data) }
+
+// SourceKind returns the kind of the filter that was frozen.
+func (f *Filter) SourceKind() core.Kind { return f.srcKind }
+
+// Shards returns the number of bit sections (the source's shard
+// count).
+func (f *Filter) Shards() int { return f.shards }
+
+// M returns the per-shard base array size in bits.
+func (f *Filter) M() int { return f.m }
+
+// K returns the bit positions per element.
+func (f *Filter) K() int { return f.k }
+
+// MaxOffset returns w̄.
+func (f *Filter) MaxOffset() int { return f.wbar }
+
+// Seed returns the recorded seed (the base seed for sharded sources).
+func (f *Filter) Seed() uint64 { return f.seed }
+
+// N returns the element count recorded at freeze time.
+func (f *Filter) N() int { return f.n }

@@ -1,0 +1,128 @@
+package frozen
+
+import (
+	"bytes"
+	"testing"
+
+	"shbf/internal/core"
+	"shbf/internal/sharded"
+	"shbf/internal/window"
+)
+
+// fuzzSeedContainers returns one valid ShBZ container per freezable
+// source kind, for the fuzz corpora.
+func fuzzSeedContainers(t interface{ Fatal(args ...any) }) [][]byte {
+	var out [][]byte
+	add := func(f any, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Append(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, blob)
+	}
+	m, err := core.NewMembership(1<<10, 8, core.WithSeed(1))
+	if err == nil {
+		m.Add([]byte("seed-key"))
+	}
+	add(m, err)
+	cm, err := core.NewCountingMembership(1<<10, 4, core.WithSeed(2))
+	if err == nil {
+		if ierr := cm.Insert([]byte("seed-key")); ierr != nil {
+			t.Fatal(ierr)
+		}
+	}
+	add(cm, err)
+	sh, err := sharded.New(1<<12, 8, 4, core.WithSeed(3))
+	if err == nil {
+		sh.Add([]byte("seed-key"))
+	}
+	add(sh, err)
+	w, err := window.NewMembership(core.Spec{Kind: core.KindWindowMembership,
+		M: 1 << 10, K: 4, Seed: 4, MaxOffset: core.DefaultMaxOffset, Generations: 2})
+	if err == nil {
+		w.Add([]byte("seed-key"))
+	}
+	add(w, err)
+	sw, err := sharded.NewWindow(core.Spec{Kind: core.KindWindowShardedMembership,
+		M: 1 << 12, K: 4, Seed: 5, MaxOffset: core.DefaultMaxOffset, Generations: 2, Shards: 2})
+	if err == nil {
+		sw.Add([]byte("seed-key"))
+	}
+	add(sw, err)
+	return out
+}
+
+// FuzzFrozenDecode feeds arbitrary bytes to Open: garbage and
+// truncations must error (never panic), and anything accepted must be
+// internally consistent — the trimmed container bytes re-open to the
+// same geometry, and a probe runs without faulting.
+func FuzzFrozenDecode(f *testing.F) {
+	for _, blob := range fuzzSeedContainers(f) {
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2]) // truncation seed
+	}
+	f.Add([]byte("ShBZ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz, err := Open(data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ round-trip: the container's own bytes open again
+		// with identical geometry.
+		again, err := Open(fz.Bytes())
+		if err != nil {
+			t.Fatalf("accepted container failed to re-open: %v", err)
+		}
+		if again.Shards() != fz.Shards() || again.M() != fz.M() || again.K() != fz.K() ||
+			again.MaxOffset() != fz.MaxOffset() || again.Seed() != fz.Seed() ||
+			again.N() != fz.N() || again.SourceKind() != fz.SourceKind() {
+			t.Fatal("re-opened container reports different geometry")
+		}
+		if !bytes.Equal(again.Bytes(), fz.Bytes()) {
+			t.Fatal("re-opened container trimmed to different bytes")
+		}
+		// Probing must be memory-safe whatever the (validated) header
+		// says, and agree between the two handles.
+		for _, key := range [][]byte{nil, []byte("a"), []byte("seed-key"), bytes.Repeat([]byte{0xFF}, 13)} {
+			if fz.Contains(key) != again.Contains(key) {
+				t.Fatal("identical containers disagree on a probe")
+			}
+		}
+	})
+}
+
+// FuzzStackOpen feeds arbitrary bytes to OpenStack: garbage must
+// error, and an accepted stack must serve every At(i) without panics —
+// each either a valid frozen filter or a clean error.
+func FuzzStackOpen(f *testing.F) {
+	seeds := fuzzSeedContainers(f)
+	var b StackBuilder
+	for _, blob := range seeds {
+		if err := b.AddFrozen(blob); err != nil {
+			f.Fatal(err)
+		}
+	}
+	file := b.Finish()
+	f.Add(file)
+	f.Add(file[:len(file)-1])
+	f.Add((&StackBuilder{}).Finish()) // empty stack
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := OpenStack(data)
+		if err != nil {
+			return
+		}
+		if st.Len() < 0 || st.Len() > maxStackFilters {
+			t.Fatalf("accepted stack reports implausible count %d", st.Len())
+		}
+		for i := 0; i < st.Len(); i++ {
+			fz, err := st.At(i)
+			if err != nil {
+				continue // a stack may index non-ShBZ bytes; At must just error
+			}
+			fz.Contains([]byte("probe"))
+		}
+	})
+}

@@ -201,6 +201,17 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		resp.Status, resp.Msg = wire.StatusNotFound, err.Error()
 		return
 	}
+	// Frozen namespaces serve reads; every mutating op conflicts, on
+	// this transport exactly as over HTTP (freeze.go).
+	switch req.Op {
+	case wire.OpMembershipAdd, wire.OpMembershipMerge, wire.OpAssociationAdd,
+		wire.OpAssociationRemove, wire.OpMultiplicityAdd, wire.OpMultiplicityRemove,
+		wire.OpRotate:
+		if err := ns.writable(); err != nil {
+			resp.Status, resp.Msg = wire.StatusConflict, err.Error()
+			return
+		}
+	}
 	switch req.Op {
 	case wire.OpStats:
 		blob, err := json.Marshal(s.statsFor(ns))
@@ -252,6 +263,14 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 			return
 		}
 		resp.Blob = env
+
+	case wire.OpFreeze:
+		blob, err := ns.freezeMembership()
+		if err != nil {
+			resp.Status, resp.Msg = wire.StatusInternal, err.Error()
+			return
+		}
+		resp.Blob = blob
 
 	case wire.OpAssociationAdd, wire.OpAssociationRemove:
 		op, err := associationOp(ns, req.Op, req.Set)

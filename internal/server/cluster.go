@@ -148,6 +148,10 @@ func (s *Server) nsMembershipEnvelope(ns *namespace, w http.ResponseWriter, r *h
 // a raw ShBE envelope (as exported by the envelope endpoint) unioned
 // into the live membership filter.
 func (s *Server) nsMembershipMerge(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"shbf/internal/frozen"
+)
+
+// Frozen namespaces. POST /v2/namespaces/{ns}/freeze (and the ShBP
+// freeze op) compacts a tenant's membership filter into a read-only
+// ShBZ container (internal/frozen) and hands the bytes to the caller —
+// the LSM-style handoff: the daemon keeps serving the tenant's reads
+// while the container ships to object storage or an embedding host,
+// which opens it zero-copy (shbf.OpenFrozen) from a file or mmap
+// region. From the first freeze on the namespace is frozen: every
+// mutating operation — membership add, association add/remove,
+// multiplicity add/remove, merge, rotate — answers 409 Conflict (HTTP)
+// or StatusConflict (ShBP), so the served set and the shipped container
+// cannot drift apart. Repeating the freeze is idempotent and returns
+// the same bytes (nothing can have changed in between).
+//
+// The frozen flag is process-local state: it is not recorded in
+// snapshots, so a daemon restart thaws every namespace (see
+// OPERATIONS.md §11). Deleting and recreating the namespace is the
+// in-process thaw.
+
+// errNamespaceFrozen reports a write to a frozen namespace (mapped to
+// 409/StatusConflict by both transports).
+var errNamespaceFrozen = errors.New("namespace is frozen (writes rejected; delete and recreate to thaw)")
+
+// writable gates every mutating handler on the frozen flag — the one
+// predicate behind both the HTTP 409 and the wire StatusConflict
+// mappings (gate new write paths here, never in one transport only).
+func (ns *namespace) writable() error {
+	if ns.frozen.Load() {
+		return fmt.Errorf("server: namespace %q: %w", ns.name, errNamespaceFrozen)
+	}
+	return nil
+}
+
+// freezeMembership renders the namespace's membership filter as a ShBZ
+// container and, on success, marks the namespace frozen. The flag flips
+// only after a successful render, so a failed freeze leaves the tenant
+// fully writable.
+func (ns *namespace) freezeMembership() ([]byte, error) {
+	blob, err := frozen.Append(nil, ns.mem)
+	if err != nil {
+		return nil, fmt.Errorf("server: freezing namespace %q: %w", ns.name, err)
+	}
+	ns.frozen.Store(true)
+	return blob, nil
+}
+
+// nsFreeze serves POST /v2/namespaces/{ns}/freeze: the namespace's
+// membership filter as a raw ShBZ frozen container, with the namespace
+// read-only from this response on.
+func (s *Server) nsFreeze(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	blob, err := ns.freezeMembership()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}

@@ -130,6 +130,10 @@ func updateStatus(err error) int {
 // --- membership -----------------------------------------------------------
 
 func (s *Server) nsMembershipAdd(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	var req keyBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -208,6 +212,10 @@ func regionJSON(r core.Region, withMask bool) regionAnswer {
 
 // applySetBatch validates a setBatch and applies op1/op2 per key.
 func (s *Server) applySetBatch(ns *namespace, w http.ResponseWriter, r *http.Request, op1, op2 func([]byte) error) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	var req setBatch
 	if !readJSON(w, r, &req) {
 		return
@@ -275,6 +283,10 @@ func (s *Server) nsAssociationClassify(ns *namespace, w http.ResponseWriter, r *
 // applyCountedBatch applies op count-times per item (count defaults to
 // 1).
 func (s *Server) applyCountedBatch(ns *namespace, w http.ResponseWriter, r *http.Request, op func([]byte) error) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	var req countedBatch
 	if !readJSON(w, r, &req) {
 		return

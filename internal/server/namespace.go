@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"shbf"
@@ -38,6 +39,9 @@ type namespace struct {
 	assoc associationFilter
 	mult  multiplicityFilter
 	stats counters
+	// frozen marks the tenant read-only after a freeze (see freeze.go);
+	// process-local, not persisted in snapshots.
+	frozen atomic.Bool
 }
 
 // NamespaceConfig is the JSON shape of POST /v2/namespaces (and the
@@ -302,6 +306,13 @@ type NamespaceInfo struct {
 	// TotalBits sums the three filters' bit budgets (one generation in
 	// window mode).
 	TotalBits int `json:"total_bits"`
+	// EstimatedFPR is the membership filter's served false-positive
+	// rate at current occupancy — the same figure the namespace's own
+	// stats endpoint reports (both come from membershipStatsOf).
+	EstimatedFPR float64 `json:"estimated_fpr"`
+	// Frozen reports a read-only tenant (see freeze.go): writes answer
+	// 409 until the namespace is deleted and recreated.
+	Frozen bool `json:"frozen,omitempty"`
 }
 
 // info assembles a namespace's summary.
@@ -315,6 +326,8 @@ func (ns *namespace) info() NamespaceInfo {
 		AssociationN:  assocStats.N,
 		MultiplicityN: multStats.N,
 		TotalBits:     specBits(ns.mem.Spec()) + specBits(ns.assoc.Spec()) + specBits(ns.mult.Spec()),
+		EstimatedFPR:  membershipStatsOf(ns).EstimatedFPR,
+		Frozen:        ns.frozen.Load(),
 	}
 	if w, ok := ns.mem.(shbf.Windowed); ok {
 		win := w.Window()

@@ -67,7 +67,9 @@ func (s *Server) RotateNamespace(name string) ([]string, error) {
 func (s *Server) RotateAll() ([]string, error) {
 	var rotated []string
 	for _, ns := range s.snapshotList() {
-		if !ns.windowed() {
+		// Frozen tenants are read-only; the tick loop skips them
+		// rather than erroring the whole sweep.
+		if !ns.windowed() || ns.frozen.Load() {
 			continue
 		}
 		if _, err := s.rotate(ns); err != nil {
@@ -92,6 +94,10 @@ func (s *Server) Windowed() bool {
 // POST /v2/namespaces/{ns}/rotate: one whole-namespace rotation,
 // answering with the rotated filters and their new epoch.
 func (s *Server) nsRotate(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
 	rotated, err := s.rotate(ns)
 	if err != nil {
 		status := http.StatusInternalServerError

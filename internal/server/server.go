@@ -34,6 +34,7 @@
 //	GET    /v2/namespaces/{ns}/stats                                             → occupancy, FPR, window, counters
 //	GET    /v2/namespaces/{ns}/membership/envelope                               → membership filter as a raw ShBE envelope
 //	POST   /v2/namespaces/{ns}/merge                  raw ShBE envelope body     → union into the live membership filter
+//	POST   /v2/namespaces/{ns}/freeze                                            → membership filter as a raw ShBZ frozen container; tenant becomes read-only (writes 409)
 //	POST   /v2/snapshot                               {"rotation_consistent": bool} → persist all tenants
 //	GET    /v2/stats                                                             → daemon-wide tenant summaries
 //	GET    /v2/cluster                                                           → the cluster map (cluster mode; see internal/cluster)
@@ -312,6 +313,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped(s.nsStats))
 	mux.HandleFunc("GET /v2/namespaces/{ns}/membership/envelope", scoped(s.nsMembershipEnvelope))
 	mux.HandleFunc("POST /v2/namespaces/{ns}/merge", scoped(s.nsMembershipMerge))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/freeze", scoped(s.nsFreeze))
 	mux.HandleFunc("POST /v2/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v2/stats", s.handleDaemonStats)
 	mux.HandleFunc("GET /v2/cluster", s.handleClusterMap)

@@ -152,31 +152,7 @@ func (s *Server) statsFor(ns *namespace) Stats {
 		},
 	}
 
-	mem := ns.mem.ShardStats()
-	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem)),
-		Window: windowStatsOf(ns.mem)}
-	// In window mode a shard's N spans its whole ring; one generation
-	// carries ≈ N/G of it, and a negative probe passes if any of the G
-	// generations false-positives: 1 − (1−f_gen)^G (analytic.FPRWindow).
-	gens := 1
-	if ms.Window != nil {
-		gens = ms.Window.Generations
-	}
-	fprSum := 0.0
-	for i, sh := range mem {
-		fpr := analytic.FPRShBFMWindow(sh.Bits, (sh.N+gens-1)/gens, float64(sh.K), sh.MaxOffset, gens)
-		ms.TotalBits += sh.Bits
-		ms.K = sh.K
-		ms.N += sh.N
-		ms.FillRatio += sh.FillRatio
-		fprSum += fpr
-		ms.PerShard[i] = ShardOccupancy{N: sh.N, FillRatio: sh.FillRatio, EstimatedFPR: fpr}
-	}
-	ms.FillRatio /= float64(len(mem))
-	// A negative probe routes to one shard, so the served FPR is the
-	// mean of the per-shard rates.
-	ms.EstimatedFPR = fprSum / float64(len(mem))
-	st.Membership = ms
+	st.Membership = membershipStatsOf(ns)
 
 	as := AssociationStats{Window: windowStatsOf(ns.assoc)}
 	ash := ns.assoc.ShardStats()
@@ -242,6 +218,40 @@ func (s *Server) statsFor(ns *namespace) Stats {
 	st.Multiplicity = xs
 
 	return st
+}
+
+// membershipStatsOf assembles the membership section of a namespace's
+// stats. It is the one place the served membership FPR is computed —
+// shared by statsFor (the per-tenant stats endpoints) and the tenant
+// summaries behind GET /v2/stats and GET /v2/namespaces
+// (NamespaceInfo), so the daemon-wide rollup can never disagree with
+// the per-namespace endpoint.
+func membershipStatsOf(ns *namespace) MembershipStats {
+	mem := ns.mem.ShardStats()
+	ms := MembershipStats{Shards: len(mem), PerShard: make([]ShardOccupancy, len(mem)),
+		Window: windowStatsOf(ns.mem)}
+	// In window mode a shard's N spans its whole ring; one generation
+	// carries ≈ N/G of it, and a negative probe passes if any of the G
+	// generations false-positives: 1 − (1−f_gen)^G (analytic.FPRWindow).
+	gens := 1
+	if ms.Window != nil {
+		gens = ms.Window.Generations
+	}
+	fprSum := 0.0
+	for i, sh := range mem {
+		fpr := analytic.FPRShBFMWindow(sh.Bits, (sh.N+gens-1)/gens, float64(sh.K), sh.MaxOffset, gens)
+		ms.TotalBits += sh.Bits
+		ms.K = sh.K
+		ms.N += sh.N
+		ms.FillRatio += sh.FillRatio
+		fprSum += fpr
+		ms.PerShard[i] = ShardOccupancy{N: sh.N, FillRatio: sh.FillRatio, EstimatedFPR: fpr}
+	}
+	ms.FillRatio /= float64(len(mem))
+	// A negative probe routes to one shard, so the served FPR is the
+	// mean of the per-shard rates.
+	ms.EstimatedFPR = fprSum / float64(len(mem))
+	return ms
 }
 
 // nsStats serves GET /v1/stats (default namespace) and

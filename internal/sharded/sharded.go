@@ -167,6 +167,18 @@ func (f *Filter) ShardStats() []ShardStat {
 	return out
 }
 
+// ForEachShard calls fn for every shard filter in index order, each
+// under its shard's read lock — the frozen encoder's per-shard bit
+// export. fn must not retain the filter or call back into f.
+func (f *Filter) ForEachShard(fn func(i int, m *core.Membership)) {
+	for i := range f.set.shards {
+		s := &f.set.shards[i]
+		s.mu.RLock()
+		fn(i, s.f)
+		s.mu.RUnlock()
+	}
+}
+
 // Kind returns core.KindShardedMembership.
 func (f *Filter) Kind() core.Kind { return core.KindShardedMembership }
 

@@ -38,6 +38,11 @@ func shardSeed(base uint64, i int) uint64 {
 	return base + uint64(i)*0x9e3779b97f4a7c15 + 1
 }
 
+// ShardSeed exposes the shard-seed derivation to read-only consumers
+// (the frozen encoder) that must reconstruct per-shard hash families
+// from a filter's reported base seed.
+func ShardSeed(base uint64, i int) uint64 { return shardSeed(base, i) }
+
 // maxShards bounds construction the same way decodeSnapshot bounds
 // decoding, and keeps roundPow2's doubling loop far from overflow.
 const maxShards = 1 << 20

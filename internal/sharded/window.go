@@ -279,6 +279,20 @@ func (f *Window) ShardStats() []ShardStat {
 	return out
 }
 
+// ForEachShard calls fn for every shard's generation ring in index
+// order, each under its shard's read lock — the frozen encoder's
+// per-shard ring export. fn must not retain the ring or call back into
+// f; hold rotation off (or accept a per-shard-consistent cut) for a
+// global point-in-time view.
+func (f *Window) ForEachShard(fn func(i int, w *window.Membership)) {
+	for i := range f.set.shards {
+		s := &f.set.shards[i]
+		s.mu.RLock()
+		fn(i, s.f)
+		s.mu.RUnlock()
+	}
+}
+
 // Kind returns core.KindWindowShardedMembership.
 func (f *Window) Kind() core.Kind { return core.KindWindowShardedMembership }
 

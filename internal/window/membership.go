@@ -112,6 +112,16 @@ func (w *Membership) Window() Info {
 	})
 }
 
+// ForEachGeneration calls fn for every generation in the ring, newest
+// first. All generations share the head's construction Spec (geometry
+// and seed), which is what lets the frozen encoder collapse the ring
+// by ORing their bit arrays.
+func (w *Membership) ForEachGeneration(fn func(g *core.Membership)) {
+	for age := 0; age < len(w.rot.gens); age++ {
+		fn(w.rot.gens[w.rot.index(age)])
+	}
+}
+
 // M returns the per-generation base array size in bits.
 func (w *Membership) M() int { return w.rot.Head().M() }
 

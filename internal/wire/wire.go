@@ -81,6 +81,7 @@ const (
 	OpMembershipContains = 0x11 // keys → membership ContainsAll (bitset reply)
 	OpMembershipMerge    = 0x12 // ShBE envelope blob → union into the live filter
 	OpMembershipDump     = 0x13 // export the membership filter → ShBE envelope blob
+	OpFreeze             = 0x14 // freeze the namespace → ShBZ frozen container blob
 	OpAssociationAdd     = 0x20 // keys + set arg → InsertS1/InsertS2
 	OpAssociationRemove  = 0x21 // keys + set arg → DeleteS1/DeleteS2
 	OpAssociationQuery   = 0x22 // keys → QueryAll (region byte reply)
@@ -102,6 +103,7 @@ var opNames = map[byte]string{
 	OpMembershipContains: "membership-contains",
 	OpMembershipMerge:    "membership-merge",
 	OpMembershipDump:     "membership-dump",
+	OpFreeze:             "freeze",
 	OpAssociationAdd:     "association-add",
 	OpAssociationRemove:  "association-remove",
 	OpAssociationQuery:   "association-query",
@@ -406,7 +408,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 				dst = binary.AppendUvarint(dst, uint64(len(name)))
 				dst = append(dst, name...)
 			}
-		case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump:
+		case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump, OpFreeze:
 			dst = binary.AppendUvarint(dst, uint64(len(resp.Blob)))
 			dst = append(dst, resp.Blob...)
 		default:
@@ -525,7 +527,7 @@ func DecodeResponse(resp *Response, frame []byte) error {
 			resp.Rotated[i] = string(rest[lsz : lsz+int(l)])
 			rest = rest[lsz+int(l):]
 		}
-	case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump:
+	case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump, OpFreeze:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
 			return fmt.Errorf("%w: blob body", ErrTruncated)
