@@ -1,0 +1,134 @@
+package client_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"shbf/client"
+)
+
+// TestChaosSoak is the kill/restart soak: a fully replicated cluster
+// takes mixed traffic while a rotating victim node is killed mid-
+// round, read back (failover), restarted empty, and re-converged with
+// an anti-entropy merge. Invariants held every round:
+//
+//   - no acked write is ever lost: every key from a batch whose AddAll
+//     returned nil answers true on every subsequent read, forever;
+//   - every batch either succeeds or fails with a precise resume
+//     point: per failed node, the routed key positions and an applied
+//     split ≤ the node's sub-batch size;
+//   - after restart + merge, the revived node itself answers every
+//     acked key — the cluster heals, not just routes around.
+//
+// -short runs two rounds (CI); the full run does six.
+func TestChaosSoak(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	tc, cl := dialTestCluster(t, 3, 3)
+	// Per-call budget keeps a wedged round from hanging the suite; the
+	// retry policy rides out transient resets from kills.
+	rcl := cl.WithRetry(client.RetryPolicy{MaxRetries: 2, BaseDelay: 10 * time.Millisecond})
+	cns := rcl.Namespace("default")
+
+	var acked [][]byte
+	for r := 0; r < rounds; r++ {
+		victim := tc.Nodes[r%len(tc.Nodes)]
+
+		// Mixed traffic against the healthy cluster: a write batch and
+		// an interleaved read of everything acked so far.
+		batch := clusterKeys(fmt.Sprintf("round-%02d", r), 150)
+		if err := cns.AddAll(batch); err != nil {
+			assertPreciseResume(t, r, err, len(batch))
+		} else {
+			acked = append(acked, batch...)
+		}
+		assertAllPresent(t, r, "pre-kill", cns, acked)
+
+		// Kill the victim mid-round; the batch in flight right now and
+		// every later read must survive via the replicas.
+		victim.Kill()
+		batch = clusterKeys(fmt.Sprintf("round-%02d-dark", r), 150)
+		if err := cns.AddAll(batch); err != nil {
+			// Expected: the dead owner's sub-batch fails. Precision is
+			// the contract; the live replicas applied their copies.
+			assertPreciseResume(t, r, err, len(batch))
+		} else {
+			acked = append(acked, batch...)
+		}
+		assertAllPresent(t, r, "dead-primary", cns, acked)
+
+		// Revive. Kill is abrupt, so the node comes back empty; the
+		// anti-entropy merge from any healthy replica restores it.
+		if err := victim.Restart(); err != nil {
+			t.Fatalf("round %d: restart: %v", r, err)
+		}
+		donor := tc.Nodes[(r+1)%len(tc.Nodes)]
+		env, err := cl.Client(donor.ID).Namespace("default").MembershipEnvelope()
+		if err != nil {
+			t.Fatalf("round %d: donor envelope: %v", r, err)
+		}
+		if _, err := cl.Client(victim.ID).Namespace("default").Merge(env); err != nil {
+			t.Fatalf("round %d: merge into revived %s: %v", r, victim.ID, err)
+		}
+
+		// The revived node itself must answer every acked key.
+		res, err := cl.Client(victim.ID).Namespace("default").Set().Check(acked)
+		if err != nil {
+			t.Fatalf("round %d: revived %s read: %v", r, victim.ID, err)
+		}
+		for i, ok := range res {
+			if !ok {
+				t.Fatalf("round %d: revived %s lost acked key %q after merge",
+					r, victim.ID, acked[i])
+			}
+		}
+	}
+	assertAllPresent(t, rounds, "final", cns, acked)
+}
+
+// assertAllPresent fails the soak if any acked key reads false.
+func assertAllPresent(t *testing.T, round int, phase string, cns *client.ClusterNamespace, acked [][]byte) {
+	t.Helper()
+	if len(acked) == 0 {
+		return
+	}
+	res, err := cns.Check(acked)
+	if err != nil {
+		t.Fatalf("round %d (%s): Check over %d acked keys: %v", round, phase, len(acked), err)
+	}
+	for i, ok := range res {
+		if !ok {
+			t.Fatalf("round %d (%s): acked key %q lost", round, phase, acked[i])
+		}
+	}
+}
+
+// assertPreciseResume fails the soak unless err is a ClusterError
+// whose every node failure carries the routed positions and a valid
+// applied split point.
+func assertPreciseResume(t *testing.T, round int, err error, batchLen int) {
+	t.Helper()
+	var ce *client.ClusterError
+	if !errors.As(err, &ce) {
+		t.Fatalf("round %d: batch failed without a ClusterError: %v", round, err)
+	}
+	for _, ne := range ce.Errs {
+		if len(ne.Indices) == 0 {
+			t.Fatalf("round %d: node %s failed with no key positions", round, ne.Node)
+		}
+		if ne.Applied > uint64(len(ne.Indices)) {
+			t.Fatalf("round %d: node %s applied %d > %d routed keys",
+				round, ne.Node, ne.Applied, len(ne.Indices))
+		}
+		for _, idx := range ne.Indices {
+			if idx < 0 || idx >= batchLen {
+				t.Fatalf("round %d: node %s reports out-of-range key position %d",
+					round, ne.Node, idx)
+			}
+		}
+	}
+}

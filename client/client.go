@@ -45,11 +45,24 @@
 // Handles are safe for concurrent use; the binary transport serializes
 // frames on one connection, so run one Client per connection's worth
 // of desired parallelism. Failed connections are redialed on the next
-// call (requests are never auto-retried — a lost response may have
-// applied its updates).
+// call; by default requests are never auto-retried — a lost response
+// may have applied its updates.
+//
+// # Deadlines and retries
+//
+// [Client.WithContext] derives a handle whose calls honor a
+// context's deadline and cancellation on both transports (the binary
+// transport maps them onto connection read/write deadlines), so a
+// hung daemon costs a bounded wait instead of a stuck goroutine.
+// [Client.WithRetry] opts in to automatic retries — capped
+// exponential backoff with jitter, applied only to idempotent
+// operations and only on transport failures or daemon overload
+// ([IsOverloaded]); counting updates are never retried, because a
+// lost response may have applied its increments. See RetryPolicy.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,18 +122,64 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &e) && e.Status == wire.StatusNotFound
 }
 
+// IsOverloaded reports whether err is daemon admission control
+// shedding the request — a tenant's rate quota, the daemon's memory
+// ceiling, or the binary listener's in-flight frame cap (HTTP 429 /
+// wire StatusOverloaded). The request was not applied; it is safe to
+// retry after a backoff, which [Client.WithRetry] automates.
+func IsOverloaded(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Status == wire.StatusOverloaded
+}
+
 // transport is the per-protocol round trip: fill resp from req,
 // returning an error only for transport-level failures (daemon-
-// reported failures travel in resp.Status).
+// reported failures travel in resp.Status). ctx bounds the exchange:
+// both transports honor its deadline and cancellation.
 type transport interface {
-	roundTrip(req *wire.Request, resp *wire.Response) error
+	roundTrip(ctx context.Context, req *wire.Request, resp *wire.Response) error
 	close() error
 }
 
 // Client is a connection to one shbfd daemon over one transport. Safe
-// for concurrent use.
+// for concurrent use. The zero retry/context configuration runs every
+// call exactly once with no deadline; derive bounded or retrying
+// handles with [Client.WithContext] and [Client.WithRetry].
 type Client struct {
-	t transport
+	t     transport
+	ctx   context.Context // nil = context.Background()
+	retry *RetryPolicy    // nil = never retry
+}
+
+// WithContext returns a handle sharing this client's connection whose
+// calls are bounded by ctx: its deadline and cancellation apply to
+// every round trip (and to retry backoff waits). The original client
+// is unchanged — derive per-request handles freely:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	err := c.WithContext(ctx).Ping()
+func (c *Client) WithContext(ctx context.Context) *Client {
+	cc := *c
+	cc.ctx = ctx
+	return &cc
+}
+
+// WithRetry returns a handle sharing this client's connection that
+// automatically retries idempotent operations per p. The original
+// client is unchanged and keeps the default never-retry behavior.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = &p
+	return &cc
+}
+
+// context returns the client's bound context (Background if unset).
+func (c *Client) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 // Dial connects to a daemon. The target selects the transport:
@@ -203,15 +262,30 @@ func (c *Client) Namespaces() ([]NamespaceInfo, error) {
 	return body.Namespaces, nil
 }
 
-// do runs one round trip and lifts daemon-reported failures into
-// *Error.
+// do runs one round trip — retried per the client's RetryPolicy when
+// one is set — and lifts daemon-reported failures into *Error.
 func (c *Client) do(req *wire.Request) (*wire.Response, error) {
-	var resp wire.Response
-	if err := c.t.roundTrip(req, &resp); err != nil {
-		return nil, err
+	ctx := c.context()
+	for attempt := 0; ; attempt++ {
+		var resp wire.Response
+		err := c.t.roundTrip(ctx, req, &resp)
+		if err == nil && resp.Status == wire.StatusOK {
+			return &resp, nil
+		}
+		if err == nil {
+			err = &Error{Status: resp.Status, Msg: resp.Msg, Applied: resp.Applied}
+		}
+		if !c.retry.shouldRetry(req.Op, err, attempt) {
+			var e *Error
+			if errors.As(err, &e) {
+				return &resp, err
+			}
+			return nil, err
+		}
+		if werr := c.retry.wait(ctx, attempt); werr != nil {
+			// The context expired during backoff; the last real
+			// failure is the useful error, not the wait's.
+			return nil, err
+		}
 	}
-	if resp.Status != wire.StatusOK {
-		return &resp, &Error{Status: resp.Status, Msg: resp.Msg, Applied: resp.Applied}
-	}
-	return &resp, nil
 }

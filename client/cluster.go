@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +25,16 @@ import (
 // R owners, which is what keeps replicas convergent enough for the
 // envelope-merge anti-entropy to close the gaps (see
 // [Namespace.Merge]).
+//
+// Reads fail over: when a range's primary is unreachable, times out,
+// or sheds the request ([IsOverloaded]), the sub-batch is re-sent to
+// the next owner in the range's replica list, walking all R owners
+// before the failure surfaces. Union replication makes replica reads
+// superset-safe — every acked write reached all R owners, so any
+// replica answers at least what the primary would (a Bloom filter
+// never loses bits; a lagging replica can only be missing unacked
+// writes). Writes never fail over: they already address every owner,
+// and a per-node failure is reported with its resume point.
 
 // ClusterMap is the cluster document: nodes plus hash-range ownership
 // (see shbf/internal/cluster for the format and invariants).
@@ -150,6 +161,44 @@ func DialClusterMap(m *ClusterMap) (*Cluster, error) {
 	return &Cluster{m: m, nodes: nodes}, nil
 }
 
+// failover reports whether a read sub-batch's failure is worth
+// re-sending to the next replica: transport failures (unreachable,
+// reset, a per-call deadline that still leaves context budget) and
+// daemon overload qualify; deterministic daemon answers and an
+// exhausted caller context do not.
+func failover(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Status == wire.StatusOverloaded
+	}
+	return true // transport-level failure
+}
+
+// WithContext returns a router over the same per-node connections
+// whose calls are bounded by ctx (see [Client.WithContext]). The
+// original router is unchanged.
+func (cl *Cluster) WithContext(ctx context.Context) *Cluster {
+	nodes := make(map[string]*Client, len(cl.nodes))
+	for id, c := range cl.nodes {
+		nodes[id] = c.WithContext(ctx)
+	}
+	return &Cluster{m: cl.m, nodes: nodes}
+}
+
+// WithRetry returns a router over the same per-node connections whose
+// per-node calls retry per p (see [Client.WithRetry]). Retries happen
+// against one node before read failover moves to the next replica.
+func (cl *Cluster) WithRetry(p RetryPolicy) *Cluster {
+	nodes := make(map[string]*Client, len(cl.nodes))
+	for id, c := range cl.nodes {
+		nodes[id] = c.WithRetry(p)
+	}
+	return &Cluster{m: cl.m, nodes: nodes}
+}
+
 // Map returns the cluster map the router was built from.
 func (cl *Cluster) Map() *ClusterMap { return cl.m }
 
@@ -197,7 +246,8 @@ func (cl *Cluster) Namespace(name string) *ClusterNamespace {
 // nodeBatch is one node's share of a split batch.
 type nodeBatch struct {
 	node   string
-	idx    []int // original positions of this node's keys
+	owners []string // read batches: the full replica list, failover order
+	idx    []int    // original positions of this node's keys
 	keys   [][]byte
 	counts []int // aligned per-key counts (multiplicity adds)
 }
@@ -208,13 +258,27 @@ type nodeBatch struct {
 // writes, so all R replicas take the update). Sub-batches preserve the
 // batch's relative key order; idx maps each sub-batch position back to
 // the original.
+//
+// Read batches are grouped by the range's full owner tuple, not just
+// its primary, so every key in a sub-batch shares one failover order
+// (two ranges with the same primary but different replicas stay in
+// separate sub-batches and fail over independently).
 func (cl *Cluster) split(keys [][]byte, counts []int, replicate bool) []*nodeBatch {
 	byNode := make(map[string]*nodeBatch)
 	var order []string
 	for i, k := range keys {
 		owners := cl.m.RangeFor(hashing.KeyDigest(k).Hi).Owners
 		if !replicate {
-			owners = owners[:1]
+			tuple := strings.Join(owners, "\x00")
+			b := byNode[tuple]
+			if b == nil {
+				b = &nodeBatch{node: owners[0], owners: owners}
+				byNode[tuple] = b
+				order = append(order, tuple)
+			}
+			b.idx = append(b.idx, i)
+			b.keys = append(b.keys, k)
+			continue
 		}
 		for _, id := range owners {
 			b := byNode[id]
@@ -250,6 +314,14 @@ func (cl *Cluster) allNodes() []*nodeBatch {
 // failures into a ClusterError (nil when every node succeeded). Calls
 // for different nodes touch disjoint result indices, so result
 // reassembly inside the callbacks needs no locking.
+//
+// A sub-batch carrying a replica list (reads; see split) fails over:
+// owners are tried in order, moving on while the failure is worth a
+// replica (node unreachable, round trip timed out with context budget
+// left, or the node shed the request). Deterministic daemon answers —
+// not-found, bad request — and exhausted context budgets surface
+// immediately; a replica would answer the same or the caller is out
+// of time.
 func (cl *Cluster) fan(batches []*nodeBatch, call func(*Client, *nodeBatch) error) error {
 	errs := make([]*NodeError, len(batches))
 	var wg sync.WaitGroup
@@ -257,8 +329,15 @@ func (cl *Cluster) fan(batches []*nodeBatch, call func(*Client, *nodeBatch) erro
 		wg.Add(1)
 		go func(i int, b *nodeBatch) {
 			defer wg.Done()
-			if err := call(cl.nodes[b.node], b); err != nil {
-				ne := &NodeError{Node: b.node, Indices: b.idx, Err: err}
+			node, err := b.node, call(cl.nodes[b.node], b)
+			for _, replica := range b.owners {
+				if err == nil || replica == node || !failover(err) {
+					continue
+				}
+				node, err = replica, call(cl.nodes[replica], b)
+			}
+			if err != nil {
+				ne := &NodeError{Node: node, Indices: b.idx, Err: err}
 				var de *Error
 				if errors.As(err, &de) {
 					ne.Applied = de.Applied

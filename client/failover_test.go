@@ -1,0 +1,149 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"shbf/client"
+)
+
+// TestClusterReadFailover is the acceptance property for replica
+// failover: at R = N, kill a node that is primary for some ranges and
+// every read batch must still succeed — routed to the surviving
+// replicas — with answers byte-equal to a healthy cluster's (i.e. to
+// one local filter of the same Spec, false positives included).
+func TestClusterReadFailover(t *testing.T) {
+	tc, cl := dialTestCluster(t, 3, 3)
+	keys := clusterKeys("present", 1200)
+	absent := clusterKeys("absent", 1200)
+
+	cns := cl.Namespace("default")
+	if err := cns.AddAll(keys); err != nil {
+		t.Fatalf("cluster AddAll: %v", err)
+	}
+	local := localMembership(t)
+	if err := local.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill n1 — at 3 uniform ranges it is a primary; its sub-batches
+	// must re-route to a replica rather than fail or misreassemble.
+	victim := tc.Nodes[0]
+	victimPrimary := 0
+	for _, k := range append(append([][]byte{}, keys...), absent...) {
+		if primaryOf(cl.Map(), k) == victim.ID {
+			victimPrimary++
+		}
+	}
+	if victimPrimary == 0 {
+		t.Fatal("degenerate split: victim owns no keys; the test would prove nothing")
+	}
+	victim.Kill()
+
+	probe := append(append([][]byte{}, keys...), absent...)
+	got, err := cns.Check(probe)
+	if err != nil {
+		t.Fatalf("Check with a dead primary (R=3): %v", err)
+	}
+	want := local.ContainsAll(nil, probe)
+	for i := range probe {
+		if got[i] != want[i] {
+			t.Fatalf("key %q: cluster=%v local=%v — failover diverged from a healthy cluster",
+				probe[i], got[i], want[i])
+		}
+	}
+
+	// The other read surfaces fail over the same way.
+	if _, err := cns.Counts(keys[:100]); err != nil {
+		t.Fatalf("Counts with a dead primary: %v", err)
+	}
+	if _, err := cns.Classify(keys[:100]); err != nil {
+		t.Fatalf("Classify with a dead primary: %v", err)
+	}
+}
+
+// TestClusterReadFailoverExhaustsReplicas: at R=1 there is no replica
+// to walk — a dead primary surfaces as that node's error, with the
+// routed key positions intact for the caller's resume logic.
+func TestClusterReadFailoverExhaustsReplicas(t *testing.T) {
+	tc, cl := dialTestCluster(t, 3, 1)
+	keys := clusterKeys("lonely", 600)
+	cns := cl.Namespace("default")
+	if err := cns.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	victim := tc.Nodes[1]
+	victim.Kill()
+
+	_, err := cns.Check(keys)
+	if err == nil {
+		t.Fatal("Check with a dead R=1 primary succeeded")
+	}
+	var ce *client.ClusterError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %T (%v), want *ClusterError", err, err)
+	}
+	for _, ne := range ce.Errs {
+		if ne.Node != victim.ID {
+			t.Fatalf("node %s failed, only %s was killed", ne.Node, victim.ID)
+		}
+		if len(ne.Indices) == 0 {
+			t.Fatal("failed node reported no key positions")
+		}
+		for _, idx := range ne.Indices {
+			if got := primaryOf(cl.Map(), keys[idx]); got != victim.ID {
+				t.Fatalf("key %d attributed to %s but owned by %s", idx, victim.ID, got)
+			}
+		}
+	}
+}
+
+// TestClusterWriteFailureReportsResumePoint: writes never fail over
+// (they already address every owner); a dead owner's sub-batch is
+// reported with its indices and applied split point so the caller can
+// resume precisely.
+func TestClusterWriteFailureReportsResumePoint(t *testing.T) {
+	tc, cl := dialTestCluster(t, 3, 2)
+	keys := clusterKeys("resumable", 600)
+	victim := tc.Nodes[2]
+	victim.Kill()
+
+	err := cl.Namespace("default").AddAll(keys)
+	if err == nil {
+		t.Fatal("AddAll with a dead owner succeeded")
+	}
+	var ce *client.ClusterError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %T (%v), want *ClusterError", err, err)
+	}
+	for _, ne := range ce.Errs {
+		if ne.Node != victim.ID {
+			t.Fatalf("live node %s reported a failure: %v", ne.Node, ne.Err)
+		}
+		if len(ne.Indices) == 0 {
+			t.Fatal("no resume indices on the failed sub-batch")
+		}
+		if ne.Applied > uint64(len(ne.Indices)) {
+			t.Fatalf("applied %d > %d routed keys — not a valid resume point",
+				ne.Applied, len(ne.Indices))
+		}
+	}
+
+	// The live owners did apply their copies: every key whose replica
+	// set includes a live node still answers true somewhere, which is
+	// what makes resume-after-repair (merge) converge.
+	live := cl.Client(tc.Nodes[0].ID).Namespace("default").Set()
+	res, err := live.Check(keys[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, ok := range res {
+		if ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no key reached the live owners")
+	}
+}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,15 @@ type Namespace struct {
 
 // Name returns the namespace this handle addresses.
 func (ns *Namespace) Name() string { return ns.name }
+
+// WithContext returns a handle on the same namespace whose calls are
+// bounded by ctx (see [Client.WithContext]). Typed handles created
+// from it inherit the bound:
+//
+//	set := c.Namespace("tenant-a").WithContext(ctx).Set()
+func (ns *Namespace) WithContext(ctx context.Context) *Namespace {
+	return &Namespace{c: ns.c.WithContext(ctx), name: ns.name}
+}
 
 // Stats fetches the namespace's occupancy/accuracy snapshot.
 func (ns *Namespace) Stats() (Stats, error) {

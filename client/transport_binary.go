@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -24,17 +25,18 @@ type binaryTransport struct {
 	rbuf []byte // response frame, reused
 }
 
-// dialTimeout bounds connection establishment; round trips themselves
-// are not deadline-bounded (batch sizes are capped by the protocol, so
-// a healthy daemon answers promptly — put an LB health check in front
-// for the unhealthy case).
+// dialTimeout bounds connection establishment when the caller's
+// context carries no tighter deadline; round trips themselves are
+// bounded only by the caller's context ([Client.WithContext]) — batch
+// sizes are capped by the protocol, so a healthy daemon answers
+// promptly.
 const dialTimeout = 5 * time.Second
 
 // dialBinary eagerly connects so a down daemon fails at Dial.
 func dialBinary(addr string) (*Client, error) {
 	t := &binaryTransport{addr: addr}
 	t.mu.Lock()
-	err := t.connectLocked()
+	err := t.connectLocked(context.Background())
 	t.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -50,8 +52,10 @@ func dialBinaryLazy(addr string) *Client {
 }
 
 // connectLocked (re)establishes the connection; t.mu must be held.
-func (t *binaryTransport) connectLocked() error {
-	conn, err := net.DialTimeout("tcp", t.addr, dialTimeout)
+// ctx bounds the dial (on top of dialTimeout).
+func (t *binaryTransport) connectLocked(ctx context.Context) error {
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", t.addr)
 	if err != nil {
 		return fmt.Errorf("client: dialing %s: %w", t.addr, err)
 	}
@@ -63,7 +67,7 @@ func (t *binaryTransport) connectLocked() error {
 	return nil
 }
 
-func (t *binaryTransport) roundTrip(req *wire.Request, resp *wire.Response) error {
+func (t *binaryTransport) roundTrip(ctx context.Context, req *wire.Request, resp *wire.Response) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var err error
@@ -71,10 +75,29 @@ func (t *binaryTransport) roundTrip(req *wire.Request, resp *wire.Response) erro
 	if err != nil {
 		return err // encoding error; the connection is untouched
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("client: %s round trip: %w", wire.OpName(req.Op), err)
+	}
 	if t.conn == nil {
-		if err := t.connectLocked(); err != nil {
+		if err := t.connectLocked(ctx); err != nil {
 			return err
 		}
+	}
+	// The context bounds the whole exchange: its deadline becomes the
+	// connection's read/write deadline, and cancellation forces the
+	// blocked read to return by expiring the deadline immediately.
+	// t.mu is held across the round trip, so t.conn is stable here.
+	if d, ok := ctx.Deadline(); ok {
+		t.conn.SetDeadline(d)
+	} else {
+		t.conn.SetDeadline(time.Time{}) // heal any stale cancel deadline
+	}
+	if ctx.Done() != nil {
+		conn := t.conn
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0)) // long past; unblocks I/O
+		})
+		defer stop()
 	}
 	if _, err = t.conn.Write(t.wbuf); err == nil {
 		t.rbuf, err = wire.ReadFrame(t.br, t.rbuf)
@@ -87,8 +110,19 @@ func (t *binaryTransport) roundTrip(req *wire.Request, resp *wire.Response) erro
 		// next call starts clean.
 		t.conn.Close()
 		t.conn, t.br = nil, nil
+		if cerr := ctx.Err(); cerr != nil {
+			// Surface the context's verdict, not the I/O timeout it
+			// was enforced through.
+			err = cerr
+		} else if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			// The connection deadline (set from the context's) can
+			// fire a hair before the context's own timer propagates;
+			// same verdict either way.
+			err = context.DeadlineExceeded
+		}
 		return fmt.Errorf("client: %s round trip: %w", wire.OpName(req.Op), err)
 	}
+	t.conn.SetDeadline(time.Time{}) // clear for the next (unbounded) call
 	// Blob aliases rbuf, which the next round trip overwrites; detach
 	// it before the lock is released. (DecodeResponse copies the other
 	// body fields into resp-owned storage.)

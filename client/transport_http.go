@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -53,15 +54,15 @@ func (t *httpTransport) nsPath(ns, suffix string) string {
 	return t.base + "/v2/namespaces/" + url.PathEscape(ns) + suffix
 }
 
-func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error {
+func (t *httpTransport) roundTrip(ctx context.Context, req *wire.Request, resp *wire.Response) error {
 	*resp = wire.Response{Status: wire.StatusOK, Op: req.Op}
 	switch req.Op {
 	case wire.OpPing:
-		return t.get(req, resp, t.base+"/healthz", nil)
+		return t.get(ctx, req, resp, t.base+"/healthz", nil)
 
 	case wire.OpStats:
 		var raw json.RawMessage
-		if err := t.get(req, resp, t.nsPath(req.Namespace, "/stats"), &raw); err != nil || resp.Status != wire.StatusOK {
+		if err := t.get(ctx, req, resp, t.nsPath(req.Namespace, "/stats"), &raw); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Blob = raw
@@ -69,24 +70,24 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 
 	case wire.OpNamespaceList:
 		var raw json.RawMessage
-		if err := t.get(req, resp, t.base+"/v2/namespaces", &raw); err != nil || resp.Status != wire.StatusOK {
+		if err := t.get(ctx, req, resp, t.base+"/v2/namespaces", &raw); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Blob = raw
 		return nil
 
 	case wire.OpNamespaceCreate:
-		return t.post(req, resp, t.base+"/v2/namespaces", json.RawMessage(req.Blob), nil)
+		return t.post(ctx, req, resp, t.base+"/v2/namespaces", json.RawMessage(req.Blob), nil)
 
 	case wire.OpNamespaceDelete:
-		return t.doJSON(req, resp, http.MethodDelete, t.nsPath(req.Namespace, ""), nil, nil)
+		return t.doJSON(ctx, req, resp, http.MethodDelete, t.nsPath(req.Namespace, ""), nil, nil)
 
 	case wire.OpRotate:
 		var body struct {
 			Rotated []string `json:"rotated"`
 			Epoch   uint64   `json:"epoch"`
 		}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, "/rotate"), struct{}{}, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, "/rotate"), struct{}{}, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Rotated, resp.Epoch = body.Rotated, body.Epoch
@@ -97,7 +98,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			Added uint64 `json:"added"`
 		}
 		payload := map[string]any{"keys": encodeKeys(req.Keys), "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, "/membership/add"), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, "/membership/add"), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Applied = body.Added
@@ -108,7 +109,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			Results []bool `json:"results"`
 		}
 		payload := map[string]any{"keys": encodeKeys(req.Keys), "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, "/membership/contains"), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, "/membership/contains"), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Bools = body.Results
@@ -123,7 +124,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			suffix = "/association/remove"
 		}
 		payload := map[string]any{"set": int(req.Set), "keys": encodeKeys(req.Keys), "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, suffix), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, suffix), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Applied = body.Applied
@@ -136,7 +137,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			} `json:"results"`
 		}
 		payload := map[string]any{"keys": encodeKeys(req.Keys), "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, "/association/classify"), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, "/association/classify"), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Regions = make([]byte, len(body.Results))
@@ -171,7 +172,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			})
 		}
 		payload := map[string]any{"items": items, "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, suffix), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, suffix), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Applied = body.Applied
@@ -182,7 +183,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 			Counts []int `json:"counts"`
 		}
 		payload := map[string]any{"keys": encodeKeys(req.Keys), "encoding": "base64"}
-		if err := t.post(req, resp, t.nsPath(req.Namespace, "/multiplicity/count"), payload, &body); err != nil || resp.Status != wire.StatusOK {
+		if err := t.post(ctx, req, resp, t.nsPath(req.Namespace, "/multiplicity/count"), payload, &body); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Counts = body.Counts
@@ -190,7 +191,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 
 	case wire.OpClusterMap:
 		var raw json.RawMessage
-		if err := t.get(req, resp, t.base+"/v2/cluster", &raw); err != nil || resp.Status != wire.StatusOK {
+		if err := t.get(ctx, req, resp, t.base+"/v2/cluster", &raw); err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
 		resp.Blob = raw
@@ -198,7 +199,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 
 	case wire.OpMembershipDump:
 		// The envelope endpoint serves raw ShBE bytes, not JSON.
-		data, err := t.doRaw(req, resp, http.MethodGet, t.nsPath(req.Namespace, "/membership/envelope"), "", nil)
+		data, err := t.doRaw(ctx, req, resp, http.MethodGet, t.nsPath(req.Namespace, "/membership/envelope"), "", nil)
 		if err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
@@ -207,7 +208,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 
 	case wire.OpFreeze:
 		// The freeze endpoint serves raw ShBZ bytes, not JSON.
-		data, err := t.doRaw(req, resp, http.MethodPost, t.nsPath(req.Namespace, "/freeze"), "", nil)
+		data, err := t.doRaw(ctx, req, resp, http.MethodPost, t.nsPath(req.Namespace, "/freeze"), "", nil)
 		if err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
@@ -216,7 +217,7 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 
 	case wire.OpMembershipMerge:
 		// The merge body is a raw ShBE envelope; the reply is JSON.
-		data, err := t.doRaw(req, resp, http.MethodPost, t.nsPath(req.Namespace, "/merge"), "application/octet-stream", req.Blob)
+		data, err := t.doRaw(ctx, req, resp, http.MethodPost, t.nsPath(req.Namespace, "/merge"), "application/octet-stream", req.Blob)
 		if err != nil || resp.Status != wire.StatusOK {
 			return err
 		}
@@ -232,17 +233,17 @@ func (t *httpTransport) roundTrip(req *wire.Request, resp *wire.Response) error 
 	return fmt.Errorf("client: op %s has no HTTP mapping", wire.OpName(req.Op))
 }
 
-func (t *httpTransport) get(req *wire.Request, resp *wire.Response, url string, out any) error {
-	return t.doJSON(req, resp, http.MethodGet, url, nil, out)
+func (t *httpTransport) get(ctx context.Context, req *wire.Request, resp *wire.Response, url string, out any) error {
+	return t.doJSON(ctx, req, resp, http.MethodGet, url, nil, out)
 }
 
-func (t *httpTransport) post(req *wire.Request, resp *wire.Response, url string, payload, out any) error {
-	return t.doJSON(req, resp, http.MethodPost, url, payload, out)
+func (t *httpTransport) post(ctx context.Context, req *wire.Request, resp *wire.Response, url string, payload, out any) error {
+	return t.doJSON(ctx, req, resp, http.MethodPost, url, payload, out)
 }
 
 // doJSON runs one JSON HTTP exchange over doRaw, decoding the success
 // body into out.
-func (t *httpTransport) doJSON(req *wire.Request, resp *wire.Response, method, url string, payload, out any) error {
+func (t *httpTransport) doJSON(ctx context.Context, req *wire.Request, resp *wire.Response, method, url string, payload, out any) error {
 	var body []byte
 	contentType := ""
 	if payload != nil {
@@ -252,7 +253,7 @@ func (t *httpTransport) doJSON(req *wire.Request, resp *wire.Response, method, u
 		}
 		body, contentType = b, "application/json"
 	}
-	data, err := t.doRaw(req, resp, method, url, contentType, body)
+	data, err := t.doRaw(ctx, req, resp, method, url, contentType, body)
 	if err != nil || resp.Status != wire.StatusOK {
 		return err
 	}
@@ -267,12 +268,12 @@ func (t *httpTransport) doJSON(req *wire.Request, resp *wire.Response, method, u
 // doRaw runs one HTTP exchange with an arbitrary request body and
 // returns the raw response body, mapping HTTP failure statuses onto
 // the wire status codes so both transports report identically.
-func (t *httpTransport) doRaw(req *wire.Request, resp *wire.Response, method, url, contentType string, body []byte) ([]byte, error) {
+func (t *httpTransport) doRaw(ctx context.Context, req *wire.Request, resp *wire.Response, method, url, contentType string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	hreq, err := http.NewRequest(method, url, rd)
+	hreq, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +314,8 @@ func httpStatusToWire(status int) byte {
 		return wire.StatusNotFound
 	case http.StatusConflict:
 		return wire.StatusConflict
+	case http.StatusTooManyRequests:
+		return wire.StatusOverloaded
 	}
 	return wire.StatusInternal
 }

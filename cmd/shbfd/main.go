@@ -17,6 +17,9 @@
 //	      [-snapshot state.shbf] [-snapshot-every 0]
 //	      [-pprof-addr localhost:6060]
 //	      [-cluster-file cluster.json -node-id n1]
+//	      [-max-total-bits 0] [-shbp-max-inflight 0]
+//	      [-shbp-idle-timeout 2m]
+//	      [-http-read-header-timeout 10s] [-http-idle-timeout 2m]
 //
 // The flags size the default namespace; further namespaces — each with
 // its own geometry and window policy — are created at runtime via
@@ -42,6 +45,15 @@
 // daemon's hot paths can be profiled in place:
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// The fault-tolerance knobs (OPERATIONS.md §"Fault tolerance"): -max-
+// total-bits caps the daemon's aggregate filter memory (creations past
+// it shed with 429/StatusOverloaded), -shbp-max-inflight caps
+// concurrently-dispatching ShBP frames (writes shed at ¾ of the cap,
+// so reads survive a write flood), -shbp-idle-timeout reaps silent
+// binary connections, and the -http-* timeouts bound header reads and
+// keep-alive idleness so slow or stalled HTTP clients can't pin
+// connections open (slowloris).
 //
 // With -cluster-file and -node-id, the daemon joins a static cluster:
 // it validates the map, checks its own id is in it, and serves the map
@@ -104,6 +116,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
 		clusterF  = fs.String("cluster-file", "", "cluster map JSON file (enables cluster mode; requires -node-id)")
 		nodeID    = fs.String("node-id", "", "this daemon's node id in the cluster map (requires -cluster-file)")
+		maxBits   = fs.Int64("max-total-bits", 0, "daemon-wide filter-memory ceiling in bits across all namespaces (0 = unlimited; creations past it shed with 429)")
+		maxFrames = fs.Int("shbp-max-inflight", 0, "max concurrently-dispatching ShBP frames; writes shed at ¾ of the cap (0 = unlimited)")
+		shbpIdle  = fs.Duration("shbp-idle-timeout", 2*time.Minute, "close ShBP connections idle this long (0 = never)")
+		httpRHT   = fs.Duration("http-read-header-timeout", 10*time.Second, "time allowed to read an HTTP request's headers (slowloris guard; 0 = unlimited)")
+		httpIdle  = fs.Duration("http-idle-timeout", 2*time.Minute, "close keep-alive HTTP connections idle this long (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +148,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		SnapshotPath:      *snapPath,
 		WindowGenerations: *windowGen,
 		WindowTick:        *tick,
+		MaxTotalBits:      *maxBits,
+		MaxInflightFrames: *maxFrames,
+		ShBPIdleTimeout:   *shbpIdle,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -205,7 +225,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *httpRHT,
+		IdleTimeout:       *httpIdle,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

@@ -86,6 +86,9 @@ type Node struct {
 	cancel   context.CancelFunc
 	shbpDone chan struct{}
 	killed   bool
+
+	cfg        server.Config // for Restart
+	clusterMap *cluster.Map  // set once the cluster map is installed
 }
 
 // Kill drops the node abruptly: both listeners close and every open
@@ -100,6 +103,65 @@ func (n *Node) Kill() {
 	n.cancel()        // closes the ShBP listener and its connections
 	n.httpSrv.Close() // closes the HTTP listener and its connections
 	<-n.shbpDone
+}
+
+// Restart brings a killed node back on its original addresses with a
+// fresh server built from the node's config: state comes back only
+// through the snapshot file, if the test wrote one — exactly a daemon
+// restart. The cluster map is re-installed, so the revived node serves
+// it again. No-op on a live node.
+//
+// Unsynced writes are gone after Kill/Restart (Kill is abrupt); the
+// chaos tests re-converge replicas with anti-entropy merges, which is
+// the production answer too (OPERATIONS.md §"Fault tolerance").
+func (n *Node) Restart() error {
+	if !n.killed {
+		return nil
+	}
+	srv, err := server.New(n.cfg)
+	if err != nil {
+		return fmt.Errorf("node %s: restart: %w", n.ID, err)
+	}
+	if n.clusterMap != nil {
+		if err := srv.SetClusterMap(n.clusterMap, n.ID); err != nil {
+			return fmt.Errorf("node %s: restart: %w", n.ID, err)
+		}
+	}
+	// Rebind the exact addresses the cluster map (and every client
+	// holding it) routes to. The old listeners are fully closed by
+	// Kill, so the ports are free — a race with another process
+	// grabbing a loopback port in the gap is possible but vanishingly
+	// rare, and surfaces as a plain error here.
+	httpLn, err := net.Listen("tcp", n.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("node %s: restart: http listener: %w", n.ID, err)
+	}
+	shbpLn, err := net.Listen("tcp", n.ShBPAddr)
+	if err != nil {
+		httpLn.Close()
+		return fmt.Errorf("node %s: restart: shbp listener: %w", n.ID, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.Srv = srv
+	n.httpSrv = &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	n.httpLn, n.shbpLn = httpLn, shbpLn
+	n.cancel = cancel
+	n.shbpDone = make(chan struct{})
+	n.killed = false
+	shbpDone := n.shbpDone
+	go func() {
+		defer close(shbpDone)
+		if err := srv.ServeShBP(ctx, shbpLn); err != nil && ctx.Err() == nil {
+			_ = err
+		}
+	}()
+	httpSrv := n.httpSrv
+	go func() {
+		if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err
+		}
+	}()
+	return nil
 }
 
 // Cluster is the running node set plus the map that ties it together.
@@ -169,6 +231,7 @@ func StartNodes(opts Options) (*Cluster, error) {
 			c.Stop()
 			return nil, err
 		}
+		n.clusterMap = m
 	}
 	return c, nil
 }
@@ -192,6 +255,7 @@ func startNode(id string, cfg server.Config, dir string) (*Node, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		ID:           id,
+		cfg:          cfg,
 		Srv:          srv,
 		HTTPAddr:     httpLn.Addr().String(),
 		ShBPAddr:     shbpLn.Addr().String(),
@@ -210,8 +274,11 @@ func startNode(id string, cfg server.Config, dir string) (*Node, error) {
 			_ = err
 		}
 	}()
+	// Serve via a local, not n.httpSrv: Restart swaps the field, and
+	// this goroutine may still be starting up when it does.
+	httpSrv := n.httpSrv
 	go func() {
-		if err := n.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			_ = err
 		}
 	}()

@@ -326,10 +326,15 @@ func TestOpenRejectsCorruption(t *testing.T) {
 		"reserved nonzero": func(b []byte) []byte { b[6] = 1; return b },
 		"zero shards":      func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0, 0, 0, 0; return b },
 		"odd k":            func(b []byte) []byte { b[12] = 7; return b },
-		"zero m":           func(b []byte) []byte { for i := 16; i < 24; i++ { b[i] = 0 }; return b },
-		"wild wbar":        func(b []byte) []byte { b[24] = 200; return b },
-		"truncated body":   func(b []byte) []byte { return b[:len(b)-8] },
-		"lying total":      func(b []byte) []byte { b[56] ^= 0xFF; return b },
+		"zero m": func(b []byte) []byte {
+			for i := 16; i < 24; i++ {
+				b[i] = 0
+			}
+			return b
+		},
+		"wild wbar":      func(b []byte) []byte { b[24] = 200; return b },
+		"truncated body": func(b []byte) []byte { return b[:len(b)-8] },
+		"lying total":    func(b []byte) []byte { b[56] ^= 0xFF; return b },
 	}
 	for name, corrupt := range cases {
 		if _, err := Open(corrupt(append([]byte{}, blob...))); err == nil {

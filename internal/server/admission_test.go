@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postStatus posts body as JSON and returns the raw response, for
+// asserting on failure statuses the post helper would t.Fatal on.
+func postStatus(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRateLimiterShedsWritesFirst pins the token-bucket policy: writes
+// need a quarter-bucket reserve, reads only their own tokens, refill
+// is continuous and capped at burst.
+func TestRateLimiterShedsWritesFirst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(1, 8) // 1 token/s, bucket of 8, starts full
+
+	if !l.admit(5, true, now) { // needs 5+2=7 of 8
+		t.Fatal("write of 5 with a full bucket of 8 shed")
+	}
+	if l.admit(2, true, now) { // needs 2+2=4, only 3 left
+		t.Fatal("write of 2 admitted past the quarter-bucket reserve")
+	}
+	if !l.admit(2, false, now) { // reads take the bucket to the floor
+		t.Fatal("read of 2 shed with 3 tokens left")
+	}
+	if l.admit(2, false, now) { // only 1 token left
+		t.Fatal("read of 2 admitted with 1 token left")
+	}
+	if !l.admit(8, false, now.Add(10*time.Second)) { // refill caps at burst
+		t.Fatal("read of 8 shed after a full refill")
+	}
+	if l.admit(1, false, now) { // clock must never run backwards a refund
+		t.Fatal("read admitted on a rewound clock")
+	}
+}
+
+// TestFrameGate pins the in-flight cap: writes shed at ¾ of the cap,
+// reads at the cap, release reopens slots.
+func TestFrameGate(t *testing.T) {
+	g := newFrameGate(4) // write cap 3
+	for i := 0; i < 3; i++ {
+		if err := g.acquire(true); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := g.acquire(true); !IsOverloaded(err) {
+		t.Fatalf("write past ¾ cap: got %v, want overloaded", err)
+	}
+	if err := g.acquire(false); err != nil { // reads run to the full cap
+		t.Fatalf("read at cap: %v", err)
+	}
+	if err := g.acquire(false); !IsOverloaded(err) {
+		t.Fatalf("read past cap: got %v, want overloaded", err)
+	}
+	g.release()
+	if err := g.acquire(false); err != nil {
+		t.Fatalf("read after release: %v", err)
+	}
+	if newFrameGate(0) != nil {
+		t.Fatal("cap 0 must mean unlimited (nil gate)")
+	}
+	var unlimited *frameGate
+	if err := unlimited.acquire(true); err != nil {
+		t.Fatalf("nil gate must admit: %v", err)
+	}
+	unlimited.release()
+}
+
+// TestNamespaceMaxBitsIsAConfigError: a tenant whose geometry exceeds
+// its own bit budget is rejected at create with 400 — the operator
+// mis-sized the tenant; nothing is overloaded.
+func TestNamespaceMaxBitsIsAConfigError(t *testing.T) {
+	ts := newTestServer(t, testConfig())
+	resp := postStatus(t, ts.URL+"/v2/namespaces",
+		map[string]any{"name": "overbudget", "max_bits": 1024})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	// A right-sized budget is accepted.
+	post(t, ts.URL+"/v2/namespaces",
+		map[string]any{"name": "budgeted", "max_bits": 1 << 30}, 201, nil)
+}
+
+// TestMemoryCeilingShedsCreates: creations past Config.MaxTotalBits
+// answer 429, deletion refunds the budget, and a restored snapshot
+// re-meters it.
+func TestMemoryCeilingShedsCreates(t *testing.T) {
+	base, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTenant := base.usedBits // every tenant inheriting the base geometry costs this
+
+	cfg := testConfig()
+	cfg.MaxTotalBits = perTenant*2 + perTenant/2 // default + one tenant, not two
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateNamespace(NamespaceConfig{Name: "t1"}); err != nil {
+		t.Fatalf("first tenant under the ceiling: %v", err)
+	}
+	err = s.CreateNamespace(NamespaceConfig{Name: "t2"})
+	if !IsOverloaded(err) {
+		t.Fatalf("second tenant past the ceiling: got %v, want overloaded", err)
+	}
+	if err := s.DeleteNamespace("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateNamespace(NamespaceConfig{Name: "t2"}); err != nil {
+		t.Fatalf("tenant after the refund: %v", err)
+	}
+
+	// Over HTTP the same shed is a 429 with the error body shape every
+	// other failure uses.
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp := postStatus(t, ts.URL+"/v2/namespaces", map[string]any{"name": "t3"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP create past ceiling: status %d, want 429", resp.StatusCode)
+	}
+
+	// A daemon whose default namespace alone busts the ceiling must
+	// refuse to start — silently serving past the ceiling hides the
+	// misconfiguration until the next create.
+	tiny := testConfig()
+	tiny.MaxTotalBits = 1024
+	if _, err := New(tiny); err == nil || !strings.Contains(err.Error(), "ceiling") {
+		t.Fatalf("New under an impossible ceiling: got %v, want ceiling error", err)
+	}
+}
+
+// TestRateQuotaOverHTTP drives a quota-bearing tenant to exhaustion
+// over the HTTP transport: writes shed first (429), reads keep
+// answering, and the shed response carries the admission message.
+func TestRateQuotaOverHTTP(t *testing.T) {
+	ts := newTestServer(t, testConfig())
+	post(t, ts.URL+"/v2/namespaces",
+		map[string]any{"name": "metered", "rate_per_sec": 0.001, "rate_burst": 8}, 201, nil)
+
+	// Burst 8, negligible refill: a write of 5 fits (5+2 reserve ≤ 8),
+	// the next write of 2 hits the reserve, a read of 2 still answers.
+	keys5 := []string{"a", "b", "c", "d", "e"}
+	post(t, ts.URL+"/v2/namespaces/metered/membership/add", map[string]any{"keys": keys5}, 200, nil)
+
+	resp := postStatus(t, ts.URL+"/v2/namespaces/metered/membership/add",
+		map[string]any{"keys": []string{"f", "g"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed write: status %d, want 429", resp.StatusCode)
+	}
+
+	var res struct {
+		Results []bool `json:"results"`
+	}
+	post(t, ts.URL+"/v2/namespaces/metered/membership/contains",
+		map[string]any{"keys": []string{"a", "b"}}, 200, &res)
+	if !res.Results[0] || !res.Results[1] {
+		t.Fatal("reads must keep answering while writes shed")
+	}
+
+	// The default namespace has no quota: the v1 byte-frozen surface
+	// is untouched by admission control.
+	post(t, ts.URL+"/v1/membership/add", map[string]any{"keys": keys5}, 200, nil)
+}

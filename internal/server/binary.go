@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"shbf"
 	"shbf/internal/core"
@@ -87,7 +88,11 @@ func (s *Server) ServeShBP(ctx context.Context, ln net.Listener) error {
 // serveShBPConn runs one connection's request loop. A protocol error
 // is answered with a bad-request frame and closes the connection (the
 // stream position is unrecoverable); op-level errors are answered in
-// band and the loop continues.
+// band and the loop continues. With cfg.ShBPIdleTimeout set, a
+// connection that completes no frame within the timeout is reaped —
+// the deadline re-arms before every frame read, so an active pipelined
+// connection never trips it while a dialed-and-silent one cannot hold
+// its goroutine and buffers forever.
 func (s *Server) serveShBPConn(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
@@ -100,10 +105,17 @@ func (s *Server) serveShBPConn(conn net.Conn) error {
 	)
 	for {
 		var err error
+		if idle := s.cfg.ShBPIdleTimeout; idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		frame, err = wire.ReadFrame(br, frame)
 		if err != nil {
 			if err == io.EOF {
 				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return nil // idle reap, not a fault
 			}
 			return err
 		}
@@ -119,7 +131,15 @@ func (s *Server) serveShBPConn(conn net.Conn) error {
 			}
 			return derr
 		}
-		s.dispatch(&req, &resp, &sc)
+		// In-flight frame cap: shed before dispatch, writes first. The
+		// shed answer is in-band — the connection stays usable, so a
+		// backoff-and-retry client keeps its pipeline.
+		if gerr := s.frames.acquire(writeOp(req.Op)); gerr != nil {
+			resp = wire.Response{Status: wire.StatusOverloaded, Op: req.Op, Msg: gerr.Error()}
+		} else {
+			s.dispatch(&req, &resp, &sc)
+			s.frames.release()
+		}
 		if out, err = wire.AppendResponse(out[:0], &resp); err != nil {
 			return fmt.Errorf("encoding %s response: %w", wire.OpName(req.Op), err)
 		}
@@ -165,8 +185,11 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		}
 		if err := s.CreateNamespace(nc); err != nil {
 			resp.Status, resp.Msg = wire.StatusBadRequest, err.Error()
-			if errors.Is(err, errNamespaceExists) {
+			switch {
+			case errors.Is(err, errNamespaceExists):
 				resp.Status = wire.StatusConflict
+			case IsOverloaded(err): // daemon memory ceiling
+				resp.Status = wire.StatusOverloaded
 			}
 		}
 		return
@@ -209,6 +232,22 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		wire.OpRotate:
 		if err := ns.writable(); err != nil {
 			resp.Status, resp.Msg = wire.StatusConflict, err.Error()
+			return
+		}
+	}
+	// Per-tenant rate quota on the data-plane ops, charging one token
+	// per key — the same gate, costs and message as the HTTP handlers,
+	// so both transports shed byte-identically.
+	switch req.Op {
+	case wire.OpMembershipAdd, wire.OpAssociationAdd, wire.OpAssociationRemove,
+		wire.OpMultiplicityAdd, wire.OpMultiplicityRemove:
+		if err := ns.admit(len(req.Keys), true); err != nil {
+			resp.Status, resp.Msg = wire.StatusOverloaded, err.Error()
+			return
+		}
+	case wire.OpMembershipContains, wire.OpAssociationQuery, wire.OpMultiplicityCount:
+		if err := ns.admit(len(req.Keys), false); err != nil {
+			resp.Status, resp.Msg = wire.StatusOverloaded, err.Error()
 			return
 		}
 	}

@@ -143,6 +143,10 @@ func (s *Server) nsMembershipAdd(ns *namespace, w http.ResponseWriter, r *http.R
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := ns.admit(len(keys), true); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	// The batch path takes each shard lock once for the whole request
 	// instead of once per key.
 	if err := ns.mem.AddAll(keys); err != nil {
@@ -161,6 +165,10 @@ func (s *Server) nsMembershipContains(ns *namespace, w http.ResponseWriter, r *h
 	keys, err := decodeKeys(req.Keys, req.Encoding)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := ns.admit(len(keys), false); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	results := ns.mem.ContainsAll(make([]bool, 0, len(keys)), keys)
@@ -229,6 +237,10 @@ func (s *Server) applySetBatch(ns *namespace, w http.ResponseWriter, r *http.Req
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := ns.admit(len(keys), true); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	op := op1
 	if req.Set == 2 {
 		op = op2
@@ -266,6 +278,10 @@ func (s *Server) nsAssociationClassify(ns *namespace, w http.ResponseWriter, r *
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := ns.admit(len(keys), false); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	// Only the v2 route carries the raw mask; the v1 response shape is
 	// frozen.
 	withMask := r.PathValue("ns") != ""
@@ -289,6 +305,12 @@ func (s *Server) applyCountedBatch(ns *namespace, w http.ResponseWriter, r *http
 	}
 	var req countedBatch
 	if !readJSON(w, r, &req) {
+		return
+	}
+	// The quota charges per key, not per increment: admission meters
+	// request traffic, capacity metering is the filters' MaxCount.
+	if err := ns.admit(len(req.Items), true); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	applied := 0
@@ -337,6 +359,10 @@ func (s *Server) nsMultiplicityCount(ns *namespace, w http.ResponseWriter, r *ht
 	keys, err := decodeKeys(req.Keys, req.Encoding)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := ns.admit(len(keys), false); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	counts := ns.mult.CountAll(make([]int, 0, len(keys)), keys)
@@ -401,8 +427,11 @@ func (s *Server) handleNamespaceCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.CreateNamespace(nc); err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errNamespaceExists) {
+		switch {
+		case errors.Is(err, errNamespaceExists):
 			status = http.StatusConflict
+		case IsOverloaded(err): // daemon memory ceiling
+			status = http.StatusTooManyRequests
 		}
 		writeError(w, status, err)
 		return

@@ -39,6 +39,10 @@ type namespace struct {
 	assoc associationFilter
 	mult  multiplicityFilter
 	stats counters
+	// limiter is the tenant's data-plane rate quota (admission.go);
+	// nil = unlimited. Like frozen it is process-local: snapshots
+	// persist filter state, not admission policy.
+	limiter *rateLimiter
 	// frozen marks the tenant read-only after a freeze (see freeze.go);
 	// process-local, not persisted in snapshots.
 	frozen atomic.Bool
@@ -73,6 +77,21 @@ type NamespaceConfig struct {
 	// daemon's -tick maintenance loop (see OPERATIONS.md §5); nil
 	// inherits, 0 disables clock-driven rotation for the tenant.
 	WindowTickSeconds *float64 `json:"window_tick_seconds,omitempty"`
+
+	// MaxBits is the tenant's bit budget: the resolved trio's total
+	// filter bits (all generations) may not exceed it. Enforced at
+	// create — a geometry over budget is rejected (400), it does not
+	// silently shrink. Zero = no per-tenant budget.
+	MaxBits int64 `json:"max_bits,omitempty"`
+	// RatePerSec is the tenant's data-plane rate quota in keys per
+	// second across all ops of the trio; excess traffic is shed with
+	// 429/StatusOverloaded, writes before reads (see admission.go).
+	// Zero = unlimited. Process-local: not persisted in snapshots.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// RateBurst is the quota's burst allowance in keys (the token
+	// bucket's capacity). Zero defaults to one second's worth
+	// (RatePerSec).
+	RateBurst float64 `json:"rate_burst,omitempty"`
 }
 
 // resolve applies the per-tenant overrides onto the daemon's base
@@ -228,9 +247,21 @@ func (s *Server) CreateNamespace(nc NamespaceConfig) error {
 	if err := validNamespaceName(nc.Name); err != nil {
 		return err
 	}
+	if nc.RatePerSec < 0 || nc.RateBurst < 0 {
+		return fmt.Errorf("server: namespace %q: negative rate quota", nc.Name)
+	}
 	ns, err := newNamespace(nc.Name, nc.resolve(s.cfg))
 	if err != nil {
 		return err
+	}
+	// Per-tenant bit budget: a geometry over budget is the creator's
+	// config error, rejected outright rather than shrunk.
+	if bits := ns.totalBits(); nc.MaxBits > 0 && bits > nc.MaxBits {
+		return fmt.Errorf("server: namespace %q: geometry needs %d filter bits, over its %d-bit budget",
+			nc.Name, bits, nc.MaxBits)
+	}
+	if nc.RatePerSec > 0 {
+		ns.limiter = newRateLimiter(nc.RatePerSec, nc.RateBurst)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -239,6 +270,11 @@ func (s *Server) CreateNamespace(nc NamespaceConfig) error {
 	}
 	if len(s.namespaces) >= maxNamespaces {
 		return fmt.Errorf("server: namespace limit (%d) reached", maxNamespaces)
+	}
+	// Daemon-wide memory ceiling: past it the daemon is full, and the
+	// create is shed as an overload (429/StatusOverloaded).
+	if err := s.chargeBitsLocked(ns.totalBits()); err != nil {
+		return err
 	}
 	s.namespaces[nc.Name] = ns
 	return nil
@@ -252,9 +288,11 @@ func (s *Server) DeleteNamespace(name string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.namespaces[name] == nil {
+	ns := s.namespaces[name]
+	if ns == nil {
 		return fmt.Errorf("server: unknown namespace %q", name)
 	}
+	s.usedBits -= ns.totalBits() // refund the memory ceiling
 	delete(s.namespaces, name)
 	return nil
 }

@@ -111,6 +111,20 @@ type Config struct {
 	// and driven by shbfd's -tick loop (zero = rotate only on
 	// the rotate endpoints). Requires WindowGenerations ≥ 2.
 	WindowTick time.Duration
+	// MaxTotalBits is the daemon-wide memory ceiling: the sum of every
+	// namespace's filter bits (all generations of the trio) may not
+	// exceed it. Namespace creations past the ceiling are shed with
+	// 429/StatusOverloaded. Zero = unlimited.
+	MaxTotalBits int64
+	// MaxInflightFrames caps the ShBP frames being dispatched at once
+	// across all binary connections; excess frames are shed with
+	// StatusOverloaded, writes (at ¾ of the cap) before reads (at the
+	// cap). Zero = unlimited.
+	MaxInflightFrames int
+	// ShBPIdleTimeout reaps ShBP connections that send no complete
+	// frame for this long, so a client that dials and goes silent
+	// cannot hold a goroutine and buffers forever. Zero = never reap.
+	ShBPIdleTimeout time.Duration
 }
 
 // DefaultConfig returns a config sized for ~1M members at k = 8
@@ -180,10 +194,17 @@ type multiplicityFilter interface {
 type Server struct {
 	cfg Config
 
-	// mu guards the namespaces map; the namespaces themselves are
-	// internally synchronized.
+	// mu guards the namespaces map and usedBits; the namespaces
+	// themselves are internally synchronized.
 	mu         sync.RWMutex
 	namespaces map[string]*namespace
+
+	// usedBits is the filter-bit footprint of every registered
+	// namespace, metered against cfg.MaxTotalBits (admission.go).
+	usedBits int64
+
+	// frames is the ShBP in-flight frame gate (nil = unlimited).
+	frames *frameGate
 
 	// rotMu serializes rotations against rotation-consistent
 	// snapshots, so such a snapshot captures every shard of every ring
@@ -237,7 +258,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		namespaces: map[string]*namespace{DefaultNamespace: def},
+		usedBits:   def.totalBits(),
+		frames:     newFrameGate(cfg.MaxInflightFrames),
 		start:      time.Now(),
+	}
+	if cfg.MaxTotalBits > 0 && s.usedBits > cfg.MaxTotalBits {
+		return nil, fmt.Errorf("server: default namespace needs %d filter bits, above the %d-bit memory ceiling",
+			s.usedBits, cfg.MaxTotalBits)
 	}
 	if cfg.SnapshotPath != "" {
 		switch _, err := os.Stat(cfg.SnapshotPath); {

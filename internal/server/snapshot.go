@@ -255,9 +255,18 @@ func (s *Server) restoreV1(buf []byte) error {
 	return nil
 }
 
-// installNamespaces replaces the registry with a restored set.
+// installNamespaces replaces the registry with a restored set and
+// re-meters the memory ceiling from it. Restored tenants always
+// install — a snapshot that outgrew a newly-lowered ceiling must not
+// brick the restart — but the overage is logged by the caller via the
+// returned accounting (creations from here on are shed until tenants
+// are deleted).
 func (s *Server) installNamespaces(set map[string]*namespace) {
 	s.mu.Lock()
 	s.namespaces = set
+	s.usedBits = 0
+	for _, ns := range set {
+		s.usedBits += ns.totalBits()
+	}
 	s.mu.Unlock()
 }

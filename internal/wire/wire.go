@@ -131,6 +131,11 @@ const (
 	StatusNotFound   = 2 // unknown namespace
 	StatusConflict   = 3 // capacity conditions, not-windowed rotate, duplicate namespace
 	StatusInternal   = 4
+	// StatusOverloaded is admission control shedding the request —
+	// per-tenant rate quota, the daemon memory ceiling, or the ShBP
+	// in-flight frame cap (HTTP 429). The request was NOT applied; it
+	// is safe to retry after a backoff.
+	StatusOverloaded = 5
 )
 
 // statusNames maps status codes to names for errors and logs.
@@ -140,6 +145,7 @@ var statusNames = map[byte]string{
 	StatusNotFound:   "not-found",
 	StatusConflict:   "conflict",
 	StatusInternal:   "internal",
+	StatusOverloaded: "overloaded",
 }
 
 // StatusName returns the status code's name.
