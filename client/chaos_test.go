@@ -35,6 +35,9 @@ func TestChaosSoak(t *testing.T) {
 	cns := rcl.Namespace("default")
 
 	var acked [][]byte
+	// Per-node daemon counters, scraped every round: monotonic except
+	// across that node's own restart (which resets its registry).
+	lastNodeSum := map[string]float64{}
 	for r := 0; r < rounds; r++ {
 		victim := tc.Nodes[r%len(tc.Nodes)]
 
@@ -86,8 +89,45 @@ func TestChaosSoak(t *testing.T) {
 					r, victim.ID, acked[i])
 			}
 		}
+
+		// Every node is alive here: scrape each one and hold the
+		// counter-monotonicity invariant — a daemon's request total
+		// never goes backward except across its own kill/restart.
+		for _, n := range tc.Nodes {
+			scrape, err := cl.Client(n.ID).Metrics()
+			if err != nil {
+				t.Fatalf("round %d: scraping %s: %v", r, n.ID, err)
+			}
+			sum, err := sumSeriesPrefix(scrape, "shbf_requests_total{")
+			if err != nil {
+				t.Fatalf("round %d: %s scrape: %v", r, n.ID, err)
+			}
+			if n.ID != victim.ID && sum < lastNodeSum[n.ID] {
+				t.Fatalf("round %d: node %s request total went backward: %v after %v",
+					r, n.ID, sum, lastNodeSum[n.ID])
+			}
+			lastNodeSum[n.ID] = sum
+		}
 	}
 	assertAllPresent(t, rounds, "final", cns, acked)
+
+	// The router's counters saw the whole soak: kills produced node
+	// errors and read failovers, and the per-node clients counted every
+	// attempt (WithRetry shares the dialed router's counters).
+	st := cl.Stats()
+	if st.Requests == 0 || st.Errors == 0 {
+		t.Fatalf("router counters empty after the soak: %+v", st)
+	}
+	if st.Failovers == 0 {
+		t.Fatal("no read failovers counted across kill rounds")
+	}
+	var nodeErrs uint64
+	for _, n := range st.NodeErrors {
+		nodeErrs += n
+	}
+	if nodeErrs == 0 {
+		t.Fatalf("no per-node errors counted: %+v", st.NodeErrors)
+	}
 }
 
 // assertAllPresent fails the soak if any acked key reads false.

@@ -149,6 +149,7 @@ type Client struct {
 	t     transport
 	ctx   context.Context // nil = context.Background()
 	retry *RetryPolicy    // nil = never retry
+	stats *clientStats    // shared by every derived handle; see Stats
 }
 
 // WithContext returns a handle sharing this client's connection whose
@@ -190,7 +191,7 @@ func (c *Client) context() context.Context {
 func Dial(target string) (*Client, error) {
 	switch {
 	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
-		return &Client{t: newHTTPTransport(target, nil)}, nil
+		return &Client{t: newHTTPTransport(target, nil), stats: new(clientStats)}, nil
 	case strings.HasPrefix(target, "shbp://"):
 		return dialBinary(strings.TrimPrefix(target, "shbp://"))
 	case strings.Contains(target, "://"):
@@ -206,7 +207,7 @@ func DialHTTP(baseURL string, hc *http.Client) (*Client, error) {
 	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
 		return nil, fmt.Errorf("client: %q is not an http(s) URL", baseURL)
 	}
-	return &Client{t: newHTTPTransport(baseURL, hc)}, nil
+	return &Client{t: newHTTPTransport(baseURL, hc), stats: new(clientStats)}, nil
 }
 
 // Close releases the transport (idle HTTP connections, the binary
@@ -217,6 +218,18 @@ func (c *Client) Close() error { return c.t.close() }
 func (c *Client) Ping() error {
 	_, err := c.do(&wire.Request{Op: wire.OpPing})
 	return err
+}
+
+// Metrics fetches the daemon's metrics scrape in Prometheus text
+// exposition format — GET /metrics over HTTP, the metrics op over
+// ShBP; both transports serve byte-identical scrapes. For this
+// client's own counters, see [Client.Stats].
+func (c *Client) Metrics() ([]byte, error) {
+	resp, err := c.do(&wire.Request{Op: wire.OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
 }
 
 // Namespace returns a handle on one tenant ("" addresses the default
@@ -267,11 +280,13 @@ func (c *Client) Namespaces() ([]NamespaceInfo, error) {
 func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 	ctx := c.context()
 	for attempt := 0; ; attempt++ {
+		c.stats.request()
 		var resp wire.Response
 		err := c.t.roundTrip(ctx, req, &resp)
 		if err == nil && resp.Status == wire.StatusOK {
 			return &resp, nil
 		}
+		c.stats.error()
 		if err == nil {
 			err = &Error{Status: resp.Status, Msg: resp.Msg, Applied: resp.Applied}
 		}
@@ -287,5 +302,6 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 			// failure is the useful error, not the wait's.
 			return nil, err
 		}
+		c.stats.retry()
 	}
 }

@@ -121,6 +121,7 @@ func (e *ClusterError) Unwrap() []error {
 type Cluster struct {
 	m     *cluster.Map
 	nodes map[string]*Client
+	stats *clusterStats // shared by every derived router; see Stats
 }
 
 // DialCluster bootstraps from one seed node: it dials the seed with
@@ -155,10 +156,10 @@ func DialClusterMap(m *ClusterMap) (*Cluster, error) {
 		if n.Addr != "" {
 			nodes[n.ID] = dialBinaryLazy(strings.TrimPrefix(n.Addr, "shbp://"))
 		} else {
-			nodes[n.ID] = &Client{t: newHTTPTransport("http://"+n.HTTPAddr, nil)}
+			nodes[n.ID] = &Client{t: newHTTPTransport("http://"+n.HTTPAddr, nil), stats: new(clientStats)}
 		}
 	}
-	return &Cluster{m: m, nodes: nodes}, nil
+	return &Cluster{m: m, nodes: nodes, stats: newClusterStats(m)}, nil
 }
 
 // failover reports whether a read sub-batch's failure is worth
@@ -185,7 +186,7 @@ func (cl *Cluster) WithContext(ctx context.Context) *Cluster {
 	for id, c := range cl.nodes {
 		nodes[id] = c.WithContext(ctx)
 	}
-	return &Cluster{m: cl.m, nodes: nodes}
+	return &Cluster{m: cl.m, nodes: nodes, stats: cl.stats}
 }
 
 // WithRetry returns a router over the same per-node connections whose
@@ -196,7 +197,7 @@ func (cl *Cluster) WithRetry(p RetryPolicy) *Cluster {
 	for id, c := range cl.nodes {
 		nodes[id] = c.WithRetry(p)
 	}
-	return &Cluster{m: cl.m, nodes: nodes}
+	return &Cluster{m: cl.m, nodes: nodes, stats: cl.stats}
 }
 
 // Map returns the cluster map the router was built from.
@@ -329,12 +330,20 @@ func (cl *Cluster) fan(batches []*nodeBatch, call func(*Client, *nodeBatch) erro
 		wg.Add(1)
 		go func(i int, b *nodeBatch) {
 			defer wg.Done()
-			node, err := b.node, call(cl.nodes[b.node], b)
+			run := func(id string) error {
+				err := call(cl.nodes[id], b)
+				if err != nil {
+					cl.stats.nodeError(id)
+				}
+				return err
+			}
+			node, err := b.node, run(b.node)
 			for _, replica := range b.owners {
 				if err == nil || replica == node || !failover(err) {
 					continue
 				}
-				node, err = replica, call(cl.nodes[replica], b)
+				cl.stats.failover()
+				node, err = replica, run(replica)
 			}
 			if err != nil {
 				ne := &NodeError{Node: node, Indices: b.idx, Err: err}

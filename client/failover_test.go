@@ -60,6 +60,24 @@ func TestClusterReadFailover(t *testing.T) {
 	if _, err := cns.Classify(keys[:100]); err != nil {
 		t.Fatalf("Classify with a dead primary: %v", err)
 	}
+
+	// The router's own counters recorded the failovers: errors against
+	// the dead node only, and at least one replica re-send.
+	st := cl.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("Stats().Failovers = 0 despite reads surviving a dead primary")
+	}
+	if st.NodeErrors[victim.ID] == 0 {
+		t.Fatalf("no errors counted against killed node %s: %+v", victim.ID, st.NodeErrors)
+	}
+	for id, n := range st.NodeErrors {
+		if id != victim.ID && n != 0 {
+			t.Errorf("healthy node %s counted %d errors", id, n)
+		}
+	}
+	if st.Requests == 0 || st.Errors == 0 {
+		t.Fatalf("per-node counters empty after a failover run: %+v", st)
+	}
 }
 
 // TestClusterReadFailoverExhaustsReplicas: at R=1 there is no replica

@@ -51,6 +51,7 @@ const (
 func retryableOp(op byte) bool {
 	switch op {
 	case wire.OpPing, wire.OpStats, wire.OpNamespaceList, wire.OpClusterMap,
+		wire.OpMetrics,
 		wire.OpMembershipAdd, wire.OpMembershipContains, wire.OpMembershipMerge,
 		wire.OpMembershipDump, wire.OpFreeze,
 		wire.OpAssociationQuery, wire.OpMultiplicityCount:

@@ -1,0 +1,138 @@
+package client
+
+import "sync/atomic"
+
+// Client-side instrumentation: lightweight counters a caller can poll
+// to see what its handles have been doing — attempts, failures,
+// retries, and (for the cluster router) read failovers and per-node
+// failures. The counters live on the dialed client and are shared by
+// every handle derived from it (WithContext, WithRetry, Namespace),
+// so one Stats() call sums the whole handle family. For the daemon's
+// own view, fetch its Prometheus scrape with [Client.Metrics].
+
+// clientStats is the shared counter block behind one dialed Client and
+// all handles derived from it. All methods are nil-receiver safe so a
+// zero-value Client (never produced by the constructors) stays inert.
+type clientStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	retries  atomic.Uint64
+}
+
+func (s *clientStats) request() {
+	if s != nil {
+		s.requests.Add(1)
+	}
+}
+
+func (s *clientStats) error() {
+	if s != nil {
+		s.errors.Add(1)
+	}
+}
+
+func (s *clientStats) retry() {
+	if s != nil {
+		s.retries.Add(1)
+	}
+}
+
+// ClientStats is a point-in-time snapshot of one client's counters, as
+// returned by [Client.Stats]. Counters only grow for the life of the
+// client; deltas between snapshots give rates.
+type ClientStats struct {
+	// Requests counts round-trip attempts, including each retry.
+	Requests uint64
+	// Errors counts failed attempts: transport failures and
+	// daemon-reported non-OK statuses alike. A call that succeeds on
+	// its second attempt contributes 2 to Requests and 1 to Errors.
+	Errors uint64
+	// Retries counts re-attempts made by [Client.WithRetry] handles
+	// (always ≤ Errors: only retryable failures of retryable ops are
+	// re-attempted).
+	Retries uint64
+}
+
+// Stats returns the client's cumulative counters. Handles derived with
+// [Client.WithContext] and [Client.WithRetry] share the dialed
+// client's counters, so any of them reports the family total.
+func (c *Client) Stats() ClientStats {
+	if c.stats == nil {
+		return ClientStats{}
+	}
+	return ClientStats{
+		Requests: c.stats.requests.Load(),
+		Errors:   c.stats.errors.Load(),
+		Retries:  c.stats.retries.Load(),
+	}
+}
+
+// clusterStats is the router-level counter block: failovers plus a
+// per-node failure tally. The node map is built once at dial time and
+// never mutated after, so reads need no locking. Nil-receiver safe.
+type clusterStats struct {
+	failovers atomic.Uint64
+	nodeErrs  map[string]*atomic.Uint64
+}
+
+func newClusterStats(m *ClusterMap) *clusterStats {
+	s := &clusterStats{nodeErrs: make(map[string]*atomic.Uint64, len(m.Nodes))}
+	for _, n := range m.Nodes {
+		s.nodeErrs[n.ID] = new(atomic.Uint64)
+	}
+	return s
+}
+
+func (s *clusterStats) failover() {
+	if s != nil {
+		s.failovers.Add(1)
+	}
+}
+
+func (s *clusterStats) nodeError(id string) {
+	if s == nil {
+		return
+	}
+	if c := s.nodeErrs[id]; c != nil {
+		c.Add(1)
+	}
+}
+
+// ClusterStats is a point-in-time snapshot of the router's counters,
+// as returned by [Cluster.Stats]. Requests/Errors/Retries sum the
+// per-node clients' [ClientStats].
+type ClusterStats struct {
+	// Requests, Errors and Retries aggregate every per-node client's
+	// counters (see [ClientStats]).
+	Requests uint64
+	Errors   uint64
+	Retries  uint64
+	// Failovers counts read sub-batches re-sent to a replica after
+	// their primary (or an earlier replica) failed.
+	Failovers uint64
+	// NodeErrors tallies failed calls per node ID, over every node in
+	// the cluster map (zero entries included).
+	NodeErrors map[string]uint64
+}
+
+// Stats returns the router's cumulative counters: per-node client
+// totals plus failover and per-node failure tallies. Routers derived
+// with [Cluster.WithContext] and [Cluster.WithRetry] share the dialed
+// router's counters.
+func (cl *Cluster) Stats() ClusterStats {
+	var out ClusterStats
+	for _, c := range cl.nodes {
+		s := c.Stats()
+		out.Requests += s.Requests
+		out.Errors += s.Errors
+		out.Retries += s.Retries
+	}
+	if cl.stats != nil {
+		out.Failovers = cl.stats.failovers.Load()
+		out.NodeErrors = make(map[string]uint64, len(cl.stats.nodeErrs))
+		for id, c := range cl.stats.nodeErrs {
+			out.NodeErrors[id] = c.Load()
+		}
+	}
+	return out
+}

@@ -41,14 +41,14 @@ func dialBinary(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{t: t}, nil
+	return &Client{t: t, stats: new(clientStats)}, nil
 }
 
 // dialBinaryLazy defers the connection to the first round trip. The
 // cluster router uses it so one down node degrades to per-node errors
 // on use instead of failing the whole fleet dial.
 func dialBinaryLazy(addr string) *Client {
-	return &Client{t: &binaryTransport{addr: addr}}
+	return &Client{t: &binaryTransport{addr: addr}, stats: new(clientStats)}
 }
 
 // connectLocked (re)establishes the connection; t.mu must be held.

@@ -189,6 +189,15 @@ func (t *httpTransport) roundTrip(ctx context.Context, req *wire.Request, resp *
 		resp.Counts = body.Counts
 		return nil
 
+	case wire.OpMetrics:
+		// The scrape is Prometheus text, not JSON.
+		data, err := t.doRaw(ctx, req, resp, http.MethodGet, t.base+"/metrics", "", nil)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		resp.Blob = data
+		return nil
+
 	case wire.OpClusterMap:
 		var raw json.RawMessage
 		if err := t.get(ctx, req, resp, t.base+"/v2/cluster", &raw); err != nil || resp.Status != wire.StatusOK {

@@ -20,6 +20,15 @@ package main
 // Contains at 256 keys achieves at least that multiple of the JSON
 // path's keys/sec — CI's regression gate for the binary protocol's
 // reason to exist.
+//
+// The suite also runs an A/B overhead measurement for the metrics
+// layer: a second, identically preloaded daemon with Config.NoMetrics
+// set serves the same ShBP Contains@256 case (interleaved with the
+// instrumented one), and the report records the instrumented/bare
+// keys-per-second ratio. With -serve-max-metrics-overhead > 0 the run
+// exits nonzero if instrumentation costs more than that fraction of
+// throughput — CI's proof that the per-frame counters stay in the
+// "two array loads plus atomic adds" budget.
 
 import (
 	"context"
@@ -77,11 +86,15 @@ type serveReport struct {
 	Note        string            `json:"note"`
 	Results     []serveResult     `json:"results"`
 	Comparisons []serveComparison `json:"comparisons"`
+	// MetricsOverheadRatio is instrumented ÷ NoMetrics keys/sec for
+	// ShBP ContainsAll@256 (1.0 = free; 0.95 = 5% tax).
+	MetricsOverheadRatio float64 `json:"metrics_overhead_ratio"`
 }
 
 // runServe measures the suite and writes the report; minSpeedup > 0
-// additionally gates ShBP Contains @256 keys.
-func runServe(outPath, note string, minSpeedup float64) error {
+// additionally gates ShBP Contains @256 keys, and maxOverhead > 0
+// gates the metrics layer's throughput tax on the same case.
+func runServe(outPath, note string, minSpeedup, maxOverhead float64) error {
 	cfg := server.DefaultConfig()
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -115,6 +128,27 @@ func runServe(outPath, note string, minSpeedup float64) error {
 	}
 	defer jsonC.Close()
 
+	// The A/B twin: same config with the metrics layer compiled out of
+	// the dispatch path, its own listener and connection, preloaded with
+	// the identical member set. Interleaving its ContainsAll@256 case
+	// with the instrumented one isolates the counters' cost.
+	bareCfg := server.DefaultConfig()
+	bareCfg.NoMetrics = true
+	bareSrv, err := server.New(bareCfg)
+	if err != nil {
+		return err
+	}
+	bareLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go bareSrv.ServeShBP(ctx, bareLn)
+	bareC, err := client.Dial("shbp://" + bareLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer bareC.Close()
+
 	// Workload: 64k member flow IDs preloaded through ShBP; queries
 	// probe a 50/50 member/non-member mix. One deterministic pool
 	// provides disjoint member, probe and add-load slices.
@@ -122,6 +156,9 @@ func runServe(outPath, note string, minSpeedup float64) error {
 	_, pool := flowkeys.Keys(3 * nMembers)
 	members := pool[:nMembers]
 	if err := shbpC.Namespace("").Set().AddAll(members); err != nil {
+		return err
+	}
+	if err := bareC.Namespace("").Set().AddAll(members); err != nil {
 		return err
 	}
 	probes := append([][]byte{}, pool[nMembers:2*nMembers]...)
@@ -154,6 +191,20 @@ func runServe(outPath, note string, minSpeedup float64) error {
 		for _, tr := range transports {
 			set := tr.set
 			cases = append(cases, benchCase{tr.name, "ContainsAll", batch, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := set.Check(query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}})
+		}
+		if batch == 256 {
+			// The metrics A/B rider: the NoMetrics daemon's copy of the
+			// gated case, adjacent to the instrumented pair so both sides
+			// see the same thermal/scheduler weather.
+			set := bareC.Namespace("").Set()
+			cases = append(cases, benchCase{"shbp-nometrics", "ContainsAll", batch, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := set.Check(query); err != nil {
@@ -227,6 +278,9 @@ func runServe(outPath, note string, minSpeedup float64) error {
 			}
 		}
 	}
+	if bare := keysPerSec["shbp-nometrics/ContainsAll/256"]; bare > 0 {
+		report.MetricsOverheadRatio = keysPerSec["shbp/ContainsAll/256"] / bare
+	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -243,6 +297,8 @@ func runServe(outPath, note string, minSpeedup float64) error {
 	for _, cmp := range report.Comparisons {
 		fmt.Printf("  shbp vs json %-12s @%-5d %.2f×\n", cmp.Op, cmp.Batch, cmp.Speedup)
 	}
+	fmt.Printf("  metrics overhead (instrumented/bare Contains@256): %.3f\n",
+		report.MetricsOverheadRatio)
 
 	if minSpeedup > 0 {
 		gate := keysPerSec["shbp/ContainsAll/256"] / keysPerSec["json/ContainsAll/256"]
@@ -250,6 +306,14 @@ func runServe(outPath, note string, minSpeedup float64) error {
 			return fmt.Errorf("ShBP Contains@256 is %.2f× JSON, below the %.1f× gate", gate, minSpeedup)
 		}
 		fmt.Printf("gate: ShBP Contains@256 = %.2f× JSON (≥ %.1f×) ok\n", gate, minSpeedup)
+	}
+	if maxOverhead > 0 {
+		floor := 1 - maxOverhead
+		if report.MetricsOverheadRatio < floor {
+			return fmt.Errorf("metrics overhead: instrumented Contains@256 is %.3f× the bare daemon, below the %.3f floor",
+				report.MetricsOverheadRatio, floor)
+		}
+		fmt.Printf("gate: metrics overhead %.3f (≥ %.3f) ok\n", report.MetricsOverheadRatio, floor)
 	}
 	return nil
 }

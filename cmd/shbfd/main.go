@@ -20,6 +20,7 @@
 //	      [-max-total-bits 0] [-shbp-max-inflight 0]
 //	      [-shbp-idle-timeout 2m]
 //	      [-http-read-header-timeout 10s] [-http-idle-timeout 2m]
+//	      [-version]
 //
 // The flags size the default namespace; further namespaces — each with
 // its own geometry and window policy — are created at runtime via
@@ -61,6 +62,13 @@
 // seed address for client.Cluster, which routes batches by digest
 // range. See internal/cluster and OPERATIONS.md §"Cluster mode".
 //
+// Observability: GET /metrics on the HTTP listener (and the ShBP
+// metrics op — same bytes) serves Prometheus text metrics — per-op
+// request counters and latency histograms on both transports,
+// per-namespace occupancy/FPR/rotation gauges, admission-control shed
+// counters, and build/start info. -version prints the daemon version
+// and exits. See OPERATIONS.md §13 for the metric reference.
+//
 // See internal/server for the endpoint list, OPERATIONS.md for running
 // the daemon in production, and DESIGN.md for the architecture.
 package main
@@ -76,9 +84,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"shbf"
 	"shbf/internal/cluster"
 	"shbf/internal/server"
 )
@@ -98,6 +108,7 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("shbfd", flag.ContinueOnError)
 	var (
+		version   = fs.Bool("version", false, "print the daemon version and exit")
 		addr      = fs.String("addr", ":8137", "HTTP listen address")
 		shbpAddr  = fs.String("shbp-addr", ":8138", "ShBP binary-protocol listen address (empty = disabled)")
 		shards    = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
@@ -124,6 +135,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Printf("shbfd %s %s %s/%s\n", shbf.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return nil
 	}
 	if *snapEvr > 0 && *snapPath == "" {
 		return errors.New("-snapshot-every requires -snapshot")

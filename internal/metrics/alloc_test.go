@@ -1,0 +1,35 @@
+//go:build !race
+
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The instruments sit inside the ShBP dispatch loop, which carries a
+// zero-allocation contract (see internal/sharded/alloc_test.go).
+// AllocsPerRun interacts badly with -race instrumentation, so these
+// guards are skipped there; the CI test job runs them without -race.
+
+func requireZeroAllocs(t *testing.T, name string, runs int, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+func TestInstrumentUpdatesAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_alloc_total", "x", Label{"op", "add"})
+	g := r.NewGauge("test_alloc_gauge", "x")
+	h := r.NewHistogram("test_alloc_seconds", "x",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+
+	requireZeroAllocs(t, "Counter.Inc", 1000, func() { c.Inc() })
+	requireZeroAllocs(t, "Counter.Add", 1000, func() { c.Add(3) })
+	requireZeroAllocs(t, "Gauge.Inc/Dec", 1000, func() { g.Inc(); g.Dec() })
+	requireZeroAllocs(t, "Gauge.Set", 1000, func() { g.Set(9) })
+	requireZeroAllocs(t, "Histogram.Observe", 1000, func() { h.Observe(37 * time.Microsecond) })
+	requireZeroAllocs(t, "Histogram.Observe(+Inf)", 1000, func() { h.Observe(5 * time.Second) })
+}

@@ -1,0 +1,466 @@
+// Package metrics is the daemon's dependency-free instrumentation
+// core: lock-free counters and gauges, fixed-bucket latency
+// histograms, and Prometheus text-format (version 0.0.4) rendering.
+//
+// The package exists because the serving hot paths carry the same
+// zero-allocation contract as everything since PR 3: recording a
+// request must be a handful of atomic adds, never a lock, a map
+// lookup, or an allocation. [Counter.Inc], [Counter.Add], [Gauge]
+// updates and [Histogram.Observe] are all lock-free atomics with zero
+// allocations (guarded by alloc_test.go), so they can sit directly in
+// the ShBP dispatch loop. All the string formatting happens at scrape
+// time in [Registry.AppendText].
+//
+// Series are pre-registered: a [Registry] hands out instrument
+// pointers at construction time ([Registry.NewCounter] and friends),
+// and the caller keeps them wherever its hot path can reach them
+// without lookups (arrays indexed by op byte, struct fields). State
+// that already lives elsewhere — occupancy, fill ratios, admission
+// counters — is exported at scrape time via the collector hooks
+// ([Registry.CollectGauge], [Registry.CollectCounter]), which cost
+// the hot path nothing.
+//
+// Rendering is deterministic: families sort by name, static series
+// keep registration order, collector series keep emission order, and
+// floats format minimally ('g', shortest round-trip). Two scrapes of
+// unchanged state produce identical bytes — the property the
+// HTTP-vs-ShBP transport-identity test pins.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ContentType is the Prometheus text exposition content type served
+// with rendered metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one key="value" pair attached to a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing counter. All methods are
+// lock-free and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable integer gauge (current value, may go up and
+// down). Fractional gauges are exported via [Registry.GaugeFunc] or a
+// collector instead — every directly-instrumented gauge in the daemon
+// is a count of something. All methods are lock-free and
+// allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Buckets are chosen
+// at registration ([Registry.NewHistogram]) and never change;
+// [Histogram.Observe] is a short bounds scan plus two atomic adds —
+// lock-free, allocation-free, fit for the dispatch hot path. Rendering
+// produces the standard cumulative-le form with _sum (seconds) and
+// _count.
+type Histogram struct {
+	boundsNanos []int64
+	buckets     []atomic.Uint64 // len(boundsNanos)+1, last is +Inf
+	sumNanos    atomic.Int64
+
+	// Prerendered "<name>_bucket{...,le="x"} " prefixes (one per
+	// bucket, +Inf last) and the _sum/_count prefixes, so scrape-time
+	// rendering is append-only.
+	bucketPrefixes []string
+	sumPrefix      string
+	countPrefix    string
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	i := 0
+	for i < len(h.boundsNanos) && n > h.boundsNanos[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(n)
+}
+
+// Registry holds metric families and renders them. Registration
+// methods panic on invalid or conflicting definitions (programmer
+// errors at construction time); rendering and the instruments
+// themselves are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []seriesEntry
+	collectors      []func(*Emitter)
+}
+
+// seriesEntry is one pre-registered series: a prerendered
+// "name{labels}" prefix plus exactly one value source.
+type seriesEntry struct {
+	prefix  string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+// NewCounter registers a counter series and returns its instrument.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.addSeries(name, help, "counter", labels, seriesEntry{counter: c})
+	return c
+}
+
+// NewGauge registers an integer gauge series and returns its
+// instrument.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.addSeries(name, help, "gauge", labels, seriesEntry{gauge: g})
+	return g
+}
+
+// NewHistogram registers a latency histogram with the given bucket
+// upper bounds in seconds (ascending; +Inf is implicit) and returns
+// its instrument.
+func (r *Registry) NewHistogram(name, help string, boundsSeconds []float64, labels ...Label) *Histogram {
+	if len(boundsSeconds) == 0 {
+		panic("metrics: histogram " + name + " needs at least one bucket bound")
+	}
+	h := &Histogram{
+		boundsNanos: make([]int64, len(boundsSeconds)),
+		buckets:     make([]atomic.Uint64, len(boundsSeconds)+1),
+	}
+	labelStr := renderLabels(labels)
+	for i, b := range boundsSeconds {
+		if i > 0 && b <= boundsSeconds[i-1] {
+			panic("metrics: histogram " + name + " bounds not ascending")
+		}
+		h.boundsNanos[i] = int64(math.Round(b * 1e9))
+		h.bucketPrefixes = append(h.bucketPrefixes,
+			name+"_bucket"+withLabel(labelStr, Label{"le", formatFloat(b)})+" ")
+	}
+	h.bucketPrefixes = append(h.bucketPrefixes,
+		name+"_bucket"+withLabel(labelStr, Label{"le", "+Inf"})+" ")
+	h.sumPrefix = name + "_sum" + labelStr + " "
+	h.countPrefix = name + "_count" + labelStr + " "
+	r.addSeries(name, help, "histogram", labels, seriesEntry{hist: h})
+	return h
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at scrape time (for counters that already live elsewhere).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.addSeries(name, help, "counter", labels, seriesEntry{cfn: fn})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.addSeries(name, help, "gauge", labels, seriesEntry{gfn: fn})
+}
+
+// CollectGauge registers a dynamic gauge family: fn runs at every
+// scrape and emits any number of labeled samples (e.g. one per live
+// namespace). Emission order is the rendered order.
+func (r *Registry) CollectGauge(name, help string, fn func(*Emitter)) {
+	r.addCollector(name, help, "gauge", fn)
+}
+
+// CollectCounter registers a dynamic counter family (see
+// [Registry.CollectGauge]).
+func (r *Registry) CollectCounter(name, help string, fn func(*Emitter)) {
+	r.addCollector(name, help, "counter", fn)
+}
+
+// Emitter appends one collector's samples during a scrape.
+type Emitter struct {
+	buf  []byte
+	name string
+}
+
+// Emit appends one sample with the given labels.
+func (e *Emitter) Emit(v float64, labels ...Label) {
+	e.buf = append(e.buf, e.name...)
+	e.buf = append(e.buf, renderLabels(labels)...)
+	e.buf = append(e.buf, ' ')
+	e.buf = appendFloat(e.buf, v)
+	e.buf = append(e.buf, '\n')
+}
+
+// EmitUint is Emit for exact integer counters (no float rounding at
+// any magnitude).
+func (e *Emitter) EmitUint(v uint64, labels ...Label) {
+	e.buf = append(e.buf, e.name...)
+	e.buf = append(e.buf, renderLabels(labels)...)
+	e.buf = append(e.buf, ' ')
+	e.buf = strconv.AppendUint(e.buf, v, 10)
+	e.buf = append(e.buf, '\n')
+}
+
+// AppendText renders every family in Prometheus text format, sorted
+// by family name, and returns the extended buffer.
+func (r *Registry) AppendText(buf []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, '\n')
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.typ...)
+		buf = append(buf, '\n')
+		for _, se := range f.series {
+			buf = se.appendSample(buf)
+		}
+		for _, collect := range f.collectors {
+			e := &Emitter{buf: buf, name: f.name}
+			collect(e)
+			buf = e.buf
+		}
+	}
+	return buf
+}
+
+// Render is AppendText into a fresh buffer.
+func (r *Registry) Render() []byte { return r.AppendText(nil) }
+
+// ServeHTTP serves the rendered registry — the GET /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	w.Write(r.Render())
+}
+
+func (se *seriesEntry) appendSample(buf []byte) []byte {
+	switch {
+	case se.counter != nil:
+		buf = append(buf, se.prefix...)
+		buf = strconv.AppendUint(buf, se.counter.Load(), 10)
+		buf = append(buf, '\n')
+	case se.gauge != nil:
+		buf = append(buf, se.prefix...)
+		buf = strconv.AppendInt(buf, se.gauge.Load(), 10)
+		buf = append(buf, '\n')
+	case se.cfn != nil:
+		buf = append(buf, se.prefix...)
+		buf = strconv.AppendUint(buf, se.cfn(), 10)
+		buf = append(buf, '\n')
+	case se.gfn != nil:
+		buf = append(buf, se.prefix...)
+		buf = appendFloat(buf, se.gfn())
+		buf = append(buf, '\n')
+	case se.hist != nil:
+		h := se.hist
+		cum := uint64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			buf = append(buf, h.bucketPrefixes[i]...)
+			buf = strconv.AppendUint(buf, cum, 10)
+			buf = append(buf, '\n')
+		}
+		// _sum is read after the buckets; a concurrent Observe between
+		// the two reads skews one scrape by one sample, which monotone
+		// consumers tolerate.
+		buf = append(buf, h.sumPrefix...)
+		buf = appendFloat(buf, float64(h.sumNanos.Load())/1e9)
+		buf = append(buf, '\n')
+		buf = append(buf, h.countPrefix...)
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// addSeries registers one pre-rendered series under its family,
+// creating the family on first use.
+func (r *Registry) addSeries(name, help, typ string, labels []Label, se seriesEntry) {
+	se.prefix = name + renderLabels(labels) + " "
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	for _, existing := range f.series {
+		if existing.prefix == se.prefix {
+			panic("metrics: duplicate series " + se.prefix)
+		}
+	}
+	f.series = append(f.series, se)
+}
+
+func (r *Registry) addCollector(name, help, typ string, fn func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	f.collectors = append(f.collectors, fn)
+}
+
+// familyLocked finds or creates a family; redefining one with a
+// different type is a programmer error.
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	if err := validName(name); err != nil {
+		panic("metrics: " + err.Error())
+	}
+	if r.families == nil {
+		r.families = map[string]*family{}
+	}
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: family %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// validName checks the Prometheus metric/label name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return fmt.Errorf("metric name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("metric name %q has invalid byte %q", name, c)
+		}
+	}
+	return nil
+}
+
+// renderLabels renders a label set as {k="v",...} ("" when empty),
+// escaping values per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	buf := []byte{'{'}
+	for i, l := range labels {
+		if err := validName(l.Key); err != nil {
+			panic("metrics: label " + err.Error())
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, l.Key...)
+		buf = append(buf, '=', '"')
+		buf = appendEscapedValue(buf, l.Value)
+		buf = append(buf, '"')
+	}
+	return string(append(buf, '}'))
+}
+
+// withLabel appends one more label to an already-rendered label
+// string (used to splice le into histogram bucket series).
+func withLabel(rendered string, l Label) string {
+	extra := renderLabels([]Label{l})
+	if rendered == "" {
+		return extra
+	}
+	return rendered[:len(rendered)-1] + "," + extra[1:]
+}
+
+// appendEscapedValue escapes a label value: backslash, quote, newline.
+func appendEscapedValue(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendEscapedHelp escapes HELP text: backslash and newline.
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendFloat renders a float minimally: exact integers without an
+// exponent, everything else shortest-round-trip 'g'.
+func appendFloat(buf []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(buf, "-Inf"...)
+	case math.IsNaN(v):
+		return append(buf, "NaN"...)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// formatFloat is appendFloat into a string (bucket bound labels).
+func formatFloat(v float64) string { return string(appendFloat(nil, v)) }

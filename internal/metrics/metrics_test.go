@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Ops served.", Label{"op", "add"}, Label{"status", "ok"})
+	c2 := r.NewCounter("test_ops_total", "Ops served.", Label{"op", "add"}, Label{"status", "conflict"})
+	g := r.NewGauge("test_depth", "Queue depth.")
+	c.Add(41)
+	c.Inc()
+	c2.Inc()
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+
+	want := strings.Join([]string{
+		"# HELP test_depth Queue depth.",
+		"# TYPE test_depth gauge",
+		"test_depth 6",
+		"# HELP test_ops_total Ops served.",
+		"# TYPE test_ops_total counter",
+		`test_ops_total{op="add",status="ok"} 42`,
+		`test_ops_total{op="add",status="conflict"} 1`,
+		"",
+	}, "\n")
+	if got := string(r.Render()); got != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFamiliesSortedSeriesStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zzz_total", "Last family.")
+	r.NewGauge("aaa", "First family.")
+	out := string(r.Render())
+	if strings.Index(out, "aaa") > strings.Index(out, "zzz_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	// Two renders of unchanged state are byte-identical.
+	if a, b := string(r.Render()), string(r.Render()); a != b {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Latency.",
+		[]float64{0.001, 0.01, 0.1}, Label{"op", "q"})
+	h.Observe(500 * time.Microsecond) // le=0.001
+	h.Observe(1 * time.Millisecond)   // le=0.001 (boundary inclusive)
+	h.Observe(5 * time.Millisecond)   // le=0.01
+	h.Observe(2 * time.Second)        // +Inf
+
+	want := strings.Join([]string{
+		"# HELP test_latency_seconds Latency.",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{op="q",le="0.001"} 2`,
+		`test_latency_seconds_bucket{op="q",le="0.01"} 3`,
+		`test_latency_seconds_bucket{op="q",le="0.1"} 3`,
+		`test_latency_seconds_bucket{op="q",le="+Inf"} 4`,
+		`test_latency_seconds_sum{op="q"} 2.0065`,
+		`test_latency_seconds_count{op="q"} 4`,
+		"",
+	}, "\n")
+	if got := string(r.Render()); got != want {
+		t.Fatalf("histogram render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFuncsAndCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(3)
+	r.CounterFunc("test_rotations_total", "Rotations.", func() uint64 { return n })
+	r.GaugeFunc("test_fill_ratio", "Fill.", func() float64 { return 0.25 }, Label{"ns", "default"})
+	r.CollectGauge("test_ns_bits", "Bits per namespace.", func(e *Emitter) {
+		e.EmitUint(1024, Label{"ns", "a"})
+		e.Emit(0.5, Label{"ns", "b"})
+	})
+
+	out := string(r.Render())
+	for _, line := range []string{
+		"test_rotations_total 3",
+		`test_fill_ratio{ns="default"} 0.25`,
+		`test_ns_bits{ns="a"} 1024`,
+		`test_ns_bits{ns="b"} 0.5`,
+		"# TYPE test_ns_bits gauge",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_esc_total", "Weird labels.",
+		Label{"path", `a\b"c` + "\n"})
+	out := string(r.Render())
+	want := `test_esc_total{path="a\\b\"c\n"} 0`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{42, "42"},
+		{0.25, "0.25"},
+		{1e-6, "1e-06"},
+		{1.5e15, "1.5e+15"},
+	}
+	for _, c := range cases {
+		if got := string(appendFloat(nil, c.v)); got != c.want {
+			t.Errorf("appendFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDuplicateAndConflictPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("test_dup_total", "x", Label{"a", "1"})
+	mustPanic("duplicate series", func() { r.NewCounter("test_dup_total", "x", Label{"a", "1"}) })
+	mustPanic("type conflict", func() { r.NewGauge("test_dup_total", "x") })
+	mustPanic("bad name", func() { r.NewCounter("9bad", "x") })
+	mustPanic("bad label key", func() { r.NewCounter("test_ok_total", "x", Label{"le!", "1"}) })
+}
+
+func TestConcurrentUpdatesAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_conc_total", "x")
+	g := r.NewGauge("test_conc_gauge", "x")
+	h := r.NewHistogram("test_conc_seconds", "x", []float64{0.001, 0.1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(time.Microsecond)
+				g.Dec()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Render()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.Load() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Load())
+	}
+	if g.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Load())
+	}
+	out := string(r.Render())
+	if !strings.Contains(out, "test_conc_seconds_count 4000\n") {
+		t.Fatalf("histogram count wrong:\n%s", out)
+	}
+}

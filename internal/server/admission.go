@@ -100,6 +100,7 @@ func (ns *namespace) admit(nKeys int, write bool) error {
 		return nil
 	}
 	if !ns.limiter.admit(nKeys, write, time.Now()) {
+		ns.stats.rateShed.Add(1)
 		kind := "read"
 		if write {
 			kind = "write"
@@ -135,6 +136,9 @@ func specTotalBits(spec shbf.Spec) int64 {
 // not misconfigured — so creates shed with 429/StatusOverloaded.
 func (s *Server) chargeBitsLocked(bits int64) error {
 	if s.cfg.MaxTotalBits > 0 && s.usedBits+bits > s.cfg.MaxTotalBits {
+		if s.met != nil {
+			s.met.shedBits.Inc()
+		}
 		return fmt.Errorf("server: memory ceiling: namespace needs %d filter bits, %d of %d in use: %w",
 			bits, s.usedBits, s.cfg.MaxTotalBits, errOverloaded)
 	}

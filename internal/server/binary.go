@@ -69,6 +69,9 @@ func (s *Server) ServeShBP(ctx context.Context, ln net.Listener) error {
 		}
 		conns[conn] = struct{}{}
 		mu.Unlock()
+		if s.met != nil {
+			s.met.openConns.Inc()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -77,6 +80,9 @@ func (s *Server) ServeShBP(ctx context.Context, ln net.Listener) error {
 				delete(conns, conn)
 				mu.Unlock()
 				conn.Close()
+				if s.met != nil {
+					s.met.openConns.Dec()
+				}
 			}()
 			if err := s.serveShBPConn(conn); err != nil && ctx.Err() == nil {
 				log.Printf("server: shbp conn %s: %v", conn.RemoteAddr(), err)
@@ -131,15 +137,7 @@ func (s *Server) serveShBPConn(conn net.Conn) error {
 			}
 			return derr
 		}
-		// In-flight frame cap: shed before dispatch, writes first. The
-		// shed answer is in-band — the connection stays usable, so a
-		// backoff-and-retry client keeps its pipeline.
-		if gerr := s.frames.acquire(writeOp(req.Op)); gerr != nil {
-			resp = wire.Response{Status: wire.StatusOverloaded, Op: req.Op, Msg: gerr.Error()}
-		} else {
-			s.dispatch(&req, &resp, &sc)
-			s.frames.release()
-		}
+		s.handleFrame(&req, &resp, &sc)
 		if out, err = wire.AppendResponse(out[:0], &resp); err != nil {
 			return fmt.Errorf("encoding %s response: %w", wire.OpName(req.Op), err)
 		}
@@ -153,6 +151,43 @@ func (s *Server) serveShBPConn(conn net.Conn) error {
 				return err
 			}
 		}
+	}
+}
+
+// handleFrame admits and dispatches one decoded frame, recording its
+// latency, request counter and in-flight gauge. The in-flight frame
+// cap sheds before dispatch, writes first; the shed answer is in-band
+// — the connection stays usable, so a backoff-and-retry client keeps
+// its pipeline. Instrumentation is a time read plus a handful of
+// atomic adds, zero allocations (metrics_alloc_test.go) — except for
+// OpMetrics itself, which is served entirely unrecorded so a scrape
+// never changes what the next scrape (on either transport) renders.
+func (s *Server) handleFrame(req *wire.Request, resp *wire.Response, sc *dispatchScratch) {
+	met := s.met
+	if met == nil || req.Op == wire.OpMetrics {
+		if gerr := s.frames.acquire(writeOp(req.Op)); gerr != nil {
+			*resp = wire.Response{Status: wire.StatusOverloaded, Op: req.Op, Msg: gerr.Error()}
+			return
+		}
+		s.dispatch(req, resp, sc)
+		s.frames.release()
+		return
+	}
+	start := time.Now()
+	if gerr := s.frames.acquire(writeOp(req.Op)); gerr != nil {
+		*resp = wire.Response{Status: wire.StatusOverloaded, Op: req.Op, Msg: gerr.Error()}
+		met.shedInflight.Inc()
+	} else {
+		met.inflight.Inc()
+		s.dispatch(req, resp, sc)
+		met.inflight.Dec()
+		s.frames.release()
+	}
+	if h := met.shbpDur[req.Op]; h != nil {
+		h.Observe(time.Since(start))
+	}
+	if c := met.shbpReqs[req.Op][statusIndex(resp.Status)]; c != nil {
+		c.Inc()
 	}
 }
 
@@ -216,6 +251,13 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 			return
 		}
 		resp.Blob = cs.encoded
+		return
+	case wire.OpMetrics:
+		if s.met == nil {
+			resp.Status, resp.Msg = wire.StatusNotFound, "server: metrics disabled"
+			return
+		}
+		resp.Blob = s.met.reg.Render()
 		return
 	}
 

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"shbf/internal/metrics"
+	"shbf/internal/wire"
+)
+
+// parseScrape splits a Prometheus text scrape into exact series→value
+// plus family→declared type, failing on malformed or duplicate lines.
+func parseScrape(t *testing.T, text string) (series map[string]float64, types map[string]string) {
+	t.Helper()
+	series, types = map[string]float64{}, map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("family %s declared twice", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		if _, dup := series[line[:i]]; dup {
+			t.Fatalf("duplicate series %q", line[:i])
+		}
+		series[line[:i]] = v
+	}
+	return series, types
+}
+
+// splitSeries resolves one series key into its metric name and sorted
+// label keys.
+func splitSeries(t *testing.T, s string) (name string, labelKeys []string) {
+	t.Helper()
+	b := strings.IndexByte(s, '{')
+	if b < 0 {
+		return s, nil
+	}
+	name = s[:b]
+	rest := s[b+1:]
+	for len(rest) > 1 { // at least `}` remains
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			t.Fatalf("malformed labels in %q", s)
+		}
+		labelKeys = append(labelKeys, rest[:eq])
+		rest = rest[eq+2:]
+		for i := 0; ; i++ {
+			if i >= len(rest) {
+				t.Fatalf("unterminated label value in %q", s)
+			}
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				rest = rest[i+1:]
+				break
+			}
+		}
+		if len(rest) > 0 && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+	sort.Strings(labelKeys)
+	return name, labelKeys
+}
+
+// goldenMetricSurface freezes the daemon's metric surface: family →
+// type and label keys. Dashboards and alerts depend on these names —
+// adding a metric means extending this table; renaming or dropping one
+// is a breaking change and must fail here first.
+var goldenMetricSurface = map[string]struct {
+	typ  string
+	keys string // sorted, comma-joined label keys ("" = none)
+}{
+	"shbf_build_info":                 {"gauge", "goversion,version"},
+	"shbf_start_time_seconds":         {"gauge", ""},
+	"shbf_last_snapshot_time_seconds": {"gauge", ""},
+	"shbf_used_bits":                  {"gauge", ""},
+	"shbf_max_total_bits":             {"gauge", ""},
+	"shbf_namespaces":                 {"gauge", ""},
+	"shbf_shbp_open_connections":      {"gauge", ""},
+	"shbf_shbp_inflight_frames":       {"gauge", ""},
+	"shbf_shed_total":                 {"counter", "reason"},
+	"shbf_snapshots_total":            {"counter", ""},
+	"shbf_requests_total":             {"counter", "op,status,transport"},
+	"shbf_request_duration_seconds":   {"histogram", "op,transport"},
+	"shbf_namespace_bits":             {"gauge", "namespace"},
+	"shbf_namespace_n":                {"gauge", "filter,namespace"},
+	"shbf_namespace_fill_ratio":       {"gauge", "filter,namespace"},
+	"shbf_namespace_estimated_fpr":    {"gauge", "namespace"},
+	"shbf_namespace_rotation_epoch":   {"gauge", "namespace"},
+	"shbf_namespace_frozen":           {"gauge", "namespace"},
+	"shbf_namespace_keys_total":       {"counter", "namespace,op"},
+	"shbf_namespace_rotations_total":  {"counter", "namespace"},
+	"shbf_namespace_shed_total":       {"counter", "namespace,reason"},
+}
+
+// goldenShBPOps and goldenHTTPOps freeze the request-counter op label
+// vocabularies per transport (hard-coded on purpose: the server-side
+// tables changing must fail this test, not silently re-derive it).
+var goldenShBPOps = []string{
+	"ping", "stats", "rotate",
+	"namespace-create", "namespace-delete", "namespace-list", "cluster-map",
+	"membership-add", "membership-contains", "membership-merge",
+	"membership-dump", "freeze",
+	"association-add", "association-remove", "association-query",
+	"multiplicity-add", "multiplicity-remove", "multiplicity-count",
+}
+
+var goldenHTTPOps = []string{
+	"membership-add", "membership-contains", "membership-merge", "membership-dump",
+	"association-add", "association-remove", "association-query",
+	"multiplicity-add", "multiplicity-remove", "multiplicity-count",
+	"rotate", "stats", "freeze", "snapshot",
+	"namespace-create", "namespace-delete", "namespace-list",
+	"daemon-stats", "cluster-map", "healthz",
+}
+
+var goldenStatusNames = []string{
+	"ok", "bad-request", "not-found", "conflict", "internal", "overloaded",
+}
+
+// TestMetricsSurfacePinned pins the scrape's families, types, label
+// keys and request-counter label vocabulary, in both directions: every
+// golden family must be served, and nothing outside the golden table
+// may appear.
+func TestMetricsSurfacePinned(t *testing.T) {
+	gens := 2
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateNamespace(NamespaceConfig{Name: "w", WindowGenerations: &gens}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateNamespace(NamespaceConfig{Name: "q", RatePerSec: 1, RateBurst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	series, types := parseScrape(t, string(s.met.reg.Render()))
+
+	for fam, want := range goldenMetricSurface {
+		if got, ok := types[fam]; !ok {
+			t.Errorf("family %s missing from the scrape", fam)
+		} else if got != want.typ {
+			t.Errorf("family %s is a %s, pinned as %s", fam, got, want.typ)
+		}
+	}
+	for fam, typ := range types {
+		if _, ok := goldenMetricSurface[fam]; !ok {
+			t.Errorf("unpinned family %s (%s) in the scrape — extend goldenMetricSurface", fam, typ)
+		}
+	}
+
+	for key := range series {
+		name, keys := splitSeries(t, key)
+		fam, want := name, ""
+		switch {
+		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
+			fam = strings.TrimSuffix(name, "_bucket")
+			want = joinKeys(goldenMetricSurface[fam].keys, "le")
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			fam = strings.TrimSuffix(name, "_sum")
+			want = goldenMetricSurface[fam].keys
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			fam = strings.TrimSuffix(name, "_count")
+			want = goldenMetricSurface[fam].keys
+		default:
+			g, ok := goldenMetricSurface[name]
+			if !ok {
+				t.Errorf("series %s belongs to no pinned family", key)
+				continue
+			}
+			want = g.keys
+		}
+		if got := strings.Join(keys, ","); got != want {
+			t.Errorf("series %s has label keys %q, pinned %q", key, got, want)
+		}
+	}
+
+	// The request-counter vocabulary: every (transport, op, status)
+	// combination present exactly once, and nothing else.
+	wantReqs := 0
+	for _, tr := range []struct {
+		transport string
+		ops       []string
+	}{{"shbp", goldenShBPOps}, {"http", goldenHTTPOps}} {
+		for _, op := range tr.ops {
+			for _, st := range goldenStatusNames {
+				key := `shbf_requests_total{transport="` + tr.transport + `",op="` + op + `",status="` + st + `"}`
+				if _, ok := series[key]; !ok {
+					t.Errorf("missing request counter %s", key)
+				}
+				wantReqs++
+			}
+			durKey := `shbf_request_duration_seconds_count{transport="` + tr.transport + `",op="` + op + `"}`
+			if _, ok := series[durKey]; !ok {
+				t.Errorf("missing latency histogram for %s/%s", tr.transport, op)
+			}
+		}
+	}
+	gotReqs := 0
+	for key := range series {
+		if strings.HasPrefix(key, "shbf_requests_total{") {
+			gotReqs++
+		}
+	}
+	if gotReqs != wantReqs {
+		t.Errorf("%d shbf_requests_total series, pinned %d", gotReqs, wantReqs)
+	}
+}
+
+// joinKeys merges a comma-joined key set with extra keys, re-sorted.
+func joinKeys(keys string, extra ...string) string {
+	all := append(strings.Split(keys, ","), extra...)
+	sort.Strings(all)
+	return strings.Join(all, ",")
+}
+
+// TestMetricsTransportParity: the HTTP endpoint and the ShBP metrics
+// op serve byte-identical scrapes — the op is uninstrumented and every
+// exported time is absolute, so scraping changes nothing.
+func TestMetricsTransportParity(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.defaultNamespaceAdd([][]byte{[]byte("parity-key")}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() ([]byte, string) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: %d", resp.StatusCode)
+		}
+		return body, resp.Header.Get("Content-Type")
+	}
+
+	viaHTTP, contentType := get()
+	if contentType != metrics.ContentType {
+		t.Fatalf("content type %q, want %q", contentType, metrics.ContentType)
+	}
+	var resp wire.Response
+	var sc dispatchScratch
+	s.handleFrame(&wire.Request{Op: wire.OpMetrics}, &resp, &sc)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("metrics op: status %d (%s)", resp.Status, resp.Msg)
+	}
+	if !bytes.Equal(viaHTTP, resp.Blob) {
+		t.Fatalf("transports diverge:\nhttp: %d bytes\nshbp: %d bytes", len(viaHTTP), len(resp.Blob))
+	}
+	// And a scrape does not perturb the next scrape.
+	again, _ := get()
+	if !bytes.Equal(viaHTTP, again) {
+		t.Fatal("a scrape changed the next scrape's bytes")
+	}
+}
+
+// defaultNamespaceAdd writes keys through the public dispatch path so
+// parity tests have non-zero counters without an HTTP client.
+func (s *Server) defaultNamespaceAdd(keys [][]byte) error {
+	var resp wire.Response
+	var sc dispatchScratch
+	s.handleFrame(&wire.Request{Op: wire.OpMembershipAdd, Keys: keys}, &resp, &sc)
+	if resp.Status != wire.StatusOK {
+		return &httpError{code: int(resp.Status), msg: resp.Msg}
+	}
+	return nil
+}
+
+// httpError adapts a wire status for test plumbing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// TestMetricsDisabledByConfig: NoMetrics drops the endpoint and the
+// op, and the serving paths run uninstrumented without crashing.
+func TestMetricsDisabledByConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoMetrics = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.met != nil {
+		t.Fatal("NoMetrics built a registry")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with NoMetrics: %d, want 404", resp.StatusCode)
+	}
+	var wresp wire.Response
+	var sc dispatchScratch
+	s.handleFrame(&wire.Request{Op: wire.OpMetrics}, &wresp, &sc)
+	if wresp.Status != wire.StatusNotFound {
+		t.Fatalf("metrics op with NoMetrics: status %d, want not-found", wresp.Status)
+	}
+	// The instrumented paths must still serve.
+	if err := s.defaultNamespaceAdd([][]byte{[]byte("uninstrumented")}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with NoMetrics: %d", r.StatusCode)
+	}
+}
+
+// TestMetricsSnapshotInstruments: persisting a snapshot drives the
+// snapshot counter and the absolute last-snapshot timestamp.
+func TestMetricsSnapshotInstruments(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "snap.shbd")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	series, _ := parseScrape(t, string(s.met.reg.Render()))
+	if got := series["shbf_snapshots_total"]; got != 0 {
+		t.Fatalf("snapshots_total = %v before any snapshot", got)
+	}
+	if got := series["shbf_last_snapshot_time_seconds"]; got != 0 {
+		t.Fatalf("last_snapshot_time_seconds = %v before any snapshot", got)
+	}
+
+	resp, err := http.Post(ts.URL+"/v2/snapshot", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v2/snapshot: %d", resp.StatusCode)
+	}
+
+	series, _ = parseScrape(t, string(s.met.reg.Render()))
+	if got := series["shbf_snapshots_total"]; got != 1 {
+		t.Fatalf("snapshots_total = %v, want 1", got)
+	}
+	start := series["shbf_start_time_seconds"]
+	if got := series["shbf_last_snapshot_time_seconds"]; got < start {
+		t.Fatalf("last_snapshot_time_seconds = %v, before start time %v", got, start)
+	}
+	if got := series[`shbf_requests_total{transport="http",op="snapshot",status="ok"}`]; got != 1 {
+		t.Fatalf("snapshot request counter = %v, want 1", got)
+	}
+}
+
+// TestHTTPStatusIndexFolding pins the HTTP→wire status fold the
+// request counters share with the client's httpStatusToWire.
+func TestHTTPStatusIndexFolding(t *testing.T) {
+	cases := map[int]int{
+		200: wire.StatusOK, 204: wire.StatusOK, 302: wire.StatusOK,
+		400: wire.StatusBadRequest, 404: wire.StatusNotFound,
+		409: wire.StatusConflict, 429: wire.StatusOverloaded,
+		500: wire.StatusInternal, 503: wire.StatusInternal, 418: wire.StatusInternal,
+	}
+	for code, want := range cases {
+		if got := httpStatusIndex(code); got != want {
+			t.Errorf("httpStatusIndex(%d) = %d, want %d", code, got, want)
+		}
+	}
+	if got := statusIndex(200); got != wire.StatusInternal {
+		t.Errorf("statusIndex clamp = %d, want internal", got)
+	}
+}

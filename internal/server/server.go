@@ -39,6 +39,7 @@
 //	GET    /v2/stats                                                             → daemon-wide tenant summaries
 //	GET    /v2/cluster                                                           → the cluster map (cluster mode; see internal/cluster)
 //	GET    /healthz
+//	GET    /metrics                                                              → Prometheus text metrics (same bytes as ShBP OpMetrics; see metrics.go)
 //
 // The v1 endpoints (POST /v1/membership/add, ... — see OPERATIONS.md)
 // remain byte-compatible shims over the default namespace.
@@ -125,6 +126,11 @@ type Config struct {
 	// frame for this long, so a client that dials and goes silent
 	// cannot hold a goroutine and buffers forever. Zero = never reap.
 	ShBPIdleTimeout time.Duration
+	// NoMetrics disables the metrics registry and all request
+	// instrumentation (no GET /metrics, OpMetrics answers not-found).
+	// It exists as the A/B baseline for the instrumentation-overhead
+	// benchmark (cmd/shbench -serve); production daemons leave it off.
+	NoMetrics bool
 }
 
 // DefaultConfig returns a config sized for ~1M members at k = 8
@@ -152,6 +158,10 @@ type counters struct {
 	multiplicityUpdate atomic.Uint64
 	multiplicityQuery  atomic.Uint64
 	rotations          atomic.Uint64
+	// rateShed counts requests (not keys) shed by the tenant's rate
+	// quota, on either transport (admission.go); exported as
+	// shbf_namespace_shed_total{reason="rate"}.
+	rateShed atomic.Uint64
 }
 
 // membershipFilter is the serving surface a namespace needs from its
@@ -211,8 +221,11 @@ type Server struct {
 	// at one epoch.
 	rotMu sync.Mutex
 
-	// snapshots counts persisted snapshots (daemon-wide).
-	snapshots atomic.Uint64
+	// snapshots counts persisted snapshots (daemon-wide);
+	// lastSnapshotUnix is the newest snapshot's completion time in
+	// unix seconds (0 = never), exported as a metrics gauge.
+	snapshots        atomic.Uint64
+	lastSnapshotUnix atomic.Int64
 
 	// cluster is the cluster-mode identity (nil outside cluster mode);
 	// handlers read it lock-free on every request, so it is stored
@@ -220,6 +233,10 @@ type Server struct {
 	cluster atomic.Pointer[clusterState]
 
 	start time.Time
+
+	// met is the observability surface (metrics.go); nil with
+	// cfg.NoMetrics, and every recording site nil-checks it.
+	met *serverMetrics
 }
 
 // Specs returns the three filter specs the config describes, the form
@@ -262,6 +279,9 @@ func New(cfg Config) (*Server, error) {
 		frames:     newFrameGate(cfg.MaxInflightFrames),
 		start:      time.Now(),
 	}
+	if !cfg.NoMetrics {
+		s.met = newServerMetrics(s)
+	}
 	if cfg.MaxTotalBits > 0 && s.usedBits > cfg.MaxTotalBits {
 		return nil, fmt.Errorf("server: default namespace needs %d filter bits, above the %d-bit memory ceiling",
 			s.usedBits, cfg.MaxTotalBits)
@@ -298,56 +318,63 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	// v1: deprecated shims over the default namespace, byte-compatible
-	// with the pre-namespace daemon.
-	def := func(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) { h(s.defaultNS(), w, r) }
+	// with the pre-namespace daemon. The op argument is the route's
+	// metrics label, shared with the equivalent v2 route (and, where
+	// one exists, named after the equivalent wire op).
+	def := func(op string, h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return s.instrumentHTTP(op, func(w http.ResponseWriter, r *http.Request) { h(s.defaultNS(), w, r) })
 	}
-	mux.HandleFunc("POST /v1/membership/add", def(s.nsMembershipAdd))
-	mux.HandleFunc("POST /v1/membership/contains", def(s.nsMembershipContains))
-	mux.HandleFunc("POST /v1/association/add", def(s.nsAssociationAdd))
-	mux.HandleFunc("POST /v1/association/remove", def(s.nsAssociationRemove))
-	mux.HandleFunc("POST /v1/association/classify", def(s.nsAssociationClassify))
-	mux.HandleFunc("POST /v1/multiplicity/add", def(s.nsMultiplicityAdd))
-	mux.HandleFunc("POST /v1/multiplicity/remove", def(s.nsMultiplicityRemove))
-	mux.HandleFunc("POST /v1/multiplicity/count", def(s.nsMultiplicityCount))
-	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /v1/rotate", def(s.nsRotate))
-	mux.HandleFunc("GET /v1/stats", def(s.nsStats))
+	mux.HandleFunc("POST /v1/membership/add", def("membership-add", s.nsMembershipAdd))
+	mux.HandleFunc("POST /v1/membership/contains", def("membership-contains", s.nsMembershipContains))
+	mux.HandleFunc("POST /v1/association/add", def("association-add", s.nsAssociationAdd))
+	mux.HandleFunc("POST /v1/association/remove", def("association-remove", s.nsAssociationRemove))
+	mux.HandleFunc("POST /v1/association/classify", def("association-query", s.nsAssociationClassify))
+	mux.HandleFunc("POST /v1/multiplicity/add", def("multiplicity-add", s.nsMultiplicityAdd))
+	mux.HandleFunc("POST /v1/multiplicity/remove", def("multiplicity-remove", s.nsMultiplicityRemove))
+	mux.HandleFunc("POST /v1/multiplicity/count", def("multiplicity-count", s.nsMultiplicityCount))
+	mux.HandleFunc("POST /v1/snapshot", s.instrumentHTTP("snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /v1/rotate", def("rotate", s.nsRotate))
+	mux.HandleFunc("GET /v1/stats", def("stats", s.nsStats))
 
 	// v2: namespace-scoped.
-	scoped := func(h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
+	scoped := func(op string, h func(*namespace, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return s.instrumentHTTP(op, func(w http.ResponseWriter, r *http.Request) {
 			ns, err := s.lookup(r.PathValue("ns"))
 			if err != nil {
 				writeError(w, http.StatusNotFound, err)
 				return
 			}
 			h(ns, w, r)
-		}
+		})
 	}
-	mux.HandleFunc("POST /v2/namespaces", s.handleNamespaceCreate)
-	mux.HandleFunc("GET /v2/namespaces", s.handleNamespaceList)
-	mux.HandleFunc("DELETE /v2/namespaces/{ns}", s.handleNamespaceDelete)
-	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/add", scoped(s.nsMembershipAdd))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/contains", scoped(s.nsMembershipContains))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/association/add", scoped(s.nsAssociationAdd))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/association/remove", scoped(s.nsAssociationRemove))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/association/classify", scoped(s.nsAssociationClassify))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/add", scoped(s.nsMultiplicityAdd))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/remove", scoped(s.nsMultiplicityRemove))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/count", scoped(s.nsMultiplicityCount))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/rotate", scoped(s.nsRotate))
-	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped(s.nsStats))
-	mux.HandleFunc("GET /v2/namespaces/{ns}/membership/envelope", scoped(s.nsMembershipEnvelope))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/merge", scoped(s.nsMembershipMerge))
-	mux.HandleFunc("POST /v2/namespaces/{ns}/freeze", scoped(s.nsFreeze))
-	mux.HandleFunc("POST /v2/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /v2/stats", s.handleDaemonStats)
-	mux.HandleFunc("GET /v2/cluster", s.handleClusterMap)
+	mux.HandleFunc("POST /v2/namespaces", s.instrumentHTTP("namespace-create", s.handleNamespaceCreate))
+	mux.HandleFunc("GET /v2/namespaces", s.instrumentHTTP("namespace-list", s.handleNamespaceList))
+	mux.HandleFunc("DELETE /v2/namespaces/{ns}", s.instrumentHTTP("namespace-delete", s.handleNamespaceDelete))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/add", scoped("membership-add", s.nsMembershipAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/membership/contains", scoped("membership-contains", s.nsMembershipContains))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/add", scoped("association-add", s.nsAssociationAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/remove", scoped("association-remove", s.nsAssociationRemove))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/association/classify", scoped("association-query", s.nsAssociationClassify))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/add", scoped("multiplicity-add", s.nsMultiplicityAdd))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/remove", scoped("multiplicity-remove", s.nsMultiplicityRemove))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/count", scoped("multiplicity-count", s.nsMultiplicityCount))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/rotate", scoped("rotate", s.nsRotate))
+	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped("stats", s.nsStats))
+	mux.HandleFunc("GET /v2/namespaces/{ns}/membership/envelope", scoped("membership-dump", s.nsMembershipEnvelope))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/merge", scoped("membership-merge", s.nsMembershipMerge))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/freeze", scoped("freeze", s.nsFreeze))
+	mux.HandleFunc("POST /v2/snapshot", s.instrumentHTTP("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v2/stats", s.instrumentHTTP("daemon-stats", s.handleDaemonStats))
+	mux.HandleFunc("GET /v2/cluster", s.instrumentHTTP("cluster-map", s.handleClusterMap))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrumentHTTP("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
+	}))
+	// The scrape route itself is deliberately uninstrumented: scraping
+	// over HTTP and over ShBP OpMetrics must render identical bytes.
+	if s.met != nil {
+		mux.Handle("GET /metrics", s.met)
+	}
 	return mux
 }

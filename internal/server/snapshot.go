@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"shbf"
 	"shbf/internal/sharded"
@@ -85,6 +86,7 @@ func (s *Server) SaveSnapshotOpts(path string, rotationConsistent bool) (int, er
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return 0, fmt.Errorf("server: snapshot: %w", err)
 	}
+	s.lastSnapshotUnix.Store(time.Now().Unix())
 	return len(buf), nil
 }
 

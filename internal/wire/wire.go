@@ -77,6 +77,7 @@ const (
 	OpNamespaceDelete    = 0x05 // delete a namespace
 	OpNamespaceList      = 0x06 // list namespaces → JSON blob
 	OpClusterMap         = 0x07 // fetch the node's cluster map → JSON blob
+	OpMetrics            = 0x08 // render daemon metrics → Prometheus text blob
 	OpMembershipAdd      = 0x10 // keys → membership AddAll
 	OpMembershipContains = 0x11 // keys → membership ContainsAll (bitset reply)
 	OpMembershipMerge    = 0x12 // ShBE envelope blob → union into the live filter
@@ -99,6 +100,7 @@ var opNames = map[byte]string{
 	OpNamespaceDelete:    "namespace-delete",
 	OpNamespaceList:      "namespace-list",
 	OpClusterMap:         "cluster-map",
+	OpMetrics:            "metrics",
 	OpMembershipAdd:      "membership-add",
 	OpMembershipContains: "membership-contains",
 	OpMembershipMerge:    "membership-merge",
@@ -375,7 +377,8 @@ type Response struct {
 	// Rotated lists the filters rotated, for OpRotate.
 	Rotated []string
 	// Blob is the body of OpStats, OpNamespaceList and OpClusterMap
-	// (JSON) and OpMembershipDump (a raw ShBE envelope).
+	// (JSON), OpMetrics (Prometheus text) and OpMembershipDump (a raw
+	// ShBE envelope).
 	Blob []byte
 }
 
@@ -414,7 +417,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 				dst = binary.AppendUvarint(dst, uint64(len(name)))
 				dst = append(dst, name...)
 			}
-		case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump, OpFreeze:
+		case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump, OpFreeze:
 			dst = binary.AppendUvarint(dst, uint64(len(resp.Blob)))
 			dst = append(dst, resp.Blob...)
 		default:
@@ -533,7 +536,7 @@ func DecodeResponse(resp *Response, frame []byte) error {
 			resp.Rotated[i] = string(rest[lsz : lsz+int(l)])
 			rest = rest[lsz+int(l):]
 		}
-	case OpStats, OpNamespaceList, OpClusterMap, OpMembershipDump, OpFreeze:
+	case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump, OpFreeze:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
 			return fmt.Errorf("%w: blob body", ErrTruncated)

@@ -82,6 +82,12 @@ func TestRequestRoundTripClusterOps(t *testing.T) {
 	if got.Op != OpClusterMap || got.Blob != nil || len(got.Keys) != 0 {
 		t.Fatalf("cluster-map request: %+v", got)
 	}
+	// metrics is header-only, like ping: the scrape travels back in the
+	// response blob.
+	got = roundTripRequest(t, &Request{Op: OpMetrics})
+	if got.Op != OpMetrics || got.Blob != nil || len(got.Keys) != 0 {
+		t.Fatalf("metrics request: %+v", got)
+	}
 	// membership-dump carries only the namespace.
 	got = roundTripRequest(t, &Request{Op: OpMembershipDump, Namespace: "t"})
 	if got.Op != OpMembershipDump || got.Namespace != "t" || got.Blob != nil {
@@ -119,6 +125,8 @@ func TestResponseRoundTrips(t *testing.T) {
 		{Status: StatusOK, Op: OpStats, Blob: []byte(`{"n":1}`)},
 		{Status: StatusOK, Op: OpClusterMap, Blob: []byte(`{"version":1,"nodes":[]}`)},
 		{Status: StatusOK, Op: OpMembershipDump, Blob: []byte("ShBE\x01binary envelope\x00")},
+		{Status: StatusOK, Op: OpMetrics, Blob: []byte("# TYPE shbf_requests_total counter\nshbf_requests_total{op=\"ping\"} 3\n")},
+		{Status: StatusNotFound, Op: OpMetrics, Msg: "server: metrics disabled"},
 		{Status: StatusOK, Op: OpMembershipMerge, Applied: 700},
 		{Status: StatusConflict, Op: OpMembershipMerge, Msg: "spec mismatch"},
 		{Status: StatusConflict, Op: OpMultiplicityAdd, Msg: "count overflow"},

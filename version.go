@@ -1,0 +1,6 @@
+package shbf
+
+// Version is the library and daemon release version, reported by
+// `shbfd -version` and the shbf_build_info metric. Bump it with any
+// release-worthy change to the serving surface.
+const Version = "0.9.0"
