@@ -611,3 +611,137 @@ func TestDialClusterWithDeadNode(t *testing.T) {
 		t.Fatalf("failed indices = %d, want %d", len(ne.Indices), len(dead))
 	}
 }
+
+// TestMultiplicityMergeAcrossTransports diverges two tenants' counting
+// filters, ships one's multiplicity envelope into the other over both
+// transports, and checks the merged filter reports at least the larger
+// of the two sides' multiplicities — the counting-union contract edge
+// agents pre-aggregate against — and that re-merging the same envelope
+// changes no reported count.
+func TestMultiplicityMergeAcrossTransports(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	for transport, c := range d.clients(t) {
+		t.Run(transport, func(t *testing.T) {
+			nsA, nsB := "count-a-"+transport, "count-b-"+transport
+			for _, name := range []string{nsA, nsB} {
+				if err := c.CreateNamespace(client.NamespaceConfig{Name: name}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a, b := c.Namespace(nsA).Counter(), c.Namespace(nsB).Counter()
+			keys := clusterKeys(transport+"-count", 60)
+			for i, k := range keys {
+				if err := a.InsertCount(k, 1+i%3); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.InsertCount(k, 1+(i*2)%5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			env, err := c.Namespace(nsB).MultiplicityEnvelope()
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := c.Namespace(nsA).MergeMultiplicity(env)
+			if err != nil {
+				t.Fatalf("MergeMultiplicity: %v", err)
+			}
+			if merged != uint64(len(keys)) {
+				t.Fatalf("merged = %d, want %d", merged, len(keys))
+			}
+			first, err := a.Counts(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				want := 1 + i%3
+				if w2 := 1 + (i*2)%5; w2 > want {
+					want = w2
+				}
+				if first[i] < want {
+					t.Fatalf("key %d: merged count %d underestimates %d", i, first[i], want)
+				}
+			}
+			// Duplicate delivery of the same envelope (a retry, a UDP
+			// re-send) must not change any reported count.
+			if _, err := c.Namespace(nsA).MergeMultiplicity(env); err != nil {
+				t.Fatalf("re-merge: %v", err)
+			}
+			again, err := a.Counts(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if first[i] != again[i] {
+					t.Fatalf("key %d: count changed %d → %d on re-merge", i, first[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMultiplicityMergeRejections drives the counting merge's refusal
+// paths over both transports, including the kind cross-checks: a
+// membership envelope posted to the multiplicity merge (and vice
+// versa) is a bad request, not a silent corruption.
+func TestMultiplicityMergeRejections(t *testing.T) {
+	d := startDaemon(t, testConfig())
+	for transport, c := range d.clients(t) {
+		t.Run(transport, func(t *testing.T) {
+			def := c.Namespace("default")
+			if err := def.Counter().AddAll(clusterKeys(transport+"-mseed", 40)); err != nil {
+				t.Fatal(err)
+			}
+			goodEnv, err := def.MultiplicityEnvelope()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Garbage body: bad request.
+			var de *client.Error
+			if _, err := def.MergeMultiplicity([]byte("not a ShBE envelope")); !errors.As(err, &de) || de.Status != wire.StatusBadRequest {
+				t.Fatalf("garbage merge: %v, want bad request", err)
+			}
+
+			// Kind cross-checks: each merge endpoint refuses the other
+			// side's envelope.
+			memEnv, err := def.MembershipEnvelope()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := def.MergeMultiplicity(memEnv); !errors.As(err, &de) || de.Status != wire.StatusBadRequest {
+				t.Fatalf("membership envelope into multiplicity merge: %v, want bad request", err)
+			}
+			if _, err := def.Merge(goodEnv); !errors.As(err, &de) || de.Status != wire.StatusBadRequest {
+				t.Fatalf("multiplicity envelope into membership merge: %v, want bad request", err)
+			}
+
+			// Geometry mismatch: conflict.
+			if err := c.CreateNamespace(client.NamespaceConfig{
+				Name: "mbig-" + transport, MultiplicityBits: 1 << 20}); err != nil {
+				t.Fatal(err)
+			}
+			bigEnv, err := c.Namespace("mbig-" + transport).MultiplicityEnvelope()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := def.MergeMultiplicity(bigEnv); !client.IsConflict(err) {
+				t.Fatalf("geometry-mismatched merge: %v, want conflict", err)
+			}
+
+			// Windowed destination: conflict.
+			if err := c.CreateNamespace(client.NamespaceConfig{
+				Name: "mwin-" + transport, WindowGenerations: intP(3)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Namespace("mwin-" + transport).MergeMultiplicity(goodEnv); !client.IsConflict(err) {
+				t.Fatalf("merge into windowed tenant: %v, want conflict", err)
+			}
+
+			// Unknown namespace: not found.
+			if _, err := c.Namespace("mabsent-" + transport).MergeMultiplicity(goodEnv); !client.IsNotFound(err) {
+				t.Fatalf("merge into unknown namespace: %v, want not found", err)
+			}
+		})
+	}
+}

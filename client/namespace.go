@@ -81,6 +81,33 @@ func (ns *Namespace) Merge(envelope []byte) (uint64, error) {
 	return resp.Applied, nil
 }
 
+// MultiplicityEnvelope exports the namespace's multiplicity filter as
+// a raw ShBE envelope — the counting-state analogue of
+// [Namespace.MembershipEnvelope], and the payload edge agents in count
+// mode flush upstream (GET /v2/namespaces/{ns}/multiplicity/envelope).
+func (ns *Namespace) MultiplicityEnvelope() ([]byte, error) {
+	resp, err := ns.do(&wire.Request{Op: wire.OpMultiplicityDump})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// MergeMultiplicity unions an uploaded ShBE multiplicity envelope (as
+// exported by [Namespace.MultiplicityEnvelope] on a replica or edge
+// agent of the same Spec + seed) into the namespace's live counting
+// filter by counter-wise saturating add: merged counts report at least
+// the larger of the two sides' multiplicities, never an underestimate.
+// Returns the source filter's element count. Mismatched geometry or
+// seed is a conflict (IsConflict), as is a windowed namespace.
+func (ns *Namespace) MergeMultiplicity(envelope []byte) (uint64, error) {
+	resp, err := ns.do(&wire.Request{Op: wire.OpMultiplicityMerge, Blob: envelope})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}
+
 // Freeze compacts the namespace's membership filter into a read-only
 // ShBZ frozen container (POST /v2/namespaces/{ns}/freeze) and returns
 // the container bytes — open them locally with shbf.OpenFrozen for

@@ -16,8 +16,10 @@ import (
 // wire) or daemon overload ([IsOverloaded]), both of which mean
 // retrying cannot double-apply an update:
 //
-//   - Membership adds OR bits and merges union filters, so repeating
-//     a possibly-applied batch lands on the same bits. Queries, dumps,
+//   - Membership adds OR bits and merges union filters (membership by
+//     OR, multiplicity by saturating add — re-applying an envelope
+//     never changes a reported count), so repeating a possibly-applied
+//     batch or merge lands on the same answers. Queries, dumps,
 //     freezes (byte-identical by contract), stats, lists, pings and
 //     cluster-map fetches are reads.
 //   - Multiplicity and association updates increment counters; a lost
@@ -54,7 +56,8 @@ func retryableOp(op byte) bool {
 		wire.OpMetrics,
 		wire.OpMembershipAdd, wire.OpMembershipContains, wire.OpMembershipMerge,
 		wire.OpMembershipDump, wire.OpFreeze,
-		wire.OpAssociationQuery, wire.OpMultiplicityCount:
+		wire.OpAssociationQuery, wire.OpMultiplicityCount,
+		wire.OpMultiplicityMerge, wire.OpMultiplicityDump:
 		return true
 	}
 	return false

@@ -238,6 +238,30 @@ func (t *httpTransport) roundTrip(ctx context.Context, req *wire.Request, resp *
 		}
 		resp.Applied = body.MergedN
 		return nil
+
+	case wire.OpMultiplicityDump:
+		// The envelope endpoint serves raw ShBE bytes, not JSON.
+		data, err := t.doRaw(ctx, req, resp, http.MethodGet, t.nsPath(req.Namespace, "/multiplicity/envelope"), "", nil)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		resp.Blob = data
+		return nil
+
+	case wire.OpMultiplicityMerge:
+		// The merge body is a raw ShBE envelope; the reply is JSON.
+		data, err := t.doRaw(ctx, req, resp, http.MethodPost, t.nsPath(req.Namespace, "/multiplicity/merge"), "application/octet-stream", req.Blob)
+		if err != nil || resp.Status != wire.StatusOK {
+			return err
+		}
+		var body struct {
+			MergedN uint64 `json:"merged_n"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			return fmt.Errorf("client: decoding merge response: %w", err)
+		}
+		resp.Applied = body.MergedN
+		return nil
 	}
 	return fmt.Errorf("client: op %s has no HTTP mapping", wire.OpName(req.Op))
 }

@@ -65,6 +65,10 @@ func main() {
 		clusterOut   = flag.String("serve-cluster-out", "BENCH_PR6.json", "with -serve-cluster: output file")
 		clusterNote  = flag.String("serve-cluster-note", "", "with -serve-cluster: free-form note recorded in the report")
 		clusterGate  = flag.Float64("serve-cluster-min-speedup", 0, "with -serve-cluster: exit nonzero unless cluster ContainsAll@4096 ≥ this × the single-node keys/sec (0 = no gate)")
+		ingestB      = flag.Bool("ingest", false, "run the streaming-ingest benchmark (direct ShBU add-batches vs envelope flush over loopback UDP, interleaved min-of-N) and write machine-readable JSON")
+		ingestOut    = flag.String("ingest-out", "BENCH_PR10.json", "with -ingest: output file")
+		ingestNote   = flag.String("ingest-note", "", "with -ingest: free-form note recorded in the report")
+		ingestGate   = flag.Float64("ingest-min-wire-ratio", 0, "with -ingest: exit nonzero unless envelope flush saves ≥ this × wire bytes/key vs direct batches at the largest flush interval (0 = no gate)")
 		frozen       = flag.Bool("frozen", false, "run the frozen-filter benchmark (live vs ShBZ probe throughput, cold open, stack amortization) and write machine-readable JSON")
 		frozenOut    = flag.String("frozen-out", "BENCH_PR7.json", "with -frozen: output file")
 		frozenNote   = flag.String("frozen-note", "", "with -frozen: free-form note recorded in the report")
@@ -97,6 +101,13 @@ func main() {
 	}
 	if *frozen {
 		if err := runFrozen(*frozenOut, *frozenNote, *frozenRatio, *frozenOpen, *frozenSpeed); err != nil {
+			fmt.Fprintln(os.Stderr, "shbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingestB {
+		if err := runIngest(*ingestOut, *ingestNote, *ingestGate); err != nil {
 			fmt.Fprintln(os.Stderr, "shbench:", err)
 			os.Exit(1)
 		}

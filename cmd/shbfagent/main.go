@@ -1,0 +1,250 @@
+// Command shbfagent is the streaming-ingest edge agent: it accepts
+// keys on stdin (one per line) and/or ShBU datagrams on a UDP listener,
+// aggregates them locally, and periodically flushes upstream over ShBU
+// — to a shbfd daemon (-udp-addr) or to another shbfagent, composing
+// an aggregation topology (see internal/ingest and OPERATIONS.md §14).
+//
+// Usage:
+//
+//	shbfagent -to host:port [-namespace default] [-mode keys|envelope]
+//	          [-flush 1s] [-source 0] [-max-datagram 1400]
+//	          [-listen ""]
+//	          [-bits N -k 8 -shards 16 -seed 1]
+//	          [-dedup-n 0] [-dedup-fpr 0.01]
+//	          [-stats-every 0]
+//
+// Two flush modes:
+//
+//   - keys: buffered keys are shipped as packed ShBU add-batches —
+//     O(keys) on the wire, lowest latency, right for thin streams.
+//     With -dedup-n, a local filter planned by shbf.PlanMembership
+//     suppresses keys already sent this flush interval (a false
+//     positive only drops a duplicate of an already-shipped key).
+//   - envelope: keys are added to a local cumulative filter whose
+//     geometry is given by -bits/-k/-shards/-seed — it MUST match the
+//     destination namespace's membership filter, or merges are
+//     refused — and each flush dumps the whole filter as a fragmented
+//     ShBE envelope for union-merge: O(filter bits) on the wire no
+//     matter how many keys arrived, and a lost flush is healed
+//     entirely by the next one, because every flush carries the full
+//     cumulative state.
+//
+// With -listen, the agent is also a forwarder: it accepts ShBU
+// datagrams from downstream agents, merges their batches and (in
+// envelope mode) their envelopes into its local state, and ships the
+// union upstream on its own flush cadence — fan-in compression for
+// agent → agent → daemon topologies.
+//
+// The transport is fire-and-forget UDP: nothing blocks, nothing
+// retries, and loss is measured rather than repaired — receiver-side
+// sequence accounting surfaces it in the daemon's shbf_udp_* metrics
+// (and in this agent's own -stats-every log lines when forwarding).
+package main
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shbf"
+	"shbf/internal/core"
+	"shbf/internal/ingest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shbfagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shbfagent", flag.ContinueOnError)
+	var (
+		to       = fs.String("to", "", "upstream ShBU address (shbfd -udp-addr, or another shbfagent -listen)")
+		nsName   = fs.String("namespace", "default", "destination namespace")
+		mode     = fs.String("mode", "keys", "flush mode: keys (packed add-batches) or envelope (cumulative filter union)")
+		flush    = fs.Duration("flush", time.Second, "flush interval (0 = only at stdin EOF and shutdown)")
+		source   = fs.Uint64("source", 0, "source id stamped on every datagram (0 = random)")
+		maxDgram = fs.Int("max-datagram", ingest.DefaultDatagram, "largest UDP payload to send")
+		listen   = fs.String("listen", "", "also accept ShBU datagrams here and forward the merged state (empty = stdin only)")
+		bits     = fs.Int("bits", 1<<20, "envelope mode: local filter bits — must match the destination namespace")
+		k        = fs.Int("k", 8, "envelope mode: bit positions per key — must match the destination namespace")
+		shards   = fs.Int("shards", 16, "envelope mode: filter shards — must match the destination namespace")
+		seed     = fs.Uint64("seed", 1, "envelope mode: hash seed — must match the destination namespace")
+		dedupN   = fs.Int("dedup-n", 0, "keys mode: expected distinct keys per flush interval for the local dedup filter (0 = no dedup)")
+		dedupFPR = fs.Float64("dedup-fpr", 0.01, "keys mode: dedup filter false-positive target")
+		statsEvr = fs.Duration("stats-every", 0, "log agent (and forwarder) stats on this interval (0 = only at exit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to == "" {
+		return errors.New("-to is required")
+	}
+	if *source == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("random source id: %w", err)
+		}
+		*source = binary.LittleEndian.Uint64(b[:]) | 1 // never zero
+	}
+
+	cfg := ingest.AgentConfig{
+		Namespace:   *nsName,
+		Source:      *source,
+		MaxDatagram: *maxDgram,
+	}
+	switch *mode {
+	case "keys":
+		cfg.Mode = ingest.ModeKeys
+		if *dedupN > 0 {
+			plan, err := shbf.PlanMembership(*dedupN, *dedupFPR)
+			if err != nil {
+				return fmt.Errorf("dedup plan: %w", err)
+			}
+			f, err := shbf.New(plan.Spec())
+			if err != nil {
+				return fmt.Errorf("dedup filter: %w", err)
+			}
+			cfg.Filter = f
+			log.Printf("shbfagent: dedup filter: %d bits, k=%d (n=%d, fpr=%g)",
+				plan.M, plan.K, *dedupN, *dedupFPR)
+		}
+	case "envelope":
+		cfg.Mode = ingest.ModeEnvelope
+		f, err := shbf.NewShardedMembership(*bits, *k, *shards, core.WithSeed(*seed))
+		if err != nil {
+			return fmt.Errorf("local filter: %w", err)
+		}
+		cfg.Filter = f
+	default:
+		return fmt.Errorf("unknown -mode %q (want keys or envelope)", *mode)
+	}
+
+	conn, err := net.Dial("udp", *to)
+	if err != nil {
+		return fmt.Errorf("upstream: %w", err)
+	}
+	defer conn.Close()
+	agent, err := ingest.NewAgent(conn, cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("shbfagent: source %#x, %s mode, flushing to %s every %s",
+		*source, *mode, *to, *flush)
+
+	// Forwarder mode: a receiver feeds downstream agents' datagrams
+	// into this agent's local state; our own flush ships the union.
+	var recv *ingest.Receiver
+	if *listen != "" {
+		pc, err := net.ListenPacket("udp", *listen)
+		if err != nil {
+			return fmt.Errorf("listener: %w", err)
+		}
+		defer pc.Close()
+		recv = ingest.NewReceiver(ingest.NewForwarder(agent))
+		log.Printf("shbfagent: forwarding ShBU from %s", pc.LocalAddr())
+		go func() {
+			buf := make([]byte, ingest.MaxDatagram)
+			for {
+				n, _, err := pc.ReadFrom(buf)
+				if err != nil {
+					if !errors.Is(err, net.ErrClosed) {
+						log.Printf("shbfagent: listener: %v", err)
+					}
+					return
+				}
+				recv.Process(buf[:n])
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Stdin keys, one per line; EOF closes the channel.
+	lines := make(chan []byte, 1024)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			if key := append([]byte(nil), sc.Bytes()...); len(key) > 0 {
+				lines <- key
+			}
+		}
+		if err := sc.Err(); err != nil {
+			log.Printf("shbfagent: stdin: %v", err)
+		}
+	}()
+
+	var flushC <-chan time.Time
+	if *flush > 0 {
+		t := time.NewTicker(*flush)
+		defer t.Stop()
+		flushC = t.C
+	}
+	var statsC <-chan time.Time
+	if *statsEvr > 0 {
+		t := time.NewTicker(*statsEvr)
+		defer t.Stop()
+		statsC = t.C
+	}
+	logStats := func() {
+		st := agent.Stats()
+		line := fmt.Sprintf("sent %d datagrams (%d bytes) in %d flushes; %d keys added, %d deduped, %d buffered",
+			st.DatagramsSent, st.BytesSent, st.Flushes, st.KeysAdded, st.KeysDeduped, st.Buffered)
+		if recv != nil {
+			rs := recv.Stats()
+			line += fmt.Sprintf("; forwarded from %d sources: %d batches + %d fragments applied, est. loss %.2f%%",
+				rs.Sources, rs.AppliedBatch, rs.AppliedEnvelope, 100*rs.LossRatio())
+		}
+		log.Print("shbfagent: ", line)
+	}
+
+	for {
+		select {
+		case key, ok := <-lines:
+			if !ok {
+				// Stdin is done: flush what's buffered. A pure stdin
+				// agent exits here; a forwarder keeps serving its
+				// listener until signalled.
+				if err := agent.Flush(); err != nil {
+					return fmt.Errorf("flush: %w", err)
+				}
+				if *listen == "" {
+					logStats()
+					return nil
+				}
+				lines = nil
+				continue
+			}
+			if err := agent.Add(key); err != nil {
+				return fmt.Errorf("add: %w", err)
+			}
+		case <-flushC:
+			if err := agent.Flush(); err != nil {
+				log.Printf("shbfagent: flush: %v", err)
+			}
+		case <-statsC:
+			logStats()
+		case <-ctx.Done():
+			if err := agent.Flush(); err != nil {
+				log.Printf("shbfagent: final flush: %v", err)
+			}
+			logStats()
+			return nil
+		}
+	}
+}

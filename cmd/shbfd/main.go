@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	shbfd [-addr :8137] [-shbp-addr :8138] [-shards 16] [-seed 1]
+//	shbfd [-addr :8137] [-shbp-addr :8138] [-udp-addr ""] [-shards 16] [-seed 1]
 //	      [-member-bits N] [-member-k 8]
 //	      [-assoc-bits N]  [-assoc-k 8]
 //	      [-mult-bits N]   [-mult-k 8] [-c 57]
@@ -26,6 +26,14 @@
 // its own geometry and window policy — are created at runtime via
 // POST /v2/namespaces (or the equivalent ShBP op) and persist through
 // snapshots.
+//
+// With -udp-addr, the daemon also listens for ShBU — the
+// fire-and-forget UDP ingest protocol spoken by shbfagent edge agents
+// (see internal/ingest and OPERATIONS.md §14). Datagrams carry packed
+// key batches or fragments of pre-aggregated filter envelopes, and
+// apply through the same per-namespace write gates as the TCP
+// transports; since UDP has no reply, refusals, loss, reordering and
+// duplication surface in the shbf_udp_* metric families.
 //
 // With -window G (G ≥ 2), the default namespace's filters run as a
 // sliding window of G generations: writes go to the head generation,
@@ -111,6 +119,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		version   = fs.Bool("version", false, "print the daemon version and exit")
 		addr      = fs.String("addr", ":8137", "HTTP listen address")
 		shbpAddr  = fs.String("shbp-addr", ":8138", "ShBP binary-protocol listen address (empty = disabled)")
+		udpAddr   = fs.String("udp-addr", "", "ShBU UDP ingest listen address (empty = disabled)")
 		shards    = fs.Int("shards", 16, "shards per filter (rounded up to a power of two)")
 		seed      = fs.Uint64("seed", 1, "hash seed (filters are deterministic per seed)")
 		memBits   = fs.Int("member-bits", 12<<20, "total membership filter bits")
@@ -227,6 +236,26 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 				log.Printf("shbfd: shbp server: %v", err)
 			}
 		}()
+	}
+
+	// The UDP ingest listener accepts fire-and-forget ShBU datagrams
+	// from shbfagent edge agents (see internal/ingest): packed key
+	// batches and pre-aggregated filter envelopes, applied through the
+	// same write gates as the TCP transports. UDP has no reply, so
+	// refusals and transport loss surface only in the shbf_udp_*
+	// metric families.
+	if *udpAddr != "" {
+		pc, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			return fmt.Errorf("udp listener: %w", err)
+		}
+		log.Printf("shbfd: shbu (udp ingest) on %s", pc.LocalAddr())
+		go func() {
+			if err := srv.ServeShBU(pc); err != nil {
+				log.Printf("shbfd: udp server: %v", err)
+			}
+		}()
+		defer pc.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

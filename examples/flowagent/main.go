@@ -1,0 +1,256 @@
+// Streaming-ingest topology walkthrough: edge agents → forwarder →
+// daemon over real loopback UDP, the deployment shape of the paper's
+// flow-telemetry scenario (packet taps at the edge, filters answering
+// membership at the core — see internal/ingest and OPERATIONS.md §14).
+//
+// Two leaf agents feed a forwarding agent: one ships raw keys as
+// packed ShBU add-batches through a deliberately lossy path (every
+// fifth datagram dropped in flight), the other pre-aggregates into a
+// local filter and ships fragmented ShBE envelopes with duplicated
+// datagrams. The forwarder union-merges both into its own filter and
+// flushes one cumulative envelope to an in-process shbfd-style server.
+//
+// The example is self-asserting and exits non-zero if the topology
+// misbehaves: every key the daemon acked must answer present (filters
+// cannot un-see a merged key), and the receiver-side loss accounting
+// must equal the drops actually injected — UDP loss is measured, not
+// silent.
+//
+// Run with: go run ./examples/flowagent
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"shbf"
+	"shbf/client"
+	"shbf/internal/ingest"
+	"shbf/internal/server"
+)
+
+// dropEveryN forwards writes to a UDP conn, dropping every n-th
+// datagram to simulate in-flight loss.
+type dropEveryN struct {
+	conn net.Conn
+	n    int
+
+	mu      sync.Mutex
+	writes  int
+	dropped int
+}
+
+func (d *dropEveryN) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	if d.n > 0 && d.writes%d.n == 0 {
+		d.dropped++
+		return len(p), nil // swallowed in flight
+	}
+	return d.conn.Write(p)
+}
+
+func main() {
+	const (
+		bits   = 1 << 18
+		k      = 8
+		shards = 4
+		seed   = 42
+	)
+	srv, err := server.New(server.Config{
+		MembershipBits: bits, MembershipK: k,
+		AssociationBits: 1 << 18, AssociationK: k,
+		MultiplicityBits: 1 << 19, MultiplicityK: k, MaxCount: 16,
+		Shards: shards, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	daemonPC := listen()
+	go srv.ServeShBU(daemonPC)
+	fmt.Printf("daemon: shbu ingest on %s\n", daemonPC.LocalAddr())
+
+	newFilter := func() shbf.Filter {
+		f, err := shbf.NewShardedMembership(bits, k, shards, shbf.WithSeed(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	// The forwarder: an envelope-mode agent (its filter matches the
+	// daemon's geometry) fed by its own UDP listener.
+	fwdPC := listen()
+	fwdAgent, err := ingest.NewAgent(dial(daemonPC), ingest.AgentConfig{
+		Namespace: server.DefaultNamespace, Source: 100,
+		Mode: ingest.ModeEnvelope, Filter: newFilter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwdRecv := ingest.NewReceiver(ingest.NewForwarder(fwdAgent))
+	go func() {
+		buf := make([]byte, ingest.MaxDatagram)
+		for {
+			n, _, err := fwdPC.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			fwdRecv.Process(buf[:n])
+		}
+	}()
+	fmt.Printf("forwarder: listening on %s, flushing envelopes upstream\n", fwdPC.LocalAddr())
+
+	// Leaf 1: raw keys in one-datagram batches, every 5th dropped.
+	lossy := &dropEveryN{conn: dial(fwdPC), n: 5}
+	leaf1, err := ingest.NewAgent(lossy, ingest.AgentConfig{
+		Namespace: server.DefaultNamespace, Source: 1, Mode: ingest.ModeKeys,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const groups, groupSize = 40, 25
+	var delivered [][]byte
+	for g := 0; g < groups; g++ {
+		batch := make([][]byte, groupSize)
+		for i := range batch {
+			batch[i] = []byte(fmt.Sprintf("flow-%03d-%03d", g, i))
+		}
+		if err := leaf1.AddAll(batch); err != nil {
+			log.Fatal(err)
+		}
+		if err := leaf1.Flush(); err != nil { // one datagram per group
+			log.Fatal(err)
+		}
+		if lossy.writes%lossy.n != 0 { // this group survived
+			delivered = append(delivered, batch...)
+		}
+	}
+	// A final heartbeat flush that survives: loss is measured from
+	// sequence gaps, so a drop is only visible once a *later* datagram
+	// arrives. (Agents flushing on an interval get this for free.)
+	for lossy.writes%lossy.n == lossy.n-1 { // next write would be dropped
+		lossy.writes++
+	}
+	heartbeat := [][]byte{[]byte("leaf1-heartbeat")}
+	if err := leaf1.AddAll(heartbeat); err != nil {
+		log.Fatal(err)
+	}
+	if err := leaf1.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	delivered = append(delivered, heartbeat...)
+	fmt.Printf("leaf1 (keys mode): %d keys in %d batches, %d batches dropped in flight\n",
+		groups*groupSize, groups, lossy.dropped)
+
+	// Leaf 2: pre-aggregated envelope flush with duplicated datagrams —
+	// duplicates must be detected, not double-merged (merges are
+	// idempotent anyway; the accounting still has to see them).
+	leaf2Conn := dial(fwdPC)
+	leaf2, err := ingest.NewAgent(doubleWriter{leaf2Conn}, ingest.AgentConfig{
+		Namespace: server.DefaultNamespace, Source: 2,
+		Mode: ingest.ModeEnvelope, Filter: newFilter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := leaf2.Add([]byte(fmt.Sprintf("agg-flow-%05d", i))); err != nil {
+			log.Fatal(err)
+		}
+		delivered = append(delivered, []byte(fmt.Sprintf("agg-flow-%05d", i)))
+	}
+	if err := leaf2.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	leaf2Sent := leaf2.Stats().DatagramsSent
+	fmt.Printf("leaf2 (envelope mode): 3000 keys as %d envelope fragments, each sent twice\n", leaf2Sent)
+
+	// Wait for the forwarder to absorb everything that survived, then
+	// assert its accounting matches the injected faults exactly.
+	wantBatches := uint64(groups + 1 - lossy.dropped) // +1: the heartbeat
+	await("forwarder ingest", func() bool {
+		st := fwdRecv.Stats()
+		return st.AppliedBatch == wantBatches &&
+			st.AppliedEnvelope == leaf2Sent &&
+			st.Dropped[ingest.DropDuplicate] == leaf2Sent
+	})
+	st := fwdRecv.Stats()
+	if st.Lost != uint64(lossy.dropped) {
+		log.Fatalf("FAIL: forwarder measured %d lost datagrams, %d were dropped", st.Lost, lossy.dropped)
+	}
+	fmt.Printf("forwarder accounting: %d batches + %d fragments applied, "+
+		"%d duplicates refused, %d lost (loss ratio %.1f%%) — matches injection\n",
+		st.AppliedBatch, st.AppliedEnvelope, st.Dropped[ingest.DropDuplicate],
+		st.Lost, 100*st.LossRatio())
+
+	// One cumulative flush ships the union of both leaves upstream.
+	if err := fwdAgent.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	await("daemon merge", func() bool { return srv.UDPStats().MergeBytes > 0 })
+
+	// No false negatives: every delivered key answers present, queried
+	// back through the daemon's real HTTP API.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	c, err := client.Dial("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	present, err := c.Namespace(server.DefaultNamespace).Set().Check(delivered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, ok := range present {
+		if !ok {
+			log.Fatalf("FAIL: daemon-acked key %q answers absent", delivered[i])
+		}
+	}
+	fmt.Printf("daemon: all %d delivered keys answer present — zero false negatives\n", len(delivered))
+	fmt.Println("OK")
+}
+
+// doubleWriter sends every datagram twice (duplicate injection).
+type doubleWriter struct{ conn net.Conn }
+
+func (d doubleWriter) Write(p []byte) (int, error) {
+	if _, err := d.conn.Write(p); err != nil {
+		return 0, err
+	}
+	return d.conn.Write(p)
+}
+
+func listen() net.PacketConn {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pc
+}
+
+func dial(pc net.PacketConn) net.Conn {
+	c, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func await(what string, cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("FAIL: timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newMergeFilter(t *testing.T, opts ...Option) *CountingMultiplicity {
+	t.Helper()
+	f, err := NewCountingMultiplicity(1<<12, 4, 16, append([]Option{WithSeed(7)}, opts...)...)
+	if err != nil {
+		t.Fatalf("NewCountingMultiplicity: %v", err)
+	}
+	return f
+}
+
+func insertTimes(t *testing.T, f *CountingMultiplicity, key []byte, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := f.Insert(key); err != nil {
+			t.Fatalf("insert %q ×%d: %v", key, n, err)
+		}
+	}
+}
+
+// TestCountingMergeNeverUnderestimates is the merge's core contract:
+// for every element of either side, the merged filter reports at least
+// the larger of the two sides' multiplicities.
+func TestCountingMergeNeverUnderestimates(t *testing.T) {
+	a, b := newMergeFilter(t), newMergeFilter(t)
+	counts := map[string][2]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		ca, cb := i%5, (i*7)%9
+		insertTimes(t, a, []byte(key), ca)
+		insertTimes(t, b, []byte(key), cb)
+		counts[key] = [2]int{ca, cb}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	for key, c := range counts {
+		want := c[0]
+		if c[1] > want {
+			want = c[1]
+		}
+		if got := a.Count([]byte(key)); got < want {
+			t.Fatalf("merged count(%q) = %d, want ≥ max(%d, %d)", key, got, c[0], c[1])
+		}
+		if got := a.ExactCount([]byte(key)); got != want {
+			t.Fatalf("merged exact count(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestCountingMergeIdempotentAtQueryLevel re-merges the same source
+// and checks every reported count is unchanged — the property UDP
+// duplicate delivery of an envelope flush rides on.
+func TestCountingMergeIdempotentAtQueryLevel(t *testing.T) {
+	a, b := newMergeFilter(t), newMergeFilter(t)
+	keys := make([][]byte, 50)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("dup-%02d", i))
+		insertTimes(t, b, keys[i], 1+i%7)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+	first := make([]int, len(keys))
+	for i, k := range keys {
+		first[i] = a.Count(k)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	for i, k := range keys {
+		if got := a.Count(k); got != first[i] {
+			t.Fatalf("count(%q) changed %d → %d on re-merge", k, first[i], got)
+		}
+		if got := a.ExactCount(k); got != 1+i%7 {
+			t.Fatalf("exact count(%q) = %d after re-merge, want %d", k, got, 1+i%7)
+		}
+	}
+	// Self-merge is the identity.
+	if err := a.Merge(a); err != nil {
+		t.Fatalf("self-merge: %v", err)
+	}
+	for i, k := range keys {
+		if got := a.Count(k); got != first[i] {
+			t.Fatalf("count(%q) changed %d → %d on self-merge", k, first[i], got)
+		}
+	}
+}
+
+// TestCountingMergeRefusesIncompatible checks geometry, seed and mode
+// mismatches are refused with the destination unchanged.
+func TestCountingMergeRefusesIncompatible(t *testing.T) {
+	base := newMergeFilter(t)
+	insertTimes(t, base, []byte("probe"), 3)
+	cases := map[string]*CountingMultiplicity{}
+	if f, err := NewCountingMultiplicity(1<<11, 4, 16, WithSeed(7)); err == nil {
+		cases["different m"] = f
+	}
+	if f, err := NewCountingMultiplicity(1<<12, 6, 16, WithSeed(7)); err == nil {
+		cases["different k"] = f
+	}
+	if f, err := NewCountingMultiplicity(1<<12, 4, 8, WithSeed(7)); err == nil {
+		cases["different c"] = f
+	}
+	if f, err := NewCountingMultiplicity(1<<12, 4, 16, WithSeed(8)); err == nil {
+		cases["different seed"] = f
+	}
+	if f, err := NewCountingMultiplicity(1<<12, 4, 16, WithSeed(7), WithUnsafeUpdates()); err == nil {
+		cases["unsafe mode"] = f
+	}
+	if f, err := NewCountingMultiplicity(1<<12, 4, 16, WithSeed(7), WithCounterWidth(8)); err == nil {
+		cases["counter width"] = f
+	}
+	for name, other := range cases {
+		if err := base.Merge(other); err == nil {
+			t.Fatalf("%s: merge accepted", name)
+		}
+		if got := base.Count([]byte("probe")); got != 3 {
+			t.Fatalf("%s: refused merge changed count to %d", name, got)
+		}
+	}
+}
+
+// TestCountingMergeSaturatedCountersStaySafe drives counters to
+// saturation through merges and checks queries still never
+// underestimate (clamped counters delay bit clearing — the safe
+// side — rather than clearing early).
+func TestCountingMergeSaturatedCountersStaySafe(t *testing.T) {
+	// 2-bit counters saturate at 3: three merges of the same single-key
+	// filter clamp them.
+	mk := func() *CountingMultiplicity {
+		f, err := NewCountingMultiplicity(1<<10, 4, 8, WithSeed(3), WithCounterWidth(2))
+		if err != nil {
+			t.Fatalf("NewCountingMultiplicity: %v", err)
+		}
+		return f
+	}
+	dst, src := mk(), mk()
+	insertTimes(t, src, []byte("hot"), 2)
+	for i := 0; i < 4; i++ {
+		if err := dst.Merge(src); err != nil {
+			t.Fatalf("merge %d: %v", i, err)
+		}
+		if got := dst.Count([]byte("hot")); got < 2 {
+			t.Fatalf("after %d merges count = %d, underestimates 2", i+1, got)
+		}
+	}
+}
+
+// TestCountingMergeUnsafeMode merges two table-less (Section 5.3.1)
+// filters: bits and counters alone must still never underestimate.
+func TestCountingMergeUnsafeMode(t *testing.T) {
+	a := newMergeFilter(t, WithUnsafeUpdates())
+	b := newMergeFilter(t, WithUnsafeUpdates())
+	insertTimes(t, a, []byte("left"), 4)
+	insertTimes(t, b, []byte("right"), 6)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := a.Count([]byte("left")); got < 4 {
+		t.Fatalf("count(left) = %d, want ≥ 4", got)
+	}
+	if got := a.Count([]byte("right")); got < 6 {
+		t.Fatalf("count(right) = %d, want ≥ 6", got)
+	}
+}

@@ -130,6 +130,37 @@ func (a *Array) Dec(i int) (v uint64, ok bool) {
 	return v, true
 }
 
+// AddSaturating adds o's counters into a counter-wise, clamping each
+// sum at Max — the merge primitive of the counting-filter union
+// (core.CountingMultiplicity.Merge): a clamped counter can only delay
+// bit clearing on later deletes, never clear a bit early, so the
+// no-false-negative guarantee survives the merge. Each clamp is
+// tallied as an overflow. The arrays must agree on length and width;
+// no memory accesses are charged (merges are rare control-plane
+// events, not query-path work).
+func (a *Array) AddSaturating(o *Array) error {
+	if a.n != o.n || a.width != o.width {
+		return fmt.Errorf("counters: mismatched arrays (%d×%d-bit vs %d×%d-bit)",
+			a.n, a.width, o.n, o.width)
+	}
+	for i := 0; i < a.n; i++ {
+		ov := o.get(i)
+		if ov == 0 {
+			continue
+		}
+		v := a.get(i) + ov
+		// Both operands are ≤ max ≤ 2^64−1 with width ≤ 64; the sum can
+		// wrap only at width 64, where wrapping below either operand
+		// detects it.
+		if v > a.max || v < ov {
+			v = a.max
+			a.overflows++
+		}
+		a.put(i, v)
+	}
+	return nil
+}
+
 // Reset zeroes all counters and the overflow tally.
 func (a *Array) Reset() {
 	for i := range a.words {

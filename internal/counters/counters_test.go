@@ -215,3 +215,52 @@ func BenchmarkInc4bit(b *testing.B) {
 		a.Inc(i & (1<<16 - 1))
 	}
 }
+
+func TestAddSaturating(t *testing.T) {
+	a, b := New(8, 4), New(8, 4)
+	for i := 0; i < 8; i++ {
+		a.Set(i, uint64(i))   // 0..7
+		b.Set(i, uint64(2*i)) // 0..14, clamped to 15 by Set
+	}
+	if err := a.AddSaturating(b); err != nil {
+		t.Fatalf("AddSaturating: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		want := uint64(3 * i)
+		if want > 15 {
+			want = 15
+		}
+		if got := a.Peek(i); got != want {
+			t.Fatalf("counter %d = %d, want %d", i, got, want)
+		}
+	}
+	// Sums past Max clamp and tally overflows.
+	if a.Overflows() == 0 {
+		t.Fatal("clamped sums did not tally overflows")
+	}
+	// Mismatched geometry is refused.
+	if err := a.AddSaturating(New(8, 5)); err == nil {
+		t.Fatal("accepted width mismatch")
+	}
+	if err := a.AddSaturating(New(9, 4)); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+func TestAddSaturatingWidth64(t *testing.T) {
+	// Width 64 is where an unchecked sum would wrap instead of clamp.
+	a, b := New(2, 64), New(2, 64)
+	a.Set(0, ^uint64(0)-1)
+	b.Set(0, 5)
+	a.Set(1, 7)
+	b.Set(1, 9)
+	if err := a.AddSaturating(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peek(0); got != ^uint64(0) {
+		t.Fatalf("counter 0 = %d, want saturation", got)
+	}
+	if got := a.Peek(1); got != 16 {
+		t.Fatalf("counter 1 = %d, want 16", got)
+	}
+}

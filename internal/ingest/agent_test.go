@@ -1,0 +1,264 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+
+	"shbf"
+	"shbf/internal/core"
+)
+
+// datagramSink records each Write as one datagram, optionally
+// dropping or duplicating by index — the loss-injection shim the
+// convergence tests drive real agents through.
+type datagramSink struct {
+	datagrams [][]byte
+	drop      func(i int) bool
+}
+
+func (s *datagramSink) Write(p []byte) (int, error) {
+	if s.drop == nil || !s.drop(len(s.datagrams)) {
+		s.datagrams = append(s.datagrams, append([]byte(nil), p...))
+	} else {
+		s.datagrams = append(s.datagrams, nil) // dropped in flight
+	}
+	return len(p), nil
+}
+
+// deliver replays the sink's surviving datagrams into a receiver.
+func (s *datagramSink) deliver(r *Receiver) {
+	for _, d := range s.datagrams {
+		if d != nil {
+			r.Process(d)
+		}
+	}
+}
+
+func agentKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("agent-key-%05d", i))
+	}
+	return keys
+}
+
+func TestAgentKeysModeFlush(t *testing.T) {
+	sink := &datagramSink{}
+	a, err := NewAgent(sink, AgentConfig{Namespace: "ns", Source: 11, Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := agentKeys(300)
+	if err := a.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	sink.deliver(r)
+	for _, k := range keys {
+		if h.keys[string(k)] == 0 {
+			t.Fatalf("key %q never arrived", k)
+		}
+	}
+	s := r.Stats()
+	if s.Lost != 0 || s.Dropped[DropDecode] != 0 {
+		t.Fatalf("lossless path reported %+v", s)
+	}
+	// Every datagram respected the size cap.
+	for i, d := range sink.datagrams {
+		if len(d) > DefaultDatagram {
+			t.Fatalf("datagram %d is %d bytes, cap %d", i, len(d), DefaultDatagram)
+		}
+	}
+	if got := a.Stats(); got.KeysAdded != 300 || got.Buffered != 0 {
+		t.Fatalf("agent stats = %+v", got)
+	}
+}
+
+func TestAgentKeysModeDedup(t *testing.T) {
+	plan, err := shbf.PlanMembership(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := shbf.New(plan.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &datagramSink{}
+	a, err := NewAgent(sink, AgentConfig{
+		Namespace: "ns", Source: 12, Mode: ModeKeys, Filter: dedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := agentKeys(50)
+	for round := 0; round < 3; round++ {
+		if err := a.AddAll(keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.KeysAdded != 50 || st.KeysDeduped != 100 {
+		t.Fatalf("dedup stats = %+v", st)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Dedup is per flush: the same keys are accepted again afterwards
+	// (that is what heals a lost batch next interval).
+	if err := a.AddAll(keys[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if st = a.Stats(); st.KeysAdded != 60 {
+		t.Fatalf("post-flush adds not accepted: %+v", st)
+	}
+}
+
+func newEnvelopeAgent(t *testing.T, sink *datagramSink, source uint64, maxDatagram int) *Agent {
+	t.Helper()
+	f, err := shbf.NewShardedMembership(1<<16, 8, 4, core.WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(sink, AgentConfig{
+		Namespace: "ns", Source: source, Mode: ModeEnvelope,
+		MaxDatagram: maxDatagram, Filter: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAgentEnvelopeModeFlushByteEquivalence(t *testing.T) {
+	sink := &datagramSink{}
+	a := newEnvelopeAgent(t, sink, 21, 1400)
+	keys := agentKeys(2000)
+	if err := a.AddAll(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	sink.deliver(r)
+	if len(h.envelopes) != 1 {
+		t.Fatalf("reassembled %d envelopes, want 1", len(h.envelopes))
+	}
+	// The reassembled envelope must be byte-identical to dumping the
+	// same-Spec filter built locally — fragmentation is transparent.
+	want, err := shbf.AppendDump(nil, a.Filter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h.envelopes[0]) != string(want) {
+		t.Fatal("reassembled envelope differs from local dump")
+	}
+	if r.Stats().Lost != 0 {
+		t.Fatalf("lossless path reported loss: %+v", r.Stats())
+	}
+}
+
+func TestAgentEnvelopeLossHealedByNextFlush(t *testing.T) {
+	sink := &datagramSink{}
+	a := newEnvelopeAgent(t, sink, 22, 1400)
+	keys := agentKeys(1000)
+	if err := a.AddAll(keys[:500]); err != nil {
+		t.Fatal(err)
+	}
+	// First flush: every datagram dropped in flight.
+	sink.drop = func(i int) bool { return true }
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Second flush after more keys: delivered intact. The filter is
+	// cumulative, so this single flush carries all 1000 keys.
+	sink.drop = nil
+	if err := a.AddAll(keys[500:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	sink.deliver(r)
+	if len(h.envelopes) != 1 {
+		t.Fatalf("reassembled %d envelopes, want 1", len(h.envelopes))
+	}
+	got, rest, err := shbf.Decode(h.envelopes[0])
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decoding healed envelope: %v", err)
+	}
+	set := got.(shbf.Set)
+	for _, k := range keys {
+		if !set.Contains(k) {
+			t.Fatalf("key %q missing after healing flush", k)
+		}
+	}
+}
+
+func TestForwarderMergesBothPayloadTypes(t *testing.T) {
+	upstream := &datagramSink{}
+	fwd := NewForwarder(newEnvelopeAgent(t, upstream, 30, 1400))
+	r := NewReceiver(fwd)
+
+	// Leaf 1 sends raw key batches; leaf 2 pre-aggregates the same
+	// Spec and sends an envelope.
+	leaf1 := &datagramSink{}
+	a1, err := NewAgent(leaf1, AgentConfig{Namespace: "ns", Source: 31, Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.AddAll(agentKeys(100)[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	leaf2 := &datagramSink{}
+	a2 := newEnvelopeAgent(t, leaf2, 32, 1400)
+	if err := a2.AddAll(agentKeys(100)[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	leaf1.deliver(r)
+	leaf2.deliver(r)
+
+	// The forwarder's local filter now holds the union of both leaves.
+	set := fwd.a.Filter().(shbf.Set)
+	for _, k := range agentKeys(100) {
+		if !set.Contains(k) {
+			t.Fatalf("forwarder missing key %q", k)
+		}
+	}
+	// Wrong namespace and wrong payload kinds are refused, not merged.
+	if got := fwd.HandleBatch("other", [][]byte{[]byte("x")}); got != DropUnknownNamespace {
+		t.Fatalf("wrong namespace: %v", got)
+	}
+	if got := fwd.HandleEnvelope("ns", []byte("garbage")); got != DropDecode {
+		t.Fatalf("garbage envelope: %v", got)
+	}
+}
+
+func TestAgentConfigValidation(t *testing.T) {
+	sink := &datagramSink{}
+	cases := map[string]AgentConfig{
+		"no namespace":            {Mode: ModeKeys},
+		"no mode":                 {Namespace: "ns"},
+		"envelope without filter": {Namespace: "ns", Mode: ModeEnvelope},
+		"oversized datagram":      {Namespace: "ns", Mode: ModeKeys, MaxDatagram: MaxDatagram + 1},
+		"undersized datagram":     {Namespace: "ns", Mode: ModeKeys, MaxDatagram: 40},
+	}
+	for name, cfg := range cases {
+		if _, err := NewAgent(sink, cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"shbf"
+	"shbf/internal/core"
+)
+
+// FuzzShBUDecode drives Decode with truncations, bit flips and
+// spliced envelope fragments. Two invariants:
+//
+//  1. Decode never panics, whatever the bytes (the receiver feeds it
+//     raw network input).
+//  2. Anything Decode accepts re-encodes byte-identically — the
+//     format has one canonical encoding, so a decoded datagram can be
+//     forwarded without mutation.
+func FuzzShBUDecode(f *testing.F) {
+	// Valid add-batch seeds, fixed and variable width.
+	batch, err := Append(nil, &Datagram{
+		Type: TypeAddBatch, Source: 7, Seq: 1, Namespace: "default",
+		KeyWidth: 13, Keys: testKeys(40, 13),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
+	varBatch, err := Append(nil, &Datagram{
+		Type: TypeAddBatch, Source: 7, Seq: 2, Namespace: "flows",
+		Keys: testKeys(10, 0),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(varBatch)
+
+	// A real envelope fragment seed: dump a small sharded filter and
+	// splice its middle into a fragment datagram, so the corpus
+	// reaches the fragment validation paths with realistic payloads.
+	filt, err := shbf.NewShardedMembership(1<<12, 4, 2, core.WithSeed(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := filt.AddAll(testKeys(100, 8)); err != nil {
+		f.Fatal(err)
+	}
+	env, err := shbf.AppendDump(nil, filt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	half := len(env) / 2
+	fragment, err := Append(nil, &Datagram{
+		Type: TypeEnvelopeFrag, Source: 9, Seq: 3, Namespace: "agg",
+		FlushID: 1, FragIndex: 1, FragCount: 2, EnvLen: len(env),
+		FragOffset: half, Frag: env[half:],
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fragment)
+
+	// Truncation seeds.
+	f.Add(batch[:headerLen])
+	f.Add(fragment[:len(fragment)-1])
+	f.Add([]byte(Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Append(nil, d)
+		if err != nil {
+			t.Fatalf("accepted datagram failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("re-encode differs:\n in  %x\n out %x", data, again)
+		}
+	})
+}

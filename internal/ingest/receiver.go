@@ -1,0 +1,426 @@
+package ingest
+
+import (
+	"sort"
+	"sync"
+)
+
+// Receiver-side accounting. UDP gives no return channel, so the
+// receiver is where loss becomes observable: every datagram carries a
+// per-source sequence number, and the receiver tracks, per source, the
+// first and highest sequence seen plus a sliding window bitmap of
+// recent sequences. From those three it classifies every arrival —
+// new, duplicate, reordered — and computes datagrams lost as
+// (max − first + 1) − unique at read time (a gauge, not a counter:
+// late arrivals legitimately shrink it).
+
+// DropReason classifies why a datagram was not applied. The zero
+// value DropNone means applied.
+type DropReason int
+
+const (
+	DropNone DropReason = iota
+	// DropDecode: the payload failed Decode, or an envelope failed to
+	// parse as ShBE.
+	DropDecode
+	// DropDuplicate: the sequence number was already seen (or predates
+	// the tracking window, where dup and very-late are
+	// indistinguishable).
+	DropDuplicate
+	// DropReassembly: a fragment was inconsistent with its flush's
+	// other fragments, or reassembly capacity was exhausted.
+	DropReassembly
+	// DropUnknownNamespace: no such tenant.
+	DropUnknownNamespace
+	// DropFrozen: the tenant is read-only.
+	DropFrozen
+	// DropRate: the tenant's rate quota shed the datagram. UDP has no
+	// reply, so the shed is metrics-only.
+	DropRate
+	// DropMerge: the reassembled envelope was incompatible with the
+	// tenant's filter (geometry, seed or kind mismatch, or a windowed
+	// destination).
+	DropMerge
+	// DropMode: the datagram type is not acceptable here (e.g. a
+	// forwarder in keys mode receiving envelope fragments).
+	DropMode
+
+	numDropReasons
+)
+
+// String returns the metrics label for the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropDecode:
+		return "decode"
+	case DropDuplicate:
+		return "duplicate"
+	case DropReassembly:
+		return "reassembly"
+	case DropUnknownNamespace:
+		return "unknown-namespace"
+	case DropFrozen:
+		return "frozen"
+	case DropRate:
+		return "rate"
+	case DropMerge:
+		return "merge"
+	case DropMode:
+		return "mode"
+	}
+	return "unknown"
+}
+
+// DropReasons lists every reason label in order, for pinning the
+// metric surface.
+func DropReasons() []DropReason {
+	rs := make([]DropReason, 0, numDropReasons-1)
+	for r := DropDecode; r < numDropReasons; r++ {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// Handler applies decoded ingest payloads. The server implements it
+// over its namespace registry; a forwarding agent implements it over
+// its local filter. Handlers return DropNone on success, or the
+// reason the payload was refused — the receiver only accounts, it
+// never interprets namespaces or filters itself.
+type Handler interface {
+	// HandleBatch adds a packed key batch to the namespace.
+	HandleBatch(namespace string, keys [][]byte) DropReason
+	// HandleEnvelope union-merges a reassembled ShBE envelope into the
+	// namespace.
+	HandleEnvelope(namespace string, envelope []byte) DropReason
+}
+
+// seqWindowBits is the per-source duplicate-detection window: sequence
+// numbers within this distance of the highest seen are tracked
+// exactly; older ones are conservatively counted as duplicates.
+const seqWindowBits = 8192
+
+// maxSources bounds per-source state so a source-address forging
+// flood cannot allocate unbounded memory; past the cap, datagrams
+// from new sources are still applied but not sequence-accounted.
+const maxSources = 4096
+
+// Reassembly capacity: at most maxAssemblies in-flight envelope
+// flushes, at most maxAssemblyBytes buffered across all of them.
+const (
+	maxAssemblies    = 256
+	maxAssemblyBytes = 256 << 20
+)
+
+// sourceState is one agent's sequence accounting.
+type sourceState struct {
+	first, max uint64
+	unique     uint64
+	window     [seqWindowBits / 64]uint64
+}
+
+func (st *sourceState) bit(seq uint64) (word int, mask uint64) {
+	i := seq % seqWindowBits
+	return int(i / 64), 1 << (i % 64)
+}
+
+// observe classifies seq and updates the state. Returns the
+// classification: DropNone (new, in order), DropDuplicate, or
+// DropNone with reordered=true (new but below max).
+func (st *sourceState) observe(seq uint64) (reason DropReason, reordered bool) {
+	if st.unique == 0 {
+		st.first, st.max, st.unique = seq, seq, 1
+		w, m := st.bit(seq)
+		st.window[w] |= m
+		return DropNone, false
+	}
+	switch {
+	case seq > st.max:
+		// Advancing: clear the ring between the old max and the new
+		// seq, then mark. A jump past the whole window zeroes it all.
+		if seq-st.max >= seqWindowBits {
+			for i := range st.window {
+				st.window[i] = 0
+			}
+		} else {
+			for s := st.max + 1; s < seq; s++ {
+				w, m := st.bit(s)
+				st.window[w] &^= m
+			}
+		}
+		w, m := st.bit(seq)
+		st.window[w] |= m
+		st.max = seq
+		st.unique++
+		return DropNone, false
+	case st.max-seq >= seqWindowBits:
+		// Below the window: a duplicate and an extremely late first
+		// arrival are indistinguishable; count conservatively as
+		// duplicate (loss accounting already assumed it arrived).
+		return DropDuplicate, false
+	default:
+		w, m := st.bit(seq)
+		if st.window[w]&m != 0 {
+			return DropDuplicate, false
+		}
+		st.window[w] |= m
+		st.unique++
+		// first is the lowest sequence seen, not the first arrival — a
+		// reordered start (2 then 1) must widen the expected range, or
+		// it would cancel out a real loss elsewhere.
+		if seq < st.first {
+			st.first = seq
+		}
+		return DropNone, true
+	}
+}
+
+// lost is the datagrams this source sent that never arrived, assuming
+// sequences are dense from first to max.
+func (st *sourceState) lost() uint64 {
+	if st.unique == 0 {
+		return 0
+	}
+	return (st.max - st.first + 1) - st.unique
+}
+
+// assemblyKey identifies one in-flight envelope flush.
+type assemblyKey struct {
+	source  uint64
+	flushID uint64
+}
+
+// assembly buffers one envelope's fragments until all arrive.
+type assembly struct {
+	namespace string
+	buf       []byte
+	got       []bool
+	remaining int
+}
+
+// Stats is a point-in-time snapshot of a receiver's accounting.
+type Stats struct {
+	// Received and Applied count datagrams by type; an envelope
+	// fragment is "applied" when it (and, for the final fragment, its
+	// whole envelope) was accepted.
+	ReceivedBatch, ReceivedEnvelope uint64
+	AppliedBatch, AppliedEnvelope   uint64
+	// Dropped counts datagrams by DropReason (index).
+	Dropped [numDropReasons]uint64
+	// Reordered counts datagrams that arrived after a higher sequence
+	// from their source had already arrived.
+	Reordered uint64
+	// Lost is the current estimate of datagrams sent but never
+	// received, summed over sources. A gauge: late arrivals shrink it.
+	Lost uint64
+	// Expected is the datagrams all sources sent so far (max−first+1
+	// summed), the denominator of the loss ratio.
+	Expected uint64
+	// Sources is the number of distinct source IDs tracked.
+	Sources int
+	// MergeBytes is the total reassembled envelope bytes accepted.
+	MergeBytes uint64
+	// Assemblies is the number of in-flight fragment reassemblies.
+	Assemblies int
+}
+
+// LossRatio is Lost/Expected (0 when nothing was expected).
+func (s Stats) LossRatio() float64 {
+	if s.Expected == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Expected)
+}
+
+// Receiver decodes, accounts and dispatches ShBU datagrams. One
+// receiver serves one listening socket; methods are safe for
+// concurrent use.
+type Receiver struct {
+	h Handler
+
+	mu         sync.Mutex
+	sources    map[uint64]*sourceState
+	assemblies map[assemblyKey]*assembly
+	asmBytes   int
+
+	received  [3]uint64 // by type
+	applied   [3]uint64
+	dropped   [numDropReasons]uint64
+	reordered uint64
+	merged    uint64
+}
+
+// NewReceiver builds a receiver dispatching into h.
+func NewReceiver(h Handler) *Receiver {
+	return &Receiver{
+		h:          h,
+		sources:    map[uint64]*sourceState{},
+		assemblies: map[assemblyKey]*assembly{},
+	}
+}
+
+// Process decodes and applies one datagram payload, returning how it
+// was classified. Every payload is accounted; none is ever answered.
+func (r *Receiver) Process(data []byte) DropReason {
+	d, err := Decode(data)
+	if err != nil {
+		r.mu.Lock()
+		r.dropped[DropDecode]++
+		r.mu.Unlock()
+		return DropDecode
+	}
+
+	r.mu.Lock()
+	r.received[d.Type]++
+	st := r.sources[d.Source]
+	if st == nil && len(r.sources) < maxSources {
+		st = &sourceState{}
+		r.sources[d.Source] = st
+	}
+	if st != nil {
+		reason, reordered := st.observe(d.Seq)
+		if reordered {
+			r.reordered++
+		}
+		if reason != DropNone {
+			r.dropped[reason]++
+			r.mu.Unlock()
+			return reason
+		}
+	}
+
+	var env []byte
+	if d.Type == TypeEnvelopeFrag {
+		var reason DropReason
+		env, reason = r.assembleLocked(d)
+		if reason != DropNone {
+			r.dropped[reason]++
+			r.mu.Unlock()
+			return reason
+		}
+		if env == nil {
+			// Fragment accepted, envelope still incomplete.
+			r.applied[d.Type]++
+			r.mu.Unlock()
+			return DropNone
+		}
+	}
+	r.mu.Unlock()
+
+	// Dispatch outside the lock: handlers take namespace locks and do
+	// real work; accounting must not serialize behind them.
+	var reason DropReason
+	switch d.Type {
+	case TypeAddBatch:
+		reason = r.h.HandleBatch(d.Namespace, d.Keys)
+	case TypeEnvelopeFrag:
+		reason = r.h.HandleEnvelope(d.Namespace, env)
+	}
+
+	r.mu.Lock()
+	if reason == DropNone {
+		r.applied[d.Type]++
+		if env != nil {
+			r.merged += uint64(len(env))
+		}
+	} else {
+		r.dropped[reason]++
+	}
+	r.mu.Unlock()
+	return reason
+}
+
+// assembleLocked folds one fragment into its flush's assembly.
+// Returns the complete envelope once the last fragment lands, nil
+// while incomplete, or a non-None reason when the fragment is
+// inconsistent or capacity is exhausted. Caller holds r.mu.
+func (r *Receiver) assembleLocked(d *Datagram) ([]byte, DropReason) {
+	if d.FragCount == 1 {
+		// Single-fragment flush: no buffering needed.
+		if d.FragOffset != 0 || len(d.Frag) != d.EnvLen {
+			return nil, DropReassembly
+		}
+		return d.Frag, DropNone
+	}
+	key := assemblyKey{source: d.Source, flushID: d.FlushID}
+	a := r.assemblies[key]
+	if a == nil {
+		if len(r.assemblies) >= maxAssemblies || r.asmBytes+d.EnvLen > maxAssemblyBytes {
+			return nil, DropReassembly
+		}
+		a = &assembly{
+			namespace: d.Namespace,
+			buf:       make([]byte, d.EnvLen),
+			got:       make([]bool, d.FragCount),
+			remaining: d.FragCount,
+		}
+		r.assemblies[key] = a
+		r.asmBytes += d.EnvLen
+	}
+	if a.namespace != d.Namespace || len(a.buf) != d.EnvLen || len(a.got) != d.FragCount {
+		// Fragments of one flush disagree about the flush: something
+		// is corrupt; drop the whole assembly so it cannot complete
+		// from inconsistent parts.
+		r.evictLocked(key)
+		return nil, DropReassembly
+	}
+	if a.got[d.FragIndex] {
+		// Same fragment under a fresh sequence number (an agent-level
+		// resend): already have these bytes; accept as a no-op.
+		return nil, DropNone
+	}
+	copy(a.buf[d.FragOffset:], d.Frag)
+	a.got[d.FragIndex] = true
+	a.remaining--
+	if a.remaining > 0 {
+		return nil, DropNone
+	}
+	buf := a.buf
+	r.evictLocked(key)
+	return buf, DropNone
+}
+
+func (r *Receiver) evictLocked(key assemblyKey) {
+	if a := r.assemblies[key]; a != nil {
+		r.asmBytes -= len(a.buf)
+		delete(r.assemblies, key)
+	}
+}
+
+// Stats snapshots the receiver's accounting.
+func (r *Receiver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		ReceivedBatch:    r.received[TypeAddBatch],
+		ReceivedEnvelope: r.received[TypeEnvelopeFrag],
+		AppliedBatch:     r.applied[TypeAddBatch],
+		AppliedEnvelope:  r.applied[TypeEnvelopeFrag],
+		Dropped:          r.dropped,
+		Reordered:        r.reordered,
+		Sources:          len(r.sources),
+		MergeBytes:       r.merged,
+		Assemblies:       len(r.assemblies),
+	}
+	for _, st := range r.sources {
+		s.Lost += st.lost()
+		if st.unique > 0 {
+			s.Expected += st.max - st.first + 1
+		}
+	}
+	return s
+}
+
+// SourceIDs returns the tracked source IDs, sorted (test and
+// debugging surface).
+func (r *Receiver) SourceIDs() []uint64 {
+	r.mu.Lock()
+	ids := make([]uint64, 0, len(r.sources))
+	for id := range r.sources {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,231 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// collectHandler applies batches and envelopes into plain maps — the
+// reference "daemon" receiver tests converge against.
+type collectHandler struct {
+	keys      map[string]int
+	envelopes [][]byte
+	refuse    DropReason // when non-None, refuse everything with it
+}
+
+func newCollectHandler() *collectHandler {
+	return &collectHandler{keys: map[string]int{}}
+}
+
+func (h *collectHandler) HandleBatch(ns string, keys [][]byte) DropReason {
+	if h.refuse != DropNone {
+		return h.refuse
+	}
+	for _, k := range keys {
+		h.keys[string(k)]++
+	}
+	return DropNone
+}
+
+func (h *collectHandler) HandleEnvelope(ns string, env []byte) DropReason {
+	if h.refuse != DropNone {
+		return h.refuse
+	}
+	h.envelopes = append(h.envelopes, append([]byte(nil), env...))
+	return DropNone
+}
+
+// encode builds one datagram's bytes or fails the test.
+func encode(t *testing.T, d *Datagram) []byte {
+	t.Helper()
+	buf, err := Append(nil, d)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return buf
+}
+
+func batchDatagram(t *testing.T, source, seq uint64, keys ...string) []byte {
+	t.Helper()
+	bs := make([][]byte, len(keys))
+	for i, k := range keys {
+		bs[i] = []byte(k)
+	}
+	return encode(t, &Datagram{
+		Type: TypeAddBatch, Source: source, Seq: seq, Namespace: "ns", Keys: bs,
+	})
+}
+
+func TestReceiverAppliesAndAccounts(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if got := r.Process(batchDatagram(t, 9, seq, "a", "b")); got != DropNone {
+			t.Fatalf("seq %d: %v", seq, got)
+		}
+	}
+	if h.keys["a"] != 5 || h.keys["b"] != 5 {
+		t.Fatalf("keys = %v", h.keys)
+	}
+	s := r.Stats()
+	if s.ReceivedBatch != 5 || s.AppliedBatch != 5 || s.Lost != 0 || s.Reordered != 0 || s.Sources != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReceiverLossReorderDuplicate(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	// Source 5 sends seqs 1..10; 3 and 7 are dropped in flight, 4
+	// arrives late (reordered), 8 arrives twice.
+	order := []uint64{1, 2, 5, 4, 6, 8, 8, 9, 10}
+	for _, seq := range order {
+		r.Process(batchDatagram(t, 5, seq, "k"))
+	}
+	s := r.Stats()
+	if s.Lost != 2 { // 3 and 7 of 1..10 never arrived
+		t.Fatalf("lost = %d, want 2 (missing 3 and 7 of 1..10): %+v", s.Lost, s)
+	}
+	if s.Reordered != 1 {
+		t.Fatalf("reordered = %d, want 1", s.Reordered)
+	}
+	if s.Dropped[DropDuplicate] != 1 {
+		t.Fatalf("duplicates = %d, want 1", s.Dropped[DropDuplicate])
+	}
+	// The late arrival of 3 shrinks the loss gauge — the reason it is
+	// a gauge and not a counter.
+	r.Process(batchDatagram(t, 5, 3, "k"))
+	if s = r.Stats(); s.Lost != 1 {
+		t.Fatalf("lost after late arrival = %d, want 1", s.Lost)
+	}
+	if s.Reordered != 2 {
+		t.Fatalf("reordered after late arrival = %d, want 2", s.Reordered)
+	}
+	if got := s.LossRatio(); got <= 0 || got >= 1 {
+		t.Fatalf("loss ratio = %v", got)
+	}
+	// Nine unique datagrams arrived (1..10 minus the never-arrived 7),
+	// each applied exactly once despite the duplicate and reorder.
+	if h.keys["k"] != 9 {
+		t.Fatalf("k applied %d times, want 9", h.keys["k"])
+	}
+}
+
+func TestReceiverSeqWindowAgesOut(t *testing.T) {
+	r := NewReceiver(newCollectHandler())
+	r.Process(batchDatagram(t, 1, 1, "k"))
+	r.Process(batchDatagram(t, 1, uint64(seqWindowBits)+10, "k"))
+	// Sequence 1 is now far below the window: conservatively a
+	// duplicate even though it was genuinely seen before.
+	if got := r.Process(batchDatagram(t, 1, 1, "k")); got != DropDuplicate {
+		t.Fatalf("below-window seq: %v, want DropDuplicate", got)
+	}
+}
+
+func TestReceiverFragmentReassembly(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	env := make([]byte, 1000)
+	for i := range env {
+		env[i] = byte(i)
+	}
+	frag := func(seq uint64, idx, count, off, n int) []byte {
+		return encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: 2, Seq: seq, Namespace: "ns",
+			FlushID: 44, FragIndex: idx, FragCount: count,
+			EnvLen: len(env), FragOffset: off, Frag: env[off : off+n],
+		})
+	}
+	// Three fragments, delivered out of order, middle one twice.
+	for _, d := range [][]byte{
+		frag(1, 2, 3, 800, 200),
+		frag(2, 0, 3, 0, 400),
+		frag(3, 1, 3, 400, 400),
+	} {
+		if got := r.Process(d); got != DropNone {
+			t.Fatalf("fragment: %v", got)
+		}
+	}
+	if len(h.envelopes) != 1 || !bytes.Equal(h.envelopes[0], env) {
+		t.Fatalf("reassembly produced %d envelopes", len(h.envelopes))
+	}
+	s := r.Stats()
+	if s.MergeBytes != uint64(len(env)) {
+		t.Fatalf("merge bytes = %d, want %d", s.MergeBytes, len(env))
+	}
+	if s.Assemblies != 0 {
+		t.Fatalf("assemblies leaked: %d", s.Assemblies)
+	}
+	// A whole-flush resend under fresh sequence numbers reassembles
+	// and re-applies (the union upstream makes that idempotent).
+	for i, d := range [][]byte{
+		frag(10, 0, 3, 0, 400), frag(11, 1, 3, 400, 400), frag(12, 2, 3, 800, 200),
+	} {
+		if got := r.Process(d); got != DropNone {
+			t.Fatalf("resend fragment %d: %v", i, got)
+		}
+	}
+	if len(h.envelopes) != 2 {
+		t.Fatalf("resent flush applied %d envelopes, want 2", len(h.envelopes))
+	}
+}
+
+func TestReceiverInconsistentFragmentsDropped(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	mk := func(seq uint64, envLen int) []byte {
+		return encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: 3, Seq: seq, Namespace: "ns",
+			FlushID: 1, FragIndex: 0, FragCount: 2,
+			EnvLen: envLen, FragOffset: 0, Frag: make([]byte, 100),
+		})
+	}
+	if got := r.Process(mk(1, 500)); got != DropNone {
+		t.Fatalf("first fragment: %v", got)
+	}
+	// Same flush, contradicting envelope length: the assembly must be
+	// destroyed, not completed from corrupt halves.
+	if got := r.Process(mk(2, 700)); got != DropReassembly {
+		t.Fatalf("contradicting fragment: %v, want DropReassembly", got)
+	}
+	if r.Stats().Assemblies != 0 {
+		t.Fatal("corrupt assembly survived")
+	}
+	if len(h.envelopes) != 0 {
+		t.Fatal("corrupt assembly completed")
+	}
+}
+
+func TestReceiverHandlerDropsAreAccounted(t *testing.T) {
+	h := newCollectHandler()
+	h.refuse = DropRate
+	r := NewReceiver(h)
+	if got := r.Process(batchDatagram(t, 1, 1, "k")); got != DropRate {
+		t.Fatalf("refused batch: %v", got)
+	}
+	s := r.Stats()
+	if s.Dropped[DropRate] != 1 || s.AppliedBatch != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReceiverGarbageIsDecodeDrop(t *testing.T) {
+	r := NewReceiver(newCollectHandler())
+	if got := r.Process([]byte("not a datagram")); got != DropDecode {
+		t.Fatalf("garbage: %v", got)
+	}
+	if s := r.Stats(); s.Dropped[DropDecode] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDropReasonLabels(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range DropReasons() {
+		label := r.String()
+		if label == "unknown" || seen[label] {
+			t.Fatalf("reason %d: label %q", r, label)
+		}
+		seen[label] = true
+	}
+}

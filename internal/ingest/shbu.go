@@ -1,0 +1,232 @@
+// Package ingest implements the streaming ingest tier: ShBU, a
+// self-describing fire-and-forget UDP datagram format, the edge agent
+// that pre-aggregates keys into local filters and flushes them
+// upstream, and the receiver-side sequence accounting that turns a
+// lossy transport into measured loss.
+//
+// The tier exists because the paper's filters are unions: a shard
+// Bloom filter built at the edge from ten thousand raw keys and
+// shipped as one ShBE envelope costs O(filter bits) on the wire
+// instead of O(keys), and merging it at the daemon (bitwise OR for
+// membership, counter-wise saturating add for multiplicity) is
+// idempotent at the query level — exactly the property an unreliable,
+// at-least-zero-times transport like UDP needs. Datagrams carry either
+// a packed add-batch (small flushes, low latency) or a fragment of a
+// flushed envelope (large flushes, amortized wire cost); every
+// datagram is sequence-numbered per source so the receiver can account
+// for loss, reordering and duplication without any return channel.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"shbf/internal/wire"
+)
+
+// Wire layout. Every datagram is one UDP payload:
+//
+//	magic     "ShBU"      4 bytes
+//	version   1           1 byte
+//	type      1|2         1 byte   (add-batch | envelope fragment)
+//	nsLen                 1 byte
+//	reserved  0           1 byte
+//	source                8 bytes  LE  (agent identity, random per process)
+//	seq                   8 bytes  LE  (per-source, 1 per datagram)
+//	namespace             nsLen bytes
+//
+// followed by the type-specific body. An add-batch body is exactly one
+// ShBP packed-keys block (wire.AppendPackedKeys). A fragment body is
+//
+//	flushID               8 bytes  LE  (per-source, 1 per envelope flush)
+//	fragIndex             2 bytes  LE
+//	fragCount             2 bytes  LE
+//	envLen                4 bytes  LE  (total envelope bytes)
+//	fragOffset            4 bytes  LE
+//	fragLen               2 bytes  LE  (must equal the remaining bytes —
+//	                                   a truncated fragment must never
+//	                                   pass as a valid shorter one)
+//	bytes                 fragLen bytes
+//
+// Nothing in the format needs a reply: a receiver can apply, account
+// or drop every datagram on its own, which is what lets agents stay
+// fire-and-forget.
+
+const (
+	// Magic starts every ShBU datagram.
+	Magic = "ShBU"
+	// Version is the only wire version this package speaks.
+	Version = 1
+
+	// TypeAddBatch marks a datagram carrying a packed key batch to add
+	// to the namespace's membership filter.
+	TypeAddBatch = 1
+	// TypeEnvelopeFrag marks a datagram carrying one fragment of a
+	// flushed ShBE envelope, union-merged once reassembled.
+	TypeEnvelopeFrag = 2
+
+	// MaxDatagram is the largest payload this package will encode or
+	// decode: the IPv4 UDP maximum (65535 − 8 UDP − 20 IP).
+	MaxDatagram = 65507
+
+	// headerLen is the fixed header before the namespace bytes.
+	headerLen = 4 + 1 + 1 + 1 + 1 + 8 + 8
+	// fragHeaderLen is the fragment body's fixed prefix.
+	fragHeaderLen = 8 + 2 + 2 + 4 + 4 + 2
+
+	// MaxEnvelope bounds the total envelope length a fragment may
+	// declare, capping what a receiver will buffer for reassembly.
+	MaxEnvelope = 1 << 26 // 64 MiB
+)
+
+// Decode errors. ErrBadDatagram tags every malformed input;
+// receivers count them as DropDecode and move on.
+var ErrBadDatagram = errors.New("ingest: bad ShBU datagram")
+
+// Datagram is one decoded ShBU message.
+type Datagram struct {
+	Type      byte
+	Source    uint64
+	Seq       uint64
+	Namespace string
+
+	// Add-batch payload (TypeAddBatch).
+	KeyWidth int // fixed key width, 0 = variable
+	Keys     [][]byte
+
+	// Envelope-fragment payload (TypeEnvelopeFrag).
+	FlushID    uint64
+	FragIndex  int
+	FragCount  int
+	EnvLen     int // total envelope bytes across all fragments
+	FragOffset int
+	Frag       []byte
+}
+
+// Append encodes d onto dst and returns the extended slice. The
+// result must fit MaxDatagram; the namespace must fit one byte of
+// length.
+func Append(dst []byte, d *Datagram) ([]byte, error) {
+	if len(d.Namespace) > 255 {
+		return dst, fmt.Errorf("ingest: namespace %d bytes, max 255", len(d.Namespace))
+	}
+	start := len(dst)
+	dst = append(dst, Magic...)
+	dst = append(dst, Version, d.Type, byte(len(d.Namespace)), 0)
+	dst = binary.LittleEndian.AppendUint64(dst, d.Source)
+	dst = binary.LittleEndian.AppendUint64(dst, d.Seq)
+	dst = append(dst, d.Namespace...)
+	switch d.Type {
+	case TypeAddBatch:
+		var err error
+		dst, err = wire.AppendPackedKeys(dst, d.KeyWidth, d.Keys)
+		if err != nil {
+			return dst[:start], err
+		}
+	case TypeEnvelopeFrag:
+		if d.FragCount < 1 || d.FragCount > 0xffff || d.FragIndex < 0 || d.FragIndex >= d.FragCount {
+			return dst[:start], fmt.Errorf("ingest: fragment %d of %d out of range", d.FragIndex, d.FragCount)
+		}
+		if d.EnvLen < 0 || d.EnvLen > MaxEnvelope {
+			return dst[:start], fmt.Errorf("ingest: envelope length %d out of range [0, %d]", d.EnvLen, MaxEnvelope)
+		}
+		if d.FragOffset < 0 || d.FragOffset+len(d.Frag) > d.EnvLen {
+			return dst[:start], fmt.Errorf("ingest: fragment [%d, %d) outside envelope of %d bytes",
+				d.FragOffset, d.FragOffset+len(d.Frag), d.EnvLen)
+		}
+		if len(d.Frag) > 0xffff {
+			return dst[:start], fmt.Errorf("ingest: fragment %d bytes exceeds %d", len(d.Frag), 0xffff)
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, d.FlushID)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(d.FragIndex))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(d.FragCount))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d.EnvLen))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d.FragOffset))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(d.Frag)))
+		dst = append(dst, d.Frag...)
+	default:
+		return dst[:start], fmt.Errorf("ingest: unknown datagram type %d", d.Type)
+	}
+	if len(dst)-start > MaxDatagram {
+		n := len(dst) - start
+		return dst[:start], fmt.Errorf("ingest: datagram %d bytes exceeds %d", n, MaxDatagram)
+	}
+	return dst, nil
+}
+
+// Decode parses one complete ShBU datagram. The input must be exactly
+// one datagram — UDP preserves message boundaries, so trailing bytes
+// mean corruption, not framing. The returned Datagram's Keys and Frag
+// alias data.
+func Decode(data []byte) (*Datagram, error) {
+	if len(data) > MaxDatagram {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrBadDatagram, len(data), MaxDatagram)
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want ≥ %d", ErrBadDatagram, len(data), headerLen)
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadDatagram, data[:4])
+	}
+	if data[4] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadDatagram, data[4], Version)
+	}
+	d := &Datagram{Type: data[5]}
+	nsLen := int(data[6])
+	if data[7] != 0 {
+		return nil, fmt.Errorf("%w: reserved byte %d", ErrBadDatagram, data[7])
+	}
+	d.Source = binary.LittleEndian.Uint64(data[8:])
+	d.Seq = binary.LittleEndian.Uint64(data[16:])
+	if len(data) < headerLen+nsLen {
+		return nil, fmt.Errorf("%w: truncated namespace", ErrBadDatagram)
+	}
+	d.Namespace = string(data[headerLen : headerLen+nsLen])
+	body := data[headerLen+nsLen:]
+	switch d.Type {
+	case TypeAddBatch:
+		keys, width, rest, err := wire.DecodePackedKeys(nil, body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadDatagram, err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes after key block", ErrBadDatagram, len(rest))
+		}
+		d.Keys, d.KeyWidth = keys, width
+	case TypeEnvelopeFrag:
+		if len(body) < fragHeaderLen {
+			return nil, fmt.Errorf("%w: fragment header %d bytes, want ≥ %d", ErrBadDatagram, len(body), fragHeaderLen)
+		}
+		d.FlushID = binary.LittleEndian.Uint64(body)
+		d.FragIndex = int(binary.LittleEndian.Uint16(body[8:]))
+		d.FragCount = int(binary.LittleEndian.Uint16(body[10:]))
+		d.EnvLen = int(binary.LittleEndian.Uint32(body[12:]))
+		d.FragOffset = int(binary.LittleEndian.Uint32(body[16:]))
+		fragLen := int(binary.LittleEndian.Uint16(body[20:]))
+		d.Frag = body[fragHeaderLen:]
+		if len(d.Frag) != fragLen {
+			return nil, fmt.Errorf("%w: fragment declares %d bytes, carries %d (truncated or padded datagram)",
+				ErrBadDatagram, fragLen, len(d.Frag))
+		}
+		if d.FragCount < 1 {
+			return nil, fmt.Errorf("%w: zero fragment count", ErrBadDatagram)
+		}
+		if d.FragIndex >= d.FragCount {
+			return nil, fmt.Errorf("%w: fragment %d of %d", ErrBadDatagram, d.FragIndex, d.FragCount)
+		}
+		if d.EnvLen > MaxEnvelope {
+			return nil, fmt.Errorf("%w: envelope length %d exceeds %d", ErrBadDatagram, d.EnvLen, MaxEnvelope)
+		}
+		if d.FragOffset+len(d.Frag) > d.EnvLen {
+			return nil, fmt.Errorf("%w: fragment [%d, %d) outside envelope of %d bytes",
+				ErrBadDatagram, d.FragOffset, d.FragOffset+len(d.Frag), d.EnvLen)
+		}
+		if len(d.Frag) == 0 && d.EnvLen != 0 {
+			return nil, fmt.Errorf("%w: empty fragment of a %d-byte envelope", ErrBadDatagram, d.EnvLen)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadDatagram, d.Type)
+	}
+	return d, nil
+}

@@ -1,0 +1,168 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int, width int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		if width > 0 {
+			k := make([]byte, width)
+			k[0], k[1%width] = byte(i), byte(i>>8)
+			keys[i] = k
+		} else {
+			keys[i] = []byte(fmt.Sprintf("key-%d", i))
+		}
+	}
+	return keys
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	cases := map[string]*Datagram{
+		"batch fixed width": {
+			Type: TypeAddBatch, Source: 0xdeadbeef, Seq: 42,
+			Namespace: "flows", KeyWidth: 13, Keys: testKeys(50, 13),
+		},
+		"batch variable width": {
+			Type: TypeAddBatch, Source: 1, Seq: 1,
+			Namespace: "default", Keys: testKeys(20, 0),
+		},
+		"batch empty": {
+			Type: TypeAddBatch, Source: 7, Seq: 9, Namespace: "x",
+		},
+		"fragment middle": {
+			Type: TypeEnvelopeFrag, Source: 3, Seq: 77, Namespace: "agg",
+			FlushID: 5, FragIndex: 2, FragCount: 4, EnvLen: 4000,
+			FragOffset: 2000, Frag: bytes.Repeat([]byte{0xab}, 1000),
+		},
+		"fragment single": {
+			Type: TypeEnvelopeFrag, Source: 3, Seq: 78, Namespace: "agg",
+			FlushID: 6, FragIndex: 0, FragCount: 1, EnvLen: 100,
+			FragOffset: 0, Frag: bytes.Repeat([]byte{1}, 100),
+		},
+	}
+	for name, d := range cases {
+		t.Run(name, func(t *testing.T) {
+			buf, err := Append(nil, d)
+			if err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			got, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Type != d.Type || got.Source != d.Source || got.Seq != d.Seq || got.Namespace != d.Namespace {
+				t.Fatalf("header mismatch: %+v vs %+v", got, d)
+			}
+			if d.Type == TypeAddBatch {
+				if len(got.Keys) != len(d.Keys) || got.KeyWidth != d.KeyWidth {
+					t.Fatalf("got %d keys width %d, want %d width %d", len(got.Keys), got.KeyWidth, len(d.Keys), d.KeyWidth)
+				}
+				for i := range d.Keys {
+					if !bytes.Equal(got.Keys[i], d.Keys[i]) {
+						t.Fatalf("key %d mismatch", i)
+					}
+				}
+			} else {
+				if got.FlushID != d.FlushID || got.FragIndex != d.FragIndex ||
+					got.FragCount != d.FragCount || got.EnvLen != d.EnvLen ||
+					got.FragOffset != d.FragOffset || !bytes.Equal(got.Frag, d.Frag) {
+					t.Fatalf("fragment mismatch: %+v vs %+v", got, d)
+				}
+			}
+			// Re-encoding the decoded datagram must reproduce the bytes
+			// (the fuzz target's round-trip invariant).
+			again, err := Append(nil, got)
+			if err != nil {
+				t.Fatalf("re-Append: %v", err)
+			}
+			if !bytes.Equal(again, buf) {
+				t.Fatal("re-encoded datagram differs")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, err := Append(nil, &Datagram{
+		Type: TypeAddBatch, Source: 1, Seq: 1, Namespace: "ns",
+		KeyWidth: 4, Keys: testKeys(10, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := Append(nil, &Datagram{
+		Type: TypeEnvelopeFrag, Source: 1, Seq: 2, Namespace: "ns",
+		FlushID: 1, FragIndex: 0, FragCount: 2, EnvLen: 600,
+		FragOffset: 0, Frag: make([]byte, 300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation of a valid datagram must be rejected, never
+	// panic and never decode successfully.
+	for _, base := range [][]byte{good, frag} {
+		for n := 0; n < len(base); n++ {
+			if _, err := Decode(base[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes accepted", n, len(base))
+			} else if !errors.Is(err, ErrBadDatagram) {
+				t.Fatalf("truncation to %d: error %v not tagged ErrBadDatagram", n, err)
+			}
+		}
+	}
+
+	mutate := func(base []byte, i int, v byte) []byte {
+		out := append([]byte(nil), base...)
+		out[i] = v
+		return out
+	}
+	bad := map[string][]byte{
+		"bad magic":        mutate(good, 0, 'X'),
+		"bad version":      mutate(good, 4, 99),
+		"bad type":         mutate(good, 5, 7),
+		"reserved nonzero": mutate(good, 7, 1),
+		"trailing bytes":   append(append([]byte(nil), good...), 0xff),
+		"oversized":        make([]byte, MaxDatagram+1),
+		"frag index >= count": func() []byte {
+			out := append([]byte(nil), frag...)
+			// fragIndex lives at headerLen+2 ("ns")+8
+			out[headerLen+2+8] = 5
+			return out
+		}(),
+	}
+	for name, data := range bad {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	cases := map[string]*Datagram{
+		"unknown type":    {Type: 9, Namespace: "n"},
+		"frag count zero": {Type: TypeEnvelopeFrag, Namespace: "n", FragCount: 0},
+		"frag outside envelope": {
+			Type: TypeEnvelopeFrag, Namespace: "n", FragIndex: 0, FragCount: 1,
+			EnvLen: 10, FragOffset: 8, Frag: make([]byte, 8),
+		},
+		"oversized batch": {
+			Type: TypeAddBatch, Namespace: "n", Keys: [][]byte{make([]byte, MaxDatagram)},
+		},
+	}
+	for name, d := range cases {
+		if buf, err := Append(nil, d); err == nil {
+			t.Errorf("%s: accepted (%d bytes)", name, len(buf))
+		}
+	}
+	// A failed Append must leave dst untouched.
+	dst := []byte("prefix")
+	out, err := Append(dst, &Datagram{Type: 9, Namespace: "n"})
+	if err == nil || string(out) != "prefix" {
+		t.Fatalf("failed Append returned %q, %v", out, err)
+	}
+}

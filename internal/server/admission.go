@@ -152,7 +152,8 @@ func writeOp(op byte) bool {
 	switch op {
 	case wire.OpMembershipAdd, wire.OpMembershipMerge,
 		wire.OpAssociationAdd, wire.OpAssociationRemove,
-		wire.OpMultiplicityAdd, wire.OpMultiplicityRemove:
+		wire.OpMultiplicityAdd, wire.OpMultiplicityRemove,
+		wire.OpMultiplicityMerge:
 		return true
 	}
 	return false

@@ -271,7 +271,7 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 	switch req.Op {
 	case wire.OpMembershipAdd, wire.OpMembershipMerge, wire.OpAssociationAdd,
 		wire.OpAssociationRemove, wire.OpMultiplicityAdd, wire.OpMultiplicityRemove,
-		wire.OpRotate:
+		wire.OpMultiplicityMerge, wire.OpRotate:
 		if err := ns.writable(); err != nil {
 			resp.Status, resp.Msg = wire.StatusConflict, err.Error()
 			return
@@ -408,6 +408,22 @@ func (s *Server) dispatch(req *wire.Request, resp *wire.Response, sc *dispatchSc
 		sc.counts = ns.mult.CountAll(sc.counts[:0], req.Keys)
 		ns.stats.multiplicityQuery.Add(uint64(len(req.Keys)))
 		resp.Counts = sc.counts
+
+	case wire.OpMultiplicityMerge:
+		n, err := ns.mergeMultiplicityEnvelope(req.Blob)
+		if err != nil {
+			resp.Status, resp.Msg = mergeStatusWire(err), err.Error()
+			return
+		}
+		resp.Applied = uint64(n)
+
+	case wire.OpMultiplicityDump:
+		env, err := ns.multiplicityEnvelope()
+		if err != nil {
+			resp.Status, resp.Msg = wire.StatusInternal, err.Error()
+			return
+		}
+		resp.Blob = env
 
 	default:
 		resp.Status, resp.Msg = wire.StatusBadRequest, fmt.Sprintf("unhandled op %s", wire.OpName(req.Op))

@@ -92,6 +92,76 @@ func (ns *namespace) membershipEnvelope() ([]byte, error) {
 	return shbf.AppendDump(nil, ns.mem)
 }
 
+// multiplicityEnvelope exports the namespace's multiplicity filter —
+// the counting-state analogue of membershipEnvelope, and the flush
+// payload edge agents in count mode ship upstream (internal/ingest).
+func (ns *namespace) multiplicityEnvelope() ([]byte, error) {
+	return shbf.AppendDump(nil, ns.mult)
+}
+
+// decodeMergeEnvelope decodes one uploaded ShBE envelope, classifying
+// malformed bytes and trailing garbage as errMergeBadEnvelope.
+func decodeMergeEnvelope(data []byte) (shbf.Filter, error) {
+	src, rest, err := shbf.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errMergeBadEnvelope, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after envelope", errMergeBadEnvelope, len(rest))
+	}
+	return src, nil
+}
+
+// mergeFilter unions one decoded ShBE filter into the matching member
+// of the namespace trio, dispatching on the envelope's self-described
+// kind: membership envelopes union into mem (bitwise OR), multiplicity
+// envelopes into mult (counter-wise saturating add; see
+// sharded.Multiplicity.Union). gate, when non-nil, runs between decode
+// and mutation with the source filter's element count — the UDP ingest
+// path charges the per-tenant rate quota there — and a gate error
+// aborts with the destination untouched. Returns the source filter's
+// element count.
+func (ns *namespace) mergeFilter(src shbf.Filter, gate func(nKeys int) error) (int, error) {
+	switch srcF := src.(type) {
+	case *sharded.Filter:
+		dstF, ok := ns.mem.(*sharded.Filter)
+		if !ok {
+			return 0, errMergeWindowed
+		}
+		n := srcF.N()
+		if gate != nil {
+			if err := gate(n); err != nil {
+				return 0, err
+			}
+		}
+		if err := dstF.Union(srcF); err != nil {
+			return 0, err
+		}
+		return n, nil
+	case *sharded.Multiplicity:
+		dstF, ok := ns.mult.(*sharded.Multiplicity)
+		if !ok {
+			return 0, errMergeWindowed
+		}
+		n := srcF.N()
+		if n < 0 {
+			n = 0 // unsafe mode tracks no exact element set
+		}
+		if gate != nil {
+			if err := gate(n); err != nil {
+				return 0, err
+			}
+		}
+		if err := dstF.Union(srcF); err != nil {
+			return 0, err
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("%w: envelope holds a %s filter, want %s or %s",
+			errMergeBadEnvelope, src.Kind(), shbf.KindShardedMembership, shbf.KindShardedMultiplicity)
+	}
+}
+
 // mergeEnvelope unions one uploaded ShBE membership envelope into the
 // namespace's live filter and returns the source filter's element
 // count. Failures classify for the transports via errMergeBadEnvelope
@@ -99,26 +169,31 @@ func (ns *namespace) membershipEnvelope() ([]byte, error) {
 // conflict: the filter is intact, the operator shipped the wrong
 // envelope).
 func (ns *namespace) mergeEnvelope(data []byte) (int, error) {
-	src, rest, err := shbf.Decode(data)
+	src, err := decodeMergeEnvelope(data)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", errMergeBadEnvelope, err)
+		return 0, err
 	}
-	if len(rest) != 0 {
-		return 0, fmt.Errorf("%w: %d trailing bytes after envelope", errMergeBadEnvelope, len(rest))
-	}
-	srcF, ok := src.(*sharded.Filter)
-	if !ok {
+	if _, ok := src.(*sharded.Filter); !ok {
 		return 0, fmt.Errorf("%w: envelope holds a %s filter, want %s",
 			errMergeBadEnvelope, src.Kind(), shbf.KindShardedMembership)
 	}
-	dstF, ok := ns.mem.(*sharded.Filter)
-	if !ok {
-		return 0, errMergeWindowed
-	}
-	if err := dstF.Union(srcF); err != nil {
+	return ns.mergeFilter(src, nil)
+}
+
+// mergeMultiplicityEnvelope is mergeEnvelope for the counting side:
+// the body must hold a sharded multiplicity envelope, unioned in by
+// counter-wise saturating add so merged counts never underestimate
+// either side.
+func (ns *namespace) mergeMultiplicityEnvelope(data []byte) (int, error) {
+	src, err := decodeMergeEnvelope(data)
+	if err != nil {
 		return 0, err
 	}
-	return srcF.N(), nil
+	if _, ok := src.(*sharded.Multiplicity); !ok {
+		return 0, fmt.Errorf("%w: envelope holds a %s filter, want %s",
+			errMergeBadEnvelope, src.Kind(), shbf.KindShardedMultiplicity)
+	}
+	return ns.mergeFilter(src, nil)
 }
 
 // mergeStatusHTTP maps a mergeEnvelope error to an HTTP status.
@@ -165,5 +240,43 @@ func (s *Server) nsMembershipMerge(ns *namespace, w http.ResponseWriter, r *http
 	writeJSON(w, http.StatusOK, map[string]any{
 		"merged_n":     n,
 		"membership_n": ns.mem.Stats().N,
+	})
+}
+
+// nsMultiplicityEnvelope serves GET /v2/namespaces/{ns}/multiplicity/
+// envelope: the namespace's multiplicity filter as a raw ShBE
+// envelope.
+func (s *Server) nsMultiplicityEnvelope(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	env, err := ns.multiplicityEnvelope()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(env)
+}
+
+// nsMultiplicityMerge serves POST /v2/namespaces/{ns}/multiplicity/
+// merge: the body is a raw ShBE multiplicity envelope (as exported by
+// the multiplicity envelope endpoint) unioned into the live counting
+// filter by counter-wise saturating add.
+func (s *Server) nsMultiplicityMerge(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	if err := ns.writable(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	n, err := ns.mergeMultiplicityEnvelope(body)
+	if err != nil {
+		writeError(w, mergeStatusHTTP(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"merged_n":       n,
+		"multiplicity_n": ns.mult.Stats().N,
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"shbf"
+	"shbf/internal/ingest"
 	"shbf/internal/metrics"
 	"shbf/internal/wire"
 )
@@ -47,6 +48,7 @@ var shbpOps = []byte{
 	wire.OpMembershipDump, wire.OpFreeze,
 	wire.OpAssociationAdd, wire.OpAssociationRemove, wire.OpAssociationQuery,
 	wire.OpMultiplicityAdd, wire.OpMultiplicityRemove, wire.OpMultiplicityCount,
+	wire.OpMultiplicityMerge, wire.OpMultiplicityDump,
 }
 
 // httpOpNames are the instrumented HTTP routes' op label values. Ops
@@ -56,6 +58,7 @@ var httpOpNames = []string{
 	"membership-add", "membership-contains", "membership-merge", "membership-dump",
 	"association-add", "association-remove", "association-query",
 	"multiplicity-add", "multiplicity-remove", "multiplicity-count",
+	"multiplicity-merge", "multiplicity-dump",
 	"rotate", "stats", "freeze", "snapshot",
 	"namespace-create", "namespace-delete", "namespace-list",
 	"daemon-stats", "cluster-map", "healthz",
@@ -254,6 +257,54 @@ func newServerMetrics(s *Server) *serverMetrics {
 					metrics.Label{Key: "reason", Value: "rate"})
 			}
 		})
+
+	// UDP ingest families, read from the receiver's accounting at
+	// scrape time. UDP has no reply channel, so these series are the
+	// only place refusals (and transport loss) surface.
+	typeLabel := func(t string) metrics.Label {
+		return metrics.Label{Key: "type", Value: t}
+	}
+	reg.CollectCounter("shbf_udp_datagrams_received_total",
+		"ShBU datagrams decoded, by payload type.",
+		func(e *metrics.Emitter) {
+			st := s.udp.Stats()
+			e.EmitUint(st.ReceivedBatch, typeLabel("batch"))
+			e.EmitUint(st.ReceivedEnvelope, typeLabel("envelope"))
+		})
+	reg.CollectCounter("shbf_udp_datagrams_applied_total",
+		"ShBU datagrams applied through the namespace write gates, by payload type.",
+		func(e *metrics.Emitter) {
+			st := s.udp.Stats()
+			e.EmitUint(st.AppliedBatch, typeLabel("batch"))
+			e.EmitUint(st.AppliedEnvelope, typeLabel("envelope"))
+		})
+	reg.CollectCounter("shbf_udp_datagrams_dropped_total",
+		"ShBU datagrams refused, by reason.",
+		func(e *metrics.Emitter) {
+			st := s.udp.Stats()
+			for _, reason := range ingest.DropReasons() {
+				e.EmitUint(st.Dropped[reason],
+					metrics.Label{Key: "reason", Value: reason.String()})
+			}
+		})
+	reg.CounterFunc("shbf_udp_reordered_total",
+		"ShBU datagrams that arrived after a higher sequence from their source.",
+		func() uint64 { return s.udp.Stats().Reordered })
+	reg.CounterFunc("shbf_udp_merge_bytes_total",
+		"Reassembled envelope bytes accepted for union-merge.",
+		func() uint64 { return s.udp.Stats().MergeBytes })
+	reg.GaugeFunc("shbf_udp_lost_datagrams",
+		"Datagrams sent but never received, estimated from sequence gaps (late arrivals shrink it).",
+		func() float64 { return float64(s.udp.Stats().Lost) })
+	reg.GaugeFunc("shbf_udp_loss_ratio",
+		"Estimated fraction of sent datagrams lost in flight.",
+		func() float64 { return s.udp.Stats().LossRatio() })
+	reg.GaugeFunc("shbf_udp_sources",
+		"Distinct ShBU source IDs tracked.",
+		func() float64 { return float64(s.udp.Stats().Sources) })
+	reg.GaugeFunc("shbf_udp_assemblies",
+		"Envelope fragment reassemblies currently in flight.",
+		func() float64 { return float64(s.udp.Stats().Assemblies) })
 
 	return m
 }

@@ -121,6 +121,16 @@ var goldenMetricSurface = map[string]struct {
 	"shbf_namespace_keys_total":       {"counter", "namespace,op"},
 	"shbf_namespace_rotations_total":  {"counter", "namespace"},
 	"shbf_namespace_shed_total":       {"counter", "namespace,reason"},
+
+	"shbf_udp_datagrams_received_total": {"counter", "type"},
+	"shbf_udp_datagrams_applied_total":  {"counter", "type"},
+	"shbf_udp_datagrams_dropped_total":  {"counter", "reason"},
+	"shbf_udp_reordered_total":          {"counter", ""},
+	"shbf_udp_merge_bytes_total":        {"counter", ""},
+	"shbf_udp_lost_datagrams":           {"gauge", ""},
+	"shbf_udp_loss_ratio":               {"gauge", ""},
+	"shbf_udp_sources":                  {"gauge", ""},
+	"shbf_udp_assemblies":               {"gauge", ""},
 }
 
 // goldenShBPOps and goldenHTTPOps freeze the request-counter op label
@@ -133,12 +143,14 @@ var goldenShBPOps = []string{
 	"membership-dump", "freeze",
 	"association-add", "association-remove", "association-query",
 	"multiplicity-add", "multiplicity-remove", "multiplicity-count",
+	"multiplicity-merge", "multiplicity-dump",
 }
 
 var goldenHTTPOps = []string{
 	"membership-add", "membership-contains", "membership-merge", "membership-dump",
 	"association-add", "association-remove", "association-query",
 	"multiplicity-add", "multiplicity-remove", "multiplicity-count",
+	"multiplicity-merge", "multiplicity-dump",
 	"rotate", "stats", "freeze", "snapshot",
 	"namespace-create", "namespace-delete", "namespace-list",
 	"daemon-stats", "cluster-map", "healthz",

@@ -71,6 +71,7 @@ import (
 
 	"shbf"
 	"shbf/internal/core"
+	"shbf/internal/ingest"
 	"shbf/internal/sharded"
 )
 
@@ -234,6 +235,12 @@ type Server struct {
 
 	start time.Time
 
+	// udp is the ShBU ingest receiver (udp.go). Always present — even
+	// without a -udp-addr listener the receiver exists, so the
+	// shbf_udp_* metric surface is stable and tests can drive
+	// datagrams through it directly.
+	udp *ingest.Receiver
+
 	// met is the observability surface (metrics.go); nil with
 	// cfg.NoMetrics, and every recording site nil-checks it.
 	met *serverMetrics
@@ -279,6 +286,7 @@ func New(cfg Config) (*Server, error) {
 		frames:     newFrameGate(cfg.MaxInflightFrames),
 		start:      time.Now(),
 	}
+	s.udp = ingest.NewReceiver(udpHandler{s})
 	if !cfg.NoMetrics {
 		s.met = newServerMetrics(s)
 	}
@@ -362,6 +370,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/namespaces/{ns}/stats", scoped("stats", s.nsStats))
 	mux.HandleFunc("GET /v2/namespaces/{ns}/membership/envelope", scoped("membership-dump", s.nsMembershipEnvelope))
 	mux.HandleFunc("POST /v2/namespaces/{ns}/merge", scoped("membership-merge", s.nsMembershipMerge))
+	mux.HandleFunc("GET /v2/namespaces/{ns}/multiplicity/envelope", scoped("multiplicity-dump", s.nsMultiplicityEnvelope))
+	mux.HandleFunc("POST /v2/namespaces/{ns}/multiplicity/merge", scoped("multiplicity-merge", s.nsMultiplicityMerge))
 	mux.HandleFunc("POST /v2/namespaces/{ns}/freeze", scoped("freeze", s.nsFreeze))
 	mux.HandleFunc("POST /v2/snapshot", s.instrumentHTTP("snapshot", s.handleSnapshot))
 	mux.HandleFunc("GET /v2/stats", s.instrumentHTTP("daemon-stats", s.handleDaemonStats))

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shbf"
+	"shbf/internal/ingest"
+)
+
+// manglingConn injects deterministic transport faults in front of a
+// real UDP socket: per-write-index drops and duplicates, plus pairwise
+// reordering (datagrams 0,1 are written 1,0; 2,3 as 3,2; …). The
+// pattern is index-based, not random, so every assertion downstream is
+// exact and the test cannot flake on its own injection.
+type manglingConn struct {
+	conn net.Conn
+	drop func(i int) bool
+	dup  func(i int) bool
+	swap bool
+
+	mu      sync.Mutex
+	n       int
+	dropped []int  // write indices dropped in flight
+	pending []byte // held datagram awaiting its swap partner
+	pendIdx int
+}
+
+func (m *manglingConn) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.n
+	m.n++
+	if m.drop != nil && m.drop(i) {
+		m.dropped = append(m.dropped, i)
+		return len(p), nil
+	}
+	send := func(b []byte) error {
+		_, err := m.conn.Write(b)
+		return err
+	}
+	if m.swap {
+		if m.pending == nil {
+			m.pending = append([]byte(nil), p...)
+			m.pendIdx = i
+			return len(p), nil
+		}
+		held := m.pending
+		m.pending = nil
+		if err := send(p); err != nil {
+			return 0, err
+		}
+		if err := send(held); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	if err := send(p); err != nil {
+		return 0, err
+	}
+	if m.dup != nil && m.dup(i) {
+		if err := send(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// release writes any datagram still held for reordering.
+func (m *manglingConn) release() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending == nil {
+		return nil
+	}
+	_, err := m.conn.Write(m.pending)
+	m.pending = nil
+	return err
+}
+
+func dialUDP(t *testing.T, addr net.Addr) net.Conn {
+	t.Helper()
+	c, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func listenUDP(t *testing.T) net.PacketConn {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	return pc
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTopologyAgentForwarderDaemon runs the full aggregation topology
+// over real loopback UDP: a keys-mode leaf and an envelope-mode leaf
+// send to a forwarding agent — through injected drops, duplicates and
+// reorders — and the forwarder ships its merged state to a daemon.
+// Asserts: no false negatives for any key the daemon acked, loss
+// accounting exactly matching the injected drops, and the daemon's
+// merged filter byte-identical to a same-Spec filter built locally
+// from the surviving keys.
+func TestTopologyAgentForwarderDaemon(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemonPC := listenUDP(t)
+	go s.ServeShBU(daemonPC)
+
+	memSpec, _, _ := cfg.Specs()
+	newMemFilter := func() shbf.Filter {
+		f, err := shbf.New(memSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	// Forwarder: envelope-mode agent whose local filter matches the
+	// daemon's membership geometry, fed by its own UDP listener.
+	fwdPC := listenUDP(t)
+	fwdAgent, err := ingest.NewAgent(dialUDP(t, daemonPC.LocalAddr()), ingest.AgentConfig{
+		Namespace: DefaultNamespace, Source: 100, Mode: ingest.ModeEnvelope,
+		Filter: newMemFilter(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdRecv := ingest.NewReceiver(ingest.NewForwarder(fwdAgent))
+	go func() {
+		buf := make([]byte, ingest.MaxDatagram)
+		for {
+			n, _, err := fwdPC.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			fwdRecv.Process(buf[:n])
+		}
+	}()
+
+	// Leaf 1: keys mode, one datagram per flush, through drops and
+	// pairwise reordering. Groups of 20 keys fit one datagram, so
+	// write index ↔ key group exactly.
+	const groups, groupSize = 15, 20
+	leaf1Conn := &manglingConn{
+		conn: dialUDP(t, fwdPC.LocalAddr()),
+		drop: func(i int) bool { return i%7 == 3 },
+		swap: true,
+	}
+	leaf1, err := ingest.NewAgent(leaf1Conn, ingest.AgentConfig{
+		Namespace: DefaultNamespace, Source: 1, Mode: ingest.ModeKeys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allKeys := udpKeys("topo-leaf1", groups*groupSize)
+	for g := 0; g < groups; g++ {
+		if err := leaf1.AddAll(allKeys[g*groupSize : (g+1)*groupSize]); err != nil {
+			t.Fatal(err)
+		}
+		if err := leaf1.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leaf1Conn.release(); err != nil {
+		t.Fatal(err)
+	}
+	if st := leaf1.Stats(); st.DatagramsSent != groups {
+		t.Fatalf("leaf1 sent %d datagrams, want one per group (%d)", st.DatagramsSent, groups)
+	}
+	droppedGroup := map[int]bool{}
+	for _, i := range leaf1Conn.dropped {
+		droppedGroup[i] = true
+	}
+	var survivors [][]byte
+	for g := 0; g < groups; g++ {
+		if !droppedGroup[g] {
+			survivors = append(survivors, allKeys[g*groupSize:(g+1)*groupSize]...)
+		}
+	}
+
+	// Leaf 2: envelope mode, same Spec, every third datagram duplicated.
+	leaf2Conn := &manglingConn{
+		conn: dialUDP(t, fwdPC.LocalAddr()),
+		dup:  func(i int) bool { return i%3 == 0 },
+	}
+	leaf2, err := ingest.NewAgent(leaf2Conn, ingest.AgentConfig{
+		Namespace: DefaultNamespace, Source: 2, Mode: ingest.ModeEnvelope,
+		Filter: newMemFilter(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf2Keys := udpKeys("topo-leaf2", 500)
+	if err := leaf2.AddAll(leaf2Keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	survivors = append(survivors, leaf2Keys...)
+
+	// Wait for every surviving datagram to reach the forwarder, then
+	// check its accounting against the injected faults exactly.
+	wantBatches := uint64(groups - len(leaf1Conn.dropped))
+	leaf2Sent := uint64(leaf2.Stats().DatagramsSent)
+	var dups uint64
+	for i := 0; i < int(leaf2Sent); i++ {
+		if leaf2Conn.dup(i) {
+			dups++
+		}
+	}
+	waitFor(t, "forwarder to absorb both leaves", func() bool {
+		st := fwdRecv.Stats()
+		return st.AppliedBatch == wantBatches && st.AppliedEnvelope == leaf2Sent &&
+			st.Dropped[ingest.DropDuplicate] == dups
+	})
+	st := fwdRecv.Stats()
+	// Loss: the receiver sees leaf1's sequence gaps (the last datagram
+	// was not dropped — 14%7 ≠ 3 — so every gap is visible).
+	if got, want := st.Lost, uint64(len(leaf1Conn.dropped)); got != want {
+		t.Fatalf("forwarder lost = %d, injected drops = %d", got, want)
+	}
+	if st.Reordered == 0 {
+		t.Fatal("pairwise swapped delivery registered no reorders")
+	}
+	if st.Dropped[ingest.DropDecode] != 0 {
+		t.Fatalf("unexpected decode drops: %v", st.Dropped)
+	}
+
+	// Forwarder flush: one cumulative envelope to the daemon.
+	if err := fwdAgent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "daemon to merge the forwarded envelope", func() bool {
+		return s.UDPStats().MergeBytes > 0
+	})
+
+	// No false negatives: every key the daemon acked into the filter —
+	// all surviving leaf keys — answers present.
+	ns, err := s.lookup(DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range survivors {
+		if !ns.mem.(shbf.Set).Contains(k) {
+			t.Fatalf("daemon-acked key %q answers absent", k)
+		}
+	}
+
+	// Byte-equivalence: the daemon's filter is exactly a same-Spec
+	// filter built locally from the surviving keys — aggregation added
+	// nothing and lost nothing beyond the injected drops.
+	local := newMemFilter()
+	if err := local.(shbf.Set).AddAll(survivors); err != nil {
+		t.Fatal(err)
+	}
+	wantDump, err := shbf.AppendDump(nil, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDump, err := shbf.AppendDump(nil, ns.mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDump, wantDump) {
+		t.Fatal("daemon filter differs from the same-Spec locally-built filter")
+	}
+}

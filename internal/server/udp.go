@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"net"
+
+	"shbf/internal/ingest"
+)
+
+// The UDP ingest tier (shbfd -udp-addr). A listener accepts ShBU
+// datagrams from edge agents (internal/ingest): packed add-batches
+// feed the namespace's membership filter, reassembled ShBE envelopes
+// union-merge into whichever filter of the trio their self-described
+// kind names. Every datagram passes the same write gates as the TCP
+// transports — frozen tenants refuse, per-tenant rate quotas charge
+// one token per key — but UDP has no reply, so refusals surface only
+// in the shbf_udp_* metric families (receiver-side sequence
+// accounting also measures loss, reordering and duplication there).
+
+// udpHandler adapts the namespace registry to ingest.Handler.
+type udpHandler struct{ s *Server }
+
+// HandleBatch applies a packed key batch as a membership add.
+func (h udpHandler) HandleBatch(name string, keys [][]byte) ingest.DropReason {
+	ns, err := h.s.lookup(name)
+	if err != nil {
+		return ingest.DropUnknownNamespace
+	}
+	if ns.writable() != nil {
+		return ingest.DropFrozen
+	}
+	if ns.admit(len(keys), true) != nil {
+		return ingest.DropRate
+	}
+	if ns.mem.AddAll(keys) != nil {
+		return ingest.DropMerge
+	}
+	ns.stats.membershipAdd.Add(uint64(len(keys)))
+	return ingest.DropNone
+}
+
+// HandleEnvelope union-merges a reassembled ShBE envelope, charging
+// the rate quota for the envelope's element count after decode but
+// before any mutation.
+func (h udpHandler) HandleEnvelope(name string, envelope []byte) ingest.DropReason {
+	ns, err := h.s.lookup(name)
+	if err != nil {
+		return ingest.DropUnknownNamespace
+	}
+	if ns.writable() != nil {
+		return ingest.DropFrozen
+	}
+	src, err := decodeMergeEnvelope(envelope)
+	if err != nil {
+		return ingest.DropDecode
+	}
+	_, err = ns.mergeFilter(src, func(nKeys int) error { return ns.admit(nKeys, true) })
+	switch {
+	case err == nil:
+		return ingest.DropNone
+	case errors.Is(err, errOverloaded):
+		return ingest.DropRate
+	case errors.Is(err, errMergeBadEnvelope):
+		// Decoded, but not a kind any filter of the trio can merge.
+		return ingest.DropDecode
+	default:
+		// Incompatible geometry/seed, or a windowed destination.
+		return ingest.DropMerge
+	}
+}
+
+// ServeShBU reads ShBU datagrams from pc until it is closed, applying
+// each through the UDP receiver. Run it like ServeShBP:
+//
+//	pc, _ := net.ListenPacket("udp", addr)
+//	go s.ServeShBU(pc)
+//
+// A closed listener returns nil; any other read error is returned.
+func (s *Server) ServeShBU(pc net.PacketConn) error {
+	buf := make([]byte, ingest.MaxDatagram)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		// Process uses the payload synchronously (reassembly copies),
+		// so the buffer is safe to reuse for the next datagram.
+		s.udp.Process(buf[:n])
+	}
+}
+
+// UDPStats snapshots the UDP ingest accounting (also exported as the
+// shbf_udp_* metric families).
+func (s *Server) UDPStats() ingest.Stats { return s.udp.Stats() }

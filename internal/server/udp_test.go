@@ -1,0 +1,271 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"shbf"
+	"shbf/internal/ingest"
+)
+
+func udpKeys(prefix string, n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%s-%04d", prefix, i))
+	}
+	return keys
+}
+
+// udpBatch encodes one add-batch ShBU datagram.
+func udpBatch(t *testing.T, ns string, source, seq uint64, keys [][]byte) []byte {
+	t.Helper()
+	data, err := ingest.Append(nil, &ingest.Datagram{
+		Type: ingest.TypeAddBatch, Source: source, Seq: seq,
+		Namespace: ns, Keys: keys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// udpEnvelope encodes env as fragment datagrams of at most chunk
+// payload bytes each.
+func udpEnvelope(t *testing.T, ns string, source, seq, flushID uint64, env []byte, chunk int) [][]byte {
+	t.Helper()
+	count := (len(env) + chunk - 1) / chunk
+	var out [][]byte
+	for i := 0; i < count; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(env) {
+			hi = len(env)
+		}
+		data, err := ingest.Append(nil, &ingest.Datagram{
+			Type: ingest.TypeEnvelopeFrag, Source: source, Seq: seq + uint64(i),
+			Namespace: ns, FlushID: flushID, FragIndex: i, FragCount: count,
+			EnvLen: len(env), FragOffset: lo, Frag: env[lo:hi],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func TestUDPBatchAppliesThroughWriteGates(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := udpKeys("udp-batch", 64)
+	if got := s.udp.Process(udpBatch(t, DefaultNamespace, 1, 1, keys)); got != ingest.DropNone {
+		t.Fatalf("batch refused: %v", got)
+	}
+	ns, err := s.lookup(DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !ns.mem.(shbf.Set).Contains(k) {
+			t.Fatalf("key %q not in the membership filter", k)
+		}
+	}
+	st := s.UDPStats()
+	if st.AppliedBatch != 1 || st.ReceivedBatch != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Unknown namespace: applied nowhere, accounted as such.
+	if got := s.udp.Process(udpBatch(t, "nowhere", 1, 2, keys[:1])); got != ingest.DropUnknownNamespace {
+		t.Fatalf("unknown namespace: %v", got)
+	}
+
+	// Frozen namespace: the same refusal TCP answers with 409.
+	if err := s.CreateNamespace(NamespaceConfig{Name: "fz"}); err != nil {
+		t.Fatal(err)
+	}
+	fz, err := s.lookup("fz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz.frozen.Store(true)
+	if got := s.udp.Process(udpBatch(t, "fz", 1, 3, keys[:1])); got != ingest.DropFrozen {
+		t.Fatalf("frozen namespace: %v", got)
+	}
+
+	// Rate quota charges per key: 64 keys against a burst of 1 sheds.
+	if err := s.CreateNamespace(NamespaceConfig{Name: "slow", RatePerSec: 1, RateBurst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.udp.Process(udpBatch(t, "slow", 1, 4, keys)); got != ingest.DropRate {
+		t.Fatalf("rate-limited namespace: %v", got)
+	}
+
+	st = s.UDPStats()
+	if st.Dropped[ingest.DropUnknownNamespace] != 1 ||
+		st.Dropped[ingest.DropFrozen] != 1 ||
+		st.Dropped[ingest.DropRate] != 1 {
+		t.Fatalf("drop accounting = %v", st.Dropped)
+	}
+}
+
+func TestUDPEnvelopeMergesBothKinds(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := s.lookup(DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSpec, assocSpec, multSpec := cfg.Specs()
+
+	// A same-Spec membership filter built "at the edge", dumped, and
+	// shipped as three fragments out of order.
+	memF, err := shbf.New(memSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memKeys := udpKeys("udp-env-mem", 200)
+	if err := memF.(shbf.Set).AddAll(memKeys); err != nil {
+		t.Fatal(err)
+	}
+	env, err := shbf.AppendDump(nil, memF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := udpEnvelope(t, DefaultNamespace, 2, 1, 1, env, len(env)/3+1)
+	for i := len(frags) - 1; i >= 0; i-- { // reversed: reassembly must not care
+		if got := s.udp.Process(frags[i]); got != ingest.DropNone {
+			t.Fatalf("fragment %d refused: %v", i, got)
+		}
+	}
+	for _, k := range memKeys {
+		if !ns.mem.(shbf.Set).Contains(k) {
+			t.Fatalf("merged key %q missing", k)
+		}
+	}
+
+	// A multiplicity envelope takes the same UDP path and lands in the
+	// multiplicity filter of the trio: counts after merge ≥ the edge's.
+	multF, err := shbf.New(multSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multKeys := udpKeys("udp-env-mult", 50)
+	for _, k := range multKeys {
+		for i := 0; i < 3; i++ {
+			if err := multF.(shbf.Updatable).Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	env, err = shbf.AppendDump(nil, multF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range udpEnvelope(t, DefaultNamespace, 2, 10, 2, env, 60_000) {
+		if got := s.udp.Process(f); got != ingest.DropNone {
+			t.Fatalf("multiplicity fragment refused: %v", got)
+		}
+	}
+	for _, k := range multKeys {
+		if got := ns.mult.(shbf.Counter).Count(k); got < 3 {
+			t.Fatalf("count(%q) = %d after merge, want ≥ 3", k, got)
+		}
+	}
+
+	// Geometry mismatch is a merge drop, not a decode drop.
+	memSpec.Seed++
+	otherF, err := shbf.New(memSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = shbf.AppendDump(nil, otherF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags = udpEnvelope(t, DefaultNamespace, 2, 20, 3, env, len(env))
+	if got := s.udp.Process(frags[0]); got != ingest.DropMerge {
+		t.Fatalf("mismatched geometry: %v", got)
+	}
+
+	// A valid envelope of a kind no filter of the trio merges (an
+	// association dump) decodes but cannot apply.
+	assocF, err := shbf.New(assocSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = shbf.AppendDump(nil, assocF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range udpEnvelope(t, DefaultNamespace, 2, 30, 4, env, 60_000) {
+		want := ingest.DropNone
+		if i == len(env)/60_000 { // final fragment completes the merge attempt
+			want = ingest.DropDecode
+		}
+		if got := s.udp.Process(f); got != want {
+			t.Fatalf("unmergeable kind, fragment %d: %v, want %v", i, got, want)
+		}
+	}
+
+	st := s.UDPStats()
+	if st.AppliedEnvelope == 0 || st.MergeBytes == 0 {
+		t.Fatalf("envelope accounting = %+v", st)
+	}
+}
+
+func TestServeShBUOverLoopback(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ServeShBU(pc) }()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	keys := udpKeys("udp-loop", 32)
+	if _, err := conn.Write(udpBatch(t, DefaultNamespace, 9, 1, keys)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.UDPStats().AppliedBatch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("datagram never applied: %+v", s.UDPStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ns, err := s.lookup(DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !ns.mem.(shbf.Set).Contains(k) {
+			t.Fatalf("key %q missing after loopback delivery", k)
+		}
+	}
+	// Closing the listener ends the serve loop cleanly.
+	pc.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeShBU returned %v on close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeShBU did not return after close")
+	}
+}

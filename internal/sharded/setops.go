@@ -33,6 +33,42 @@ var unionMu sync.Mutex
 // is unchanged. Safe for concurrent use with both filters' other
 // operations — shards are merged one pair at a time, so queries keep
 // flowing on every shard the merge is not currently touching.
+// Union merges other into f by the counting-filter union — per shard,
+// a counter-wise saturating add of C, an OR of B and a per-key max
+// over the exact tables (core.CountingMultiplicity.Merge) — making f
+// report, for every element, at least the larger of the two filters'
+// multiplicities with no false negatives introduced. The Specs must
+// match exactly (geometry, seed, counter width, update mode);
+// otherwise ErrIncompatible is returned and f is unchanged. This is
+// what lets edge agents pre-aggregate counts and ship them upstream as
+// one envelope (internal/ingest) and replicas anti-entropy their
+// multiplicity filters like their membership ones.
+func (f *Multiplicity) Union(other *Multiplicity) error {
+	fs, os := f.Spec(), other.Spec()
+	if fs != os {
+		return fmt.Errorf("%w: spec %+v vs %+v", ErrIncompatible, fs, os)
+	}
+	if f == other {
+		return nil // self-union is the identity
+	}
+	unionMu.Lock()
+	defer unionMu.Unlock()
+	for i := range f.set.shards {
+		dst, src := &f.set.shards[i], &other.set.shards[i]
+		dst.mu.Lock()
+		src.mu.RLock()
+		err := dst.f.Merge(src.f)
+		src.mu.RUnlock()
+		dst.mu.Unlock()
+		if err != nil {
+			// Unreachable with equal Specs, but a corrupt filter must
+			// not half-merge silently.
+			return fmt.Errorf("%w: shard %d: %v", ErrIncompatible, i, err)
+		}
+	}
+	return nil
+}
+
 func (f *Filter) Union(other *Filter) error {
 	fs, os := f.Spec(), other.Spec()
 	if fs != os {

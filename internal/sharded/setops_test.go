@@ -164,3 +164,154 @@ func TestUnionConcurrentWithTraffic(t *testing.T) {
 		}
 	}
 }
+
+func newTestMultiplicity(t *testing.T, opts ...core.Option) *Multiplicity {
+	t.Helper()
+	f, err := NewMultiplicity(1<<16, 4, 16, 4, append([]core.Option{core.WithSeed(19)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMultiplicityUnionNeverUnderestimates(t *testing.T) {
+	a, b := newTestMultiplicity(t), newTestMultiplicity(t)
+	keys := genElements(300, 41)
+	for i, k := range keys {
+		for j := 0; j < 1+i%4; j++ {
+			if err := a.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < 1+(i*3)%6; j++ {
+			if err := b.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	for i, k := range keys {
+		want := 1 + i%4
+		if w2 := 1 + (i*3)%6; w2 > want {
+			want = w2
+		}
+		if got := a.Count(k); got < want {
+			t.Fatalf("key %d: merged count %d underestimates %d", i, got, want)
+		}
+	}
+	// b is the read side; its counts must be untouched.
+	for i, k := range keys[:20] {
+		if got := b.Count(k); got < 1+(i*3)%6 {
+			t.Fatalf("source filter mutated: key %d count %d", i, got)
+		}
+	}
+}
+
+func TestMultiplicityUnionIdempotentAndSelf(t *testing.T) {
+	a, b := newTestMultiplicity(t), newTestMultiplicity(t)
+	keys := genElements(100, 43)
+	for i, k := range keys {
+		for j := 0; j < 1+i%5; j++ {
+			if err := b.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	first := a.CountAll(nil, keys)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Union(a); err != nil {
+		t.Fatal(err)
+	}
+	again := a.CountAll(nil, keys)
+	for i := range keys {
+		if first[i] != again[i] {
+			t.Fatalf("key %d: count changed %d → %d on re-union", i, first[i], again[i])
+		}
+	}
+	if a.N() != b.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), b.N())
+	}
+}
+
+func TestMultiplicityUnionIncompatibleRejected(t *testing.T) {
+	base := newTestMultiplicity(t)
+	if err := base.Insert([]byte("probe")); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(bits, k, c, shards int, opts ...core.Option) *Multiplicity {
+		f, err := NewMultiplicity(bits, k, c, shards, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for name, other := range map[string]*Multiplicity{
+		"bits differ":   mk(1<<15, 4, 16, 4, core.WithSeed(19)),
+		"k differs":     mk(1<<16, 8, 16, 4, core.WithSeed(19)),
+		"c differs":     mk(1<<16, 4, 8, 4, core.WithSeed(19)),
+		"shards differ": mk(1<<16, 4, 16, 8, core.WithSeed(19)),
+		"seed differs":  mk(1<<16, 4, 16, 4, core.WithSeed(20)),
+		"unsafe mode":   mk(1<<16, 4, 16, 4, core.WithSeed(19), core.WithUnsafeUpdates()),
+	} {
+		err := base.Union(other)
+		if err == nil {
+			t.Fatalf("%s: incompatible union accepted", name)
+		}
+		if !errors.Is(err, ErrIncompatible) {
+			t.Errorf("%s: error is not ErrIncompatible: %v", name, err)
+		}
+	}
+	if got := base.Count([]byte("probe")); got < 1 {
+		t.Fatalf("rejected unions lost the probe key (count %d)", got)
+	}
+}
+
+func TestMultiplicityUnionConcurrentWithTraffic(t *testing.T) {
+	a, b := newTestMultiplicity(t), newTestMultiplicity(t)
+	probe := genElements(100, 47)
+	for _, k := range probe {
+		if err := b.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch i % 4 {
+				case 0:
+					if err := a.Union(b); err != nil {
+						t.Errorf("a.Union(b): %v", err)
+					}
+				case 1:
+					b.CountAll(nil, probe)
+				case 2:
+					a.CountAll(nil, probe)
+				case 3:
+					for _, k := range probe[:10] {
+						// Repeated inserts of the same keys legitimately
+						// hit the c cap; only unexpected errors fail.
+						if err := a.Insert(k); err != nil && !errors.Is(err, core.ErrCountOverflow) {
+							t.Errorf("Insert: %v", err)
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, k := range probe {
+		if got := a.Count(k); got < 1 {
+			t.Fatalf("key %d lost after concurrent unions (count %d)", i, got)
+		}
+	}
+}

@@ -30,9 +30,10 @@
 //	              5-tuple flow IDs pack with zero per-key overhead);
 //	              otherwise N × (uvarint length + bytes)
 //	...           op tail: OpMultiplicityAdd/OpMultiplicityRemove carry
-//	              N uvarint per-key counts; OpNamespaceCreate and
-//	              OpMembershipMerge carry a uvarint-length-prefixed blob
-//	              (a JSON config and a ShBE envelope respectively)
+//	              N uvarint per-key counts; OpNamespaceCreate,
+//	              OpMembershipMerge and OpMultiplicityMerge carry a
+//	              uvarint-length-prefixed blob (a JSON config and ShBE
+//	              envelopes respectively)
 //
 // Response payload layout:
 //
@@ -89,6 +90,8 @@ const (
 	OpMultiplicityAdd    = 0x30 // keys + counts → Insert ×count
 	OpMultiplicityRemove = 0x31 // keys + counts → Delete ×count
 	OpMultiplicityCount  = 0x32 // keys → CountAll (uvarint reply)
+	OpMultiplicityMerge  = 0x33 // ShBE envelope blob → counting merge into the live filter
+	OpMultiplicityDump   = 0x34 // export the multiplicity filter → ShBE envelope blob
 )
 
 // opNames maps op codes to the names used in errors and logs.
@@ -112,6 +115,8 @@ var opNames = map[byte]string{
 	OpMultiplicityAdd:    "multiplicity-add",
 	OpMultiplicityRemove: "multiplicity-remove",
 	OpMultiplicityCount:  "multiplicity-count",
+	OpMultiplicityMerge:  "multiplicity-merge",
+	OpMultiplicityDump:   "multiplicity-dump",
 }
 
 // OpName returns the op code's wire name ("op-0x%02x" for unknown
@@ -204,8 +209,79 @@ type Request struct {
 	// Counts encodes as all-ones).
 	Counts []int
 	// Blob is the op-specific trailing blob (OpNamespaceCreate's JSON
-	// config, OpMembershipMerge's ShBE envelope).
+	// config, OpMembershipMerge's and OpMultiplicityMerge's ShBE
+	// envelope).
 	Blob []byte
+}
+
+// AppendPackedKeys appends the ShBP key block — key width (u16, 0 =
+// variable), key count (u32), then the packed keys — to dst. With
+// width > 0 every key must be exactly width bytes and keys pack back
+// to back with zero per-key overhead; with width 0 each key is
+// uvarint-length-prefixed. The same block opens every request payload
+// and the ShBU ingest datagram's add-batch body (internal/ingest).
+func AppendPackedKeys(dst []byte, width int, keys [][]byte) ([]byte, error) {
+	if width < 0 || width > MaxKeyWidth {
+		return dst, fmt.Errorf("wire: key width %d out of [0, %d]", width, MaxKeyWidth)
+	}
+	at := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(width))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	if width > 0 {
+		for i, k := range keys {
+			if len(k) != width {
+				return dst[:at], fmt.Errorf("wire: key %d is %d bytes, frame width is %d", i, len(k), width)
+			}
+			dst = append(dst, k...)
+		}
+	} else {
+		for _, k := range keys {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
+		}
+	}
+	return dst, nil
+}
+
+// DecodePackedKeys parses one ShBP key block from the front of data,
+// reusing keys' backing array. Decoded keys alias data; rest is the
+// remainder after the block. The declared key count is bounded against
+// the available bytes before any allocation, so a corrupt block cannot
+// drive a huge allocation.
+func DecodePackedKeys(keys [][]byte, data []byte) (out [][]byte, width int, rest []byte, err error) {
+	if len(data) < 6 {
+		return keys, 0, data, fmt.Errorf("%w: key header", ErrTruncated)
+	}
+	width = int(binary.LittleEndian.Uint16(data))
+	count := binary.LittleEndian.Uint32(data[2:])
+	rest = data[6:]
+	// Every key costs at least one payload byte (a width byte or a
+	// length uvarint), so this single check bounds the loops below
+	// against absurd declared counts in small frames.
+	if width > 0 {
+		if need := uint64(count) * uint64(width); uint64(len(rest)) < need {
+			return keys, 0, data, fmt.Errorf("%w: %d keys × %d bytes", ErrTruncated, count, width)
+		}
+	} else if uint64(count) > uint64(len(rest)) {
+		return keys, 0, data, fmt.Errorf("%w: %d variable-width keys in %d bytes", ErrTruncated, count, len(rest))
+	}
+	keys = resize(keys, int(count))
+	if width > 0 {
+		for i := range keys {
+			keys[i] = rest[i*width : (i+1)*width : (i+1)*width]
+		}
+		rest = rest[int(count)*width:]
+	} else {
+		for i := range keys {
+			n, sz := binary.Uvarint(rest)
+			if sz <= 0 || n > uint64(len(rest)-sz) {
+				return keys, 0, data, fmt.Errorf("%w: variable-width key %d", ErrTruncated, i)
+			}
+			keys[i] = rest[sz : sz+int(n) : sz+int(n)]
+			rest = rest[sz+int(n):]
+		}
+	}
+	return keys, width, rest, nil
 }
 
 // AppendRequest appends req as one complete frame (length prefix
@@ -228,20 +304,9 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = append(dst, Magic...)
 	dst = append(dst, Version, req.Op, req.Set, byte(len(req.Namespace)))
 	dst = append(dst, req.Namespace...)
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(req.KeyWidth))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Keys)))
-	if req.KeyWidth > 0 {
-		for i, k := range req.Keys {
-			if len(k) != req.KeyWidth {
-				return dst[:lenAt], fmt.Errorf("wire: key %d is %d bytes, frame width is %d", i, len(k), req.KeyWidth)
-			}
-			dst = append(dst, k...)
-		}
-	} else {
-		for _, k := range req.Keys {
-			dst = binary.AppendUvarint(dst, uint64(len(k)))
-			dst = append(dst, k...)
-		}
+	dst, err := AppendPackedKeys(dst, req.KeyWidth, req.Keys)
+	if err != nil {
+		return dst[:lenAt], err
 	}
 	switch req.Op {
 	case OpMultiplicityAdd, OpMultiplicityRemove:
@@ -255,7 +320,7 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 			}
 			dst = binary.AppendUvarint(dst, uint64(c))
 		}
-	case OpNamespaceCreate, OpMembershipMerge:
+	case OpNamespaceCreate, OpMembershipMerge, OpMultiplicityMerge:
 		dst = binary.AppendUvarint(dst, uint64(len(req.Blob)))
 		dst = append(dst, req.Blob...)
 	}
@@ -291,41 +356,16 @@ func DecodeRequest(req *Request, frame []byte) error {
 		return fmt.Errorf("%w: namespace and key header", ErrTruncated)
 	}
 	req.Namespace = string(rest[:nsLen])
-	req.KeyWidth = int(binary.LittleEndian.Uint16(rest[nsLen:]))
-	count := binary.LittleEndian.Uint32(rest[nsLen+2:])
-	rest = rest[nsLen+6:]
-	// Every key costs at least one payload byte (a width byte or a
-	// length uvarint), so this single check bounds the loops below
-	// against absurd declared counts in small frames.
-	if req.KeyWidth > 0 {
-		if need := uint64(count) * uint64(req.KeyWidth); uint64(len(rest)) < need {
-			return fmt.Errorf("%w: %d keys × %d bytes", ErrTruncated, count, req.KeyWidth)
-		}
-	} else if uint64(count) > uint64(len(rest)) {
-		return fmt.Errorf("%w: %d variable-width keys in %d bytes", ErrTruncated, count, len(rest))
-	}
-	req.Keys = resize(req.Keys, int(count))
-	if req.KeyWidth > 0 {
-		w := req.KeyWidth
-		for i := range req.Keys {
-			req.Keys[i] = rest[i*w : (i+1)*w : (i+1)*w]
-		}
-		rest = rest[int(count)*w:]
-	} else {
-		for i := range req.Keys {
-			n, sz := binary.Uvarint(rest)
-			if sz <= 0 || n > uint64(len(rest)-sz) {
-				return fmt.Errorf("%w: variable-width key %d", ErrTruncated, i)
-			}
-			req.Keys[i] = rest[sz : sz+int(n) : sz+int(n)]
-			rest = rest[sz+int(n):]
-		}
+	var err error
+	req.Keys, req.KeyWidth, rest, err = DecodePackedKeys(req.Keys, rest[nsLen:])
+	if err != nil {
+		return err
 	}
 	req.Counts = req.Counts[:0]
 	req.Blob = nil
 	switch req.Op {
 	case OpMultiplicityAdd, OpMultiplicityRemove:
-		req.Counts = resize(req.Counts, int(count))
+		req.Counts = resize(req.Counts, len(req.Keys))
 		for i := range req.Counts {
 			n, sz := binary.Uvarint(rest)
 			if sz <= 0 {
@@ -337,7 +377,7 @@ func DecodeRequest(req *Request, frame []byte) error {
 			req.Counts[i] = int(n)
 			rest = rest[sz:]
 		}
-	case OpNamespaceCreate, OpMembershipMerge:
+	case OpNamespaceCreate, OpMembershipMerge, OpMultiplicityMerge:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
 			return fmt.Errorf("%w: trailing blob", ErrTruncated)
@@ -397,7 +437,7 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		case OpPing, OpNamespaceCreate, OpNamespaceDelete:
 			// Empty body.
 		case OpMembershipAdd, OpMembershipMerge, OpAssociationAdd, OpAssociationRemove,
-			OpMultiplicityAdd, OpMultiplicityRemove:
+			OpMultiplicityAdd, OpMultiplicityRemove, OpMultiplicityMerge:
 			dst = binary.AppendUvarint(dst, resp.Applied)
 		case OpMembershipContains:
 			dst = binary.AppendUvarint(dst, uint64(len(resp.Bools)))
@@ -417,7 +457,8 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 				dst = binary.AppendUvarint(dst, uint64(len(name)))
 				dst = append(dst, name...)
 			}
-		case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump, OpFreeze:
+		case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump,
+			OpMultiplicityDump, OpFreeze:
 			dst = binary.AppendUvarint(dst, uint64(len(resp.Blob)))
 			dst = append(dst, resp.Blob...)
 		default:
@@ -471,7 +512,7 @@ func DecodeResponse(resp *Response, frame []byte) error {
 	case OpPing, OpNamespaceCreate, OpNamespaceDelete:
 		// Empty body.
 	case OpMembershipAdd, OpMembershipMerge, OpAssociationAdd, OpAssociationRemove,
-		OpMultiplicityAdd, OpMultiplicityRemove:
+		OpMultiplicityAdd, OpMultiplicityRemove, OpMultiplicityMerge:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 {
 			return fmt.Errorf("%w: applied count", ErrTruncated)
@@ -536,7 +577,8 @@ func DecodeResponse(resp *Response, frame []byte) error {
 			resp.Rotated[i] = string(rest[lsz : lsz+int(l)])
 			rest = rest[lsz+int(l):]
 		}
-	case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump, OpFreeze:
+	case OpStats, OpNamespaceList, OpClusterMap, OpMetrics, OpMembershipDump,
+		OpMultiplicityDump, OpFreeze:
 		n, sz := binary.Uvarint(rest)
 		if sz <= 0 || n > uint64(len(rest)-sz) {
 			return fmt.Errorf("%w: blob body", ErrTruncated)

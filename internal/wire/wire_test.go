@@ -105,6 +105,62 @@ func TestRequestRoundTripClusterOps(t *testing.T) {
 	}
 }
 
+func TestRequestRoundTripMultiplicityMergeDump(t *testing.T) {
+	// multiplicity-dump carries only the namespace, like membership-dump.
+	got := roundTripRequest(t, &Request{Op: OpMultiplicityDump, Namespace: "t"})
+	if got.Op != OpMultiplicityDump || got.Namespace != "t" || got.Blob != nil {
+		t.Fatalf("multiplicity-dump request: %+v", got)
+	}
+	// multiplicity-merge carries an opaque envelope in the blob tail.
+	envelope := []byte("ShBE\x01...fake multiplicity envelope\x00\xff")
+	got = roundTripRequest(t, &Request{Op: OpMultiplicityMerge, Namespace: "t", Blob: envelope})
+	if got.Op != OpMultiplicityMerge || got.Namespace != "t" {
+		t.Fatalf("multiplicity-merge header: %+v", got)
+	}
+	if !bytes.Equal(got.Blob, envelope) {
+		t.Fatalf("multiplicity-merge blob = %q, want %q", got.Blob, envelope)
+	}
+}
+
+func TestPackedKeysRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		width int
+		keys  [][]byte
+	}{
+		{"fixed", 3, [][]byte{[]byte("abc"), []byte("def")}},
+		{"variable", 0, [][]byte{[]byte(""), []byte("x"), []byte("longer-key")}},
+		{"empty", 0, nil},
+	} {
+		buf, err := AppendPackedKeys(nil, tc.width, tc.keys)
+		if err != nil {
+			t.Fatalf("%s: AppendPackedKeys: %v", tc.name, err)
+		}
+		keys, width, rest, err := DecodePackedKeys(nil, buf)
+		if err != nil {
+			t.Fatalf("%s: DecodePackedKeys: %v", tc.name, err)
+		}
+		if width != tc.width || len(rest) != 0 || len(keys) != len(tc.keys) {
+			t.Fatalf("%s: width=%d rest=%d keys=%d", tc.name, width, len(rest), len(keys))
+		}
+		for i := range keys {
+			if !bytes.Equal(keys[i], tc.keys[i]) {
+				t.Fatalf("%s: key %d = %q, want %q", tc.name, i, keys[i], tc.keys[i])
+			}
+		}
+	}
+	// Truncated blocks must be refused, not over-read.
+	buf, _ := AppendPackedKeys(nil, 4, [][]byte{[]byte("abcd")})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, _, err := DecodePackedKeys(nil, buf[:cut]); err == nil {
+			t.Fatalf("accepted a key block truncated to %d bytes", cut)
+		}
+	}
+	if _, err := AppendPackedKeys(nil, 2, [][]byte{[]byte("abc")}); err == nil {
+		t.Fatal("accepted a 3-byte key in a width-2 block")
+	}
+}
+
 func TestRequestEncodingRejectsMismatchedWidth(t *testing.T) {
 	_, err := AppendRequest(nil, &Request{
 		Op: OpMembershipAdd, KeyWidth: 4, Keys: [][]byte{[]byte("abc")},
@@ -129,6 +185,9 @@ func TestResponseRoundTrips(t *testing.T) {
 		{Status: StatusNotFound, Op: OpMetrics, Msg: "server: metrics disabled"},
 		{Status: StatusOK, Op: OpMembershipMerge, Applied: 700},
 		{Status: StatusConflict, Op: OpMembershipMerge, Msg: "spec mismatch"},
+		{Status: StatusOK, Op: OpMultiplicityMerge, Applied: 31},
+		{Status: StatusOK, Op: OpMultiplicityDump, Blob: []byte("ShBE\x01counting envelope\x00")},
+		{Status: StatusConflict, Op: OpMultiplicityMerge, Msg: "spec mismatch"},
 		{Status: StatusConflict, Op: OpMultiplicityAdd, Msg: "count overflow"},
 	}
 	for _, want := range cases {
