@@ -149,8 +149,15 @@ func NewAgent(w io.Writer, cfg AgentConfig) (*Agent, error) {
 }
 
 // Filter returns the agent's local filter (nil in keys mode without
-// dedup). Callers use it to answer local queries at the edge.
-func (a *Agent) Filter() shbf.Filter { return a.cfg.Filter }
+// dedup). Callers use it to answer local queries at the edge. In keys
+// mode with dedup the filter is rebuilt empty at every flush, so the
+// returned value is a snapshot: keep calling Filter rather than
+// holding one result across flushes.
+func (a *Agent) Filter() shbf.Filter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Filter
+}
 
 // Add accepts one key. In keys mode it is buffered (auto-flushing
 // full datagrams when the buffer reaches one datagram's capacity); in
@@ -161,6 +168,13 @@ func (a *Agent) Add(key []byte) error {
 	defer a.mu.Unlock()
 	switch a.cfg.Mode {
 	case ModeKeys:
+		if len(key)+5 > a.batchCapacity() {
+			// Rejected up front: buffered, it would form a batch no
+			// datagram can carry, and the flush error path would keep
+			// restoring it — one poison key wedging every later flush.
+			return fmt.Errorf("ingest: %d-byte key exceeds the %d-byte add-batch capacity of a %d-byte datagram",
+				len(key), a.batchCapacity()-5, a.cfg.MaxDatagram)
+		}
 		if a.dedup != nil {
 			if a.dedup.Contains(key) {
 				a.stats.KeysDeduped++

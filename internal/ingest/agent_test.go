@@ -117,6 +117,79 @@ func TestAgentKeysModeDedup(t *testing.T) {
 	}
 }
 
+func TestAgentRejectsOversizedKey(t *testing.T) {
+	sink := &datagramSink{}
+	a, err := NewAgent(sink, AgentConfig{
+		Namespace: "ns", Source: 40, Mode: ModeKeys, MaxDatagram: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A key no datagram can carry is refused at Add: buffered, it
+	// would poison every later flush (the flush error path restores
+	// the buffer with the key still at the front).
+	if err := a.Add(make([]byte, 400)); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := a.Add([]byte("fits")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatalf("flush after rejected key: %v", err)
+	}
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	sink.deliver(r)
+	if h.keys["fits"] != 1 {
+		t.Fatalf("keys = %v", h.keys)
+	}
+	if st := a.Stats(); st.KeysAdded != 1 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAgentFilterSafeDuringFlush(t *testing.T) {
+	plan, err := shbf.PlanMembership(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := shbf.New(plan.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &datagramSink{}
+	a, err := NewAgent(sink, AgentConfig{
+		Namespace: "ns", Source: 41, Mode: ModeKeys, Filter: dedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys-mode flushes rebuild the dedup filter; edge callers query
+	// Filter() concurrently from their serving path. The race detector
+	// guards the handoff.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if a.Filter() == nil {
+				t.Error("dedup agent returned a nil filter")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := a.Add([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := a.Flush(); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	<-done
+}
+
 func newEnvelopeAgent(t *testing.T, sink *datagramSink, source uint64, maxDatagram int) *Agent {
 	t.Helper()
 	f, err := shbf.NewShardedMembership(1<<16, 8, 4, core.WithSeed(21))

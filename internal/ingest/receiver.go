@@ -28,7 +28,8 @@ const (
 	// indistinguishable).
 	DropDuplicate
 	// DropReassembly: a fragment was inconsistent with its flush's
-	// other fragments, or reassembly capacity was exhausted.
+	// other fragments, did not tile the envelope at the sender's fixed
+	// chunk size, or alone exceeded reassembly capacity.
 	DropReassembly
 	// DropUnknownNamespace: no such tenant.
 	DropUnknownNamespace
@@ -118,6 +119,13 @@ type sourceState struct {
 	first, max uint64
 	unique     uint64
 	window     [seqWindowBits / 64]uint64
+	// latestFlush is the highest envelope flushID seen from this
+	// source. Agents flush sequentially and envelope state is
+	// cumulative, so when a newer flush starts, the source's older
+	// incomplete assemblies can never complete (their lost fragments
+	// will not be resent) and their content is carried by the newer
+	// flush anyway — they are evicted.
+	latestFlush uint64
 }
 
 func (st *sourceState) bit(seq uint64) (word int, mask uint64) {
@@ -197,6 +205,15 @@ type assembly struct {
 	buf       []byte
 	got       []bool
 	remaining int
+	// chunk is the fixed fragment size every fragment but the last
+	// must carry (the sender slices at one size); fragments implying a
+	// different chunk are corrupt.
+	chunk int
+	// touched is the receiver tick of the last accepted fragment;
+	// capacity pressure evicts the least recently touched assembly
+	// first (UDP loss means some assemblies never complete — refusing
+	// new ones behind dead entries would wedge envelope ingest).
+	touched uint64
 }
 
 // Stats is a point-in-time snapshot of a receiver's accounting.
@@ -223,6 +240,12 @@ type Stats struct {
 	MergeBytes uint64
 	// Assemblies is the number of in-flight fragment reassemblies.
 	Assemblies int
+	// AssembliesEvicted counts incomplete assemblies discarded —
+	// superseded by a newer flush from the same source, or displaced
+	// oldest-first under capacity pressure. Union-merge makes the
+	// discard safe (the next cumulative flush re-carries the state),
+	// but a climbing rate means flushes are losing fragments.
+	AssembliesEvicted uint64
 }
 
 // LossRatio is Lost/Expected (0 when nothing was expected).
@@ -243,6 +266,8 @@ type Receiver struct {
 	sources    map[uint64]*sourceState
 	assemblies map[assemblyKey]*assembly
 	asmBytes   int
+	asmTick    uint64 // monotonic fragment-arrival tick, orders eviction
+	evicted    uint64
 
 	received  [3]uint64 // by type
 	applied   [3]uint64
@@ -331,10 +356,43 @@ func (r *Receiver) Process(data []byte) DropReason {
 	return reason
 }
 
+// fragChunk returns the fixed chunk size d implies, or 0 when no
+// fixed-chunk tiling of the envelope places d where it claims to be.
+// The sender slices every fragment but the last at one size, so each
+// fragment's index, offset and length must agree on that size — a
+// crafted fragment (e.g. two fragments both claiming offset 0) cannot
+// complete an assembly whose uncovered tail would be zero-filled.
+// Caller guarantees FragCount ≥ 2 and the Decode bounds checks.
+func fragChunk(d *Datagram) int {
+	var chunk int
+	if d.FragIndex < d.FragCount-1 {
+		chunk = len(d.Frag)
+		if chunk == 0 || d.FragOffset != d.FragIndex*chunk {
+			return 0
+		}
+	} else {
+		// The last fragment covers exactly the tail, and its offset
+		// pins the chunk the earlier fragments were sliced at.
+		if d.FragOffset%(d.FragCount-1) != 0 {
+			return 0
+		}
+		chunk = d.FragOffset / (d.FragCount - 1)
+		if chunk == 0 || d.FragOffset+len(d.Frag) != d.EnvLen {
+			return 0
+		}
+	}
+	// FragCount must be exactly ⌈EnvLen/chunk⌉.
+	if (d.FragCount-1)*chunk >= d.EnvLen || d.EnvLen > d.FragCount*chunk {
+		return 0
+	}
+	return chunk
+}
+
 // assembleLocked folds one fragment into its flush's assembly.
 // Returns the complete envelope once the last fragment lands, nil
 // while incomplete, or a non-None reason when the fragment is
-// inconsistent or capacity is exhausted. Caller holds r.mu.
+// inconsistent with the envelope's tiling or with its flush's other
+// fragments. Caller holds r.mu.
 func (r *Receiver) assembleLocked(d *Datagram) ([]byte, DropReason) {
 	if d.FragCount == 1 {
 		// Single-fragment flush: no buffering needed.
@@ -343,28 +401,54 @@ func (r *Receiver) assembleLocked(d *Datagram) ([]byte, DropReason) {
 		}
 		return d.Frag, DropNone
 	}
+	chunk := fragChunk(d)
+	if chunk == 0 {
+		return nil, DropReassembly
+	}
+	// A newer flush supersedes the source's older assemblies (see
+	// sourceState.latestFlush); evict them so incomplete flushes from
+	// a lossy path cannot pin reassembly slots forever.
+	if st := r.sources[d.Source]; st != nil && d.FlushID > st.latestFlush {
+		st.latestFlush = d.FlushID
+		for k := range r.assemblies {
+			if k.source == d.Source && k.flushID < d.FlushID {
+				r.evictLocked(k)
+				r.evicted++
+			}
+		}
+	}
 	key := assemblyKey{source: d.Source, flushID: d.FlushID}
 	a := r.assemblies[key]
 	if a == nil {
-		if len(r.assemblies) >= maxAssemblies || r.asmBytes+d.EnvLen > maxAssemblyBytes {
-			return nil, DropReassembly
+		// At capacity, displace the least recently touched assemblies:
+		// under UDP loss some assemblies never complete, and refusing
+		// new ones behind those dead entries would silently wedge all
+		// envelope ingest until restart.
+		for len(r.assemblies) >= maxAssemblies || r.asmBytes+d.EnvLen > maxAssemblyBytes {
+			if !r.evictStalestLocked() {
+				// Nothing left to evict: d alone exceeds capacity.
+				return nil, DropReassembly
+			}
 		}
 		a = &assembly{
 			namespace: d.Namespace,
 			buf:       make([]byte, d.EnvLen),
 			got:       make([]bool, d.FragCount),
 			remaining: d.FragCount,
+			chunk:     chunk,
 		}
 		r.assemblies[key] = a
 		r.asmBytes += d.EnvLen
 	}
-	if a.namespace != d.Namespace || len(a.buf) != d.EnvLen || len(a.got) != d.FragCount {
+	if a.namespace != d.Namespace || len(a.buf) != d.EnvLen || len(a.got) != d.FragCount || a.chunk != chunk {
 		// Fragments of one flush disagree about the flush: something
 		// is corrupt; drop the whole assembly so it cannot complete
 		// from inconsistent parts.
 		r.evictLocked(key)
 		return nil, DropReassembly
 	}
+	r.asmTick++
+	a.touched = r.asmTick
 	if a.got[d.FragIndex] {
 		// Same fragment under a fresh sequence number (an agent-level
 		// resend): already have these bytes; accept as a no-op.
@@ -381,6 +465,27 @@ func (r *Receiver) assembleLocked(d *Datagram) ([]byte, DropReason) {
 	return buf, DropNone
 }
 
+// evictStalestLocked discards the least recently touched assembly,
+// reporting whether there was one to discard.
+func (r *Receiver) evictStalestLocked() bool {
+	var (
+		stalest assemblyKey
+		minTick uint64
+		found   bool
+	)
+	for k, a := range r.assemblies {
+		if !found || a.touched < minTick {
+			stalest, minTick, found = k, a.touched, true
+		}
+	}
+	if !found {
+		return false
+	}
+	r.evictLocked(stalest)
+	r.evicted++
+	return true
+}
+
 func (r *Receiver) evictLocked(key assemblyKey) {
 	if a := r.assemblies[key]; a != nil {
 		r.asmBytes -= len(a.buf)
@@ -393,15 +498,16 @@ func (r *Receiver) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Stats{
-		ReceivedBatch:    r.received[TypeAddBatch],
-		ReceivedEnvelope: r.received[TypeEnvelopeFrag],
-		AppliedBatch:     r.applied[TypeAddBatch],
-		AppliedEnvelope:  r.applied[TypeEnvelopeFrag],
-		Dropped:          r.dropped,
-		Reordered:        r.reordered,
-		Sources:          len(r.sources),
-		MergeBytes:       r.merged,
-		Assemblies:       len(r.assemblies),
+		ReceivedBatch:     r.received[TypeAddBatch],
+		ReceivedEnvelope:  r.received[TypeEnvelopeFrag],
+		AppliedBatch:      r.applied[TypeAddBatch],
+		AppliedEnvelope:   r.applied[TypeEnvelopeFrag],
+		Dropped:           r.dropped,
+		Reordered:         r.reordered,
+		Sources:           len(r.sources),
+		MergeBytes:        r.merged,
+		Assemblies:        len(r.assemblies),
+		AssembliesEvicted: r.evicted,
 	}
 	for _, st := range r.sources {
 		s.Lost += st.lost()

@@ -180,12 +180,13 @@ func TestReceiverInconsistentFragmentsDropped(t *testing.T) {
 			EnvLen: envLen, FragOffset: 0, Frag: make([]byte, 100),
 		})
 	}
-	if got := r.Process(mk(1, 500)); got != DropNone {
+	if got := r.Process(mk(1, 200)); got != DropNone {
 		t.Fatalf("first fragment: %v", got)
 	}
-	// Same flush, contradicting envelope length: the assembly must be
-	// destroyed, not completed from corrupt halves.
-	if got := r.Process(mk(2, 700)); got != DropReassembly {
+	// Same flush, contradicting envelope length (each fragment valid
+	// on its own): the assembly must be destroyed, not completed from
+	// corrupt halves.
+	if got := r.Process(mk(2, 150)); got != DropReassembly {
 		t.Fatalf("contradicting fragment: %v, want DropReassembly", got)
 	}
 	if r.Stats().Assemblies != 0 {
@@ -193,6 +194,144 @@ func TestReceiverInconsistentFragmentsDropped(t *testing.T) {
 	}
 	if len(h.envelopes) != 0 {
 		t.Fatal("corrupt assembly completed")
+	}
+}
+
+func TestReceiverFragmentTilingEnforced(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	frag := func(seq uint64, idx, count, off, n, envLen int) DropReason {
+		return r.Process(encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: 8, Seq: seq, Namespace: "ns",
+			FlushID: 1, FragIndex: idx, FragCount: count,
+			EnvLen: envLen, FragOffset: off, Frag: make([]byte, n),
+		}))
+	}
+	// Two fragments both claiming offset 0: no fixed-chunk tiling puts
+	// fragment 1 there, so the crafted overlap cannot complete an
+	// envelope whose uncovered tail would be zero-filled.
+	if got := frag(1, 0, 2, 0, 100, 200); got != DropNone {
+		t.Fatalf("fragment 0: %v", got)
+	}
+	if got := frag(2, 1, 2, 0, 100, 200); got != DropReassembly {
+		t.Fatalf("overlapping fragment: %v, want DropReassembly", got)
+	}
+	// A chunk too small for its count: two 100-byte fragments cannot
+	// tile a 1000-byte envelope; accepting them would hand the merge
+	// path 800 fabricated zero bytes.
+	if got := frag(3, 0, 2, 0, 100, 1000); got != DropReassembly {
+		t.Fatalf("short-chunk fragment: %v, want DropReassembly", got)
+	}
+	// A non-last fragment off the chunk grid.
+	if got := frag(4, 1, 3, 300, 400, 1000); got != DropReassembly {
+		t.Fatalf("off-grid fragment: %v, want DropReassembly", got)
+	}
+	// A last fragment implying a different chunk than the assembly's:
+	// the flush is corrupt, so the whole assembly must go.
+	if got := frag(5, 2, 3, 900, 100, 1000); got != DropReassembly {
+		t.Fatalf("chunk-mismatch fragment: %v, want DropReassembly", got)
+	}
+	if s := r.Stats(); s.Assemblies != 0 {
+		t.Fatalf("assemblies = %d, want 0", s.Assemblies)
+	}
+	if len(h.envelopes) != 0 {
+		t.Fatalf("crafted fragments completed %d envelopes", len(h.envelopes))
+	}
+}
+
+func TestReceiverNewerFlushSupersedesStalled(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	env := make([]byte, 200)
+	for i := range env {
+		env[i] = byte(i)
+	}
+	frag := func(seq, flush uint64, idx int) []byte {
+		off := idx * 100
+		return encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: 4, Seq: seq, Namespace: "ns",
+			FlushID: flush, FragIndex: idx, FragCount: 2,
+			EnvLen: len(env), FragOffset: off, Frag: env[off : off+100],
+		})
+	}
+	// Flush 1 loses its second fragment in flight: the assembly stalls
+	// and can never complete (agents do not retransmit fragments).
+	if got := r.Process(frag(1, 1, 0)); got != DropNone {
+		t.Fatalf("stalled fragment: %v", got)
+	}
+	if s := r.Stats(); s.Assemblies != 1 {
+		t.Fatalf("assemblies = %d, want 1", s.Assemblies)
+	}
+	// Flush 2 arrives complete: it supersedes the stalled assembly
+	// (envelope state is cumulative) and reassembles normally.
+	if got := r.Process(frag(10, 2, 0)); got != DropNone {
+		t.Fatalf("flush-2 fragment 0: %v", got)
+	}
+	if got := r.Process(frag(11, 2, 1)); got != DropNone {
+		t.Fatalf("flush-2 fragment 1: %v", got)
+	}
+	if len(h.envelopes) != 1 || !bytes.Equal(h.envelopes[0], env) {
+		t.Fatalf("flush 2 delivered %d envelopes", len(h.envelopes))
+	}
+	s := r.Stats()
+	if s.Assemblies != 0 {
+		t.Fatalf("stalled assembly survived: %d in flight", s.Assemblies)
+	}
+	if s.AssembliesEvicted != 1 {
+		t.Fatalf("evicted = %d, want 1", s.AssembliesEvicted)
+	}
+}
+
+func TestReceiverCapacityEvictsStalest(t *testing.T) {
+	h := newCollectHandler()
+	r := NewReceiver(h)
+	half := func(source uint64) []byte {
+		return encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: source, Seq: 1, Namespace: "ns",
+			FlushID: 1, FragIndex: 0, FragCount: 2,
+			EnvLen: 200, FragOffset: 0, Frag: make([]byte, 100),
+		})
+	}
+	// maxAssemblies distinct sources each stall an assembly. Before
+	// eviction existed, this state refused every later multi-fragment
+	// envelope forever — a silent total outage of envelope ingest.
+	for src := uint64(1); src <= maxAssemblies; src++ {
+		if got := r.Process(half(src)); got != DropNone {
+			t.Fatalf("source %d: %v", src, got)
+		}
+	}
+	if s := r.Stats(); s.Assemblies != maxAssemblies {
+		t.Fatalf("assemblies = %d, want %d", s.Assemblies, maxAssemblies)
+	}
+	// A fresh source's flush displaces the stalest stalled assembly
+	// and completes.
+	env := make([]byte, 200)
+	for i := range env {
+		env[i] = byte(i)
+	}
+	fresh := func(seq uint64, idx int) []byte {
+		off := idx * 100
+		return encode(t, &Datagram{
+			Type: TypeEnvelopeFrag, Source: 9999, Seq: seq, Namespace: "ns",
+			FlushID: 1, FragIndex: idx, FragCount: 2,
+			EnvLen: len(env), FragOffset: off, Frag: env[off : off+100],
+		})
+	}
+	if got := r.Process(fresh(1, 0)); got != DropNone {
+		t.Fatalf("fresh fragment 0: %v", got)
+	}
+	if got := r.Process(fresh(2, 1)); got != DropNone {
+		t.Fatalf("fresh fragment 1: %v", got)
+	}
+	if len(h.envelopes) != 1 || !bytes.Equal(h.envelopes[0], env) {
+		t.Fatalf("fresh flush delivered %d envelopes", len(h.envelopes))
+	}
+	s := r.Stats()
+	if s.AssembliesEvicted != 1 {
+		t.Fatalf("evicted = %d, want 1", s.AssembliesEvicted)
+	}
+	if s.Assemblies != maxAssemblies-1 {
+		t.Fatalf("assemblies = %d, want %d", s.Assemblies, maxAssemblies-1)
 	}
 }
 

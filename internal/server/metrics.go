@@ -305,6 +305,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("shbf_udp_assemblies",
 		"Envelope fragment reassemblies currently in flight.",
 		func() float64 { return float64(s.udp.Stats().Assemblies) })
+	reg.CounterFunc("shbf_udp_assemblies_evicted_total",
+		"Incomplete reassemblies discarded: superseded by a newer flush from the same source, or displaced under capacity pressure.",
+		func() uint64 { return s.udp.Stats().AssembliesEvicted })
 
 	return m
 }

@@ -131,6 +131,7 @@ var goldenMetricSurface = map[string]struct {
 	"shbf_udp_loss_ratio":               {"gauge", ""},
 	"shbf_udp_sources":                  {"gauge", ""},
 	"shbf_udp_assemblies":               {"gauge", ""},
+	"shbf_udp_assemblies_evicted_total": {"counter", ""},
 }
 
 // goldenShBPOps and goldenHTTPOps freeze the request-counter op label
